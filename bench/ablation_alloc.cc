@@ -1,0 +1,152 @@
+// Ablation: memory-allocator design (paper §6.2.10, deficiency 2).
+//
+// "Profiling of the benchmark kernels revealed that a significant amount of
+// time is spent in memory allocation ... the OSKit's default memory manager
+// library is designed for flexibility and space efficiency rather than
+// common-case performance.  For fast allocation of small data structures
+// ... a more conventional high-level allocator would be more appropriate,
+// possibly layered on top of the OSKit's existing low-level allocator."
+//
+// Benchmarked here (google-benchmark):
+//   * raw LMM alloc/free               — the flexible, list-walking default;
+//   * malloc layered on the LMM        — what OSKit kernels actually call;
+//   * QuickAlloc (src/libc/quickalloc.h) layered on the LMM — the
+//     "conventional high-level allocator" the paper proposed as future
+//     work, which this reproduction ships as a real component.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/libc/malloc.h"
+#include "src/libc/quickalloc.h"
+#include "src/lmm/lmm.h"
+
+namespace oskit {
+namespace {
+
+constexpr size_t kArenaBytes = 8 << 20;
+
+struct LmmFixture {
+  std::vector<uint8_t> arena;
+  Lmm lmm;
+  LmmRegion region;
+
+  LmmFixture() : arena(kArenaBytes) {
+    lmm.AddRegion(&region, arena.data(), arena.size(), 0, 0);
+    lmm.AddFree(arena.data(), arena.size());
+  }
+};
+
+// A mixed small-object workload: the mbuf/pcb/cblock sizes kernels churn.
+constexpr size_t kSizes[] = {16, 48, 96, 128, 256, 512, 2048};
+constexpr int kBatch = 64;
+
+void BM_LmmDirect(benchmark::State& state) {
+  LmmFixture fx;
+  void* live[kBatch];
+  size_t sizes[kBatch];
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sizes[i] = kSizes[i % 7];
+      live[i] = fx.lmm.Alloc(sizes[i], 0);
+      benchmark::DoNotOptimize(live[i]);
+    }
+    for (int i = kBatch - 1; i >= 0; --i) {
+      fx.lmm.Free(live[i], sizes[i]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_LmmDirect);
+
+void BM_MallocOnLmm(benchmark::State& state) {
+  LmmFixture fx;
+  libc::MemEnv env;
+  env.alloc = +[](void* ctx, size_t size) -> void* {
+    return static_cast<Lmm*>(ctx)->Alloc(size, 0);
+  };
+  env.free = +[](void* ctx, void* ptr, size_t size) {
+    static_cast<Lmm*>(ctx)->Free(ptr, size);
+  };
+  env.ctx = &fx.lmm;
+  libc::MallocArena arena(env);
+  void* live[kBatch];
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      live[i] = arena.Malloc(kSizes[i % 7]);
+      benchmark::DoNotOptimize(live[i]);
+    }
+    for (int i = kBatch - 1; i >= 0; --i) {
+      arena.Free(live[i]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MallocOnLmm);
+
+void BM_QuickAllocOnLmm(benchmark::State& state) {
+  // The shipped future-work allocator (src/libc/quickalloc.h) layered on
+  // the LMM, exactly as §6.2.10 proposes.
+  LmmFixture fx;
+  libc::MemEnv lmm_env;
+  lmm_env.alloc = +[](void* ctx, size_t size) -> void* {
+    return static_cast<Lmm*>(ctx)->Alloc(size, 0);
+  };
+  lmm_env.free = +[](void* ctx, void* ptr, size_t size) {
+    static_cast<Lmm*>(ctx)->Free(ptr, size);
+  };
+  lmm_env.ctx = &fx.lmm;
+  libc::QuickAlloc cache(lmm_env);
+  void* live[kBatch];
+  size_t sizes[kBatch];
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sizes[i] = kSizes[i % 7];
+      live[i] = cache.Alloc(sizes[i]);
+      benchmark::DoNotOptimize(live[i]);
+    }
+    for (int i = kBatch - 1; i >= 0; --i) {
+      cache.Free(live[i], sizes[i]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_QuickAllocOnLmm);
+
+// Fragmented-arena stress: after heavy churn the LMM free list is long, so
+// its first-fit walk shows the flexibility-vs-speed trade directly.
+void BM_LmmFragmented(benchmark::State& state) {
+  LmmFixture fx;
+  // Fragment: allocate a lot, free every other one.
+  std::vector<std::pair<void*, size_t>> held;
+  for (int i = 0; i < 4000; ++i) {
+    size_t size = kSizes[i % 7];
+    void* p = fx.lmm.Alloc(size, 0);
+    if (p != nullptr) {
+      held.push_back({p, size});
+    }
+  }
+  for (size_t i = 0; i < held.size(); i += 2) {
+    fx.lmm.Free(held[i].first, held[i].second);
+    held[i].first = nullptr;
+  }
+  for (auto _ : state) {
+    void* p = fx.lmm.Alloc(2048, 0);
+    benchmark::DoNotOptimize(p);
+    if (p != nullptr) {
+      fx.lmm.Free(p, 2048);
+    }
+  }
+  for (auto& [p, size] : held) {
+    if (p != nullptr) {
+      fx.lmm.Free(p, size);
+    }
+  }
+}
+BENCHMARK(BM_LmmFragmented);
+
+}  // namespace
+}  // namespace oskit
+
+BENCHMARK_MAIN();

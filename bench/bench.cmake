@@ -1,0 +1,24 @@
+# One benchmark binary per reproduced table/figure, plus ablations.
+# Included from the top-level CMakeLists so that build/bench/ contains ONLY
+# the benchmark executables: `for b in build/bench/*; do $b; done`.
+
+function(oskit_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE oskit_testbed oskit_vm oskit_fs
+    oskit_diskpart benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY
+    ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+oskit_bench(table1_bandwidth)
+oskit_bench(table2_latency)
+oskit_bench(table3_sizes)
+target_compile_definitions(table3_sizes PRIVATE
+  OSKIT_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+oskit_bench(fig_footprint)
+target_compile_definitions(fig_footprint PRIVATE
+  OSKIT_BUILD_DIR="${CMAKE_BINARY_DIR}")
+oskit_bench(fig_javapc)
+oskit_bench(ablation_glue)
+oskit_bench(ablation_alloc)
+oskit_bench(ablation_bufio)

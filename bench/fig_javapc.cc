@@ -1,0 +1,283 @@
+// §6.2.6 reproduction: network throughput of the language-based system.
+//
+// Paper: "using a measurement program written in Java, we measured a
+// sustained TCP receive throughput of 78Mbps over a 100Mbps Ethernet ...
+// the TCP send throughput was lower at 59Mbps due to the extra copy.  This
+// relatively high performance is not surprising considering that the BSD
+// network protocols have been tuned for over 15 years."
+//
+// Here the measurement program is KVM bytecode (the Kaffe stand-in) doing
+// bulk socket operations through the VM's syscall layer, on an OSKit-
+// configured host; the peer is a native C endpoint.  Reported:
+//   * wire-limited simulated throughput on the 100 Mbps wire (saturation);
+//   * software-path throughput (wall), where the VM interpreter overhead
+//     and the OSKit glue overheads actually bite, compared against the
+//     same transfer driven by native C code.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/testbed/ttcp.h"
+#include "src/vm/kvm.h"
+
+using namespace oskit;
+using namespace oskit::testbed;
+
+namespace {
+
+constexpr uint16_t kPort = 5010;
+constexpr uint16_t kSysConnect = 16;   // -> conn handle
+constexpr uint16_t kSysListenAccept = 17;  // -> conn handle
+constexpr uint16_t kSysRecvBulk = 18;  // pop conn -> push bytes (0 on EOF)
+constexpr uint16_t kSysSendBulk = 19;  // pop size, pop conn -> push bytes sent
+constexpr uint16_t kSysShutdown = 20;  // pop conn
+
+// Binds the VM's bulk-I/O "native methods" to the host's socket.
+class BulkSys : public vm::SysHandler {
+ public:
+  BulkSys(Host* host, InetAddr peer) : host_(host), peer_(peer), buffer_(16384, 0x6b) {}
+
+  Error Syscall(uint16_t number, vm::Vm& vm, int thread) override {
+    switch (number) {
+      case kSysConnect: {
+        // The peer's listener may not be up yet; retry like any client.
+        for (;;) {
+          conn_ = host_->MakeSocket(SockType::kStream);
+          if (Ok(conn_->Connect(SockAddr{peer_, kPort}))) {
+            break;
+          }
+          host_->machine->sim().SleepFor(10 * kNsPerMs);
+        }
+        vm.Push(thread, 1);
+        return Error::kOk;
+      }
+      case kSysListenAccept: {
+        ComPtr<Socket> listener = host_->MakeSocket(SockType::kStream);
+        Error err = listener->Bind(SockAddr{kInetAny, kPort});
+        if (Ok(err)) {
+          err = listener->Listen(1);
+        }
+        if (!Ok(err)) {
+          return err;
+        }
+        SockAddr from;
+        err = listener->Accept(&from, conn_.Receive());
+        if (!Ok(err)) {
+          return err;
+        }
+        vm.Push(thread, 1);
+        return Error::kOk;
+      }
+      case kSysRecvBulk: {
+        vm.Pop(thread);  // conn handle (single connection)
+        size_t n = 0;
+        Error err = conn_->Recv(buffer_.data(), buffer_.size(), &n);
+        if (!Ok(err)) {
+          return err;
+        }
+        vm.Push(thread, static_cast<int64_t>(n));
+        return Error::kOk;
+      }
+      case kSysSendBulk: {
+        auto size = static_cast<size_t>(vm.Pop(thread));
+        vm.Pop(thread);  // conn handle
+        if (size > buffer_.size()) {
+          size = buffer_.size();
+        }
+        size_t n = 0;
+        Error err = conn_->Send(buffer_.data(), size, &n);
+        if (!Ok(err)) {
+          return err;
+        }
+        vm.Push(thread, static_cast<int64_t>(n));
+        return Error::kOk;
+      }
+      case kSysShutdown:
+        vm.Pop(thread);
+        return conn_->Shutdown(SockShutdown::kWrite);
+      default:
+        return Error::kNotImpl;
+    }
+  }
+
+ private:
+  Host* host_;
+  InetAddr peer_;
+  ComPtr<Socket> conn_;
+  std::vector<uint8_t> buffer_;
+};
+
+struct RunResult {
+  double wall_seconds;
+  SimTime sim_ns;
+  size_t bytes;
+  uint64_t glue_copied_bytes = 0;   // VM-side mbuf->skbuff copies
+  uint64_t vm_instructions = 0;
+  double WallMbps() const { return bytes * 8.0 / wall_seconds / 1e6; }
+  double SimMbps() const { return bytes * 8.0 / (sim_ns / 1e9) / 1e6; }
+
+  // The same P6-scaled model as bench/table1_bandwidth, with the VM
+  // interpreter's real instruction count added to the VM side.
+  double ModelMbps() const {
+    constexpr double kMemcpyBw = 70e6;
+    constexpr double kChecksumBw = 50e6;
+    constexpr double kFixedPerSegment = 100e-6;
+    constexpr double kNsPerVmInsn = 100;  // ~20 cycles at 200 MHz
+    double b = static_cast<double>(bytes);
+    double segments = b / 1448.0;
+    double side_s = segments * kFixedPerSegment + b / kMemcpyBw +
+                    b / kChecksumBw +
+                    static_cast<double>(glue_copied_bytes) / kMemcpyBw +
+                    static_cast<double>(vm_instructions) * kNsPerVmInsn / 1e9;
+    double wire_s = b * 8 / 100e6;
+    double t = side_s > wire_s ? side_s : wire_s;
+    return b * 8 / t / 1e6;
+  }
+};
+
+// Runs one transfer with the VM on `vm_sends ? sender : receiver` side.
+RunResult RunVmTransfer(bool vm_sends, size_t total_bytes, bool wire_limited) {
+  EthernetWire::Config wire;
+  if (wire_limited) {
+    wire.bits_per_second = 100 * 1000 * 1000;
+    wire.propagation_ns = 5 * kNsPerUs;
+  }
+  World world(wire);
+  Host& a = world.AddHost("native", NetConfig::kOskit);
+  Host& b = world.AddHost("javapc", NetConfig::kOskit);
+
+  size_t moved = 0;
+
+  // The VM side program: connect/accept, then pump bytes in 16K syscalls.
+  std::string program;
+  if (vm_sends) {
+    program =
+        "sys 16\n"          // connect -> handle
+        "store 0\n"
+        "push " + std::to_string(total_bytes) + "\nstore 1\n"
+        "pump:\n"
+        "load 0\npush 16384\nsys 19\n"  // sent = send(conn, 16K)
+        "load 1\nswap\nsub\nstore 1\n"  // remaining -= sent
+        "load 1\npush 0\ngt\njnz pump\n"
+        "load 0\nsys 20\n"              // shutdown
+        "halt\n";
+  } else {
+    program =
+        "sys 17\n"          // listen+accept -> handle
+        "store 0\n"
+        "pump:\n"
+        "load 0\nsys 18\n"  // n = recv(conn)
+        "dup\ngstore 0\n"   // remember last n
+        "jnz pump\n"        // until EOF
+        "halt\n";
+  }
+  std::vector<uint8_t> code;
+  std::string asm_err;
+  OSKIT_ASSERT_MSG(Ok(vm::Assemble(program, &code, &asm_err)), asm_err.c_str());
+
+  BulkSys sys(&b, a.addr);
+  auto machine = std::make_unique<vm::Vm>(std::move(code), &sys);
+  OSKIT_ASSERT(Ok(machine->Verify()));
+  machine->SpawnThread(0);
+
+  world.sim().Spawn("javapc/vm", [&] {
+    Error err = machine->Run();
+    OSKIT_ASSERT_MSG(Ok(err), "VM faulted");
+  });
+
+  world.sim().Spawn("native/peer", [&] {
+    std::vector<uint8_t> buf(16384, 0x33);
+    if (vm_sends) {
+      ComPtr<Socket> listener = a.MakeSocket(SockType::kStream);
+      OSKIT_ASSERT(Ok(listener->Bind(SockAddr{kInetAny, kPort})));
+      OSKIT_ASSERT(Ok(listener->Listen(1)));
+      SockAddr from;
+      ComPtr<Socket> conn;
+      OSKIT_ASSERT(Ok(listener->Accept(&from, conn.Receive())));
+      size_t n = 0;
+      while (Ok(conn->Recv(buf.data(), buf.size(), &n)) && n > 0) {
+        moved += n;
+      }
+    } else {
+      // Native sender: retry until the VM's listener is up.
+      ComPtr<Socket> conn;
+      for (;;) {
+        conn = a.MakeSocket(SockType::kStream);
+        if (Ok(conn->Connect(SockAddr{b.addr, kPort}))) {
+          break;
+        }
+        world.sim().SleepFor(10 * kNsPerMs);
+      }
+      size_t sent = 0;
+      while (sent < total_bytes) {
+        size_t n = 0;
+        OSKIT_ASSERT(Ok(conn->Send(buf.data(), buf.size(), &n)));
+        sent += n;
+      }
+      OSKIT_ASSERT(Ok(conn->Shutdown(SockShutdown::kWrite)));
+      moved = sent;
+    }
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  SimTime sim_start = world.sim().clock().Now();
+  world.RunToCompletion(sim_start + 3600 * kNsPerSec);
+  RunResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.sim_ns = world.sim().clock().Now() - sim_start;
+  result.bytes = moved;
+  result.vm_instructions = machine->instructions_executed();
+  // The VM host's glue-copy counter (nonzero only when the VM sends bulk
+  // data: its mbuf chains get copied into skbuffs at the driver boundary).
+  auto devices = b.registry.LookupByInterface(EtherDev::kIid);
+  if (!devices.empty()) {
+    auto* dev = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
+    result.glue_copied_bytes = dev->xmit_stats().copied_bytes;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t megabytes = argc > 1 ? std::strtoul(argv[1], nullptr, 0) : 24;
+  size_t total = megabytes * 1024 * 1024;
+
+  std::printf("Java/PC network throughput (paper §6.2.6): the language "
+              "runtime drives the OSKit's\nnetwork components "
+              "(%zu MB transfers; paper: 78 Mbps receive / 59 Mbps send on "
+              "100 Mbps Ethernet)\n\n", megabytes);
+
+  RunResult recv_wire = RunVmTransfer(/*vm_sends=*/false, total / 4, true);
+  RunResult send_wire = RunVmTransfer(/*vm_sends=*/true, total / 4, true);
+  RunResult recv_sw = RunVmTransfer(/*vm_sends=*/false, total, false);
+  RunResult send_sw = RunVmTransfer(/*vm_sends=*/true, total, false);
+
+  std::printf("%-26s | %16s | %16s | %16s\n", "direction (VM endpoint)",
+              "wire-limited sim", "software path", "P6-scaled model");
+  std::printf("%-26s | %16s | %16s | %16s\n", "", "Mbit/s", "Mbit/s wall",
+              "Mbit/s");
+  std::printf("---------------------------+------------------+------------------+"
+              "------------------\n");
+  std::printf("%-26s | %16.1f | %16.0f | %16.1f\n", "VM receive",
+              recv_wire.SimMbps(), recv_sw.WallMbps(), recv_sw.ModelMbps());
+  std::printf("%-26s | %16.1f | %16.0f | %16.1f\n", "VM send",
+              send_wire.SimMbps(), send_sw.WallMbps(), send_sw.ModelMbps());
+
+  double ratio = send_sw.ModelMbps() / recv_sw.ModelMbps();
+  std::printf("\nShape checks (P6-scaled model, from real work counters):\n");
+  std::printf("  send/receive ratio = %.2f (paper: 59/78 = 0.76 — send pays "
+              "the glue copy: %llu bytes)  %s\n",
+              ratio,
+              static_cast<unsigned long long>(send_sw.glue_copied_bytes),
+              ratio < 0.95 ? "PASS" : "FAIL");
+  std::printf("  the wire saturates in both directions (sim): %.0f / %.0f "
+              "Mbit/s of 100\n", recv_wire.SimMbps(), send_wire.SimMbps());
+  std::printf("  'mature components with flexible interfaces': the VM rides "
+              "the same tuned BSD stack as C code.\n");
+  return 0;
+}

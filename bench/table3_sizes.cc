@@ -1,0 +1,215 @@
+// Table 3 + Figure 1 reproduction: source-size breakdown of the OSKit
+// components and the structure diagram.
+//
+// The paper counts "filtered" source lines — comments, blank lines,
+// preprocessor directives, and punctuation-only lines removed — split into
+// interface (headers) vs implementation, and native vs encapsulated code.
+// We apply the same filter to this repository's own tree.  Our
+// "encapsulated" column counts the code deliberately written in a donor
+// kernel's idiom (the Linux-style drivers/stack and the FreeBSD/BSD-idiom
+// drivers) — the reproduction's analogue of imported code, since no GPL
+// source is vendored.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef OSKIT_SOURCE_DIR
+#define OSKIT_SOURCE_DIR "."
+#endif
+
+namespace {
+
+namespace fsys = std::filesystem;
+
+struct Counts {
+  long interface_lines = 0;
+  long native_impl = 0;
+  long encapsulated_impl = 0;
+};
+
+// The paper's filter: drop comments, blanks, preprocessor lines, and
+// punctuation-only lines ("a line containing just a brace").
+long FilteredLineCount(const fsys::path& file) {
+  std::ifstream in(file);
+  if (!in) {
+    return 0;
+  }
+  long count = 0;
+  bool in_block_comment = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string meaningful;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // line comment
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      meaningful.push_back(line[i]);
+    }
+    // Trim.
+    size_t start = meaningful.find_first_not_of(" \t");
+    if (start == std::string::npos) {
+      continue;  // blank / comment-only
+    }
+    if (meaningful[start] == '#') {
+      continue;  // preprocessor
+    }
+    bool punctuation_only = true;
+    for (char c : meaningful) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        punctuation_only = false;
+        break;
+      }
+    }
+    if (punctuation_only) {
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+Counts CountDir(const fsys::path& dir, bool encapsulated_idiom) {
+  Counts counts;
+  if (!fsys::exists(dir)) {
+    return counts;
+  }
+  for (const auto& entry : fsys::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string ext = entry.path().extension().string();
+    long lines = 0;
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      lines = FilteredLineCount(entry.path());
+    } else {
+      continue;
+    }
+    if (ext == ".h") {
+      counts.interface_lines += lines;
+    } else if (encapsulated_idiom) {
+      counts.encapsulated_impl += lines;
+    } else {
+      counts.native_impl += lines;
+    }
+  }
+  return counts;
+}
+
+struct Component {
+  const char* path;
+  const char* description;
+  bool encapsulated;
+};
+
+}  // namespace
+
+int main() {
+  const fsys::path root = OSKIT_SOURCE_DIR;
+
+  const Component kComponents[] = {
+      {"src/boot", "Bootstrap support (MultiBoot, bmodfs)", false},
+      {"src/kern", "Kernel support (+GDB stub)", false},
+      {"src/machine", "Simulated PC platform (substrate)", false},
+      {"src/lmm", "List Memory Manager", false},
+      {"src/amm", "Address Map Manager", false},
+      {"src/libc", "Minimal C library + POSIX layer", false},
+      {"src/memdebug", "Malloc debugging", false},
+      {"src/diskpart", "Disk partitioning", false},
+      {"src/fsread", "File system reading (boot)", false},
+      {"src/exec", "Program loading (SXF)", false},
+      {"src/com", "COM interfaces & support", false},
+      {"src/sleep", "Sleep records", false},
+      {"src/dev/fdev", "Device driver framework", false},
+      {"src/dev/linux", "Linux-idiom drivers & glue", true},
+      {"src/dev/freebsd", "FreeBSD-idiom drivers & glue", true},
+      {"src/net", "FreeBSD-idiom network stack", true},
+      {"src/fs", "FFS-style file system", true},
+      {"src/vm", "KVM bytecode machine (Kaffe stand-in)", false},
+      {"src/testbed", "Example/benchmark world builder", false},
+  };
+
+  std::printf("Table 3: filtered source line counts of the reproduction's "
+              "components\n");
+  std::printf("(the paper's filter: comments, blanks, preprocessor and "
+              "punctuation-only lines removed)\n\n");
+  std::printf("%-16s %-42s %10s %10s %12s\n", "library", "description",
+              "interface", "native", "donor-idiom");
+  std::printf("-----------------------------------------------------------------"
+              "--------------------------\n");
+
+  Counts total;
+  for (const Component& component : kComponents) {
+    Counts counts = CountDir(root / component.path, component.encapsulated);
+    const char* name = component.path + 4;  // strip "src/"
+    std::printf("%-16s %-42s %10ld %10ld %12ld\n", name, component.description,
+                counts.interface_lines, counts.native_impl,
+                counts.encapsulated_impl);
+    total.interface_lines += counts.interface_lines;
+    total.native_impl += counts.native_impl;
+    total.encapsulated_impl += counts.encapsulated_impl;
+  }
+  std::printf("-----------------------------------------------------------------"
+              "--------------------------\n");
+  std::printf("%-16s %-42s %10ld %10ld %12ld\n", "Total", "", total.interface_lines,
+              total.native_impl, total.encapsulated_impl);
+  long grand = total.interface_lines + total.native_impl + total.encapsulated_impl;
+  std::printf("\nGrand total: %ld filtered lines "
+              "(paper: ~260,000 incl. ~230,000 imported verbatim;\n"
+              " this reproduction re-implements everything, so its donor-idiom "
+              "code is %ld lines = %.0f%%)\n",
+              grand, total.encapsulated_impl,
+              100.0 * total.encapsulated_impl / grand);
+
+  // Tests and benches (not part of the paper's table, shown for scale).
+  Counts tests = CountDir(root / "tests", false);
+  Counts bench = CountDir(root / "bench", false);
+  Counts examples = CountDir(root / "examples", false);
+  std::printf("\nOutside the kit: tests %ld, benches %ld, examples %ld filtered "
+              "lines\n",
+              tests.native_impl + tests.interface_lines,
+              bench.native_impl + bench.interface_lines,
+              examples.native_impl + examples.interface_lines);
+
+  // Figure 1: the structure diagram, from the real dependency structure.
+  std::printf("\nFigure 1: the structure of the OSKit reproduction\n");
+  std::printf(
+      "  +--------------------------------------------------------------+\n"
+      "  |        Client Operating System or Language Run-Time          |\n"
+      "  |   (examples: quickstart, ttcp/rtcp, netcomputer, fileserver) |\n"
+      "  +--------------------------------------------------------------+\n"
+      "  |  minimal C library (printf/malloc/POSIX fd layer)            |\n"
+      "  +------------------+---------------------+---------------------+\n"
+      "  |  [FreeBSD] net   |  [NetBSD-style] fs  |  bmodfs  | memdebug |\n"
+      "  |  stack (mbufs)   |  offs on blkio      |          |          |\n"
+      "  +------------------+---------------------+----------+----------+\n"
+      "  |        COM interfaces: blkio bufio netio socket fs ...       |\n"
+      "  +------------------+--------------------+----------------------+\n"
+      "  |  [Linux] ether   |  [Linux] IDE disk  |  [FreeBSD] char tty  |\n"
+      "  |  driver (skbuff) |  driver            |  drivers (clists)    |\n"
+      "  +------------------+--------------------+----------------------+\n"
+      "  |  fdev framework  |  LMM  |  AMM  | sleep records | exec/boot |\n"
+      "  +--------------------------------------------------------------+\n"
+      "  |  kernel support library (traps, IRQs, console, GDB stub)     |\n"
+      "  +--------------------------------------------------------------+\n"
+      "  |  simulated PC: CPU/PIC/PIT/UART/NIC/IDE on a shared wire     |\n"
+      "  +--------------------------------------------------------------+\n"
+      "  [bracketed] components are written in the donor kernel's idiom and\n"
+      "  wrapped in glue, standing in for the paper's encapsulated imports.\n");
+  return 0;
+}

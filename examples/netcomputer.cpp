@@ -1,0 +1,252 @@
+// netcomputer — the Java/PC case study (§6.1.4), with the KVM bytecode
+// machine standing in for the Kaffe JVM.
+//
+// A simulated PC boots with a KVM program as a MultiBoot boot module, reads
+// it back through the boot-module filesystem and the POSIX layer (exactly
+// how Java/PC loaded its .class files, §6.2.2), verifies it, and runs it.
+// The VM's syscall layer is bound to the OSKit substrate: console output
+// goes to the minimal C library, and sockets go to the FreeBSD-derived
+// stack through the same factory interface the C library uses (§5).
+//
+// The program is a tiny line-oriented server: for each connection it reads
+// a request line and answers with a banner — a miniature of the paper's
+// Java-based web server.  A second simulated PC plays the browser.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/boot/memfs.h"
+#include "src/libc/posix.h"
+#include "src/testbed/testbed.h"
+#include "src/vm/kvm.h"
+
+using namespace oskit;
+using namespace oskit::testbed;
+
+namespace {
+
+// Embedding-specific syscalls (>= 16): the netcomputer's "native methods".
+constexpr uint16_t kSysNetListen = 16;  // pop port -> push handle
+constexpr uint16_t kSysNetAccept = 17;  // pop handle -> push conn handle
+constexpr uint16_t kSysNetRecv = 18;    // pop conn -> push byte (or -1 on EOF)
+constexpr uint16_t kSysNetSend = 19;    // pop byte, pop conn
+constexpr uint16_t kSysNetClose = 20;   // pop handle
+
+class NetComputerSys : public vm::SysHandler {
+ public:
+  NetComputerSys(Host* host, std::string* console) : host_(host), console_(console) {}
+
+  Error Syscall(uint16_t number, vm::Vm& vm, int thread) override {
+    switch (number) {
+      case vm::kSysPutChar:
+        console_->push_back(static_cast<char>(vm.Pop(thread)));
+        return Error::kOk;
+      case vm::kSysPutInt: {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%lld",
+                 static_cast<long long>(vm.Pop(thread)));
+        console_->append(buf);
+        return Error::kOk;
+      }
+      case vm::kSysTimeNs:
+        vm.Push(thread, static_cast<int64_t>(host_->machine->clock().Now()));
+        return Error::kOk;
+      case kSysNetListen: {
+        auto port = static_cast<uint16_t>(vm.Pop(thread));
+        ComPtr<Socket> sock = host_->MakeSocket(SockType::kStream);
+        Error err = sock->Bind(SockAddr{kInetAny, port});
+        if (Ok(err)) {
+          err = sock->Listen(4);
+        }
+        if (!Ok(err)) {
+          return err;
+        }
+        vm.Push(thread, StoreHandle(std::move(sock)));
+        return Error::kOk;
+      }
+      case kSysNetAccept: {
+        Socket* listener = HandleToSocket(vm.Pop(thread));
+        if (listener == nullptr) {
+          return Error::kBadF;
+        }
+        SockAddr peer;
+        ComPtr<Socket> conn;
+        Error err = listener->Accept(&peer, conn.Receive());
+        if (!Ok(err)) {
+          return err;
+        }
+        vm.Push(thread, StoreHandle(std::move(conn)));
+        return Error::kOk;
+      }
+      case kSysNetRecv: {
+        Socket* conn = HandleToSocket(vm.Pop(thread));
+        if (conn == nullptr) {
+          return Error::kBadF;
+        }
+        char byte = 0;
+        size_t n = 0;
+        Error err = conn->Recv(&byte, 1, &n);
+        if (!Ok(err)) {
+          return err;
+        }
+        vm.Push(thread, n == 0 ? -1 : static_cast<uint8_t>(byte));
+        return Error::kOk;
+      }
+      case kSysNetSend: {
+        char byte = static_cast<char>(vm.Pop(thread));
+        Socket* conn = HandleToSocket(vm.Pop(thread));
+        if (conn == nullptr) {
+          return Error::kBadF;
+        }
+        size_t n = 0;
+        return conn->Send(&byte, 1, &n);
+      }
+      case kSysNetClose: {
+        int64_t handle = vm.Pop(thread);
+        if (handle < 0 || static_cast<size_t>(handle) >= handles_.size()) {
+          return Error::kBadF;
+        }
+        handles_[handle].Reset();
+        return Error::kOk;
+      }
+      default:
+        return Error::kNotImpl;
+    }
+  }
+
+ private:
+  int64_t StoreHandle(ComPtr<Socket> sock) {
+    handles_.push_back(std::move(sock));
+    return static_cast<int64_t>(handles_.size()) - 1;
+  }
+
+  Socket* HandleToSocket(int64_t handle) {
+    if (handle < 0 || static_cast<size_t>(handle) >= handles_.size()) {
+      return nullptr;
+    }
+    return handles_[handle].get();
+  }
+
+  Host* host_;
+  std::string* console_;
+  std::vector<ComPtr<Socket>> handles_;
+};
+
+// Emits KVM assembly for the server program.
+std::string ServerProgram(int connections, const std::string& banner) {
+  std::string source;
+  source += "push 80\nsys 16\ngstore 0\n";                 // g0 = listen(80)
+  source += "push " + std::to_string(connections) + "\ngstore 2\n";
+  source += "serve:\n";
+  source += "gload 0\nsys 17\ngstore 1\n";                 // g1 = accept(g0)
+  source += "readloop:\n";
+  source += "gload 1\nsys 18\n";                           // byte = recv(g1)
+  source += "dup\npush 0\nlt\njnz eof\n";                  // byte < 0: EOF
+  source += "push 10\neq\njnz respond\n";                  // newline: answer
+  source += "jmp readloop\n";
+  source += "eof:\npop\njmp closecon\n";
+  source += "respond:\n";
+  for (char c : banner) {
+    source += "gload 1\npush " + std::to_string(static_cast<int>(c)) + "\nsys 19\n";
+  }
+  source += "closecon:\n";
+  source += "gload 1\nsys 20\n";                           // close(g1)
+  source += "gload 2\npush 1\nsub\ngstore 2\n";            // --g2
+  source += "gload 2\njnz serve\n";
+  source += "halt\n";
+  return source;
+}
+
+}  // namespace
+
+int main() {
+  EthernetWire::Config wire;
+  wire.bits_per_second = 100 * 1000 * 1000;
+  World world(wire);
+  Host& server = world.AddHost("netpc", NetConfig::kOskit);
+  Host& client = world.AddHost("browser", NetConfig::kOskit);
+
+  const std::string kBanner = "KVM/OSKit network computer ready\n";
+  constexpr int kConnections = 3;
+
+  // "Compile" the program and hand it to the boot loader as a module, the
+  // Java/PC .class-files-in-a-bmod flow.
+  std::vector<uint8_t> bytecode;
+  std::string asm_error;
+  if (!Ok(vm::Assemble(ServerProgram(kConnections, kBanner), &bytecode, &asm_error))) {
+    std::fprintf(stderr, "assembly failed: %s\n", asm_error.c_str());
+    return 1;
+  }
+  BootLoader loader(&server.machine->phys());
+  loader.AddModule("server.kvm entry=0", bytecode.data(), bytecode.size());
+  MultiBootInfo info = loader.Load("netcomputer");
+
+  std::string vm_console;
+  int served_ok = 0;
+
+  // The network computer's kernel: load the module through bmodfs + POSIX,
+  // verify, run.
+  world.sim().Spawn("netpc/kvm", [&] {
+    auto bmodfs = MemFs::BuildBmodFs(&server.machine->phys(), info);
+    ComPtr<Dir> root;
+    bmodfs->GetRoot(root.Receive());
+    libc::PosixIo posix;
+    posix.SetRoot(std::move(root));
+    int fd = posix.Open("/server.kvm", libc::kORdOnly);
+    OSKIT_ASSERT(fd >= 0);
+    FileStat st;
+    posix.Fstat(fd, &st);
+    std::vector<uint8_t> program(st.size);
+    OSKIT_ASSERT(posix.Read(fd, program.data(), program.size()) ==
+                 static_cast<long>(program.size()));
+    posix.Close(fd);
+
+    NetComputerSys sys(&server, &vm_console);
+    vm::Vm machine(std::move(program), &sys);
+    std::string problem;
+    OSKIT_ASSERT_MSG(Ok(machine.Verify(&problem)), problem.c_str());
+    machine.SpawnThread(0);
+    Error err = machine.Run();
+    OSKIT_ASSERT_MSG(Ok(err), "VM faulted");
+    std::printf("netpc: VM ran %llu instructions\n",
+                static_cast<unsigned long long>(machine.instructions_executed()));
+  });
+
+  // The "browser": three request/response exchanges.
+  world.sim().Spawn("browser", [&] {
+    for (int i = 0; i < kConnections; ++i) {
+      ComPtr<Socket> conn = client.MakeSocket(SockType::kStream);
+      Error err = conn->Connect(SockAddr{server.addr, 80});
+      OSKIT_ASSERT(Ok(err));
+      const char request[] = "GET /\n";
+      size_t n = 0;
+      OSKIT_ASSERT(Ok(conn->Send(request, sizeof(request) - 1, &n)));
+      std::string reply;
+      char buf[128];
+      for (;;) {
+        err = conn->Recv(buf, sizeof(buf), &n);
+        OSKIT_ASSERT(Ok(err));
+        if (n == 0) {
+          break;
+        }
+        reply.append(buf, n);
+      }
+      std::printf("browser: connection %d got %zu bytes: %s", i + 1, reply.size(),
+                  reply.c_str());
+      if (reply == kBanner) {
+        ++served_ok;
+      }
+    }
+  });
+
+  world.RunToCompletion();
+  if (served_ok != kConnections) {
+    std::fprintf(stderr, "netcomputer: expected %d good replies, got %d\n",
+                 kConnections, served_ok);
+    return 1;
+  }
+  std::printf("netcomputer: %d connections served by bytecode on the bare "
+              "(simulated) metal\n", served_ok);
+  return 0;
+}

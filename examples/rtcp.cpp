@@ -1,0 +1,38 @@
+// rtcp — the paper's §5 TCP latency example: "a second benchmark to measure
+// latency, similar to lbench's lat_tcp, called rtcp, which measures the time
+// required for a 1-byte round trip."
+//
+// Usage: rtcp [round_trips]   (default 2000)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/testbed/ttcp.h"
+
+using namespace oskit;
+using namespace oskit::testbed;
+
+int main(int argc, char** argv) {
+  uint64_t round_trips = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 2000;
+
+  EthernetWire::Config wire;
+  wire.bits_per_second = 100 * 1000 * 1000;
+  wire.propagation_ns = 5 * kNsPerUs;
+
+  World world(wire);
+  world.AddHost("server", NetConfig::kOskit);
+  world.AddHost("client", NetConfig::kOskit);
+
+  std::printf("rtcp: %llu one-byte round trips, OSKit configuration\n",
+              static_cast<unsigned long long>(round_trips));
+
+  RtcpResult result = RunRtcp(world, round_trips);
+
+  std::printf("simulated time : %.3f s -> %.1f us per round trip "
+              "(wire + protocol)\n",
+              result.sim_ns / 1e9, result.UsecPerRoundTripSim());
+  std::printf("host CPU time  : %.3f s -> %.2f us of software path per "
+              "round trip\n",
+              result.wall_seconds, result.UsecPerRoundTripWall());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Network byte-order helpers.
+//
+// The OSKit is self-sufficient (paper section 4.1): it depends on no installed
+// headers.  We follow suit and define our own hton/ntoh rather than pulling in
+// <arpa/inet.h>.
+
+#ifndef OSKIT_SRC_BASE_BYTEORDER_H_
+#define OSKIT_SRC_BASE_BYTEORDER_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace oskit {
+
+constexpr uint16_t ByteSwap16(uint16_t v) {
+  return static_cast<uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr uint32_t ByteSwap32(uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+constexpr uint16_t HostToNet16(uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return ByteSwap16(v);
+  } else {
+    return v;
+  }
+}
+
+constexpr uint32_t HostToNet32(uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return ByteSwap32(v);
+  } else {
+    return v;
+  }
+}
+
+constexpr uint16_t NetToHost16(uint16_t v) { return HostToNet16(v); }
+constexpr uint32_t NetToHost32(uint32_t v) { return HostToNet32(v); }
+
+// Unaligned big-endian accessors for parsing wire formats in place.
+inline uint16_t LoadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+// Little-endian accessors for on-disk formats (MBR, our FFS-like layout).
+inline uint16_t LoadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         (static_cast<uint64_t>(LoadLe32(p + 4)) << 32);
+}
+
+inline void StoreLe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void StoreLe64(uint8_t* p, uint64_t v) {
+  StoreLe32(p, static_cast<uint32_t>(v));
+  StoreLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_BASE_BYTEORDER_H_

@@ -1,0 +1,39 @@
+#include "src/base/checksum.h"
+
+namespace oskit {
+
+void InetChecksum::Add(const void* data, size_t length) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (odd_ && length > 0) {
+    // Pair this byte as the low half of the word whose high half came from
+    // the tail of the previous Add().
+    sum_ += *p++;
+    --length;
+    odd_ = false;
+  }
+  while (length >= 2) {
+    sum_ += (static_cast<uint32_t>(p[0]) << 8) | p[1];
+    p += 2;
+    length -= 2;
+  }
+  if (length == 1) {
+    sum_ += static_cast<uint32_t>(p[0]) << 8;
+    odd_ = true;
+  }
+}
+
+uint16_t InetChecksum::Finish() const {
+  uint64_t sum = sum_;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint16_t InetChecksumOf(const void* data, size_t length) {
+  InetChecksum cksum;
+  cksum.Add(data, length);
+  return cksum.Finish();
+}
+
+}  // namespace oskit

@@ -1,0 +1,78 @@
+// Error codes shared by every oskit-cpp component.
+//
+// The original OSKit used a COM-style `error_t` integer (OSKIT_E_* / POSIX
+// errno values) as the return type of essentially every component interface
+// method.  We keep that convention: COM interface methods return an Error and
+// pass results through out-parameters, which makes the C++ interfaces read
+// like the paper's Figure 2.
+
+#ifndef OSKIT_SRC_BASE_ERROR_H_
+#define OSKIT_SRC_BASE_ERROR_H_
+
+#include <cstdint>
+
+namespace oskit {
+
+// Component-level error codes.  Values below 0x100 mirror POSIX errno
+// semantics (the OSKit minimal C library exposed errno-style failures);
+// values at 0x100 and above mirror the COM-style OSKIT_E_* errors.
+enum class Error : int32_t {
+  kOk = 0,
+
+  // POSIX-flavoured errors.
+  kPerm = 1,          // EPERM: operation not permitted
+  kNoEnt = 2,         // ENOENT: no such file or directory
+  kIo = 5,            // EIO: input/output error
+  kBadF = 9,          // EBADF: bad handle / descriptor
+  kNoMem = 12,        // ENOMEM: out of memory
+  kAccess = 13,       // EACCES: permission denied
+  kFault = 14,        // EFAULT: bad address
+  kBusy = 16,         // EBUSY: resource busy
+  kExist = 17,        // EEXIST: already exists
+  kXDev = 18,         // EXDEV: cross-device link
+  kNoDev = 19,        // ENODEV: no such device
+  kNotDir = 20,       // ENOTDIR: not a directory
+  kIsDir = 21,        // EISDIR: is a directory
+  kInval = 22,        // EINVAL: invalid argument
+  kNFile = 23,        // ENFILE: table overflow
+  kMFile = 24,        // EMFILE: too many open handles
+  kNoTty = 25,        // ENOTTY: inappropriate ioctl
+  kFBig = 27,         // EFBIG: file too large
+  kNoSpace = 28,      // ENOSPC: no space left on device
+  kRoFs = 30,         // EROFS: read-only file system
+  kPipe = 32,         // EPIPE: broken pipe / connection closed
+  kNameTooLong = 36,  // ENAMETOOLONG
+  kNotEmpty = 39,     // ENOTEMPTY: directory not empty
+  kWouldBlock = 35,   // EWOULDBLOCK / EAGAIN
+  kMsgSize = 40,      // EMSGSIZE: message too long
+  kProtoNoSupport = 43,   // EPROTONOSUPPORT
+  kAddrInUse = 48,        // EADDRINUSE
+  kAddrNotAvail = 49,     // EADDRNOTAVAIL
+  kNetUnreach = 51,       // ENETUNREACH
+  kConnReset = 54,        // ECONNRESET
+  kNoBufs = 55,           // ENOBUFS
+  kIsConn = 56,           // EISCONN
+  kNotConn = 57,          // ENOTCONN
+  kTimedOut = 60,         // ETIMEDOUT
+  kConnRefused = 61,      // ECONNREFUSED
+  kHostUnreach = 65,      // EHOSTUNREACH
+  kInProgress = 68,       // EINPROGRESS
+
+  // COM-flavoured errors (paper section 4.4).
+  kNoInterface = 0x100,  // OSKIT_E_NOINTERFACE: QueryInterface miss
+  kNotImpl = 0x101,      // OSKIT_E_NOTIMPL: method not implemented
+  kUnexpected = 0x102,   // OSKIT_E_UNEXPECTED: internal invariant broken
+  kAborted = 0x103,      // OSKIT_E_ABORT: operation aborted
+  kOutOfRange = 0x104,   // read/write beyond object bounds
+  kCorrupt = 0x105,      // on-media structure failed validation
+};
+
+// Human-readable name for diagnostics and test failure messages.
+const char* ErrorName(Error e);
+
+// True when `e` reports success.
+constexpr bool Ok(Error e) { return e == Error::kOk; }
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_BASE_ERROR_H_

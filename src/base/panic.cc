@@ -1,0 +1,36 @@
+#include "src/base/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace oskit {
+namespace {
+
+[[noreturn]] void DefaultPanicHandler(const char* message) {
+  std::fprintf(stderr, "oskit panic: %s\n", message);
+  std::abort();
+}
+
+PanicHandler g_panic_handler = &DefaultPanicHandler;
+
+}  // namespace
+
+PanicHandler SetPanicHandler(PanicHandler handler) {
+  PanicHandler previous = g_panic_handler;
+  g_panic_handler = handler != nullptr ? handler : &DefaultPanicHandler;
+  return previous;
+}
+
+void Panic(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  g_panic_handler(buffer);
+  // A conforming handler never returns; guard against one that does.
+  std::abort();
+}
+
+}  // namespace oskit

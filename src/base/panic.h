@@ -1,0 +1,39 @@
+// Panic and assertion plumbing.
+//
+// In a real kernel the panic handler halts the machine; in this hosted
+// reproduction the default handler prints to stderr and aborts, and tests can
+// install a throwing handler to assert that a panic fired.
+
+#ifndef OSKIT_SRC_BASE_PANIC_H_
+#define OSKIT_SRC_BASE_PANIC_H_
+
+namespace oskit {
+
+// Handler invoked by Panic(); must not return.  Returns the previous handler.
+using PanicHandler = void (*)(const char* message);
+PanicHandler SetPanicHandler(PanicHandler handler);
+
+// Formats a message (printf-style) and invokes the installed panic handler.
+[[noreturn]] void Panic(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace oskit
+
+// Kernel-style assertion: always enabled, independent of NDEBUG.  OSKit
+// components guard their internal invariants with these so that corruption is
+// caught at the component boundary rather than propagating.
+#define OSKIT_ASSERT(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::oskit::Panic("assertion failed: %s at %s:%d", #cond, __FILE__, __LINE__); \
+    }                                                                         \
+  } while (0)
+
+#define OSKIT_ASSERT_MSG(cond, msg)                                            \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::oskit::Panic("assertion failed: %s (%s) at %s:%d", #cond, (msg),       \
+                     __FILE__, __LINE__);                                      \
+    }                                                                          \
+  } while (0)
+
+#endif  // OSKIT_SRC_BASE_PANIC_H_

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random source for the simulated platform and for
+// property tests.  The simulation must be reproducible from a seed, so no
+// component ever consults std::random_device or wall-clock entropy.
+
+#ifndef OSKIT_SRC_BASE_RANDOM_H_
+#define OSKIT_SRC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+namespace oskit {
+
+// xoshiro256** — small, fast, and good enough for fault injection and
+// workload generation (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes.
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability `percent`/100.
+  bool Percent(uint32_t percent) { return Below(100) < percent; }
+
+  // Uniform double in [0, 1).
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_BASE_RANDOM_H_

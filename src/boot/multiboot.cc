@@ -1,0 +1,58 @@
+#include "src/boot/multiboot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+namespace {
+
+constexpr PhysAddr kPageMask = 4096 - 1;
+
+PhysAddr PageAlignDown(PhysAddr addr) { return addr & ~kPageMask; }
+
+}  // namespace
+
+BootLoader::BootLoader(PhysMem* phys) : phys_(phys) {}
+
+void BootLoader::AddModule(std::string string, const void* data, size_t size) {
+  Pending p;
+  p.string = std::move(string);
+  p.data.assign(static_cast<const uint8_t*>(data),
+                static_cast<const uint8_t*>(data) + size);
+  pending_.push_back(std::move(p));
+}
+
+MultiBootInfo BootLoader::Load(std::string kernel_cmdline) {
+  MultiBootInfo info;
+  info.cmdline = std::move(kernel_cmdline);
+  info.mem_lower_kb = 640;  // the eternal PC constant
+  info.mem_upper_kb = static_cast<uint32_t>((phys_->size() - PhysMem::kBiosAreaEnd) / 1024);
+
+  // Place modules from the top of RAM downward, each page aligned.
+  PhysAddr cursor = PageAlignDown(phys_->size());
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    PhysAddr size = (it->data.size() + kPageMask) & ~kPageMask;
+    OSKIT_ASSERT_MSG(cursor >= size + PhysMem::kBiosAreaEnd,
+                     "boot modules do not fit in physical memory");
+    cursor -= size;
+    std::memcpy(phys_->PtrAt(cursor), it->data.data(), it->data.size());
+    BootModule module;
+    module.start = cursor;
+    module.end = cursor + it->data.size();
+    module.string = it->string;
+    info.modules.push_back(std::move(module));
+  }
+  // Restore declaration order (we placed them in reverse).
+  std::reverse(info.modules.begin(), info.modules.end());
+  pending_.clear();
+  return info;
+}
+
+std::string BootModuleName(const BootModule& module) {
+  size_t space = module.string.find(' ');
+  return space == std::string::npos ? module.string : module.string.substr(0, space);
+}
+
+}  // namespace oskit

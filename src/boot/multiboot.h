@@ -1,0 +1,70 @@
+// MultiBoot support (paper §3.1).
+//
+// The MultiBoot standard defines the contract between any compliant boot
+// loader and any compliant kernel: the loader places the kernel and an
+// arbitrary set of "boot modules" (uninterpreted flat files, each with a
+// user-defined command string) into physical memory and hands the kernel a
+// single info structure describing memory and module placement.
+//
+// In the simulated world the info structure lives in host structs, but the
+// module CONTENTS really are placed into the simulated machine's physical
+// memory, and the kernel support library really does reserve those ranges
+// from the LMM before handing memory to the client (§3.2), so the paper's
+// bootstrap dataflow is preserved end to end.
+
+#ifndef OSKIT_SRC_BOOT_MULTIBOOT_H_
+#define OSKIT_SRC_BOOT_MULTIBOOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/machine/physmem.h"
+
+namespace oskit {
+
+struct BootModule {
+  PhysAddr start = 0;  // physical placement, page aligned
+  PhysAddr end = 0;    // exclusive
+  std::string string;  // user-defined; conventionally "name" or "name args"
+};
+
+struct MultiBootInfo {
+  // Memory as the BIOS reports it: below-1MB and above-1MB amounts, in KB.
+  uint32_t mem_lower_kb = 0;
+  uint32_t mem_upper_kb = 0;
+  std::string cmdline;  // kernel command line
+  std::vector<BootModule> modules;
+};
+
+// The simulated boot loader: loads module contents into a machine's physical
+// memory (page-aligned, growing downward from the top of RAM like real
+// loaders keep modules out of the kernel's way) and fills in MultiBootInfo.
+class BootLoader {
+ public:
+  explicit BootLoader(PhysMem* phys);
+
+  // Queues a module for loading.
+  void AddModule(std::string string, const void* data, size_t size);
+
+  // Performs the "load": copies module data into physical memory and
+  // returns the info structure the kernel receives.
+  MultiBootInfo Load(std::string kernel_cmdline);
+
+ private:
+  struct Pending {
+    std::string string;
+    std::vector<uint8_t> data;
+  };
+
+  PhysMem* phys_;
+  std::vector<Pending> pending_;
+};
+
+// Splits a module string into its first word (the conventional name) and
+// the rest (arguments).
+std::string BootModuleName(const BootModule& module);
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_BOOT_MULTIBOOT_H_

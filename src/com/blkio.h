@@ -1,0 +1,48 @@
+// Block I/O interface — the C++ rendering of the paper's Figure 2.
+//
+// Implemented by disk device drivers, partition views, RAM disks, and the
+// boot-module filesystem's backing objects.  Offsets and sizes are in bytes;
+// implementations may require them to be multiples of GetBlockSize().
+
+#ifndef OSKIT_SRC_COM_BLKIO_H_
+#define OSKIT_SRC_COM_BLKIO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/com/iunknown.h"
+
+namespace oskit {
+
+using off_t64 = uint64_t;
+
+class BlkIo : public IUnknown {
+ public:
+  // Matches the paper's BLKIO_IID: GUID(0x4aa7dfe1, 0x7c74, 0x11cf, ...).
+  static constexpr Guid kIid = MakeGuid(0x4aa7dfe1, 0x7c74, 0x11cf, 0xb5, 0x00, 0x08,
+                                        0x00, 0x09, 0x53, 0xad, 0xc2);
+
+  // Granularity of the underlying device; reads/writes must be aligned to it.
+  virtual uint32_t GetBlockSize() = 0;
+
+  // Reads `amount` bytes starting at `offset` into `buf`.  Stores the number
+  // of bytes actually read (short at end-of-object) into *out_actual.
+  virtual Error Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) = 0;
+
+  // Writes `amount` bytes from `buf` at `offset`.
+  virtual Error Write(const void* buf, off_t64 offset, size_t amount,
+                      size_t* out_actual) = 0;
+
+  // Total size of the object in bytes.
+  virtual Error GetSize(off_t64* out_size) = 0;
+
+  // Resizes the object; fixed-size devices return kNotImpl.
+  virtual Error SetSize(off_t64 new_size) = 0;
+
+ protected:
+  ~BlkIo() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_BLKIO_H_

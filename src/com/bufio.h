@@ -1,0 +1,43 @@
+// Buffered I/O interface — the paper's bufio extension to blkio (§4.4.2).
+//
+// BufIo adds direct pointer-based access ("map") for the common case where
+// the object's data happens to live in contiguous local memory.  Network
+// packets cross component boundaries as BufIo objects: the Linux driver glue
+// wraps an SkBuff as a BufIo, the FreeBSD stack glue wraps an MBuf chain as a
+// BufIo, and each side Maps the other's buffer when it is contiguous and
+// falls back to Read/Write copies when it is not (§4.7.3).  That asymmetry —
+// map on receive, copy on send — is the mechanism behind Table 1.
+
+#ifndef OSKIT_SRC_COM_BUFIO_H_
+#define OSKIT_SRC_COM_BUFIO_H_
+
+#include "src/com/blkio.h"
+
+namespace oskit {
+
+class BufIo : public BlkIo {
+ public:
+  static constexpr Guid kIid = MakeGuid(0xa24f6238, 0x0da1, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x2d);
+
+  // Attempts to obtain a direct pointer to bytes [offset, offset+amount).
+  // Succeeds only when that range is stored contiguously in local memory;
+  // otherwise returns kNotImpl and the caller must fall back to Read().
+  // A successful Map() pins the buffer until the matching Unmap().
+  virtual Error Map(void** out_addr, off_t64 offset, size_t amount) = 0;
+
+  // Releases a mapping obtained from Map().
+  virtual Error Unmap(void* addr, off_t64 offset, size_t amount) = 0;
+
+  // Ensures the data is resident/pinned for DMA-style access (advisory in
+  // this reproduction; RAM-backed implementations return kOk trivially).
+  virtual Error Wire() = 0;
+  virtual Error Unwire() = 0;
+
+ protected:
+  ~BufIo() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_BUFIO_H_

@@ -1,0 +1,31 @@
+// Character stream interface for console / serial character devices (§3.6:
+// the FreeBSD-derived character drivers export this).
+
+#ifndef OSKIT_SRC_COM_CHARSTREAM_H_
+#define OSKIT_SRC_COM_CHARSTREAM_H_
+
+#include <cstddef>
+
+#include "src/com/iunknown.h"
+
+namespace oskit {
+
+class CharStream : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x2e9bbb21, 0x0de1, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x2e);
+
+  // Reads up to `amount` bytes; blocks (per the component's execution model)
+  // until at least one byte is available unless the stream is at EOF.
+  virtual Error Read(void* buf, size_t amount, size_t* out_actual) = 0;
+
+  // Writes `amount` bytes.
+  virtual Error Write(const void* buf, size_t amount, size_t* out_actual) = 0;
+
+ protected:
+  ~CharStream() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_CHARSTREAM_H_

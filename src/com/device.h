@@ -1,0 +1,31 @@
+// Generic device-identity interface used by the fdev registry (§3.6).
+// Every registered device implements this; clients Query for the functional
+// interface they need (EtherDev, BlkIo, CharStream, ...).
+
+#ifndef OSKIT_SRC_COM_DEVICE_H_
+#define OSKIT_SRC_COM_DEVICE_H_
+
+#include "src/com/iunknown.h"
+
+namespace oskit {
+
+struct DeviceInfo {
+  const char* name = "";         // short instance name, e.g. "eth0"
+  const char* description = "";  // human-readable driver description
+  const char* vendor = "";       // donor source base, e.g. "linux" / "freebsd"
+};
+
+class Device : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x61e6a3f0, 0x0df5, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x32);
+
+  virtual Error GetInfo(DeviceInfo* out_info) = 0;
+
+ protected:
+  ~Device() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_DEVICE_H_

@@ -1,0 +1,63 @@
+// Ethernet device interface exported by encapsulated NIC drivers (§3.6).
+
+#ifndef OSKIT_SRC_COM_ETHERDEV_H_
+#define OSKIT_SRC_COM_ETHERDEV_H_
+
+#include "src/com/netio.h"
+
+namespace oskit {
+
+inline constexpr size_t kEtherAddrSize = 6;
+inline constexpr size_t kEtherHeaderSize = 14;
+inline constexpr size_t kEtherMtu = 1500;
+inline constexpr size_t kEtherMaxFrame = kEtherHeaderSize + kEtherMtu;
+inline constexpr size_t kEtherMinFrame = 60;  // without FCS
+
+struct EtherAddr {
+  uint8_t bytes[kEtherAddrSize] = {};
+
+  friend bool operator==(const EtherAddr& a, const EtherAddr& b) {
+    for (size_t i = 0; i < kEtherAddrSize; ++i) {
+      if (a.bytes[i] != b.bytes[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool IsBroadcast() const {
+    for (uint8_t b : bytes) {
+      if (b != 0xff) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+inline constexpr EtherAddr kEtherBroadcast = {{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+
+class EtherDev : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x4aa7dfed, 0x7c74, 0x11cf, 0xb5, 0x00, 0x08,
+                                        0x00, 0x09, 0x53, 0xad, 0xc2);
+
+  // Opens the device.  `recv` is the client's NetIo: the driver pushes every
+  // received frame (including the 14-byte Ethernet header) into it.  Returns
+  // the driver's send-side NetIo in *out_send.  The exchange-of-callbacks
+  // binding described in §5.
+  virtual Error Open(NetIo* recv, NetIo** out_send) = 0;
+
+  // Stops delivery and drops the reference to the client's NetIo.
+  virtual Error Close() = 0;
+
+  // Station (MAC) address.
+  virtual Error GetAddr(EtherAddr* out_addr) = 0;
+
+ protected:
+  ~EtherDev() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_ETHERDEV_H_

@@ -1,0 +1,43 @@
+// Globally Unique Identifiers for COM interfaces (paper section 4.4).
+//
+// Every oskit-cpp interface is identified by a GUID; objects can be queried
+// at run time for any interface they implement ("safe downcasting", section
+// 4.4.2).  The layout matches the DCE UUID structure the paper uses in its
+// Figure 2 BLKIO_IID definition.
+
+#ifndef OSKIT_SRC_COM_GUID_H_
+#define OSKIT_SRC_COM_GUID_H_
+
+#include <cstdint>
+
+namespace oskit {
+
+struct Guid {
+  uint32_t data1;
+  uint16_t data2;
+  uint16_t data3;
+  uint8_t data4[8];
+
+  friend constexpr bool operator==(const Guid& a, const Guid& b) {
+    if (a.data1 != b.data1 || a.data2 != b.data2 || a.data3 != b.data3) {
+      return false;
+    }
+    for (int i = 0; i < 8; ++i) {
+      if (a.data4[i] != b.data4[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// Convenience constructor mirroring the paper's GUID(...) macro.
+constexpr Guid MakeGuid(uint32_t d1, uint16_t d2, uint16_t d3, uint8_t b0, uint8_t b1,
+                        uint8_t b2, uint8_t b3, uint8_t b4, uint8_t b5, uint8_t b6,
+                        uint8_t b7) {
+  return Guid{d1, d2, d3, {b0, b1, b2, b3, b4, b5, b6, b7}};
+}
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_GUID_H_

@@ -1,0 +1,91 @@
+#include "src/com/memblkio.h"
+
+#include <cstring>
+
+namespace oskit {
+
+MemBlkIo::MemBlkIo(size_t size, uint32_t block_size)
+    : data_(size, 0), block_size_(block_size) {
+  OSKIT_ASSERT(block_size >= 1);
+}
+
+ComPtr<MemBlkIo> MemBlkIo::Create(size_t size, uint32_t block_size) {
+  return ComPtr<MemBlkIo>(new MemBlkIo(size, block_size));
+}
+
+ComPtr<MemBlkIo> MemBlkIo::CreateFrom(const void* data, size_t size,
+                                      uint32_t block_size) {
+  auto io = Create(size, block_size);
+  std::memcpy(io->data_.data(), data, size);
+  return io;
+}
+
+Error MemBlkIo::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == BlkIo::kIid || iid == BufIo::kIid) {
+    AddRef();
+    *out = static_cast<BufIo*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error MemBlkIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
+  *out_actual = 0;
+  if (offset > data_.size()) {
+    return Error::kOutOfRange;
+  }
+  size_t n = amount;
+  if (offset + n > data_.size()) {
+    n = data_.size() - offset;
+  }
+  std::memcpy(buf, data_.data() + offset, n);
+  *out_actual = n;
+  return Error::kOk;
+}
+
+Error MemBlkIo::Write(const void* buf, off_t64 offset, size_t amount,
+                      size_t* out_actual) {
+  *out_actual = 0;
+  if (offset > data_.size()) {
+    return Error::kOutOfRange;
+  }
+  size_t n = amount;
+  if (offset + n > data_.size()) {
+    n = data_.size() - offset;
+  }
+  std::memcpy(data_.data() + offset, buf, n);
+  *out_actual = n;
+  return Error::kOk;
+}
+
+Error MemBlkIo::GetSize(off_t64* out_size) {
+  *out_size = data_.size();
+  return Error::kOk;
+}
+
+Error MemBlkIo::SetSize(off_t64 new_size) {
+  if (maps_outstanding_ != 0) {
+    // Resizing would invalidate mapped pointers.
+    return Error::kBusy;
+  }
+  data_.resize(new_size, 0);
+  return Error::kOk;
+}
+
+Error MemBlkIo::Map(void** out_addr, off_t64 offset, size_t amount) {
+  if (offset + amount > data_.size()) {
+    return Error::kOutOfRange;
+  }
+  ++maps_outstanding_;
+  *out_addr = data_.data() + offset;
+  return Error::kOk;
+}
+
+Error MemBlkIo::Unmap(void* addr, off_t64 offset, size_t amount) {
+  OSKIT_ASSERT_MSG(maps_outstanding_ > 0, "Unmap without Map");
+  --maps_outstanding_;
+  return Error::kOk;
+}
+
+}  // namespace oskit

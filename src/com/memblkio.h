@@ -1,0 +1,62 @@
+// RAM-backed BufIo implementation.
+//
+// Serves as the OSKit's RAM-disk object: it backs the boot-module filesystem
+// (§6.2.2), provides the buffered-object example from §4.4.2 (supports the
+// extended BufIo interface where a raw disk driver supports only BlkIo), and
+// is the workhorse storage object in tests.
+
+#ifndef OSKIT_SRC_COM_MEMBLKIO_H_
+#define OSKIT_SRC_COM_MEMBLKIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/com/bufio.h"
+
+namespace oskit {
+
+class MemBlkIo final : public BufIo, public RefCounted<MemBlkIo> {
+ public:
+  // Creates an object of `size` zero bytes.  `block_size` is the advertised
+  // granularity (1 for byte-addressable RAM objects).
+  static ComPtr<MemBlkIo> Create(size_t size, uint32_t block_size = 1);
+
+  // Creates an object holding a copy of [data, data+size).
+  static ComPtr<MemBlkIo> CreateFrom(const void* data, size_t size,
+                                     uint32_t block_size = 1);
+
+  // IUnknown
+  Error Query(const Guid& iid, void** out) override;
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  // BlkIo
+  uint32_t GetBlockSize() override { return block_size_; }
+  Error Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) override;
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override;
+  Error GetSize(off_t64* out_size) override;
+  Error SetSize(off_t64 new_size) override;
+
+  // BufIo
+  Error Map(void** out_addr, off_t64 offset, size_t amount) override;
+  Error Unmap(void* addr, off_t64 offset, size_t amount) override;
+  Error Wire() override { return Error::kOk; }
+  Error Unwire() override { return Error::kOk; }
+
+  // Direct access for owners (open implementation, §4.6).
+  uint8_t* data() { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  friend class RefCounted<MemBlkIo>;
+  MemBlkIo(size_t size, uint32_t block_size);
+  ~MemBlkIo() = default;
+
+  std::vector<uint8_t> data_;
+  uint32_t block_size_;
+  uint32_t maps_outstanding_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_MEMBLKIO_H_

@@ -1,0 +1,114 @@
+// Socket and socket-factory interfaces (§5).
+//
+// The protocol stack component exports a SocketFactory; the minimal C
+// library's socket() call is routed through a client-registered factory
+// (posix_set_socketcreator), so ANY stack that implements these two
+// interfaces can sit behind the POSIX socket API.
+
+#ifndef OSKIT_SRC_COM_SOCKET_H_
+#define OSKIT_SRC_COM_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/com/iunknown.h"
+
+namespace oskit {
+
+// IPv4 address in host byte order.
+struct InetAddr {
+  uint32_t value = 0;
+
+  friend constexpr bool operator==(InetAddr a, InetAddr b) { return a.value == b.value; }
+  friend constexpr bool operator!=(InetAddr a, InetAddr b) { return a.value != b.value; }
+
+  constexpr bool IsAny() const { return value == 0; }
+};
+
+constexpr InetAddr MakeInetAddr(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return InetAddr{(static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+                  (static_cast<uint32_t>(c) << 8) | d};
+}
+
+inline constexpr InetAddr kInetAny = InetAddr{0};
+inline constexpr InetAddr kInetBroadcast = InetAddr{0xffffffff};
+
+// Socket-level endpoint address (family is implicitly AF_INET here; the
+// factory's domain argument selects the family as in POSIX).
+struct SockAddr {
+  InetAddr addr;
+  uint16_t port = 0;
+
+  friend bool operator==(const SockAddr& a, const SockAddr& b) {
+    return a.addr == b.addr && a.port == b.port;
+  }
+};
+
+enum class SockDomain : int32_t {
+  kInet = 2,  // AF_INET
+};
+
+enum class SockType : int32_t {
+  kStream = 1,  // SOCK_STREAM (TCP)
+  kDgram = 2,   // SOCK_DGRAM (UDP)
+};
+
+enum class SockShutdown : int32_t {
+  kRead = 0,
+  kWrite = 1,
+  kBoth = 2,
+};
+
+class Socket : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x8f2d3b61, 0x0df2, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x2f);
+
+  virtual Error Bind(const SockAddr& addr) = 0;
+
+  // Stream: initiates the TCP handshake and blocks until established or
+  // refused.  Dgram: records the default destination.
+  virtual Error Connect(const SockAddr& addr) = 0;
+
+  virtual Error Listen(int backlog) = 0;
+
+  // Blocks until a connection is accepted; returns the peer address and a
+  // new Socket carrying the connection.
+  virtual Error Accept(SockAddr* out_peer, Socket** out_socket) = 0;
+
+  // Stream semantics: Send blocks until all bytes are queued to the send
+  // buffer; Recv blocks until at least one byte (or EOF → *out_actual == 0).
+  virtual Error Send(const void* buf, size_t amount, size_t* out_actual) = 0;
+  virtual Error Recv(void* buf, size_t amount, size_t* out_actual) = 0;
+
+  // Datagram endpoints; streams return kNotImpl for the *To/*From forms
+  // unless connected.
+  virtual Error SendTo(const void* buf, size_t amount, const SockAddr& to,
+                       size_t* out_actual) = 0;
+  virtual Error RecvFrom(void* buf, size_t amount, SockAddr* out_from,
+                         size_t* out_actual) = 0;
+
+  virtual Error Shutdown(SockShutdown how) = 0;
+
+  virtual Error GetSockName(SockAddr* out_addr) = 0;
+  virtual Error GetPeerName(SockAddr* out_addr) = 0;
+
+ protected:
+  ~Socket() = default;
+};
+
+class SocketFactory : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x5ea0a280, 0x0df3, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x30);
+
+  // Creates an unbound socket of the requested domain/type.
+  virtual Error Create(SockDomain domain, SockType type, Socket** out_socket) = 0;
+
+ protected:
+  ~SocketFactory() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_SOCKET_H_

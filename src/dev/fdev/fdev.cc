@@ -1,0 +1,66 @@
+#include "src/dev/fdev/fdev.h"
+
+#include <cstring>
+
+namespace oskit {
+namespace {
+
+void* DefaultMemAlloc(void* ctx, size_t size, uint32_t flags) {
+  auto* kernel = static_cast<KernelEnv*>(ctx);
+  uint32_t lmm_flags = (flags & FdevEnv::kDmaReachable) != 0 ? kLmmFlag16Mb : 0;
+  return kernel->MemAlloc(size, lmm_flags);
+}
+
+void DefaultMemFree(void* ctx, void* ptr, size_t size) {
+  static_cast<KernelEnv*>(ctx)->MemFree(ptr, size);
+}
+
+void DefaultIrqAttach(void* ctx, int irq, std::function<void()> handler) {
+  static_cast<KernelEnv*>(ctx)->IrqRegister(irq, std::move(handler));
+}
+
+void DefaultIrqDetach(void* ctx, int irq) {
+  static_cast<KernelEnv*>(ctx)->IrqUnregister(irq);
+}
+
+uint64_t DefaultNowNs(void* ctx) {
+  return static_cast<KernelEnv*>(ctx)->machine().clock().Now();
+}
+
+}  // namespace
+
+FdevEnv DefaultFdevEnv(KernelEnv* kernel) {
+  FdevEnv env;
+  env.mem_alloc = &DefaultMemAlloc;
+  env.mem_free = &DefaultMemFree;
+  env.irq_attach = &DefaultIrqAttach;
+  env.irq_detach = &DefaultIrqDetach;
+  env.now_ns = &DefaultNowNs;
+  env.sleep_env = &kernel->sleep_env();
+  env.ctx = kernel;
+  return env;
+}
+
+std::vector<ComPtr<Device>> DeviceRegistry::LookupByInterface(const Guid& iid) const {
+  std::vector<ComPtr<Device>> found;
+  for (const ComPtr<Device>& device : devices_) {
+    void* probe = nullptr;
+    if (Ok(device->Query(iid, &probe))) {
+      static_cast<IUnknown*>(probe)->Release();
+      found.push_back(device);
+    }
+  }
+  return found;
+}
+
+ComPtr<Device> DeviceRegistry::LookupByName(const char* name) const {
+  for (const ComPtr<Device>& device : devices_) {
+    DeviceInfo info;
+    if (Ok(device->GetInfo(&info)) && std::strcmp(info.name, name) == 0) {
+      return device;
+    }
+  }
+  return ComPtr<Device>();
+}
+
+}  // namespace oskit

@@ -1,0 +1,61 @@
+#include "src/dev/freebsd/freebsd_ether.h"
+
+#include "src/base/panic.h"
+
+namespace oskit::freebsddev {
+
+BsdEtherDriver::BsdEtherDriver(const FdevEnv& env, NicHw* hw, net::NetStack* stack)
+    : env_(env), hw_(hw), stack_(stack) {}
+
+BsdEtherDriver::~BsdEtherDriver() {
+  if (attached_) {
+    env_.irq_detach(env_.ctx, hw_->irq());
+    hw_->EnableRxInterrupt(false);
+  }
+}
+
+Error BsdEtherDriver::Attach() {
+  Error err = stack_->OpenNativeIf(this, &ifindex_);
+  if (!Ok(err)) {
+    return err;
+  }
+  env_.irq_attach(env_.ctx, hw_->irq(), [this] { Interrupt(); });
+  hw_->EnableRxInterrupt(true);
+  attached_ = true;
+  return Error::kOk;
+}
+
+void BsdEtherDriver::Output(net::MBuf* frame) {
+  // Gather DMA straight from the chain: no software copy, the hardware
+  // assembles the frame from the descriptor list.
+  const uint8_t* chunks[64];
+  size_t lens[64];
+  size_t count = 0;
+  for (net::MBuf* m = frame; m != nullptr; m = m->next) {
+    if (m->len == 0) {
+      continue;
+    }
+    OSKIT_ASSERT_MSG(count < 64, "gather list overflow");
+    chunks[count] = m->data;
+    lens[count] = m->len;
+    ++count;
+  }
+  hw_->TxStartVec(chunks, lens, count);
+  ++tx_frames_;
+  stack_->pool().FreeChain(frame);
+}
+
+void BsdEtherDriver::Interrupt() {
+  while (hw_->RxPending()) {
+    size_t frame_len = hw_->RxFrameSize();
+    net::MBuf* m = stack_->pool().GetCluster();
+    OSKIT_ASSERT(frame_len <= m->buf_size());
+    hw_->RxDequeue(m->data);
+    m->len = static_cast<uint32_t>(frame_len);
+    m->pkt_len = m->len;
+    ++rx_frames_;
+    stack_->EtherInputMbuf(ifindex_, m);
+  }
+}
+
+}  // namespace oskit::freebsddev

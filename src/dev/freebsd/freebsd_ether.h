@@ -1,0 +1,47 @@
+// The BSD-idiom native Ethernet driver.
+//
+// This is the driver that belongs to the baseline "FreeBSD itself" rows of
+// Tables 1 and 2: it speaks mbufs natively on both paths, so there is no
+// buffer-model conversion and no COM boundary anywhere between TCP and the
+// wire.  Transmit hands the hardware the mbuf chain as a DMA gather list;
+// receive allocates a cluster mbuf and feeds the stack directly.
+
+#ifndef OSKIT_SRC_DEV_FREEBSD_FREEBSD_ETHER_H_
+#define OSKIT_SRC_DEV_FREEBSD_FREEBSD_ETHER_H_
+
+#include "src/dev/fdev/fdev.h"
+#include "src/machine/nic.h"
+#include "src/net/stack.h"
+
+namespace oskit::freebsddev {
+
+class BsdEtherDriver final : public net::NativeEtherPort {
+ public:
+  BsdEtherDriver(const FdevEnv& env, NicHw* hw, net::NetStack* stack);
+  ~BsdEtherDriver() override;
+
+  // Binds into the stack (OpenNativeIf + interrupt attach).
+  Error Attach();
+
+  // NativeEtherPort
+  EtherAddr mac() const override { return hw_->mac(); }
+  void Output(net::MBuf* frame) override;
+
+  uint64_t tx_frames() const { return tx_frames_; }
+  uint64_t rx_frames() const { return rx_frames_; }
+
+ private:
+  void Interrupt();
+
+  FdevEnv env_;
+  NicHw* hw_;
+  net::NetStack* stack_;
+  int ifindex_ = -1;
+  bool attached_ = false;
+  uint64_t tx_frames_ = 0;
+  uint64_t rx_frames_ = 0;
+};
+
+}  // namespace oskit::freebsddev
+
+#endif  // OSKIT_SRC_DEV_FREEBSD_FREEBSD_ETHER_H_

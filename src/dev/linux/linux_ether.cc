@@ -1,0 +1,71 @@
+#include "src/dev/linux/linux_ether.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit::linuxdev {
+
+namespace {
+
+int simnic_open(linux_device* dev) {
+  dev->priv->EnableRxInterrupt(true);
+  dev->opened = true;
+  return 0;
+}
+
+int simnic_stop(linux_device* dev) {
+  dev->priv->EnableRxInterrupt(false);
+  dev->opened = false;
+  return 0;
+}
+
+int simnic_xmit(sk_buff* skb, linux_device* dev) {
+  // Linux drivers hand the hardware ONE contiguous buffer; that contiguity
+  // assumption is what forces the glue's copy on the OSKit send path.
+  dev->priv->TxStart(skb->data, skb->len);
+  dev->stats.tx_packets += 1;
+  dev->stats.tx_bytes += skb->len;
+  kfree_skb(dev->kenv, skb);
+  return 0;
+}
+
+}  // namespace
+
+int simnic_probe(linux_device* dev, oskit::NicHw* hw) {
+  dev->priv = hw;
+  std::memcpy(dev->dev_addr, hw->mac().bytes, 6);
+  dev->irq = hw->irq();
+  dev->open = &simnic_open;
+  dev->stop = &simnic_stop;
+  dev->hard_start_xmit = &simnic_xmit;
+  return 0;
+}
+
+void simnic_interrupt(linux_device* dev) {
+  oskit::NicHw* hw = dev->priv;
+  while (hw->RxPending()) {
+    size_t frame_len = hw->RxFrameSize();
+    // Classic Linux 2.0 receive: allocate len+2, reserve 2 so the IP header
+    // lands 4-byte aligned past the 14-byte Ethernet header.
+    sk_buff* skb = dev_alloc_skb(dev->kenv, frame_len + 2);
+    if (skb == nullptr) {
+      // Out of memory: drop the frame (drain it so the ring advances).
+      uint8_t discard[oskit::kEtherMaxFrame];
+      hw->RxDequeue(discard);
+      dev->stats.rx_dropped += 1;
+      continue;
+    }
+    skb_reserve(skb, 2);
+    hw->RxDequeue(skb_put(skb, frame_len));
+    dev->stats.rx_packets += 1;
+    dev->stats.rx_bytes += frame_len;
+    if (dev->netif_rx != nullptr && dev->opened) {
+      dev->netif_rx(dev->netif_rx_ctx, dev, skb);
+    } else {
+      kfree_skb(dev->kenv, skb);
+    }
+  }
+}
+
+}  // namespace oskit::linuxdev

@@ -1,0 +1,67 @@
+// The "imported" Linux-2.0-style Ethernet driver core.
+//
+// Structured the way a Linux 2.0.29 driver was: a `linux_device` struct full
+// of function pointers, dev->open / dev->hard_start_xmit entry points, an
+// interrupt handler that allocates skbuffs and feeds them up through
+// netif_rx().  It knows nothing about COM, mbufs, or the client OS: its
+// world is skbuffs and the emulated kernel services in LinuxKernelEnv —
+// exactly the situation of real encapsulated driver code (§4.7).  The
+// hardware it drives is the simulated NIC (which stands in for the
+// fifty-odd ISA/PCI cards the real OSKit imported drivers for).
+
+#ifndef OSKIT_SRC_DEV_LINUX_LINUX_ETHER_H_
+#define OSKIT_SRC_DEV_LINUX_LINUX_ETHER_H_
+
+#include "src/dev/linux/skbuff.h"
+#include "src/machine/nic.h"
+
+namespace oskit::linuxdev {
+
+struct linux_device;
+
+// The glue installs this to receive packets (Linux's netif_rx path).
+using netif_rx_fn = void (*)(void* ctx, linux_device* dev, sk_buff* skb);
+
+struct net_device_stats {
+  uint64_t rx_packets = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t rx_dropped = 0;
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;
+};
+
+struct linux_device {
+  char name[8] = {};
+  int irq = 0;
+  uint8_t dev_addr[6] = {};
+  bool opened = false;
+
+  // Driver entry points (filled by the probe routine, Linux style).
+  int (*open)(linux_device* dev) = nullptr;
+  int (*stop)(linux_device* dev) = nullptr;
+  int (*hard_start_xmit)(sk_buff* skb, linux_device* dev) = nullptr;
+
+  // Upcall installed by the surrounding glue.
+  netif_rx_fn netif_rx = nullptr;
+  void* netif_rx_ctx = nullptr;
+
+  // Emulated kernel services (the glue's environment emulation, §4.7.5).
+  LinuxKernelEnv kenv;
+
+  // Driver-private state.
+  oskit::NicHw* priv = nullptr;
+
+  net_device_stats stats;
+};
+
+// Probe routine for the simulated NIC ("simnic"), mirroring the shape of a
+// Linux Space.c probe: fills in dev->open/stop/hard_start_xmit and the
+// station address.  Returns 0 on success.
+int simnic_probe(linux_device* dev, oskit::NicHw* hw);
+
+// The driver's interrupt handler; the glue attaches it to the IRQ.
+void simnic_interrupt(linux_device* dev);
+
+}  // namespace oskit::linuxdev
+
+#endif  // OSKIT_SRC_DEV_LINUX_LINUX_ETHER_H_

@@ -1,0 +1,282 @@
+#include "src/dev/linux/linux_glue.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/libc/format.h"
+
+namespace oskit::linuxdev {
+
+// ---------------------------------------------------------------------------
+// SkBuffIo
+// ---------------------------------------------------------------------------
+
+SkBuffIo::~SkBuffIo() {
+  skb_->oskit_bufio = nullptr;
+  kfree_skb(kenv_, skb_);
+}
+
+Error SkBuffIo::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == BlkIo::kIid || iid == BufIo::kIid ||
+      iid == kSkBuffIoImplIid) {
+    AddRef();
+    *out = static_cast<BufIo*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error SkBuffIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
+  *out_actual = 0;
+  if (offset > skb_->len) {
+    return Error::kOutOfRange;
+  }
+  size_t n = amount;
+  if (offset + n > skb_->len) {
+    n = skb_->len - offset;
+  }
+  std::memcpy(buf, skb_->data + offset, n);
+  *out_actual = n;
+  return Error::kOk;
+}
+
+Error SkBuffIo::Write(const void* buf, off_t64 offset, size_t amount,
+                      size_t* out_actual) {
+  *out_actual = 0;
+  if (offset + amount > skb_->len) {
+    return Error::kOutOfRange;
+  }
+  std::memcpy(skb_->data + offset, buf, amount);
+  *out_actual = amount;
+  return Error::kOk;
+}
+
+Error SkBuffIo::GetSize(off_t64* out_size) {
+  *out_size = skb_->len;
+  return Error::kOk;
+}
+
+Error SkBuffIo::Map(void** out_addr, off_t64 offset, size_t amount) {
+  // An skbuff is always contiguous: mapping always succeeds in bounds.
+  if (offset + amount > skb_->len) {
+    return Error::kOutOfRange;
+  }
+  *out_addr = skb_->data + offset;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// LinuxEtherDev
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// kmalloc/kfree emulation over the fdev osenv: network buffers must be
+// DMA-reachable on the simulated platform, like real ISA-era Linux.
+void* GlueKmalloc(void* ctx, size_t size) {
+  auto* env = static_cast<FdevEnv*>(ctx);
+  return env->mem_alloc(env->ctx, size, FdevEnv::kDmaReachable);
+}
+
+void GlueKfree(void* ctx, void* ptr, size_t size) {
+  auto* env = static_cast<FdevEnv*>(ctx);
+  env->mem_free(env->ctx, ptr, size);
+}
+
+// The send-side NetIo half of the §5 callback exchange.
+class LinuxSendNetIo final : public NetIo, public RefCounted<LinuxSendNetIo> {
+ public:
+  explicit LinuxSendNetIo(LinuxEtherDev* dev) : dev_(dev) { dev->AddRef(); }
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == NetIo::kIid) {
+      AddRef();
+      *out = static_cast<NetIo*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error Push(BufIo* packet, size_t size) override { return dev_->Transmit(packet, size); }
+
+ private:
+  friend class RefCounted<LinuxSendNetIo>;
+  ~LinuxSendNetIo() { dev_->Release(); }
+
+  LinuxEtherDev* dev_;
+};
+
+}  // namespace
+
+LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
+    : env_(env), name_(std::move(name)) {
+  libc::Snprintf(dev_.name, sizeof(dev_.name), "%s", name_.c_str());
+  dev_.kenv.kmalloc = &GlueKmalloc;
+  dev_.kenv.kfree = &GlueKfree;
+  dev_.kenv.ctx = &env_;
+  int rc = simnic_probe(&dev_, hw);
+  OSKIT_ASSERT_MSG(rc == 0, "simnic probe failed");
+}
+
+LinuxEtherDev::~LinuxEtherDev() {
+  if (dev_.opened) {
+    env_.irq_detach(env_.ctx, dev_.irq);
+    dev_.stop(&dev_);
+  }
+}
+
+Error LinuxEtherDev::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == Device::kIid) {
+    AddRef();
+    *out = static_cast<Device*>(this);
+    return Error::kOk;
+  }
+  if (iid == EtherDev::kIid) {
+    AddRef();
+    *out = static_cast<EtherDev*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error LinuxEtherDev::GetInfo(DeviceInfo* out_info) {
+  out_info->name = name_.c_str();
+  out_info->description = "Linux 2.0-style simulated Ethernet (simnic)";
+  out_info->vendor = "linux";
+  return Error::kOk;
+}
+
+void LinuxEtherDev::NetifRxThunk(void* ctx, linux_device* dev, sk_buff* skb) {
+  auto* self = static_cast<LinuxEtherDev*>(ctx);
+  if (!self->client_recv_) {
+    kfree_skb(dev->kenv, skb);
+    return;
+  }
+  // Export the skbuff as a COM bufio object WITHOUT copying (§4.7.3): the
+  // wrapper owns the skbuff; the client takes references if it keeps it.
+  size_t len = skb->len;
+  ComPtr<SkBuffIo> io(new SkBuffIo(dev->kenv, skb));
+  self->client_recv_->Push(io.get(), len);
+}
+
+Error LinuxEtherDev::Open(NetIo* recv, NetIo** out_send) {
+  if (dev_.opened) {
+    return Error::kBusy;
+  }
+  client_recv_ = ComPtr<NetIo>::Retain(recv);
+  dev_.netif_rx = &LinuxEtherDev::NetifRxThunk;
+  dev_.netif_rx_ctx = this;
+  int rc = dev_.open(&dev_);
+  if (rc != 0) {
+    client_recv_.Reset();
+    return Error::kIo;
+  }
+  env_.irq_attach(env_.ctx, dev_.irq, [this] { simnic_interrupt(&dev_); });
+  *out_send = new LinuxSendNetIo(this);
+  return Error::kOk;
+}
+
+Error LinuxEtherDev::Close() {
+  if (!dev_.opened) {
+    return Error::kOk;
+  }
+  env_.irq_detach(env_.ctx, dev_.irq);
+  dev_.stop(&dev_);
+  client_recv_.Reset();
+  return Error::kOk;
+}
+
+Error LinuxEtherDev::GetAddr(EtherAddr* out_addr) {
+  std::memcpy(out_addr->bytes, dev_.dev_addr, 6);
+  return Error::kOk;
+}
+
+Error LinuxEtherDev::Transmit(BufIo* packet, size_t size) {
+  if (!dev_.opened) {
+    return Error::kNoDev;
+  }
+  if (size > kEtherMaxFrame) {
+    return Error::kMsgSize;
+  }
+
+  // Recognise our own skbuffs by implementation identity (§4.7.3).
+  void* native = nullptr;
+  if (Ok(packet->Query(kSkBuffIoImplIid, &native))) {
+    auto* io = static_cast<SkBuffIo*>(native);
+    ++xmit_stats_.native_passthrough;
+    // The driver consumes (frees) the skbuff, so detach it from the
+    // wrapper by copying the header into a fresh fake around the same data:
+    // simplest correct ownership dance without touching the imported code.
+    sk_buff* owned = io->skb();
+    sk_buff* fake = dev_alloc_skb(dev_.kenv, 0);
+    if (fake == nullptr) {
+      io->Release();
+      return Error::kNoMem;
+    }
+    fake->fake = true;
+    fake->data = owned->data;
+    fake->tail = owned->tail;
+    fake->len = owned->len;
+    dev_.hard_start_xmit(fake, &dev_);
+    io->Release();
+    return Error::kOk;
+  }
+
+  void* mapped = nullptr;
+  if (Ok(packet->Map(&mapped, 0, size))) {
+    // Foreign but contiguous: manufacture a "fake" skbuff pointing directly
+    // at the mapped data (§4.7.3), no copy.
+    ++xmit_stats_.fake_skbuff;
+    sk_buff* fake = dev_alloc_skb(dev_.kenv, 0);
+    if (fake == nullptr) {
+      packet->Unmap(mapped, 0, size);
+      return Error::kNoMem;
+    }
+    fake->fake = true;
+    fake->data = static_cast<uint8_t*>(mapped);
+    fake->tail = fake->data + size;
+    fake->len = static_cast<uint32_t>(size);
+    dev_.hard_start_xmit(fake, &dev_);
+    packet->Unmap(mapped, 0, size);
+    return Error::kOk;
+  }
+
+  // Discontiguous foreign packet (an mbuf chain): allocate a normal skbuff
+  // and copy the data in — the Table 1 send-path copy.
+  ++xmit_stats_.copied;
+  xmit_stats_.copied_bytes += size;
+  sk_buff* skb = dev_alloc_skb(dev_.kenv, size);
+  if (skb == nullptr) {
+    return Error::kNoMem;
+  }
+  size_t actual = 0;
+  Error err = packet->Read(skb_put(skb, size), 0, size, &actual);
+  if (!Ok(err) || actual != size) {
+    kfree_skb(dev_.kenv, skb);
+    return Ok(err) ? Error::kIo : err;
+  }
+  dev_.hard_start_xmit(skb, &dev_);
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Init / probe
+// ---------------------------------------------------------------------------
+
+Error InitLinuxEthernet(const FdevEnv& env, Machine* machine,
+                        DeviceRegistry* registry) {
+  int index = 0;
+  for (const auto& nic : machine->nics()) {
+    char name[8];
+    libc::Snprintf(name, sizeof(name), "eth%d", index++);
+    ComPtr<Device> device(new LinuxEtherDev(env, nic.get(), name));
+    registry->Register(std::move(device));
+  }
+  return Error::kOk;
+}
+
+}  // namespace oskit::linuxdev

@@ -1,0 +1,121 @@
+// Glue encapsulating the Linux-idiom Ethernet driver (paper §4.7, §4.7.3).
+//
+// A thin layer that (a) emulates the Linux kernel environment the imported
+// driver expects (kmalloc, request_irq) on top of the fdev osenv, (b) exports
+// the driver as COM Device + EtherDev objects, and (c) converts packets at
+// the boundary:
+//
+//   receive:  skbuff --(wrap, no copy)--> BufIo --> client's NetIo
+//   transmit: BufIo --Map ok--> "fake" skbuff around the mapped data (no
+//             copy); --Map fails--> dev_alloc_skb + Read (the copy the paper
+//             blames for the OSKit's lower send bandwidth, §5);
+//             native skbuffs are recognised by their function-table pointer
+//             and passed straight through (§4.7.3).
+
+#ifndef OSKIT_SRC_DEV_LINUX_LINUX_GLUE_H_
+#define OSKIT_SRC_DEV_LINUX_LINUX_GLUE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/com/device.h"
+#include "src/com/etherdev.h"
+#include "src/dev/fdev/fdev.h"
+#include "src/dev/linux/linux_ether.h"
+
+namespace oskit::linuxdev {
+
+// BufIo face of a received skbuff.  The GUID below identifies THIS concrete
+// implementation (not an abstract interface): querying for it is the C++
+// rendering of the paper's "the Linux glue code can easily recognize
+// 'foreign' bufio objects by checking their function table pointer".
+inline constexpr Guid kSkBuffIoImplIid =
+    MakeGuid(0x7b331990, 0x0e01, 0x11d0, 0xa6, 0xbe, 0x00, 0xa0, 0xc9, 0x0a, 0x5f,
+             0x40);
+
+class SkBuffIo final : public BufIo, public RefCounted<SkBuffIo> {
+ public:
+  // Takes ownership of `skb`.
+  SkBuffIo(const LinuxKernelEnv& kenv, sk_buff* skb) : kenv_(kenv), skb_(skb) {
+    skb->oskit_bufio = this;  // the one-word glue field (§4.7.3)
+  }
+
+  Error Query(const Guid& iid, void** out) override;
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  uint32_t GetBlockSize() override { return 1; }
+  Error Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) override;
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override;
+  Error GetSize(off_t64* out_size) override;
+  Error SetSize(off_t64) override { return Error::kNotImpl; }
+  Error Map(void** out_addr, off_t64 offset, size_t amount) override;
+  Error Unmap(void* addr, off_t64 offset, size_t amount) override { return Error::kOk; }
+  Error Wire() override { return Error::kOk; }
+  Error Unwire() override { return Error::kOk; }
+
+  sk_buff* skb() { return skb_; }
+
+ private:
+  friend class RefCounted<SkBuffIo>;
+  ~SkBuffIo();
+
+  LinuxKernelEnv kenv_;
+  sk_buff* skb_;
+};
+
+// The encapsulated driver as a COM device.
+class LinuxEtherDev final : public Device,
+                            public EtherDev,
+                            public RefCounted<LinuxEtherDev> {
+ public:
+  struct XmitStats {
+    uint64_t native_passthrough = 0;  // our own skbuff handed back: no work
+    uint64_t fake_skbuff = 0;         // foreign buffer mapped: zero copy
+    uint64_t copied = 0;              // foreign buffer unmappable: copied
+    uint64_t copied_bytes = 0;
+  };
+
+  LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name);
+
+  // IUnknown (two COM bases: disambiguate AddRef/Release explicitly).
+  Error Query(const Guid& iid, void** out) override;
+  uint32_t AddRef() override { return AddRefImpl(); }
+  uint32_t Release() override { return ReleaseImpl(); }
+
+  // Device
+  Error GetInfo(DeviceInfo* out_info) override;
+
+  // EtherDev
+  Error Open(NetIo* recv, NetIo** out_send) override;
+  Error Close() override;
+  Error GetAddr(EtherAddr* out_addr) override;
+
+  const XmitStats& xmit_stats() const { return xmit_stats_; }
+  const net_device_stats& device_stats() const { return dev_.stats; }
+
+  // Transmit entry used by the send-side NetIo.
+  Error Transmit(BufIo* packet, size_t size);
+
+ private:
+  friend class RefCounted<LinuxEtherDev>;
+  ~LinuxEtherDev();
+
+  static void NetifRxThunk(void* ctx, linux_device* dev, sk_buff* skb);
+
+  FdevEnv env_;
+  linux_device dev_;
+  std::string name_;
+  ComPtr<NetIo> client_recv_;
+  XmitStats xmit_stats_;
+};
+
+// §5's fdev_linux_init_ethernet + fdev_probe rolled together: probes every
+// simulated NIC on the machine with the Linux driver set and registers the
+// resulting devices.
+Error InitLinuxEthernet(const FdevEnv& env, Machine* machine,
+                        DeviceRegistry* registry);
+
+}  // namespace oskit::linuxdev
+
+#endif  // OSKIT_SRC_DEV_LINUX_LINUX_GLUE_H_

@@ -1,0 +1,207 @@
+#include "src/dev/linux/linux_ide.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/libc/format.h"
+#include "src/machine/machine.h"
+
+namespace oskit::linuxdev {
+
+// ---------------------------------------------------------------------------
+// "Imported" driver core
+// ---------------------------------------------------------------------------
+
+Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors, uint8_t* buf,
+                     bool write) {
+  OSKIT_ASSERT_MSG(!drive->busy, "overlapping IDE requests");
+  drive->busy = true;
+  drive->done = false;
+  ++drive->requests_issued;
+  if (write) {
+    drive->hw->SubmitWrite(lba, sectors, buf);
+  } else {
+    drive->hw->SubmitRead(lba, sectors, buf);
+  }
+  // Linux style: sleep until the IRQ handler marks the request done.
+  while (!drive->done) {
+    drive->benv.sleep_on(drive->benv.ctx, drive);
+  }
+  drive->busy = false;
+  return drive->status;
+}
+
+void ide_interrupt(ide_drive* drive) {
+  if (!drive->hw->RequestDone()) {
+    return;  // spurious
+  }
+  ++drive->irqs_handled;
+  drive->status = drive->hw->RequestStatus();
+  drive->hw->AckCompletion();
+  drive->done = true;
+  drive->benv.wake_up(drive->benv.ctx, drive);
+}
+
+// ---------------------------------------------------------------------------
+// Glue
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void GlueSleepOn(void* ctx, void* /*chan*/) {
+  auto* dev = static_cast<LinuxIdeDev*>(ctx);
+  // Single-channel device: the sleep record IS the wait queue.
+  dev->SleepOnCompletion();
+}
+
+void GlueWakeUp(void* ctx, void* /*chan*/) {
+  static_cast<LinuxIdeDev*>(ctx)->WakeCompletion();
+}
+
+}  // namespace
+
+LinuxIdeDev::LinuxIdeDev(const FdevEnv& env, DiskHw* hw, std::string name)
+    : env_(env), name_(std::move(name)), completion_(env.sleep_env) {
+  drive_.hw = hw;
+  drive_.benv.sleep_on = &GlueSleepOn;
+  drive_.benv.wake_up = &GlueWakeUp;
+  drive_.benv.ctx = this;
+  env_.irq_attach(env_.ctx, hw->irq(), [this] { ide_interrupt(&drive_); });
+}
+
+LinuxIdeDev::~LinuxIdeDev() { env_.irq_detach(env_.ctx, drive_.hw->irq()); }
+
+Error LinuxIdeDev::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == Device::kIid) {
+    AddRef();
+    *out = static_cast<Device*>(this);
+    return Error::kOk;
+  }
+  if (iid == BlkIo::kIid) {
+    AddRef();
+    *out = static_cast<BlkIo*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error LinuxIdeDev::GetInfo(DeviceInfo* out_info) {
+  out_info->name = name_.c_str();
+  out_info->description = "Linux 2.0-style simulated IDE disk";
+  out_info->vendor = "linux";
+  return Error::kOk;
+}
+
+Error LinuxIdeDev::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
+  *out_actual = 0;
+  constexpr uint32_t kSector = DiskHw::kSectorSize;
+  uint64_t disk_bytes = drive_.hw->sector_count() * kSector;
+  if (offset > disk_bytes) {
+    return Error::kOutOfRange;
+  }
+  if (offset + amount > disk_bytes) {
+    amount = disk_bytes - offset;
+  }
+  auto* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < amount) {
+    uint64_t lba = (offset + done) / kSector;
+    uint32_t in_sector = static_cast<uint32_t>((offset + done) % kSector);
+    if (in_sector == 0 && amount - done >= kSector) {
+      // Whole-sector fast path: DMA straight into the caller's buffer, up
+      // to 64 sectors per request (old IDE multi-sector limit).
+      uint32_t sectors = static_cast<uint32_t>((amount - done) / kSector);
+      if (sectors > 64) {
+        sectors = 64;
+      }
+      Error err = ide_do_request(&drive_, lba, sectors, out + done, /*write=*/false);
+      if (!Ok(err)) {
+        return err;
+      }
+      done += static_cast<size_t>(sectors) * kSector;
+      continue;
+    }
+    // Partial sector: bounce through a sector buffer.
+    uint8_t sector_buf[kSector];
+    Error err = ide_do_request(&drive_, lba, 1, sector_buf, /*write=*/false);
+    if (!Ok(err)) {
+      return err;
+    }
+    size_t n = kSector - in_sector;
+    if (n > amount - done) {
+      n = amount - done;
+    }
+    std::memcpy(out + done, sector_buf + in_sector, n);
+    done += n;
+  }
+  *out_actual = done;
+  return Error::kOk;
+}
+
+Error LinuxIdeDev::Write(const void* buf, off_t64 offset, size_t amount,
+                         size_t* out_actual) {
+  *out_actual = 0;
+  constexpr uint32_t kSector = DiskHw::kSectorSize;
+  uint64_t disk_bytes = drive_.hw->sector_count() * kSector;
+  if (offset > disk_bytes) {
+    return Error::kOutOfRange;
+  }
+  if (offset + amount > disk_bytes) {
+    amount = disk_bytes - offset;
+  }
+  const auto* in = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < amount) {
+    uint64_t lba = (offset + done) / kSector;
+    uint32_t in_sector = static_cast<uint32_t>((offset + done) % kSector);
+    if (in_sector == 0 && amount - done >= kSector) {
+      uint32_t sectors = static_cast<uint32_t>((amount - done) / kSector);
+      if (sectors > 64) {
+        sectors = 64;
+      }
+      Error err = ide_do_request(&drive_, lba, sectors,
+                                 const_cast<uint8_t*>(in + done), /*write=*/true);
+      if (!Ok(err)) {
+        return err;
+      }
+      done += static_cast<size_t>(sectors) * kSector;
+      continue;
+    }
+    // Read-modify-write for the partial sector.
+    uint8_t sector_buf[kSector];
+    Error err = ide_do_request(&drive_, lba, 1, sector_buf, /*write=*/false);
+    if (!Ok(err)) {
+      return err;
+    }
+    size_t n = kSector - in_sector;
+    if (n > amount - done) {
+      n = amount - done;
+    }
+    std::memcpy(sector_buf + in_sector, in + done, n);
+    err = ide_do_request(&drive_, lba, 1, sector_buf, /*write=*/true);
+    if (!Ok(err)) {
+      return err;
+    }
+    done += n;
+  }
+  *out_actual = done;
+  return Error::kOk;
+}
+
+Error LinuxIdeDev::GetSize(off_t64* out_size) {
+  *out_size = drive_.hw->sector_count() * DiskHw::kSectorSize;
+  return Error::kOk;
+}
+
+Error InitLinuxIde(const FdevEnv& env, Machine* machine, DeviceRegistry* registry) {
+  int index = 0;
+  for (const auto& disk : machine->disks()) {
+    char name[8];
+    libc::Snprintf(name, sizeof(name), "hd%c", 'a' + index++);
+    registry->Register(ComPtr<Device>(new LinuxIdeDev(env, disk.get(), name)));
+  }
+  return Error::kOk;
+}
+
+}  // namespace oskit::linuxdev

@@ -1,0 +1,98 @@
+// The "imported" Linux-2.0-style IDE disk driver and its glue.
+//
+// Core idiom: a request struct, an interrupt handler completing the current
+// request, and sleep_on/wake_up blocking — the Linux half of §4.7.6's
+// "the interrupt handler in a device driver uses [sleep/wakeup] to wake up
+// a blocked read or write request after it has completed".  The glue binds
+// sleep_on/wake_up to OSKit sleep records and exports the drive as COM
+// Device + BlkIo, so any filesystem can be bound to it at run time (§4.2.2).
+
+#ifndef OSKIT_SRC_DEV_LINUX_LINUX_IDE_H_
+#define OSKIT_SRC_DEV_LINUX_LINUX_IDE_H_
+
+#include <string>
+
+#include "src/com/blkio.h"
+#include "src/com/device.h"
+#include "src/dev/fdev/fdev.h"
+#include "src/dev/linux/skbuff.h"
+#include "src/machine/disk.h"
+
+namespace oskit::linuxdev {
+
+// The Linux-ish blocking services the imported block driver expects.
+struct LinuxBlockEnv {
+  void (*sleep_on)(void* ctx, void* chan) = nullptr;
+  void (*wake_up)(void* ctx, void* chan) = nullptr;
+  void* ctx = nullptr;
+};
+
+// The "imported" driver core.
+struct ide_drive {
+  oskit::DiskHw* hw = nullptr;
+  LinuxBlockEnv benv;
+
+  // Current request state (one outstanding, 1997 IDE).
+  bool busy = false;
+  bool done = false;
+  oskit::Error status = oskit::Error::kOk;
+
+  uint64_t requests_issued = 0;
+  uint64_t irqs_handled = 0;
+};
+
+// Issues a request and blocks until the completion interrupt.
+oskit::Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors,
+                            uint8_t* buf, bool write);
+
+// The interrupt handler the glue attaches to IRQ 14.
+void ide_interrupt(ide_drive* drive);
+
+// ---------------------------------------------------------------------------
+// Glue: COM export
+// ---------------------------------------------------------------------------
+
+class LinuxIdeDev final : public Device, public BlkIo, public RefCounted<LinuxIdeDev> {
+ public:
+  LinuxIdeDev(const FdevEnv& env, oskit::DiskHw* hw, std::string name);
+
+  // IUnknown
+  Error Query(const Guid& iid, void** out) override;
+  uint32_t AddRef() override { return AddRefImpl(); }
+  uint32_t Release() override { return ReleaseImpl(); }
+
+  // Device
+  Error GetInfo(DeviceInfo* out_info) override;
+
+  // BlkIo: byte-granular offsets; partial sectors handled by
+  // read-modify-write in the glue, as the real blkio glue did.
+  uint32_t GetBlockSize() override { return oskit::DiskHw::kSectorSize; }
+  Error Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) override;
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override;
+  Error GetSize(off_t64* out_size) override;
+  Error SetSize(off_t64) override { return Error::kNotImpl; }
+
+  const ide_drive& drive() const { return drive_; }
+
+  // Sleep-record plumbing the emulated sleep_on/wake_up binds to (§4.7.6).
+  void SleepOnCompletion() { completion_.Sleep(); }
+  void WakeCompletion() { completion_.Wakeup(); }
+
+ private:
+  friend class RefCounted<LinuxIdeDev>;
+  ~LinuxIdeDev();
+
+  FdevEnv env_;
+  ide_drive drive_;
+  std::string name_;
+  SleepRecord completion_;
+  bool waiter_present_ = false;
+};
+
+// Probes every simulated disk on the machine, registering "hda", "hdb", ...
+Error InitLinuxIde(const FdevEnv& env, Machine* machine, DeviceRegistry* registry);
+
+}  // namespace oskit::linuxdev
+
+#endif  // OSKIT_SRC_DEV_LINUX_LINUX_IDE_H_

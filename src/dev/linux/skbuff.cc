@@ -1,0 +1,69 @@
+#include "src/dev/linux/skbuff.h"
+
+#include <new>
+
+#include "src/base/panic.h"
+
+namespace oskit::linuxdev {
+
+sk_buff* dev_alloc_skb(const LinuxKernelEnv& env, size_t size) {
+  size_t total = sizeof(sk_buff) + size;
+  void* raw = env.kmalloc(env.ctx, total);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  auto* skb = new (raw) sk_buff();
+  skb->head = static_cast<uint8_t*>(raw) + sizeof(sk_buff);
+  skb->data = skb->head;
+  skb->tail = skb->head;
+  skb->end = skb->head + size;
+  skb->truesize = static_cast<uint32_t>(total);
+  return skb;
+}
+
+void kfree_skb(const LinuxKernelEnv& env, sk_buff* skb) {
+  if (skb == nullptr) {
+    return;
+  }
+  if (skb->fake) {
+    // Fake skbuffs were manufactured by the glue around foreign data; only
+    // the header itself came from kmalloc.
+    skb->~sk_buff();
+    env.kfree(env.ctx, skb, sizeof(sk_buff));
+    return;
+  }
+  size_t total = skb->truesize;
+  skb->~sk_buff();
+  env.kfree(env.ctx, skb, total);
+}
+
+void skb_reserve(sk_buff* skb, size_t len) {
+  OSKIT_ASSERT_MSG(skb->tail == skb->data, "skb_reserve on non-empty skb");
+  OSKIT_ASSERT_MSG(skb->data + len <= skb->end, "skb_reserve overflow");
+  skb->data += len;
+  skb->tail += len;
+}
+
+uint8_t* skb_put(sk_buff* skb, size_t len) {
+  uint8_t* old_tail = skb->tail;
+  OSKIT_ASSERT_MSG(skb->tail + len <= skb->end, "skb_put overflow");
+  skb->tail += len;
+  skb->len += static_cast<uint32_t>(len);
+  return old_tail;
+}
+
+uint8_t* skb_push(sk_buff* skb, size_t len) {
+  OSKIT_ASSERT_MSG(skb->data - len >= skb->head, "skb_push underflow");
+  skb->data -= len;
+  skb->len += static_cast<uint32_t>(len);
+  return skb->data;
+}
+
+uint8_t* skb_pull(sk_buff* skb, size_t len) {
+  OSKIT_ASSERT_MSG(len <= skb->len, "skb_pull past end");
+  skb->data += len;
+  skb->len -= static_cast<uint32_t>(len);
+  return skb->data;
+}
+
+}  // namespace oskit::linuxdev

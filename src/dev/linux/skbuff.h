@@ -1,0 +1,61 @@
+// The Linux-idiom packet buffer: sk_buff.
+//
+// This file plays the role of the code the OSKit imported from Linux 2.0.29
+// "largely unmodified" (§4.7): it is deliberately written in that kernel's
+// idiom — one contiguous allocation, head/data/tail/end cursors, skb_put /
+// skb_reserve / skb_push manipulation — because the Table 1 experiment is
+// precisely about the friction between this contiguous model and BSD's
+// chained mbufs.  The one concession to its new home is the paper's own
+// trick: "The COM interface is simply a one-word field in the skbuff
+// structure in which the glue code places a pointer to a function table"
+// (§4.7.3) — here the oskit_bufio word.
+
+#ifndef OSKIT_SRC_DEV_LINUX_SKBUFF_H_
+#define OSKIT_SRC_DEV_LINUX_SKBUFF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oskit::linuxdev {
+
+// The slice of the Linux kernel environment that skbuff code needs; the
+// glue binds these to the fdev environment (kmalloc -> fdev mem_alloc).
+struct LinuxKernelEnv {
+  void* (*kmalloc)(void* ctx, size_t size) = nullptr;
+  void (*kfree)(void* ctx, void* ptr, size_t size) = nullptr;
+  void* ctx = nullptr;
+};
+
+struct sk_buff {
+  sk_buff* next = nullptr;
+  uint8_t* head = nullptr;  // start of the allocation
+  uint8_t* data = nullptr;  // start of valid data
+  uint8_t* tail = nullptr;  // end of valid data
+  uint8_t* end = nullptr;   // end of the allocation
+  uint32_t len = 0;
+  uint32_t truesize = 0;    // bytes obtained from kmalloc
+
+  // OSKit glue word (§4.7.3).
+  void* oskit_bufio = nullptr;
+
+  // Glue-manufactured "fake" skbuff pointing at foreign mapped data: the
+  // zero-copy transmit path.  kfree_skb must not free foreign data.
+  bool fake = false;
+};
+
+// dev_alloc_skb: one contiguous buffer of `size` bytes (callers reserve
+// headroom themselves, Linux style).
+sk_buff* dev_alloc_skb(const LinuxKernelEnv& env, size_t size);
+
+void kfree_skb(const LinuxKernelEnv& env, sk_buff* skb);
+
+// Classic cursor manipulation; all bounds-checked hard (the imported code
+// trusted itself; we keep the checks the original had as BUG()s).
+void skb_reserve(sk_buff* skb, size_t len);
+uint8_t* skb_put(sk_buff* skb, size_t len);
+uint8_t* skb_push(sk_buff* skb, size_t len);
+uint8_t* skb_pull(sk_buff* skb, size_t len);
+
+}  // namespace oskit::linuxdev
+
+#endif  // OSKIT_SRC_DEV_LINUX_SKBUFF_H_

@@ -1,0 +1,61 @@
+// Disk partition interpretation (the paper's `diskpart` library).
+//
+// Reads PC MBR partition tables (including extended-partition chains) and
+// BSD disklabels found inside BSD-type slices, and manufactures per-partition
+// BlkIo views so any filesystem component can be bound to any partition at
+// run time (§4.2.2 dynamic binding).  A writer half exists so tests and
+// examples can fabricate partitioned disks.
+
+#ifndef OSKIT_SRC_DISKPART_DISKPART_H_
+#define OSKIT_SRC_DISKPART_DISKPART_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/com/blkio.h"
+#include "src/com/iunknown.h"
+
+namespace oskit {
+
+inline constexpr uint32_t kDiskSectorSize = 512;
+
+// MBR partition type bytes we care about.
+inline constexpr uint8_t kPartTypeEmpty = 0x00;
+inline constexpr uint8_t kPartTypeFat16 = 0x06;
+inline constexpr uint8_t kPartTypeExtended = 0x05;
+inline constexpr uint8_t kPartTypeLinux = 0x83;
+inline constexpr uint8_t kPartTypeBsd = 0xa5;
+inline constexpr uint8_t kPartTypeOskitFs = 0x7f;  // our FFS-like filesystem
+
+struct Partition {
+  uint64_t start_sector = 0;
+  uint64_t sector_count = 0;
+  uint8_t type = 0;
+  bool bootable = false;
+  // Identification: "sd0s1"-style MBR slot (1..4, then 5+ for logicals) or
+  // BSD disklabel letter index ('a' + bsd_index) when from_disklabel.
+  int index = 0;
+  bool from_disklabel = false;
+};
+
+// Reads the MBR at sector 0, follows extended-partition chains, and descends
+// into BSD slices' disklabels.  Returns kCorrupt when sector 0 lacks the
+// 0x55AA signature.
+Error ReadPartitions(BlkIo* disk, std::vector<Partition>* out);
+
+// Returns a BlkIo view exposing exactly the partition's sectors; reads and
+// writes are offset and bounds-checked against the partition extent.
+ComPtr<BlkIo> MakePartitionView(BlkIo* disk, const Partition& partition);
+
+// ---- Writer half (test/example tooling) ----
+
+// Writes an MBR with up to four primary entries.
+Error WriteMbr(BlkIo* disk, const std::vector<Partition>& primaries);
+
+// Writes a BSD disklabel into `slice` (sector 1 of the slice), declaring the
+// given sub-partitions (offsets relative to the slice).
+Error WriteDisklabel(BlkIo* slice, const std::vector<Partition>& subs);
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_DISKPART_DISKPART_H_

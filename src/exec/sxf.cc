@@ -1,0 +1,135 @@
+#include "src/exec/sxf.h"
+
+#include <cstring>
+
+#include "src/base/byteorder.h"
+#include "src/base/checksum.h"
+
+namespace oskit::exec {
+
+Error Parse(const uint8_t* image, size_t size, ImageInfo* out) {
+  if (size < kSxfHeaderSize) {
+    return Error::kCorrupt;
+  }
+  if (LoadLe32(image) != kSxfMagic || LoadLe32(image + 4) != kSxfVersion) {
+    return Error::kCorrupt;
+  }
+  uint32_t entry = LoadLe32(image + 8);
+  uint32_t nsegs = LoadLe32(image + 12);
+  uint32_t stored_sum = LoadLe32(image + 16);
+  if (nsegs > 64) {
+    return Error::kCorrupt;
+  }
+  size_t table_end = kSxfHeaderSize + static_cast<size_t>(nsegs) * kSxfSegmentSize;
+  if (table_end > size) {
+    return Error::kCorrupt;
+  }
+  // Checksum covers everything after the checksum field.
+  uint16_t computed = InetChecksumOf(image + kSxfHeaderSize, size - kSxfHeaderSize);
+  if (computed != stored_sum) {
+    return Error::kCorrupt;
+  }
+
+  out->entry = entry;
+  out->segments.clear();
+  out->mem_size = 0;
+  for (uint32_t i = 0; i < nsegs; ++i) {
+    const uint8_t* p = image + kSxfHeaderSize + i * kSxfSegmentSize;
+    Segment seg;
+    uint32_t type = LoadLe32(p);
+    if (type < 1 || type > 3) {
+      return Error::kCorrupt;
+    }
+    seg.type = static_cast<SegmentType>(type);
+    seg.file_offset = LoadLe32(p + 4);
+    seg.file_size = LoadLe32(p + 8);
+    seg.mem_offset = LoadLe32(p + 12);
+    seg.mem_size = LoadLe32(p + 16);
+    if (seg.file_size > seg.mem_size) {
+      return Error::kCorrupt;
+    }
+    if (seg.type == SegmentType::kBss && seg.file_size != 0) {
+      return Error::kCorrupt;
+    }
+    if (static_cast<uint64_t>(seg.file_offset) + seg.file_size > size) {
+      return Error::kCorrupt;
+    }
+    // Memory ranges must not overlap previously declared ones.
+    uint64_t lo = seg.mem_offset;
+    uint64_t hi = lo + seg.mem_size;
+    for (const Segment& other : out->segments) {
+      uint64_t other_lo = other.mem_offset;
+      uint64_t other_hi = other_lo + other.mem_size;
+      if (lo < other_hi && other_lo < hi) {
+        return Error::kCorrupt;
+      }
+    }
+    if (hi > out->mem_size) {
+      out->mem_size = static_cast<uint32_t>(hi);
+    }
+    out->segments.push_back(seg);
+  }
+  if (out->mem_size != 0 && entry >= out->mem_size) {
+    return Error::kCorrupt;
+  }
+  return Error::kOk;
+}
+
+Error Load(const uint8_t* image, size_t size, uint8_t* memory, size_t memory_size,
+           ImageInfo* out_info) {
+  Error err = Parse(image, size, out_info);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (out_info->mem_size > memory_size) {
+    return Error::kNoMem;
+  }
+  for (const Segment& seg : out_info->segments) {
+    uint8_t* dst = memory + seg.mem_offset;
+    if (seg.file_size > 0) {
+      std::memcpy(dst, image + seg.file_offset, seg.file_size);
+    }
+    if (seg.mem_size > seg.file_size) {
+      std::memset(dst + seg.file_size, 0, seg.mem_size - seg.file_size);
+    }
+  }
+  return Error::kOk;
+}
+
+std::vector<uint8_t> Build(uint32_t entry, const std::vector<BuildSegment>& segments) {
+  size_t table_end = kSxfHeaderSize + segments.size() * kSxfSegmentSize;
+  size_t total = table_end;
+  for (const BuildSegment& seg : segments) {
+    total += seg.contents.size();
+  }
+  std::vector<uint8_t> image(total, 0);
+  StoreLe32(image.data(), kSxfMagic);
+  StoreLe32(image.data() + 4, kSxfVersion);
+  StoreLe32(image.data() + 8, entry);
+  StoreLe32(image.data() + 12, static_cast<uint32_t>(segments.size()));
+
+  uint32_t file_cursor = static_cast<uint32_t>(table_end);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const BuildSegment& seg = segments[i];
+    uint8_t* p = image.data() + kSxfHeaderSize + i * kSxfSegmentSize;
+    uint32_t mem_size = seg.mem_size != 0
+                            ? seg.mem_size
+                            : static_cast<uint32_t>(seg.contents.size());
+    StoreLe32(p, static_cast<uint32_t>(seg.type));
+    StoreLe32(p + 4, seg.contents.empty() ? 0 : file_cursor);
+    StoreLe32(p + 8, static_cast<uint32_t>(seg.contents.size()));
+    StoreLe32(p + 12, seg.mem_offset);
+    StoreLe32(p + 16, mem_size);
+    if (!seg.contents.empty()) {
+      std::memcpy(image.data() + file_cursor, seg.contents.data(),
+                  seg.contents.size());
+      file_cursor += static_cast<uint32_t>(seg.contents.size());
+    }
+  }
+  uint16_t sum =
+      InetChecksumOf(image.data() + kSxfHeaderSize, image.size() - kSxfHeaderSize);
+  StoreLe32(image.data() + 16, sum);
+  return image;
+}
+
+}  // namespace oskit::exec

@@ -1,0 +1,82 @@
+// Program loading (the paper's `exec` library).
+//
+// The OSKit's exec library loaded executables into a client-provided memory
+// abstraction; Fluke used it for its first user-mode program, pulled from
+// the boot-module filesystem.  Our executable format is SXF ("simple
+// executable format"): a header plus typed segments, with a checksum so the
+// loader can reject corrupt images.  The builder half lets tests, examples,
+// and the boot-image tooling produce images.
+//
+// Layout (little endian):
+//   0:  magic "SXF1"
+//   4:  u32 version (1)
+//   8:  u32 entry (offset into the loaded image)
+//  12:  u32 segment count
+//  16:  u32 image checksum (RFC1071 over everything after this field)
+//  20:  segments, 24 bytes each:
+//        u32 type (1=code, 2=data, 3=bss)
+//        u32 file_offset, u32 file_size
+//        u32 mem_offset, u32 mem_size   (mem_size >= file_size; rest zeroed)
+//        u32 reserved
+//  followed by segment file data.
+
+#ifndef OSKIT_SRC_EXEC_SXF_H_
+#define OSKIT_SRC_EXEC_SXF_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/error.h"
+
+namespace oskit::exec {
+
+inline constexpr uint32_t kSxfMagic = 0x31465853;  // "SXF1"
+inline constexpr uint32_t kSxfVersion = 1;
+inline constexpr size_t kSxfHeaderSize = 20;
+inline constexpr size_t kSxfSegmentSize = 24;
+
+enum class SegmentType : uint32_t {
+  kCode = 1,
+  kData = 2,
+  kBss = 3,
+};
+
+struct Segment {
+  SegmentType type = SegmentType::kData;
+  uint32_t file_offset = 0;
+  uint32_t file_size = 0;
+  uint32_t mem_offset = 0;
+  uint32_t mem_size = 0;
+};
+
+struct ImageInfo {
+  uint32_t entry = 0;
+  uint32_t mem_size = 0;  // total memory footprint
+  std::vector<Segment> segments;
+};
+
+// Parses and validates an image's header (magic, version, checksum, segment
+// sanity: in-bounds file ranges, non-overlapping memory ranges).
+Error Parse(const uint8_t* image, size_t size, ImageInfo* out);
+
+// Loads the image into `memory` (of at least info.mem_size bytes): copies
+// code/data, zeroes bss and data tails.
+Error Load(const uint8_t* image, size_t size, uint8_t* memory, size_t memory_size,
+           ImageInfo* out_info);
+
+// ---- Builder ----
+
+struct BuildSegment {
+  SegmentType type = SegmentType::kData;
+  uint32_t mem_offset = 0;
+  uint32_t mem_size = 0;                // for bss or data with zero tail
+  std::vector<uint8_t> contents;        // file data (empty for pure bss)
+};
+
+// Produces a valid SXF image.  mem_size of 0 means "same as contents size".
+std::vector<uint8_t> Build(uint32_t entry, const std::vector<BuildSegment>& segments);
+
+}  // namespace oskit::exec
+
+#endif  // OSKIT_SRC_EXEC_SXF_H_

@@ -1,0 +1,150 @@
+#include "src/fs/cache.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit::fs {
+
+BlockCache::BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacity)
+    : device_(std::move(device)), block_size_(block_size), capacity_(capacity) {
+  OSKIT_ASSERT(capacity_ >= 8);
+}
+
+BlockCache::~BlockCache() {
+  // Callers are expected to Sync(); losing dirty blocks here mirrors what a
+  // power cut would do, which the fsck tests exploit deliberately.
+}
+
+void BlockCache::Touch(uint32_t block, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(block);
+  entry.lru_pos = lru_.begin();
+}
+
+Error BlockCache::WriteBack(uint32_t block, Entry& entry) {
+  size_t actual = 0;
+  Error err = device_->Write(entry.data.data(),
+                             static_cast<off_t64>(block) * block_size_, block_size_,
+                             &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (actual != block_size_) {
+    return Error::kIo;
+  }
+  entry.dirty = false;
+  ++writebacks_;
+  return Error::kOk;
+}
+
+Error BlockCache::EvictOne() {
+  OSKIT_ASSERT(!lru_.empty());
+  uint32_t victim = lru_.back();
+  auto it = entries_.find(victim);
+  OSKIT_ASSERT(it != entries_.end());
+  if (it->second.dirty) {
+    Error err = WriteBack(victim, it->second);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  lru_.pop_back();
+  entries_.erase(it);
+  return Error::kOk;
+}
+
+Error BlockCache::Get(uint32_t block, uint8_t** out_data) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    ++hits_;
+    Touch(block, it->second);
+    *out_data = it->second.data.data();
+    return Error::kOk;
+  }
+  ++misses_;
+  while (entries_.size() >= capacity_) {
+    Error err = EvictOne();
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  Entry entry;
+  entry.data.resize(block_size_);
+  size_t actual = 0;
+  Error err = device_->Read(entry.data.data(),
+                            static_cast<off_t64>(block) * block_size_, block_size_,
+                            &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (actual != block_size_) {
+    return Error::kOutOfRange;
+  }
+  lru_.push_front(block);
+  entry.lru_pos = lru_.begin();
+  auto [pos, inserted] = entries_.emplace(block, std::move(entry));
+  OSKIT_ASSERT(inserted);
+  *out_data = pos->second.data.data();
+  return Error::kOk;
+}
+
+void BlockCache::MarkDirty(uint32_t block) {
+  auto it = entries_.find(block);
+  OSKIT_ASSERT_MSG(it != entries_.end(), "MarkDirty on uncached block");
+  it->second.dirty = true;
+}
+
+Error BlockCache::ReadBlock(uint32_t block, void* out) {
+  uint8_t* data = nullptr;
+  Error err = Get(block, &data);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memcpy(out, data, block_size_);
+  return Error::kOk;
+}
+
+Error BlockCache::WriteBlock(uint32_t block, const void* data) {
+  uint8_t* slot = nullptr;
+  Error err = Get(block, &slot);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memcpy(slot, data, block_size_);
+  MarkDirty(block);
+  return Error::kOk;
+}
+
+Error BlockCache::ZeroBlock(uint32_t block) {
+  uint8_t* slot = nullptr;
+  Error err = Get(block, &slot);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memset(slot, 0, block_size_);
+  MarkDirty(block);
+  return Error::kOk;
+}
+
+Error BlockCache::Sync() {
+  for (auto& [block, entry] : entries_) {
+    if (entry.dirty) {
+      Error err = WriteBack(block, entry);
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+  }
+  return Error::kOk;
+}
+
+void BlockCache::Invalidate(uint32_t block) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+}
+
+}  // namespace oskit::fs

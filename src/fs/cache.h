@@ -1,0 +1,72 @@
+// Write-back block cache over a BlkIo, in the style of the BSD buffer cache
+// the imported filesystem code expected.
+
+#ifndef OSKIT_SRC_FS_CACHE_H_
+#define OSKIT_SRC_FS_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/com/blkio.h"
+
+namespace oskit::fs {
+
+class BlockCache {
+ public:
+  // `capacity` is the number of cached blocks before LRU eviction.
+  BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacity = 256);
+  ~BlockCache();
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  uint32_t block_size() const { return block_size_; }
+
+  // Returns a pointer to the cached block contents, reading it in if absent
+  // (bread).  The pointer stays valid until the next cache call.
+  Error Get(uint32_t block, uint8_t** out_data);
+
+  // Marks a block dirty (bdwrite).
+  void MarkDirty(uint32_t block);
+
+  // Convenience: whole-block read/write through the cache.
+  Error ReadBlock(uint32_t block, void* out);
+  Error WriteBlock(uint32_t block, const void* data);
+  Error ZeroBlock(uint32_t block);
+
+  // Flushes all dirty blocks to the device (sync).
+  Error Sync();
+
+  // Drops a clean or dirty block without writing (used after freeing it).
+  void Invalidate(uint32_t block);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t writebacks() const { return writebacks_; }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+
+  Error EvictOne();
+  Error WriteBack(uint32_t block, Entry& entry);
+  void Touch(uint32_t block, Entry& entry);
+
+  ComPtr<BlkIo> device_;
+  uint32_t block_size_;
+  size_t capacity_;
+  std::map<uint32_t, Entry> entries_;
+  std::list<uint32_t> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t writebacks_ = 0;
+};
+
+}  // namespace oskit::fs
+
+#endif  // OSKIT_SRC_FS_CACHE_H_

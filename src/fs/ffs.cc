@@ -1,0 +1,962 @@
+#include "src/fs/ffs.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/libc/string.h"
+
+namespace oskit::fs {
+
+static_assert(std::endian::native == std::endian::little,
+              "on-disk structures are stored little-endian via memcpy");
+
+namespace {
+
+
+bool IsDot(const char* name) { return libc::Strcmp(name, ".") == 0; }
+bool IsDotDot(const char* name) { return libc::Strcmp(name, "..") == 0; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// mkfs
+// ---------------------------------------------------------------------------
+
+Error Mkfs(BlkIo* device, const MkfsOptions& options) {
+  off_t64 device_bytes = 0;
+  Error err = device->GetSize(&device_bytes);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint32_t total_blocks = static_cast<uint32_t>(device_bytes / kBlockSize);
+  if (total_blocks < 16) {
+    return Error::kNoSpace;
+  }
+
+  SuperBlock sb;
+  sb.total_blocks = total_blocks;
+  sb.inode_count = options.inode_count != 0
+                       ? options.inode_count
+                       : (total_blocks / 8 + kInodesPerBlock) / kInodesPerBlock *
+                             kInodesPerBlock;
+  sb.bitmap_start = 1;
+  sb.bitmap_blocks = (total_blocks + kBlockSize * 8 - 1) / (kBlockSize * 8);
+  sb.itable_start = sb.bitmap_start + sb.bitmap_blocks;
+  sb.itable_blocks = sb.inode_count / kInodesPerBlock;
+  sb.data_start = sb.itable_start + sb.itable_blocks;
+  if (sb.data_start + 4 >= total_blocks) {
+    return Error::kNoSpace;
+  }
+  sb.free_blocks = total_blocks - sb.data_start;
+  sb.free_inodes = sb.inode_count - 2;  // ino 0 unused, ino 1 = root
+  sb.clean = 1;
+
+  std::vector<uint8_t> block(kBlockSize, 0);
+  size_t actual = 0;
+
+  // Zero the metadata area.
+  for (uint32_t b = 0; b < sb.data_start; ++b) {
+    err = device->Write(block.data(), static_cast<off_t64>(b) * kBlockSize,
+                        kBlockSize, &actual);
+    if (!Ok(err) || actual != kBlockSize) {
+      return Ok(err) ? Error::kIo : err;
+    }
+  }
+
+  // Bitmap: metadata blocks are "used".
+  for (uint32_t b = 0; b < sb.data_start; ++b) {
+    uint32_t bitmap_block = sb.bitmap_start + b / (kBlockSize * 8);
+    uint32_t bit = b % (kBlockSize * 8);
+    err = device->Read(block.data(), static_cast<off_t64>(bitmap_block) * kBlockSize,
+                       kBlockSize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    block[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    err = device->Write(block.data(), static_cast<off_t64>(bitmap_block) * kBlockSize,
+                        kBlockSize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+
+  // Also mark the root directory's first data block used.
+  uint32_t root_block = sb.data_start;
+  {
+    uint32_t bitmap_block = sb.bitmap_start + root_block / (kBlockSize * 8);
+    uint32_t bit = root_block % (kBlockSize * 8);
+    err = device->Read(block.data(), static_cast<off_t64>(bitmap_block) * kBlockSize,
+                       kBlockSize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    block[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    err = device->Write(block.data(), static_cast<off_t64>(bitmap_block) * kBlockSize,
+                        kBlockSize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    sb.free_blocks -= 1;
+  }
+
+  // Root inode.
+  DiskInode root;
+  root.mode = kModeDirectory | 0755;
+  root.nlink = 2;  // "." and the root's self-reference
+  root.size = 2 * kDirEntrySize;
+  root.direct[0] = root_block;
+  root.blocks = 1;
+
+  std::memset(block.data(), 0, kBlockSize);
+  std::memcpy(block.data() + kRootIno * kInodeSize, &root, sizeof(root));
+  err = device->Write(block.data(), static_cast<off_t64>(sb.itable_start) * kBlockSize,
+                      kBlockSize, &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+
+  // Root directory data: "." and "..".
+  std::memset(block.data(), 0, kBlockSize);
+  auto* dot = reinterpret_cast<DiskDirEntry*>(block.data());
+  dot->ino = kRootIno;
+  dot->type = kModeDirectory >> 12;
+  dot->name_len = 1;
+  libc::Strcpy(dot->name, ".");
+  auto* dotdot = reinterpret_cast<DiskDirEntry*>(block.data() + kDirEntrySize);
+  dotdot->ino = kRootIno;
+  dotdot->type = kModeDirectory >> 12;
+  dotdot->name_len = 2;
+  libc::Strcpy(dotdot->name, "..");
+  err = device->Write(block.data(), static_cast<off_t64>(root_block) * kBlockSize,
+                      kBlockSize, &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+
+  // Superblock last (a crash mid-mkfs leaves no valid magic).
+  std::memset(block.data(), 0, kBlockSize);
+  std::memcpy(block.data(), &sb, sizeof(sb));
+  return device->Write(block.data(), 0, kBlockSize, &actual);
+}
+
+// ---------------------------------------------------------------------------
+// Mount / superblock
+// ---------------------------------------------------------------------------
+
+Offs::Offs(ComPtr<BlkIo> device, const SuperBlock& sb)
+    : device_(std::move(device)), sb_(sb) {
+  cache_ = std::make_unique<BlockCache>(device_, kBlockSize);
+  alloc_cursor_ = sb_.data_start;
+}
+
+Offs::~Offs() = default;
+
+Error Offs::Mount(BlkIo* device, FileSystem** out_fs) {
+  *out_fs = nullptr;
+  uint8_t block[kBlockSize];
+  size_t actual = 0;
+  Error err = device->Read(block, 0, kBlockSize, &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (actual != kBlockSize) {
+    return Error::kCorrupt;
+  }
+  SuperBlock sb;
+  std::memcpy(&sb, block, sizeof(sb));
+  if (sb.magic != kFsMagic || sb.version != kFsVersion || sb.block_size != kBlockSize) {
+    return Error::kCorrupt;
+  }
+  off_t64 device_bytes = 0;
+  err = device->GetSize(&device_bytes);
+  if (!Ok(err) || static_cast<off_t64>(sb.total_blocks) * kBlockSize > device_bytes) {
+    return Error::kCorrupt;
+  }
+  auto* fs = new Offs(ComPtr<BlkIo>::Retain(device), sb);
+  // Mark dirty-on-disk until a clean unmount (what fsck keys off).
+  fs->sb_.clean = 0;
+  err = fs->WriteSuperBlock();
+  if (!Ok(err)) {
+    fs->Release();
+    return err;
+  }
+  err = fs->cache_->Sync();
+  if (!Ok(err)) {
+    fs->Release();
+    return err;
+  }
+  *out_fs = fs;
+  return Error::kOk;
+}
+
+Error Offs::WriteSuperBlock() {
+  uint8_t* data = nullptr;
+  Error err = cache_->Get(0, &data);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memset(data, 0, kBlockSize);
+  std::memcpy(data, &sb_, sizeof(sb_));
+  cache_->MarkDirty(0);
+  return Error::kOk;
+}
+
+Error Offs::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == FileSystem::kIid) {
+    AddRef();
+    *out = static_cast<FileSystem*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error Offs::StatFs(FsStat* out_stat) {
+  out_stat->block_size = kBlockSize;
+  out_stat->total_blocks = sb_.total_blocks;
+  out_stat->free_blocks = sb_.free_blocks;
+  out_stat->total_inodes = sb_.inode_count;
+  out_stat->free_inodes = sb_.free_inodes;
+  return Error::kOk;
+}
+
+Error Offs::Sync() {
+  Error err = WriteSuperBlock();
+  if (!Ok(err)) {
+    return err;
+  }
+  return cache_->Sync();
+}
+
+Error Offs::Unmount() {
+  if (unmounted_) {
+    return Error::kOk;
+  }
+  sb_.clean = 1;
+  Error err = Sync();
+  if (!Ok(err)) {
+    return err;
+  }
+  unmounted_ = true;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Inode table
+// ---------------------------------------------------------------------------
+
+Error Offs::ReadInode(uint64_t ino, DiskInode* out) {
+  if (ino == 0 || ino >= sb_.inode_count) {
+    return Error::kInval;
+  }
+  uint32_t block = sb_.itable_start + static_cast<uint32_t>(ino / kInodesPerBlock);
+  uint8_t* data = nullptr;
+  Error err = cache_->Get(block, &data);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memcpy(out, data + (ino % kInodesPerBlock) * kInodeSize, sizeof(DiskInode));
+  return Error::kOk;
+}
+
+Error Offs::WriteInode(uint64_t ino, const DiskInode& inode) {
+  if (ino == 0 || ino >= sb_.inode_count) {
+    return Error::kInval;
+  }
+  uint32_t block = sb_.itable_start + static_cast<uint32_t>(ino / kInodesPerBlock);
+  uint8_t* data = nullptr;
+  Error err = cache_->Get(block, &data);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memcpy(data + (ino % kInodesPerBlock) * kInodeSize, &inode, sizeof(DiskInode));
+  cache_->MarkDirty(block);
+  return Error::kOk;
+}
+
+Error Offs::AllocInode(uint16_t mode, uint64_t* out_ino) {
+  if (sb_.free_inodes == 0) {
+    return Error::kNoSpace;
+  }
+  for (uint64_t ino = 2; ino < sb_.inode_count; ++ino) {
+    DiskInode inode;
+    Error err = ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    if ((inode.mode & kModeTypeMask) == kModeFree) {
+      inode = DiskInode{};
+      inode.mode = mode;
+      inode.nlink = 0;
+      inode.mtime = now();
+      err = WriteInode(ino, inode);
+      if (!Ok(err)) {
+        return err;
+      }
+      --sb_.free_inodes;
+      *out_ino = ino;
+      return Error::kOk;
+    }
+  }
+  return Error::kNoSpace;
+}
+
+Error Offs::FreeInode(uint64_t ino) {
+  DiskInode inode;
+  Error err = ReadInode(ino, &inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  err = TruncateBlocks(&inode, 0);
+  if (!Ok(err)) {
+    return err;
+  }
+  inode = DiskInode{};
+  err = WriteInode(ino, inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  ++sb_.free_inodes;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Block allocation
+// ---------------------------------------------------------------------------
+
+Error Offs::SetBitmapBit(uint32_t block, bool used) {
+  uint32_t bitmap_block = sb_.bitmap_start + block / (kBlockSize * 8);
+  uint32_t bit = block % (kBlockSize * 8);
+  uint8_t* data = nullptr;
+  Error err = cache_->Get(bitmap_block, &data);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint8_t mask = static_cast<uint8_t>(1u << (bit % 8));
+  bool was_used = (data[bit / 8] & mask) != 0;
+  if (used == was_used) {
+    return Error::kUnexpected;  // double alloc / double free
+  }
+  if (used) {
+    data[bit / 8] |= mask;
+  } else {
+    data[bit / 8] &= static_cast<uint8_t>(~mask);
+  }
+  cache_->MarkDirty(bitmap_block);
+  return Error::kOk;
+}
+
+Error Offs::FindFreeBitmapBit(uint32_t* out_block) {
+  // Rotor scan from the last allocation point.
+  uint32_t total = sb_.total_blocks;
+  uint32_t start = alloc_cursor_;
+  for (uint32_t i = 0; i < total; ++i) {
+    uint32_t block = start + i;
+    if (block >= total) {
+      block = sb_.data_start + (block - total) % (total - sb_.data_start);
+    }
+    if (block < sb_.data_start) {
+      continue;
+    }
+    uint32_t bitmap_block = sb_.bitmap_start + block / (kBlockSize * 8);
+    uint32_t bit = block % (kBlockSize * 8);
+    uint8_t* data = nullptr;
+    Error err = cache_->Get(bitmap_block, &data);
+    if (!Ok(err)) {
+      return err;
+    }
+    if ((data[bit / 8] & (1u << (bit % 8))) == 0) {
+      *out_block = block;
+      alloc_cursor_ = block + 1;
+      return Error::kOk;
+    }
+  }
+  return Error::kNoSpace;
+}
+
+Error Offs::AllocBlock(uint32_t* out_block) {
+  if (sb_.free_blocks == 0) {
+    return Error::kNoSpace;
+  }
+  uint32_t block = 0;
+  Error err = FindFreeBitmapBit(&block);
+  if (!Ok(err)) {
+    return err;
+  }
+  err = SetBitmapBit(block, true);
+  if (!Ok(err)) {
+    return err;
+  }
+  --sb_.free_blocks;
+  err = cache_->ZeroBlock(block);
+  if (!Ok(err)) {
+    return err;
+  }
+  *out_block = block;
+  return Error::kOk;
+}
+
+Error Offs::FreeBlock(uint32_t block) {
+  if (block < sb_.data_start || block >= sb_.total_blocks) {
+    return Error::kInval;
+  }
+  Error err = SetBitmapBit(block, false);
+  if (!Ok(err)) {
+    return err;
+  }
+  ++sb_.free_blocks;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Block mapping (direct, single and double indirect)
+// ---------------------------------------------------------------------------
+
+Error Offs::BMap(uint64_t ino, DiskInode* inode, uint32_t file_block, bool alloc,
+                 uint32_t* out_block) {
+  *out_block = 0;
+  bool inode_dirty = false;
+
+  auto load_slot = [&](uint32_t table_block, uint32_t index, uint32_t* out) -> Error {
+    uint8_t* data = nullptr;
+    Error err = cache_->Get(table_block, &data);
+    if (!Ok(err)) {
+      return err;
+    }
+    std::memcpy(out, data + index * 4, 4);
+    return Error::kOk;
+  };
+  auto store_slot = [&](uint32_t table_block, uint32_t index, uint32_t value) -> Error {
+    uint8_t* data = nullptr;
+    Error err = cache_->Get(table_block, &data);
+    if (!Ok(err)) {
+      return err;
+    }
+    std::memcpy(data + index * 4, &value, 4);
+    cache_->MarkDirty(table_block);
+    return Error::kOk;
+  };
+
+  Error err = Error::kOk;
+  if (file_block < kDirectBlocks) {
+    uint32_t block = inode->direct[file_block];
+    if (block == 0 && alloc) {
+      err = AllocBlock(&block);
+      if (!Ok(err)) {
+        return err;
+      }
+      inode->direct[file_block] = block;
+      inode->blocks += 1;
+      inode_dirty = true;
+    }
+    *out_block = block;
+  } else if (file_block < kDirectBlocks + kPointersPerBlock) {
+    uint32_t index = file_block - kDirectBlocks;
+    if (inode->indirect == 0) {
+      if (!alloc) {
+        return Error::kOk;  // hole
+      }
+      err = AllocBlock(&inode->indirect);
+      if (!Ok(err)) {
+        return err;
+      }
+      inode->blocks += 1;
+      inode_dirty = true;
+    }
+    uint32_t block = 0;
+    err = load_slot(inode->indirect, index, &block);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (block == 0 && alloc) {
+      err = AllocBlock(&block);
+      if (!Ok(err)) {
+        return err;
+      }
+      err = store_slot(inode->indirect, index, block);
+      if (!Ok(err)) {
+        return err;
+      }
+      inode->blocks += 1;
+      inode_dirty = true;
+    }
+    *out_block = block;
+  } else {
+    uint32_t index = file_block - kDirectBlocks - kPointersPerBlock;
+    uint32_t outer = index / kPointersPerBlock;
+    uint32_t inner = index % kPointersPerBlock;
+    if (outer >= kPointersPerBlock) {
+      return Error::kFBig;
+    }
+    if (inode->double_indirect == 0) {
+      if (!alloc) {
+        return Error::kOk;
+      }
+      err = AllocBlock(&inode->double_indirect);
+      if (!Ok(err)) {
+        return err;
+      }
+      inode->blocks += 1;
+      inode_dirty = true;
+    }
+    uint32_t mid = 0;
+    err = load_slot(inode->double_indirect, outer, &mid);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (mid == 0) {
+      if (!alloc) {
+        return Error::kOk;
+      }
+      err = AllocBlock(&mid);
+      if (!Ok(err)) {
+        return err;
+      }
+      err = store_slot(inode->double_indirect, outer, mid);
+      if (!Ok(err)) {
+        return err;
+      }
+      inode->blocks += 1;
+      inode_dirty = true;
+    }
+    uint32_t block = 0;
+    err = load_slot(mid, inner, &block);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (block == 0 && alloc) {
+      err = AllocBlock(&block);
+      if (!Ok(err)) {
+        return err;
+      }
+      err = store_slot(mid, inner, block);
+      if (!Ok(err)) {
+        return err;
+      }
+      inode->blocks += 1;
+      inode_dirty = true;
+    }
+    *out_block = block;
+  }
+
+  if (inode_dirty) {
+    return WriteInode(ino, *inode);
+  }
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// File read / write / truncate
+// ---------------------------------------------------------------------------
+
+Error Offs::FileReadAt(uint64_t ino, void* buf, uint64_t offset, size_t amount,
+                       size_t* out_actual) {
+  *out_actual = 0;
+  DiskInode inode;
+  Error err = ReadInode(ino, &inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (offset >= inode.size) {
+    return Error::kOk;  // EOF
+  }
+  if (offset + amount > inode.size) {
+    amount = inode.size - offset;
+  }
+  auto* out = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < amount) {
+    uint32_t fb = static_cast<uint32_t>((offset + done) / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>((offset + done) % kBlockSize);
+    size_t n = kBlockSize - in_block;
+    if (n > amount - done) {
+      n = amount - done;
+    }
+    uint32_t block = 0;
+    err = BMap(ino, &inode, fb, /*alloc=*/false, &block);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (block == 0) {
+      std::memset(out + done, 0, n);  // hole
+    } else {
+      uint8_t* data = nullptr;
+      err = cache_->Get(block, &data);
+      if (!Ok(err)) {
+        return err;
+      }
+      std::memcpy(out + done, data + in_block, n);
+    }
+    done += n;
+  }
+  *out_actual = done;
+  return Error::kOk;
+}
+
+Error Offs::FileWriteAt(uint64_t ino, const void* buf, uint64_t offset, size_t amount,
+                        size_t* out_actual) {
+  *out_actual = 0;
+  DiskInode inode;
+  Error err = ReadInode(ino, &inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  const auto* in = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < amount) {
+    uint32_t fb = static_cast<uint32_t>((offset + done) / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>((offset + done) % kBlockSize);
+    size_t n = kBlockSize - in_block;
+    if (n > amount - done) {
+      n = amount - done;
+    }
+    uint32_t block = 0;
+    err = BMap(ino, &inode, fb, /*alloc=*/true, &block);
+    if (!Ok(err)) {
+      return err;
+    }
+    OSKIT_ASSERT(block != 0);
+    uint8_t* data = nullptr;
+    err = cache_->Get(block, &data);
+    if (!Ok(err)) {
+      return err;
+    }
+    std::memcpy(data + in_block, in + done, n);
+    cache_->MarkDirty(block);
+    done += n;
+  }
+  if (offset + done > inode.size) {
+    // Reload: BMap may have stored the inode with new block pointers.
+    err = ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    inode.size = offset + done;
+    inode.mtime = now();
+    err = WriteInode(ino, inode);
+    if (!Ok(err)) {
+      return err;
+    }
+  } else if (done > 0) {
+    err = ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    inode.mtime = now();
+    err = WriteInode(ino, inode);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  *out_actual = done;
+  return Error::kOk;
+}
+
+Error Offs::TruncateBlocks(DiskInode* inode, uint32_t from_fb) {
+  // Frees all data blocks with index >= from_fb plus any indirect blocks
+  // that become empty.  Called with the inode NOT yet written back.
+  auto free_if = [&](uint32_t* slot) -> Error {
+    if (*slot != 0) {
+      Error err = FreeBlock(*slot);
+      if (!Ok(err)) {
+        return err;
+      }
+      *slot = 0;
+      inode->blocks -= 1;
+    }
+    return Error::kOk;
+  };
+
+  for (uint32_t fb = from_fb; fb < kDirectBlocks; ++fb) {
+    Error err = free_if(&inode->direct[fb]);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+
+  // Single indirect.
+  if (inode->indirect != 0) {
+    uint32_t first = from_fb > kDirectBlocks ? from_fb - kDirectBlocks : 0;
+    if (first < kPointersPerBlock) {
+      uint8_t* data = nullptr;
+      Error err = cache_->Get(inode->indirect, &data);
+      if (!Ok(err)) {
+        return err;
+      }
+      bool any_left = false;
+      for (uint32_t i = 0; i < kPointersPerBlock; ++i) {
+        uint32_t slot = 0;
+        std::memcpy(&slot, data + i * 4, 4);
+        if (i >= first && slot != 0) {
+          err = FreeBlock(slot);
+          if (!Ok(err)) {
+            return err;
+          }
+          slot = 0;
+          std::memcpy(data + i * 4, &slot, 4);
+          cache_->MarkDirty(inode->indirect);
+          inode->blocks -= 1;
+        } else if (slot != 0) {
+          any_left = true;
+        }
+      }
+      if (!any_left) {
+        err = free_if(&inode->indirect);
+        if (!Ok(err)) {
+          return err;
+        }
+      }
+    }
+  }
+
+  // Double indirect.
+  if (inode->double_indirect != 0) {
+    uint32_t base = kDirectBlocks + kPointersPerBlock;
+    uint32_t first = from_fb > base ? from_fb - base : 0;
+    uint8_t* outer_data = nullptr;
+    Error err = cache_->Get(inode->double_indirect, &outer_data);
+    if (!Ok(err)) {
+      return err;
+    }
+    bool outer_any_left = false;
+    for (uint32_t o = 0; o < kPointersPerBlock; ++o) {
+      uint32_t mid = 0;
+      std::memcpy(&mid, outer_data + o * 4, 4);
+      if (mid == 0) {
+        continue;
+      }
+      uint32_t mid_base = o * kPointersPerBlock;
+      if (mid_base + kPointersPerBlock <= first) {
+        outer_any_left = true;
+        continue;  // entirely below the cut
+      }
+      uint8_t* mid_data = nullptr;
+      err = cache_->Get(mid, &mid_data);
+      if (!Ok(err)) {
+        return err;
+      }
+      bool mid_any_left = false;
+      for (uint32_t i = 0; i < kPointersPerBlock; ++i) {
+        uint32_t slot = 0;
+        std::memcpy(&slot, mid_data + i * 4, 4);
+        if (slot == 0) {
+          continue;
+        }
+        if (mid_base + i >= first) {
+          err = FreeBlock(slot);
+          if (!Ok(err)) {
+            return err;
+          }
+          slot = 0;
+          std::memcpy(mid_data + i * 4, &slot, 4);
+          cache_->MarkDirty(mid);
+          inode->blocks -= 1;
+        } else {
+          mid_any_left = true;
+        }
+      }
+      if (!mid_any_left) {
+        err = FreeBlock(mid);
+        if (!Ok(err)) {
+          return err;
+        }
+        inode->blocks -= 1;
+        uint32_t zero = 0;
+        // Re-fetch the outer block: freeing `mid` may have evicted it.
+        err = cache_->Get(inode->double_indirect, &outer_data);
+        if (!Ok(err)) {
+          return err;
+        }
+        std::memcpy(outer_data + o * 4, &zero, 4);
+        cache_->MarkDirty(inode->double_indirect);
+      } else {
+        outer_any_left = true;
+      }
+    }
+    if (!outer_any_left) {
+      err = free_if(&inode->double_indirect);
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+  }
+  return Error::kOk;
+}
+
+Error Offs::FileTruncate(uint64_t ino, uint64_t new_size) {
+  DiskInode inode;
+  Error err = ReadInode(ino, &inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (new_size < inode.size) {
+    uint32_t keep_blocks = static_cast<uint32_t>((new_size + kBlockSize - 1) / kBlockSize);
+    err = TruncateBlocks(&inode, keep_blocks);
+    if (!Ok(err)) {
+      return err;
+    }
+    // Zero the tail of the last kept block so re-extension reads zeros.
+    if (new_size % kBlockSize != 0) {
+      uint32_t block = 0;
+      err = BMap(ino, &inode, keep_blocks - 1, /*alloc=*/false, &block);
+      if (!Ok(err)) {
+        return err;
+      }
+      if (block != 0) {
+        uint8_t* data = nullptr;
+        err = cache_->Get(block, &data);
+        if (!Ok(err)) {
+          return err;
+        }
+        std::memset(data + new_size % kBlockSize, 0,
+                    kBlockSize - new_size % kBlockSize);
+        cache_->MarkDirty(block);
+      }
+    }
+  }
+  inode.size = new_size;
+  inode.mtime = now();
+  return WriteInode(ino, inode);
+}
+
+// ---------------------------------------------------------------------------
+// Directories
+// ---------------------------------------------------------------------------
+
+Error Offs::DirLookup(uint64_t dir_ino, const char* name, uint64_t* out_ino) {
+  DiskInode dir;
+  Error err = ReadInode(dir_ino, &dir);
+  if (!Ok(err)) {
+    return err;
+  }
+  if ((dir.mode & kModeTypeMask) != kModeDirectory) {
+    return Error::kNotDir;
+  }
+  uint64_t entries = dir.size / kDirEntrySize;
+  for (uint64_t i = 0; i < entries; ++i) {
+    DiskDirEntry entry;
+    size_t actual = 0;
+    err = FileReadAt(dir_ino, &entry, i * kDirEntrySize, kDirEntrySize, &actual);
+    if (!Ok(err) || actual != kDirEntrySize) {
+      return Ok(err) ? Error::kCorrupt : err;
+    }
+    if (entry.ino != 0 && libc::Strcmp(entry.name, name) == 0) {
+      *out_ino = entry.ino;
+      return Error::kOk;
+    }
+  }
+  return Error::kNoEnt;
+}
+
+Error Offs::DirAdd(uint64_t dir_ino, const char* name, uint64_t ino,
+                   uint16_t type_bits) {
+  DiskInode dir;
+  Error err = ReadInode(dir_ino, &dir);
+  if (!Ok(err)) {
+    return err;
+  }
+  DiskDirEntry entry;
+  entry.ino = ino;
+  entry.type = static_cast<uint8_t>(type_bits >> 12);
+  entry.name_len = static_cast<uint8_t>(libc::Strlen(name));
+  libc::Strlcpy(entry.name, name, sizeof(entry.name));
+
+  // Reuse an empty slot, else append.
+  uint64_t entries = dir.size / kDirEntrySize;
+  uint64_t slot = entries;
+  for (uint64_t i = 0; i < entries; ++i) {
+    DiskDirEntry probe;
+    size_t actual = 0;
+    err = FileReadAt(dir_ino, &probe, i * kDirEntrySize, kDirEntrySize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (probe.ino == 0) {
+      slot = i;
+      break;
+    }
+  }
+  size_t actual = 0;
+  return FileWriteAt(dir_ino, &entry, slot * kDirEntrySize, kDirEntrySize, &actual);
+}
+
+Error Offs::DirRemove(uint64_t dir_ino, const char* name) {
+  DiskInode dir;
+  Error err = ReadInode(dir_ino, &dir);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t entries = dir.size / kDirEntrySize;
+  for (uint64_t i = 0; i < entries; ++i) {
+    DiskDirEntry entry;
+    size_t actual = 0;
+    err = FileReadAt(dir_ino, &entry, i * kDirEntrySize, kDirEntrySize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (entry.ino != 0 && libc::Strcmp(entry.name, name) == 0) {
+      entry = DiskDirEntry{};
+      return FileWriteAt(dir_ino, &entry, i * kDirEntrySize, kDirEntrySize, &actual);
+    }
+  }
+  return Error::kNoEnt;
+}
+
+Error Offs::DirIsEmpty(uint64_t dir_ino, bool* out_empty) {
+  DiskInode dir;
+  Error err = ReadInode(dir_ino, &dir);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t entries = dir.size / kDirEntrySize;
+  for (uint64_t i = 0; i < entries; ++i) {
+    DiskDirEntry entry;
+    size_t actual = 0;
+    err = FileReadAt(dir_ino, &entry, i * kDirEntrySize, kDirEntrySize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (entry.ino != 0 && !IsDot(entry.name) && !IsDotDot(entry.name)) {
+      *out_empty = false;
+      return Error::kOk;
+    }
+  }
+  *out_empty = true;
+  return Error::kOk;
+}
+
+Error Offs::DirRead(uint64_t dir_ino, uint64_t* inout_offset, DirEntry* entries,
+                    size_t capacity, size_t* out_count) {
+  *out_count = 0;
+  DiskInode dir;
+  Error err = ReadInode(dir_ino, &dir);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t total = dir.size / kDirEntrySize;
+  uint64_t i = *inout_offset;
+  while (i < total && *out_count < capacity) {
+    DiskDirEntry raw;
+    size_t actual = 0;
+    err = FileReadAt(dir_ino, &raw, i * kDirEntrySize, kDirEntrySize, &actual);
+    if (!Ok(err)) {
+      return err;
+    }
+    ++i;
+    if (raw.ino == 0) {
+      continue;
+    }
+    DirEntry& out = entries[*out_count];
+    out.ino = raw.ino;
+    out.type = (static_cast<uint16_t>(raw.type) << 12) == kModeDirectory
+                   ? FileType::kDirectory
+                   : FileType::kRegular;
+    libc::Strlcpy(out.name, raw.name, sizeof(out.name));
+    ++*out_count;
+  }
+  *inout_offset = i;
+  return Error::kOk;
+}
+
+}  // namespace oskit::fs

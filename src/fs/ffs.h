@@ -1,0 +1,100 @@
+// "offs" — the FFS-style filesystem component (paper §3.8).
+//
+// Plays the role of the encapsulated NetBSD FFS: a real on-disk filesystem
+// (src/fs/format.h) running over ANY BlkIo — the Linux-idiom IDE driver, a
+// partition view, or a RAM disk — bound at run time (§4.2.2: "the client OS
+// can bind at run time any file system to any device driver").  The exported
+// COM interfaces take single pathname components, the granularity the secure
+// fileserver case study depends on.
+
+#ifndef OSKIT_SRC_FS_FFS_H_
+#define OSKIT_SRC_FS_FFS_H_
+
+#include <memory>
+
+#include "src/com/filesystem.h"
+#include "src/fs/cache.h"
+#include "src/fs/format.h"
+
+namespace oskit::fs {
+
+struct MkfsOptions {
+  // 0 = choose automatically (one inode per 8 data blocks).
+  uint32_t inode_count = 0;
+};
+
+// Formats the device.  Destroys all content.
+Error Mkfs(BlkIo* device, const MkfsOptions& options = {});
+
+class Offs final : public FileSystem, public RefCounted<Offs> {
+ public:
+  // Mounts the filesystem; fails with kCorrupt when the superblock does not
+  // validate.  The clean flag is cleared on disk until Unmount.
+  static Error Mount(BlkIo* device, FileSystem** out_fs);
+
+  // IUnknown
+  Error Query(const Guid& iid, void** out) override;
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  // FileSystem
+  Error GetRoot(Dir** out_root) override;
+  Error StatFs(FsStat* out_stat) override;
+  Error Sync() override;
+  Error Unmount() override;
+
+  // ---- Internal operations used by the File/Dir wrappers ----
+  Error ReadInode(uint64_t ino, DiskInode* out);
+  Error WriteInode(uint64_t ino, const DiskInode& inode);
+  Error AllocInode(uint16_t mode, uint64_t* out_ino);
+  Error FreeInode(uint64_t ino);
+
+  Error AllocBlock(uint32_t* out_block);
+  Error FreeBlock(uint32_t block);
+
+  // Maps file block index -> disk block; allocates missing blocks when
+  // `alloc` (growing through single and double indirection).  A hole reads
+  // as block 0 (callers substitute zeros).
+  Error BMap(uint64_t ino, DiskInode* inode, uint32_t file_block, bool alloc,
+             uint32_t* out_block);
+
+  Error FileReadAt(uint64_t ino, void* buf, uint64_t offset, size_t amount,
+                   size_t* out_actual);
+  Error FileWriteAt(uint64_t ino, const void* buf, uint64_t offset, size_t amount,
+                    size_t* out_actual);
+  Error FileTruncate(uint64_t ino, uint64_t new_size);
+
+  // Directory primitives (single components).
+  Error DirLookup(uint64_t dir_ino, const char* name, uint64_t* out_ino);
+  Error DirAdd(uint64_t dir_ino, const char* name, uint64_t ino, uint16_t type_bits);
+  Error DirRemove(uint64_t dir_ino, const char* name);
+  Error DirIsEmpty(uint64_t dir_ino, bool* out_empty);
+  Error DirRead(uint64_t dir_ino, uint64_t* inout_offset, DirEntry* entries,
+                size_t capacity, size_t* out_count);
+
+  const SuperBlock& superblock() const { return sb_; }
+  BlockCache& cache() { return *cache_; }
+  uint64_t now() { return ++mtime_counter_; }
+  bool unmounted() const { return unmounted_; }
+
+ private:
+  friend class RefCounted<Offs>;
+  Offs(ComPtr<BlkIo> device, const SuperBlock& sb);
+  ~Offs();
+
+  Error WriteSuperBlock();
+  Error SetBitmapBit(uint32_t block, bool used);
+  Error FindFreeBitmapBit(uint32_t* out_block);
+  // Frees every data/indirect block at or beyond file block `from_fb`.
+  Error TruncateBlocks(DiskInode* inode, uint32_t from_fb);
+
+  ComPtr<BlkIo> device_;
+  SuperBlock sb_;
+  std::unique_ptr<BlockCache> cache_;
+  uint64_t mtime_counter_ = 0;
+  bool unmounted_ = false;
+  uint32_t alloc_cursor_ = 0;  // rotor for block allocation
+};
+
+}  // namespace oskit::fs
+
+#endif  // OSKIT_SRC_FS_FFS_H_

@@ -1,0 +1,440 @@
+// COM File/Dir wrappers over the offs core: the VFS-granularity interface
+// (single pathname components) of §3.8.
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/fs/ffs.h"
+#include "src/libc/string.h"
+
+namespace oskit::fs {
+
+namespace {
+
+bool ValidComponent(const char* name) {
+  if (name == nullptr || name[0] == '\0') {
+    return false;
+  }
+  if (libc::Strlen(name) > kMaxNameLen) {
+    return false;
+  }
+  return libc::Strchr(name, '/') == nullptr;
+}
+
+void FillStat(uint64_t ino, const DiskInode& inode, FileStat* out) {
+  out->ino = ino;
+  out->type = (inode.mode & kModeTypeMask) == kModeDirectory ? FileType::kDirectory
+                                                             : FileType::kRegular;
+  out->mode = inode.mode & 0777;
+  out->nlink = inode.nlink;
+  out->size = inode.size;
+  out->blocks = static_cast<uint64_t>(inode.blocks) * (kBlockSize / 512);
+  out->uid = inode.uid;
+  out->gid = inode.gid;
+  out->mtime = inode.mtime;
+}
+
+class OffsDir;
+
+File* WrapInode(const ComPtr<Offs>& fs, uint64_t ino, uint16_t mode);
+
+class OffsFile final : public File, public RefCounted<OffsFile> {
+ public:
+  OffsFile(ComPtr<Offs> fs, uint64_t ino) : fs_(std::move(fs)), ino_(ino) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == File::kIid) {
+      AddRef();
+      *out = static_cast<File*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error Read(void* buf, uint64_t offset, size_t amount, size_t* out_actual) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    return fs_->FileReadAt(ino_, buf, offset, amount, out_actual);
+  }
+
+  Error Write(const void* buf, uint64_t offset, size_t amount,
+              size_t* out_actual) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    return fs_->FileWriteAt(ino_, buf, offset, amount, out_actual);
+  }
+
+  Error GetStat(FileStat* out_stat) override {
+    DiskInode inode;
+    Error err = fs_->ReadInode(ino_, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    FillStat(ino_, inode, out_stat);
+    return Error::kOk;
+  }
+
+  Error SetSize(uint64_t new_size) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    return fs_->FileTruncate(ino_, new_size);
+  }
+
+  Error Sync() override { return fs_->Sync(); }
+
+ private:
+  friend class RefCounted<OffsFile>;
+  ~OffsFile() = default;
+
+  ComPtr<Offs> fs_;
+  uint64_t ino_;
+};
+
+class OffsDir final : public Dir, public RefCounted<OffsDir> {
+ public:
+  OffsDir(ComPtr<Offs> fs, uint64_t ino) : fs_(std::move(fs)), ino_(ino) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == File::kIid || iid == Dir::kIid) {
+      AddRef();
+      *out = static_cast<Dir*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  // File surface on a directory object.
+  Error Read(void*, uint64_t, size_t, size_t* out_actual) override {
+    *out_actual = 0;
+    return Error::kIsDir;
+  }
+  Error Write(const void*, uint64_t, size_t, size_t* out_actual) override {
+    *out_actual = 0;
+    return Error::kIsDir;
+  }
+  Error GetStat(FileStat* out_stat) override {
+    DiskInode inode;
+    Error err = fs_->ReadInode(ino_, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    FillStat(ino_, inode, out_stat);
+    return Error::kOk;
+  }
+  Error SetSize(uint64_t) override { return Error::kIsDir; }
+  Error Sync() override { return fs_->Sync(); }
+
+  // Dir surface.
+  Error Lookup(const char* name, File** out_file) override {
+    *out_file = nullptr;
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    if (!ValidComponent(name)) {
+      return Error::kInval;
+    }
+    uint64_t target = 0;
+    Error err = fs_->DirLookup(ino_, name, &target);
+    if (!Ok(err)) {
+      return err;
+    }
+    DiskInode inode;
+    err = fs_->ReadInode(target, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    *out_file = WrapInode(fs_, target, inode.mode);
+    return Error::kOk;
+  }
+
+  Error Create(const char* name, uint32_t mode, File** out_file) override {
+    *out_file = nullptr;
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    if (!ValidComponent(name) || libc::Strcmp(name, ".") == 0 ||
+        libc::Strcmp(name, "..") == 0) {
+      return Error::kInval;
+    }
+    uint64_t existing = 0;
+    if (Ok(fs_->DirLookup(ino_, name, &existing))) {
+      return Error::kExist;
+    }
+    uint64_t ino = 0;
+    Error err = fs_->AllocInode(kModeRegular | (mode & 0777), &ino);
+    if (!Ok(err)) {
+      return err;
+    }
+    err = fs_->DirAdd(ino_, name, ino, kModeRegular);
+    if (!Ok(err)) {
+      fs_->FreeInode(ino);
+      return err;
+    }
+    DiskInode inode;
+    err = fs_->ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    inode.nlink = 1;
+    err = fs_->WriteInode(ino, inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    *out_file = new OffsFile(fs_, ino);
+    return Error::kOk;
+  }
+
+  Error Mkdir(const char* name, uint32_t mode) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    if (!ValidComponent(name) || libc::Strcmp(name, ".") == 0 ||
+        libc::Strcmp(name, "..") == 0) {
+      return Error::kInval;
+    }
+    uint64_t existing = 0;
+    if (Ok(fs_->DirLookup(ino_, name, &existing))) {
+      return Error::kExist;
+    }
+    uint64_t ino = 0;
+    Error err = fs_->AllocInode(kModeDirectory | (mode & 0777), &ino);
+    if (!Ok(err)) {
+      return err;
+    }
+    // Seed "." and "..".
+    err = fs_->DirAdd(ino, ".", ino, kModeDirectory);
+    if (Ok(err)) {
+      err = fs_->DirAdd(ino, "..", ino_, kModeDirectory);
+    }
+    if (Ok(err)) {
+      err = fs_->DirAdd(ino_, name, ino, kModeDirectory);
+    }
+    if (!Ok(err)) {
+      fs_->FreeInode(ino);
+      return err;
+    }
+    DiskInode inode;
+    err = fs_->ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    inode.nlink = 2;  // "." plus the parent's entry
+    err = fs_->WriteInode(ino, inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    // Parent gains a link from the child's "..".
+    DiskInode parent;
+    err = fs_->ReadInode(ino_, &parent);
+    if (!Ok(err)) {
+      return err;
+    }
+    parent.nlink += 1;
+    return fs_->WriteInode(ino_, parent);
+  }
+
+  Error Unlink(const char* name) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    if (!ValidComponent(name)) {
+      return Error::kInval;
+    }
+    uint64_t ino = 0;
+    Error err = fs_->DirLookup(ino_, name, &ino);
+    if (!Ok(err)) {
+      return err;
+    }
+    DiskInode inode;
+    err = fs_->ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    if ((inode.mode & kModeTypeMask) == kModeDirectory) {
+      return Error::kIsDir;
+    }
+    err = fs_->DirRemove(ino_, name);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (inode.nlink <= 1) {
+      return fs_->FreeInode(ino);
+    }
+    inode.nlink -= 1;
+    return fs_->WriteInode(ino, inode);
+  }
+
+  Error Rmdir(const char* name) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    if (!ValidComponent(name) || libc::Strcmp(name, ".") == 0 ||
+        libc::Strcmp(name, "..") == 0) {
+      return Error::kInval;
+    }
+    uint64_t ino = 0;
+    Error err = fs_->DirLookup(ino_, name, &ino);
+    if (!Ok(err)) {
+      return err;
+    }
+    DiskInode inode;
+    err = fs_->ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    if ((inode.mode & kModeTypeMask) != kModeDirectory) {
+      return Error::kNotDir;
+    }
+    bool empty = false;
+    err = fs_->DirIsEmpty(ino, &empty);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (!empty) {
+      return Error::kNotEmpty;
+    }
+    err = fs_->DirRemove(ino_, name);
+    if (!Ok(err)) {
+      return err;
+    }
+    err = fs_->FreeInode(ino);
+    if (!Ok(err)) {
+      return err;
+    }
+    DiskInode parent;
+    err = fs_->ReadInode(ino_, &parent);
+    if (!Ok(err)) {
+      return err;
+    }
+    parent.nlink -= 1;  // the child's ".." is gone
+    return fs_->WriteInode(ino_, parent);
+  }
+
+  Error Rename(const char* old_name, Dir* new_dir, const char* new_name) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    if (!ValidComponent(old_name) || !ValidComponent(new_name)) {
+      return Error::kInval;
+    }
+    auto* dest = static_cast<OffsDir*>(new_dir);
+    if (dest->fs_.get() != fs_.get()) {
+      return Error::kXDev;
+    }
+    uint64_t ino = 0;
+    Error err = fs_->DirLookup(ino_, old_name, &ino);
+    if (!Ok(err)) {
+      return err;
+    }
+    uint64_t existing = 0;
+    if (Ok(fs_->DirLookup(dest->ino_, new_name, &existing))) {
+      return Error::kExist;
+    }
+    DiskInode inode;
+    err = fs_->ReadInode(ino, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    uint16_t type = inode.mode & kModeTypeMask;
+    if (type == kModeDirectory) {
+      // A directory must not become its own ancestor (POSIX EINVAL):
+      // climb the destination's ".." chain looking for the moving inode.
+      uint64_t walk = dest->ino_;
+      for (int depth = 0; depth < 1024; ++depth) {
+        if (walk == ino) {
+          return Error::kInval;
+        }
+        if (walk == kRootIno) {
+          break;
+        }
+        uint64_t parent = 0;
+        err = fs_->DirLookup(walk, "..", &parent);
+        if (!Ok(err)) {
+          return err;
+        }
+        walk = parent;
+      }
+    }
+    err = fs_->DirAdd(dest->ino_, new_name, ino, type);
+    if (!Ok(err)) {
+      return err;
+    }
+    err = fs_->DirRemove(ino_, old_name);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (type == kModeDirectory && dest->ino_ != ino_) {
+      // Fix "..", and the parents' link counts.
+      err = fs_->DirRemove(ino, "..");
+      if (Ok(err)) {
+        err = fs_->DirAdd(ino, "..", dest->ino_, kModeDirectory);
+      }
+      if (!Ok(err)) {
+        return err;
+      }
+      DiskInode old_parent;
+      err = fs_->ReadInode(ino_, &old_parent);
+      if (!Ok(err)) {
+        return err;
+      }
+      old_parent.nlink -= 1;
+      err = fs_->WriteInode(ino_, old_parent);
+      if (!Ok(err)) {
+        return err;
+      }
+      DiskInode new_parent;
+      err = fs_->ReadInode(dest->ino_, &new_parent);
+      if (!Ok(err)) {
+        return err;
+      }
+      new_parent.nlink += 1;
+      err = fs_->WriteInode(dest->ino_, new_parent);
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+    return Error::kOk;
+  }
+
+  Error ReadDir(uint64_t* inout_offset, DirEntry* entries, size_t capacity,
+                size_t* out_count) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    return fs_->DirRead(ino_, inout_offset, entries, capacity, out_count);
+  }
+
+ private:
+  friend class RefCounted<OffsDir>;
+  ~OffsDir() = default;
+
+  ComPtr<Offs> fs_;
+  uint64_t ino_;
+};
+
+File* WrapInode(const ComPtr<Offs>& fs, uint64_t ino, uint16_t mode) {
+  if ((mode & kModeTypeMask) == kModeDirectory) {
+    return new OffsDir(fs, ino);
+  }
+  return new OffsFile(fs, ino);
+}
+
+}  // namespace
+
+Error Offs::GetRoot(Dir** out_root) {
+  *out_root = nullptr;
+  if (unmounted_) {
+    return Error::kBadF;
+  }
+  *out_root = new OffsDir(ComPtr<Offs>::Retain(this), kRootIno);
+  return Error::kOk;
+}
+
+}  // namespace oskit::fs

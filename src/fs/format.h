@@ -1,0 +1,83 @@
+// On-disk format of the OSKit-cpp filesystem ("offs"), an FFS-style layout
+// standing in for the encapsulated NetBSD FFS (§3.8).
+//
+// Little-endian throughout.  Layout, in 4 KB blocks:
+//   block 0:              superblock
+//   blocks [1, 1+B):      block-allocation bitmap (1 bit per block)
+//   blocks [1+B, 1+B+I):  inode table (32 inodes of 128 bytes per block)
+//   blocks [data_start,…: file data
+//
+// Inodes address 10 direct blocks, one single-indirect and one
+// double-indirect block (4 KB / 4-byte entries = 1024 pointers per level),
+// for a maximum file size of 10+1024+1024² blocks ≈ 4 GB.
+
+#ifndef OSKIT_SRC_FS_FORMAT_H_
+#define OSKIT_SRC_FS_FORMAT_H_
+
+#include <cstdint>
+
+namespace oskit::fs {
+
+inline constexpr uint32_t kFsMagic = 0x0f500f50;
+inline constexpr uint32_t kFsVersion = 1;
+inline constexpr uint32_t kBlockSize = 4096;
+inline constexpr uint32_t kInodeSize = 128;
+inline constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+inline constexpr uint32_t kDirectBlocks = 10;
+inline constexpr uint32_t kPointersPerBlock = kBlockSize / 4;
+inline constexpr uint64_t kRootIno = 1;
+
+// Directory entries are fixed-size records inside directory file data.
+inline constexpr uint32_t kDirEntrySize = 64;
+inline constexpr uint32_t kMaxNameLen = 54 - 1;  // NUL-terminated in storage
+
+// Inode mode: type in the high bits, permissions in the low 12.
+inline constexpr uint16_t kModeTypeMask = 0xf000;
+inline constexpr uint16_t kModeRegular = 0x8000;
+inline constexpr uint16_t kModeDirectory = 0x4000;
+inline constexpr uint16_t kModeFree = 0x0000;
+
+struct SuperBlock {
+  uint32_t magic = kFsMagic;
+  uint32_t version = kFsVersion;
+  uint32_t block_size = kBlockSize;
+  uint32_t total_blocks = 0;
+  uint32_t inode_count = 0;
+  uint32_t bitmap_start = 0;   // first bitmap block
+  uint32_t bitmap_blocks = 0;
+  uint32_t itable_start = 0;   // first inode-table block
+  uint32_t itable_blocks = 0;
+  uint32_t data_start = 0;     // first data block
+  uint32_t free_blocks = 0;
+  uint32_t free_inodes = 0;
+  uint32_t clean = 1;          // cleared while mounted read-write
+};
+
+struct DiskInode {
+  uint16_t mode = 0;
+  uint16_t nlink = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  uint32_t direct[kDirectBlocks] = {};
+  uint32_t indirect = 0;
+  uint32_t double_indirect = 0;
+  uint32_t blocks = 0;  // data+indirect blocks held (fsck cross-check)
+  uint8_t reserved[44] = {};
+};
+
+static_assert(sizeof(DiskInode) == kInodeSize, "inode layout drift");
+
+struct DiskDirEntry {
+  uint64_t ino = 0;       // 0 means the slot is empty
+  uint8_t type = 0;       // kModeRegular/kModeDirectory high nibble (>> 12)
+  uint8_t name_len = 0;
+  char name[kMaxNameLen + 1] = {};
+};
+
+static_assert(sizeof(DiskDirEntry) == kDirEntrySize, "dirent layout drift");
+
+}  // namespace oskit::fs
+
+#endif  // OSKIT_SRC_FS_FORMAT_H_

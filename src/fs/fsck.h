@@ -1,0 +1,35 @@
+// Filesystem consistency checker for the offs format.
+//
+// Walks the directory tree from the root, cross-checking every structure:
+// reachable inodes vs the inode table, reachable blocks vs the allocation
+// bitmap, link counts vs directory references, and size vs held blocks.
+// The randomized filesystem property tests run this after every operation
+// sequence and after simulated crashes (unsynced caches).
+
+#ifndef OSKIT_SRC_FS_FSCK_H_
+#define OSKIT_SRC_FS_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/com/blkio.h"
+
+namespace oskit::fs {
+
+struct FsckReport {
+  bool superblock_valid = false;
+  bool was_clean = false;       // on-disk clean flag
+  bool consistent = false;      // no problems found
+  uint64_t inodes_in_use = 0;
+  uint64_t blocks_in_use = 0;
+  uint64_t directories = 0;
+  uint64_t regular_files = 0;
+  std::vector<std::string> problems;
+};
+
+// Read-only check; never modifies the device.
+FsckReport Fsck(BlkIo* device);
+
+}  // namespace oskit::fs
+
+#endif  // OSKIT_SRC_FS_FSCK_H_

@@ -1,0 +1,258 @@
+#include "src/fs/secure.h"
+
+namespace oskit::fs {
+
+bool UnixFsPolicy::Allows(const Credentials& who, FsOp op, const FileStat& stat) {
+  ++checks_;
+  if (who.superuser) {
+    return true;
+  }
+  // Select the mode triplet: owner / group / other.
+  uint32_t shift;
+  if (who.uid == stat.uid) {
+    shift = 6;
+  } else if (who.gid == stat.gid) {
+    shift = 3;
+  } else {
+    shift = 0;
+  }
+  uint32_t bits = (stat.mode >> shift) & 7;
+  bool ok;
+  switch (op) {
+    case FsOp::kRead:
+      ok = (bits & 4) != 0;
+      break;
+    case FsOp::kWrite:
+    case FsOp::kCreate:
+    case FsOp::kRemove:
+      ok = (bits & 2) != 0;
+      break;
+    case FsOp::kLookup:
+      ok = (bits & 1) != 0;
+      break;
+    case FsOp::kStat:
+      ok = true;
+      break;
+    default:
+      ok = false;
+      break;
+  }
+  if (!ok) {
+    ++denials_;
+  }
+  return ok;
+}
+
+namespace {
+
+class SecureFile final : public File, public RefCounted<SecureFile> {
+ public:
+  SecureFile(ComPtr<File> inner, FsPolicy* policy, const Credentials& creds)
+      : inner_(std::move(inner)), policy_(policy), creds_(creds) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == File::kIid) {
+      AddRef();
+      *out = static_cast<File*>(this);
+      return Error::kOk;
+    }
+    // Deliberately NOT forwarding unknown queries to the inner object:
+    // handing out unwrapped interfaces would bypass the checks.
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error Read(void* buf, uint64_t offset, size_t amount, size_t* out_actual) override {
+    *out_actual = 0;
+    Error err = Check(FsOp::kRead);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->Read(buf, offset, amount, out_actual);
+  }
+
+  Error Write(const void* buf, uint64_t offset, size_t amount,
+              size_t* out_actual) override {
+    *out_actual = 0;
+    Error err = Check(FsOp::kWrite);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->Write(buf, offset, amount, out_actual);
+  }
+
+  Error GetStat(FileStat* out_stat) override { return inner_->GetStat(out_stat); }
+
+  Error SetSize(uint64_t new_size) override {
+    Error err = Check(FsOp::kWrite);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->SetSize(new_size);
+  }
+
+  Error Sync() override { return inner_->Sync(); }
+
+ private:
+  friend class RefCounted<SecureFile>;
+  ~SecureFile() = default;
+
+  Error Check(FsOp op) {
+    FileStat stat;
+    Error err = inner_->GetStat(&stat);
+    if (!Ok(err)) {
+      return err;
+    }
+    return policy_->Allows(creds_, op, stat) ? Error::kOk : Error::kAccess;
+  }
+
+  ComPtr<File> inner_;
+  FsPolicy* policy_;
+  Credentials creds_;
+};
+
+class SecureDirImpl final : public Dir, public RefCounted<SecureDirImpl> {
+ public:
+  SecureDirImpl(ComPtr<Dir> inner, FsPolicy* policy, const Credentials& creds)
+      : inner_(std::move(inner)), policy_(policy), creds_(creds) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == File::kIid || iid == Dir::kIid) {
+      AddRef();
+      *out = static_cast<Dir*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  // File surface.
+  Error Read(void*, uint64_t, size_t, size_t* out_actual) override {
+    *out_actual = 0;
+    return Error::kIsDir;
+  }
+  Error Write(const void*, uint64_t, size_t, size_t* out_actual) override {
+    *out_actual = 0;
+    return Error::kIsDir;
+  }
+  Error GetStat(FileStat* out_stat) override { return inner_->GetStat(out_stat); }
+  Error SetSize(uint64_t) override { return Error::kIsDir; }
+  Error Sync() override { return inner_->Sync(); }
+
+  // Dir surface: the per-component checking the paper's fileserver relies
+  // on.  Every traversal step demands execute permission HERE, and results
+  // come back wrapped.
+  Error Lookup(const char* name, File** out_file) override {
+    *out_file = nullptr;
+    Error err = Check(FsOp::kLookup);
+    if (!Ok(err)) {
+      return err;
+    }
+    ComPtr<File> found;
+    err = inner_->Lookup(name, found.Receive());
+    if (!Ok(err)) {
+      return err;
+    }
+    ComPtr<Dir> as_dir = ComPtr<Dir>::FromQuery(found.get());
+    if (as_dir) {
+      *out_file = new SecureDirImpl(std::move(as_dir), policy_, creds_);
+    } else {
+      *out_file = new SecureFile(std::move(found), policy_, creds_);
+    }
+    return Error::kOk;
+  }
+
+  Error Create(const char* name, uint32_t mode, File** out_file) override {
+    *out_file = nullptr;
+    Error err = Check(FsOp::kCreate);
+    if (!Ok(err)) {
+      return err;
+    }
+    ComPtr<File> created;
+    err = inner_->Create(name, mode, created.Receive());
+    if (!Ok(err)) {
+      return err;
+    }
+    *out_file = new SecureFile(std::move(created), policy_, creds_);
+    return Error::kOk;
+  }
+
+  Error Mkdir(const char* name, uint32_t mode) override {
+    Error err = Check(FsOp::kCreate);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->Mkdir(name, mode);
+  }
+
+  Error Unlink(const char* name) override {
+    Error err = Check(FsOp::kRemove);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->Unlink(name);
+  }
+
+  Error Rmdir(const char* name) override {
+    Error err = Check(FsOp::kRemove);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->Rmdir(name);
+  }
+
+  Error Rename(const char* old_name, Dir* new_dir, const char* new_name) override {
+    Error err = Check(FsOp::kRemove);
+    if (!Ok(err)) {
+      return err;
+    }
+    // Unwrap the destination if it is one of ours (same policy domain).
+    auto* secure_dest = dynamic_cast<SecureDirImpl*>(new_dir);
+    Dir* dest = secure_dest != nullptr ? secure_dest->inner_.get() : new_dir;
+    if (secure_dest != nullptr) {
+      err = secure_dest->Check(FsOp::kCreate);
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+    return inner_->Rename(old_name, dest, new_name);
+  }
+
+  Error ReadDir(uint64_t* inout_offset, DirEntry* entries, size_t capacity,
+                size_t* out_count) override {
+    *out_count = 0;
+    Error err = Check(FsOp::kRead);
+    if (!Ok(err)) {
+      return err;
+    }
+    return inner_->ReadDir(inout_offset, entries, capacity, out_count);
+  }
+
+ private:
+  friend class RefCounted<SecureDirImpl>;
+  ~SecureDirImpl() = default;
+
+  Error Check(FsOp op) {
+    FileStat stat;
+    Error err = inner_->GetStat(&stat);
+    if (!Ok(err)) {
+      return err;
+    }
+    return policy_->Allows(creds_, op, stat) ? Error::kOk : Error::kAccess;
+  }
+
+  ComPtr<Dir> inner_;
+  FsPolicy* policy_;
+  Credentials creds_;
+};
+
+}  // namespace
+
+ComPtr<Dir> MakeSecureDir(ComPtr<Dir> inner, FsPolicy* policy,
+                          const Credentials& creds) {
+  return ComPtr<Dir>(new SecureDirImpl(std::move(inner), policy, creds));
+}
+
+}  // namespace oskit::fs

@@ -1,0 +1,61 @@
+// Security wrapping of the filesystem COM interfaces (paper §3.8).
+//
+// "The OSKit interface accepts only single pathname components, allowing the
+// security wrapping code to do appropriate permission checking ... avoiding
+// any modification of the main file system code."
+//
+// SecureDir/SecureFile interpose on every operation, consulting a
+// client-supplied policy with the subject's credentials and the target's
+// attributes before delegating to the wrapped object.  Lookup results are
+// re-wrapped, so the protection follows every traversal.
+
+#ifndef OSKIT_SRC_FS_SECURE_H_
+#define OSKIT_SRC_FS_SECURE_H_
+
+#include "src/com/filesystem.h"
+
+namespace oskit::fs {
+
+struct Credentials {
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  bool superuser = false;
+};
+
+enum class FsOp {
+  kRead,
+  kWrite,
+  kLookup,   // directory traversal (execute bit)
+  kCreate,   // add entries to a directory
+  kRemove,
+  kStat,
+};
+
+// Returns true when `who` may perform `op` on an object with `stat`.
+// The default policy implements classic Unix mode-bit checking.
+class FsPolicy {
+ public:
+  virtual ~FsPolicy() = default;
+  virtual bool Allows(const Credentials& who, FsOp op, const FileStat& stat) = 0;
+};
+
+class UnixFsPolicy final : public FsPolicy {
+ public:
+  bool Allows(const Credentials& who, FsOp op, const FileStat& stat) override;
+
+  uint64_t checks_performed() const { return checks_; }
+  uint64_t denials() const { return denials_; }
+
+ private:
+  uint64_t checks_ = 0;
+  uint64_t denials_ = 0;
+};
+
+// Wraps a directory (typically a filesystem root) with permission checks.
+// Policy and credentials must outlive the returned object graph.
+ComPtr<Dir> MakeSecureDir(ComPtr<Dir> inner, FsPolicy* policy,
+                          const Credentials& creds);
+
+}  // namespace oskit::fs
+
+#endif  // OSKIT_SRC_FS_SECURE_H_

@@ -1,0 +1,293 @@
+#include "src/fsread/fsread.h"
+
+#include <cstring>
+#include <string>
+
+#include "src/base/byteorder.h"
+
+namespace oskit::fsread {
+namespace {
+
+// The format constants, restated independently of src/fs (this library must
+// not link against the full component).
+constexpr uint32_t kMagic = 0x0f500f50;
+constexpr uint32_t kBlockSize = 4096;
+constexpr uint32_t kInodeSize = 128;
+constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;
+constexpr uint32_t kDirect = 10;
+constexpr uint32_t kPointersPerBlock = kBlockSize / 4;
+constexpr uint64_t kRootIno = 1;
+constexpr uint32_t kDirEntrySize = 64;
+constexpr uint16_t kTypeMask = 0xf000;
+constexpr uint16_t kTypeDir = 0x4000;
+constexpr uint16_t kTypeRegular = 0x8000;
+
+struct Super {
+  uint32_t total_blocks;
+  uint32_t inode_count;
+  uint32_t itable_start;
+};
+
+struct Inode {
+  uint16_t mode;
+  uint64_t size;
+  uint32_t direct[kDirect];
+  uint32_t indirect;
+  uint32_t double_indirect;
+};
+
+Error ReadBlock(BlkIo* device, uint32_t block, uint8_t* out) {
+  size_t actual = 0;
+  Error err = device->Read(out, static_cast<off_t64>(block) * kBlockSize, kBlockSize,
+                           &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+  return actual == kBlockSize ? Error::kOk : Error::kCorrupt;
+}
+
+Error ReadSuper(BlkIo* device, Super* out) {
+  uint8_t block[kBlockSize];
+  Error err = ReadBlock(device, 0, block);
+  if (!Ok(err)) {
+    return err;
+  }
+  if (LoadLe32(block) != kMagic) {
+    return Error::kCorrupt;
+  }
+  out->total_blocks = LoadLe32(block + 12);
+  out->inode_count = LoadLe32(block + 16);
+  out->itable_start = LoadLe32(block + 28);
+  return Error::kOk;
+}
+
+Error ReadInode(BlkIo* device, const Super& sb, uint64_t ino, Inode* out) {
+  if (ino == 0 || ino >= sb.inode_count) {
+    return Error::kNoEnt;
+  }
+  uint8_t block[kBlockSize];
+  Error err = ReadBlock(device, sb.itable_start + static_cast<uint32_t>(ino / kInodesPerBlock), block);
+  if (!Ok(err)) {
+    return err;
+  }
+  const uint8_t* p = block + (ino % kInodesPerBlock) * kInodeSize;
+  out->mode = LoadLe16(p);
+  out->size = LoadLe64(p + 16);
+  for (uint32_t i = 0; i < kDirect; ++i) {
+    out->direct[i] = LoadLe32(p + 32 + i * 4);
+  }
+  out->indirect = LoadLe32(p + 72);
+  out->double_indirect = LoadLe32(p + 76);
+  return Error::kOk;
+}
+
+// Maps a file block index to a disk block (0 = hole).
+Error BMap(BlkIo* device, const Inode& inode, uint32_t fb, uint32_t* out_block) {
+  uint8_t table[kBlockSize];
+  if (fb < kDirect) {
+    *out_block = inode.direct[fb];
+    return Error::kOk;
+  }
+  fb -= kDirect;
+  if (fb < kPointersPerBlock) {
+    if (inode.indirect == 0) {
+      *out_block = 0;
+      return Error::kOk;
+    }
+    Error err = ReadBlock(device, inode.indirect, table);
+    if (!Ok(err)) {
+      return err;
+    }
+    *out_block = LoadLe32(table + fb * 4);
+    return Error::kOk;
+  }
+  fb -= kPointersPerBlock;
+  if (inode.double_indirect == 0) {
+    *out_block = 0;
+    return Error::kOk;
+  }
+  Error err = ReadBlock(device, inode.double_indirect, table);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint32_t mid = LoadLe32(table + (fb / kPointersPerBlock) * 4);
+  if (mid == 0) {
+    *out_block = 0;
+    return Error::kOk;
+  }
+  err = ReadBlock(device, mid, table);
+  if (!Ok(err)) {
+    return err;
+  }
+  *out_block = LoadLe32(table + (fb % kPointersPerBlock) * 4);
+  return Error::kOk;
+}
+
+Error ReadRange(BlkIo* device, const Inode& inode, uint64_t offset, void* buf,
+                size_t len) {
+  auto* dst = static_cast<uint8_t*>(buf);
+  uint8_t block_data[kBlockSize];
+  while (len > 0) {
+    uint32_t fb = static_cast<uint32_t>(offset / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>(offset % kBlockSize);
+    size_t n = kBlockSize - in_block;
+    if (n > len) {
+      n = len;
+    }
+    uint32_t block = 0;
+    Error err = BMap(device, inode, fb, &block);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (block == 0) {
+      std::memset(dst, 0, n);
+    } else {
+      err = ReadBlock(device, block, block_data);
+      if (!Ok(err)) {
+        return err;
+      }
+      std::memcpy(dst, block_data + in_block, n);
+    }
+    dst += n;
+    offset += n;
+    len -= n;
+  }
+  return Error::kOk;
+}
+
+// Resolves a path to an inode number.
+Error Resolve(BlkIo* device, const Super& sb, const char* path, uint64_t* out_ino) {
+  uint64_t ino = kRootIno;
+  const char* p = path;
+  while (*p == '/') {
+    ++p;
+  }
+  while (*p != '\0') {
+    const char* end = p;
+    while (*end != '\0' && *end != '/') {
+      ++end;
+    }
+    std::string component(p, end);
+    Inode dir;
+    Error err = ReadInode(device, sb, ino, &dir);
+    if (!Ok(err)) {
+      return err;
+    }
+    if ((dir.mode & kTypeMask) != kTypeDir) {
+      return Error::kNotDir;
+    }
+    bool found = false;
+    uint64_t entries = dir.size / kDirEntrySize;
+    uint8_t raw[kDirEntrySize];
+    for (uint64_t i = 0; i < entries; ++i) {
+      err = ReadRange(device, dir, i * kDirEntrySize, raw, kDirEntrySize);
+      if (!Ok(err)) {
+        return err;
+      }
+      uint64_t entry_ino = LoadLe64(raw);
+      if (entry_ino == 0) {
+        continue;
+      }
+      const char* name = reinterpret_cast<const char*>(raw + 10);
+      if (component == name) {
+        ino = entry_ino;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Error::kNoEnt;
+    }
+    p = end;
+    while (*p == '/') {
+      ++p;
+    }
+  }
+  *out_ino = ino;
+  return Error::kOk;
+}
+
+}  // namespace
+
+Error ReadFile(BlkIo* device, const char* path, std::vector<uint8_t>* out) {
+  Super sb;
+  Error err = ReadSuper(device, &sb);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t ino = 0;
+  err = Resolve(device, sb, path, &ino);
+  if (!Ok(err)) {
+    return err;
+  }
+  Inode inode;
+  err = ReadInode(device, sb, ino, &inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  if ((inode.mode & kTypeMask) != kTypeRegular) {
+    return Error::kIsDir;
+  }
+  out->resize(inode.size);
+  return ReadRange(device, inode, 0, out->data(), inode.size);
+}
+
+Error StatPath(BlkIo* device, const char* path, uint64_t* out_ino, uint64_t* out_size,
+               bool* out_is_dir) {
+  Super sb;
+  Error err = ReadSuper(device, &sb);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t ino = 0;
+  err = Resolve(device, sb, path, &ino);
+  if (!Ok(err)) {
+    return err;
+  }
+  Inode inode;
+  err = ReadInode(device, sb, ino, &inode);
+  if (!Ok(err)) {
+    return err;
+  }
+  *out_ino = ino;
+  *out_size = inode.size;
+  *out_is_dir = (inode.mode & kTypeMask) == kTypeDir;
+  return Error::kOk;
+}
+
+Error ListDir(BlkIo* device, const char* path, std::vector<std::string>* out_names) {
+  out_names->clear();
+  Super sb;
+  Error err = ReadSuper(device, &sb);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t ino = 0;
+  err = Resolve(device, sb, path, &ino);
+  if (!Ok(err)) {
+    return err;
+  }
+  Inode dir;
+  err = ReadInode(device, sb, ino, &dir);
+  if (!Ok(err)) {
+    return err;
+  }
+  if ((dir.mode & kTypeMask) != kTypeDir) {
+    return Error::kNotDir;
+  }
+  uint64_t entries = dir.size / kDirEntrySize;
+  uint8_t raw[kDirEntrySize];
+  for (uint64_t i = 0; i < entries; ++i) {
+    err = ReadRange(device, dir, i * kDirEntrySize, raw, kDirEntrySize);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (LoadLe64(raw) == 0) {
+      continue;
+    }
+    out_names->emplace_back(reinterpret_cast<const char*>(raw + 10));
+  }
+  return Error::kOk;
+}
+
+}  // namespace oskit::fsread

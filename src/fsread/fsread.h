@@ -1,0 +1,33 @@
+// Minimal read-only filesystem reading (the paper's `fsread` library).
+//
+// Boot loaders need to pull a kernel or boot module out of a filesystem
+// without linking the full filesystem component; fsread is that independent,
+// from-first-principles reader for the offs on-disk format — no cache, no
+// write paths, no shared code with src/fs (which also makes it a useful
+// cross-check of the format in tests).
+
+#ifndef OSKIT_SRC_FSREAD_FSREAD_H_
+#define OSKIT_SRC_FSREAD_FSREAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/com/blkio.h"
+
+namespace oskit::fsread {
+
+// Reads the regular file at `path` ('/'-separated, absolute) into *out.
+Error ReadFile(BlkIo* device, const char* path, std::vector<uint8_t>* out);
+
+// Looks up `path` and reports its inode number and size (files and
+// directories).  kNoEnt when absent.
+Error StatPath(BlkIo* device, const char* path, uint64_t* out_ino,
+               uint64_t* out_size, bool* out_is_dir);
+
+// Lists the names in the directory at `path`.
+Error ListDir(BlkIo* device, const char* path, std::vector<std::string>* out_names);
+
+}  // namespace oskit::fsread
+
+#endif  // OSKIT_SRC_FSREAD_FSREAD_H_

@@ -1,0 +1,68 @@
+// GDB remote-serial-protocol stub (paper §3.5).
+//
+// "The stub is a small module that handles traps in the client OS
+// environment and communicates over a serial line with GDB running on
+// another machine, using GDB's standard remote debugging protocol."
+//
+// This is a real implementation of the wire protocol ('$data#cksum' frames,
+// '+'/'-' acks, g/G/m/M/p/P/c/s/k/?/qSupported packets) speaking over the
+// simulated debug UART.  It attaches to trap vectors and, when a trap fires,
+// serves the debugger until it resumes the target.  Tests drive it with a
+// protocol-level mock debugger.
+
+#ifndef OSKIT_SRC_KERN_GDB_STUB_H_
+#define OSKIT_SRC_KERN_GDB_STUB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/machine/machine.h"
+
+namespace oskit {
+
+class GdbStub {
+ public:
+  // Register file exposed to GDB: 8 GPRs, pc, sp, flags (11 x 64-bit).
+  static constexpr int kNumRegs = 11;
+
+  GdbStub(Machine* machine, Uart* uart);
+
+  // Hooks the standard debug-relevant trap vectors (breakpoint, debug,
+  // divide, GP fault, page fault) so they enter the stub.
+  void AttachDefaultTraps(Cpu* cpu);
+
+  // Serves the debugger for one stop: sends the stop reply for `signal`,
+  // then processes packets until the debugger continues/steps/kills.
+  // Mutations of `frame` (register writes) are visible to the caller.
+  void HandleException(int signal, TrapFrame& frame);
+
+  bool killed() const { return killed_; }
+  bool step_requested() const { return step_requested_; }
+  uint64_t packets_handled() const { return packets_handled_; }
+
+ private:
+  // Low-level framing.
+  std::string ReceivePacket();
+  void SendPacket(const std::string& payload);
+  int ReadByteBlocking();
+
+  // Packet handlers; each returns the reply payload.
+  std::string ReadRegisters(const TrapFrame& frame);
+  std::string WriteRegisters(const std::string& hex, TrapFrame& frame);
+  std::string ReadMemory(const std::string& args);
+  std::string WriteMemory(const std::string& args);
+  std::string ReadOneRegister(const std::string& args, const TrapFrame& frame);
+  std::string WriteOneRegister(const std::string& args, TrapFrame& frame);
+
+  static uint64_t* RegSlot(TrapFrame& frame, int index);
+
+  Machine* machine_;
+  Uart* uart_;
+  bool killed_ = false;
+  bool step_requested_ = false;
+  uint64_t packets_handled_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_KERN_GDB_STUB_H_

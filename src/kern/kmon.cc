@@ -1,0 +1,195 @@
+#include "src/kern/kmon.h"
+
+#include <cstdarg>
+
+#include "src/libc/format.h"
+#include "src/libc/string.h"
+
+namespace oskit {
+
+namespace {
+
+// Parses "<hex-or-dec> [<hex-or-dec>]" command arguments.
+bool ParseNumbers(const std::string& args, uint64_t* first, uint64_t* second) {
+  const char* p = args.c_str();
+  const char* end = nullptr;
+  *first = static_cast<uint64_t>(libc::Strtoul(p, &end, 0));
+  if (end == p) {
+    return false;
+  }
+  if (second != nullptr) {
+    p = end;
+    const char* end2 = nullptr;
+    uint64_t v = static_cast<uint64_t>(libc::Strtoul(p, &end2, 0));
+    if (end2 != p) {
+      *second = v;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void KernelMonitor::Print(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  libc::Vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  for (const char* p = buf; *p != '\0'; ++p) {
+    console_->Putchar(*p);
+  }
+}
+
+std::string KernelMonitor::ReadLine() {
+  std::string line;
+  for (;;) {
+    int c = console_->Getchar();
+    if (c == '\r' || c == '\n') {
+      console_->Putchar('\n');
+      return line;
+    }
+    if (c == 0x7f || c == '\b') {
+      if (!line.empty()) {
+        line.pop_back();
+        Print("\b \b");
+      }
+      continue;
+    }
+    line.push_back(static_cast<char>(c));
+    console_->Putchar(c);  // echo
+  }
+}
+
+void KernelMonitor::AttachDefaultTraps() {
+  auto hook = [this](TrapFrame& frame) -> bool {
+    Enter(frame);
+    return true;
+  };
+  Cpu& cpu = kernel_->machine().cpu();
+  cpu.SetVector(kTrapBreakpoint, hook);
+  cpu.SetVector(kTrapDebug, hook);
+  cpu.SetVector(kTrapDivide, hook);
+  cpu.SetVector(kTrapGeneralProtection, hook);
+  cpu.SetVector(kTrapPageFault, hook);
+}
+
+void KernelMonitor::CmdRegs(const TrapFrame& frame) {
+  Print("trap %u err=%#x\n", frame.trapno, frame.error_code);
+  Print("pc=%#llx sp=%#llx flags=%#llx\n",
+        static_cast<unsigned long long>(frame.pc),
+        static_cast<unsigned long long>(frame.sp),
+        static_cast<unsigned long long>(frame.flags));
+  for (int i = 0; i < 8; i += 2) {
+    Print("r%d=%#llx r%d=%#llx\n", i,
+          static_cast<unsigned long long>(frame.gprs[i]), i + 1,
+          static_cast<unsigned long long>(frame.gprs[i + 1]));
+  }
+}
+
+void KernelMonitor::CmdMem(const std::string& args) {
+  uint64_t addr = 0;
+  uint64_t len = 16;
+  if (!ParseNumbers(args, &addr, &len)) {
+    Print("usage: m <addr> [len]\n");
+    return;
+  }
+  PhysMem& phys = kernel_->machine().phys();
+  if (addr + len > phys.size()) {
+    Print("out of range\n");
+    return;
+  }
+  const auto* p = static_cast<const uint8_t*>(phys.PtrAt(addr));
+  for (uint64_t i = 0; i < len; i += 16) {
+    Print("%08llx:", static_cast<unsigned long long>(addr + i));
+    for (uint64_t j = i; j < i + 16 && j < len; ++j) {
+      Print(" %02x", p[j]);
+    }
+    Print("\n");
+  }
+}
+
+void KernelMonitor::CmdWrite(const std::string& args) {
+  uint64_t addr = 0;
+  uint64_t value = ~uint64_t{0};
+  if (!ParseNumbers(args, &addr, &value) || value > 0xff) {
+    Print("usage: w <addr> <byte>\n");
+    return;
+  }
+  PhysMem& phys = kernel_->machine().phys();
+  if (addr >= phys.size()) {
+    Print("out of range\n");
+    return;
+  }
+  *static_cast<uint8_t*>(phys.PtrAt(addr)) = static_cast<uint8_t>(value);
+  Print("ok\n");
+}
+
+void KernelMonitor::CmdTranslate(const std::string& args) {
+  if (page_dir_ == nullptr) {
+    Print("no page directory attached\n");
+    return;
+  }
+  uint64_t va = 0;
+  if (!ParseNumbers(args, &va, nullptr)) {
+    Print("usage: t <vaddr>\n");
+    return;
+  }
+  uint32_t pa = 0;
+  uint32_t flags = 0;
+  Error err = page_dir_->Translate(static_cast<uint32_t>(va), &pa, &flags);
+  if (!Ok(err)) {
+    Print("not mapped\n");
+    return;
+  }
+  Print("va %#llx -> pa %#x%s%s\n", static_cast<unsigned long long>(va), pa,
+        (flags & kPteWritable) != 0 ? " rw" : " ro",
+        (flags & kPteUser) != 0 ? " user" : " kernel");
+}
+
+void KernelMonitor::CmdHelp() {
+  Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
+        "s step | c continue | halt | help\n");
+}
+
+void KernelMonitor::Enter(TrapFrame& frame) {
+  step_requested_ = false;
+  Print("\nkmon: stopped at trap %u (pc=%#llx) — 'help' for commands\n",
+        frame.trapno, static_cast<unsigned long long>(frame.pc));
+  for (;;) {
+    Print("kmon> ");
+    std::string line = ReadLine();
+    // Split command word / arguments.
+    size_t space = line.find(' ');
+    std::string cmd = line.substr(0, space);
+    std::string args = space == std::string::npos ? "" : line.substr(space + 1);
+    if (cmd.empty()) {
+      continue;
+    }
+    ++commands_handled_;
+    if (cmd == "r") {
+      CmdRegs(frame);
+    } else if (cmd == "m") {
+      CmdMem(args);
+    } else if (cmd == "w") {
+      CmdWrite(args);
+    } else if (cmd == "t") {
+      CmdTranslate(args);
+    } else if (cmd == "s") {
+      step_requested_ = true;
+      return;
+    } else if (cmd == "c") {
+      return;
+    } else if (cmd == "halt") {
+      halted_ = true;
+      Print("halted\n");
+      return;
+    } else if (cmd == "help") {
+      CmdHelp();
+    } else {
+      Print("unknown command '%s'\n", cmd.c_str());
+    }
+  }
+}
+
+}  // namespace oskit

@@ -1,0 +1,69 @@
+// kmon: the local kernel monitor (the §3.5 future-work item).
+//
+// "In the future, we plan to integrate a local debugger into the OSKit as
+// well, which can be used when a separate machine running GDB is not
+// available."  kmon is that debugger: a console-driven monitor the kernel
+// drops into on a trap (or on demand), with the classic monitor command set:
+//
+//   r                 dump the trap frame registers
+//   m <addr> [len]    hex-dump physical memory
+//   w <addr> <byte>   poke one byte
+//   t <addr>          translate through a page directory, when one is set
+//   s                 request single step (sets the flag, continues)
+//   c                 continue
+//   halt              mark the kernel as halted
+//   help              list commands
+//
+// Input/output go through the base console, so it works on whatever the
+// client wired putchar to.
+
+#ifndef OSKIT_SRC_KERN_KMON_H_
+#define OSKIT_SRC_KERN_KMON_H_
+
+#include <string>
+
+#include "src/kern/console.h"
+#include "src/kern/kernel.h"
+#include "src/kern/paging.h"
+
+namespace oskit {
+
+class KernelMonitor {
+ public:
+  KernelMonitor(KernelEnv* kernel, BaseConsole* console)
+      : kernel_(kernel), console_(console) {}
+
+  // Hooks the debug-relevant trap vectors so faults land in the monitor.
+  void AttachDefaultTraps();
+
+  // Enters the command loop for one stop.  Returns when the operator
+  // continues ('c'/'s') or halts.  Mutations of `frame` persist.
+  void Enter(TrapFrame& frame);
+
+  // Optional: lets 't' translate virtual addresses.
+  void SetPageDirectory(PageDirectory* pd) { page_dir_ = pd; }
+
+  bool halted() const { return halted_; }
+  bool step_requested() const { return step_requested_; }
+  uint64_t commands_handled() const { return commands_handled_; }
+
+ private:
+  void Print(const char* format, ...) __attribute__((format(printf, 2, 3)));
+  std::string ReadLine();
+  void CmdRegs(const TrapFrame& frame);
+  void CmdMem(const std::string& args);
+  void CmdWrite(const std::string& args);
+  void CmdTranslate(const std::string& args);
+  void CmdHelp();
+
+  KernelEnv* kernel_;
+  BaseConsole* console_;
+  PageDirectory* page_dir_ = nullptr;
+  bool halted_ = false;
+  bool step_requested_ = false;
+  uint64_t commands_handled_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_KERN_KMON_H_

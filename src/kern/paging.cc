@@ -1,0 +1,215 @@
+#include "src/kern/paging.h"
+
+#include <cstring>
+
+namespace oskit {
+
+namespace {
+
+constexpr uint32_t kEntries = 1024;
+constexpr uint32_t kAddrMask = 0xfffff000;
+
+uint32_t DirIndex(uint32_t va) { return va >> 22; }
+uint32_t TableIndex(uint32_t va) { return (va >> 12) & 0x3ff; }
+
+}  // namespace
+
+PageDirectory::PageDirectory(KernelEnv* kernel) : kernel_(kernel) {
+  void* dir = kernel_->lmm().AllocPage(0);
+  OSKIT_ASSERT_MSG(dir != nullptr, "out of memory for page directory");
+  std::memset(dir, 0, kPageSize);
+  dir_phys_ = static_cast<uint32_t>(kernel_->machine().phys().AddrOf(dir));
+}
+
+PageDirectory::~PageDirectory() {
+  uint32_t* dir = raw_dir();
+  for (uint32_t i = 0; i < kEntries; ++i) {
+    if ((dir[i] & kPtePresent) != 0 && (dir[i] & kPdeLargePage) == 0) {
+      kernel_->MemFree(kernel_->machine().phys().PtrAt(dir[i] & kAddrMask),
+                       kPageSize);
+    }
+  }
+  kernel_->MemFree(dir, kPageSize);
+}
+
+uint32_t* PageDirectory::raw_dir() {
+  return static_cast<uint32_t*>(kernel_->machine().phys().PtrAt(dir_phys_));
+}
+
+uint32_t* PageDirectory::TableFor(uint32_t va, bool alloc) {
+  uint32_t* dir = raw_dir();
+  uint32_t& pde = dir[DirIndex(va)];
+  if ((pde & kPtePresent) == 0) {
+    if (!alloc) {
+      return nullptr;
+    }
+    void* table = kernel_->lmm().AllocPage(0);
+    if (table == nullptr) {
+      return nullptr;
+    }
+    std::memset(table, 0, kPageSize);
+    ++table_pages_;
+    uint32_t table_phys =
+        static_cast<uint32_t>(kernel_->machine().phys().AddrOf(table));
+    // Directory entries carry the union of permissions; leaf PTEs restrict.
+    pde = table_phys | kPtePresent | kPteWritable | kPteUser;
+  }
+  if ((pde & kPdeLargePage) != 0) {
+    return nullptr;  // a 4 MB mapping occupies this slot
+  }
+  return static_cast<uint32_t*>(
+      kernel_->machine().phys().PtrAt(pde & kAddrMask));
+}
+
+Error PageDirectory::MapPage(uint32_t va, uint32_t pa, uint32_t flags) {
+  if ((va & (kPageSize - 1)) != 0 || (pa & (kPageSize - 1)) != 0) {
+    return Error::kInval;
+  }
+  uint32_t* table = TableFor(va, /*alloc=*/true);
+  if (table == nullptr) {
+    return Error::kNoMem;
+  }
+  uint32_t& pte = table[TableIndex(va)];
+  if ((pte & kPtePresent) != 0) {
+    return Error::kExist;
+  }
+  pte = (pa & kAddrMask) | kPtePresent | (flags & (kPteWritable | kPteUser));
+  return Error::kOk;
+}
+
+Error PageDirectory::MapLargePage(uint32_t va, uint32_t pa, uint32_t flags) {
+  if ((va & (kLargePageSize - 1)) != 0 || (pa & (kLargePageSize - 1)) != 0) {
+    return Error::kInval;
+  }
+  uint32_t* dir = raw_dir();
+  uint32_t& pde = dir[DirIndex(va)];
+  if ((pde & kPtePresent) != 0) {
+    return Error::kExist;
+  }
+  pde = (pa & 0xffc00000) | kPtePresent | kPdeLargePage |
+        (flags & (kPteWritable | kPteUser));
+  return Error::kOk;
+}
+
+Error PageDirectory::UnmapPage(uint32_t va) {
+  uint32_t* table = TableFor(va, /*alloc=*/false);
+  if (table == nullptr) {
+    return Error::kFault;
+  }
+  uint32_t& pte = table[TableIndex(va)];
+  if ((pte & kPtePresent) == 0) {
+    return Error::kFault;
+  }
+  pte = 0;
+  // Free the table when it holds no present entries.
+  for (uint32_t i = 0; i < kEntries; ++i) {
+    if ((table[i] & kPtePresent) != 0) {
+      return Error::kOk;
+    }
+  }
+  uint32_t* dir = raw_dir();
+  kernel_->MemFree(table, kPageSize);
+  --table_pages_;
+  dir[DirIndex(va)] = 0;
+  return Error::kOk;
+}
+
+Error PageDirectory::Translate(uint32_t va, uint32_t* out_pa,
+                               uint32_t* out_flags) const {
+  auto* self = const_cast<PageDirectory*>(this);
+  uint32_t* dir = self->raw_dir();
+  uint32_t pde = dir[DirIndex(va)];
+  if ((pde & kPtePresent) == 0) {
+    return Error::kFault;
+  }
+  if ((pde & kPdeLargePage) != 0) {
+    *out_pa = (pde & 0xffc00000) | (va & (kLargePageSize - 1));
+    *out_flags = pde & (kPteWritable | kPteUser);
+    return Error::kOk;
+  }
+  auto* table = static_cast<uint32_t*>(
+      self->kernel_->machine().phys().PtrAt(pde & kAddrMask));
+  uint32_t pte = table[TableIndex(va)];
+  if ((pte & kPtePresent) == 0) {
+    return Error::kFault;
+  }
+  *out_pa = (pte & kAddrMask) | (va & (kPageSize - 1));
+  *out_flags = pte & (kPteWritable | kPteUser);
+  return Error::kOk;
+}
+
+Error PageDirectory::MapRange(uint32_t va, uint32_t pa, uint32_t size,
+                              uint32_t flags) {
+  for (uint32_t offset = 0; offset < size; offset += kPageSize) {
+    Error err = MapPage(va + offset, pa + offset, flags);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  return Error::kOk;
+}
+
+// ---- Segment descriptors ----
+
+uint64_t EncodeSegment(const SegmentDescriptor& seg) {
+  uint32_t limit = seg.limit;
+  bool granular = false;
+  if (limit > 0xfffff) {
+    // Page granularity: the hardware multiplies by 4K (and adds 0xfff).
+    limit = limit >> 12;
+    granular = true;
+  }
+  uint64_t raw = 0;
+  raw |= limit & 0xffffull;                       // limit 15:0
+  raw |= (seg.base & 0xffffull) << 16;            // base 15:0
+  raw |= ((seg.base >> 16) & 0xffull) << 32;      // base 23:16
+  // Access byte: P | DPL | S=1 | type.
+  uint64_t access = 0x10;                          // S=1 (code/data)
+  if (seg.present) {
+    access |= 0x80;
+  }
+  access |= static_cast<uint64_t>(seg.dpl & 3) << 5;
+  if (seg.code) {
+    access |= 0x08;               // executable
+    if (seg.writable) {
+      access |= 0x02;             // readable
+    }
+  } else if (seg.writable) {
+    access |= 0x02;               // writable data
+  }
+  raw |= access << 40;
+  raw |= ((limit >> 16) & 0xfull) << 48;          // limit 19:16
+  uint64_t gran_flags = 0;
+  if (seg.is_32bit) {
+    gran_flags |= 0x4;                            // D/B
+  }
+  if (granular) {
+    gran_flags |= 0x8;                            // G
+  }
+  raw |= gran_flags << 52;
+  raw |= ((seg.base >> 24) & 0xffull) << 56;      // base 31:24
+  return raw;
+}
+
+SegmentDescriptor DecodeSegment(uint64_t raw) {
+  SegmentDescriptor seg;
+  uint32_t limit = static_cast<uint32_t>(raw & 0xffff) |
+                   (static_cast<uint32_t>((raw >> 48) & 0xf) << 16);
+  seg.base = static_cast<uint32_t>((raw >> 16) & 0xffff) |
+             (static_cast<uint32_t>((raw >> 32) & 0xff) << 16) |
+             (static_cast<uint32_t>((raw >> 56) & 0xff) << 24);
+  uint64_t access = (raw >> 40) & 0xff;
+  seg.present = (access & 0x80) != 0;
+  seg.dpl = static_cast<uint8_t>((access >> 5) & 3);
+  seg.code = (access & 0x08) != 0;
+  seg.writable = (access & 0x02) != 0;
+  uint64_t gran_flags = (raw >> 52) & 0xf;
+  seg.is_32bit = (gran_flags & 0x4) != 0;
+  if ((gran_flags & 0x8) != 0) {
+    limit = (limit << 12) | 0xfff;
+  }
+  seg.limit = limit;
+  return seg;
+}
+
+}  // namespace oskit

@@ -1,0 +1,95 @@
+// x86 page-table and segment-descriptor support (paper §3.2).
+//
+// "On the x86, the kernel support library includes functions to create and
+// manipulate x86 page tables and segment registers."  These build REAL
+// 32-bit two-level page tables (the exact hardware bit layout) inside the
+// simulated machine's physical memory, using page-granular LMM allocations;
+// Translate() walks them exactly as the MMU would.  Higher layers can build
+// architecture-neutral VM on top, but per §4.6 the raw structures stay
+// exposed: dir_phys() hands the client the literal CR3 value.
+
+#ifndef OSKIT_SRC_KERN_PAGING_H_
+#define OSKIT_SRC_KERN_PAGING_H_
+
+#include <cstdint>
+
+#include "src/kern/kernel.h"
+
+namespace oskit {
+
+// Page table entry bits (hardware layout).
+inline constexpr uint32_t kPtePresent = 1u << 0;
+inline constexpr uint32_t kPteWritable = 1u << 1;
+inline constexpr uint32_t kPteUser = 1u << 2;
+inline constexpr uint32_t kPteAccessed = 1u << 5;
+inline constexpr uint32_t kPteDirty = 1u << 6;
+inline constexpr uint32_t kPdeLargePage = 1u << 7;  // 4 MB page in a PDE
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kLargePageSize = 4u << 20;
+
+class PageDirectory {
+ public:
+  // Allocates an empty, page-aligned directory from the kernel's LMM.
+  explicit PageDirectory(KernelEnv* kernel);
+  ~PageDirectory();
+
+  PageDirectory(const PageDirectory&) = delete;
+  PageDirectory& operator=(const PageDirectory&) = delete;
+
+  // Maps the 4 KB page at virtual `va` to physical `pa` with `flags`
+  // (kPteWritable/kPteUser; kPtePresent is implied).  Allocates the page
+  // table if absent.  kExist if already mapped; both addresses must be
+  // page aligned.
+  Error MapPage(uint32_t va, uint32_t pa, uint32_t flags);
+
+  // Maps a 4 MB large page (PSE) at `va` (4 MB aligned).
+  Error MapLargePage(uint32_t va, uint32_t pa, uint32_t flags);
+
+  // Removes a 4 KB mapping; frees the page table when it empties.
+  Error UnmapPage(uint32_t va);
+
+  // Hardware-faithful walk: returns the physical address `va` translates
+  // to, honouring large pages.  kFault when not present.
+  Error Translate(uint32_t va, uint32_t* out_pa, uint32_t* out_flags) const;
+
+  // Maps [va, va+size) to [pa, pa+size) page by page.
+  Error MapRange(uint32_t va, uint32_t pa, uint32_t size, uint32_t flags);
+
+  // The physical address of the directory: what the client loads into CR3.
+  uint32_t dir_phys() const { return dir_phys_; }
+
+  // Open implementation (§4.6): the raw 1024-entry directory.
+  uint32_t* raw_dir();
+
+  // Number of page-table pages currently allocated (tests).
+  uint32_t table_pages() const { return table_pages_; }
+
+ private:
+  uint32_t* TableFor(uint32_t va, bool alloc);
+
+  KernelEnv* kernel_;
+  uint32_t dir_phys_ = 0;
+  uint32_t table_pages_ = 0;
+};
+
+// ---- Segment descriptors (GDT entries), hardware bit layout ----
+
+struct SegmentDescriptor {
+  uint32_t base = 0;
+  uint32_t limit = 0;   // in bytes (encoded with page granularity when large)
+  bool code = false;    // code vs data segment
+  bool writable = true; // data: writable; code: readable
+  uint8_t dpl = 0;      // privilege level 0..3
+  bool present = true;
+  bool is_32bit = true;
+};
+
+// Encodes the descriptor into the x86's split-field 8-byte format.
+uint64_t EncodeSegment(const SegmentDescriptor& seg);
+
+// Decodes it back (for verification / debugger display).
+SegmentDescriptor DecodeSegment(uint64_t raw);
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_KERN_PAGING_H_

@@ -1,0 +1,318 @@
+#include "src/libc/format.h"
+
+#include <cstdint>
+
+#include "src/libc/string.h"
+
+namespace oskit::libc {
+namespace {
+
+struct Spec {
+  bool left = false;        // '-'
+  bool zero_pad = false;    // '0'
+  bool plus = false;        // '+'
+  bool space = false;       // ' '
+  bool alt = false;         // '#'
+  int width = 0;
+  int precision = -1;       // -1 means unspecified
+  int length = 0;           // -2=hh -1=h 0=int 1=l 2=ll 3=z
+};
+
+class Emitter {
+ public:
+  Emitter(FormatSink sink, void* ctx) : sink_(sink), ctx_(ctx) {}
+
+  void Put(char c) {
+    ++count_;
+    if (alive_) {
+      alive_ = sink_(ctx_, c);
+    }
+  }
+
+  void Fill(char c, int n) {
+    for (int i = 0; i < n; ++i) {
+      Put(c);
+    }
+  }
+
+  int count() const { return count_; }
+
+ private:
+  FormatSink sink_;
+  void* ctx_;
+  bool alive_ = true;
+  int count_ = 0;
+};
+
+// Emits one converted number/string with padding per `spec`.
+// `body` is the digits (without sign/prefix); sign/prefix handled here.
+void EmitPadded(Emitter& out, const Spec& spec, const char* prefix,
+                const char* body, int body_len) {
+  int prefix_len = static_cast<int>(Strlen(prefix));
+  // Precision on integers: minimum digit count.
+  int zeros = 0;
+  if (spec.precision >= 0 && body_len < spec.precision) {
+    zeros = spec.precision - body_len;
+  }
+  int total = prefix_len + zeros + body_len;
+  int pad = spec.width > total ? spec.width - total : 0;
+
+  if (!spec.left && spec.zero_pad && spec.precision < 0) {
+    // Zero padding goes after the sign/prefix.
+    out.Fill(' ', 0);
+    for (int i = 0; i < prefix_len; ++i) {
+      out.Put(prefix[i]);
+    }
+    out.Fill('0', pad + zeros);
+  } else {
+    if (!spec.left) {
+      out.Fill(' ', pad);
+    }
+    for (int i = 0; i < prefix_len; ++i) {
+      out.Put(prefix[i]);
+    }
+    out.Fill('0', zeros);
+  }
+  for (int i = 0; i < body_len; ++i) {
+    out.Put(body[i]);
+  }
+  if (spec.left) {
+    out.Fill(' ', pad);
+  }
+}
+
+// Converts `value` to digits in `base` (reversed into buf, then fixed).
+int ToDigits(uint64_t value, unsigned base, bool upper, char* buf) {
+  const char* digits = upper ? "0123456789ABCDEF" : "0123456789abcdef";
+  int n = 0;
+  do {
+    buf[n++] = digits[value % base];
+    value /= base;
+  } while (value != 0);
+  // Reverse in place.
+  for (int i = 0; i < n / 2; ++i) {
+    char tmp = buf[i];
+    buf[i] = buf[n - 1 - i];
+    buf[n - 1 - i] = tmp;
+  }
+  return n;
+}
+
+uint64_t FetchUnsigned(va_list args, int length) {
+  switch (length) {
+    case 1:
+      return va_arg(args, unsigned long);
+    case 2:
+      return va_arg(args, unsigned long long);
+    case 3:
+      return va_arg(args, size_t);
+    default:
+      return va_arg(args, unsigned int);  // h/hh promote to int
+  }
+}
+
+int64_t FetchSigned(va_list args, int length) {
+  switch (length) {
+    case 1:
+      return va_arg(args, long);
+    case 2:
+      return va_arg(args, long long);
+    case 3:
+      return static_cast<int64_t>(va_arg(args, size_t));
+    default:
+      return va_arg(args, int);
+  }
+}
+
+}  // namespace
+
+int FormatV(FormatSink sink, void* ctx, const char* format, va_list args) {
+  Emitter out(sink, ctx);
+  for (const char* p = format; *p != '\0'; ++p) {
+    if (*p != '%') {
+      out.Put(*p);
+      continue;
+    }
+    ++p;
+    if (*p == '%') {
+      out.Put('%');
+      continue;
+    }
+
+    Spec spec;
+    // Flags.
+    for (;; ++p) {
+      if (*p == '-') {
+        spec.left = true;
+      } else if (*p == '0') {
+        spec.zero_pad = true;
+      } else if (*p == '+') {
+        spec.plus = true;
+      } else if (*p == ' ') {
+        spec.space = true;
+      } else if (*p == '#') {
+        spec.alt = true;
+      } else {
+        break;
+      }
+    }
+    // Width.
+    if (*p == '*') {
+      spec.width = va_arg(args, int);
+      if (spec.width < 0) {
+        spec.left = true;
+        spec.width = -spec.width;
+      }
+      ++p;
+    } else {
+      while (IsDigit(*p)) {
+        spec.width = spec.width * 10 + (*p++ - '0');
+      }
+    }
+    // Precision.
+    if (*p == '.') {
+      ++p;
+      spec.precision = 0;
+      if (*p == '*') {
+        spec.precision = va_arg(args, int);
+        ++p;
+      } else {
+        while (IsDigit(*p)) {
+          spec.precision = spec.precision * 10 + (*p++ - '0');
+        }
+      }
+    }
+    // Length modifiers.
+    if (*p == 'h') {
+      spec.length = -1;
+      ++p;
+      if (*p == 'h') {
+        spec.length = -2;
+        ++p;
+      }
+    } else if (*p == 'l') {
+      spec.length = 1;
+      ++p;
+      if (*p == 'l') {
+        spec.length = 2;
+        ++p;
+      }
+    } else if (*p == 'z') {
+      spec.length = 3;
+      ++p;
+    }
+
+    char digits[24];
+    switch (*p) {
+      case 'd':
+      case 'i': {
+        int64_t v = FetchSigned(args, spec.length);
+        uint64_t mag = v < 0 ? static_cast<uint64_t>(-(v + 1)) + 1
+                             : static_cast<uint64_t>(v);
+        const char* prefix = v < 0 ? "-" : (spec.plus ? "+" : (spec.space ? " " : ""));
+        int n = ToDigits(mag, 10, false, digits);
+        EmitPadded(out, spec, prefix, digits, n);
+        break;
+      }
+      case 'u': {
+        int n = ToDigits(FetchUnsigned(args, spec.length), 10, false, digits);
+        EmitPadded(out, spec, "", digits, n);
+        break;
+      }
+      case 'x':
+      case 'X': {
+        bool upper = *p == 'X';
+        uint64_t v = FetchUnsigned(args, spec.length);
+        int n = ToDigits(v, 16, upper, digits);
+        const char* prefix = (spec.alt && v != 0) ? (upper ? "0X" : "0x") : "";
+        EmitPadded(out, spec, prefix, digits, n);
+        break;
+      }
+      case 'o': {
+        uint64_t v = FetchUnsigned(args, spec.length);
+        int n = ToDigits(v, 8, false, digits);
+        EmitPadded(out, spec, (spec.alt && v != 0) ? "0" : "", digits, n);
+        break;
+      }
+      case 'b': {  // binary: kernel-debug extension
+        int n = ToDigits(FetchUnsigned(args, spec.length), 2, false, digits);
+        EmitPadded(out, spec, "", digits, n);
+        break;
+      }
+      case 'p': {
+        uintptr_t v = reinterpret_cast<uintptr_t>(va_arg(args, void*));
+        int n = ToDigits(v, 16, false, digits);
+        EmitPadded(out, spec, "0x", digits, n);
+        break;
+      }
+      case 'c': {
+        char c = static_cast<char>(va_arg(args, int));
+        Spec char_spec = spec;
+        char_spec.zero_pad = false;
+        EmitPadded(out, char_spec, "", &c, 1);
+        break;
+      }
+      case 's': {
+        const char* s = va_arg(args, const char*);
+        if (s == nullptr) {
+          s = "(null)";
+        }
+        int len = static_cast<int>(
+            spec.precision >= 0 ? Strnlen(s, static_cast<size_t>(spec.precision))
+                                : Strlen(s));
+        Spec str_spec = spec;
+        str_spec.precision = -1;  // already applied as a byte limit
+        str_spec.zero_pad = false;
+        EmitPadded(out, str_spec, "", s, len);
+        break;
+      }
+      case '\0':
+        return out.count();  // dangling '%' at end of format
+      default:
+        // Unknown conversion: emit it literally, C-library style.
+        out.Put('%');
+        out.Put(*p);
+        break;
+    }
+  }
+  return out.count();
+}
+
+namespace {
+
+struct BufferCtx {
+  char* buffer;
+  size_t size;
+  size_t used;
+};
+
+bool BufferSink(void* ctx, char c) {
+  auto* b = static_cast<BufferCtx*>(ctx);
+  if (b->used + 1 < b->size) {
+    b->buffer[b->used] = c;
+  }
+  ++b->used;
+  return true;
+}
+
+}  // namespace
+
+int Vsnprintf(char* buffer, size_t size, const char* format, va_list args) {
+  BufferCtx ctx{buffer, size, 0};
+  int n = FormatV(&BufferSink, &ctx, format, args);
+  if (size > 0) {
+    size_t term = ctx.used < size - 1 ? ctx.used : size - 1;
+    buffer[term] = '\0';
+  }
+  return n;
+}
+
+int Snprintf(char* buffer, size_t size, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  int n = Vsnprintf(buffer, size, format, args);
+  va_end(args);
+  return n;
+}
+
+}  // namespace oskit::libc

@@ -1,0 +1,35 @@
+// printf formatting core for the minimal C library (paper §3.4).
+//
+// Deliberately dependency-free: no buffering, no locales, no floating point
+// ("locales and floating-point are not supported ... the standard I/O calls
+// don't do any buffering").  Output goes through a caller-supplied one-byte
+// sink, which is how printf ends up layered on putchar (§4.3.1).
+
+#ifndef OSKIT_SRC_LIBC_FORMAT_H_
+#define OSKIT_SRC_LIBC_FORMAT_H_
+
+#include <cstdarg>
+#include <cstddef>
+
+namespace oskit::libc {
+
+// Byte sink; returns false to stop formatting (e.g., buffer full).
+using FormatSink = bool (*)(void* ctx, char c);
+
+// Formats `format` with `args` into `sink`.  Returns the number of bytes
+// that were (or would have been) emitted.
+//
+// Supported: %d %i %u %x %X %o %b %c %s %p %%, flags '-', '0', '+', ' ',
+// '#', field width (and '*'), precision (and '*'), and the length modifiers
+// h, hh, l, ll, z.
+int FormatV(FormatSink sink, void* ctx, const char* format, va_list args);
+
+// snprintf built on FormatV.  Always NUL-terminates when size > 0; returns
+// the length the full output would have had.
+int Snprintf(char* buffer, size_t size, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+int Vsnprintf(char* buffer, size_t size, const char* format, va_list args);
+
+}  // namespace oskit::libc
+
+#endif  // OSKIT_SRC_LIBC_FORMAT_H_

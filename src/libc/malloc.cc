@@ -1,0 +1,125 @@
+#include "src/libc/malloc.h"
+
+#include <cstdlib>
+
+#include "src/base/panic.h"
+#include "src/libc/string.h"
+
+namespace oskit::libc {
+namespace {
+
+void* HostAlloc(void* /*ctx*/, size_t size) { return std::malloc(size); }
+void HostFree(void* /*ctx*/, void* ptr, size_t /*size*/) { std::free(ptr); }
+
+constexpr size_t kHeaderSize = sizeof(void*) == 8 ? 32 : 16;
+
+}  // namespace
+
+MemEnv HostMemEnv() {
+  MemEnv env;
+  env.alloc = &HostAlloc;
+  env.free = &HostFree;
+  return env;
+}
+
+MallocArena::Header* MallocArena::HeaderOf(void* ptr) {
+  auto* header = reinterpret_cast<Header*>(static_cast<char*>(ptr) - kHeaderSize);
+  OSKIT_ASSERT_MSG(header->magic == kMagic, "bad malloc header (corruption?)");
+  return header;
+}
+
+const MallocArena::Header* MallocArena::HeaderOf(const void* ptr) {
+  return HeaderOf(const_cast<void*>(ptr));
+}
+
+void* MallocArena::Malloc(size_t size) {
+  static_assert(sizeof(Header) <= kHeaderSize, "header must fit the slot");
+  if (size == 0) {
+    size = 1;
+  }
+  size_t raw_size = kHeaderSize + size;
+  void* raw = env_.alloc(env_.ctx, raw_size);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  auto* header = static_cast<Header*>(raw);
+  header->size = size;
+  header->raw_size = raw_size;
+  header->raw = raw;
+  header->magic = kMagic;
+  bytes_in_use_ += size;
+  ++blocks_in_use_;
+  ++total_allocs_;
+  return static_cast<char*>(raw) + kHeaderSize;
+}
+
+void* MallocArena::Calloc(size_t count, size_t elem_size) {
+  if (elem_size != 0 && count > static_cast<size_t>(-1) / elem_size) {
+    return nullptr;  // multiplication would overflow
+  }
+  size_t total = count * elem_size;
+  void* ptr = Malloc(total);
+  if (ptr != nullptr) {
+    Memset(ptr, 0, total);
+  }
+  return ptr;
+}
+
+void* MallocArena::Realloc(void* ptr, size_t new_size) {
+  if (ptr == nullptr) {
+    return Malloc(new_size);
+  }
+  if (new_size == 0) {
+    Free(ptr);
+    return nullptr;
+  }
+  Header* header = HeaderOf(ptr);
+  void* fresh = Malloc(new_size);
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  Memcpy(fresh, ptr, header->size < new_size ? header->size : new_size);
+  Free(ptr);
+  return fresh;
+}
+
+void* MallocArena::Memalign(size_t alignment, size_t size) {
+  OSKIT_ASSERT_MSG((alignment & (alignment - 1)) == 0, "alignment not a power of 2");
+  // Plain Malloc only guarantees the underlying allocator's alignment (16).
+  if (alignment <= 16) {
+    return Malloc(size);
+  }
+  // Over-allocate, then place the header immediately before the aligned
+  // payload; `raw` in the header remembers the true allocation.
+  size_t raw_size = kHeaderSize + alignment + size;
+  void* raw = env_.alloc(env_.ctx, raw_size);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  uintptr_t payload = reinterpret_cast<uintptr_t>(raw) + kHeaderSize;
+  payload = (payload + alignment - 1) & ~(alignment - 1);
+  auto* header = reinterpret_cast<Header*>(payload - kHeaderSize);
+  header->size = size;
+  header->raw_size = raw_size;
+  header->raw = raw;
+  header->magic = kMagic;
+  bytes_in_use_ += size;
+  ++blocks_in_use_;
+  ++total_allocs_;
+  return reinterpret_cast<void*>(payload);
+}
+
+void MallocArena::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  Header* header = HeaderOf(ptr);
+  bytes_in_use_ -= header->size;
+  --blocks_in_use_;
+  header->magic = 0;  // catch double free on the next HeaderOf
+  env_.free(env_.ctx, header->raw, header->raw_size);
+}
+
+size_t MallocArena::UsableSize(const void* ptr) const { return HeaderOf(ptr)->size; }
+
+}  // namespace oskit::libc

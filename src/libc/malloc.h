@@ -1,0 +1,71 @@
+// Minimal C library malloc, layered on a client-overridable memory service.
+//
+// Kernels cannot use a hosted malloc (§3.3/§3.4); the OSKit's malloc sits on
+// top of whatever low-level memory allocator the client provides — by
+// default the LMM.  Each block carries a small header recording its size, so
+// Free/Realloc need no external bookkeeping; the header is also the hook the
+// memdebug library (§3.5) wraps.
+
+#ifndef OSKIT_SRC_LIBC_MALLOC_H_
+#define OSKIT_SRC_LIBC_MALLOC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oskit::libc {
+
+// The client-supplied low-level service (§4.2.1: the f_devmemalloc pattern —
+// a default exists, and the client OS overrides it to take control).
+struct MemEnv {
+  void* (*alloc)(void* ctx, size_t size) = nullptr;
+  void (*free)(void* ctx, void* ptr, size_t size) = nullptr;
+  void* ctx = nullptr;
+};
+
+// A MemEnv backed by the host heap, for user-space use of the library
+// (most OSKit libraries "are often useful in user-mode code as well", §3.2).
+MemEnv HostMemEnv();
+
+class MallocArena {
+ public:
+  explicit MallocArena(const MemEnv& env) : env_(env) {}
+  MallocArena(const MallocArena&) = delete;
+  MallocArena& operator=(const MallocArena&) = delete;
+
+  void* Malloc(size_t size);
+  void* Calloc(size_t count, size_t elem_size);
+  void* Realloc(void* ptr, size_t new_size);
+  // Alignment must be a power of two; memory from Memalign is freed with
+  // the ordinary Free.
+  void* Memalign(size_t alignment, size_t size);
+  void Free(void* ptr);
+
+  // Size the caller asked for, recovered from the header.
+  size_t UsableSize(const void* ptr) const;
+
+  // Statistics (exposed implementation, §4.6).
+  uint64_t bytes_in_use() const { return bytes_in_use_; }
+  uint64_t blocks_in_use() const { return blocks_in_use_; }
+  uint64_t total_allocs() const { return total_allocs_; }
+
+ private:
+  struct Header {
+    size_t size;       // bytes the caller asked for
+    size_t raw_size;   // bytes obtained from the MemEnv
+    void* raw;         // pointer obtained from the MemEnv
+    uint32_t magic;
+  };
+  static constexpr uint32_t kMagic = 0x4d414c43;  // "MALC"
+
+  static Header* HeaderOf(void* ptr);
+  static const Header* HeaderOf(const void* ptr);
+
+  MemEnv env_;
+  uint64_t bytes_in_use_ = 0;
+  uint64_t blocks_in_use_ = 0;
+  uint64_t total_allocs_ = 0;
+};
+
+}  // namespace oskit::libc
+
+#endif  // OSKIT_SRC_LIBC_MALLOC_H_

@@ -1,0 +1,346 @@
+#include "src/libc/posix.h"
+
+#include "src/base/panic.h"
+#include "src/libc/string.h"
+
+namespace oskit::libc {
+namespace {
+
+int Neg(Error e) { return -static_cast<int>(e); }
+
+}  // namespace
+
+int PosixIo::AllocFd() {
+  // 0/1/2 are reserved in spirit for stdio; the console is not an fd here.
+  for (int fd = 3; fd < kMaxFds; ++fd) {
+    if (fds_[fd].kind == FdKind::kClosed) {
+      return fd;
+    }
+  }
+  return -1;
+}
+
+PosixIo::FdEntry* PosixIo::Lookup(int fd) {
+  if (fd < 0 || fd >= kMaxFds || fds_[fd].kind == FdKind::kClosed) {
+    return nullptr;
+  }
+  return &fds_[fd];
+}
+
+void PosixIo::CloseAll() {
+  for (int fd = 0; fd < kMaxFds; ++fd) {
+    if (fds_[fd].kind != FdKind::kClosed) {
+      // Dropping the socket reference triggers SoDetach -> FIN (§6.2.10).
+      fds_[fd] = FdEntry{};
+    }
+  }
+}
+
+int PosixIo::OpenCount() const {
+  int n = 0;
+  for (const FdEntry& e : fds_) {
+    if (e.kind != FdKind::kClosed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Error PosixIo::WalkParent(const char* path, ComPtr<Dir>* out_parent,
+                          const char** out_leaf) {
+  if (!root_) {
+    return Error::kNoEnt;
+  }
+  if (path == nullptr) {
+    return Error::kInval;
+  }
+  while (*path == '/') {
+    ++path;
+  }
+  ComPtr<Dir> dir = root_;
+  const char* component = path;
+  for (;;) {
+    const char* slash = Strchr(component, '/');
+    if (slash == nullptr) {
+      *out_parent = std::move(dir);
+      *out_leaf = component;
+      return Error::kOk;
+    }
+    // Interior component: must resolve to a directory.
+    char name[64];
+    size_t len = static_cast<size_t>(slash - component);
+    if (len == 0) {  // "a//b": skip empty components
+      component = slash + 1;
+      continue;
+    }
+    if (len >= sizeof(name)) {
+      return Error::kNameTooLong;
+    }
+    Memcpy(name, component, len);
+    name[len] = '\0';
+    ComPtr<File> next;
+    Error err = dir->Lookup(name, next.Receive());
+    if (!Ok(err)) {
+      return err;
+    }
+    ComPtr<Dir> next_dir = ComPtr<Dir>::FromQuery(next.get());
+    if (!next_dir) {
+      return Error::kNotDir;
+    }
+    dir = std::move(next_dir);
+    component = slash + 1;
+  }
+}
+
+int PosixIo::Open(const char* path, int flags, uint32_t mode) {
+  ComPtr<Dir> parent;
+  const char* leaf = nullptr;
+  Error err = WalkParent(path, &parent, &leaf);
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  ComPtr<File> file;
+  if (leaf[0] == '\0') {
+    // Opening the root directory itself.
+    err = parent->Lookup(".", file.Receive());
+  } else {
+    err = parent->Lookup(leaf, file.Receive());
+    if (err == Error::kNoEnt && (flags & kOCreat) != 0) {
+      err = parent->Create(leaf, mode, file.Receive());
+    }
+  }
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  if ((flags & kOTrunc) != 0 && (flags & kOAccMode) != kORdOnly) {
+    err = file->SetSize(0);
+    if (!Ok(err)) {
+      return Neg(err);
+    }
+  }
+  int fd = AllocFd();
+  if (fd < 0) {
+    return Neg(Error::kMFile);
+  }
+  FdEntry& e = fds_[fd];
+  e.kind = FdKind::kFile;
+  e.file = std::move(file);
+  e.offset = 0;
+  e.append = (flags & kOAppend) != 0;
+  return fd;
+}
+
+int PosixIo::Close(int fd) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr) {
+    return Neg(Error::kBadF);
+  }
+  *e = FdEntry{};
+  return 0;
+}
+
+long PosixIo::Read(int fd, void* buf, size_t count) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr) {
+    return Neg(Error::kBadF);
+  }
+  size_t actual = 0;
+  Error err;
+  if (e->kind == FdKind::kSocket) {
+    err = e->socket->Recv(buf, count, &actual);
+  } else {
+    err = e->file->Read(buf, e->offset, count, &actual);
+    e->offset += actual;
+  }
+  return Ok(err) ? static_cast<long>(actual) : Neg(err);
+}
+
+long PosixIo::Write(int fd, const void* buf, size_t count) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr) {
+    return Neg(Error::kBadF);
+  }
+  size_t actual = 0;
+  Error err;
+  if (e->kind == FdKind::kSocket) {
+    err = e->socket->Send(buf, count, &actual);
+  } else {
+    if (e->append) {
+      FileStat st;
+      err = e->file->GetStat(&st);
+      if (!Ok(err)) {
+        return Neg(err);
+      }
+      e->offset = st.size;
+    }
+    err = e->file->Write(buf, e->offset, count, &actual);
+    e->offset += actual;
+  }
+  return Ok(err) ? static_cast<long>(actual) : Neg(err);
+}
+
+long PosixIo::Lseek(int fd, long offset, int whence) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) {
+    return Neg(Error::kBadF);
+  }
+  long base = 0;
+  switch (whence) {
+    case kSeekSet:
+      base = 0;
+      break;
+    case kSeekCur:
+      base = static_cast<long>(e->offset);
+      break;
+    case kSeekEnd: {
+      FileStat st;
+      Error err = e->file->GetStat(&st);
+      if (!Ok(err)) {
+        return Neg(err);
+      }
+      base = static_cast<long>(st.size);
+      break;
+    }
+    default:
+      return Neg(Error::kInval);
+  }
+  long target = base + offset;
+  if (target < 0) {
+    return Neg(Error::kInval);
+  }
+  e->offset = static_cast<uint64_t>(target);
+  return target;
+}
+
+int PosixIo::Fstat(int fd, FileStat* out) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kFile) {
+    return Neg(Error::kBadF);
+  }
+  Error err = e->file->GetStat(out);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Stat(const char* path, FileStat* out) {
+  int fd = Open(path, kORdOnly);
+  if (fd < 0) {
+    return fd;
+  }
+  int rc = Fstat(fd, out);
+  Close(fd);
+  return rc;
+}
+
+int PosixIo::Mkdir(const char* path, uint32_t mode) {
+  ComPtr<Dir> parent;
+  const char* leaf = nullptr;
+  Error err = WalkParent(path, &parent, &leaf);
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  if (leaf[0] == '\0') {
+    return Neg(Error::kExist);
+  }
+  err = parent->Mkdir(leaf, mode);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Unlink(const char* path) {
+  ComPtr<Dir> parent;
+  const char* leaf = nullptr;
+  Error err = WalkParent(path, &parent, &leaf);
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  err = parent->Unlink(leaf);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Rmdir(const char* path) {
+  ComPtr<Dir> parent;
+  const char* leaf = nullptr;
+  Error err = WalkParent(path, &parent, &leaf);
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  err = parent->Rmdir(leaf);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Socket(SockDomain domain, SockType type) {
+  if (!socket_factory_) {
+    return Neg(Error::kProtoNoSupport);
+  }
+  ComPtr<oskit::Socket> socket;
+  Error err = socket_factory_->Create(domain, type, socket.Receive());
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  int fd = AllocFd();
+  if (fd < 0) {
+    return Neg(Error::kMFile);
+  }
+  fds_[fd].kind = FdKind::kSocket;
+  fds_[fd].socket = std::move(socket);
+  return fd;
+}
+
+int PosixIo::Bind(int fd, const SockAddr& addr) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) {
+    return Neg(Error::kBadF);
+  }
+  Error err = e->socket->Bind(addr);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Connect(int fd, const SockAddr& addr) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) {
+    return Neg(Error::kBadF);
+  }
+  Error err = e->socket->Connect(addr);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Listen(int fd, int backlog) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) {
+    return Neg(Error::kBadF);
+  }
+  Error err = e->socket->Listen(backlog);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+int PosixIo::Accept(int fd, SockAddr* out_peer) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) {
+    return Neg(Error::kBadF);
+  }
+  ComPtr<oskit::Socket> conn;
+  Error err = e->socket->Accept(out_peer, conn.Receive());
+  if (!Ok(err)) {
+    return Neg(err);
+  }
+  int new_fd = AllocFd();
+  if (new_fd < 0) {
+    return Neg(Error::kMFile);
+  }
+  fds_[new_fd].kind = FdKind::kSocket;
+  fds_[new_fd].socket = std::move(conn);
+  return new_fd;
+}
+
+long PosixIo::Send(int fd, const void* buf, size_t count) { return Write(fd, buf, count); }
+long PosixIo::Recv(int fd, void* buf, size_t count) { return Read(fd, buf, count); }
+
+int PosixIo::Shutdown(int fd, SockShutdown how) {
+  FdEntry* e = Lookup(fd);
+  if (e == nullptr || e->kind != FdKind::kSocket) {
+    return Neg(Error::kBadF);
+  }
+  Error err = e->socket->Shutdown(how);
+  return Ok(err) ? 0 : Neg(err);
+}
+
+}  // namespace oskit::libc

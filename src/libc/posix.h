@@ -1,0 +1,113 @@
+// Minimal POSIX environment (paper §5, §6.2.1).
+//
+// "All of the language implementations greatly benefited from the fairly
+// complete POSIX environment provided by the OSKit's minimal C library" —
+// a file-descriptor layer mapping POSIX calls onto COM objects:
+// open/read/write on FileSystem/Dir/File, socket() routed through a
+// client-registered SocketFactory (the paper's posix_set_socketcreator),
+// plus the deliberately-null signal/select stubs ttcp needed (§5).
+
+#ifndef OSKIT_SRC_LIBC_POSIX_H_
+#define OSKIT_SRC_LIBC_POSIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/com/filesystem.h"
+#include "src/com/socket.h"
+
+namespace oskit::libc {
+
+// open() flags (octal values match the classic Unix ABI).
+inline constexpr int kORdOnly = 0;
+inline constexpr int kOWrOnly = 1;
+inline constexpr int kORdWr = 2;
+inline constexpr int kOAccMode = 3;
+inline constexpr int kOCreat = 0100;
+inline constexpr int kOTrunc = 01000;
+inline constexpr int kOAppend = 02000;
+
+inline constexpr int kSeekSet = 0;
+inline constexpr int kSeekCur = 1;
+inline constexpr int kSeekEnd = 2;
+
+class PosixIo {
+ public:
+  static constexpr int kMaxFds = 64;
+
+  PosixIo() = default;
+
+  // Binds the root directory "/" resolves against.  Typically the bmod
+  // filesystem at first (§6.2.2), later a disk filesystem.
+  void SetRoot(ComPtr<Dir> root) { root_ = std::move(root); }
+
+  // Registers the socket factory socket() uses — posix_set_socketcreator.
+  void SetSocketCreator(ComPtr<SocketFactory> factory) {
+    socket_factory_ = std::move(factory);
+  }
+
+  // ---- File calls.  Return fd >= 0 or the negated Error code. ----
+  int Open(const char* path, int flags, uint32_t mode = 0644);
+  int Close(int fd);
+  // Returns bytes transferred or negated Error.
+  long Read(int fd, void* buf, size_t count);
+  long Write(int fd, const void* buf, size_t count);
+  long Lseek(int fd, long offset, int whence);
+  int Fstat(int fd, FileStat* out);
+  int Stat(const char* path, FileStat* out);
+  int Mkdir(const char* path, uint32_t mode = 0755);
+  int Unlink(const char* path);
+  int Rmdir(const char* path);
+
+  // ---- Socket calls ----
+  int Socket(SockDomain domain, SockType type);
+  int Bind(int fd, const SockAddr& addr);
+  int Connect(int fd, const SockAddr& addr);
+  int Listen(int fd, int backlog);
+  int Accept(int fd, SockAddr* out_peer);
+  long Send(int fd, const void* buf, size_t count);
+  long Recv(int fd, void* buf, size_t count);
+  int Shutdown(int fd, SockShutdown how);
+
+  // ---- Null functions (paper §5: signal and select "can be implemented
+  // as null functions without affecting the results") ----
+  int SignalStub(int signum) { return 0; }
+  int SelectStub(int nfds) { return 0; }
+
+  // Number of live descriptors (leak checks in tests).
+  int OpenCount() const;
+
+  // Closes every descriptor.  Stream sockets get an orderly FIN handshake
+  // (the stack finishes the teardown in the background) — the fix for the
+  // paper's §6.2.10 deficiency that "exit" just rebooted and "leaves its
+  // peers hanging".  The destructor calls this.
+  void CloseAll();
+
+  ~PosixIo() { CloseAll(); }
+
+ private:
+  enum class FdKind { kClosed, kFile, kSocket };
+
+  struct FdEntry {
+    FdKind kind = FdKind::kClosed;
+    ComPtr<File> file;
+    ComPtr<oskit::Socket> socket;  // qualified: Socket() the method shadows
+    uint64_t offset = 0;
+    bool append = false;
+  };
+
+  int AllocFd();
+  FdEntry* Lookup(int fd);
+
+  // Walks all-but-last path components; returns the parent Dir and points
+  // *out_leaf at the final component (empty string means the root itself).
+  Error WalkParent(const char* path, ComPtr<Dir>* out_parent, const char** out_leaf);
+
+  ComPtr<Dir> root_;
+  ComPtr<SocketFactory> socket_factory_;
+  FdEntry fds_[kMaxFds];
+};
+
+}  // namespace oskit::libc
+
+#endif  // OSKIT_SRC_LIBC_POSIX_H_

@@ -1,0 +1,101 @@
+#include "src/libc/quickalloc.h"
+
+#include "src/base/panic.h"
+
+namespace oskit::libc {
+
+namespace {
+constexpr size_t kClassSizes[QuickAlloc::kClassCount] = {16,  32,  64,   128,
+                                                         256, 512, 1024, 2048};
+}  // namespace
+
+QuickAlloc::~QuickAlloc() {
+  // Return every slab to the backing allocator.  (Outstanding small blocks
+  // become invalid, like destroying any arena.)
+  while (slabs_ != nullptr) {
+    Slab* next = slabs_->next;
+    backing_.free(backing_.ctx, slabs_, kSlabSize);
+    slabs_ = next;
+  }
+}
+
+int QuickAlloc::ClassOf(size_t size) {
+  for (size_t i = 0; i < kClassCount; ++i) {
+    if (size <= kClassSizes[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+size_t QuickAlloc::ClassSize(int cls) { return kClassSizes[cls]; }
+
+bool QuickAlloc::Refill(int cls) {
+  void* raw = backing_.alloc(backing_.ctx, kSlabSize);
+  if (raw == nullptr) {
+    return false;
+  }
+  ++slab_refills_;
+  ++slabs_held_;
+  auto* slab = static_cast<Slab*>(raw);
+  slab->next = slabs_;
+  slabs_ = slab;
+
+  // Carve the remainder of the slab into class-size blocks.
+  size_t block = ClassSize(cls);
+  auto* cursor = reinterpret_cast<uint8_t*>(raw) + sizeof(Slab);
+  // Keep blocks 16-aligned.
+  cursor = reinterpret_cast<uint8_t*>(
+      (reinterpret_cast<uintptr_t>(cursor) + 15) & ~uintptr_t{15});
+  auto* end = reinterpret_cast<uint8_t*>(raw) + kSlabSize;
+  while (cursor + block <= end) {
+    auto* node = reinterpret_cast<FreeNode*>(cursor);
+    node->next = free_[cls];
+    free_[cls] = node;
+    cursor += block;
+  }
+  return true;
+}
+
+void* QuickAlloc::Alloc(size_t size) {
+  int cls = ClassOf(size);
+  if (cls < 0) {
+    ++large_passthrough_;
+    return backing_.alloc(backing_.ctx, size);
+  }
+  if (free_[cls] == nullptr && !Refill(cls)) {
+    return nullptr;
+  }
+  FreeNode* node = free_[cls];
+  free_[cls] = node->next;
+  ++fast_hits_;
+  return node;
+}
+
+void QuickAlloc::Free(void* ptr, size_t size) {
+  if (ptr == nullptr) {
+    return;
+  }
+  int cls = ClassOf(size);
+  if (cls < 0) {
+    backing_.free(backing_.ctx, ptr, size);
+    return;
+  }
+  auto* node = static_cast<FreeNode*>(ptr);
+  node->next = free_[cls];
+  free_[cls] = node;
+}
+
+MemEnv QuickAlloc::AsMemEnv() {
+  MemEnv env;
+  env.alloc = +[](void* ctx, size_t size) -> void* {
+    return static_cast<QuickAlloc*>(ctx)->Alloc(size);
+  };
+  env.free = +[](void* ctx, void* ptr, size_t size) {
+    static_cast<QuickAlloc*>(ctx)->Free(ptr, size);
+  };
+  env.ctx = this;
+  return env;
+}
+
+}  // namespace oskit::libc

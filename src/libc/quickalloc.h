@@ -1,0 +1,74 @@
+// QuickAlloc: the high-level allocator the paper names as future work.
+//
+// §6.2.10: "a significant amount of time is spent in memory allocation and
+// deallocation ... For fast allocation of small data structures with no type
+// or alignment restrictions, a more conventional high-level allocator would
+// be more appropriate, possibly layered on top of the OSKit's existing
+// low-level allocator.  The OSKit currently does not provide a high-level
+// allocator of this kind, but we expect to integrate one in the future."
+//
+// This is that allocator: per-size-class free lists refilled in slabs from
+// any client MemEnv (by default the LMM-backed one), constant-time in the
+// common case, falling through to the low-level allocator for large blocks.
+// It exposes a MemEnv itself, so it can slot under the malloc arena or the
+// fdev osenv without either knowing (§4.2.1).
+
+#ifndef OSKIT_SRC_LIBC_QUICKALLOC_H_
+#define OSKIT_SRC_LIBC_QUICKALLOC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/libc/malloc.h"
+
+namespace oskit::libc {
+
+class QuickAlloc {
+ public:
+  static constexpr size_t kClassCount = 8;
+  static constexpr size_t kMaxSmall = 2048;  // larger goes to the backing env
+  static constexpr size_t kSlabSize = 32 * 1024;
+
+  explicit QuickAlloc(const MemEnv& backing) : backing_(backing) {}
+  ~QuickAlloc();
+
+  QuickAlloc(const QuickAlloc&) = delete;
+  QuickAlloc& operator=(const QuickAlloc&) = delete;
+
+  void* Alloc(size_t size);
+  void Free(void* ptr, size_t size);
+
+  // A MemEnv view of this allocator, for layering (e.g., under
+  // MallocArena or an FdevEnv).
+  MemEnv AsMemEnv();
+
+  // Statistics (exposed implementation, §4.6).
+  uint64_t fast_hits() const { return fast_hits_; }
+  uint64_t slab_refills() const { return slab_refills_; }
+  uint64_t large_passthrough() const { return large_passthrough_; }
+  uint64_t slabs_held() const { return slabs_held_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct Slab {
+    Slab* next;
+  };
+
+  static int ClassOf(size_t size);
+  static size_t ClassSize(int cls);
+  bool Refill(int cls);
+
+  MemEnv backing_;
+  FreeNode* free_[kClassCount] = {};
+  Slab* slabs_ = nullptr;
+  uint64_t fast_hits_ = 0;
+  uint64_t slab_refills_ = 0;
+  uint64_t large_passthrough_ = 0;
+  uint64_t slabs_held_ = 0;
+};
+
+}  // namespace oskit::libc
+
+#endif  // OSKIT_SRC_LIBC_QUICKALLOC_H_

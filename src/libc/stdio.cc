@@ -1,0 +1,43 @@
+#include "src/libc/stdio.h"
+
+namespace oskit::libc {
+
+int ConsoleOut::Putchar(int c) {
+  if (putchar_ != nullptr) {
+    return putchar_(putchar_ctx_, c);
+  }
+  captured_.push_back(static_cast<char>(c));
+  return c;
+}
+
+int ConsoleOut::Puts(const char* s) {
+  if (puts_ != nullptr) {
+    return puts_(puts_ctx_, s);
+  }
+  // Default puts is implemented ONLY in terms of putchar (§4.3.1).
+  while (*s != '\0') {
+    Putchar(*s++);
+  }
+  Putchar('\n');
+  return 0;
+}
+
+bool ConsoleOut::PrintfSink(void* ctx, char c) {
+  static_cast<ConsoleOut*>(ctx)->Putchar(c);
+  return true;
+}
+
+int ConsoleOut::Vprintf(const char* format, va_list args) {
+  // printf emits through putchar; no buffering, no internal state (§3.4).
+  return FormatV(&ConsoleOut::PrintfSink, this, format, args);
+}
+
+int ConsoleOut::Printf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  int n = Vprintf(format, args);
+  va_end(args);
+  return n;
+}
+
+}  // namespace oskit::libc

@@ -1,0 +1,68 @@
+// Minimal C library console output: the printf → puts → putchar chain.
+//
+// Paper §4.3.1, verbatim design: "the OSKit's default printf function is
+// implemented in terms of two other functions, puts and putchar; the default
+// puts, in turn, is implemented only in terms of putchar.  While this
+// implementation would be a bug in a standard C library ... it allows the
+// client OS to obtain basic formatted console output simply by providing a
+// putchar function and nothing else."
+//
+// Every function here is individually overridable at run time through
+// function-pointer indirection (§4.2.1).  The default putchar appends to an
+// internal capture buffer so the library works before any console exists.
+
+#ifndef OSKIT_SRC_LIBC_STDIO_H_
+#define OSKIT_SRC_LIBC_STDIO_H_
+
+#include <cstdarg>
+#include <string>
+
+#include "src/libc/format.h"
+
+namespace oskit::libc {
+
+class ConsoleOut {
+ public:
+  using PutcharFn = int (*)(void* ctx, int c);
+  using PutsFn = int (*)(void* ctx, const char* s);
+
+  ConsoleOut() = default;
+
+  // ---- Override points (§4.2.1: overridable functions) ----
+  // Replacing putchar redirects puts and printf too, unless those have
+  // their own overrides.
+  void SetPutchar(PutcharFn fn, void* ctx) {
+    putchar_ = fn;
+    putchar_ctx_ = ctx;
+  }
+  void SetPuts(PutsFn fn, void* ctx) {
+    puts_ = fn;
+    puts_ctx_ = ctx;
+  }
+
+  // ---- The C-style calls ----
+  int Putchar(int c);
+  int Puts(const char* s);  // C semantics: appends '\n'
+  int Printf(const char* format, ...) __attribute__((format(printf, 2, 3)));
+  int Vprintf(const char* format, va_list args);
+
+  // Capture buffer used by the default putchar (tests read this).
+  std::string TakeCaptured() {
+    std::string s;
+    s.swap(captured_);
+    return s;
+  }
+
+ private:
+  static bool PrintfSink(void* ctx, char c);
+
+  PutcharFn putchar_ = nullptr;
+  void* putchar_ctx_ = nullptr;
+  PutsFn puts_ = nullptr;
+  void* puts_ctx_ = nullptr;
+  std::string captured_;
+};
+
+}  // namespace oskit::libc
+
+#endif  // OSKIT_SRC_LIBC_STDIO_H_

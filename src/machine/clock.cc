@@ -1,0 +1,72 @@
+#include "src/machine/clock.h"
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+SimClock::EventId SimClock::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool SimClock::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) {
+    return false;
+  }
+  // Lazy deletion: the queue entry is skipped when it surfaces.
+  return cancelled_.insert(id).second;
+}
+
+SimTime SimClock::NextEventTime() {
+  while (!queue_.empty()) {
+    const Event& ev = queue_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      cancelled_.erase(ev.id);
+      queue_.pop();
+      continue;
+    }
+    return ev.when;
+  }
+  return ~static_cast<SimTime>(0);
+}
+
+bool SimClock::RunOne() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    OSKIT_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ++events_run_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void SimClock::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (ev.when > deadline) {
+      break;
+    }
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    now_ = ev.when;
+    ++events_run_;
+    ev.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace oskit

@@ -1,0 +1,74 @@
+#include "src/machine/cpu.h"
+
+namespace oskit {
+
+Cpu::Cpu() = default;
+
+Cpu::Handler Cpu::SetVector(uint32_t vector, Handler handler) {
+  OSKIT_ASSERT(vector < kVectorCount);
+  Handler old = std::move(vectors_[vector]);
+  vectors_[vector] = std::move(handler);
+  return old;
+}
+
+void Cpu::SetFallback(uint32_t vector, Handler handler) {
+  OSKIT_ASSERT(vector < kVectorCount);
+  fallbacks_[vector] = std::move(handler);
+}
+
+void Cpu::EnableInterrupts() {
+  interrupts_enabled_ = true;
+  DrainPending();
+}
+
+void Cpu::RaiseTrap(uint32_t vector, uint32_t error_code) {
+  Dispatch(vector, error_code, /*is_interrupt=*/false);
+}
+
+void Cpu::RaiseInterrupt(uint32_t vector) {
+  if (!interrupts_enabled_ || in_interrupt_depth_ > 0) {
+    pending_interrupts_.push_back(vector);
+    return;
+  }
+  Dispatch(vector, 0, /*is_interrupt=*/true);
+  DrainPending();
+}
+
+void Cpu::Dispatch(uint32_t vector, uint32_t error_code, bool is_interrupt) {
+  OSKIT_ASSERT(vector < kVectorCount);
+  TrapFrame frame;
+  frame.trapno = vector;
+  frame.error_code = error_code;
+  frame.flags = interrupts_enabled_ ? (1u << 9) : 0;
+  if (is_interrupt) {
+    ++interrupts_dispatched_;
+    ++in_interrupt_depth_;
+  } else {
+    ++traps_dispatched_;
+  }
+  bool handled = false;
+  if (vectors_[vector]) {
+    handled = vectors_[vector](frame);
+  }
+  if (!handled && fallbacks_[vector]) {
+    handled = fallbacks_[vector](frame);
+  }
+  if (is_interrupt) {
+    --in_interrupt_depth_;
+  }
+  if (!handled) {
+    Panic("unhandled %s: vector %u error=%#x",
+          is_interrupt ? "interrupt" : "trap", vector, error_code);
+  }
+}
+
+void Cpu::DrainPending() {
+  while (interrupts_enabled_ && in_interrupt_depth_ == 0 &&
+         !pending_interrupts_.empty()) {
+    uint32_t vector = pending_interrupts_.front();
+    pending_interrupts_.pop_front();
+    Dispatch(vector, 0, /*is_interrupt=*/true);
+  }
+}
+
+}  // namespace oskit

@@ -1,0 +1,100 @@
+// Simulated CPU: trap/interrupt dispatch with a uniform frame layout.
+//
+// Traps (synchronous: divide error, breakpoint, page fault) and hardware
+// interrupts (asynchronous, via the PIC) both dispatch through a 256-entry
+// vector table and both hand the handler the SAME TrapFrame layout.  The
+// paper calls out (§6.2.10) that the OSKit originally documented the frame
+// only for synchronous traps and had to be fixed so language runtimes (ML/OS,
+// Java/PC) could inspect interrupted state for preemption; we build the fixed
+// behaviour in from the start.
+
+#ifndef OSKIT_SRC_MACHINE_CPU_H_
+#define OSKIT_SRC_MACHINE_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+// Uniform machine-state snapshot passed to every trap/interrupt handler.
+// Handlers may modify it; the "hardware" applies changes on return (this is
+// how ML/OS-style runtimes redirect the interrupted computation, §6.2.4).
+struct TrapFrame {
+  uint32_t trapno = 0;      // vector number
+  uint32_t error_code = 0;  // hardware error code (synchronous traps only)
+  uint64_t pc = 0;          // interrupted "instruction pointer"
+  uint64_t sp = 0;          // interrupted stack pointer
+  uint64_t flags = 0;       // interrupted flags (bit 9 = interrupts enabled)
+  uint64_t gprs[8] = {};    // general registers of the interrupted context
+};
+
+// Well-known x86 trap vectors the kernel support library installs defaults
+// for.
+enum TrapVector : uint32_t {
+  kTrapDivide = 0,
+  kTrapDebug = 1,
+  kTrapBreakpoint = 3,
+  kTrapInvalidOpcode = 6,
+  kTrapGeneralProtection = 13,
+  kTrapPageFault = 14,
+  kIrqBaseVector = 32,  // PIC IRQ 0..15 map to vectors 32..47
+  kVectorCount = 256,
+};
+
+class Cpu {
+ public:
+  // A handler returns true when it handled the event; returning false chains
+  // to the fallback handler for that vector (paper §6.2.4: custom handlers
+  // "can still fall back to the default handler for traps that are of no
+  // interest").
+  using Handler = std::function<bool(TrapFrame&)>;
+
+  Cpu();
+
+  // Installs the primary handler for a vector, returning the old one.
+  Handler SetVector(uint32_t vector, Handler handler);
+
+  // Installs the fallback used when the primary declines (returns false) or
+  // is absent.
+  void SetFallback(uint32_t vector, Handler handler);
+
+  bool interrupts_enabled() const { return interrupts_enabled_; }
+  void DisableInterrupts() { interrupts_enabled_ = false; }
+
+  // Re-enabling drains any interrupts that arrived while disabled.
+  void EnableInterrupts();
+
+  // Synchronous trap: dispatches immediately regardless of the interrupt
+  // flag (as real exceptions do).
+  void RaiseTrap(uint32_t vector, uint32_t error_code = 0);
+
+  // Hardware interrupt request from the PIC.  Delivered immediately when
+  // interrupts are enabled and no interrupt is in progress; otherwise
+  // latched and delivered on EnableInterrupts()/handler return.
+  void RaiseInterrupt(uint32_t vector);
+
+  bool in_interrupt() const { return in_interrupt_depth_ > 0; }
+
+  // Diagnostic counters (exposed implementation, §4.6).
+  uint64_t traps_dispatched() const { return traps_dispatched_; }
+  uint64_t interrupts_dispatched() const { return interrupts_dispatched_; }
+
+ private:
+  void Dispatch(uint32_t vector, uint32_t error_code, bool is_interrupt);
+  void DrainPending();
+
+  Handler vectors_[kVectorCount];
+  Handler fallbacks_[kVectorCount];
+  bool interrupts_enabled_ = false;  // machines start with interrupts off
+  int in_interrupt_depth_ = 0;
+  std::deque<uint32_t> pending_interrupts_;
+  uint64_t traps_dispatched_ = 0;
+  uint64_t interrupts_dispatched_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_CPU_H_

@@ -1,0 +1,49 @@
+#include "src/machine/disk.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+void DiskHw::SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf) {
+  OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
+  busy_ = true;
+  if (lba + sectors > sector_count_) {
+    clock_->ScheduleAfter(timing_.seek_ns, [this] { Complete(Error::kOutOfRange); });
+    return;
+  }
+  // Latch the transfer; data moves at completion time (models DMA finishing).
+  uint64_t offset = lba * kSectorSize;
+  size_t bytes = static_cast<size_t>(sectors) * kSectorSize;
+  clock_->ScheduleAfter(TransferDelay(sectors), [this, offset, bytes, buf] {
+    std::memcpy(buf, store_.data() + offset, bytes);
+    ++reads_completed_;
+    Complete(Error::kOk);
+  });
+}
+
+void DiskHw::SubmitWrite(uint64_t lba, uint32_t sectors, const uint8_t* buf) {
+  OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
+  busy_ = true;
+  if (lba + sectors > sector_count_) {
+    clock_->ScheduleAfter(timing_.seek_ns, [this] { Complete(Error::kOutOfRange); });
+    return;
+  }
+  uint64_t offset = lba * kSectorSize;
+  size_t bytes = static_cast<size_t>(sectors) * kSectorSize;
+  clock_->ScheduleAfter(TransferDelay(sectors), [this, offset, bytes, buf] {
+    std::memcpy(store_.data() + offset, buf, bytes);
+    ++writes_completed_;
+    Complete(Error::kOk);
+  });
+}
+
+void DiskHw::Complete(Error status) {
+  busy_ = false;
+  done_ = true;
+  status_ = status;
+  pic_->RaiseIrq(irq_);
+}
+
+}  // namespace oskit

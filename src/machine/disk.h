@@ -1,0 +1,78 @@
+// Simulated IDE disk hardware.
+//
+// One outstanding request at a time (like a 1997 IDE controller in PIO/DMA
+// mode): the driver programs a read or write, the disk completes it after a
+// simulated seek+transfer delay and raises IRQ 14.  The backing store is a
+// host memory buffer; tests and the boot-image builder can access it
+// directly to install filesystem images.
+
+#ifndef OSKIT_SRC_MACHINE_DISK_H_
+#define OSKIT_SRC_MACHINE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/error.h"
+#include "src/machine/clock.h"
+#include "src/machine/pic.h"
+
+namespace oskit {
+
+class DiskHw {
+ public:
+  static constexpr int kDefaultIrq = 14;
+  static constexpr uint32_t kSectorSize = 512;
+
+  struct Timing {
+    SimTime seek_ns = 100 * kNsPerUs;     // fixed per-request overhead
+    SimTime per_byte_ns = 20;             // ~50 MB/s transfer
+  };
+
+  DiskHw(SimClock* clock, Pic* pic, uint64_t sector_count, int irq = kDefaultIrq)
+      : clock_(clock), pic_(pic), irq_(irq),
+        store_(sector_count * kSectorSize, 0), sector_count_(sector_count) {}
+
+  uint64_t sector_count() const { return sector_count_; }
+  int irq() const { return irq_; }
+  void SetTiming(const Timing& timing) { timing_ = timing; }
+
+  // ---- Driver-facing request interface ----
+  // Exactly one request may be outstanding.  Completion raises the IRQ;
+  // the driver then reads RequestDone()/RequestStatus().
+  void SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf);
+  void SubmitWrite(uint64_t lba, uint32_t sectors, const uint8_t* buf);
+
+  bool Busy() const { return busy_; }
+  bool RequestDone() const { return done_; }
+  Error RequestStatus() const { return status_; }
+  void AckCompletion() { done_ = false; }
+
+  // ---- Host-side direct access (image installation, test assertions) ----
+  uint8_t* raw() { return store_.data(); }
+  size_t raw_size() const { return store_.size(); }
+
+  uint64_t reads_completed() const { return reads_completed_; }
+  uint64_t writes_completed() const { return writes_completed_; }
+
+ private:
+  void Complete(Error status);
+  SimTime TransferDelay(uint32_t sectors) const {
+    return timing_.seek_ns + timing_.per_byte_ns * sectors * kSectorSize;
+  }
+
+  SimClock* clock_;
+  Pic* pic_;
+  int irq_;
+  Timing timing_;
+  std::vector<uint8_t> store_;
+  uint64_t sector_count_;
+  bool busy_ = false;
+  bool done_ = false;
+  Error status_ = Error::kOk;
+  uint64_t reads_completed_ = 0;
+  uint64_t writes_completed_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_DISK_H_

@@ -1,0 +1,99 @@
+// Cooperative fibers: the simulation's "process-level threads of control".
+//
+// The OSKit's execution model (§4.7.4) has many process-level threads with
+// separate stacks, only one running at a time, switching only at well-defined
+// blocking points.  Fibers give the simulated world exactly that model:
+// kernel mains, ttcp sender/receiver loops and VM green threads each run on a
+// fiber; blocking primitives (sleep records, socket waits) park the current
+// fiber and hand control to the scheduler, which runs other runnable fibers
+// or advances the simulated clock (delivering "hardware" events) when all
+// fibers are blocked.
+
+#ifndef OSKIT_SRC_MACHINE_FIBER_H_
+#define OSKIT_SRC_MACHINE_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace oskit {
+
+class FiberScheduler;
+
+class Fiber {
+ public:
+  enum class State {
+    kRunnable,  // queued for execution
+    kRunning,   // currently on the CPU
+    kBlocked,   // parked on a blocking primitive
+    kDone,      // entry function returned
+  };
+
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+
+ private:
+  friend class FiberScheduler;
+
+  Fiber(std::string name, std::function<void()> entry, size_t stack_size);
+
+  std::string name_;
+  std::function<void()> entry_;
+  std::vector<uint8_t> stack_;
+  ucontext_t context_;
+  State state_ = State::kRunnable;
+  FiberScheduler* scheduler_ = nullptr;
+};
+
+class FiberScheduler {
+ public:
+  FiberScheduler() = default;
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  static constexpr size_t kDefaultStackSize = 256 * 1024;
+
+  // Creates a fiber and queues it runnable.  The returned pointer stays valid
+  // until the fiber completes and the scheduler reaps it.
+  Fiber* Spawn(std::string name, std::function<void()> entry,
+               size_t stack_size = kDefaultStackSize);
+
+  // Runs runnable fibers (FIFO) until the run queue is empty.  Must be called
+  // from the scheduler context (not from inside a fiber).
+  void RunReady();
+
+  // Parks the calling fiber.  Control returns when some other context calls
+  // Unblock() on it and the scheduler re-runs it.
+  void BlockCurrent();
+
+  // Makes a blocked fiber runnable.  Callable from events/interrupt handlers
+  // (i.e., from scheduler context) or from other fibers.
+  void Unblock(Fiber* fiber);
+
+  // Cooperative yield: requeues the caller and runs other runnable fibers.
+  void YieldCurrent();
+
+  Fiber* current() const { return current_; }
+  bool HasRunnable() const { return !run_queue_.empty(); }
+  size_t live_count() const { return live_count_; }
+
+ private:
+  static void Trampoline();
+
+  void SwitchTo(Fiber* fiber);
+
+  ucontext_t scheduler_context_ = {};
+  Fiber* current_ = nullptr;
+  std::deque<Fiber*> run_queue_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_FIBER_H_

@@ -1,0 +1,66 @@
+#include "src/machine/nic.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+size_t NicHw::RxDequeue(uint8_t* buf) {
+  OSKIT_ASSERT_MSG(!rx_ring_.empty(), "RX dequeue on empty ring");
+  const std::vector<uint8_t>& frame = rx_ring_.front();
+  size_t len = frame.size();
+  std::memcpy(buf, frame.data(), len);
+  rx_ring_.pop_front();
+  return len;
+}
+
+void NicHw::TxStart(const uint8_t* frame, size_t len) {
+  OSKIT_ASSERT_MSG(len >= kEtherHeaderSize, "runt frame");
+  OSKIT_ASSERT_MSG(len <= kEtherMaxFrame, "oversize frame");
+  ++tx_frames_;
+  wire_->Transmit(this, frame, len);
+}
+
+void NicHw::TxStartVec(const uint8_t* const* chunks, const size_t* lens,
+                       size_t count) {
+  // Hardware DMA gather: the NIC assembles the frame from the descriptor
+  // list.  (A real wire sees one contiguous frame either way.)
+  uint8_t frame[kEtherMaxFrame];
+  size_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    OSKIT_ASSERT_MSG(total + lens[i] <= sizeof(frame), "oversize gather frame");
+    std::memcpy(frame + total, chunks[i], lens[i]);
+    total += lens[i];
+  }
+  TxStart(frame, total);
+}
+
+void NicHw::FrameArrived(const uint8_t* frame, size_t len) {
+  if (!AcceptsFrame(frame, len)) {
+    return;
+  }
+  if (rx_ring_.size() >= kRxRingCapacity) {
+    ++rx_overruns_;
+    return;
+  }
+  ++rx_frames_;
+  rx_ring_.emplace_back(frame, frame + len);
+  if (rx_interrupt_enabled_) {
+    pic_->RaiseIrq(irq_);
+  }
+}
+
+bool NicHw::AcceptsFrame(const uint8_t* frame, size_t len) const {
+  if (len < kEtherHeaderSize) {
+    return false;
+  }
+  if (promiscuous_) {
+    return true;
+  }
+  EtherAddr dest;
+  std::memcpy(dest.bytes, frame, kEtherAddrSize);
+  return dest == mac_ || dest.IsBroadcast();
+}
+
+}  // namespace oskit

@@ -1,0 +1,77 @@
+// Simulated Ethernet NIC hardware.
+//
+// This is the device the encapsulated "Linux" driver (src/dev/linux) drives:
+// it exposes register-style programmed I/O — RX ring status, RX dequeue, TX
+// start — and raises its IRQ when a frame for this station arrives.  It does
+// hardware-level destination filtering (own MAC, broadcast, promiscuous).
+
+#ifndef OSKIT_SRC_MACHINE_NIC_H_
+#define OSKIT_SRC_MACHINE_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/com/etherdev.h"
+#include "src/machine/pic.h"
+#include "src/machine/wire.h"
+
+namespace oskit {
+
+class NicHw final : public WireEndpoint {
+ public:
+  static constexpr int kDefaultIrq = 11;
+  static constexpr size_t kRxRingCapacity = 64;
+
+  NicHw(EthernetWire* wire, Pic* pic, const EtherAddr& mac, int irq = kDefaultIrq)
+      : wire_(wire), pic_(pic), mac_(mac), irq_(irq) {
+    wire->Attach(this);
+  }
+
+  const EtherAddr& mac() const { return mac_; }
+  int irq() const { return irq_; }
+
+  void SetPromiscuous(bool on) { promiscuous_ = on; }
+  void EnableRxInterrupt(bool on) { rx_interrupt_enabled_ = on; }
+
+  // ---- Driver-facing "registers" ----
+  bool RxPending() const { return !rx_ring_.empty(); }
+  size_t RxFrameSize() const { return rx_ring_.empty() ? 0 : rx_ring_.front().size(); }
+
+  // Copies the head RX frame into `buf` (must hold RxFrameSize() bytes) and
+  // advances the ring.  Returns the frame length.
+  size_t RxDequeue(uint8_t* buf);
+
+  // Starts transmission of a complete Ethernet frame (header + payload).
+  // The simulated NIC does not do scatter/gather unless asked: the BSD-idiom
+  // driver uses TxStartVec (models DMA gather); the Linux-idiom driver
+  // always hands one contiguous buffer to TxStart.
+  void TxStart(const uint8_t* frame, size_t len);
+  void TxStartVec(const uint8_t* const* chunks, const size_t* lens, size_t count);
+
+  // WireEndpoint
+  void FrameArrived(const uint8_t* frame, size_t len) override;
+
+  // Statistics.
+  uint64_t rx_frames() const { return rx_frames_; }
+  uint64_t rx_overruns() const { return rx_overruns_; }
+  uint64_t tx_frames() const { return tx_frames_; }
+
+ private:
+  bool AcceptsFrame(const uint8_t* frame, size_t len) const;
+
+  EthernetWire* wire_;
+  Pic* pic_;
+  EtherAddr mac_;
+  int irq_;
+  bool promiscuous_ = false;
+  bool rx_interrupt_enabled_ = false;
+  std::deque<std::vector<uint8_t>> rx_ring_;
+  uint64_t rx_frames_ = 0;
+  uint64_t rx_overruns_ = 0;
+  uint64_t tx_frames_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_NIC_H_

@@ -1,0 +1,74 @@
+// Simulated physical memory.
+//
+// One contiguous host allocation stands in for the PC's physical address
+// space.  "Physical addresses" are offsets into the arena, which lets the
+// LMM manage typed regions (the first 16 MB is DMA-reachable for the ISA
+// DMA controller — the paper's motivating example in §3.3) and lets device
+// models check that DMA buffers really are reachable.
+
+#ifndef OSKIT_SRC_MACHINE_PHYSMEM_H_
+#define OSKIT_SRC_MACHINE_PHYSMEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+using PhysAddr = uint64_t;
+
+class PhysMem {
+ public:
+  static constexpr PhysAddr kBiosAreaEnd = 1 * 1024 * 1024;    // low 1 MB
+  static constexpr PhysAddr kDmaLimit = 16 * 1024 * 1024;      // ISA DMA reach
+
+  static constexpr size_t kPageAlign = 4096;
+
+  // The arena is page-aligned so that "physical" offsets and host pointers
+  // agree about page boundaries (page tables, DMA and the LMM's AllocPage
+  // all rely on this).
+  explicit PhysMem(size_t size) : storage_(size + kPageAlign, 0), size_(size) {
+    OSKIT_ASSERT_MSG(size >= 2 * 1024 * 1024, "machine needs at least 2 MB");
+    uintptr_t raw = reinterpret_cast<uintptr_t>(storage_.data());
+    base_ = reinterpret_cast<uint8_t*>((raw + kPageAlign - 1) & ~(kPageAlign - 1));
+  }
+
+  size_t size() const { return size_; }
+  uint8_t* base() { return base_; }
+
+  void* PtrAt(PhysAddr addr) {
+    OSKIT_ASSERT_MSG(addr < size_, "physical address out of range");
+    return base_ + addr;
+  }
+
+  PhysAddr AddrOf(const void* ptr) const {
+    auto p = static_cast<const uint8_t*>(ptr);
+    OSKIT_ASSERT_MSG(p >= base_ && p < base_ + size_,
+                     "pointer not in physical memory");
+    return static_cast<PhysAddr>(p - base_);
+  }
+
+  bool Contains(const void* ptr, size_t len) const {
+    auto p = static_cast<const uint8_t*>(ptr);
+    return p >= base_ && p + len <= base_ + size_;
+  }
+
+  // True when [ptr, ptr+len) can be reached by the ISA DMA controller.
+  bool IsDmaReachable(const void* ptr, size_t len) const {
+    if (!Contains(ptr, len)) {
+      return false;
+    }
+    return AddrOf(ptr) + len <= kDmaLimit;
+  }
+
+ private:
+  std::vector<uint8_t> storage_;
+  uint8_t* base_ = nullptr;
+  size_t size_;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_PHYSMEM_H_

@@ -1,0 +1,31 @@
+#include "src/machine/pic.h"
+
+namespace oskit {
+
+void Pic::RaiseIrq(int irq) {
+  OSKIT_ASSERT(irq >= 0 && irq < kIrqLines);
+  ++raised_[irq];
+  uint16_t bit = static_cast<uint16_t>(1u << irq);
+  if (mask_ & bit) {
+    pending_ |= bit;
+    return;
+  }
+  cpu_->RaiseInterrupt(kIrqBaseVector + static_cast<uint32_t>(irq));
+}
+
+void Pic::Mask(int irq) {
+  OSKIT_ASSERT(irq >= 0 && irq < kIrqLines);
+  mask_ |= static_cast<uint16_t>(1u << irq);
+}
+
+void Pic::Unmask(int irq) {
+  OSKIT_ASSERT(irq >= 0 && irq < kIrqLines);
+  uint16_t bit = static_cast<uint16_t>(1u << irq);
+  mask_ &= static_cast<uint16_t>(~bit);
+  if (pending_ & bit) {
+    pending_ &= static_cast<uint16_t>(~bit);
+    cpu_->RaiseInterrupt(kIrqBaseVector + static_cast<uint32_t>(irq));
+  }
+}
+
+}  // namespace oskit

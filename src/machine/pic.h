@@ -1,0 +1,48 @@
+// Simulated programmable interrupt controller (cascaded 8259 pair).
+//
+// Sixteen IRQ lines, per-line masking, edge-latched pending state.  Raising
+// a masked line latches it; unmasking delivers.  Vectors are remapped to
+// kIrqBaseVector+irq as the OSKit kernel support library does on real
+// hardware (the power-on BIOS mapping collides with CPU exceptions).
+
+#ifndef OSKIT_SRC_MACHINE_PIC_H_
+#define OSKIT_SRC_MACHINE_PIC_H_
+
+#include <cstdint>
+
+#include "src/machine/cpu.h"
+
+namespace oskit {
+
+class Pic {
+ public:
+  static constexpr int kIrqLines = 16;
+
+  explicit Pic(Cpu* cpu) : cpu_(cpu) {}
+
+  // Device models call this to assert an IRQ line (edge).
+  void RaiseIrq(int irq);
+
+  void Mask(int irq);
+  void Unmask(int irq);
+  bool IsMasked(int irq) const {
+    OSKIT_ASSERT(irq >= 0 && irq < kIrqLines);
+    return (mask_ & (1u << irq)) != 0;
+  }
+
+  uint16_t mask_bits() const { return mask_; }
+  uint64_t raised_count(int irq) const {
+    OSKIT_ASSERT(irq >= 0 && irq < kIrqLines);
+    return raised_[irq];
+  }
+
+ private:
+  Cpu* cpu_;
+  uint16_t mask_ = 0xffff;  // all lines masked until the kernel unmasks
+  uint16_t pending_ = 0;
+  uint64_t raised_[kIrqLines] = {};
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_PIC_H_

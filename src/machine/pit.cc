@@ -1,0 +1,34 @@
+#include "src/machine/pit.h"
+
+namespace oskit {
+
+void Pit::Start(uint32_t hz) {
+  OSKIT_ASSERT(hz > 0);
+  Stop();
+  hz_ = hz;
+  period_ns_ = kNsPerSec / hz;
+  OSKIT_ASSERT(period_ns_ > 0);
+  running_ = true;
+  pending_event_ = clock_->ScheduleAfter(period_ns_, [this] { Tick(); });
+}
+
+void Pit::Stop() {
+  if (pending_event_ != SimClock::kInvalidEvent) {
+    clock_->Cancel(pending_event_);
+    pending_event_ = SimClock::kInvalidEvent;
+  }
+  running_ = false;
+}
+
+void Pit::Tick() {
+  if (!running_) {
+    return;
+  }
+  ++ticks_;
+  // Schedule the next tick before raising the IRQ so a handler that stops
+  // the timer cancels the right event.
+  pending_event_ = clock_->ScheduleAfter(period_ns_, [this] { Tick(); });
+  pic_->RaiseIrq(kIrq);
+}
+
+}  // namespace oskit

@@ -1,0 +1,40 @@
+// Simulated programmable interval timer (8254-style) on IRQ 0.
+
+#ifndef OSKIT_SRC_MACHINE_PIT_H_
+#define OSKIT_SRC_MACHINE_PIT_H_
+
+#include "src/machine/clock.h"
+#include "src/machine/pic.h"
+
+namespace oskit {
+
+class Pit {
+ public:
+  static constexpr int kIrq = 0;
+
+  Pit(SimClock* clock, Pic* pic) : clock_(clock), pic_(pic) {}
+  ~Pit() { Stop(); }
+
+  // Programs the tick rate and starts periodic IRQ 0 delivery.
+  void Start(uint32_t hz);
+  void Stop();
+
+  bool running() const { return running_; }
+  uint32_t hz() const { return hz_; }
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  void Tick();
+
+  SimClock* clock_;
+  Pic* pic_;
+  bool running_ = false;
+  uint32_t hz_ = 0;
+  SimTime period_ns_ = 0;
+  uint64_t ticks_ = 0;
+  SimClock::EventId pending_event_ = SimClock::kInvalidEvent;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_PIT_H_

@@ -1,0 +1,44 @@
+#include "src/machine/simulation.h"
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+Simulation::RunResult Simulation::Run(SimTime deadline) {
+  OSKIT_ASSERT_MSG(scheduler_.current() == nullptr, "Run() called from a fiber");
+  for (;;) {
+    scheduler_.RunReady();
+    if (scheduler_.live_count() == 0) {
+      return RunResult::kAllDone;
+    }
+    SimTime next = clock_.NextEventTime();
+    if (next == ~static_cast<SimTime>(0)) {
+      return RunResult::kDeadlock;
+    }
+    if (next > deadline) {
+      return RunResult::kDeadline;
+    }
+    clock_.RunOne();
+  }
+}
+
+void Simulation::SleepFor(SimTime ns) {
+  Fiber* self = scheduler_.current();
+  OSKIT_ASSERT_MSG(self != nullptr, "SleepFor outside any fiber");
+  clock_.ScheduleAfter(ns, [this, self] { scheduler_.Unblock(self); });
+  scheduler_.BlockCurrent();
+}
+
+bool Simulation::PollWait(const std::function<bool()>& pred, SimTime quantum,
+                          SimTime timeout) {
+  SimTime start = clock_.Now();
+  while (!pred()) {
+    if (clock_.Now() - start >= timeout) {
+      return false;
+    }
+    SleepFor(quantum);
+  }
+  return true;
+}
+
+}  // namespace oskit

@@ -1,0 +1,53 @@
+// The simulation "world": one shared clock plus one fiber scheduler.
+//
+// A world holds everything that exists outside any single simulated PC — the
+// clock, the Ethernet segment, and the process-level threads of every machine
+// in the experiment.  Running the world interleaves fiber execution with
+// clock events until everything completes, deadlocks, or a deadline passes.
+
+#ifndef OSKIT_SRC_MACHINE_SIMULATION_H_
+#define OSKIT_SRC_MACHINE_SIMULATION_H_
+
+#include "src/machine/clock.h"
+#include "src/machine/fiber.h"
+
+namespace oskit {
+
+class Simulation {
+ public:
+  enum class RunResult {
+    kAllDone,    // every fiber ran to completion
+    kDeadlock,   // live fibers remain but nothing can make progress
+    kDeadline,   // the deadline passed first
+  };
+
+  SimClock& clock() { return clock_; }
+  FiberScheduler& scheduler() { return scheduler_; }
+
+  Fiber* Spawn(std::string name, std::function<void()> entry) {
+    return scheduler_.Spawn(std::move(name), std::move(entry));
+  }
+
+  // Drives the world: runs runnable fibers, then clock events, until all
+  // fibers finish, no event can unblock anyone, or `deadline` is reached.
+  // Must be called from outside any fiber.
+  RunResult Run(SimTime deadline = ~static_cast<SimTime>(0));
+
+  // ---- Fiber-side conveniences (call only from inside a fiber) ----
+
+  // Blocks the calling fiber for `ns` of simulated time.
+  void SleepFor(SimTime ns);
+
+  // Polls `pred` every `quantum` of simulated time until it holds or
+  // `timeout` elapses.  Returns true when the predicate became true.
+  bool PollWait(const std::function<bool()>& pred, SimTime quantum = kNsPerUs,
+                SimTime timeout = ~static_cast<SimTime>(0));
+
+ private:
+  SimClock clock_;
+  FiberScheduler scheduler_;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_SIMULATION_H_

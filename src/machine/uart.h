@@ -1,0 +1,65 @@
+// Simulated serial UART (16550-ish) on IRQ 4.
+//
+// Carries the console and the GDB remote-debug stub (§3.5).  Two UARTs can
+// be cross-connected (kernel under test on one end, debugger model on the
+// other); an unconnected UART collects transmitted bytes for inspection.
+
+#ifndef OSKIT_SRC_MACHINE_UART_H_
+#define OSKIT_SRC_MACHINE_UART_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/machine/clock.h"
+#include "src/machine/pic.h"
+
+namespace oskit {
+
+class Uart {
+ public:
+  static constexpr int kDefaultIrq = 4;
+
+  Uart(SimClock* clock, Pic* pic, int irq = kDefaultIrq)
+      : clock_(clock), pic_(pic), irq_(irq) {}
+
+  // Wires this UART's TX to `peer`'s RX and vice versa.
+  void ConnectPeer(Uart* peer) {
+    peer_ = peer;
+    peer->peer_ = this;
+  }
+
+  // Per-byte transmission delay (default: instantaneous).  115200 baud would
+  // be ~87 us/byte; tests usually leave this at zero.
+  void SetByteDelay(SimTime ns) { byte_delay_ns_ = ns; }
+
+  void EnableRxInterrupt(bool enable) { rx_interrupt_enabled_ = enable; }
+
+  // ---- Programmed I/O (the driver-facing "registers") ----
+  bool RxReady() const { return !rx_fifo_.empty(); }
+  uint8_t ReadByte();
+  void WriteByte(uint8_t byte);
+
+  // ---- Host-side test hooks ----
+  // Injects bytes as if they arrived on the line.
+  void InjectRx(const void* data, size_t len);
+
+  // Takes everything transmitted so far on an unconnected UART.
+  std::string TakeOutput();
+
+ private:
+  void Deliver(uint8_t byte);
+
+  SimClock* clock_;
+  Pic* pic_;
+  int irq_;
+  Uart* peer_ = nullptr;
+  bool rx_interrupt_enabled_ = false;
+  SimTime byte_delay_ns_ = 0;
+  std::deque<uint8_t> rx_fifo_;
+  std::string captured_output_;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_MACHINE_UART_H_

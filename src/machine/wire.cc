@@ -1,0 +1,54 @@
+#include "src/machine/wire.h"
+
+namespace oskit {
+
+void EthernetWire::Transmit(WireEndpoint* source, const uint8_t* frame, size_t len) {
+  ++frames_sent_;
+  bytes_carried_ += len;
+
+  // Serialization: frames occupy the shared medium back to back.
+  SimTime start = clock_->Now();
+  if (start < medium_free_at_) {
+    start = medium_free_at_;
+  }
+  SimTime serialize = 0;
+  if (config_.bits_per_second != 0) {
+    serialize = static_cast<SimTime>(len) * 8 * kNsPerSec / config_.bits_per_second;
+  }
+  medium_free_at_ = start + serialize;
+  SimTime arrival = medium_free_at_ + config_.propagation_ns;
+
+  for (WireEndpoint* dest : endpoints_) {
+    if (dest == source) {
+      continue;
+    }
+    if (config_.loss_percent != 0 && rng_.Percent(config_.loss_percent)) {
+      ++frames_dropped_;
+      continue;
+    }
+    SimTime when = arrival;
+    if (config_.reorder_jitter_ns != 0) {
+      when += rng_.Below(config_.reorder_jitter_ns + 1);
+    }
+    std::vector<uint8_t> copy(frame, frame + len);
+    if (config_.duplicate_percent != 0 && rng_.Percent(config_.duplicate_percent)) {
+      ++frames_duplicated_;
+      SimTime dup_when = when;
+      if (config_.reorder_jitter_ns != 0) {
+        dup_when = arrival + rng_.Below(config_.reorder_jitter_ns + 1);
+      }
+      ScheduleDelivery(dest, copy, dup_when);
+    }
+    ScheduleDelivery(dest, std::move(copy), when);
+  }
+}
+
+void EthernetWire::ScheduleDelivery(WireEndpoint* dest, std::vector<uint8_t> frame,
+                                    SimTime when) {
+  SimTime delay = when > clock_->Now() ? when - clock_->Now() : 0;
+  clock_->ScheduleAfter(delay, [dest, frame = std::move(frame)] {
+    dest->FrameArrived(frame.data(), frame.size());
+  });
+}
+
+}  // namespace oskit

@@ -1,0 +1,171 @@
+#include "src/memdebug/memdebug.h"
+
+#include <cstdio>
+
+#include "src/base/panic.h"
+#include "src/libc/string.h"
+
+namespace oskit {
+namespace {
+
+void DefaultReporter(void* /*ctx*/, MemDebug::Fault fault, const char* tag,
+                     void* ptr) {
+  const char* names[] = {"overrun", "underrun",        "double-free",
+                         "bad-pointer", "write-after-free", "leak"};
+  std::fprintf(stderr, "memdebug: %s at %p (tag: %s)\n",
+               names[static_cast<int>(fault)], ptr, tag != nullptr ? tag : "?");
+}
+
+constexpr size_t kHeaderSlot = 64;  // Header rounded up, keeps payload aligned
+
+}  // namespace
+
+MemDebug::MemDebug(const libc::MemEnv& env)
+    : env_(env), report_(&DefaultReporter), report_ctx_(nullptr) {
+  static_assert(sizeof(Header) <= kHeaderSlot, "header must fit its slot");
+}
+
+MemDebug::~MemDebug() {
+  // Drain the quarantine; live blocks are the caller's leak problem.
+  while (!quarantine_.empty()) {
+    EvictOneFromQuarantine();
+  }
+  while (Header* h = live_.PopFront()) {
+    size_t raw = kHeaderSlot + kFenceBytes * 2 + h->size;
+    env_.free(env_.ctx, h, raw);
+  }
+}
+
+void MemDebug::SetReporter(ReportFn fn, void* ctx) {
+  report_ = fn != nullptr ? fn : &DefaultReporter;
+  report_ctx_ = ctx;
+}
+
+MemDebug::Header* MemDebug::HeaderOf(void* ptr) {
+  return reinterpret_cast<Header*>(static_cast<uint8_t*>(ptr) - kFenceBytes -
+                                   kHeaderSlot);
+}
+
+uint8_t* MemDebug::FrontFence(Header* h) {
+  return reinterpret_cast<uint8_t*>(h) + kHeaderSlot;
+}
+
+uint8_t* MemDebug::Payload(Header* h) { return FrontFence(h) + kFenceBytes; }
+
+uint8_t* MemDebug::BackFence(Header* h) { return Payload(h) + h->size; }
+
+void MemDebug::Report(Fault fault, Header* h) {
+  ++faults_;
+  report_(report_ctx_, fault, h->tag, Payload(h));
+}
+
+void* MemDebug::Alloc(size_t size, const char* tag) {
+  size_t raw_size = kHeaderSlot + kFenceBytes * 2 + size;
+  void* raw = env_.alloc(env_.ctx, raw_size);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  auto* h = static_cast<Header*>(raw);
+  h->node = ListNode{};
+  h->size = size;
+  h->tag = tag;
+  h->state = kLive;
+  libc::Memset(FrontFence(h), kFencePattern, kFenceBytes);
+  libc::Memset(Payload(h), kAllocPoison, size);
+  libc::Memset(BackFence(h), kFencePattern, kFenceBytes);
+  live_.PushBack(h);
+  ++live_blocks_;
+  live_bytes_ += size;
+  return Payload(h);
+}
+
+bool MemDebug::CheckFences(Header* h) {
+  bool ok = true;
+  uint8_t* front = FrontFence(h);
+  for (size_t i = 0; i < kFenceBytes; ++i) {
+    if (front[i] != kFencePattern) {
+      Report(Fault::kUnderrun, h);
+      ok = false;
+      break;
+    }
+  }
+  uint8_t* back = BackFence(h);
+  for (size_t i = 0; i < kFenceBytes; ++i) {
+    if (back[i] != kFencePattern) {
+      Report(Fault::kOverrun, h);
+      ok = false;
+      break;
+    }
+  }
+  return ok;
+}
+
+bool MemDebug::CheckFreePoison(Header* h) {
+  uint8_t* payload = Payload(h);
+  for (size_t i = 0; i < h->size; ++i) {
+    if (payload[i] != kFreePoison) {
+      Report(Fault::kWriteAfterFree, h);
+      return false;
+    }
+  }
+  return true;
+}
+
+void MemDebug::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  Header* h = HeaderOf(ptr);
+  if (h->state == kFreed) {
+    Report(Fault::kDoubleFree, h);
+    return;
+  }
+  if (h->state != kLive) {
+    // Not ours at all (or header smashed beyond recognition).
+    ++faults_;
+    report_(report_ctx_, Fault::kBadPointer, "?", ptr);
+    return;
+  }
+  CheckFences(h);
+  live_.Remove(h);
+  --live_blocks_;
+  live_bytes_ -= h->size;
+  h->state = kFreed;
+  libc::Memset(Payload(h), kFreePoison, h->size);
+  quarantine_.push_back(h);
+  while (quarantine_.size() > kQuarantineBlocks) {
+    EvictOneFromQuarantine();
+  }
+}
+
+void MemDebug::EvictOneFromQuarantine() {
+  Header* h = quarantine_.front();
+  quarantine_.pop_front();
+  CheckFreePoison(h);
+  CheckFences(h);
+  size_t raw = kHeaderSlot + kFenceBytes * 2 + h->size;
+  env_.free(env_.ctx, h, raw);
+}
+
+size_t MemDebug::CheckAll() {
+  uint64_t before = faults_;
+  for (Header& h : live_) {
+    CheckFences(&h);
+  }
+  for (Header* h : quarantine_) {
+    CheckFences(h);
+    CheckFreePoison(h);
+  }
+  return static_cast<size_t>(faults_ - before);
+}
+
+size_t MemDebug::DumpLeaks() {
+  size_t count = 0;
+  for (Header& h : live_) {
+    Report(Fault::kLeak, &h);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace oskit

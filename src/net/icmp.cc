@@ -1,0 +1,114 @@
+// ICMP: echo request/reply, and the blocking Ping() client API.
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/checksum.h"
+#include "src/net/stack.h"
+
+namespace oskit::net {
+
+void NetStack::IcmpInput(int ifindex, const Ipv4Header& ip, MBuf* payload) {
+  payload = pool_.Pullup(payload, kIcmpHeaderSize);
+  if (payload == nullptr) {
+    return;
+  }
+  // Whole-message checksum.
+  InetChecksum cksum;
+  for (const MBuf* m = payload; m != nullptr; m = m->next) {
+    cksum.Add(m->data, m->len);
+  }
+  if (cksum.Finish() != 0) {
+    pool_.FreeChain(payload);
+    return;
+  }
+  uint8_t type = payload->data[0];
+  if (type == kIcmpEchoRequest) {
+    ++stats_.icmp_echo_in;
+    // Build the reply in private storage: the request may sit in foreign
+    // external storage (a zero-copy-imported skbuff) we must not mutate.
+    size_t len = payload->pkt_len;
+    MBuf* reply = pool_.FromData(nullptr, len);
+    {
+      // Flatten the request into the reply chain.
+      std::vector<uint8_t> flat(len);
+      pool_.CopyData(payload, 0, len, flat.data());
+      flat[0] = kIcmpEchoReply;
+      StoreBe16(flat.data() + 2, 0);
+      StoreBe16(flat.data() + 2, InetChecksumOf(flat.data(), len));
+      size_t off = 0;
+      for (MBuf* m = reply; m != nullptr; m = m->next) {
+        std::memcpy(m->data, flat.data() + off, m->len);
+        off += m->len;
+      }
+    }
+    pool_.FreeChain(payload);
+    IpOutput(kIpProtoIcmp, InetAddr{}, ip.src, reply);
+    return;
+  }
+  if (type == kIcmpEchoReply) {
+    uint16_t ident = LoadBe16(payload->data + 4);
+    uint16_t seq = LoadBe16(payload->data + 6);
+    for (PendingEcho& echo : pending_echoes_) {
+      if (echo.ident == ident && echo.seq == seq && !echo.done) {
+        echo.done = true;
+        echo.rtt = clock_->Now() - echo.sent_at;
+        sleep_wakeup_.Wakeup(&echo);
+        break;
+      }
+    }
+    pool_.FreeChain(payload);
+    return;
+  }
+  pool_.FreeChain(payload);
+}
+
+Error NetStack::Ping(InetAddr dst, SimTime timeout_ns, SimTime* out_rtt_ns) {
+  PendingEcho echo;
+  echo.ident = icmp_ident_++;
+  echo.seq = 1;
+  echo.sent_at = clock_->Now();
+  pending_echoes_.push_back(echo);
+  PendingEcho& slot = pending_echoes_.back();
+
+  // 32 payload bytes of pattern, classic ping.
+  uint8_t message[kIcmpHeaderSize + 32];
+  std::memset(message, 0, sizeof(message));
+  message[0] = kIcmpEchoRequest;
+  StoreBe16(message + 4, slot.ident);
+  StoreBe16(message + 6, slot.seq);
+  for (size_t i = 0; i < 32; ++i) {
+    message[kIcmpHeaderSize + i] = static_cast<uint8_t>('a' + i % 26);
+  }
+  StoreBe16(message + 2, InetChecksumOf(message, sizeof(message)));
+
+  MBuf* m = pool_.FromData(message, sizeof(message));
+  Error err = IpOutput(kIpProtoIcmp, InetAddr{}, dst, m);
+  if (!Ok(err)) {
+    pending_echoes_.remove_if([&](const PendingEcho& e) { return &e == &slot; });
+    return err;
+  }
+
+  // Wait for the reply with a timeout event.
+  SimClock::EventId timer = clock_->ScheduleAfter(timeout_ns, [this, &slot] {
+    if (!slot.done) {
+      slot.done = true;
+      slot.timed_out = true;
+      sleep_wakeup_.Wakeup(&slot);
+    }
+  });
+  while (!slot.done) {
+    sleep_wakeup_.Sleep(&slot);
+  }
+  clock_->Cancel(timer);
+  SimTime rtt = slot.rtt;
+  bool timed_out = slot.timed_out;
+  pending_echoes_.remove_if([&](const PendingEcho& e) { return &e == &slot; });
+  if (timed_out) {
+    return Error::kTimedOut;
+  }
+  *out_rtt_ns = rtt;
+  return Error::kOk;
+}
+
+}  // namespace oskit::net

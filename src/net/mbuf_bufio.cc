@@ -1,0 +1,118 @@
+#include "src/net/mbuf_bufio.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit::net {
+
+ComPtr<MbufBufIo> MbufBufIo::Wrap(MbufPool* pool, MBuf* chain) {
+  return ComPtr<MbufBufIo>(new MbufBufIo(pool, chain));
+}
+
+MbufBufIo::~MbufBufIo() { pool_->FreeChain(chain_); }
+
+Error MbufBufIo::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == BlkIo::kIid || iid == BufIo::kIid) {
+    AddRef();
+    *out = static_cast<BufIo*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error MbufBufIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
+  *out_actual = 0;
+  size_t total = chain_->pkt_len;
+  if (offset > total) {
+    return Error::kOutOfRange;
+  }
+  size_t n = amount;
+  if (offset + n > total) {
+    n = total - offset;
+  }
+  pool_->CopyData(chain_, offset, n, buf);
+  *out_actual = n;
+  return Error::kOk;
+}
+
+Error MbufBufIo::Write(const void* buf, off_t64 offset, size_t amount,
+                       size_t* out_actual) {
+  // Packets in flight are immutable from outside the component.
+  *out_actual = 0;
+  return Error::kNotImpl;
+}
+
+Error MbufBufIo::GetSize(off_t64* out_size) {
+  *out_size = chain_->pkt_len;
+  return Error::kOk;
+}
+
+Error MbufBufIo::Map(void** out_addr, off_t64 offset, size_t amount) {
+  // Succeeds only when the range is contiguous within one mbuf (§4.7.3:
+  // "This call will only succeed if the implementor of the bufio object
+  // happens to store the requested range of data in contiguous local
+  // memory").
+  MBuf* m = chain_;
+  off_t64 off = offset;
+  while (m != nullptr && off >= m->len) {
+    off -= m->len;
+    m = m->next;
+  }
+  if (m == nullptr || off + amount > m->len) {
+    return Error::kNotImpl;
+  }
+  *out_addr = m->data + off;
+  return Error::kOk;
+}
+
+Error MbufBufIo::Unmap(void* addr, off_t64 offset, size_t amount) {
+  return Error::kOk;
+}
+
+namespace {
+
+struct ForeignRef {
+  BufIo* packet;
+  void* mapped;
+  off_t64 offset;
+  size_t amount;
+};
+
+void ReleaseForeign(void* ctx, uint8_t* /*buf*/, size_t /*size*/) {
+  auto* ref = static_cast<ForeignRef*>(ctx);
+  ref->packet->Unmap(ref->mapped, ref->offset, ref->amount);
+  ref->packet->Release();
+  delete ref;
+}
+
+}  // namespace
+
+MBuf* MbufFromBufIo(MbufPool* pool, BufIo* packet, size_t size) {
+  void* addr = nullptr;
+  if (Ok(packet->Map(&addr, 0, size))) {
+    // Zero-copy import: graft the foreign storage in as an external mbuf,
+    // holding a reference on the foreign object until the chain dies.
+    packet->AddRef();
+    auto* ref = new ForeignRef{packet, addr, 0, size};
+    MBuf* m = pool->GetExternal(static_cast<uint8_t*>(addr), size, &ReleaseForeign, ref);
+    m->pkt_len = static_cast<uint32_t>(size);
+    return m;
+  }
+  // Discontiguous foreign packet: copy it.
+  MBuf* m = pool->FromData(nullptr, size);
+  size_t offset = 0;
+  for (MBuf* cur = m; cur != nullptr; cur = cur->next) {
+    size_t actual = 0;
+    Error err = packet->Read(cur->data, offset, cur->len, &actual);
+    if (!Ok(err) || actual != cur->len) {
+      pool->FreeChain(m);
+      return nullptr;
+    }
+    offset += cur->len;
+  }
+  return m;
+}
+
+}  // namespace oskit::net

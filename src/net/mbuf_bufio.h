@@ -1,0 +1,64 @@
+// BufIo <-> mbuf glue (paper §4.7.3).
+//
+// Outbound: an mbuf chain leaves the FreeBSD-idiom component as an opaque
+// BufIo.  Map() succeeds only for ranges that happen to be contiguous inside
+// one mbuf — so a multi-mbuf TCP segment presented to the Linux driver fails
+// to map and forces the driver glue to copy it into a contiguous skbuff,
+// which is precisely the send-path copy Table 1 measures.
+//
+// Inbound: MbufFromBufIo imports a foreign packet.  When the foreign object
+// maps (a contiguous skbuff always does), the data is grafted into an mbuf
+// as external storage with no copy — the receive path's zero-copy that makes
+// OSKit receive bandwidth match native FreeBSD.
+
+#ifndef OSKIT_SRC_NET_MBUF_BUFIO_H_
+#define OSKIT_SRC_NET_MBUF_BUFIO_H_
+
+#include "src/com/bufio.h"
+#include "src/net/mbuf.h"
+
+namespace oskit::net {
+
+class MbufBufIo final : public BufIo, public RefCounted<MbufBufIo> {
+ public:
+  // Takes ownership of `chain`; it returns to `pool` when the object dies.
+  static ComPtr<MbufBufIo> Wrap(MbufPool* pool, MBuf* chain);
+
+  // IUnknown
+  Error Query(const Guid& iid, void** out) override;
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  // BlkIo
+  uint32_t GetBlockSize() override { return 1; }
+  Error Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) override;
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override;
+  Error GetSize(off_t64* out_size) override;
+  Error SetSize(off_t64) override { return Error::kNotImpl; }
+
+  // BufIo: Map succeeds only within one contiguous mbuf.
+  Error Map(void** out_addr, off_t64 offset, size_t amount) override;
+  Error Unmap(void* addr, off_t64 offset, size_t amount) override;
+  Error Wire() override { return Error::kOk; }
+  Error Unwire() override { return Error::kOk; }
+
+  // The component-internal view (never exposed across the glue boundary).
+  MBuf* chain() { return chain_; }
+
+ private:
+  friend class RefCounted<MbufBufIo>;
+  MbufBufIo(MbufPool* pool, MBuf* chain) : pool_(pool), chain_(chain) {}
+  ~MbufBufIo();
+
+  MbufPool* pool_;
+  MBuf* chain_;
+};
+
+// Imports `size` bytes of a foreign BufIo packet into an mbuf chain,
+// mapping (zero copy) when possible and copying otherwise.  The returned
+// chain holds a reference on `packet` until freed when zero-copy succeeded.
+MBuf* MbufFromBufIo(MbufPool* pool, BufIo* packet, size_t size);
+
+}  // namespace oskit::net
+
+#endif  // OSKIT_SRC_NET_MBUF_BUFIO_H_

@@ -1,0 +1,506 @@
+// The BSD socket layer: blocking user operations over the PCBs, the COM
+// Socket object, and the SocketFactory the minimal C library plugs into.
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/net/stack.h"
+
+namespace oskit::net {
+
+// ---------------------------------------------------------------------------
+// Socket-layer operations (the so* family)
+// ---------------------------------------------------------------------------
+
+Error NetStack::SoBind(BsdSocket* so, const SockAddr& addr) {
+  if (so->type() == SockType::kStream) {
+    TcpPcb* pcb = so->tcp();
+    if (pcb->state != TcpState::kClosed) {
+      return Error::kInval;
+    }
+    for (auto& other : tcp_pcbs_) {
+      if (other.get() != pcb && other->lport == addr.port &&
+          (other->laddr == addr.addr || other->laddr.IsAny() || addr.addr.IsAny())) {
+        return Error::kAddrInUse;
+      }
+    }
+    pcb->laddr = addr.addr;
+    pcb->lport = addr.port;
+    return Error::kOk;
+  }
+  UdpPcb* pcb = so->udp();
+  for (auto& other : udp_pcbs_) {
+    if (other.get() != pcb && other->lport == addr.port &&
+        (other->laddr == addr.addr || other->laddr.IsAny() || addr.addr.IsAny())) {
+      return Error::kAddrInUse;
+    }
+  }
+  pcb->laddr = addr.addr;
+  pcb->lport = addr.port;
+  return Error::kOk;
+}
+
+Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
+  if (so->type() == SockType::kDgram) {
+    UdpPcb* pcb = so->udp();
+    pcb->faddr = addr.addr;
+    pcb->fport = addr.port;
+    pcb->connected = true;
+    if (pcb->lport == 0) {
+      pcb->lport = AllocEphemeralPort(/*tcp=*/false);
+    }
+    return Error::kOk;
+  }
+
+  TcpPcb* pcb = so->tcp();
+  if (pcb->state != TcpState::kClosed) {
+    return Error::kIsConn;
+  }
+  if (pcb->lport == 0) {
+    pcb->lport = AllocEphemeralPort(/*tcp=*/true);
+  }
+  if (pcb->laddr.IsAny()) {
+    InetAddr next_hop;
+    int ifindex = RouteFor(addr.addr, &next_hop);
+    if (ifindex < 0) {
+      return Error::kNetUnreach;
+    }
+    pcb->laddr = ifaces_[ifindex].addr;
+  }
+  pcb->faddr = addr.addr;
+  pcb->fport = addr.port;
+  pcb->iss = NextIss();
+  pcb->snd_una = pcb->iss;
+  pcb->snd_nxt = pcb->iss + 1;
+  pcb->snd_max = pcb->snd_nxt;
+  pcb->snd_cwnd = pcb->mss;
+  pcb->snd_ssthresh = 65535;
+  pcb->snd.hiwat = kDefaultBufSize;
+  pcb->rcv.hiwat = kDefaultBufSize;
+  pcb->state = TcpState::kSynSent;
+  pcb->conn_timer = 60;  // 30 s
+  TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn, nullptr, 0, 0, /*with_mss=*/true);
+  pcb->rexmt_timer = pcb->RtoTicks();
+
+  // Block until the handshake resolves (§4.7.6 sleep/wakeup).
+  while (pcb->state == TcpState::kSynSent || pcb->state == TcpState::kSynReceived) {
+    sleep_wakeup_.Sleep(&pcb->rcv);
+  }
+  if (pcb->state != TcpState::kEstablished &&
+      pcb->state != TcpState::kCloseWait) {
+    Error err = pcb->so_error;
+    return Ok(err) ? Error::kConnRefused : err;
+  }
+  return Error::kOk;
+}
+
+Error NetStack::SoListen(BsdSocket* so, int backlog) {
+  if (so->type() != SockType::kStream) {
+    return Error::kNotImpl;
+  }
+  TcpPcb* pcb = so->tcp();
+  if (pcb->lport == 0) {
+    return Error::kInval;
+  }
+  if (backlog < 1) {
+    backlog = 1;
+  }
+  pcb->backlog = backlog;
+  pcb->state = TcpState::kListen;
+  return Error::kOk;
+}
+
+Error NetStack::SoAccept(BsdSocket* so, SockAddr* out_peer, TcpPcb** out_pcb) {
+  TcpPcb* listener = so->tcp();
+  if (listener == nullptr || listener->state != TcpState::kListen) {
+    return Error::kInval;
+  }
+  while (listener->accept_queue.empty()) {
+    if (listener->state != TcpState::kListen) {
+      return Error::kAborted;  // listener closed while we waited
+    }
+    sleep_wakeup_.Sleep(&listener->accept_queue);
+  }
+  TcpPcb* child = listener->accept_queue.front();
+  listener->accept_queue.pop_front();
+  child->listener = nullptr;
+  out_peer->addr = child->faddr;
+  out_peer->port = child->fport;
+  *out_pcb = child;
+  return Error::kOk;
+}
+
+Error NetStack::SoSend(BsdSocket* so, const void* buf, size_t len,
+                       size_t* out_actual) {
+  *out_actual = 0;
+  if (so->type() == SockType::kDgram) {
+    UdpPcb* pcb = so->udp();
+    if (!pcb->connected) {
+      return Error::kNotConn;
+    }
+    SockAddr to{pcb->faddr, pcb->fport};
+    return SoSendTo(so, buf, len, to, out_actual);
+  }
+
+  TcpPcb* pcb = so->tcp();
+  const auto* data = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  while (sent < len) {
+    // Valid sending states.
+    if (pcb->state != TcpState::kEstablished && pcb->state != TcpState::kCloseWait) {
+      if (sent > 0) {
+        break;
+      }
+      return Ok(pcb->so_error) ? Error::kPipe : pcb->so_error;
+    }
+    if (pcb->fin_queued) {
+      return Error::kPipe;  // we already shut down our write side
+    }
+    size_t space = pcb->snd.Space();
+    if (space == 0) {
+      sleep_wakeup_.Sleep(&pcb->snd);
+      continue;
+    }
+    size_t n = len - sent;
+    if (n > space) {
+      n = space;
+    }
+    // Copy user bytes into the send buffer (the unavoidable socket-layer
+    // copy every configuration performs).
+    MBuf* chain = pool_.FromData(data + sent, n);
+    SbAppend(&pcb->snd, chain);
+    sent += n;
+    TcpOutput(pcb, /*force_ack=*/false);
+  }
+  *out_actual = sent;
+  return Error::kOk;
+}
+
+Error NetStack::SoRecv(BsdSocket* so, void* buf, size_t len, size_t* out_actual) {
+  *out_actual = 0;
+  if (so->type() == SockType::kDgram) {
+    SockAddr from;
+    return SoRecvFrom(so, buf, len, &from, out_actual);
+  }
+
+  TcpPcb* pcb = so->tcp();
+  for (;;) {
+    if (pcb->rcv.cc > 0) {
+      break;
+    }
+    if (pcb->peer_fin_seen || pcb->state == TcpState::kClosed) {
+      if (!Ok(pcb->so_error) && pcb->so_error != Error::kOk) {
+        return pcb->so_error;
+      }
+      return Error::kOk;  // EOF: *out_actual stays 0
+    }
+    sleep_wakeup_.Sleep(&pcb->rcv);
+  }
+  uint32_t window_before = TcpReceiveWindow(pcb);
+  size_t n = SbCopyOut(&pcb->rcv, buf, len);
+  *out_actual = n;
+  // Window update: tell the peer promptly when the window opened
+  // significantly (BSD: two MSS or half the buffer).
+  uint32_t window_after = TcpReceiveWindow(pcb);
+  if (window_after - window_before >= 2u * pcb->mss ||
+      window_after - window_before >= pcb->rcv.hiwat / 2) {
+    TcpOutput(pcb, /*force_ack=*/true);
+  }
+  return Error::kOk;
+}
+
+Error NetStack::SoSendTo(BsdSocket* so, const void* buf, size_t len,
+                         const SockAddr& to, size_t* out_actual) {
+  *out_actual = 0;
+  if (so->type() != SockType::kDgram) {
+    return Error::kNotImpl;
+  }
+  UdpPcb* pcb = so->udp();
+  MBuf* chain = pool_.FromData(buf, len);
+  Error err = UdpOutput(pcb, to, chain);
+  if (Ok(err)) {
+    *out_actual = len;
+  }
+  return err;
+}
+
+Error NetStack::SoRecvFrom(BsdSocket* so, void* buf, size_t len, SockAddr* out_from,
+                           size_t* out_actual) {
+  *out_actual = 0;
+  if (so->type() != SockType::kDgram) {
+    return Error::kNotImpl;
+  }
+  UdpPcb* pcb = so->udp();
+  while (pcb->rcv_queue.empty()) {
+    sleep_wakeup_.Sleep(&pcb->rcv_queue);
+  }
+  UdpPcb::Datagram dg = pcb->rcv_queue.front();
+  pcb->rcv_queue.pop_front();
+  size_t dg_len = MbufPool::ChainLength(dg.data);
+  pcb->rcv_bytes -= dg_len;
+  size_t n = dg_len < len ? dg_len : len;
+  pool_.CopyData(dg.data, 0, n, buf);
+  pool_.FreeChain(dg.data);
+  *out_from = dg.from;
+  *out_actual = n;  // excess datagram bytes are discarded, UDP style
+  return Error::kOk;
+}
+
+Error NetStack::SoShutdown(BsdSocket* so, SockShutdown how) {
+  if (so->type() != SockType::kStream) {
+    return Error::kNotImpl;
+  }
+  TcpPcb* pcb = so->tcp();
+  if (how == SockShutdown::kRead) {
+    return Error::kOk;  // reads just see EOF; nothing on the wire
+  }
+  if (pcb->fin_queued) {
+    return Error::kOk;
+  }
+  switch (pcb->state) {
+    case TcpState::kEstablished:
+      pcb->fin_queued = true;
+      TcpSetState(pcb, TcpState::kFinWait1);
+      TcpOutput(pcb, false);
+      break;
+    case TcpState::kCloseWait:
+      pcb->fin_queued = true;
+      TcpSetState(pcb, TcpState::kLastAck);
+      TcpOutput(pcb, false);
+      break;
+    case TcpState::kSynSent:
+    case TcpState::kListen:
+      TcpSetState(pcb, TcpState::kClosed);
+      break;
+    default:
+      break;
+  }
+  return Error::kOk;
+}
+
+void NetStack::SoDetach(BsdSocket* so) {
+  if (so->type() == SockType::kDgram) {
+    UdpPcb* pcb = so->udp();
+    if (pcb == nullptr) {
+      return;
+    }
+    for (auto it = udp_pcbs_.begin(); it != udp_pcbs_.end(); ++it) {
+      if (it->get() == pcb) {
+        for (auto& dg : pcb->rcv_queue) {
+          pool_.FreeChain(dg.data);
+        }
+        udp_pcbs_.erase(it);
+        break;
+      }
+    }
+    return;
+  }
+
+  TcpPcb* pcb = so->tcp();
+  if (pcb == nullptr) {
+    return;
+  }
+  pcb->socket = nullptr;
+  pcb->detached = true;
+
+  // A dying listener orphans its not-yet-accepted children.
+  if (pcb->state == TcpState::kListen) {
+    for (TcpPcb* child : pcb->accept_queue) {
+      child->detached = true;
+      child->listener = nullptr;
+      SoShutdownPcb(child);
+    }
+    pcb->accept_queue.clear();
+    pcb->state = TcpState::kClosed;
+    TcpCloseDone(pcb);
+    return;
+  }
+
+  // Orderly close: queue our FIN and let the state machine run in the
+  // background; the pcb frees itself on reaching CLOSED (§6.2.10 notes the
+  // original OSKit simply rebooted here — we do the clean thing).
+  SoShutdownPcb(pcb);
+  if (pcb->state == TcpState::kClosed) {
+    TcpCloseDone(pcb);
+  }
+}
+
+void NetStack::SoShutdownPcb(TcpPcb* pcb) {
+  switch (pcb->state) {
+    case TcpState::kEstablished:
+      pcb->fin_queued = true;
+      TcpSetState(pcb, TcpState::kFinWait1);
+      TcpOutput(pcb, false);
+      break;
+    case TcpState::kCloseWait:
+      pcb->fin_queued = true;
+      TcpSetState(pcb, TcpState::kLastAck);
+      TcpOutput(pcb, false);
+      break;
+    case TcpState::kSynSent:
+    case TcpState::kSynReceived:
+      pcb->state = TcpState::kClosed;
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The COM socket object
+// ---------------------------------------------------------------------------
+
+BsdSocket::BsdSocket(NetStack* stack, SockType type) : stack_(stack), type_(type) {
+  if (type == SockType::kStream) {
+    auto pcb = std::make_unique<TcpPcb>();
+    pcb->socket = this;
+    tcp_ = pcb.get();
+    stack->tcp_pcbs_.push_back(std::move(pcb));
+  } else {
+    auto pcb = std::make_unique<UdpPcb>();
+    pcb->socket = this;
+    udp_ = pcb.get();
+    stack->udp_pcbs_.push_back(std::move(pcb));
+  }
+}
+
+uint32_t BsdSocket::Release() {
+  if (ref_count() == 1) {
+    // Last reference: detach from the stack before self-destruction.
+    stack_->SoDetach(this);
+    tcp_ = nullptr;
+    udp_ = nullptr;
+  }
+  return ReleaseImpl();
+}
+
+Error BsdSocket::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == Socket::kIid) {
+    AddRef();
+    *out = static_cast<Socket*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error BsdSocket::Bind(const SockAddr& addr) { return stack_->SoBind(this, addr); }
+Error BsdSocket::Connect(const SockAddr& addr) { return stack_->SoConnect(this, addr); }
+Error BsdSocket::Listen(int backlog) { return stack_->SoListen(this, backlog); }
+
+Error BsdSocket::Accept(SockAddr* out_peer, Socket** out_socket) {
+  *out_socket = nullptr;
+  TcpPcb* child = nullptr;
+  Error err = stack_->SoAccept(this, out_peer, &child);
+  if (!Ok(err)) {
+    return err;
+  }
+  // Wrap the accepted connection in a fresh socket object.
+  auto* so = new BsdSocket(stack_, SockType::kStream);
+  // The constructor made a fresh pcb; swap it for the accepted one.
+  TcpPcb* fresh = so->tcp_;
+  so->tcp_ = child;
+  child->socket = so;
+  fresh->socket = nullptr;
+  fresh->detached = true;
+  fresh->state = TcpState::kClosed;
+  stack_->TcpCloseDone(fresh);
+  *out_socket = so;
+  return Error::kOk;
+}
+
+Error BsdSocket::Send(const void* buf, size_t amount, size_t* out_actual) {
+  return stack_->SoSend(this, buf, amount, out_actual);
+}
+
+Error BsdSocket::Recv(void* buf, size_t amount, size_t* out_actual) {
+  return stack_->SoRecv(this, buf, amount, out_actual);
+}
+
+Error BsdSocket::SendTo(const void* buf, size_t amount, const SockAddr& to,
+                        size_t* out_actual) {
+  return stack_->SoSendTo(this, buf, amount, to, out_actual);
+}
+
+Error BsdSocket::RecvFrom(void* buf, size_t amount, SockAddr* out_from,
+                          size_t* out_actual) {
+  return stack_->SoRecvFrom(this, buf, amount, out_from, out_actual);
+}
+
+Error BsdSocket::Shutdown(SockShutdown how) { return stack_->SoShutdown(this, how); }
+
+Error BsdSocket::GetSockName(SockAddr* out_addr) {
+  if (type_ == SockType::kStream) {
+    out_addr->addr = tcp_->laddr;
+    out_addr->port = tcp_->lport;
+  } else {
+    out_addr->addr = udp_->laddr;
+    out_addr->port = udp_->lport;
+  }
+  return Error::kOk;
+}
+
+Error BsdSocket::GetPeerName(SockAddr* out_addr) {
+  if (type_ == SockType::kStream) {
+    if (tcp_->state != TcpState::kEstablished && tcp_->state != TcpState::kCloseWait) {
+      return Error::kNotConn;
+    }
+    out_addr->addr = tcp_->faddr;
+    out_addr->port = tcp_->fport;
+    return Error::kOk;
+  }
+  if (!udp_->connected) {
+    return Error::kNotConn;
+  }
+  out_addr->addr = udp_->faddr;
+  out_addr->port = udp_->fport;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// The factory
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class BsdSocketFactory final : public SocketFactory, public RefCounted<BsdSocketFactory> {
+ public:
+  explicit BsdSocketFactory(NetStack* stack) : stack_(stack) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == SocketFactory::kIid) {
+      AddRef();
+      *out = static_cast<SocketFactory*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error Create(SockDomain domain, SockType type, Socket** out_socket) override {
+    *out_socket = nullptr;
+    if (domain != SockDomain::kInet) {
+      return Error::kProtoNoSupport;
+    }
+    if (type != SockType::kStream && type != SockType::kDgram) {
+      return Error::kProtoNoSupport;
+    }
+    *out_socket = new BsdSocket(stack_, type);
+    return Error::kOk;
+  }
+
+ private:
+  friend class RefCounted<BsdSocketFactory>;
+  ~BsdSocketFactory() = default;
+
+  NetStack* stack_;
+};
+
+}  // namespace
+
+ComPtr<SocketFactory> NetStack::CreateSocketFactory() {
+  return ComPtr<SocketFactory>(new BsdSocketFactory(this));
+}
+
+}  // namespace oskit::net

@@ -1,0 +1,421 @@
+// NetStack core: construction, BSD sleep/wakeup emulation, sockbufs,
+// driver bindings, Ethernet demux, and ARP.
+
+#include "src/net/stack.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/net/mbuf_bufio.h"
+
+namespace oskit::net {
+
+// ---------------------------------------------------------------------------
+// BSD sleep/wakeup
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The emulated "current process" (§4.7.5): manufactured on demand at entry
+// to the component, alive only for the duration of the call.  In this C++
+// rendering the manufactured proc is the EmulatedProc that Sleep() places on
+// the sleeping thread's stack; this component-global pointer mirrors BSD's
+// curproc and is saved/restored across blocking points exactly as the paper
+// describes.
+thread_local void* g_curproc = nullptr;
+
+}  // namespace
+
+void BsdSleepWakeup::Sleep(const void* chan) {
+  ++sleeps_;
+  // Manufacture the "process" on the caller's stack (§4.7.5).
+  EmulatedProc proc(env_);
+  proc.chan = chan;
+  size_t b = BucketOf(chan);
+  proc.next = buckets_[b];
+  buckets_[b] = &proc;
+
+  // Save curproc across the blocking call, per the paper, so other threads
+  // of control entering the component meanwhile don't trash it.
+  void* saved_curproc = g_curproc;
+  g_curproc = &proc;
+  proc.record.Sleep();
+  g_curproc = saved_curproc;
+
+  // Unlink ourselves.
+  EmulatedProc** link = &buckets_[b];
+  while (*link != nullptr && *link != &proc) {
+    link = &(*link)->next;
+  }
+  OSKIT_ASSERT_MSG(*link == &proc, "emulated proc vanished from event hash");
+  *link = proc.next;
+}
+
+void BsdSleepWakeup::Wakeup(const void* chan) {
+  ++wakeups_;
+  for (EmulatedProc* p = buckets_[BucketOf(chan)]; p != nullptr; p = p->next) {
+    if (p->chan == chan) {
+      p->record.Wakeup();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock)
+    : sleep_env_(sleep_env), clock_(clock), sleep_wakeup_(sleep_env) {
+  StartTimers();
+}
+
+NetStack::~NetStack() {
+  shutting_down_ = true;
+  clock_->Cancel(fast_timer_);
+  clock_->Cancel(slow_timer_);
+  for (Iface& iface : ifaces_) {
+    if (iface.dev) {
+      iface.dev->Close();
+    }
+  }
+  for (auto& pcb : tcp_pcbs_) {
+    SbFlush(&pcb->snd);
+    SbFlush(&pcb->rcv);
+    for (auto& seg : pcb->reass) {
+      pool_.FreeChain(seg.data);
+    }
+    pcb->reass.clear();
+  }
+  for (auto& pcb : udp_pcbs_) {
+    for (auto& dg : pcb->rcv_queue) {
+      pool_.FreeChain(dg.data);
+    }
+  }
+  for (auto& [key, entry] : arp_) {
+    if (entry.pending != nullptr) {
+      pool_.FreeChain(entry.pending);
+    }
+  }
+}
+
+void NetStack::StartTimers() {
+  // BSD's 200 ms fast timer (delayed ACKs) and 500 ms slow timer
+  // (retransmit, persist, TIME_WAIT), self-rescheduling.
+  ScheduleFastTimer();
+  ScheduleSlowTimer();
+}
+
+void NetStack::ScheduleFastTimer() {
+  fast_timer_ = clock_->ScheduleAfter(200 * kNsPerMs, [this] {
+    if (shutting_down_) {
+      return;
+    }
+    TcpFastTimo();
+    ScheduleFastTimer();
+  });
+}
+
+void NetStack::ScheduleSlowTimer() {
+  slow_timer_ = clock_->ScheduleAfter(500 * kNsPerMs, [this] {
+    if (shutting_down_) {
+      return;
+    }
+    TcpSlowTimo();
+    FragTimeoutSweep();
+    ScheduleSlowTimer();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Sockbufs
+// ---------------------------------------------------------------------------
+
+void NetStack::SbAppend(SockBuf* sb, MBuf* chain) {
+  size_t len = MbufPool::ChainLength(chain);
+  if (sb->head == nullptr) {
+    sb->head = chain;
+  } else {
+    sb->tail->next = chain;
+  }
+  MBuf* tail = chain;
+  while (tail->next != nullptr) {
+    tail = tail->next;
+  }
+  sb->tail = tail;
+  sb->cc += len;
+}
+
+size_t NetStack::SbCopyOut(SockBuf* sb, void* dst, size_t len) {
+  auto* out = static_cast<uint8_t*>(dst);
+  size_t copied = 0;
+  while (copied < len && sb->head != nullptr) {
+    MBuf* m = sb->head;
+    size_t n = m->len;
+    if (n > len - copied) {
+      n = len - copied;
+    }
+    std::memcpy(out + copied, m->data, n);
+    copied += n;
+    if (n == m->len) {
+      sb->head = pool_.Free(m);
+      if (sb->head == nullptr) {
+        sb->tail = nullptr;
+      }
+    } else {
+      m->data += n;
+      m->len -= static_cast<uint32_t>(n);
+    }
+  }
+  sb->cc -= copied;
+  return copied;
+}
+
+void NetStack::SbDrop(SockBuf* sb, size_t len) {
+  OSKIT_ASSERT(len <= sb->cc);
+  sb->cc -= len;
+  while (len > 0) {
+    MBuf* m = sb->head;
+    OSKIT_ASSERT(m != nullptr);
+    if (len < m->len) {
+      m->data += len;
+      m->len -= static_cast<uint32_t>(len);
+      break;
+    }
+    len -= m->len;
+    sb->head = pool_.Free(m);
+  }
+  if (sb->head == nullptr) {
+    sb->tail = nullptr;
+  }
+}
+
+void NetStack::SbFlush(SockBuf* sb) {
+  if (sb->head != nullptr) {
+    pool_.FreeChain(sb->head);
+  }
+  sb->head = nullptr;
+  sb->tail = nullptr;
+  sb->cc = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Driver bindings
+// ---------------------------------------------------------------------------
+
+// The stack's receive-side NetIo handed to COM-bound drivers: the callback
+// half of the §5 exchange.
+class StackRecvNetIo final : public NetIo, public RefCounted<StackRecvNetIo> {
+ public:
+  StackRecvNetIo(NetStack* stack, int ifindex) : stack_(stack), ifindex_(ifindex) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == NetIo::kIid) {
+      AddRef();
+      *out = static_cast<NetIo*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error Push(BufIo* packet, size_t size) override {
+    // Import the foreign packet: zero-copy when it maps (§4.7.3), unless
+    // the ablation switch forces the copy path.
+    MBuf* frame;
+    if (stack_->force_rx_copy()) {
+      frame = stack_->pool().FromData(nullptr, size);
+      size_t offset = 0;
+      for (MBuf* cur = frame; cur != nullptr; cur = cur->next) {
+        size_t actual = 0;
+        packet->Read(cur->data, offset, cur->len, &actual);
+        offset += cur->len;
+      }
+      stack_->mutable_stats().rx_glue_copied_bytes += size;
+    } else {
+      frame = MbufFromBufIo(&stack_->pool(), packet, size);
+    }
+    if (frame == nullptr) {
+      return Error::kNoMem;
+    }
+    stack_->EtherInputMbuf(ifindex_, frame);
+    return Error::kOk;
+  }
+
+ private:
+  friend class RefCounted<StackRecvNetIo>;
+  ~StackRecvNetIo() = default;
+
+  NetStack* stack_;
+  int ifindex_;
+};
+
+Error NetStack::OpenEtherIf(EtherDev* dev, int* out_ifindex) {
+  Iface iface;
+  iface.native = false;
+  iface.dev = ComPtr<EtherDev>::Retain(dev);
+  Error err = dev->GetAddr(&iface.mac);
+  if (!Ok(err)) {
+    return err;
+  }
+  int ifindex = static_cast<int>(ifaces_.size());
+  ComPtr<StackRecvNetIo> recv(new StackRecvNetIo(this, ifindex));
+  NetIo* tx = nullptr;
+  err = dev->Open(recv.get(), &tx);
+  if (!Ok(err)) {
+    return err;
+  }
+  iface.tx = ComPtr<NetIo>(tx);
+  ifaces_.push_back(std::move(iface));
+  *out_ifindex = ifindex;
+  return Error::kOk;
+}
+
+Error NetStack::OpenNativeIf(NativeEtherPort* port, int* out_ifindex) {
+  Iface iface;
+  iface.native = true;
+  iface.port = port;
+  iface.mac = port->mac();
+  *out_ifindex = static_cast<int>(ifaces_.size());
+  ifaces_.push_back(std::move(iface));
+  return Error::kOk;
+}
+
+Error NetStack::IfConfig(int ifindex, InetAddr addr, InetAddr netmask) {
+  if (ifindex < 0 || ifindex >= static_cast<int>(ifaces_.size())) {
+    return Error::kInval;
+  }
+  Iface& iface = ifaces_[ifindex];
+  iface.addr = addr;
+  iface.netmask = netmask;
+  iface.configured = true;
+  return Error::kOk;
+}
+
+Error NetStack::SetDefaultGateway(InetAddr gateway) {
+  gateway_ = gateway;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Ethernet layer
+// ---------------------------------------------------------------------------
+
+void NetStack::EtherInputMbuf(int ifindex, MBuf* frame) {
+  EtherInput(ifindex, frame);
+}
+
+void NetStack::EtherInput(int ifindex, MBuf* frame) {
+  frame = pool_.Pullup(frame, kEtherHeaderSize);
+  if (frame == nullptr) {
+    return;
+  }
+  EtherHeader eh = EtherHeader::Parse(frame->data);
+  frame = pool_.TrimFront(frame, kEtherHeaderSize);
+  switch (eh.type) {
+    case kEtherTypeArp:
+      ArpInput(ifindex, frame);
+      break;
+    case kEtherTypeIp:
+      IpInput(ifindex, frame);
+      break;
+    default:
+      pool_.FreeChain(frame);
+      break;
+  }
+}
+
+void NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
+                           MBuf* payload) {
+  Iface& iface = ifaces_[ifindex];
+  MBuf* frame = pool_.Prepend(payload, kEtherHeaderSize);
+  EtherHeader eh;
+  eh.dst = dst;
+  eh.src = iface.mac;
+  eh.type = type;
+  eh.Serialize(frame->data);
+
+  if (iface.native) {
+    // Baseline path: the BSD-idiom driver takes the chain as-is.
+    iface.port->Output(frame);
+    return;
+  }
+  // OSKit path: the chain leaves the component as an opaque BufIo (§4.7.3).
+  size_t len = frame->pkt_len;
+  auto bufio = MbufBufIo::Wrap(&pool_, frame);
+  iface.tx->Push(bufio.get(), len);
+}
+
+// ---------------------------------------------------------------------------
+// ARP
+// ---------------------------------------------------------------------------
+
+void NetStack::ArpInput(int ifindex, MBuf* packet) {
+  ++stats_.arp_in;
+  packet = pool_.Pullup(packet, kArpPacketSize);
+  if (packet == nullptr) {
+    return;
+  }
+  ArpPacket arp;
+  if (!ArpPacket::Parse(packet->data, packet->len, &arp)) {
+    pool_.FreeChain(packet);
+    return;
+  }
+  pool_.FreeChain(packet);
+
+  Iface& iface = ifaces_[ifindex];
+
+  // Learn/refresh the sender's mapping; release anything queued on it.
+  ArpEntry& entry = arp_[arp.sender_ip.value];
+  entry.mac = arp.sender_mac;
+  entry.resolved = true;
+  entry.expires = clock_->Now() + 20 * 60 * kNsPerSec;
+  if (entry.pending != nullptr) {
+    MBuf* queued = entry.pending;
+    entry.pending = nullptr;
+    EtherOutput(ifindex, entry.mac, kEtherTypeIp, queued);
+  }
+
+  if (arp.op == kArpOpRequest && iface.configured && arp.target_ip == iface.addr) {
+    ArpPacket reply;
+    reply.op = kArpOpReply;
+    reply.sender_mac = iface.mac;
+    reply.sender_ip = iface.addr;
+    reply.target_mac = arp.sender_mac;
+    reply.target_ip = arp.sender_ip;
+    MBuf* out = pool_.GetHeaderAligned(kArpPacketSize);
+    reply.Serialize(out->data);
+    EtherOutput(ifindex, arp.sender_mac, kEtherTypeArp, out);
+  }
+}
+
+void NetStack::SendArpRequest(int ifindex, InetAddr target) {
+  ++stats_.arp_requests_out;
+  Iface& iface = ifaces_[ifindex];
+  ArpPacket request;
+  request.op = kArpOpRequest;
+  request.sender_mac = iface.mac;
+  request.sender_ip = iface.addr;
+  request.target_mac = EtherAddr{};
+  request.target_ip = target;
+  MBuf* out = pool_.GetHeaderAligned(kArpPacketSize);
+  request.Serialize(out->data);
+  EtherOutput(ifindex, kEtherBroadcast, kEtherTypeArp, out);
+}
+
+void NetStack::IpSendViaIface(int ifindex, InetAddr next_hop, MBuf* datagram) {
+  ArpEntry& entry = arp_[next_hop.value];
+  if (entry.resolved && clock_->Now() < entry.expires) {
+    EtherOutput(ifindex, entry.mac, kEtherTypeIp, datagram);
+    return;
+  }
+  // Unresolved: queue (replacing any previous straggler, BSD style) and ask.
+  if (entry.pending != nullptr) {
+    pool_.FreeChain(entry.pending);
+  }
+  entry.pending = datagram;
+  entry.resolved = false;
+  SendArpRequest(ifindex, next_hop);
+}
+
+}  // namespace oskit::net

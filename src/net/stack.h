@@ -1,0 +1,489 @@
+// The FreeBSD-idiom TCP/IP protocol stack component (paper §3.7).
+//
+// Internally everything is mbuf chains and BSD conventions: sleep/wakeup on
+// wait channels backed by an event hash (§4.7.6), manufactured "current
+// process" records (§4.7.5), sockbufs, PCB lists, 200ms/500ms protocol
+// timers.  Externally it exposes exactly what the paper's component does:
+//
+//   * a COM SocketFactory (so the minimal C library's socket() can use it);
+//   * a driver binding that exchanges NetIo callbacks with any EtherDev
+//     (§5) — packets cross that boundary as opaque BufIo objects;
+//   * a native binding used by the "FreeBSD itself" baseline configuration,
+//     where the BSD-idiom driver consumes mbuf chains directly with no COM
+//     boundary (this is the Table 1 "FreeBSD" row).
+//
+// Protocols: ARP, IPv4 (with fragmentation/reassembly), ICMP echo, UDP, and
+// TCP (3-way handshake, sliding window, RTT estimation with Karn backoff,
+// slow start/congestion avoidance, fast retransmit, delayed ACK, the full
+// teardown state machine including TIME_WAIT).
+
+#ifndef OSKIT_SRC_NET_STACK_H_
+#define OSKIT_SRC_NET_STACK_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/com/etherdev.h"
+#include "src/com/netio.h"
+#include "src/com/socket.h"
+#include "src/machine/clock.h"
+#include "src/net/mbuf.h"
+#include "src/net/wire_formats.h"
+#include "src/sleep/sleep.h"
+
+namespace oskit::net {
+
+// ---------------------------------------------------------------------------
+// BSD sleep/wakeup emulation (paper §4.7.5 / §4.7.6)
+// ---------------------------------------------------------------------------
+
+// The component-wide event hash: "the BSD sleep/wakeup mechanism uses a
+// global hash table of events ... in the encapsulated BSD-based OSKit
+// components we retain BSD's original event hash table management code;
+// however, the hash table is now only used within that particular component"
+// — with each sleeping "process" being a record manufactured on the stack of
+// the thread of control entering the component (§4.7.5), blocked on an OSKit
+// sleep record (§4.7.6).
+class BsdSleepWakeup {
+ public:
+  explicit BsdSleepWakeup(SleepEnv* env) : env_(env) {}
+
+  // Blocks the calling thread of control on `chan`.
+  void Sleep(const void* chan);
+
+  // Wakes every sleeper on `chan`.  Safe from interrupt level.
+  void Wakeup(const void* chan);
+
+  uint64_t sleeps() const { return sleeps_; }
+  uint64_t wakeups() const { return wakeups_; }
+
+ private:
+  static constexpr size_t kBuckets = 64;
+
+  struct EmulatedProc {
+    SleepRecord record;
+    const void* chan;
+    EmulatedProc* next;
+    explicit EmulatedProc(SleepEnv* env) : record(env), chan(nullptr), next(nullptr) {}
+  };
+
+  size_t BucketOf(const void* chan) const {
+    return (reinterpret_cast<uintptr_t>(chan) >> 4) % kBuckets;
+  }
+
+  SleepEnv* env_;
+  EmulatedProc* buckets_[kBuckets] = {};
+  uint64_t sleeps_ = 0;
+  uint64_t wakeups_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Socket buffers (BSD sockbuf)
+// ---------------------------------------------------------------------------
+
+struct SockBuf {
+  MBuf* head = nullptr;
+  MBuf* tail = nullptr;
+  size_t cc = 0;      // bytes queued
+  size_t hiwat = 0;   // capacity
+
+  size_t Space() const { return cc >= hiwat ? 0 : hiwat - cc; }
+};
+
+// ---------------------------------------------------------------------------
+// Protocol control blocks
+// ---------------------------------------------------------------------------
+
+class NetStack;
+class BsdSocket;
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kCloseWait,
+  kFinWait1,
+  kFinWait2,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+const char* TcpStateName(TcpState s);
+
+struct TcpPcb {
+  TcpState state = TcpState::kClosed;
+  InetAddr laddr;
+  uint16_t lport = 0;
+  InetAddr faddr;
+  uint16_t fport = 0;
+
+  // Send sequence space.
+  uint32_t iss = 0;
+  uint32_t snd_una = 0;
+  uint32_t snd_nxt = 0;
+  uint32_t snd_max = 0;   // highest sequence sent
+  uint32_t snd_wnd = 0;   // peer's advertised window
+  uint32_t snd_cwnd = 0;
+  uint32_t snd_ssthresh = 0;
+  uint32_t dup_acks = 0;
+
+  // Receive sequence space.
+  uint32_t irs = 0;
+  uint32_t rcv_nxt = 0;
+  uint32_t rcv_adv = 0;   // highest window edge advertised
+
+  uint16_t mss = 1460;
+
+  // Buffers.
+  SockBuf snd;  // unacknowledged + unsent bytes, snd.head starts at snd_una
+  SockBuf rcv;  // in-order bytes awaiting the application
+
+  // Reassembly queue for out-of-order segments, sorted by seq.
+  struct OooSegment {
+    uint32_t seq;
+    MBuf* data;  // payload only
+  };
+  std::list<OooSegment> reass;
+
+  // Timers, in slow-timer ticks (500 ms).
+  int rexmt_timer = 0;
+  int persist_timer = 0;
+  int time_wait_timer = 0;
+  int conn_timer = 0;   // SYN / FIN give-up
+  int rexmt_shift = 0;  // backoff exponent
+
+  // RTT estimation (BSD units: srtt scaled by 8, rttvar by 4).
+  int srtt = 0;
+  int rttvar = 12;  // => initial RTO of 12 ticks (6 s), the BSD default
+  int rtt_ticks = -1;      // -1: not timing
+  uint32_t rtt_seq = 0;    // sequence being timed
+
+  bool delayed_ack = false;
+  bool fin_queued = false;     // application closed its write side
+  bool fin_sent = false;
+  bool peer_fin_seen = false;
+  Error so_error = Error::kOk;
+
+  // Listen state.
+  std::list<TcpPcb*> accept_queue;
+  TcpPcb* listener = nullptr;
+  int backlog = 0;
+
+  BsdSocket* socket = nullptr;  // null once detached
+  bool detached = false;
+
+  int RtoTicks() const {
+    int rto = (srtt >> 3) + rttvar;
+    if (rto < 2) {
+      rto = 2;  // 1 s floor, like old BSD
+    }
+    int shifted = rto << rexmt_shift;
+    return shifted > 128 ? 128 : shifted;
+  }
+};
+
+struct UdpPcb {
+  InetAddr laddr;
+  uint16_t lport = 0;
+  InetAddr faddr;
+  uint16_t fport = 0;
+  bool connected = false;
+
+  struct Datagram {
+    SockAddr from;
+    MBuf* data;
+  };
+  std::list<Datagram> rcv_queue;
+  size_t rcv_bytes = 0;
+  size_t rcv_hiwat = 64 * 1024;
+
+  BsdSocket* socket = nullptr;
+  bool detached = false;
+};
+
+// ---------------------------------------------------------------------------
+// Driver bindings
+// ---------------------------------------------------------------------------
+
+// Native (non-COM) egress used by the baseline "FreeBSD itself"
+// configuration: the driver consumes the mbuf chain directly.
+class NativeEtherPort {
+ public:
+  virtual ~NativeEtherPort() = default;
+  virtual EtherAddr mac() const = 0;
+  // Takes ownership of `frame` (a complete Ethernet frame as an mbuf chain).
+  virtual void Output(MBuf* frame) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The stack
+// ---------------------------------------------------------------------------
+
+class NetStack {
+ public:
+  struct Stats {
+    uint64_t ip_in = 0;
+    uint64_t ip_out = 0;
+    uint64_t ip_bad_checksum = 0;
+    uint64_t ip_frags_in = 0;
+    uint64_t ip_reassembled = 0;
+    uint64_t ip_frag_out = 0;
+    uint64_t arp_in = 0;
+    uint64_t arp_requests_out = 0;
+    uint64_t icmp_echo_in = 0;
+    uint64_t udp_in = 0;
+    uint64_t udp_out = 0;
+    uint64_t udp_bad_checksum = 0;
+    uint64_t udp_no_port = 0;
+    uint64_t tcp_in = 0;
+    uint64_t tcp_out = 0;
+    uint64_t tcp_bad_checksum = 0;
+    uint64_t tcp_retransmits = 0;
+    uint64_t tcp_fast_retransmits = 0;
+    uint64_t tcp_delayed_acks = 0;
+    uint64_t tcp_ooo_segments = 0;
+    uint64_t tcp_rst_out = 0;
+    uint64_t rx_glue_copied_bytes = 0;  // forced-copy ablation counter
+  };
+
+  NetStack(SleepEnv* sleep_env, SimClock* clock);
+  ~NetStack();
+
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  // ---- Driver binding (§5: oskit_freebsd_net_open_ether_if) ----
+  // COM binding: exchanges NetIo endpoints with the device.
+  Error OpenEtherIf(EtherDev* dev, int* out_ifindex);
+  // Native binding for the baseline configuration.
+  Error OpenNativeIf(NativeEtherPort* port, int* out_ifindex);
+
+  // ---- Interface configuration (oskit_freebsd_net_ifconfig) ----
+  Error IfConfig(int ifindex, InetAddr addr, InetAddr netmask);
+  Error SetDefaultGateway(InetAddr gateway);
+
+  // ---- Socket factory (registered with posix_set_socketcreator) ----
+  ComPtr<SocketFactory> CreateSocketFactory();
+
+  // ---- ICMP echo (ping) ----
+  // Blocks until a reply arrives or `timeout_ns` elapses.
+  Error Ping(InetAddr dst, SimTime timeout_ns, SimTime* out_rtt_ns);
+
+  const Stats& stats() const { return stats_; }
+  Stats& mutable_stats() { return stats_; }  // open implementation (§4.6)
+  MbufPool& pool() { return pool_; }
+  BsdSleepWakeup& sleep_wakeup() { return sleep_wakeup_; }
+  SimClock& clock() { return *clock_; }
+
+  // Native-driver ingress: a complete Ethernet frame as an mbuf chain.
+  void EtherInputMbuf(int ifindex, MBuf* frame);
+
+  // Default socket buffer size (ttcp-era BSD default).
+  static constexpr size_t kDefaultBufSize = 32 * 1024;
+
+  // Ablation hook: when set, the COM receive path copies foreign packets
+  // instead of mapping them (disables the §4.7.3 zero-copy import).
+  void SetForceRxCopy(bool force) { force_rx_copy_ = force; }
+  bool force_rx_copy() const { return force_rx_copy_; }
+
+ private:
+  friend class BsdSocket;
+  friend class StackRecvNetIo;
+
+  struct Iface {
+    bool native = false;
+    ComPtr<EtherDev> dev;
+    ComPtr<NetIo> tx;           // COM path
+    NativeEtherPort* port = nullptr;  // native path
+    EtherAddr mac;
+    InetAddr addr;
+    InetAddr netmask;
+    bool configured = false;
+  };
+
+  struct ArpEntry {
+    EtherAddr mac;
+    bool resolved = false;
+    SimTime expires = 0;
+    MBuf* pending = nullptr;  // one packet waiting on resolution
+    uint16_t pending_type = 0;
+  };
+
+  struct FragKey {
+    uint32_t src;
+    uint32_t dst;
+    uint16_t ident;
+    uint8_t proto;
+    friend bool operator<(const FragKey& a, const FragKey& b) {
+      if (a.src != b.src) return a.src < b.src;
+      if (a.dst != b.dst) return a.dst < b.dst;
+      if (a.ident != b.ident) return a.ident < b.ident;
+      return a.proto < b.proto;
+    }
+  };
+
+  struct FragQueue {
+    std::vector<uint8_t> data;
+    std::vector<bool> have;
+    size_t total_len = 0;  // 0 until the last fragment arrives
+    size_t bytes_have = 0;
+    SimTime deadline = 0;
+  };
+
+  struct PendingEcho {
+    uint16_t ident;
+    uint16_t seq;
+    bool done = false;
+    bool timed_out = false;
+    SimTime sent_at = 0;
+    SimTime rtt = 0;
+  };
+
+  // ---- link layer ----
+  void EtherInput(int ifindex, MBuf* frame);
+  void EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type, MBuf* payload);
+  void ArpInput(int ifindex, MBuf* packet);
+  void SendArpRequest(int ifindex, InetAddr target);
+  // Resolves and transmits, or queues on the ARP entry.
+  void IpSendViaIface(int ifindex, InetAddr next_hop, MBuf* datagram);
+
+  // ---- IP ----
+  void IpInput(int ifindex, MBuf* packet);
+  Error IpOutput(uint8_t proto, InetAddr src, InetAddr dst, MBuf* payload);
+  int RouteFor(InetAddr dst, InetAddr* out_next_hop);
+  void FragTimeoutSweep();
+
+  // ---- ICMP ----
+  void IcmpInput(int ifindex, const Ipv4Header& ip, MBuf* payload);
+
+  // ---- UDP ----
+  void UdpInput(const Ipv4Header& ip, MBuf* payload);
+  Error UdpOutput(UdpPcb* pcb, const SockAddr& to, MBuf* payload);
+  UdpPcb* UdpLookup(InetAddr dst, uint16_t dport);
+
+  // ---- TCP ----
+  void TcpInput(const Ipv4Header& ip, MBuf* payload);
+  // Sends what the window allows from pcb's send buffer; `force` emits an
+  // otherwise-empty ACK.
+  void TcpOutput(TcpPcb* pcb, bool force_ack);
+  void TcpSendSegment(TcpPcb* pcb, uint32_t seq, uint8_t flags, const MBuf* data_src,
+                      size_t data_off, size_t data_len, bool with_mss);
+  void TcpSendRst(const Ipv4Header& ip, const TcpHeader& th, size_t payload_len);
+  void TcpSlowTimo();
+  void TcpFastTimo();
+  void TcpRexmtExpired(TcpPcb* pcb);
+  void TcpSetState(TcpPcb* pcb, TcpState next);
+  void TcpDrop(TcpPcb* pcb, Error err);
+  void TcpCloseDone(TcpPcb* pcb);  // reaches CLOSED: free or hand to socket
+  void TcpProcessAck(TcpPcb* pcb, const TcpHeader& th);
+  void TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data);
+  void TcpAppendRcv(TcpPcb* pcb, MBuf* data);
+  void TcpUpdateRtt(TcpPcb* pcb, int rtt_ticks);
+  uint32_t TcpReceiveWindow(const TcpPcb* pcb) const;
+  TcpPcb* TcpLookup(InetAddr src, uint16_t sport, InetAddr dst, uint16_t dport);
+  uint16_t AllocEphemeralPort(bool tcp);
+  uint32_t NextIss();
+
+  // ---- sockbuf helpers ----
+  void SbAppend(SockBuf* sb, MBuf* chain);
+  // Moves up to `len` bytes out of `sb` into `dst`; returns bytes moved.
+  size_t SbCopyOut(SockBuf* sb, void* dst, size_t len);
+  void SbDrop(SockBuf* sb, size_t len);
+  void SbFlush(SockBuf* sb);
+
+  // ---- socket-layer entry points (called by BsdSocket) ----
+  Error SoBind(BsdSocket* so, const SockAddr& addr);
+  Error SoConnect(BsdSocket* so, const SockAddr& addr);
+  Error SoListen(BsdSocket* so, int backlog);
+  Error SoAccept(BsdSocket* so, SockAddr* out_peer, TcpPcb** out_pcb);
+  Error SoSend(BsdSocket* so, const void* buf, size_t len, size_t* out_actual);
+  Error SoRecv(BsdSocket* so, void* buf, size_t len, size_t* out_actual);
+  Error SoSendTo(BsdSocket* so, const void* buf, size_t len, const SockAddr& to,
+                 size_t* out_actual);
+  Error SoRecvFrom(BsdSocket* so, void* buf, size_t len, SockAddr* out_from,
+                   size_t* out_actual);
+  Error SoShutdown(BsdSocket* so, SockShutdown how);
+  void SoDetach(BsdSocket* so);  // socket released: orderly close, disown pcb
+  void SoShutdownPcb(TcpPcb* pcb);  // FIN-queue a pcb directly
+
+  void StartTimers();
+  void ScheduleFastTimer();
+  void ScheduleSlowTimer();
+
+  SleepEnv* sleep_env_;
+  SimClock* clock_;
+  MbufPool pool_;
+  BsdSleepWakeup sleep_wakeup_;
+  Stats stats_;
+
+  std::vector<Iface> ifaces_;
+  InetAddr gateway_;
+  std::map<uint32_t, ArpEntry> arp_;
+  std::map<FragKey, FragQueue> frags_;
+  uint16_t ip_ident_ = 1;
+  uint32_t iss_counter_ = 0x1000;
+  uint16_t next_ephemeral_ = 49152;
+  uint16_t icmp_ident_ = 1;
+  std::list<PendingEcho> pending_echoes_;
+
+  std::list<std::unique_ptr<TcpPcb>> tcp_pcbs_;
+  std::list<std::unique_ptr<UdpPcb>> udp_pcbs_;
+
+  bool force_rx_copy_ = false;
+  SimClock::EventId fast_timer_ = SimClock::kInvalidEvent;
+  SimClock::EventId slow_timer_ = SimClock::kInvalidEvent;
+  bool shutting_down_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// The COM socket object
+// ---------------------------------------------------------------------------
+
+class BsdSocket final : public Socket, public RefCounted<BsdSocket> {
+ public:
+  BsdSocket(NetStack* stack, SockType type);
+
+  // IUnknown
+  Error Query(const Guid& iid, void** out) override;
+  uint32_t AddRef() override { return AddRefImpl(); }
+  uint32_t Release() override;
+
+  // Socket
+  Error Bind(const SockAddr& addr) override;
+  Error Connect(const SockAddr& addr) override;
+  Error Listen(int backlog) override;
+  Error Accept(SockAddr* out_peer, Socket** out_socket) override;
+  Error Send(const void* buf, size_t amount, size_t* out_actual) override;
+  Error Recv(void* buf, size_t amount, size_t* out_actual) override;
+  Error SendTo(const void* buf, size_t amount, const SockAddr& to,
+               size_t* out_actual) override;
+  Error RecvFrom(void* buf, size_t amount, SockAddr* out_from,
+                 size_t* out_actual) override;
+  Error Shutdown(SockShutdown how) override;
+  Error GetSockName(SockAddr* out_addr) override;
+  Error GetPeerName(SockAddr* out_addr) override;
+
+  SockType type() const { return type_; }
+  TcpPcb* tcp() { return tcp_; }
+  UdpPcb* udp() { return udp_; }
+
+ private:
+  friend class NetStack;
+  friend class RefCounted<BsdSocket>;
+  ~BsdSocket() = default;
+
+  NetStack* stack_;
+  SockType type_;
+  TcpPcb* tcp_ = nullptr;
+  UdpPcb* udp_ = nullptr;
+};
+
+}  // namespace oskit::net
+
+#endif  // OSKIT_SRC_NET_STACK_H_

@@ -1,0 +1,896 @@
+// TCP: connection state machine, sliding-window transmission with
+// congestion control, RTT estimation, retransmission, reassembly, and the
+// BSD-style 200ms/500ms timer processing.
+
+#include <cstring>
+
+#include "src/base/checksum.h"
+#include "src/base/panic.h"
+#include "src/net/stack.h"
+
+namespace oskit::net {
+
+namespace {
+
+constexpr int kMaxRexmtShift = 12;
+constexpr int kTimeWaitTicks = 8;        // 2*MSL at 500 ms/tick (shortened MSL)
+constexpr int kConnTimeoutTicks = 60;    // 30 s to establish
+constexpr uint32_t kMaxWindow = 65535;
+
+}  // namespace
+
+const char* TcpStateName(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed:
+      return "CLOSED";
+    case TcpState::kListen:
+      return "LISTEN";
+    case TcpState::kSynSent:
+      return "SYN_SENT";
+    case TcpState::kSynReceived:
+      return "SYN_RCVD";
+    case TcpState::kEstablished:
+      return "ESTABLISHED";
+    case TcpState::kCloseWait:
+      return "CLOSE_WAIT";
+    case TcpState::kFinWait1:
+      return "FIN_WAIT_1";
+    case TcpState::kFinWait2:
+      return "FIN_WAIT_2";
+    case TcpState::kClosing:
+      return "CLOSING";
+    case TcpState::kLastAck:
+      return "LAST_ACK";
+    case TcpState::kTimeWait:
+      return "TIME_WAIT";
+  }
+  return "?";
+}
+
+uint16_t NetStack::AllocEphemeralPort(bool tcp) {
+  for (int tries = 0; tries < 16384; ++tries) {
+    uint16_t port = next_ephemeral_++;
+    if (next_ephemeral_ == 0) {
+      next_ephemeral_ = 49152;
+    }
+    if (port < 49152) {
+      continue;
+    }
+    bool taken = false;
+    if (tcp) {
+      for (auto& pcb : tcp_pcbs_) {
+        if (pcb->lport == port) {
+          taken = true;
+          break;
+        }
+      }
+    } else {
+      for (auto& pcb : udp_pcbs_) {
+        if (pcb->lport == port) {
+          taken = true;
+          break;
+        }
+      }
+    }
+    if (!taken) {
+      return port;
+    }
+  }
+  Panic("ephemeral port space exhausted");
+}
+
+uint32_t NetStack::NextIss() {
+  iss_counter_ += 64000;
+  return iss_counter_;
+}
+
+TcpPcb* NetStack::TcpLookup(InetAddr src, uint16_t sport, InetAddr dst,
+                            uint16_t dport) {
+  TcpPcb* listener = nullptr;
+  for (auto& pcb : tcp_pcbs_) {
+    if (pcb->lport != dport) {
+      continue;
+    }
+    if (pcb->state == TcpState::kListen) {
+      if (pcb->laddr.IsAny() || pcb->laddr == dst) {
+        listener = pcb.get();
+      }
+      continue;
+    }
+    if (pcb->faddr == src && pcb->fport == sport &&
+        (pcb->laddr == dst || pcb->laddr.IsAny())) {
+      return pcb.get();
+    }
+  }
+  return listener;
+}
+
+uint32_t NetStack::TcpReceiveWindow(const TcpPcb* pcb) const {
+  size_t space = pcb->rcv.Space();
+  return space > kMaxWindow ? kMaxWindow : static_cast<uint32_t>(space);
+}
+
+void NetStack::TcpSetState(TcpPcb* pcb, TcpState next) {
+  pcb->state = next;
+  if (next == TcpState::kTimeWait) {
+    pcb->time_wait_timer = kTimeWaitTicks;
+    pcb->rexmt_timer = 0;
+    pcb->persist_timer = 0;
+  }
+  // State changes are interesting to both directions of any blocked caller.
+  sleep_wakeup_.Wakeup(&pcb->rcv);
+  sleep_wakeup_.Wakeup(&pcb->snd);
+}
+
+// ---------------------------------------------------------------------------
+// Segment transmission
+// ---------------------------------------------------------------------------
+
+void NetStack::TcpSendSegment(TcpPcb* pcb, uint32_t seq, uint8_t flags,
+                              const MBuf* data_src, size_t data_off, size_t data_len,
+                              bool with_mss) {
+  size_t header_len = with_mss ? kTcpHeaderSize + 4 : kTcpHeaderSize;
+  MBuf* segment;
+  if (data_len > 0) {
+    // Reference the send buffer's storage rather than copying it: this is
+    // why outgoing BSD packets are discontiguous chains (§5) — a header
+    // mbuf followed by cluster references.
+    segment = pool_.CopyChain(data_src, data_off, data_len);
+    segment = pool_.Prepend(segment, header_len);
+  } else {
+    segment = pool_.GetHeaderAligned(header_len);
+  }
+
+  TcpHeader th;
+  th.src_port = pcb->lport;
+  th.dst_port = pcb->fport;
+  th.seq = seq;
+  th.ack = (flags & kTcpFlagAck) != 0 ? pcb->rcv_nxt : 0;
+  th.flags = flags;
+  uint32_t wnd = TcpReceiveWindow(pcb);
+  th.window = static_cast<uint16_t>(wnd);
+  th.mss_option = pcb->mss;
+  th.Serialize(segment->data, with_mss);
+  if ((flags & kTcpFlagAck) != 0) {
+    uint32_t adv = pcb->rcv_nxt + wnd;
+    if (SeqGt(adv, pcb->rcv_adv)) {
+      pcb->rcv_adv = adv;
+    }
+  }
+
+  // Checksum: pseudo-header plus the whole segment chain.
+  InetChecksum cksum;
+  uint8_t pseudo[12];
+  StoreBe32(pseudo, pcb->laddr.value);
+  StoreBe32(pseudo + 4, pcb->faddr.value);
+  pseudo[8] = 0;
+  pseudo[9] = kIpProtoTcp;
+  StoreBe16(pseudo + 10, static_cast<uint16_t>(segment->pkt_len));
+  cksum.Add(pseudo, sizeof(pseudo));
+  for (const MBuf* m = segment; m != nullptr; m = m->next) {
+    cksum.Add(m->data, m->len);
+  }
+  StoreBe16(segment->data + 16, cksum.Finish());
+
+  ++stats_.tcp_out;
+  pcb->delayed_ack = false;
+  IpOutput(kIpProtoTcp, pcb->laddr, pcb->faddr, segment);
+}
+
+void NetStack::TcpSendRst(const Ipv4Header& ip, const TcpHeader& th,
+                          size_t payload_len) {
+  if ((th.flags & kTcpFlagRst) != 0) {
+    return;  // never answer a RST with a RST
+  }
+  ++stats_.tcp_rst_out;
+  MBuf* segment = pool_.GetHeaderAligned(kTcpHeaderSize);
+  TcpHeader rst;
+  rst.src_port = th.dst_port;
+  rst.dst_port = th.src_port;
+  if ((th.flags & kTcpFlagAck) != 0) {
+    rst.seq = th.ack;
+    rst.flags = kTcpFlagRst;
+  } else {
+    rst.seq = 0;
+    uint32_t seg_len = static_cast<uint32_t>(payload_len) +
+                       ((th.flags & kTcpFlagSyn) != 0 ? 1 : 0) +
+                       ((th.flags & kTcpFlagFin) != 0 ? 1 : 0);
+    rst.ack = th.seq + seg_len;
+    rst.flags = kTcpFlagRst | kTcpFlagAck;
+  }
+  rst.Serialize(segment->data);
+
+  InetChecksum cksum;
+  uint8_t pseudo[12];
+  StoreBe32(pseudo, ip.dst.value);
+  StoreBe32(pseudo + 4, ip.src.value);
+  pseudo[8] = 0;
+  pseudo[9] = kIpProtoTcp;
+  StoreBe16(pseudo + 10, kTcpHeaderSize);
+  cksum.Add(pseudo, sizeof(pseudo));
+  cksum.Add(segment->data, kTcpHeaderSize);
+  StoreBe16(segment->data + 16, cksum.Finish());
+  IpOutput(kIpProtoTcp, ip.dst, ip.src, segment);
+}
+
+void NetStack::TcpOutput(TcpPcb* pcb, bool force_ack) {
+  bool sent_something = false;
+  for (;;) {
+    if (pcb->state == TcpState::kSynSent || pcb->state == TcpState::kListen ||
+        pcb->state == TcpState::kClosed) {
+      break;
+    }
+    uint32_t off = pcb->snd_nxt - pcb->snd_una;
+    uint32_t wnd = pcb->snd_wnd < pcb->snd_cwnd ? pcb->snd_wnd : pcb->snd_cwnd;
+    uint32_t in_buf = static_cast<uint32_t>(pcb->snd.cc);
+    uint32_t available = off < in_buf ? in_buf - off : 0;
+    uint32_t usable = wnd > off ? wnd - off : 0;
+    uint32_t len = available < usable ? available : usable;
+    if (len > pcb->mss) {
+      len = pcb->mss;
+    }
+
+    bool send_fin = pcb->fin_queued && off + len == in_buf &&
+                    SeqLeq(pcb->snd_nxt + len, pcb->snd_una + in_buf + 1) &&
+                    !pcb->fin_sent;
+    // The FIN consumes sequence space; only send it when the window allows
+    // at least the FIN itself.
+    if (send_fin && len == available && usable < len + 1 && in_buf != 0 && usable == len) {
+      // Window exactly full of data: FIN goes in a later segment.
+      send_fin = usable > len;
+    }
+
+    if (len == 0 && !send_fin && !force_ack && !pcb->delayed_ack) {
+      break;
+    }
+    if (len == 0 && !send_fin && available > 0 && usable == 0 && !force_ack) {
+      // Zero window: let the persist timer probe.
+      if (pcb->persist_timer == 0) {
+        pcb->persist_timer = pcb->RtoTicks();
+      }
+      break;
+    }
+
+    uint8_t flags = kTcpFlagAck;
+    if (send_fin) {
+      flags |= kTcpFlagFin;
+    }
+    if (len > 0 && off + len == available) {
+      flags |= kTcpFlagPsh;
+    }
+
+    // Time this transmission for RTT estimation when nothing is timed.
+    if (len > 0 && pcb->rtt_ticks < 0) {
+      pcb->rtt_ticks = 0;
+      pcb->rtt_seq = pcb->snd_nxt;
+    }
+
+    TcpSendSegment(pcb, pcb->snd_nxt, flags, pcb->snd.head, off, len, false);
+    sent_something = true;
+    pcb->snd_nxt += len;
+    if (send_fin) {
+      pcb->fin_sent = true;
+      pcb->snd_nxt += 1;
+    }
+    if (SeqGt(pcb->snd_nxt, pcb->snd_max)) {
+      pcb->snd_max = pcb->snd_nxt;
+    }
+    // Anything outstanding needs the retransmit timer.
+    if (pcb->rexmt_timer == 0 && pcb->snd_nxt != pcb->snd_una) {
+      pcb->rexmt_timer = pcb->RtoTicks();
+    }
+    force_ack = false;
+    if (len == 0 && !send_fin) {
+      break;  // pure ACK sent; nothing more to push
+    }
+    if (send_fin) {
+      break;
+    }
+  }
+  (void)sent_something;
+}
+
+// ---------------------------------------------------------------------------
+// Input
+// ---------------------------------------------------------------------------
+
+void NetStack::TcpUpdateRtt(TcpPcb* pcb, int rtt) {
+  // Van Jacobson smoothing in BSD fixed point: srtt scaled 8x, rttvar 4x.
+  if (pcb->srtt != 0) {
+    int delta = rtt - 1 - (pcb->srtt >> 3);
+    pcb->srtt += delta;
+    if (pcb->srtt <= 0) {
+      pcb->srtt = 1;
+    }
+    if (delta < 0) {
+      delta = -delta;
+    }
+    delta -= pcb->rttvar >> 2;
+    pcb->rttvar += delta;
+    if (pcb->rttvar <= 0) {
+      pcb->rttvar = 1;
+    }
+  } else {
+    pcb->srtt = rtt << 3;
+    pcb->rttvar = rtt << 1;
+  }
+  pcb->rtt_ticks = -1;
+  pcb->rexmt_shift = 0;
+}
+
+void NetStack::TcpProcessAck(TcpPcb* pcb, const TcpHeader& th) {
+  uint32_t ack = th.ack;
+  if (SeqLeq(ack, pcb->snd_una)) {
+    return;  // duplicate/old ACK: handled by the caller's dupack logic
+  }
+  if (SeqGt(ack, pcb->snd_max)) {
+    TcpOutput(pcb, /*force_ack=*/true);  // ack of unsent data
+    return;
+  }
+  uint32_t acked = ack - pcb->snd_una;
+
+  // RTT sample when the timed sequence is covered (Karn: only if never
+  // retransmitted, which rexmt_shift == 0 approximates).
+  if (pcb->rtt_ticks >= 0 && SeqGt(ack, pcb->rtt_seq) && pcb->rexmt_shift == 0) {
+    TcpUpdateRtt(pcb, pcb->rtt_ticks);
+  }
+
+  // Congestion window growth.
+  if (pcb->snd_cwnd < pcb->snd_ssthresh) {
+    pcb->snd_cwnd += pcb->mss;  // slow start
+  } else {
+    uint32_t incr = static_cast<uint32_t>(pcb->mss) * pcb->mss / pcb->snd_cwnd;
+    pcb->snd_cwnd += incr > 0 ? incr : 1;  // congestion avoidance
+  }
+  if (pcb->snd_cwnd > kMaxWindow) {
+    pcb->snd_cwnd = kMaxWindow;
+  }
+
+  // Drop acknowledged bytes from the send buffer (the FIN and SYN occupy
+  // sequence space beyond the buffer).
+  uint32_t buf_acked = acked;
+  if (buf_acked > pcb->snd.cc) {
+    buf_acked = static_cast<uint32_t>(pcb->snd.cc);
+  }
+  if (buf_acked > 0) {
+    SbDrop(&pcb->snd, buf_acked);
+  }
+  pcb->snd_una = ack;
+  if (SeqLt(pcb->snd_nxt, pcb->snd_una)) {
+    pcb->snd_nxt = pcb->snd_una;
+  }
+  pcb->dup_acks = 0;
+
+  // Retransmit timer: restart while data is outstanding.
+  pcb->rexmt_timer = pcb->snd_una == pcb->snd_max ? 0 : pcb->RtoTicks();
+
+  sleep_wakeup_.Wakeup(&pcb->snd);
+}
+
+void NetStack::TcpAppendRcv(TcpPcb* pcb, MBuf* data) {
+  size_t len = MbufPool::ChainLength(data);
+  data->pkt_len = static_cast<uint32_t>(len);
+  SbAppend(&pcb->rcv, data);
+  pcb->rcv_nxt += static_cast<uint32_t>(len);
+}
+
+void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
+  size_t len = MbufPool::ChainLength(data);
+  if (len == 0) {
+    pool_.FreeChain(data);
+    return;
+  }
+  if (seq == pcb->rcv_nxt) {
+    TcpAppendRcv(pcb, data);
+    // Pull any now-contiguous queued segments across.
+    for (auto it = pcb->reass.begin(); it != pcb->reass.end();) {
+      uint32_t q_seq = it->seq;
+      size_t q_len = MbufPool::ChainLength(it->data);
+      if (SeqGt(q_seq, pcb->rcv_nxt)) {
+        break;  // still a hole
+      }
+      if (SeqLeq(q_seq + static_cast<uint32_t>(q_len), pcb->rcv_nxt)) {
+        pool_.FreeChain(it->data);  // wholly duplicate
+        it = pcb->reass.erase(it);
+        continue;
+      }
+      // Trim overlap, then append.
+      uint32_t drop = pcb->rcv_nxt - q_seq;
+      MBuf* rest = pool_.TrimFront(it->data, drop);
+      TcpAppendRcv(pcb, rest);
+      it = pcb->reass.erase(it);
+    }
+    sleep_wakeup_.Wakeup(&pcb->rcv);
+    return;
+  }
+  // Out of order: insert sorted (drop exact duplicates).
+  ++stats_.tcp_ooo_segments;
+  auto it = pcb->reass.begin();
+  while (it != pcb->reass.end() && SeqLt(it->seq, seq)) {
+    ++it;
+  }
+  if (it != pcb->reass.end() && it->seq == seq &&
+      MbufPool::ChainLength(it->data) >= len) {
+    pool_.FreeChain(data);
+    return;
+  }
+  pcb->reass.insert(it, TcpPcb::OooSegment{seq, data});
+}
+
+void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
+  ++stats_.tcp_in;
+  size_t seg_total = payload->pkt_len;
+  payload = pool_.Pullup(payload, kTcpHeaderSize);
+  if (payload == nullptr) {
+    return;
+  }
+  TcpHeader th;
+  if (!TcpHeader::Parse(payload->data, payload->len, &th) || th.data_off > seg_total) {
+    pool_.FreeChain(payload);
+    return;
+  }
+  // Options may extend past what Pullup gave us.
+  payload = pool_.Pullup(payload, th.data_off);
+  if (payload == nullptr) {
+    return;
+  }
+  TcpHeader::Parse(payload->data, payload->len, &th);
+
+  // Verify the checksum over pseudo-header + segment.
+  {
+    InetChecksum cksum;
+    uint8_t pseudo[12];
+    StoreBe32(pseudo, ip.src.value);
+    StoreBe32(pseudo + 4, ip.dst.value);
+    pseudo[8] = 0;
+    pseudo[9] = kIpProtoTcp;
+    StoreBe16(pseudo + 10, static_cast<uint16_t>(seg_total));
+    cksum.Add(pseudo, sizeof(pseudo));
+    for (const MBuf* m = payload; m != nullptr; m = m->next) {
+      cksum.Add(m->data, m->len);
+    }
+    if (cksum.Finish() != 0) {
+      ++stats_.tcp_bad_checksum;
+      pool_.FreeChain(payload);
+      return;
+    }
+  }
+
+  size_t data_len = seg_total - th.data_off;
+  TcpPcb* pcb = TcpLookup(ip.src, th.src_port, ip.dst, th.dst_port);
+  if (pcb == nullptr || pcb->state == TcpState::kClosed) {
+    TcpSendRst(ip, th, data_len);
+    pool_.FreeChain(payload);
+    return;
+  }
+
+  // ---- LISTEN ----
+  if (pcb->state == TcpState::kListen) {
+    if ((th.flags & kTcpFlagRst) != 0) {
+      pool_.FreeChain(payload);
+      return;
+    }
+    if ((th.flags & kTcpFlagAck) != 0 || (th.flags & kTcpFlagSyn) == 0) {
+      TcpSendRst(ip, th, data_len);
+      pool_.FreeChain(payload);
+      return;
+    }
+    // so_qlen in BSD counts half-open children as well as the established
+    // ones waiting in the accept queue.
+    int qlen = 0;
+    for (auto& p : tcp_pcbs_) {
+      if (p->listener == pcb) {
+        ++qlen;
+      }
+    }
+    if (qlen >= pcb->backlog + 1) {
+      pool_.FreeChain(payload);  // overloaded: silently drop the SYN
+      return;
+    }
+    // Passive open: manufacture the child connection.
+    auto child = std::make_unique<TcpPcb>();
+    child->laddr = ip.dst;
+    child->lport = th.dst_port;
+    child->faddr = ip.src;
+    child->fport = th.src_port;
+    child->listener = pcb;
+    child->iss = NextIss();
+    child->snd_una = child->iss;
+    child->snd_nxt = child->iss + 1;
+    child->snd_max = child->snd_nxt;
+    child->irs = th.seq;
+    child->rcv_nxt = th.seq + 1;
+    child->snd_wnd = th.window;
+    if (th.mss_option != 0 && th.mss_option < child->mss) {
+      child->mss = th.mss_option;
+    }
+    child->snd_cwnd = child->mss;
+    child->snd_ssthresh = kMaxWindow;
+    child->snd.hiwat = kDefaultBufSize;
+    child->rcv.hiwat = kDefaultBufSize;
+    child->state = TcpState::kSynReceived;
+    child->conn_timer = kConnTimeoutTicks;
+    TcpPcb* child_raw = child.get();
+    tcp_pcbs_.push_back(std::move(child));
+    TcpSendSegment(child_raw, child_raw->iss, kTcpFlagSyn | kTcpFlagAck, nullptr, 0, 0,
+                   /*with_mss=*/true);
+    child_raw->rexmt_timer = child_raw->RtoTicks();
+    pool_.FreeChain(payload);
+    return;
+  }
+
+  // ---- SYN_SENT ----
+  if (pcb->state == TcpState::kSynSent) {
+    if ((th.flags & kTcpFlagAck) != 0 &&
+        (SeqLeq(th.ack, pcb->iss) || SeqGt(th.ack, pcb->snd_max))) {
+      TcpSendRst(ip, th, data_len);
+      pool_.FreeChain(payload);
+      return;
+    }
+    if ((th.flags & kTcpFlagRst) != 0) {
+      if ((th.flags & kTcpFlagAck) != 0) {
+        TcpDrop(pcb, Error::kConnRefused);
+      }
+      pool_.FreeChain(payload);
+      return;
+    }
+    if ((th.flags & kTcpFlagSyn) == 0) {
+      pool_.FreeChain(payload);
+      return;
+    }
+    pcb->irs = th.seq;
+    pcb->rcv_nxt = th.seq + 1;
+    pcb->snd_wnd = th.window;
+    if (th.mss_option != 0 && th.mss_option < pcb->mss) {
+      pcb->mss = th.mss_option;
+    }
+    pcb->snd_cwnd = pcb->mss;
+    pcb->snd_ssthresh = kMaxWindow;
+    if ((th.flags & kTcpFlagAck) != 0) {
+      // Our SYN is acknowledged: ESTABLISHED.
+      pcb->snd_una = th.ack;
+      pcb->rexmt_timer = 0;
+      pcb->conn_timer = 0;
+      TcpSetState(pcb, TcpState::kEstablished);
+      TcpOutput(pcb, /*force_ack=*/true);
+    } else {
+      // Simultaneous open.
+      TcpSetState(pcb, TcpState::kSynReceived);
+      TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn | kTcpFlagAck, nullptr, 0, 0, true);
+    }
+    pool_.FreeChain(payload);
+    return;
+  }
+
+  // ---- General segment processing ----
+
+  // RST.
+  if ((th.flags & kTcpFlagRst) != 0) {
+    if (pcb->state == TcpState::kTimeWait) {
+      TcpDrop(pcb, Error::kOk);
+    } else {
+      TcpDrop(pcb, Error::kConnReset);
+    }
+    pool_.FreeChain(payload);
+    return;
+  }
+
+  // Window update (simplified: trust the latest segment's window).
+  if ((th.flags & kTcpFlagAck) != 0) {
+    pcb->snd_wnd = th.window;
+  }
+
+  // Strip the header so `payload` is pure data.
+  payload = pool_.TrimFront(payload, th.data_off);
+  pool_.TrimTo(payload, data_len);
+  uint32_t seq = th.seq;
+
+  // Trim data already received.
+  if (data_len > 0 && SeqLt(seq, pcb->rcv_nxt)) {
+    uint32_t overlap = pcb->rcv_nxt - seq;
+    if (overlap >= data_len) {
+      // Entirely old: just ACK.
+      pool_.FreeChain(payload);
+      payload = nullptr;
+      data_len = 0;
+      pcb->delayed_ack = false;
+      TcpOutput(pcb, /*force_ack=*/true);
+    } else {
+      payload = pool_.TrimFront(payload, overlap);
+      seq += overlap;
+      data_len -= overlap;
+    }
+  }
+
+  // Drop data beyond our advertised window (keep it simple: tail-trim).
+  if (payload != nullptr && data_len > 0) {
+    uint32_t wnd = TcpReceiveWindow(pcb);
+    if (SeqGt(seq + static_cast<uint32_t>(data_len), pcb->rcv_nxt + wnd)) {
+      uint32_t allowed =
+          SeqGt(pcb->rcv_nxt + wnd, seq) ? (pcb->rcv_nxt + wnd - seq) : 0;
+      if (allowed == 0) {
+        pool_.FreeChain(payload);
+        payload = nullptr;
+        data_len = 0;
+        TcpOutput(pcb, /*force_ack=*/true);
+      } else {
+        pool_.TrimTo(payload, allowed);
+        data_len = allowed;
+      }
+    }
+  }
+
+  // ACK processing.
+  if ((th.flags & kTcpFlagAck) != 0) {
+    switch (pcb->state) {
+      case TcpState::kSynReceived:
+        if (SeqGt(th.ack, pcb->snd_una) && SeqLeq(th.ack, pcb->snd_max)) {
+          pcb->rexmt_timer = 0;
+          pcb->conn_timer = 0;
+          TcpSetState(pcb, TcpState::kEstablished);
+          TcpProcessAck(pcb, th);
+          // Hand the connection to the listener's accept queue.
+          if (pcb->listener != nullptr) {
+            pcb->listener->accept_queue.push_back(pcb);
+            sleep_wakeup_.Wakeup(&pcb->listener->accept_queue);
+          }
+        } else {
+          TcpSendRst(ip, th, data_len);
+          if (payload != nullptr) {
+            pool_.FreeChain(payload);
+          }
+          return;
+        }
+        break;
+      default: {
+        bool was_dup = SeqLeq(th.ack, pcb->snd_una) && data_len == 0 &&
+                       pcb->snd_una != pcb->snd_max;
+        if (was_dup) {
+          ++pcb->dup_acks;
+          if (pcb->dup_acks == 3) {
+            // Fast retransmit.
+            ++stats_.tcp_fast_retransmits;
+            uint32_t flight = pcb->snd_max - pcb->snd_una;
+            uint32_t half = flight / 2;
+            uint32_t floor2 = 2u * pcb->mss;
+            pcb->snd_ssthresh = half > floor2 ? half : floor2;
+            uint32_t saved_nxt = pcb->snd_nxt;
+            pcb->snd_nxt = pcb->snd_una;
+            pcb->snd_cwnd = pcb->mss;
+            TcpOutput(pcb, false);
+            pcb->snd_nxt = SeqGt(saved_nxt, pcb->snd_nxt) ? saved_nxt : pcb->snd_nxt;
+            pcb->snd_cwnd = pcb->snd_ssthresh;
+          }
+        } else {
+          TcpProcessAck(pcb, th);
+        }
+
+        // Our-FIN-acknowledged transitions.
+        bool fin_acked = pcb->fin_sent && SeqGeq(pcb->snd_una, pcb->snd_max) &&
+                         pcb->snd.cc == 0;
+        switch (pcb->state) {
+          case TcpState::kFinWait1:
+            if (fin_acked) {
+              TcpSetState(pcb, pcb->peer_fin_seen ? TcpState::kTimeWait
+                                                  : TcpState::kFinWait2);
+            }
+            break;
+          case TcpState::kClosing:
+            if (fin_acked) {
+              TcpSetState(pcb, TcpState::kTimeWait);
+            }
+            break;
+          case TcpState::kLastAck:
+            if (fin_acked) {
+              TcpSetState(pcb, TcpState::kClosed);
+              TcpCloseDone(pcb);
+              if (payload != nullptr) {
+                pool_.FreeChain(payload);
+              }
+              return;
+            }
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+    }
+  }
+
+  // Data arriving on a socket the application has fully closed: BSD
+  // aborts the connection with a RST (there will never be a reader).
+  if (pcb->detached && payload != nullptr && data_len > 0) {
+    TcpSendRst(ip, th, data_len);
+    pool_.FreeChain(payload);
+    TcpDrop(pcb, Error::kOk);
+    return;
+  }
+
+  // Data.
+  bool send_now = false;
+  if (payload != nullptr && data_len > 0) {
+    if (pcb->state == TcpState::kEstablished || pcb->state == TcpState::kFinWait1 ||
+        pcb->state == TcpState::kFinWait2) {
+      bool in_order = seq == pcb->rcv_nxt;
+      TcpReassemble(pcb, seq, payload);
+      payload = nullptr;
+      if (in_order) {
+        // Delayed ACK: every second segment forces one (BSD behaviour).
+        if (pcb->delayed_ack) {
+          send_now = true;
+        } else {
+          pcb->delayed_ack = true;
+        }
+      } else {
+        send_now = true;  // duplicate ACK for fast retransmit at the sender
+      }
+    } else {
+      pool_.FreeChain(payload);
+      payload = nullptr;
+    }
+  } else if (payload != nullptr) {
+    pool_.FreeChain(payload);
+    payload = nullptr;
+  }
+
+  // FIN processing: only when it is in order (all data received).
+  if ((th.flags & kTcpFlagFin) != 0 && !pcb->peer_fin_seen &&
+      seq + static_cast<uint32_t>(data_len) == pcb->rcv_nxt && pcb->reass.empty()) {
+    pcb->peer_fin_seen = true;
+    pcb->rcv_nxt += 1;
+    send_now = true;
+    switch (pcb->state) {
+      case TcpState::kEstablished:
+        TcpSetState(pcb, TcpState::kCloseWait);
+        break;
+      case TcpState::kFinWait1:
+        // Our FIN not yet acked (else we'd be in FIN_WAIT_2 above).
+        TcpSetState(pcb, TcpState::kClosing);
+        break;
+      case TcpState::kFinWait2:
+        TcpSetState(pcb, TcpState::kTimeWait);
+        break;
+      case TcpState::kTimeWait:
+        pcb->time_wait_timer = kTimeWaitTicks;  // restart 2MSL
+        break;
+      default:
+        break;
+    }
+    sleep_wakeup_.Wakeup(&pcb->rcv);
+  }
+
+  if (send_now) {
+    TcpOutput(pcb, /*force_ack=*/true);
+  } else {
+    TcpOutput(pcb, /*force_ack=*/false);  // piggyback ACK with any ready data
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void NetStack::TcpFastTimo() {
+  for (auto& pcb : tcp_pcbs_) {
+    if (pcb->delayed_ack) {
+      ++stats_.tcp_delayed_acks;
+      TcpOutput(pcb.get(), /*force_ack=*/true);
+    }
+  }
+}
+
+void NetStack::TcpRexmtExpired(TcpPcb* pcb) {
+  ++stats_.tcp_retransmits;
+  ++pcb->rexmt_shift;
+  if (pcb->rexmt_shift > kMaxRexmtShift) {
+    TcpDrop(pcb, Error::kTimedOut);
+    return;
+  }
+  // Karn: back off, and don't sample RTT for retransmitted data.
+  pcb->rtt_ticks = -1;
+  uint32_t flight = pcb->snd_max - pcb->snd_una;
+  uint32_t half = flight / 2;
+  uint32_t floor2 = 2u * pcb->mss;
+  pcb->snd_ssthresh = half > floor2 ? half : floor2;
+  pcb->snd_cwnd = pcb->mss;
+
+  if (pcb->state == TcpState::kSynSent) {
+    TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn, nullptr, 0, 0, /*with_mss=*/true);
+    pcb->rexmt_timer = pcb->RtoTicks();
+    return;
+  }
+  if (pcb->state == TcpState::kSynReceived) {
+    TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn | kTcpFlagAck, nullptr, 0, 0, true);
+    pcb->rexmt_timer = pcb->RtoTicks();
+    return;
+  }
+  pcb->snd_nxt = pcb->snd_una;
+  pcb->fin_sent = false;  // a lost FIN must be resent
+  TcpOutput(pcb, false);
+  pcb->rexmt_timer = pcb->RtoTicks();
+}
+
+void NetStack::TcpSlowTimo() {
+  // Iterate over a snapshot: timers can drop connections (mutating the
+  // list).
+  std::vector<TcpPcb*> snapshot;
+  snapshot.reserve(tcp_pcbs_.size());
+  for (auto& pcb : tcp_pcbs_) {
+    snapshot.push_back(pcb.get());
+  }
+  for (TcpPcb* pcb : snapshot) {
+    // Revalidate: the pcb may have been freed by an earlier iteration.
+    bool alive = false;
+    for (auto& p : tcp_pcbs_) {
+      if (p.get() == pcb) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) {
+      continue;
+    }
+    if (pcb->rtt_ticks >= 0) {
+      ++pcb->rtt_ticks;
+    }
+    if (pcb->conn_timer > 0 && --pcb->conn_timer == 0) {
+      TcpDrop(pcb, Error::kTimedOut);
+      continue;
+    }
+    if (pcb->rexmt_timer > 0 && --pcb->rexmt_timer == 0) {
+      TcpRexmtExpired(pcb);
+      continue;
+    }
+    if (pcb->persist_timer > 0 && --pcb->persist_timer == 0) {
+      // Window probe: force out one byte past the window.
+      if (pcb->snd.cc > pcb->snd_nxt - pcb->snd_una) {
+        uint32_t off = pcb->snd_nxt - pcb->snd_una;
+        TcpSendSegment(pcb, pcb->snd_nxt, kTcpFlagAck, pcb->snd.head, off, 1, false);
+        pcb->snd_nxt += 1;
+        if (SeqGt(pcb->snd_nxt, pcb->snd_max)) {
+          pcb->snd_max = pcb->snd_nxt;
+        }
+      }
+      pcb->persist_timer = pcb->RtoTicks() * 2;
+    }
+    if (pcb->state == TcpState::kTimeWait && --pcb->time_wait_timer <= 0) {
+      TcpSetState(pcb, TcpState::kClosed);
+      TcpCloseDone(pcb);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Teardown
+// ---------------------------------------------------------------------------
+
+void NetStack::TcpDrop(TcpPcb* pcb, Error err) {
+  pcb->so_error = err;
+  TcpSetState(pcb, TcpState::kClosed);
+  TcpCloseDone(pcb);
+}
+
+void NetStack::TcpCloseDone(TcpPcb* pcb) {
+  sleep_wakeup_.Wakeup(&pcb->rcv);
+  sleep_wakeup_.Wakeup(&pcb->snd);
+  // Children queued on a listener that is going away are orphaned by
+  // SoDetach; here we only reap detached, fully-closed pcbs.
+  if (!pcb->detached) {
+    return;  // the socket still references it; freed on SoDetach
+  }
+  for (auto it = tcp_pcbs_.begin(); it != tcp_pcbs_.end(); ++it) {
+    if (it->get() == pcb) {
+      SbFlush(&pcb->snd);
+      SbFlush(&pcb->rcv);
+      for (auto& seg : pcb->reass) {
+        pool_.FreeChain(seg.data);
+      }
+      pcb->reass.clear();
+      tcp_pcbs_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace oskit::net

@@ -1,0 +1,28 @@
+#include "src/sleep/sleep.h"
+
+namespace oskit {
+
+void SleepRecord::Sleep() {
+  OSKIT_ASSERT_MSG(!sleeping_, "second waiter on a sleep record");
+  if (woken_) {
+    woken_ = false;  // consumed the latched wakeup
+    return;
+  }
+  sleeping_ = true;
+  env_->Block(*this);
+  OSKIT_ASSERT_MSG(woken_, "sleep record resumed without wakeup");
+  woken_ = false;
+  sleeping_ = false;
+}
+
+void SleepRecord::Wakeup() {
+  if (woken_) {
+    return;  // already latched / already signalled
+  }
+  woken_ = true;
+  if (sleeping_) {
+    env_->Unblock(*this);
+  }
+}
+
+}  // namespace oskit

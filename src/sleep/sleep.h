@@ -1,0 +1,69 @@
+// Sleep records (paper §4.7.6).
+//
+// The single blocking primitive OSKit components ask of their client OS:
+// "like a condition variable except that only one thread of control can wait
+// on it at a time".  Encapsulated legacy code (BSD sleep/wakeup, Linux
+// sleep_on/wake_up) is emulated in glue code on top of this one abstraction,
+// so a client OS only ever implements SleepEnv.
+//
+// Two client implementations ship with the kit, mirroring the paper:
+//  * FiberSleepEnv — parks the current simulation fiber (the "real threads"
+//    case: conventional condition-variable-style blocking);
+//  * SpinSleepEnv — the single-threaded example-kernel case: "sleeping is
+//    implemented simply as a busy loop that spins on a one-bit field in the
+//    sleep record structure"; in the simulated world the spin advances the
+//    clock so interrupts can fire.
+
+#ifndef OSKIT_SRC_SLEEP_SLEEP_H_
+#define OSKIT_SRC_SLEEP_SLEEP_H_
+
+#include <cstdint>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+class SleepEnv;
+
+class SleepRecord {
+ public:
+  explicit SleepRecord(SleepEnv* env) : env_(env) {}
+  SleepRecord(const SleepRecord&) = delete;
+  SleepRecord& operator=(const SleepRecord&) = delete;
+
+  // Blocks the calling thread of control until Wakeup().  A Wakeup that
+  // arrived before Sleep is latched: Sleep returns immediately and clears
+  // the latch.
+  void Sleep();
+
+  // Releases the (single) waiter, or latches if nobody waits yet.  Callable
+  // from interrupt-level code.
+  void Wakeup();
+
+  bool woken() const { return woken_; }
+  void* waiter() const { return waiter_; }
+  void set_waiter(void* w) { waiter_ = w; }
+
+ private:
+  SleepEnv* env_;
+  bool woken_ = false;
+  bool sleeping_ = false;
+  void* waiter_ = nullptr;  // SleepEnv scratch (e.g., the parked Fiber*)
+};
+
+// The client-OS half: how to actually block and unblock.
+class SleepEnv {
+ public:
+  virtual ~SleepEnv() = default;
+
+  // Called with the record's `woken` flag still false; must return only
+  // once Unblock() has run for this record.
+  virtual void Block(SleepRecord& record) = 0;
+
+  // Called exactly once per outstanding Block().
+  virtual void Unblock(SleepRecord& record) = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_SLEEP_SLEEP_H_

@@ -1,0 +1,62 @@
+// The two stock SleepEnv implementations (see sleep.h).
+
+#ifndef OSKIT_SRC_SLEEP_SLEEP_ENVS_H_
+#define OSKIT_SRC_SLEEP_SLEEP_ENVS_H_
+
+#include "src/machine/simulation.h"
+#include "src/sleep/sleep.h"
+
+namespace oskit {
+
+// Parks the current fiber; Unblock makes it runnable again.  This is the
+// "client OS with real threads" implementation.
+class FiberSleepEnv final : public SleepEnv {
+ public:
+  explicit FiberSleepEnv(Simulation* sim) : sim_(sim) {}
+
+  void Block(SleepRecord& record) override {
+    Fiber* self = sim_->scheduler().current();
+    OSKIT_ASSERT_MSG(self != nullptr, "blocking outside any fiber");
+    record.set_waiter(self);
+    sim_->scheduler().BlockCurrent();
+    record.set_waiter(nullptr);
+  }
+
+  void Unblock(SleepRecord& record) override {
+    auto* fiber = static_cast<Fiber*>(record.waiter());
+    OSKIT_ASSERT_MSG(fiber != nullptr, "unblock with no waiter");
+    sim_->scheduler().Unblock(fiber);
+  }
+
+ private:
+  Simulation* sim_;
+};
+
+// The single-threaded example-kernel implementation: spin on the record's
+// woken bit.  Each spin iteration yields one simulated microsecond so the
+// clock (and therefore device interrupts) can progress.
+class SpinSleepEnv final : public SleepEnv {
+ public:
+  explicit SpinSleepEnv(Simulation* sim) : sim_(sim) {}
+
+  void Block(SleepRecord& record) override {
+    while (!record.woken()) {
+      sim_->SleepFor(kNsPerUs);
+      ++spins_;
+    }
+  }
+
+  void Unblock(SleepRecord& record) override {
+    // Nothing to do: the spinner observes the woken bit itself.
+  }
+
+  uint64_t spins() const { return spins_; }
+
+ private:
+  Simulation* sim_;
+  uint64_t spins_ = 0;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_SLEEP_SLEEP_ENVS_H_

@@ -1,0 +1,92 @@
+// Test/benchmark world builder.
+//
+// Assembles the §5 experimental setup: simulated PCs on one Ethernet
+// segment, each booted through the kernel support library, with the network
+// components bound in one of the evaluation's configurations:
+//
+//   kOskit      — FreeBSD-idiom stack + Linux-idiom driver, joined through
+//                 COM NetIo/BufIo glue (the paper's OSKit row);
+//   kNativeBsd  — the same stack bound to the BSD-idiom native driver with
+//                 no COM boundary (the paper's "FreeBSD" baseline row);
+//   kNativeLinux— the Linux-idiom baseline stack (contiguous skbuffs end to
+//                 end) bound directly to the Linux driver core (the paper's
+//                 "Linux" baseline row).
+
+#ifndef OSKIT_SRC_TESTBED_TESTBED_H_
+#define OSKIT_SRC_TESTBED_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dev/fdev/fdev.h"
+#include "src/dev/freebsd/freebsd_ether.h"
+#include "src/dev/linux/linux_glue.h"
+#include "src/kern/kernel.h"
+#include "src/machine/machine.h"
+#include "src/net/linux/linux_stack.h"
+#include "src/net/stack.h"
+
+namespace oskit::testbed {
+
+enum class NetConfig {
+  kOskit,
+  kNativeBsd,
+  kNativeLinux,
+};
+
+const char* NetConfigName(NetConfig config);
+
+// One simulated PC with a kernel environment and a bound network stack.
+struct Host {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<KernelEnv> kernel;
+  FdevEnv fdev;
+  DeviceRegistry registry;
+  NetConfig config = NetConfig::kOskit;
+  InetAddr addr;
+
+  // BSD-idiom stack (kOskit / kNativeBsd).
+  std::unique_ptr<net::NetStack> stack;
+  std::unique_ptr<freebsddev::BsdEtherDriver> bsd_driver;
+  ComPtr<SocketFactory> socket_factory;
+
+  // Linux-idiom stack (kNativeLinux).
+  std::unique_ptr<linuxdev::linux_device> linux_dev;
+  std::unique_ptr<net::linuxstack::LinuxNetStack> linux_stack;
+
+  // Convenience: make a stream/dgram socket on whichever stack is bound.
+  ComPtr<Socket> MakeSocket(SockType type);
+};
+
+class World {
+ public:
+  explicit World(const EthernetWire::Config& wire_config = {});
+  ~World();
+
+  Simulation& sim() { return sim_; }
+  EthernetWire& wire() { return *wire_; }
+
+  // Adds a host with one NIC attached to the segment, books it through the
+  // loader/kernel-support path, and binds the requested network stack.
+  // The host index doubles as the last MAC/IP octet (10.0.0.<index+1>).
+  Host& AddHost(const std::string& name, NetConfig config);
+
+  Host& host(size_t i) { return *hosts_[i]; }
+  size_t host_count() const { return hosts_.size(); }
+
+  // Runs the world until all fibers finish; panics on deadlock or when the
+  // simulated-time deadline passes (default: 10 simulated minutes).
+  void RunToCompletion(SimTime deadline = 600 * kNsPerSec);
+
+ private:
+  Simulation sim_;
+  std::unique_ptr<EthernetWire> wire_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+InetAddr HostAddr(int index);
+
+}  // namespace oskit::testbed
+
+#endif  // OSKIT_SRC_TESTBED_TESTBED_H_

@@ -1,0 +1,163 @@
+// Two-pass assembler for KVM bytecode.
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/byteorder.h"
+#include "src/vm/kvm.h"
+
+namespace oskit::vm {
+
+namespace {
+
+struct Mnemonic {
+  const char* name;
+  Op op;
+  int operand_bytes;   // 0, 2, 4, or 8
+  bool branch_target;  // operand may be a label
+};
+
+const Mnemonic kMnemonics[] = {
+    {"halt", Op::kHalt, 0, false}, {"push", Op::kPush, 8, false},
+    {"pop", Op::kPop, 0, false},   {"dup", Op::kDup, 0, false},
+    {"swap", Op::kSwap, 0, false}, {"load", Op::kLoad, 2, false},
+    {"store", Op::kStore, 2, false}, {"gload", Op::kGLoad, 2, false},
+    {"gstore", Op::kGStore, 2, false}, {"add", Op::kAdd, 0, false},
+    {"sub", Op::kSub, 0, false},   {"mul", Op::kMul, 0, false},
+    {"div", Op::kDiv, 0, false},   {"mod", Op::kMod, 0, false},
+    {"neg", Op::kNeg, 0, false},   {"and", Op::kAnd, 0, false},
+    {"or", Op::kOr, 0, false},     {"xor", Op::kXor, 0, false},
+    {"shl", Op::kShl, 0, false},   {"shr", Op::kShr, 0, false},
+    {"eq", Op::kEq, 0, false},     {"ne", Op::kNe, 0, false},
+    {"lt", Op::kLt, 0, false},     {"le", Op::kLe, 0, false},
+    {"gt", Op::kGt, 0, false},     {"ge", Op::kGe, 0, false},
+    {"jmp", Op::kJmp, 4, true},    {"jz", Op::kJz, 4, true},
+    {"jnz", Op::kJnz, 4, true},    {"call", Op::kCall, 4, true},
+    {"ret", Op::kRet, 0, false},   {"sys", Op::kSys, 2, false},
+    {"yield", Op::kYield, 0, false},
+};
+
+const Mnemonic* FindMnemonic(const std::string& name) {
+  for (const Mnemonic& m : kMnemonics) {
+    if (name == m.name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::string StripComment(const std::string& line) {
+  size_t pos = line.find(';');
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+struct Token {
+  std::string mnemonic;
+  std::string operand;
+};
+
+struct Fixup {
+  size_t offset;      // where the 4-byte target goes
+  std::string label;
+  int line_number;
+};
+
+}  // namespace
+
+Error Assemble(const std::string& source, std::vector<uint8_t>* out_code,
+               std::string* out_error) {
+  out_code->clear();
+  std::map<std::string, uint32_t> labels;
+  std::vector<Fixup> fixups;
+
+  auto fail = [&](int line_no, const std::string& message) {
+    if (out_error != nullptr) {
+      *out_error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return Error::kInval;
+  };
+
+  std::istringstream stream(source);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    std::string line = StripComment(raw_line);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) {
+      continue;  // blank
+    }
+    // Label definitions (possibly followed by an instruction on the line).
+    while (!word.empty() && word.back() == ':') {
+      std::string label = word.substr(0, word.size() - 1);
+      if (label.empty() || labels.count(label) > 0) {
+        return fail(line_no, "bad or duplicate label '" + label + "'");
+      }
+      labels[label] = static_cast<uint32_t>(out_code->size());
+      if (!(words >> word)) {
+        word.clear();
+        break;
+      }
+    }
+    if (word.empty()) {
+      continue;
+    }
+
+    const Mnemonic* m = FindMnemonic(word);
+    if (m == nullptr) {
+      return fail(line_no, "unknown mnemonic '" + word + "'");
+    }
+    out_code->push_back(static_cast<uint8_t>(m->op));
+    if (m->operand_bytes == 0) {
+      continue;
+    }
+    std::string operand;
+    if (!(words >> operand)) {
+      return fail(line_no, "missing operand for '" + word + "'");
+    }
+    bool numeric = operand[0] == '-' || operand[0] == '+' ||
+                   (operand[0] >= '0' && operand[0] <= '9');
+    if (m->operand_bytes == 8) {
+      if (!numeric) {
+        return fail(line_no, "push needs a numeric operand");
+      }
+      int64_t value = std::stoll(operand, nullptr, 0);
+      uint8_t buf[8];
+      StoreLe64(buf, static_cast<uint64_t>(value));
+      out_code->insert(out_code->end(), buf, buf + 8);
+    } else if (m->operand_bytes == 2) {
+      if (!numeric) {
+        return fail(line_no, "'" + word + "' needs a numeric operand");
+      }
+      long value = std::stol(operand, nullptr, 0);
+      if (value < 0 || value > 0xffff) {
+        return fail(line_no, "operand out of 16-bit range");
+      }
+      uint8_t buf[2];
+      StoreLe16(buf, static_cast<uint16_t>(value));
+      out_code->insert(out_code->end(), buf, buf + 2);
+    } else {  // 4-byte branch target
+      uint8_t buf[4] = {0, 0, 0, 0};
+      if (numeric) {
+        StoreLe32(buf, static_cast<uint32_t>(std::stoul(operand, nullptr, 0)));
+      } else {
+        fixups.push_back(Fixup{out_code->size(), operand, line_no});
+      }
+      out_code->insert(out_code->end(), buf, buf + 4);
+    }
+  }
+
+  for (const Fixup& fixup : fixups) {
+    auto it = labels.find(fixup.label);
+    if (it == labels.end()) {
+      return fail(fixup.line_number, "undefined label '" + fixup.label + "'");
+    }
+    StoreLe32(out_code->data() + fixup.offset, it->second);
+  }
+  return Error::kOk;
+}
+
+}  // namespace oskit::vm

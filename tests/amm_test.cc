@@ -1,0 +1,153 @@
+// AMM unit and property tests (§3.3): address maps that need not correspond
+// to memory at all.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/amm/amm.h"
+#include "src/base/random.h"
+
+namespace oskit {
+namespace {
+
+TEST(AmmTest, StartsAsOneFreeEntry) {
+  Amm amm(0x1000, 0x100000);
+  EXPECT_EQ(1u, amm.entry_count());
+  uint64_t start = 0;
+  uint64_t size = 0;
+  uint32_t flags = 1;
+  ASSERT_EQ(Error::kOk, amm.Lookup(0x5000, &start, &size, &flags));
+  EXPECT_EQ(0x1000u, start);
+  EXPECT_EQ(0x100000u - 0x1000u, size);
+  EXPECT_EQ(Amm::kFree, flags);
+  amm.AuditOrDie();
+}
+
+TEST(AmmTest, ModifySplitsAndJoins) {
+  Amm amm(0, 0x10000);
+  ASSERT_EQ(Error::kOk, amm.Modify(0x4000, 0x1000, Amm::kAllocated));
+  EXPECT_EQ(3u, amm.entry_count());  // free | allocated | free
+  amm.AuditOrDie();
+
+  // Freeing it again re-joins into a single entry.
+  ASSERT_EQ(Error::kOk, amm.Deallocate(0x4000, 0x1000));
+  EXPECT_EQ(1u, amm.entry_count());
+  amm.AuditOrDie();
+}
+
+TEST(AmmTest, AdjacentSameFlagsJoin) {
+  Amm amm(0, 0x10000);
+  ASSERT_EQ(Error::kOk, amm.Modify(0x1000, 0x1000, 7));
+  ASSERT_EQ(Error::kOk, amm.Modify(0x2000, 0x1000, 7));
+  // free | 7(0x1000..0x3000) | free
+  EXPECT_EQ(3u, amm.entry_count());
+  uint64_t start = 0;
+  uint64_t size = 0;
+  uint32_t flags = 0;
+  ASSERT_EQ(Error::kOk, amm.Lookup(0x1800, &start, &size, &flags));
+  EXPECT_EQ(0x1000u, start);
+  EXPECT_EQ(0x2000u, size);
+  EXPECT_EQ(7u, flags);
+  amm.AuditOrDie();
+}
+
+TEST(AmmTest, AllocateFindsAlignedHole) {
+  Amm amm(0, 0x100000);
+  ASSERT_EQ(Error::kOk, amm.Reserve(0, 0x1234, Amm::kReserved));
+  uint64_t addr = 0;
+  ASSERT_EQ(Error::kOk, amm.Allocate(&addr, 0x1000, Amm::kAllocated,
+                                     /*align_bits=*/12));
+  EXPECT_EQ(0u, addr & 0xfff);
+  EXPECT_GE(addr, 0x1234u);
+  amm.AuditOrDie();
+}
+
+TEST(AmmTest, AllocateFailsWhenFull) {
+  Amm amm(0, 0x4000);
+  ASSERT_EQ(Error::kOk, amm.Modify(0, 0x4000, Amm::kAllocated));
+  uint64_t addr = 0;
+  EXPECT_EQ(Error::kNoSpace, amm.Allocate(&addr, 1, Amm::kAllocated));
+}
+
+TEST(AmmTest, RejectsOutOfRangeModify) {
+  Amm amm(0x1000, 0x2000);
+  EXPECT_EQ(Error::kInval, amm.Modify(0, 0x100, 1));
+  EXPECT_EQ(Error::kInval, amm.Modify(0x1800, 0x1000, 1));
+  EXPECT_EQ(Error::kInval, amm.Modify(0x1000, 0, 1));
+}
+
+TEST(AmmTest, FindGenMatchesMaskedFlags) {
+  Amm amm(0, 0x10000);
+  ASSERT_EQ(Error::kOk, amm.Modify(0x2000, 0x1000, 0x13));
+  ASSERT_EQ(Error::kOk, amm.Modify(0x5000, 0x1000, 0x11));
+  uint64_t addr = 0;
+  // Find flags with bit 0x02 set (only the 0x13 range qualifies).
+  ASSERT_EQ(Error::kOk, amm.FindGen(&addr, 0x100, 0x02, 0x02));
+  EXPECT_EQ(0x2000u, addr);
+}
+
+TEST(AmmTest, IterateVisitsInOrder) {
+  Amm amm(0, 0x10000);
+  ASSERT_EQ(Error::kOk, amm.Modify(0x3000, 0x1000, 5));
+  uint64_t last_start = 0;
+  int count = 0;
+  amm.Iterate([&](uint64_t start, uint64_t size, uint32_t flags) {
+    if (count > 0) {
+      EXPECT_GT(start, last_start);
+    }
+    last_start = start;
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(3, count);
+}
+
+// Property test against a byte-per-unit shadow map.
+class AmmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AmmPropertyTest, MatchesShadowModel) {
+  constexpr uint64_t kLo = 0x1000;
+  constexpr uint64_t kHi = 0x9000;
+  Amm amm(kLo, kHi);
+  std::map<uint64_t, uint32_t> shadow;  // unit -> flags
+  for (uint64_t u = kLo; u < kHi; u += 0x100) {
+    shadow[u] = Amm::kFree;
+  }
+  Rng rng(GetParam());
+  for (int step = 0; step < 500; ++step) {
+    uint64_t start = kLo + rng.Below((kHi - kLo) / 0x100) * 0x100;
+    uint64_t max_units = (kHi - start) / 0x100;
+    uint64_t size = rng.Range(1, max_units < 8 ? max_units : 8) * 0x100;
+    uint32_t flags = static_cast<uint32_t>(rng.Below(4));
+    ASSERT_EQ(Error::kOk, amm.Modify(start, size, flags));
+    for (uint64_t u = start; u < start + size; u += 0x100) {
+      shadow[u] = flags;
+    }
+    if (step % 16 == 0) {
+      amm.AuditOrDie();
+      for (const auto& [unit, expect_flags] : shadow) {
+        uint64_t entry_start = 0;
+        uint64_t entry_size = 0;
+        uint32_t entry_flags = 0;
+        ASSERT_EQ(Error::kOk, amm.Lookup(unit, &entry_start, &entry_size, &entry_flags));
+        ASSERT_EQ(expect_flags, entry_flags) << "at " << std::hex << unit;
+      }
+    }
+  }
+  // BytesWith must agree with the shadow.
+  for (uint32_t f = 0; f < 4; ++f) {
+    uint64_t expected = 0;
+    for (const auto& [unit, flags] : shadow) {
+      if (flags == f) {
+        expected += 0x100;
+      }
+    }
+    EXPECT_EQ(expected, amm.BytesWith(f)) << "flags " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmmPropertyTest, ::testing::Values(7, 11, 23, 42));
+
+}  // namespace
+}  // namespace oskit

@@ -1,0 +1,142 @@
+// COM model tests (§4.4): GUID identity, QueryInterface semantics
+// (safe downcast / interface extension), reference counting, and the
+// Figure 2 blkio contract via MemBlkIo.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/com/bufio.h"
+#include "src/com/memblkio.h"
+
+namespace oskit {
+namespace {
+
+TEST(GuidTest, EqualityAndDistinctness) {
+  EXPECT_TRUE(BlkIo::kIid == BlkIo::kIid);
+  EXPECT_FALSE(BlkIo::kIid == BufIo::kIid);
+  EXPECT_FALSE(BlkIo::kIid == IUnknown::kIid);
+  // The paper's Figure 2 BLKIO_IID, byte for byte.
+  EXPECT_EQ(0x4aa7dfe1u, BlkIo::kIid.data1);
+  EXPECT_EQ(0x7c74u, BlkIo::kIid.data2);
+  EXPECT_EQ(0x11cfu, BlkIo::kIid.data3);
+}
+
+TEST(ComTest, QueryForImplementedInterfacesSucceeds) {
+  auto io = MemBlkIo::Create(1024);
+  // Base interface.
+  BlkIo* as_blkio = nullptr;
+  ASSERT_EQ(Error::kOk, QueryFor(io.get(), &as_blkio));
+  ASSERT_NE(nullptr, as_blkio);
+  // Extended interface (§4.4.2's blkio -> bufio extension).
+  BufIo* as_bufio = nullptr;
+  ASSERT_EQ(Error::kOk, QueryFor(io.get(), &as_bufio));
+  ASSERT_NE(nullptr, as_bufio);
+  as_blkio->Release();
+  as_bufio->Release();
+}
+
+TEST(ComTest, QueryForUnknownInterfaceFails) {
+  auto io = MemBlkIo::Create(64);
+  constexpr Guid kBogus =
+      MakeGuid(0x12345678, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
+  void* out = reinterpret_cast<void*>(0x1);
+  EXPECT_EQ(Error::kNoInterface, io->Query(kBogus, &out));
+  EXPECT_EQ(nullptr, out);
+}
+
+TEST(ComTest, ReferenceCountingLifecycle) {
+  auto io = MemBlkIo::Create(64);
+  EXPECT_EQ(1u, io->ref_count());
+  io->AddRef();
+  EXPECT_EQ(2u, io->ref_count());
+  io->Release();
+  EXPECT_EQ(1u, io->ref_count());
+
+  // Query adds a reference on behalf of the caller.
+  BlkIo* extra = nullptr;
+  ASSERT_EQ(Error::kOk, QueryFor(io.get(), &extra));
+  EXPECT_EQ(2u, io->ref_count());
+  extra->Release();
+  EXPECT_EQ(1u, io->ref_count());
+}
+
+TEST(ComTest, ComPtrManagesReferences) {
+  auto io = MemBlkIo::Create(64);
+  {
+    ComPtr<MemBlkIo> copy = io;
+    EXPECT_EQ(2u, io->ref_count());
+    ComPtr<MemBlkIo> moved = std::move(copy);
+    EXPECT_EQ(2u, io->ref_count());
+    EXPECT_EQ(nullptr, copy.get());  // NOLINT(bugprone-use-after-move)
+  }
+  EXPECT_EQ(1u, io->ref_count());
+}
+
+TEST(MemBlkIoTest, ReadWriteRoundTrip) {
+  auto io = MemBlkIo::Create(4096, /*block_size=*/512);
+  EXPECT_EQ(512u, io->GetBlockSize());
+  uint8_t pattern[512];
+  for (size_t i = 0; i < sizeof(pattern); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 3);
+  }
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, io->Write(pattern, 1024, sizeof(pattern), &actual));
+  EXPECT_EQ(sizeof(pattern), actual);
+  uint8_t readback[512] = {};
+  ASSERT_EQ(Error::kOk, io->Read(readback, 1024, sizeof(readback), &actual));
+  EXPECT_EQ(sizeof(readback), actual);
+  EXPECT_EQ(0, memcmp(pattern, readback, sizeof(pattern)));
+}
+
+TEST(MemBlkIoTest, ShortReadAtEnd) {
+  auto io = MemBlkIo::Create(100);
+  uint8_t buf[64];
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, io->Read(buf, 80, sizeof(buf), &actual));
+  EXPECT_EQ(20u, actual);
+  EXPECT_EQ(Error::kOutOfRange, io->Read(buf, 200, sizeof(buf), &actual));
+}
+
+TEST(MemBlkIoTest, GetSizeAndSetSize) {
+  auto io = MemBlkIo::Create(128);
+  off_t64 size = 0;
+  ASSERT_EQ(Error::kOk, io->GetSize(&size));
+  EXPECT_EQ(128u, size);
+  ASSERT_EQ(Error::kOk, io->SetSize(256));
+  ASSERT_EQ(Error::kOk, io->GetSize(&size));
+  EXPECT_EQ(256u, size);
+}
+
+TEST(MemBlkIoTest, MapGivesDirectAccess) {
+  const char kText[] = "buffered object";
+  auto io = MemBlkIo::CreateFrom(kText, sizeof(kText));
+  void* addr = nullptr;
+  ASSERT_EQ(Error::kOk, io->Map(&addr, 0, sizeof(kText)));
+  EXPECT_EQ(0, memcmp(addr, kText, sizeof(kText)));
+  // Writing through the mapping is visible via Read.
+  static_cast<char*>(addr)[0] = 'B';
+  char readback[sizeof(kText)];
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, io->Read(readback, 0, sizeof(kText), &actual));
+  EXPECT_EQ('B', readback[0]);
+  ASSERT_EQ(Error::kOk, io->Unmap(addr, 0, sizeof(kText)));
+}
+
+TEST(MemBlkIoTest, SetSizeWhileMappedIsRefused) {
+  auto io = MemBlkIo::Create(64);
+  void* addr = nullptr;
+  ASSERT_EQ(Error::kOk, io->Map(&addr, 0, 64));
+  EXPECT_EQ(Error::kBusy, io->SetSize(128));
+  ASSERT_EQ(Error::kOk, io->Unmap(addr, 0, 64));
+  EXPECT_EQ(Error::kOk, io->SetSize(128));
+}
+
+TEST(MemBlkIoTest, MapOutOfRangeFails) {
+  auto io = MemBlkIo::Create(64);
+  void* addr = nullptr;
+  EXPECT_EQ(Error::kOutOfRange, io->Map(&addr, 32, 64));
+}
+
+}  // namespace
+}  // namespace oskit

@@ -1,0 +1,303 @@
+// Encapsulated-driver tests (§3.6, §4.7): the Linux-idiom Ethernet driver
+// and its glue (zero-copy vs copy transmit paths), the Linux-idiom IDE
+// driver behind BlkIo (sleep/wakeup through the osenv), the FreeBSD-idiom
+// tty with clists, skbuff primitives, and the fdev registry where drivers
+// from both donor systems coexist.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/com/memblkio.h"
+#include "src/dev/freebsd/freebsd_char.h"
+#include "src/dev/linux/linux_glue.h"
+#include "src/dev/linux/linux_ide.h"
+#include "src/fs/ffs.h"
+#include "src/fs/fsck.h"
+#include "src/net/mbuf_bufio.h"
+
+namespace oskit {
+namespace {
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wire_ = std::make_unique<EthernetWire>(&sim_.clock(), EthernetWire::Config{});
+    machine_ = std::make_unique<Machine>(&sim_, Machine::Config{});
+    kernel_ = std::make_unique<KernelEnv>(machine_.get(), MultiBootInfo{});
+    machine_->cpu().EnableInterrupts();
+    fdev_ = DefaultFdevEnv(kernel_.get());
+  }
+
+  Simulation sim_;
+  std::unique_ptr<EthernetWire> wire_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<KernelEnv> kernel_;
+  FdevEnv fdev_;
+};
+
+// ---- skbuff primitives ----
+
+TEST_F(DriverTest, SkbuffCursorDiscipline) {
+  linuxdev::LinuxKernelEnv kenv;
+  kenv.kmalloc = +[](void* ctx, size_t size) -> void* {
+    return static_cast<KernelEnv*>(ctx)->MemAlloc(size);
+  };
+  kenv.kfree = +[](void* ctx, void* p, size_t size) {
+    static_cast<KernelEnv*>(ctx)->MemFree(p, size);
+  };
+  kenv.ctx = kernel_.get();
+
+  linuxdev::sk_buff* skb = linuxdev::dev_alloc_skb(kenv, 100);
+  ASSERT_NE(nullptr, skb);
+  linuxdev::skb_reserve(skb, 16);
+  uint8_t* put = linuxdev::skb_put(skb, 20);
+  memset(put, 0xaa, 20);
+  EXPECT_EQ(20u, skb->len);
+  uint8_t* pushed = linuxdev::skb_push(skb, 4);
+  EXPECT_EQ(24u, skb->len);
+  EXPECT_EQ(put - 4, pushed);
+  linuxdev::skb_pull(skb, 10);
+  EXPECT_EQ(14u, skb->len);
+  linuxdev::kfree_skb(kenv, skb);
+}
+
+// ---- Linux Ethernet driver + glue ----
+
+// A recording NetIo standing in for a protocol stack.
+class RecorderNetIo final : public NetIo, public RefCounted<RecorderNetIo> {
+ public:
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == NetIo::kIid) {
+      AddRef();
+      *out = static_cast<NetIo*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error Push(BufIo* packet, size_t size) override {
+    std::vector<uint8_t> data(size);
+    size_t actual = 0;
+    packet->Read(data.data(), 0, size, &actual);
+    frames.push_back(std::move(data));
+    // Zero-copy evidence: a received skbuff always maps.
+    void* addr = nullptr;
+    mapped_ok = Ok(packet->Map(&addr, 0, size));
+    return Error::kOk;
+  }
+
+  std::vector<std::vector<uint8_t>> frames;
+  bool mapped_ok = false;
+
+ private:
+  friend class RefCounted<RecorderNetIo>;
+  ~RecorderNetIo() = default;
+};
+
+TEST_F(DriverTest, LinuxEtherRoundTripAndXmitPaths) {
+  NicHw* nic_a = machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 1}}, 11);
+  NicHw* nic_b = machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 2}}, 12);
+  (void)nic_a;
+  (void)nic_b;
+
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk,
+            linuxdev::InitLinuxEthernet(fdev_, machine_.get(), &registry));
+  EXPECT_EQ(2u, registry.count());
+
+  auto devices = registry.LookupByInterface(EtherDev::kIid);
+  ASSERT_EQ(2u, devices.size());
+  auto* dev_a = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
+  
+
+  ComPtr<RecorderNetIo> rx_a(new RecorderNetIo());
+  ComPtr<RecorderNetIo> rx_b(new RecorderNetIo());
+  NetIo* tx_a = nullptr;
+  NetIo* tx_b = nullptr;
+  ComPtr<EtherDev> ea = ComPtr<EtherDev>::FromQuery(devices[0].get());
+  ComPtr<EtherDev> eb = ComPtr<EtherDev>::FromQuery(devices[1].get());
+  ASSERT_EQ(Error::kOk, ea->Open(rx_a.get(), &tx_a));
+  ASSERT_EQ(Error::kOk, eb->Open(rx_b.get(), &tx_b));
+  ComPtr<NetIo> tx_a_owned(tx_a);
+  ComPtr<NetIo> tx_b_owned(tx_b);
+
+  EtherAddr addr_a;
+  ea->GetAddr(&addr_a);
+  EXPECT_EQ(1, addr_a.bytes[5]);
+
+  // Contiguous packet (a MemBlkIo maps): the glue manufactures a fake
+  // skbuff — no copy.
+  uint8_t frame[64] = {2, 0, 0, 0, 0, 2, 2, 0, 0, 0, 0, 1, 0x08, 0x00};
+  for (size_t i = 14; i < sizeof(frame); ++i) {
+    frame[i] = static_cast<uint8_t>(i);
+  }
+  auto contiguous = MemBlkIo::CreateFrom(frame, sizeof(frame));
+  ASSERT_EQ(Error::kOk, tx_a_owned->Push(contiguous.get(), sizeof(frame)));
+  sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
+  ASSERT_EQ(1u, rx_b->frames.size());
+  EXPECT_EQ(0, memcmp(rx_b->frames[0].data(), frame, sizeof(frame)));
+  EXPECT_TRUE(rx_b->mapped_ok) << "received skbuff should be mappable";
+  EXPECT_EQ(1u, dev_a->xmit_stats().fake_skbuff);
+  EXPECT_EQ(0u, dev_a->xmit_stats().copied);
+
+  // Discontiguous packet (an mbuf chain): the glue must copy (§4.7.3).
+  net::MbufPool pool;
+  {
+    auto data = std::vector<uint8_t>(frame, frame + sizeof(frame));
+    net::MBuf* chain = pool.GetHeaderAligned(14);
+    memcpy(chain->data, frame, 14);
+    net::MBuf* body = pool.FromData(frame + 14, sizeof(frame) - 14);
+    chain->next = body;
+    chain->pkt_len = sizeof(frame);
+    auto io = net::MbufBufIo::Wrap(&pool, chain);
+    ASSERT_EQ(Error::kOk, tx_a_owned->Push(io.get(), sizeof(frame)));
+  }
+  sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
+  ASSERT_EQ(2u, rx_b->frames.size());
+  EXPECT_EQ(0, memcmp(rx_b->frames[1].data(), frame, sizeof(frame)));
+  EXPECT_EQ(1u, dev_a->xmit_stats().copied);
+  EXPECT_EQ(sizeof(frame), dev_a->xmit_stats().copied_bytes);
+
+  ASSERT_EQ(Error::kOk, ea->Close());
+  ASSERT_EQ(Error::kOk, eb->Close());
+}
+
+TEST_F(DriverTest, DeviceRegistryFindsByNameAndInterface) {
+  machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 1}}, 11);
+  machine_->AddDisk(256);
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk,
+            linuxdev::InitLinuxEthernet(fdev_, machine_.get(), &registry));
+  ASSERT_EQ(Error::kOk, linuxdev::InitLinuxIde(fdev_, machine_.get(), &registry));
+  ASSERT_EQ(Error::kOk,
+            freebsddev::InitFreeBsdChar(fdev_, machine_.get(), &registry));
+  EXPECT_EQ(4u, registry.count());  // eth0, hda, console, sio0
+
+  EXPECT_EQ(1u, registry.LookupByInterface(EtherDev::kIid).size());
+  EXPECT_EQ(1u, registry.LookupByInterface(BlkIo::kIid).size());
+  EXPECT_EQ(2u, registry.LookupByInterface(CharStream::kIid).size());
+
+  auto hda = registry.LookupByName("hda");
+  ASSERT_TRUE(hda);
+  DeviceInfo info;
+  ASSERT_EQ(Error::kOk, hda->GetInfo(&info));
+  EXPECT_STREQ("linux", info.vendor);
+  auto console = registry.LookupByName("console");
+  ASSERT_TRUE(console);
+  ASSERT_EQ(Error::kOk, console->GetInfo(&info));
+  EXPECT_STREQ("freebsd", info.vendor);  // both donors coexist (§3.6)
+}
+
+TEST_F(DriverTest, IdeDriverReadsAndWritesThroughBlkIo) {
+  DiskHw* disk = machine_->AddDisk(2048);
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk, linuxdev::InitLinuxIde(fdev_, machine_.get(), &registry));
+  auto device = registry.LookupByName("hda");
+  ASSERT_TRUE(device);
+  ComPtr<BlkIo> blkio = ComPtr<BlkIo>::FromQuery(device.get());
+  ASSERT_TRUE(blkio);
+  EXPECT_EQ(512u, blkio->GetBlockSize());
+  off_t64 size = 0;
+  ASSERT_EQ(Error::kOk, blkio->GetSize(&size));
+  EXPECT_EQ(2048u * 512, size);
+
+  bool done = false;
+  sim_.Spawn("io", [&] {
+    // Unaligned write crossing sectors (exercises read-modify-write).
+    uint8_t data[1500];
+    for (size_t i = 0; i < sizeof(data); ++i) {
+      data[i] = static_cast<uint8_t>(i * 11);
+    }
+    size_t actual = 0;
+    ASSERT_EQ(Error::kOk, blkio->Write(data, 100, sizeof(data), &actual));
+    EXPECT_EQ(sizeof(data), actual);
+
+    uint8_t readback[1500] = {};
+    ASSERT_EQ(Error::kOk, blkio->Read(readback, 100, sizeof(readback), &actual));
+    EXPECT_EQ(sizeof(readback), actual);
+    EXPECT_EQ(0, memcmp(data, readback, sizeof(data)));
+    done = true;
+  });
+  ASSERT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
+  EXPECT_TRUE(done);
+  EXPECT_GT(disk->reads_completed() + disk->writes_completed(), 4u);
+}
+
+TEST_F(DriverTest, FilesystemRunsOnTheIdeDriver) {
+  // §4.2.2's dynamic binding, end to end: mkfs + mount the filesystem
+  // component on the encapsulated IDE driver's BlkIo.
+  machine_->AddDisk(16 * 1024 * 1024 / 512);
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk, linuxdev::InitLinuxIde(fdev_, machine_.get(), &registry));
+  auto device = registry.LookupByName("hda");
+  ComPtr<BlkIo> blkio = ComPtr<BlkIo>::FromQuery(device.get());
+  ASSERT_TRUE(blkio);
+
+  sim_.Spawn("fs", [&] {
+    ASSERT_EQ(Error::kOk, fs::Mkfs(blkio.get()));
+    FileSystem* raw = nullptr;
+    ASSERT_EQ(Error::kOk, fs::Offs::Mount(blkio.get(), &raw));
+    ComPtr<FileSystem> fs(raw);
+    ComPtr<Dir> root;
+    ASSERT_EQ(Error::kOk, fs->GetRoot(root.Receive()));
+    ComPtr<File> f;
+    ASSERT_EQ(Error::kOk, root->Create("on-disk", 0644, f.Receive()));
+    size_t actual = 0;
+    ASSERT_EQ(Error::kOk, f->Write("through the driver", 0, 18, &actual));
+    f.Reset();
+    root.Reset();
+    ASSERT_EQ(Error::kOk, fs->Unmount());
+    fs::FsckReport report = fs::Fsck(blkio.get());
+    EXPECT_TRUE(report.consistent);
+    EXPECT_TRUE(report.was_clean);
+  });
+  ASSERT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
+}
+
+TEST_F(DriverTest, BsdTtyBlocksUntilInput) {
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk,
+            freebsddev::InitFreeBsdChar(fdev_, machine_.get(), &registry));
+  auto console = registry.LookupByName("console");
+  ComPtr<CharStream> tty = ComPtr<CharStream>::FromQuery(console.get());
+  ASSERT_TRUE(tty);
+
+  std::string received;
+  sim_.Spawn("reader", [&] {
+    char buf[32];
+    size_t actual = 0;
+    ASSERT_EQ(Error::kOk, tty->Read(buf, sizeof(buf), &actual));
+    received.assign(buf, actual);
+  });
+  // Input arrives later; the reader must be blocked until then.
+  sim_.clock().ScheduleAfter(kNsPerMs, [&] {
+    machine_->console_uart().InjectRx("typed", 5);
+  });
+  ASSERT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
+  EXPECT_EQ("typed", received);
+
+  // Output goes straight to the UART.
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, tty->Write("echo", 4, &actual));
+  EXPECT_EQ("echo", machine_->console_uart().TakeOutput());
+}
+
+TEST_F(DriverTest, ClistQueuesArbitraryBytes) {
+  freebsddev::Clist clist(fdev_);
+  EXPECT_EQ(-1, clist.Getc());
+  for (int i = 0; i < 300; ++i) {  // spans multiple cblocks
+    ASSERT_TRUE(clist.Putc(static_cast<uint8_t>(i)));
+  }
+  EXPECT_EQ(300u, clist.count());
+  EXPECT_GE(clist.cblocks_allocated(), 4u);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(i & 0xff, clist.Getc());
+  }
+  EXPECT_EQ(-1, clist.Getc());
+}
+
+}  // namespace
+}  // namespace oskit

@@ -1,0 +1,92 @@
+// Program-loading tests: SXF build/parse/load round trips and corrupt-image
+// rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/exec/sxf.h"
+
+namespace oskit::exec {
+namespace {
+
+std::vector<uint8_t> Bytes(const char* s) {
+  return std::vector<uint8_t>(s, s + strlen(s));
+}
+
+TEST(SxfTest, BuildParseLoadRoundTrip) {
+  std::vector<BuildSegment> segments;
+  segments.push_back({SegmentType::kCode, /*mem_offset=*/0, /*mem_size=*/0,
+                      Bytes("CODECODE")});
+  segments.push_back({SegmentType::kData, /*mem_offset=*/0x100, /*mem_size=*/0x20,
+                      Bytes("data")});
+  segments.push_back({SegmentType::kBss, /*mem_offset=*/0x200, /*mem_size=*/0x80, {}});
+  std::vector<uint8_t> image = Build(/*entry=*/4, segments);
+
+  ImageInfo info;
+  ASSERT_EQ(Error::kOk, Parse(image.data(), image.size(), &info));
+  EXPECT_EQ(4u, info.entry);
+  EXPECT_EQ(0x280u, info.mem_size);
+  ASSERT_EQ(3u, info.segments.size());
+  EXPECT_EQ(SegmentType::kCode, info.segments[0].type);
+  EXPECT_EQ(8u, info.segments[0].file_size);
+
+  std::vector<uint8_t> memory(info.mem_size, 0xff);
+  ASSERT_EQ(Error::kOk, Load(image.data(), image.size(), memory.data(),
+                             memory.size(), &info));
+  EXPECT_EQ(0, memcmp(memory.data(), "CODECODE", 8));
+  EXPECT_EQ(0, memcmp(memory.data() + 0x100, "data", 4));
+  // The data tail and the whole bss are zeroed.
+  for (size_t i = 0x104; i < 0x120; ++i) {
+    EXPECT_EQ(0, memory[i]);
+  }
+  for (size_t i = 0x200; i < 0x280; ++i) {
+    EXPECT_EQ(0, memory[i]);
+  }
+}
+
+TEST(SxfTest, ChecksumCatchesBitFlips) {
+  std::vector<uint8_t> image = Build(0, {{SegmentType::kCode, 0, 0, Bytes("abcd")}});
+  ImageInfo info;
+  ASSERT_EQ(Error::kOk, Parse(image.data(), image.size(), &info));
+  // Flip one payload bit.
+  image.back() ^= 0x01;
+  EXPECT_EQ(Error::kCorrupt, Parse(image.data(), image.size(), &info));
+}
+
+TEST(SxfTest, RejectsBadMagicAndTruncation) {
+  std::vector<uint8_t> image = Build(0, {{SegmentType::kCode, 0, 0, Bytes("abcd")}});
+  ImageInfo info;
+  std::vector<uint8_t> bad = image;
+  bad[0] ^= 0xff;
+  EXPECT_EQ(Error::kCorrupt, Parse(bad.data(), bad.size(), &info));
+  EXPECT_EQ(Error::kCorrupt, Parse(image.data(), 10, &info));
+  EXPECT_EQ(Error::kCorrupt, Parse(image.data(), image.size() - 2, &info));
+}
+
+TEST(SxfTest, RejectsOverlappingSegments) {
+  std::vector<BuildSegment> segments;
+  segments.push_back({SegmentType::kData, 0x00, 0x100, Bytes("one")});
+  segments.push_back({SegmentType::kData, 0x80, 0x100, Bytes("two")});  // overlaps
+  std::vector<uint8_t> image = Build(0, segments);
+  ImageInfo info;
+  EXPECT_EQ(Error::kCorrupt, Parse(image.data(), image.size(), &info));
+}
+
+TEST(SxfTest, RejectsEntryOutsideImage) {
+  std::vector<uint8_t> image = Build(0x9999, {{SegmentType::kCode, 0, 0, Bytes("x")}});
+  ImageInfo info;
+  EXPECT_EQ(Error::kCorrupt, Parse(image.data(), image.size(), &info));
+}
+
+TEST(SxfTest, LoadRefusesSmallMemory) {
+  std::vector<uint8_t> image =
+      Build(0, {{SegmentType::kBss, 0, 4096, {}}});
+  ImageInfo info;
+  uint8_t tiny[64];
+  EXPECT_EQ(Error::kNoMem, Load(image.data(), image.size(), tiny, sizeof(tiny), &info));
+}
+
+}  // namespace
+}  // namespace oskit::exec

@@ -1,0 +1,492 @@
+// Filesystem tests (§3.8): mkfs/mount, file and directory operations, large
+// files through double indirection, fsck after everything, the security
+// wrapper, and a randomized property test against an in-memory model.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/com/memblkio.h"
+#include "src/fs/ffs.h"
+#include "src/fs/fsck.h"
+#include "src/fs/secure.h"
+
+namespace oskit::fs {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = MemBlkIo::Create(16 * 1024 * 1024, 512);
+    ASSERT_EQ(Error::kOk, Mkfs(disk_.get()));
+    FileSystem* raw = nullptr;
+    ASSERT_EQ(Error::kOk, Offs::Mount(disk_.get(), &raw));
+    fs_ = ComPtr<FileSystem>(raw);
+    ASSERT_EQ(Error::kOk, fs_->GetRoot(root_.Receive()));
+  }
+
+  void Remount() {
+    root_.Reset();
+    ASSERT_EQ(Error::kOk, fs_->Unmount());
+    fs_.Reset();
+    FileSystem* raw = nullptr;
+    ASSERT_EQ(Error::kOk, Offs::Mount(disk_.get(), &raw));
+    fs_ = ComPtr<FileSystem>(raw);
+    ASSERT_EQ(Error::kOk, fs_->GetRoot(root_.Receive()));
+  }
+
+  void ExpectFsckClean() {
+    root_.Reset();
+    ASSERT_EQ(Error::kOk, fs_->Unmount());
+    FsckReport report = Fsck(disk_.get());
+    EXPECT_TRUE(report.superblock_valid);
+    EXPECT_TRUE(report.was_clean);
+    for (const std::string& p : report.problems) {
+      ADD_FAILURE() << "fsck: " << p;
+    }
+    fs_.Reset();
+    FileSystem* raw = nullptr;
+    ASSERT_EQ(Error::kOk, Offs::Mount(disk_.get(), &raw));
+    fs_ = ComPtr<FileSystem>(raw);
+    ASSERT_EQ(Error::kOk, fs_->GetRoot(root_.Receive()));
+  }
+
+  ComPtr<MemBlkIo> disk_;
+  ComPtr<FileSystem> fs_;
+  ComPtr<Dir> root_;
+};
+
+TEST_F(FsTest, FreshFilesystemPassesFsck) { ExpectFsckClean(); }
+
+TEST_F(FsTest, CreateWriteReadPersistsAcrossRemount) {
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("hello.txt", 0644, f.Receive()));
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, f->Write("persistent data", 0, 15, &actual));
+  EXPECT_EQ(15u, actual);
+  f.Reset();
+  Remount();
+  ASSERT_EQ(Error::kOk, root_->Lookup("hello.txt", f.Receive()));
+  char buf[32] = {};
+  ASSERT_EQ(Error::kOk, f->Read(buf, 0, sizeof(buf), &actual));
+  EXPECT_EQ(15u, actual);
+  EXPECT_STREQ("persistent data", buf);
+  f.Reset();
+  ExpectFsckClean();
+}
+
+TEST_F(FsTest, LargeFileThroughDoubleIndirection) {
+  // Past 10 direct (40 KB) and 1024 single-indirect blocks (4 MB): write
+  // ~4.5 MB so the double-indirect path runs.
+  constexpr size_t kSize = 4608 * 1024 + 12345;
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("big", 0644, f.Receive()));
+  std::vector<uint8_t> chunk(64 * 1024);
+  size_t written = 0;
+  uint32_t x = 1;
+  while (written < kSize) {
+    size_t n = chunk.size() < kSize - written ? chunk.size() : kSize - written;
+    for (size_t i = 0; i < n; ++i) {
+      x = x * 1664525 + 1013904223;
+      chunk[i] = static_cast<uint8_t>(x >> 24);
+    }
+    size_t actual = 0;
+    ASSERT_EQ(Error::kOk, f->Write(chunk.data(), written, n, &actual));
+    ASSERT_EQ(n, actual);
+    written += n;
+  }
+  FileStat st;
+  f->GetStat(&st);
+  EXPECT_EQ(kSize, st.size);
+
+  // Verify the whole stream.
+  x = 1;
+  std::vector<uint8_t> readback(64 * 1024);
+  size_t offset = 0;
+  while (offset < kSize) {
+    size_t n = readback.size() < kSize - offset ? readback.size() : kSize - offset;
+    size_t actual = 0;
+    ASSERT_EQ(Error::kOk, f->Read(readback.data(), offset, n, &actual));
+    ASSERT_EQ(n, actual);
+    for (size_t i = 0; i < n; ++i) {
+      x = x * 1664525 + 1013904223;
+      ASSERT_EQ(static_cast<uint8_t>(x >> 24), readback[i])
+          << "at offset " << offset + i;
+    }
+    offset += n;
+  }
+  f.Reset();
+  ExpectFsckClean();
+}
+
+TEST_F(FsTest, TruncateReleasesBlocks) {
+  FsStat before;
+  fs_->StatFs(&before);
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("trunc", 0644, f.Receive()));
+  std::vector<uint8_t> data(1024 * 1024, 0xcd);
+  size_t actual;
+  ASSERT_EQ(Error::kOk, f->Write(data.data(), 0, data.size(), &actual));
+  FsStat mid;
+  fs_->StatFs(&mid);
+  EXPECT_LT(mid.free_blocks, before.free_blocks);
+  ASSERT_EQ(Error::kOk, f->SetSize(100));
+  FsStat after;
+  fs_->StatFs(&after);
+  EXPECT_GT(after.free_blocks, mid.free_blocks);
+  // Shrink-then-grow reads zeros in the regrown region.
+  ASSERT_EQ(Error::kOk, f->SetSize(8192));
+  uint8_t buf[200];
+  ASSERT_EQ(Error::kOk, f->Read(buf, 50, 200, &actual));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(0xcd, buf[i]);  // first 100 bytes survive
+  }
+  for (int i = 50; i < 200; ++i) {
+    EXPECT_EQ(0, buf[i]) << "stale data after truncate at " << i;
+  }
+  f.Reset();
+  ExpectFsckClean();
+}
+
+TEST_F(FsTest, DirectoryTreeAndRename) {
+  ASSERT_EQ(Error::kOk, root_->Mkdir("a", 0755));
+  ComPtr<File> af;
+  ASSERT_EQ(Error::kOk, root_->Lookup("a", af.Receive()));
+  ComPtr<Dir> a = ComPtr<Dir>::FromQuery(af.get());
+  ASSERT_EQ(Error::kOk, a->Mkdir("b", 0755));
+  ComPtr<File> bf;
+  ASSERT_EQ(Error::kOk, a->Lookup("b", bf.Receive()));
+  ComPtr<Dir> b = ComPtr<Dir>::FromQuery(bf.get());
+
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, b->Create("deep", 0644, f.Receive()));
+  size_t actual;
+  f->Write("abc", 0, 3, &actual);
+
+  // Move the whole "b" subtree up to the root.
+  ASSERT_EQ(Error::kOk, a->Rename("b", root_.get(), "b-moved"));
+  EXPECT_EQ(Error::kNoEnt, a->Lookup("b", f.Receive()));
+  ComPtr<File> moved;
+  ASSERT_EQ(Error::kOk, root_->Lookup("b-moved", moved.Receive()));
+  ComPtr<Dir> moved_dir = ComPtr<Dir>::FromQuery(moved.get());
+  ASSERT_EQ(Error::kOk, moved_dir->Lookup("deep", f.Receive()));
+
+  // ".." inside the moved directory points at the new parent (the root).
+  ComPtr<File> dotdot;
+  ASSERT_EQ(Error::kOk, moved_dir->Lookup("..", dotdot.Receive()));
+  FileStat dd_stat;
+  FileStat root_stat;
+  dotdot->GetStat(&dd_stat);
+  root_->GetStat(&root_stat);
+  EXPECT_EQ(root_stat.ino, dd_stat.ino);
+
+  a.Reset();
+  af.Reset();
+  b.Reset();
+  bf.Reset();
+  f.Reset();
+  moved.Reset();
+  moved_dir.Reset();
+  dotdot.Reset();
+  ExpectFsckClean();
+}
+
+TEST_F(FsTest, UnlinkReleasesInodeAndBlocks) {
+  FsStat before;
+  fs_->StatFs(&before);
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("victim", 0644, f.Receive()));
+  std::vector<uint8_t> data(100 * 1024, 1);
+  size_t actual;
+  f->Write(data.data(), 0, data.size(), &actual);
+  f.Reset();
+  ASSERT_EQ(Error::kOk, root_->Unlink("victim"));
+  FsStat after;
+  fs_->StatFs(&after);
+  EXPECT_EQ(before.free_blocks, after.free_blocks);
+  EXPECT_EQ(before.free_inodes, after.free_inodes);
+  ExpectFsckClean();
+}
+
+TEST_F(FsTest, CrashWithoutSyncIsDetectedByFsck) {
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("dirty", 0644, f.Receive()));
+  size_t actual;
+  f->Write("unsynced", 0, 8, &actual);
+  // "Crash": drop everything without Unmount/Sync.  The on-disk clean flag
+  // was cleared at mount time, so fsck must notice.
+  f.Reset();
+  root_.Reset();
+  fs_.Reset();
+  FsckReport report = Fsck(disk_.get());
+  EXPECT_TRUE(report.superblock_valid);
+  EXPECT_FALSE(report.was_clean);
+}
+
+TEST_F(FsTest, SyncMakesCrashConsistent) {
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("synced", 0644, f.Receive()));
+  size_t actual;
+  f->Write("durable", 0, 7, &actual);
+  ASSERT_EQ(Error::kOk, fs_->Sync());
+  // Crash after sync: data must be intact on remount even though the clean
+  // flag says "was mounted".
+  f.Reset();
+  root_.Reset();
+  fs_.Reset();
+  FsckReport report = Fsck(disk_.get());
+  EXPECT_FALSE(report.was_clean);
+  EXPECT_TRUE(report.consistent) << (report.problems.empty()
+                                         ? ""
+                                         : report.problems[0]);
+  FileSystem* raw = nullptr;
+  ASSERT_EQ(Error::kOk, Offs::Mount(disk_.get(), &raw));
+  ComPtr<FileSystem> fs2(raw);
+  ComPtr<Dir> root2;
+  ASSERT_EQ(Error::kOk, fs2->GetRoot(root2.Receive()));
+  ASSERT_EQ(Error::kOk, root2->Lookup("synced", f.Receive()));
+  char buf[8] = {};
+  ASSERT_EQ(Error::kOk, f->Read(buf, 0, 7, &actual));
+  EXPECT_STREQ("durable", buf);
+}
+
+TEST_F(FsTest, OutOfSpaceIsReportedNotCorrupting) {
+  // Fill the disk, expect kNoSpace, then verify consistency.
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("filler", 0644, f.Receive()));
+  std::vector<uint8_t> chunk(256 * 1024, 0xaa);
+  uint64_t offset = 0;
+  Error err = Error::kOk;
+  for (int i = 0; i < 200; ++i) {
+    size_t actual = 0;
+    err = f->Write(chunk.data(), offset, chunk.size(), &actual);
+    offset += actual;
+    if (!Ok(err)) {
+      break;
+    }
+  }
+  EXPECT_EQ(Error::kNoSpace, err);
+  f.Reset();
+  ASSERT_EQ(Error::kOk, root_->Unlink("filler"));
+  ExpectFsckClean();
+}
+
+// The secure fileserver experiment (§3.8): per-component permission checks.
+TEST_F(FsTest, SecurityWrapperEnforcesPermissions) {
+  // Root creates a world-readable file and a private one.
+  ComPtr<File> pub;
+  ASSERT_EQ(Error::kOk, root_->Create("public", 0644, pub.Receive()));
+  size_t actual;
+  pub->Write("open", 0, 4, &actual);
+  ComPtr<File> priv;
+  ASSERT_EQ(Error::kOk, root_->Create("private", 0600, priv.Receive()));
+  priv->Write("secret", 0, 6, &actual);
+
+  UnixFsPolicy policy;
+  Credentials alice{.uid = 1000, .gid = 1000};
+  ComPtr<Dir> secure_root = MakeSecureDir(root_, &policy, alice);
+
+  // Readable file: lookup + read succeed.
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, secure_root->Lookup("public", f.Receive()));
+  char buf[8] = {};
+  ASSERT_EQ(Error::kOk, f->Read(buf, 0, 4, &actual));
+  EXPECT_STREQ("open", buf);
+  // But writing 0644-owned-by-root is denied for alice.
+  EXPECT_EQ(Error::kAccess, f->Write("x", 0, 1, &actual));
+
+  // Private file: lookup succeeds (directory is 0755) but reading is denied.
+  ComPtr<File> s;
+  ASSERT_EQ(Error::kOk, secure_root->Lookup("private", s.Receive()));
+  EXPECT_EQ(Error::kAccess, s->Read(buf, 0, 6, &actual));
+
+  // Creating in the root (0755, owned by uid 0) is denied too.
+  ComPtr<File> nf;
+  EXPECT_EQ(Error::kAccess, secure_root->Create("mine", 0644, nf.Receive()));
+
+  // The superuser passes everything.
+  Credentials su{.superuser = true};
+  ComPtr<Dir> su_root = MakeSecureDir(root_, &policy, su);
+  ASSERT_EQ(Error::kOk, su_root->Create("made-by-su", 0644, nf.Receive()));
+  EXPECT_GT(policy.checks_performed(), 4u);
+  EXPECT_GT(policy.denials(), 2u);
+}
+
+TEST_F(FsTest, RenameIntoOwnSubtreeIsRefused) {
+  // "mv a a/b/a" must fail with EINVAL, not detach a cycle from the tree.
+  ASSERT_EQ(Error::kOk, root_->Mkdir("a", 0755));
+  ComPtr<File> af;
+  ASSERT_EQ(Error::kOk, root_->Lookup("a", af.Receive()));
+  ComPtr<Dir> a = ComPtr<Dir>::FromQuery(af.get());
+  ASSERT_EQ(Error::kOk, a->Mkdir("b", 0755));
+  ComPtr<File> bf;
+  ASSERT_EQ(Error::kOk, a->Lookup("b", bf.Receive()));
+  ComPtr<Dir> b = ComPtr<Dir>::FromQuery(bf.get());
+
+  EXPECT_EQ(Error::kInval, root_->Rename("a", b.get(), "a"));
+  EXPECT_EQ(Error::kInval, root_->Rename("a", a.get(), "self"));
+  // Everything still reachable and consistent.
+  ComPtr<File> check;
+  ASSERT_EQ(Error::kOk, root_->Lookup("a", check.Receive()));
+  a.Reset();
+  af.Reset();
+  b.Reset();
+  bf.Reset();
+  check.Reset();
+  ExpectFsckClean();
+}
+
+TEST_F(FsTest, ReadDirEnumeratesEntries) {
+  ASSERT_EQ(Error::kOk, root_->Mkdir("sub", 0755));
+  for (char c = 'p'; c <= 't'; ++c) {
+    char name[8] = {'f', '_', c, 0};
+    ComPtr<File> f;
+    ASSERT_EQ(Error::kOk, root_->Create(name, 0644, f.Receive()));
+  }
+  uint64_t offset = 0;
+  DirEntry entries[3];
+  size_t total = 0;
+  bool saw_dot = false;
+  bool saw_sub = false;
+  for (;;) {
+    size_t count = 0;
+    ASSERT_EQ(Error::kOk, root_->ReadDir(&offset, entries, 3, &count));
+    if (count == 0) {
+      break;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      ++total;
+      saw_dot |= strcmp(entries[i].name, ".") == 0;
+      if (strcmp(entries[i].name, "sub") == 0) {
+        saw_sub = true;
+        EXPECT_EQ(FileType::kDirectory, entries[i].type);
+      }
+    }
+  }
+  // ".", "..", "sub", f_p..f_t = 8 entries.
+  EXPECT_EQ(8u, total);
+  EXPECT_TRUE(saw_dot);
+  EXPECT_TRUE(saw_sub);
+}
+
+// Randomized ops cross-checked against an in-memory model, fsck at the end.
+class FsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FsPropertyTest, RandomOpsMatchModelAndFsck) {
+  auto disk = MemBlkIo::Create(8 * 1024 * 1024, 512);
+  ASSERT_EQ(Error::kOk, Mkfs(disk.get()));
+  FileSystem* raw = nullptr;
+  ASSERT_EQ(Error::kOk, Offs::Mount(disk.get(), &raw));
+  ComPtr<FileSystem> fs(raw);
+  ComPtr<Dir> root;
+  ASSERT_EQ(Error::kOk, fs->GetRoot(root.Receive()));
+
+  Rng rng(GetParam());
+  std::map<std::string, std::vector<uint8_t>> model;  // name -> contents
+
+  for (int step = 0; step < 300; ++step) {
+    int op = static_cast<int>(rng.Below(10));
+    char name[16];
+    snprintf(name, sizeof(name), "f%02d", static_cast<int>(rng.Below(20)));
+    if (op < 4) {
+      // Write (create if needed) at a random offset.
+      ComPtr<File> f;
+      Error err = root->Lookup(name, f.Receive());
+      if (err == Error::kNoEnt) {
+        ASSERT_EQ(Error::kOk, root->Create(name, 0644, f.Receive()));
+        model[name] = {};
+      } else {
+        ASSERT_EQ(Error::kOk, err);
+      }
+      size_t offset = rng.Below(8 * 1024);
+      size_t len = rng.Range(1, 4096);
+      std::vector<uint8_t> data(len);
+      for (auto& byte : data) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      size_t actual = 0;
+      ASSERT_EQ(Error::kOk, f->Write(data.data(), offset, len, &actual));
+      ASSERT_EQ(len, actual);
+      auto& contents = model[name];
+      if (contents.size() < offset + len) {
+        contents.resize(offset + len, 0);
+      }
+      memcpy(contents.data() + offset, data.data(), len);
+    } else if (op < 7) {
+      // Read back a random range and compare with the model.
+      auto it = model.begin();
+      if (model.empty()) {
+        continue;
+      }
+      std::advance(it, rng.Below(model.size()));
+      ComPtr<File> f;
+      ASSERT_EQ(Error::kOk, root->Lookup(it->first.c_str(), f.Receive()));
+      FileStat st;
+      ASSERT_EQ(Error::kOk, f->GetStat(&st));
+      ASSERT_EQ(it->second.size(), st.size);
+      if (st.size == 0) {
+        continue;
+      }
+      size_t offset = rng.Below(st.size);
+      size_t len = rng.Range(1, 2048);
+      std::vector<uint8_t> buf(len);
+      size_t actual = 0;
+      ASSERT_EQ(Error::kOk, f->Read(buf.data(), offset, len, &actual));
+      size_t expect = st.size - offset < len ? st.size - offset : len;
+      ASSERT_EQ(expect, actual);
+      ASSERT_EQ(0, memcmp(buf.data(), it->second.data() + offset, actual))
+          << "content divergence in " << it->first;
+    } else if (op < 8) {
+      // Truncate.
+      if (model.empty()) {
+        continue;
+      }
+      auto it = model.begin();
+      std::advance(it, rng.Below(model.size()));
+      ComPtr<File> f;
+      ASSERT_EQ(Error::kOk, root->Lookup(it->first.c_str(), f.Receive()));
+      size_t new_size = rng.Below(16 * 1024);
+      ASSERT_EQ(Error::kOk, f->SetSize(new_size));
+      it->second.resize(new_size, 0);
+    } else if (op < 9) {
+      // Unlink.
+      if (model.empty()) {
+        continue;
+      }
+      auto it = model.begin();
+      std::advance(it, rng.Below(model.size()));
+      ASSERT_EQ(Error::kOk, root->Unlink(it->first.c_str()));
+      model.erase(it);
+    } else {
+      // Sync (durability checkpoints mid-run).
+      ASSERT_EQ(Error::kOk, fs->Sync());
+    }
+  }
+
+  // Full verification of every file, then fsck.
+  for (const auto& [name, contents] : model) {
+    ComPtr<File> f;
+    ASSERT_EQ(Error::kOk, root->Lookup(name.c_str(), f.Receive()));
+    std::vector<uint8_t> buf(contents.size());
+    size_t actual = 0;
+    if (!contents.empty()) {
+      ASSERT_EQ(Error::kOk, f->Read(buf.data(), 0, buf.size(), &actual));
+      ASSERT_EQ(contents.size(), actual);
+      ASSERT_EQ(0, memcmp(buf.data(), contents.data(), contents.size()));
+    }
+  }
+  root.Reset();
+  ASSERT_EQ(Error::kOk, fs->Unmount());
+  FsckReport report = Fsck(disk.get());
+  EXPECT_TRUE(report.consistent) << (report.problems.empty() ? ""
+                                                             : report.problems[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsPropertyTest, ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace oskit::fs

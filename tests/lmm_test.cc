@@ -1,0 +1,243 @@
+// LMM unit and property tests (§3.3).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/lmm/lmm.h"
+
+namespace oskit {
+namespace {
+
+class LmmTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kArena = 1 << 20;
+
+  void SetUp() override {
+    arena_.resize(kArena);
+    base_ = arena_.data();
+    lmm_.AddRegion(&region_, base_, kArena, /*flags=*/0, /*priority=*/0);
+    lmm_.AddFree(base_, kArena);
+  }
+
+  std::vector<uint8_t> arena_;
+  uint8_t* base_ = nullptr;
+  Lmm lmm_;
+  LmmRegion region_;
+};
+
+TEST_F(LmmTest, AllocatesAndFreesEverything) {
+  size_t initial = lmm_.Avail(0);
+  EXPECT_EQ(kArena, initial);
+  void* a = lmm_.Alloc(1000, 0);
+  void* b = lmm_.Alloc(2000, 0);
+  ASSERT_NE(nullptr, a);
+  ASSERT_NE(nullptr, b);
+  EXPECT_NE(a, b);
+  lmm_.Free(a, 1000);
+  lmm_.Free(b, 2000);
+  EXPECT_EQ(initial, lmm_.Avail(0));
+  lmm_.AuditOrDie();
+}
+
+TEST_F(LmmTest, CoalescesAdjacentFrees) {
+  void* a = lmm_.Alloc(4096, 0);
+  void* b = lmm_.Alloc(4096, 0);
+  void* c = lmm_.Alloc(4096, 0);
+  ASSERT_NE(nullptr, c);
+  lmm_.Free(a, 4096);
+  lmm_.Free(c, 4096);
+  lmm_.Free(b, 4096);  // middle free must merge all three
+  lmm_.AuditOrDie();
+  // After full free the arena is one block again: a max-size alloc works.
+  void* all = lmm_.Alloc(kArena, 0);
+  EXPECT_NE(nullptr, all);
+  lmm_.Free(all, kArena);
+}
+
+TEST_F(LmmTest, AlignmentIsHonoured) {
+  for (unsigned bits = 4; bits <= 16; ++bits) {
+    void* p = lmm_.AllocAligned(100, 0, bits, 0);
+    ASSERT_NE(nullptr, p);
+    EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) & ((uintptr_t{1} << bits) - 1))
+        << "bits=" << bits;
+  }
+  lmm_.AuditOrDie();
+}
+
+TEST_F(LmmTest, AllocPageIsPageAligned) {
+  void* p = lmm_.AllocPage(0);
+  ASSERT_NE(nullptr, p);
+  EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) % kLmmPageSize);
+}
+
+TEST_F(LmmTest, AllocGenRespectsBounds) {
+  uintptr_t lo = reinterpret_cast<uintptr_t>(base_) + 64 * 1024;
+  void* p = lmm_.AllocGen(512, 0, 0, 0, lo, 8 * 1024);
+  ASSERT_NE(nullptr, p);
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  EXPECT_GE(addr, lo);
+  EXPECT_LE(addr + 512, lo + 8 * 1024);
+}
+
+TEST_F(LmmTest, FailsWhenExhausted) {
+  void* big = lmm_.Alloc(kArena, 0);
+  ASSERT_NE(nullptr, big);
+  EXPECT_EQ(nullptr, lmm_.Alloc(16, 0));
+  lmm_.Free(big, kArena);
+}
+
+TEST_F(LmmTest, RemoveFreeReservesRange) {
+  uint8_t* target = base_ + 128 * 1024;
+  lmm_.RemoveFree(target, 4096);
+  lmm_.AuditOrDie();
+  // Nothing allocated may intersect the reserved range.
+  for (int i = 0; i < 300; ++i) {
+    void* p = lmm_.Alloc(1024, 0);
+    if (p == nullptr) {
+      break;
+    }
+    auto* q = static_cast<uint8_t*>(p);
+    EXPECT_TRUE(q + 1024 <= target || q >= target + 4096);
+  }
+  // Give it back; full-size alloc becomes possible again after freeing all.
+  lmm_.AddFree(target, 4096);
+  lmm_.AuditOrDie();
+}
+
+TEST_F(LmmTest, FindFreeWalksBlocks) {
+  void* a = lmm_.Alloc(4096, 0);
+  (void)a;
+  uintptr_t cursor = 0;
+  size_t size = 0;
+  uint32_t flags = 0xdead;
+  ASSERT_TRUE(lmm_.FindFree(&cursor, &size, &flags));
+  EXPECT_GT(size, 0u);
+  EXPECT_EQ(0u, flags);
+  // Advancing past the block finds nothing more (single region, one block).
+  uintptr_t next = cursor + size;
+  EXPECT_FALSE(lmm_.FindFree(&next, &size, &flags));
+}
+
+// Typed regions: DMA-flagged requests must come from DMA regions, and
+// generic requests prefer the higher-priority region.
+TEST(LmmRegionsTest, FlagsAndPriorities) {
+  std::vector<uint8_t> arena(1 << 20);
+  Lmm lmm;
+  LmmRegion dma_region;
+  LmmRegion high_region;
+  uint8_t* dma_base = arena.data();
+  uint8_t* high_base = arena.data() + (1 << 19);
+  lmm.AddRegion(&dma_region, dma_base, 1 << 19, kLmmFlag16Mb, /*priority=*/10);
+  lmm.AddRegion(&high_region, high_base, 1 << 19, 0, /*priority=*/20);
+  lmm.AddFree(arena.data(), arena.size());
+
+  // Generic allocation comes from the high-priority (non-DMA) region.
+  void* generic = lmm.Alloc(4096, 0);
+  ASSERT_NE(nullptr, generic);
+  EXPECT_GE(static_cast<uint8_t*>(generic), high_base);
+
+  // DMA-constrained allocation only fits the DMA region.
+  void* dma = lmm.Alloc(4096, kLmmFlag16Mb);
+  ASSERT_NE(nullptr, dma);
+  EXPECT_LT(static_cast<uint8_t*>(dma), high_base);
+
+  EXPECT_EQ(lmm.Avail(kLmmFlag16Mb), (1u << 19) - 4096);
+  lmm.Free(generic, 4096);
+  lmm.Free(dma, 4096);
+  lmm.AuditOrDie();
+}
+
+TEST(LmmRegionsTest, AddFreeSplitsAcrossRegions) {
+  // One AddFree spanning two regions must land in both (the kernel support
+  // library hands the LMM all of physical memory in one call, §3.2).
+  std::vector<uint8_t> arena(64 * 1024);
+  Lmm lmm;
+  LmmRegion r1;
+  LmmRegion r2;
+  lmm.AddRegion(&r1, arena.data(), 32 * 1024, 1, 0);
+  lmm.AddRegion(&r2, arena.data() + 32 * 1024, 32 * 1024, 2, 0);
+  lmm.AddFree(arena.data(), arena.size());
+  EXPECT_EQ(32u * 1024, lmm.Avail(1));
+  EXPECT_EQ(32u * 1024, lmm.Avail(2));
+  lmm.AuditOrDie();
+}
+
+// Property test: random alloc/free interleaving against a shadow model.
+// Invariants (checked continuously): no allocation overlaps another, Avail
+// conservation, and AuditOrDie's internal structure checks.
+class LmmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LmmPropertyTest, RandomOpsPreserveInvariants) {
+  constexpr size_t kArena = 1 << 20;
+  std::vector<uint8_t> arena(kArena);
+  Lmm lmm;
+  LmmRegion region;
+  lmm.AddRegion(&region, arena.data(), kArena, 0, 0);
+  lmm.AddFree(arena.data(), kArena);
+
+  Rng rng(GetParam());
+  struct Block {
+    uint8_t* ptr;
+    size_t size;
+    uint8_t pattern;
+  };
+  std::vector<Block> live;
+  size_t outstanding = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    bool do_alloc = live.empty() || rng.Percent(55);
+    if (do_alloc) {
+      size_t size = rng.Range(1, 8192);
+      unsigned align_bits = static_cast<unsigned>(rng.Below(9));  // up to 256
+      void* p = align_bits == 0 ? lmm.Alloc(size, 0)
+                                : lmm.AllocAligned(size, 0, align_bits, 0);
+      if (p == nullptr) {
+        EXPECT_LT(lmm.Avail(0), kArena) << "alloc failed with full arena";
+        continue;
+      }
+      auto* bytes = static_cast<uint8_t*>(p);
+      ASSERT_GE(bytes, arena.data());
+      ASSERT_LE(bytes + size, arena.data() + kArena);
+      EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(p) &
+                        ((uintptr_t{1} << align_bits) - 1));
+      // Overlap check against every live block.
+      for (const Block& other : live) {
+        ASSERT_TRUE(bytes + size <= other.ptr || other.ptr + other.size <= bytes)
+            << "overlapping allocation";
+      }
+      uint8_t pattern = static_cast<uint8_t>(rng.Next());
+      memset(bytes, pattern, size);
+      live.push_back(Block{bytes, size, pattern});
+      outstanding += size;
+    } else {
+      size_t victim = rng.Below(live.size());
+      Block block = live[victim];
+      // Contents must be untouched by unrelated alloc/free activity.
+      for (size_t i = 0; i < block.size; ++i) {
+        ASSERT_EQ(block.pattern, block.ptr[i]) << "allocation clobbered";
+      }
+      lmm.Free(block.ptr, block.size);
+      outstanding -= block.size;
+      live[victim] = live.back();
+      live.pop_back();
+    }
+    if (step % 64 == 0) {
+      lmm.AuditOrDie();
+    }
+  }
+  for (const Block& block : live) {
+    lmm.Free(block.ptr, block.size);
+  }
+  lmm.AuditOrDie();
+  EXPECT_EQ(kArena, lmm.Avail(0)) << "memory leaked through the LMM";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LmmPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace oskit

@@ -1,0 +1,447 @@
+// Simulated-platform tests: clock, fibers, CPU trap/interrupt model, PIC,
+// PIT, UART, Ethernet wire (with fault injection), and the disk.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/machine/machine.h"
+
+namespace oskit {
+namespace {
+
+TEST(ClockTest, EventsRunInTimeThenFifoOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(100, [&] { order.push_back(2); });
+  clock.ScheduleAt(50, [&] { order.push_back(1); });
+  clock.ScheduleAt(100, [&] { order.push_back(3); });  // same time: FIFO
+  while (clock.RunOne()) {
+  }
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+  EXPECT_EQ(100u, clock.Now());
+}
+
+TEST(ClockTest, CancelPreventsExecution) {
+  SimClock clock;
+  int fired = 0;
+  auto id = clock.ScheduleAfter(10, [&] { ++fired; });
+  EXPECT_TRUE(clock.Cancel(id));
+  EXPECT_FALSE(clock.Cancel(id));  // already cancelled
+  while (clock.RunOne()) {
+  }
+  EXPECT_EQ(0, fired);
+}
+
+TEST(ClockTest, RunUntilAdvancesToDeadline) {
+  SimClock clock;
+  int fired = 0;
+  clock.ScheduleAt(500, [&] { ++fired; });
+  clock.ScheduleAt(1500, [&] { ++fired; });
+  clock.RunUntil(1000);
+  EXPECT_EQ(1, fired);
+  EXPECT_EQ(1000u, clock.Now());
+  EXPECT_TRUE(clock.HasPending());
+}
+
+TEST(ClockTest, EventsScheduledInsideEventsRun) {
+  SimClock clock;
+  int depth = 0;
+  clock.ScheduleAfter(1, [&] {
+    clock.ScheduleAfter(1, [&] { depth = 2; });
+    depth = 1;
+  });
+  while (clock.RunOne()) {
+  }
+  EXPECT_EQ(2, depth);
+}
+
+TEST(FiberTest, SpawnRunsToCompletion) {
+  Simulation sim;
+  bool ran = false;
+  sim.Spawn("t", [&] { ran = true; });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_TRUE(ran);
+}
+
+TEST(FiberTest, SleepForAdvancesSimTime) {
+  Simulation sim;
+  SimTime woke_at = 0;
+  sim.Spawn("sleeper", [&] {
+    sim.SleepFor(250);
+    woke_at = sim.clock().Now();
+  });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_EQ(250u, woke_at);
+}
+
+TEST(FiberTest, ManyFibersInterleaveDeterministically) {
+  Simulation sim;
+  std::string trace;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn("f", [&, i] {
+      for (int k = 0; k < 3; ++k) {
+        trace.push_back(static_cast<char>('a' + i));
+        sim.scheduler().YieldCurrent();
+      }
+    });
+  }
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_EQ("abcabcabc", trace);
+}
+
+TEST(FiberTest, DeadlockIsDetected) {
+  Simulation sim;
+  sim.Spawn("stuck", [&] { sim.scheduler().BlockCurrent(); });
+  EXPECT_EQ(Simulation::RunResult::kDeadlock, sim.Run());
+}
+
+TEST(FiberTest, BlockAndUnblockFromEvent) {
+  Simulation sim;
+  bool resumed = false;
+  Fiber* fiber = sim.Spawn("blocked", [&] {
+    sim.scheduler().BlockCurrent();
+    resumed = true;
+  });
+  sim.clock().ScheduleAfter(100, [&] { sim.scheduler().Unblock(fiber); });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_TRUE(resumed);
+}
+
+TEST(CpuTest, TrapDispatchesToHandlerWithFallbackChain) {
+  Cpu cpu;
+  int custom = 0;
+  int fallback = 0;
+  cpu.SetFallback(kTrapPageFault, [&](TrapFrame&) {
+    ++fallback;
+    return true;
+  });
+  // §6.2.4: a custom handler that declines traps it doesn't care about.
+  cpu.SetVector(kTrapPageFault, [&](TrapFrame& frame) {
+    if (frame.error_code == 0x42) {
+      ++custom;
+      return true;
+    }
+    return false;
+  });
+  cpu.RaiseTrap(kTrapPageFault, 0x42);
+  EXPECT_EQ(1, custom);
+  EXPECT_EQ(0, fallback);
+  cpu.RaiseTrap(kTrapPageFault, 0x1);
+  EXPECT_EQ(1, custom);
+  EXPECT_EQ(1, fallback);
+  EXPECT_EQ(2u, cpu.traps_dispatched());
+}
+
+TEST(CpuTest, InterruptsPendWhileDisabled) {
+  Cpu cpu;
+  int delivered = 0;
+  cpu.SetVector(kIrqBaseVector, [&](TrapFrame&) {
+    ++delivered;
+    return true;
+  });
+  cpu.RaiseInterrupt(kIrqBaseVector);
+  EXPECT_EQ(0, delivered);  // interrupts start disabled
+  cpu.EnableInterrupts();
+  EXPECT_EQ(1, delivered);
+  cpu.RaiseInterrupt(kIrqBaseVector);
+  EXPECT_EQ(2, delivered);
+}
+
+TEST(CpuTest, NoNestedInterrupts) {
+  Cpu cpu;
+  std::vector<int> order;
+  cpu.SetVector(kIrqBaseVector, [&](TrapFrame&) {
+    order.push_back(1);
+    // Raising another IRQ inside the handler must defer it.
+    cpu.RaiseInterrupt(kIrqBaseVector + 1);
+    order.push_back(2);
+    return true;
+  });
+  cpu.SetVector(kIrqBaseVector + 1, [&](TrapFrame&) {
+    order.push_back(3);
+    return true;
+  });
+  cpu.EnableInterrupts();
+  cpu.RaiseInterrupt(kIrqBaseVector);
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+}
+
+TEST(PicTest, MaskingLatchesAndUnmaskDelivers) {
+  Cpu cpu;
+  cpu.EnableInterrupts();
+  int delivered = 0;
+  cpu.SetVector(kIrqBaseVector + 5, [&](TrapFrame&) {
+    ++delivered;
+    return true;
+  });
+  Pic pic(&cpu);
+  pic.RaiseIrq(5);  // masked at reset: latched
+  EXPECT_EQ(0, delivered);
+  pic.Unmask(5);
+  EXPECT_EQ(1, delivered);  // pending edge delivered on unmask
+  pic.RaiseIrq(5);
+  EXPECT_EQ(2, delivered);
+  EXPECT_EQ(2u, pic.raised_count(5));
+}
+
+TEST(PitTest, PeriodicTicks) {
+  Simulation sim;
+  Machine::Config config;
+  Machine machine(&sim, config);
+  machine.cpu().EnableInterrupts();
+  int ticks = 0;
+  machine.cpu().SetVector(kIrqBaseVector + Pit::kIrq, [&](TrapFrame&) {
+    ++ticks;
+    return true;
+  });
+  machine.pic().Unmask(Pit::kIrq);
+  machine.pit().Start(100);  // 10 ms period
+  sim.clock().RunUntil(105 * kNsPerMs);
+  EXPECT_EQ(10, ticks);
+  machine.pit().Stop();
+  sim.clock().RunUntil(200 * kNsPerMs);
+  EXPECT_EQ(10, ticks);
+}
+
+TEST(UartTest, LoopbackBetweenPeers) {
+  Simulation sim;
+  Cpu cpu;
+  Pic pic(&cpu);
+  Uart a(&sim.clock(), &pic, 4);
+  Uart b(&sim.clock(), &pic, 3);
+  a.ConnectPeer(&b);
+  a.WriteByte('h');
+  a.WriteByte('i');
+  ASSERT_TRUE(b.RxReady());
+  EXPECT_EQ('h', b.ReadByte());
+  EXPECT_EQ('i', b.ReadByte());
+  EXPECT_FALSE(b.RxReady());
+  b.WriteByte('!');
+  EXPECT_EQ('!', a.ReadByte());
+}
+
+TEST(UartTest, UnconnectedCapturesOutput) {
+  Simulation sim;
+  Cpu cpu;
+  Pic pic(&cpu);
+  Uart uart(&sim.clock(), &pic);
+  uart.WriteByte('o');
+  uart.WriteByte('k');
+  EXPECT_EQ("ok", uart.TakeOutput());
+  EXPECT_EQ("", uart.TakeOutput());
+}
+
+TEST(UartTest, RxInterruptFires) {
+  Simulation sim;
+  Cpu cpu;
+  cpu.EnableInterrupts();
+  Pic pic(&cpu);
+  pic.Unmask(4);
+  int irqs = 0;
+  cpu.SetVector(kIrqBaseVector + 4, [&](TrapFrame&) {
+    ++irqs;
+    return true;
+  });
+  Uart uart(&sim.clock(), &pic, 4);
+  uart.EnableRxInterrupt(true);
+  uart.InjectRx("ab", 2);
+  EXPECT_EQ(2, irqs);
+}
+
+class WireFixture : public ::testing::Test {
+ protected:
+  struct Sink : WireEndpoint {
+    std::vector<std::vector<uint8_t>> frames;
+    void FrameArrived(const uint8_t* frame, size_t len) override {
+      frames.emplace_back(frame, frame + len);
+    }
+  };
+};
+
+TEST_F(WireFixture, DeliversToAllOtherEndpoints) {
+  SimClock clock;
+  EthernetWire wire(&clock, {});
+  Sink a;
+  Sink b;
+  Sink c;
+  wire.Attach(&a);
+  wire.Attach(&b);
+  wire.Attach(&c);
+  uint8_t frame[64] = {1, 2, 3};
+  wire.Transmit(&a, frame, sizeof(frame));
+  while (clock.RunOne()) {
+  }
+  EXPECT_EQ(0u, a.frames.size());  // no self-delivery
+  ASSERT_EQ(1u, b.frames.size());
+  ASSERT_EQ(1u, c.frames.size());
+  EXPECT_EQ(64u, b.frames[0].size());
+}
+
+TEST_F(WireFixture, BandwidthSerializesFrames) {
+  SimClock clock;
+  EthernetWire::Config config;
+  config.bits_per_second = 100 * 1000 * 1000;  // 100 Mbps
+  EthernetWire wire(&clock, config);
+  Sink rx;
+  Sink tx;
+  wire.Attach(&tx);
+  wire.Attach(&rx);
+  uint8_t frame[1250];  // 10000 bits -> 100 us at 100 Mbps
+  wire.Transmit(&tx, frame, sizeof(frame));
+  wire.Transmit(&tx, frame, sizeof(frame));
+  clock.RunUntil(150 * kNsPerUs);
+  EXPECT_EQ(1u, rx.frames.size());  // second still serializing
+  clock.RunUntil(250 * kNsPerUs);
+  EXPECT_EQ(2u, rx.frames.size());
+}
+
+TEST_F(WireFixture, LossDropsDeterministically) {
+  SimClock clock;
+  EthernetWire::Config config;
+  config.loss_percent = 50;
+  config.fault_seed = 99;
+  EthernetWire wire(&clock, config);
+  Sink tx;
+  Sink rx;
+  wire.Attach(&tx);
+  wire.Attach(&rx);
+  uint8_t frame[64] = {};
+  for (int i = 0; i < 100; ++i) {
+    wire.Transmit(&tx, frame, sizeof(frame));
+  }
+  while (clock.RunOne()) {
+  }
+  EXPECT_GT(rx.frames.size(), 25u);
+  EXPECT_LT(rx.frames.size(), 75u);
+  EXPECT_EQ(100u - rx.frames.size(), wire.frames_dropped());
+}
+
+TEST(NicTest, FiltersByDestinationMac) {
+  SimClock clock;
+  Simulation sim;
+  EthernetWire wire(&sim.clock(), {});
+  Cpu cpu;
+  Pic pic(&cpu);
+  EtherAddr mac_a{{2, 0, 0, 0, 0, 1}};
+  EtherAddr mac_b{{2, 0, 0, 0, 0, 2}};
+  NicHw nic_a(&wire, &pic, mac_a);
+  NicHw nic_b(&wire, &pic, mac_b);
+
+  uint8_t frame[60] = {};
+  memcpy(frame, mac_b.bytes, 6);  // dst = B
+  nic_a.TxStart(frame, sizeof(frame));
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_TRUE(nic_b.RxPending());
+  EXPECT_EQ(0u, nic_a.rx_frames());
+
+  // Broadcast reaches B too.
+  memset(frame, 0xff, 6);
+  nic_a.TxStart(frame, sizeof(frame));
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(2u, nic_b.rx_frames());
+
+  // Frame for someone else is ignored.
+  frame[5] = 0x77;
+  frame[0] = 2;
+  nic_a.TxStart(frame, sizeof(frame));
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(2u, nic_b.rx_frames());
+}
+
+TEST(NicTest, GatherTransmitMatchesFlat) {
+  SimClock clock;
+  Simulation sim;
+  EthernetWire wire(&sim.clock(), {});
+  Cpu cpu;
+  Pic pic(&cpu);
+  NicHw tx(&wire, &pic, EtherAddr{{2, 0, 0, 0, 0, 1}});
+  NicHw rx(&wire, &pic, EtherAddr{{2, 0, 0, 0, 0, 2}});
+  rx.SetPromiscuous(true);
+
+  uint8_t part1[14] = {2, 0, 0, 0, 0, 2, 2, 0, 0, 0, 0, 1, 0x08, 0x00};
+  uint8_t part2[46];
+  for (size_t i = 0; i < sizeof(part2); ++i) {
+    part2[i] = static_cast<uint8_t>(i);
+  }
+  const uint8_t* chunks[] = {part1, part2};
+  size_t lens[] = {sizeof(part1), sizeof(part2)};
+  tx.TxStartVec(chunks, lens, 2);
+  while (sim.clock().RunOne()) {
+  }
+  ASSERT_TRUE(rx.RxPending());
+  uint8_t buf[kEtherMaxFrame];
+  size_t n = rx.RxDequeue(buf);
+  ASSERT_EQ(60u, n);
+  EXPECT_EQ(0, memcmp(buf, part1, sizeof(part1)));
+  EXPECT_EQ(0, memcmp(buf + 14, part2, sizeof(part2)));
+}
+
+TEST(DiskTest, ReadWriteWithCompletionIrq) {
+  Simulation sim;
+  Machine::Config config;
+  Machine machine(&sim, config);
+  machine.cpu().EnableInterrupts();
+  DiskHw* disk = machine.AddDisk(128);
+  int completions = 0;
+  machine.cpu().SetVector(kIrqBaseVector + disk->irq(), [&](TrapFrame&) {
+    ++completions;
+    return true;
+  });
+  machine.pic().Unmask(disk->irq());
+
+  uint8_t write_buf[512];
+  for (size_t i = 0; i < sizeof(write_buf); ++i) {
+    write_buf[i] = static_cast<uint8_t>(i * 7);
+  }
+  disk->SubmitWrite(5, 1, write_buf);
+  EXPECT_TRUE(disk->Busy());
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(1, completions);
+  EXPECT_TRUE(disk->RequestDone());
+  EXPECT_EQ(Error::kOk, disk->RequestStatus());
+  disk->AckCompletion();
+
+  uint8_t read_buf[512] = {};
+  disk->SubmitRead(5, 1, read_buf);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(0, memcmp(write_buf, read_buf, 512));
+  EXPECT_EQ(2, completions);
+}
+
+TEST(DiskTest, OutOfRangeRequestFails) {
+  Simulation sim;
+  Machine machine(&sim, {});
+  machine.cpu().EnableInterrupts();
+  DiskHw* disk = machine.AddDisk(16);
+  machine.cpu().SetVector(kIrqBaseVector + disk->irq(),
+                          [](TrapFrame&) { return true; });
+  machine.pic().Unmask(disk->irq());
+  uint8_t buf[512];
+  disk->SubmitRead(100, 1, buf);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_TRUE(disk->RequestDone());
+  EXPECT_EQ(Error::kOutOfRange, disk->RequestStatus());
+}
+
+TEST(PhysMemTest, DmaReachability) {
+  PhysMem phys(32 * 1024 * 1024);
+  void* low = phys.PtrAt(1024 * 1024);
+  void* high = phys.PtrAt(20 * 1024 * 1024);
+  EXPECT_TRUE(phys.IsDmaReachable(low, 4096));
+  EXPECT_FALSE(phys.IsDmaReachable(high, 4096));
+  // Straddling the 16 MB boundary is not reachable.
+  void* edge = phys.PtrAt(16 * 1024 * 1024 - 100);
+  EXPECT_FALSE(phys.IsDmaReachable(edge, 4096));
+  EXPECT_EQ(20u * 1024 * 1024, phys.AddrOf(high));
+}
+
+}  // namespace
+}  // namespace oskit

@@ -1,0 +1,246 @@
+// mbuf chain tests (§4.4.3, §4.7.3): allocation, chain operations, external
+// storage sharing, and the BufIo glue's map-vs-copy behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/com/memblkio.h"
+#include "src/net/mbuf.h"
+#include "src/net/mbuf_bufio.h"
+
+namespace oskit::net {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint8_t seed = 1) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return v;
+}
+
+std::vector<uint8_t> Flatten(MbufPool& pool, const MBuf* m) {
+  std::vector<uint8_t> out(MbufPool::ChainLength(m));
+  pool.CopyData(m, 0, out.size(), out.data());
+  return out;
+}
+
+TEST(MbufTest, FromDataSplitsAcrossClusters) {
+  MbufPool pool;
+  auto data = Pattern(5000);
+  MBuf* m = pool.FromData(data.data(), data.size());
+  EXPECT_EQ(5000u, m->pkt_len);
+  EXPECT_GE(MbufPool::ChainCount(m), 3u);  // needs multiple clusters
+  EXPECT_EQ(data, Flatten(pool, m));
+  pool.FreeChain(m);
+  EXPECT_EQ(0u, pool.mbufs_out());
+  EXPECT_EQ(0u, pool.clusters_out());
+}
+
+TEST(MbufTest, PrependUsesHeadroomThenAllocates) {
+  MbufPool pool;
+  MBuf* m = pool.GetHeaderAligned(20);
+  size_t before = MbufPool::ChainCount(m);
+  m = pool.Prepend(m, 14);  // fits in the aligned head's leading space
+  EXPECT_EQ(before, MbufPool::ChainCount(m));
+  EXPECT_EQ(34u, m->pkt_len);
+
+  // A head with no room forces a new mbuf.
+  MBuf* tight = pool.Get();
+  tight->len = 10;
+  tight->pkt_len = 10;
+  MBuf* grown = pool.Prepend(tight, 14);
+  EXPECT_EQ(2u, MbufPool::ChainCount(grown));
+  pool.FreeChain(m);
+  pool.FreeChain(grown);
+}
+
+TEST(MbufTest, AppendFillsTailThenChains) {
+  MbufPool pool;
+  auto first = Pattern(100, 1);
+  MBuf* m = pool.FromData(first.data(), first.size());
+  auto second = Pattern(3000, 9);
+  pool.Append(m, second.data(), second.size());
+  EXPECT_EQ(3100u, m->pkt_len);
+  auto flat = Flatten(pool, m);
+  EXPECT_EQ(0, memcmp(flat.data(), first.data(), first.size()));
+  EXPECT_EQ(0, memcmp(flat.data() + 100, second.data(), second.size()));
+  pool.FreeChain(m);
+}
+
+TEST(MbufTest, PullupMakesHeaderContiguous) {
+  MbufPool pool;
+  // Build a chain whose first mbuf holds only 4 bytes.
+  auto part1 = Pattern(4, 1);
+  auto part2 = Pattern(60, 50);
+  MBuf* head = pool.FromData(part1.data(), part1.size());
+  MBuf* tail = pool.FromData(part2.data(), part2.size());
+  head->next = tail;
+  head->pkt_len = 64;
+
+  MBuf* pulled = pool.Pullup(head, 20);
+  ASSERT_NE(nullptr, pulled);
+  EXPECT_GE(pulled->len, 20u);
+  auto flat = Flatten(pool, pulled);
+  EXPECT_EQ(0, memcmp(flat.data(), part1.data(), 4));
+  EXPECT_EQ(0, memcmp(flat.data() + 4, part2.data(), 60));
+  EXPECT_EQ(64u, flat.size());
+
+  // Pullup beyond the packet frees the chain and fails.
+  EXPECT_EQ(nullptr, pool.Pullup(pulled, 1000));
+  EXPECT_EQ(0u, pool.mbufs_out());
+}
+
+TEST(MbufTest, TrimFrontAndTrimTo) {
+  MbufPool pool;
+  auto data = Pattern(1000);
+  MBuf* m = pool.FromData(data.data(), data.size());
+  m = pool.TrimFront(m, 300);
+  EXPECT_EQ(700u, m->pkt_len);
+  auto flat = Flatten(pool, m);
+  EXPECT_EQ(0, memcmp(flat.data(), data.data() + 300, 700));
+  pool.TrimTo(m, 100);
+  EXPECT_EQ(100u, m->pkt_len);
+  flat = Flatten(pool, m);
+  EXPECT_EQ(0, memcmp(flat.data(), data.data() + 300, 100));
+  pool.FreeChain(m);
+  EXPECT_EQ(0u, pool.mbufs_out());
+}
+
+TEST(MbufTest, CopyChainSharesExternalStorage) {
+  MbufPool pool;
+  auto data = Pattern(4000);
+  MBuf* m = pool.FromData(data.data(), data.size());
+  uint64_t clusters_before = pool.clusters_out();
+  MBuf* copy = pool.CopyChain(m, 100, 3000);
+  // No new clusters: the copy references the same external storage (this is
+  // why BSD transmit chains share the socket buffer's data, §5).
+  EXPECT_EQ(clusters_before, pool.clusters_out());
+  auto flat = Flatten(pool, copy);
+  ASSERT_EQ(3000u, flat.size());
+  EXPECT_EQ(0, memcmp(flat.data(), data.data() + 100, 3000));
+  pool.FreeChain(m);
+  // The shared clusters survive until the copy dies too.
+  flat = Flatten(pool, copy);
+  EXPECT_EQ(0, memcmp(flat.data(), data.data() + 100, 3000));
+  pool.FreeChain(copy);
+  EXPECT_EQ(0u, pool.clusters_out());
+}
+
+TEST(MbufBufIoTest, MapOnlyWorksWithinOneMbuf) {
+  MbufPool pool;
+  auto data = Pattern(3000);
+  MBuf* chain = pool.FromData(data.data(), data.size());
+  ASSERT_GE(MbufPool::ChainCount(chain), 2u);
+  size_t first_len = chain->len;
+  auto io = MbufBufIo::Wrap(&pool, chain);
+
+  void* addr = nullptr;
+  // Within the first mbuf: map succeeds.
+  ASSERT_EQ(Error::kOk, io->Map(&addr, 0, first_len));
+  EXPECT_EQ(0, memcmp(addr, data.data(), first_len));
+  ASSERT_EQ(Error::kOk, io->Unmap(addr, 0, first_len));
+  // Spanning the mbuf boundary: map fails, Read still works (§4.7.3).
+  EXPECT_EQ(Error::kNotImpl, io->Map(&addr, 0, first_len + 10));
+  std::vector<uint8_t> buf(first_len + 10);
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, io->Read(buf.data(), 0, buf.size(), &actual));
+  EXPECT_EQ(buf.size(), actual);
+  EXPECT_EQ(0, memcmp(buf.data(), data.data(), buf.size()));
+}
+
+TEST(MbufBufIoTest, ImportMapsContiguousForeignBuffers) {
+  MbufPool pool;
+  // A contiguous foreign packet (like an skbuff): zero-copy import.
+  auto data = Pattern(1200);
+  auto foreign = MemBlkIo::CreateFrom(data.data(), data.size());
+  MBuf* imported = MbufFromBufIo(&pool, foreign.get(), data.size());
+  ASSERT_NE(nullptr, imported);
+  EXPECT_EQ(1u, MbufPool::ChainCount(imported));
+  EXPECT_EQ(0u, pool.clusters_out());  // external reference, not a copy
+  EXPECT_EQ(2u, foreign->ref_count()); // the chain holds the foreign object
+  auto flat = Flatten(pool, imported);
+  EXPECT_EQ(data, flat);
+  pool.FreeChain(imported);
+  EXPECT_EQ(1u, foreign->ref_count());
+}
+
+TEST(MbufBufIoTest, ImportCopiesDiscontiguousForeignBuffers) {
+  MbufPool pool;
+  // A foreign packet that is itself an mbuf chain cannot be mapped whole,
+  // so the import copies (the reverse of the Table 1 transmit copy).
+  auto data = Pattern(3000);
+  MBuf* chain = pool.FromData(data.data(), data.size());
+  auto io = MbufBufIo::Wrap(&pool, chain);
+  MBuf* imported = MbufFromBufIo(&pool, io.get(), 3000);
+  ASSERT_NE(nullptr, imported);
+  auto flat = Flatten(pool, imported);
+  EXPECT_EQ(data, flat);
+  pool.FreeChain(imported);
+}
+
+// Property test: random chain-operation sequences preserve content
+// equivalence with a flat shadow vector.
+class MbufPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MbufPropertyTest, ChainOpsMatchShadow) {
+  MbufPool pool;
+  Rng rng(GetParam());
+  auto initial = Pattern(rng.Range(200, 2000));
+  std::vector<uint8_t> shadow = initial;
+  MBuf* m = pool.FromData(initial.data(), initial.size());
+
+  for (int step = 0; step < 100; ++step) {
+    switch (rng.Below(4)) {
+      case 0: {  // append
+        auto extra = Pattern(rng.Range(1, 500), static_cast<uint8_t>(rng.Next()));
+        pool.Append(m, extra.data(), extra.size());
+        shadow.insert(shadow.end(), extra.begin(), extra.end());
+        break;
+      }
+      case 1: {  // trim front
+        if (shadow.size() < 2) {
+          break;
+        }
+        size_t n = rng.Range(1, shadow.size() / 2);
+        m = pool.TrimFront(m, n);
+        shadow.erase(shadow.begin(), shadow.begin() + n);
+        break;
+      }
+      case 2: {  // trim to
+        size_t n = rng.Below(shadow.size() + 1);
+        pool.TrimTo(m, n);
+        shadow.resize(n);
+        if (shadow.empty()) {
+          // Re-seed so the test keeps going.
+          auto fresh = Pattern(64, static_cast<uint8_t>(step));
+          pool.Append(m, fresh.data(), fresh.size());
+          shadow.insert(shadow.end(), fresh.begin(), fresh.end());
+        }
+        break;
+      }
+      case 3: {  // pullup a prefix
+        size_t n = rng.Range(1, shadow.size() < MBuf::kDataSpace
+                                    ? shadow.size()
+                                    : MBuf::kDataSpace);
+        MBuf* pulled = pool.Pullup(m, n);
+        ASSERT_NE(nullptr, pulled);
+        m = pulled;
+        break;
+      }
+    }
+    ASSERT_EQ(shadow.size(), MbufPool::ChainLength(m));
+    ASSERT_EQ(shadow, Flatten(pool, m)) << "divergence at step " << step;
+  }
+  pool.FreeChain(m);
+  EXPECT_EQ(0u, pool.mbufs_out());
+  EXPECT_EQ(0u, pool.clusters_out());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbufPropertyTest, ::testing::Values(3, 17, 99, 123));
+
+}  // namespace
+}  // namespace oskit::net

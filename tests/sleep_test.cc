@@ -1,0 +1,97 @@
+// Sleep-record tests (§4.7.6): one-waiter semantics, wakeup latching, and
+// both stock client implementations (fiber parking and spinning).
+
+#include <gtest/gtest.h>
+
+#include "src/sleep/sleep_envs.h"
+
+namespace oskit {
+namespace {
+
+TEST(SleepTest, WakeupBeforeSleepIsLatched) {
+  Simulation sim;
+  FiberSleepEnv env(&sim);
+  SleepRecord record(&env);
+  record.Wakeup();  // nobody waiting: latch
+  bool returned = false;
+  sim.Spawn("sleeper", [&] {
+    record.Sleep();  // must return immediately
+    returned = true;
+  });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_TRUE(returned);
+}
+
+TEST(SleepTest, FiberEnvBlocksUntilWakeup) {
+  Simulation sim;
+  FiberSleepEnv env(&sim);
+  SleepRecord record(&env);
+  SimTime woke_at = 0;
+  sim.Spawn("sleeper", [&] {
+    record.Sleep();
+    woke_at = sim.clock().Now();
+  });
+  sim.clock().ScheduleAfter(1000, [&] { record.Wakeup(); });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_EQ(1000u, woke_at);
+}
+
+TEST(SleepTest, SpinEnvAdvancesSimulatedTime) {
+  // "In the OSKit's single-threaded example kernels, sleeping is implemented
+  // simply as a busy loop that spins on a one-bit field" — the spin must
+  // still let simulated hardware make progress.
+  Simulation sim;
+  SpinSleepEnv env(&sim);
+  SleepRecord record(&env);
+  bool woke = false;
+  sim.Spawn("spinner", [&] {
+    record.Sleep();
+    woke = true;
+  });
+  sim.clock().ScheduleAfter(10 * kNsPerUs, [&] { record.Wakeup(); });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_TRUE(woke);
+  EXPECT_GT(env.spins(), 0u);
+}
+
+TEST(SleepTest, RecordIsReusable) {
+  Simulation sim;
+  FiberSleepEnv env(&sim);
+  SleepRecord record(&env);
+  int wakeups_seen = 0;
+  sim.Spawn("sleeper", [&] {
+    for (int i = 0; i < 3; ++i) {
+      record.Sleep();
+      ++wakeups_seen;
+    }
+  });
+  sim.clock().ScheduleAfter(100, [&] { record.Wakeup(); });
+  sim.clock().ScheduleAfter(200, [&] { record.Wakeup(); });
+  sim.clock().ScheduleAfter(300, [&] { record.Wakeup(); });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_EQ(3, wakeups_seen);
+}
+
+TEST(SleepTest, RedundantWakeupsCollapse) {
+  Simulation sim;
+  FiberSleepEnv env(&sim);
+  SleepRecord record(&env);
+  int resumed = 0;
+  sim.Spawn("sleeper", [&] {
+    record.Sleep();
+    ++resumed;
+    // A second Sleep must block again (the double wakeup collapsed).
+    record.Sleep();
+    ++resumed;
+  });
+  sim.clock().ScheduleAfter(100, [&] {
+    record.Wakeup();
+    record.Wakeup();  // collapses into the first
+  });
+  sim.clock().ScheduleAfter(200, [&] { record.Wakeup(); });
+  EXPECT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+  EXPECT_EQ(2, resumed);
+}
+
+}  // namespace
+}  // namespace oskit

@@ -1,0 +1,315 @@
+// TCP state-machine edge cases on the BSD-idiom stack: teardown variants,
+// half-close semantics, zero-window persist probing, backlog limits, RST
+// behaviour, and the §6.2.10 clean-exit fix.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/libc/posix.h"
+#include "src/testbed/testbed.h"
+
+namespace oskit::testbed {
+namespace {
+
+constexpr uint16_t kPort = 6000;
+
+class TcpEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<World>();
+    world_->AddHost("a", NetConfig::kNativeBsd);
+    world_->AddHost("b", NetConfig::kNativeBsd);
+  }
+
+  Host& a() { return world_->host(0); }
+  Host& b() { return world_->host(1); }
+
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(TcpEdgeTest, HalfCloseStillDeliversDataTheOtherWay) {
+  // Client shuts down its write side, then continues READING: the server
+  // must see EOF yet still be able to send its response.
+  std::string client_got;
+  world_->sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    // Drain to EOF first.
+    char buf[64];
+    size_t n = 0;
+    std::string request;
+    while (Ok(conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+      request.append(buf, n);
+    }
+    EXPECT_EQ("QUERY", request);
+    // Now answer on the still-open other half.
+    size_t sent = 0;
+    ASSERT_EQ(Error::kOk, conn->Send("ANSWER", 6, &sent));
+    ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+  });
+  world_->sim().Spawn("client", [&] {
+    ComPtr<Socket> conn = b().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a().addr, kPort}));
+    size_t n = 0;
+    ASSERT_EQ(Error::kOk, conn->Send("QUERY", 5, &n));
+    ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+    char buf[64];
+    while (Ok(conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+      client_got.append(buf, n);
+    }
+  });
+  world_->RunToCompletion();
+  EXPECT_EQ("ANSWER", client_got);
+}
+
+TEST_F(TcpEdgeTest, SendAfterShutdownIsEPIPE) {
+  world_->sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    char buf[8];
+    size_t n;
+    while (Ok(conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+    }
+  });
+  world_->sim().Spawn("client", [&] {
+    ComPtr<Socket> conn = b().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a().addr, kPort}));
+    ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+    size_t n = 0;
+    EXPECT_EQ(Error::kPipe, conn->Send("x", 1, &n));
+  });
+  world_->RunToCompletion();
+}
+
+TEST_F(TcpEdgeTest, ZeroWindowPersistProbeRecovers) {
+  // The receiver stops reading until its window closes; the sender must
+  // stall, then resume via window updates / persist probing rather than
+  // deadlock or lose data.
+  constexpr size_t kTotal = 256 * 1024;  // far beyond the 32 KB window
+  size_t received = 0;
+  world_->sim().Spawn("lazy-receiver", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    // Let the sender fill our receive buffer completely.
+    world_->sim().SleepFor(3 * kNsPerSec);
+    std::vector<uint8_t> buf(8 * 1024);
+    size_t n = 0;
+    while (Ok(conn->Recv(buf.data(), buf.size(), &n)) && n > 0) {
+      received += n;
+      world_->sim().SleepFor(5 * kNsPerMs);  // keep draining slowly
+    }
+  });
+  world_->sim().Spawn("sender", [&] {
+    ComPtr<Socket> conn = b().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a().addr, kPort}));
+    std::vector<uint8_t> buf(16 * 1024, 0x77);
+    size_t sent = 0;
+    while (sent < kTotal) {
+      size_t n = 0;
+      ASSERT_EQ(Error::kOk, conn->Send(buf.data(), buf.size(), &n));
+      sent += n;
+    }
+    ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+  });
+  world_->RunToCompletion();
+  EXPECT_EQ(kTotal, received);
+}
+
+TEST_F(TcpEdgeTest, BacklogOverflowDropsSynsButServiceRecovers) {
+  // More simultaneous connectors than the listen backlog: the extras' SYNs
+  // are dropped (and retried); everyone eventually gets served.
+  constexpr int kClients = 6;
+  int served = 0;
+  bool listening = false;
+  world_->sim().Spawn("server", [&] {
+    // Warm the ARP caches first: otherwise the one-deep ARP pending queue
+    // (faithful BSD behaviour, see the UDP fragmentation test) would eat
+    // most of the simultaneous SYN burst before it reaches the wire and
+    // this test would measure ARP, not the listen backlog.
+    SimTime rtt = 0;
+    ASSERT_EQ(Error::kOk, a().stack->Ping(b().addr, kNsPerSec, &rtt));
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));  // tiny backlog
+    listening = true;
+    for (int i = 0; i < kClients; ++i) {
+      SockAddr peer;
+      ComPtr<Socket> conn;
+      ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+      size_t n = 0;
+      ASSERT_EQ(Error::kOk, conn->Send("ok", 2, &n));
+      ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+      ++served;
+      // Accept slowly so the queue backs up.
+      world_->sim().SleepFor(200 * kNsPerMs);
+    }
+  });
+  for (int c = 0; c < kClients; ++c) {
+    world_->sim().Spawn("client", [&, c] {
+      world_->sim().PollWait([&] { return listening; });
+      ComPtr<Socket> conn = b().MakeSocket(SockType::kStream);
+      ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a().addr, kPort}));
+      char buf[4];
+      size_t n = 0;
+      ASSERT_EQ(Error::kOk, conn->Recv(buf, sizeof(buf), &n));
+      EXPECT_EQ(2u, n);
+    });
+  }
+  world_->RunToCompletion();
+  EXPECT_EQ(kClients, served);
+  EXPECT_GT(b().stack->stats().tcp_retransmits, 0u);  // dropped SYNs retried
+}
+
+TEST_F(TcpEdgeTest, PeerResetSurfacesAsConnReset) {
+  world_->sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    Socket* conn_raw = nullptr;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, &conn_raw));
+    // Forge an abortive close: drop the connection state entirely, so the
+    // client's next data hits a fresh stack with no pcb -> RST.
+    // (Simplest honest way to provoke an RST with the public API: destroy
+    // the socket without reading, then have the client send into the void
+    // after TIME_WAIT-free teardown.)
+    conn_raw->Release();
+  });
+  world_->sim().Spawn("client", [&] {
+    ComPtr<Socket> conn = b().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a().addr, kPort}));
+    // Keep sending until the teardown/RST surfaces as an error or EOF.
+    std::vector<uint8_t> buf(1024, 1);
+    Error err = Error::kOk;
+    for (int i = 0; i < 200 && Ok(err); ++i) {
+      size_t n = 0;
+      err = conn->Send(buf.data(), buf.size(), &n);
+      world_->sim().SleepFor(10 * kNsPerMs);
+    }
+    EXPECT_FALSE(Ok(err));  // kConnReset or kPipe depending on timing
+  });
+  world_->RunToCompletion();
+}
+
+TEST_F(TcpEdgeTest, CleanExitSendsFinNotSilence) {
+  // The §6.2.10 fix: when a client "exits" (its PosixIo dies), its peers
+  // see an orderly EOF instead of hanging.
+  bool server_saw_eof = false;
+  world_->sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    char buf[16];
+    size_t n = 0;
+    ASSERT_EQ(Error::kOk, conn->Recv(buf, sizeof(buf), &n));
+    EXPECT_EQ(5u, n);
+    // The client exits without closing; we must still reach EOF.
+    ASSERT_EQ(Error::kOk, conn->Recv(buf, sizeof(buf), &n));
+    EXPECT_EQ(0u, n);
+    server_saw_eof = true;
+  });
+  world_->sim().Spawn("exiting-client", [&] {
+    libc::PosixIo posix;
+    posix.SetSocketCreator(b().socket_factory);
+    int fd = posix.Socket(SockDomain::kInet, SockType::kStream);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(0, posix.Connect(fd, SockAddr{a().addr, kPort}));
+    ASSERT_EQ(5, posix.Write(fd, "hello", 5));
+    // "exit": PosixIo's destructor runs CloseAll -> orderly FIN.
+  });
+  world_->RunToCompletion();
+  EXPECT_TRUE(server_saw_eof);
+}
+
+TEST_F(TcpEdgeTest, TwoConnectionsAreIndependent) {
+  // Two sockets between the same pair of hosts, opposite directions of
+  // dominant flow, must not interfere.
+  std::string got1;
+  std::string got2;
+  world_->sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(2));
+    for (int i = 0; i < 2; ++i) {
+      SockAddr peer;
+      ComPtr<Socket> conn;
+      ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+      // Echo one message per connection, tagged.
+      char buf[32];
+      size_t n = 0;
+      ASSERT_EQ(Error::kOk, conn->Recv(buf, sizeof(buf), &n));
+      std::string reply = std::string(buf, n) + "-reply";
+      size_t sent = 0;
+      ASSERT_EQ(Error::kOk, conn->Send(reply.data(), reply.size(), &sent));
+      ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+    }
+  });
+  auto client = [&](const char* tag, std::string* got) {
+    ComPtr<Socket> conn = b().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a().addr, kPort}));
+    size_t n = 0;
+    ASSERT_EQ(Error::kOk, conn->Send(tag, strlen(tag), &n));
+    char buf[32];
+    while (Ok(conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+      got->append(buf, n);
+    }
+  };
+  world_->sim().Spawn("c1", [&] { client("one", &got1); });
+  world_->sim().Spawn("c2", [&] { client("two", &got2); });
+  world_->RunToCompletion();
+  EXPECT_EQ("one-reply", got1);
+  EXPECT_EQ("two-reply", got2);
+}
+
+TEST_F(TcpEdgeTest, MssOptionIsNegotiatedDown) {
+  // A host configured with a smaller MSS must constrain the peer's
+  // segments via the SYN option.
+  world_->sim().Spawn("flow", [&] {
+    ComPtr<Socket> listener = a().MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    ComPtr<Socket> client = b().MakeSocket(SockType::kStream);
+    // Shrink the client pcb's MSS before connecting (open implementation:
+    // the pcb is reachable through the component).
+    auto* bsd = static_cast<net::BsdSocket*>(client.get());
+    bsd->tcp()->mss = 536;
+    ASSERT_EQ(Error::kOk, client->Connect(SockAddr{a().addr, kPort}));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    // Server -> client bulk; every segment must respect the learned MSS.
+    std::vector<uint8_t> buf(20000, 9);
+    size_t n = 0;
+    ASSERT_EQ(Error::kOk, conn->Send(buf.data(), buf.size(), &n));
+    ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+    size_t total = 0;
+    while (Ok(client->Recv(buf.data(), buf.size(), &n)) && n > 0) {
+      total += n;
+    }
+    EXPECT_EQ(20000u, total);
+    auto* server_pcb = static_cast<net::BsdSocket*>(conn.get())->tcp();
+    EXPECT_EQ(536u, server_pcb->mss);
+  });
+  world_->RunToCompletion();
+}
+
+}  // namespace
+}  // namespace oskit::testbed
