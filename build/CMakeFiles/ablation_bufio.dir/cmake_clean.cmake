@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bufio.dir/bench/ablation_bufio.cc.o"
+  "CMakeFiles/ablation_bufio.dir/bench/ablation_bufio.cc.o.d"
+  "bench/ablation_bufio"
+  "bench/ablation_bufio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bufio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_glue.dir/bench/ablation_glue.cc.o"
+  "CMakeFiles/ablation_glue.dir/bench/ablation_glue.cc.o.d"
+  "bench/ablation_glue"
+  "bench/ablation_glue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

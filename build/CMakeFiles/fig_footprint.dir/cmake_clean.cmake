@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_footprint.dir/bench/fig_footprint.cc.o"
+  "CMakeFiles/fig_footprint.dir/bench/fig_footprint.cc.o.d"
+  "bench/fig_footprint"
+  "bench/fig_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

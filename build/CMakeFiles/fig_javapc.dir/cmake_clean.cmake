@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_javapc.dir/bench/fig_javapc.cc.o"
+  "CMakeFiles/fig_javapc.dir/bench/fig_javapc.cc.o.d"
+  "bench/fig_javapc"
+  "bench/fig_javapc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_javapc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

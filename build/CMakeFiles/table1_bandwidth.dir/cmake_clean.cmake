@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bandwidth.dir/bench/table1_bandwidth.cc.o"
+  "CMakeFiles/table1_bandwidth.dir/bench/table1_bandwidth.cc.o.d"
+  "bench/table1_bandwidth"
+  "bench/table1_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

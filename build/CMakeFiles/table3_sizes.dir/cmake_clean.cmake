@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sizes.dir/bench/table3_sizes.cc.o"
+  "CMakeFiles/table3_sizes.dir/bench/table3_sizes.cc.o.d"
+  "bench/table3_sizes"
+  "bench/table3_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

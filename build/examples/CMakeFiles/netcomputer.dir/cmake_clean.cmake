@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcomputer.dir/netcomputer.cpp.o"
+  "CMakeFiles/netcomputer.dir/netcomputer.cpp.o.d"
+  "netcomputer"
+  "netcomputer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcomputer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

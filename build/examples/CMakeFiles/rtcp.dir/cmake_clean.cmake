@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtcp.dir/rtcp.cpp.o"
+  "CMakeFiles/rtcp.dir/rtcp.cpp.o.d"
+  "rtcp"
+  "rtcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttcp.dir/ttcp.cpp.o"
+  "CMakeFiles/ttcp.dir/ttcp.cpp.o.d"
+  "ttcp"
+  "ttcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

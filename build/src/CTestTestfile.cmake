@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("machine")
+subdirs("com")
+subdirs("lmm")
+subdirs("amm")
+subdirs("sleep")
+subdirs("boot")
+subdirs("kern")
+subdirs("libc")
+subdirs("memdebug")
+subdirs("diskpart")
+subdirs("fsread")
+subdirs("exec")
+subdirs("dev")
+subdirs("net")
+subdirs("fs")
+subdirs("vm")
+subdirs("testbed")

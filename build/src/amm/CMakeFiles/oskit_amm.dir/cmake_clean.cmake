@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_amm.dir/amm.cc.o"
+  "CMakeFiles/oskit_amm.dir/amm.cc.o.d"
+  "liboskit_amm.a"
+  "liboskit_amm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_amm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_base.dir/checksum.cc.o"
+  "CMakeFiles/oskit_base.dir/checksum.cc.o.d"
+  "CMakeFiles/oskit_base.dir/error.cc.o"
+  "CMakeFiles/oskit_base.dir/error.cc.o.d"
+  "CMakeFiles/oskit_base.dir/panic.cc.o"
+  "CMakeFiles/oskit_base.dir/panic.cc.o.d"
+  "liboskit_base.a"
+  "liboskit_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boot/memfs.cc" "src/boot/CMakeFiles/oskit_boot.dir/memfs.cc.o" "gcc" "src/boot/CMakeFiles/oskit_boot.dir/memfs.cc.o.d"
+  "/root/repo/src/boot/multiboot.cc" "src/boot/CMakeFiles/oskit_boot.dir/multiboot.cc.o" "gcc" "src/boot/CMakeFiles/oskit_boot.dir/multiboot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_boot.dir/memfs.cc.o"
+  "CMakeFiles/oskit_boot.dir/memfs.cc.o.d"
+  "CMakeFiles/oskit_boot.dir/multiboot.cc.o"
+  "CMakeFiles/oskit_boot.dir/multiboot.cc.o.d"
+  "liboskit_boot.a"
+  "liboskit_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

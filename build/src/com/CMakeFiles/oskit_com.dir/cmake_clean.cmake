@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_com.dir/memblkio.cc.o"
+  "CMakeFiles/oskit_com.dir/memblkio.cc.o.d"
+  "liboskit_com.a"
+  "liboskit_com.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_com.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_fdev.dir/fdev.cc.o"
+  "CMakeFiles/oskit_fdev.dir/fdev.cc.o.d"
+  "liboskit_fdev.a"
+  "liboskit_fdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_fdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

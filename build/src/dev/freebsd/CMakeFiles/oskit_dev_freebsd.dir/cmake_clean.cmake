@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_dev_freebsd.dir/freebsd_char.cc.o"
+  "CMakeFiles/oskit_dev_freebsd.dir/freebsd_char.cc.o.d"
+  "CMakeFiles/oskit_dev_freebsd.dir/freebsd_ether.cc.o"
+  "CMakeFiles/oskit_dev_freebsd.dir/freebsd_ether.cc.o.d"
+  "liboskit_dev_freebsd.a"
+  "liboskit_dev_freebsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_dev_freebsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

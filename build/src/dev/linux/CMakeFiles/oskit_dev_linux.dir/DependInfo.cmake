@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/linux/linux_ether.cc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/linux_ether.cc.o" "gcc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/linux_ether.cc.o.d"
+  "/root/repo/src/dev/linux/linux_glue.cc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/linux_glue.cc.o" "gcc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/linux_glue.cc.o.d"
+  "/root/repo/src/dev/linux/linux_ide.cc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/linux_ide.cc.o" "gcc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/linux_ide.cc.o.d"
+  "/root/repo/src/dev/linux/skbuff.cc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/skbuff.cc.o" "gcc" "src/dev/linux/CMakeFiles/oskit_dev_linux.dir/skbuff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/fdev/CMakeFiles/oskit_fdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/libc/CMakeFiles/oskit_libc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/oskit_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/oskit_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/lmm/CMakeFiles/oskit_lmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sleep/CMakeFiles/oskit_sleep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

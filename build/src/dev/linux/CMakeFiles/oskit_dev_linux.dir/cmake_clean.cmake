@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_dev_linux.dir/linux_ether.cc.o"
+  "CMakeFiles/oskit_dev_linux.dir/linux_ether.cc.o.d"
+  "CMakeFiles/oskit_dev_linux.dir/linux_glue.cc.o"
+  "CMakeFiles/oskit_dev_linux.dir/linux_glue.cc.o.d"
+  "CMakeFiles/oskit_dev_linux.dir/linux_ide.cc.o"
+  "CMakeFiles/oskit_dev_linux.dir/linux_ide.cc.o.d"
+  "CMakeFiles/oskit_dev_linux.dir/skbuff.cc.o"
+  "CMakeFiles/oskit_dev_linux.dir/skbuff.cc.o.d"
+  "liboskit_dev_linux.a"
+  "liboskit_dev_linux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_dev_linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

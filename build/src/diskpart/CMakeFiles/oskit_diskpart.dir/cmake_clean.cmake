@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_diskpart.dir/diskpart.cc.o"
+  "CMakeFiles/oskit_diskpart.dir/diskpart.cc.o.d"
+  "liboskit_diskpart.a"
+  "liboskit_diskpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_diskpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_exec.dir/sxf.cc.o"
+  "CMakeFiles/oskit_exec.dir/sxf.cc.o.d"
+  "liboskit_exec.a"
+  "liboskit_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

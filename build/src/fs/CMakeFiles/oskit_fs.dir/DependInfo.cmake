@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cache.cc" "src/fs/CMakeFiles/oskit_fs.dir/cache.cc.o" "gcc" "src/fs/CMakeFiles/oskit_fs.dir/cache.cc.o.d"
+  "/root/repo/src/fs/ffs.cc" "src/fs/CMakeFiles/oskit_fs.dir/ffs.cc.o" "gcc" "src/fs/CMakeFiles/oskit_fs.dir/ffs.cc.o.d"
+  "/root/repo/src/fs/ffs_com.cc" "src/fs/CMakeFiles/oskit_fs.dir/ffs_com.cc.o" "gcc" "src/fs/CMakeFiles/oskit_fs.dir/ffs_com.cc.o.d"
+  "/root/repo/src/fs/fsck.cc" "src/fs/CMakeFiles/oskit_fs.dir/fsck.cc.o" "gcc" "src/fs/CMakeFiles/oskit_fs.dir/fsck.cc.o.d"
+  "/root/repo/src/fs/secure.cc" "src/fs/CMakeFiles/oskit_fs.dir/secure.cc.o" "gcc" "src/fs/CMakeFiles/oskit_fs.dir/secure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/libc/CMakeFiles/oskit_libc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_fs.dir/cache.cc.o"
+  "CMakeFiles/oskit_fs.dir/cache.cc.o.d"
+  "CMakeFiles/oskit_fs.dir/ffs.cc.o"
+  "CMakeFiles/oskit_fs.dir/ffs.cc.o.d"
+  "CMakeFiles/oskit_fs.dir/ffs_com.cc.o"
+  "CMakeFiles/oskit_fs.dir/ffs_com.cc.o.d"
+  "CMakeFiles/oskit_fs.dir/fsck.cc.o"
+  "CMakeFiles/oskit_fs.dir/fsck.cc.o.d"
+  "CMakeFiles/oskit_fs.dir/secure.cc.o"
+  "CMakeFiles/oskit_fs.dir/secure.cc.o.d"
+  "liboskit_fs.a"
+  "liboskit_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_fsread.dir/fsread.cc.o"
+  "CMakeFiles/oskit_fsread.dir/fsread.cc.o.d"
+  "liboskit_fsread.a"
+  "liboskit_fsread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_fsread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

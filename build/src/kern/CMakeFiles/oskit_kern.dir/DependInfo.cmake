@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/gdb_stub.cc" "src/kern/CMakeFiles/oskit_kern.dir/gdb_stub.cc.o" "gcc" "src/kern/CMakeFiles/oskit_kern.dir/gdb_stub.cc.o.d"
+  "/root/repo/src/kern/kernel.cc" "src/kern/CMakeFiles/oskit_kern.dir/kernel.cc.o" "gcc" "src/kern/CMakeFiles/oskit_kern.dir/kernel.cc.o.d"
+  "/root/repo/src/kern/kmon.cc" "src/kern/CMakeFiles/oskit_kern.dir/kmon.cc.o" "gcc" "src/kern/CMakeFiles/oskit_kern.dir/kmon.cc.o.d"
+  "/root/repo/src/kern/paging.cc" "src/kern/CMakeFiles/oskit_kern.dir/paging.cc.o" "gcc" "src/kern/CMakeFiles/oskit_kern.dir/paging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/oskit_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/lmm/CMakeFiles/oskit_lmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sleep/CMakeFiles/oskit_sleep.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

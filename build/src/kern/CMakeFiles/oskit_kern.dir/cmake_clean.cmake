@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_kern.dir/gdb_stub.cc.o"
+  "CMakeFiles/oskit_kern.dir/gdb_stub.cc.o.d"
+  "CMakeFiles/oskit_kern.dir/kernel.cc.o"
+  "CMakeFiles/oskit_kern.dir/kernel.cc.o.d"
+  "CMakeFiles/oskit_kern.dir/kmon.cc.o"
+  "CMakeFiles/oskit_kern.dir/kmon.cc.o.d"
+  "CMakeFiles/oskit_kern.dir/paging.cc.o"
+  "CMakeFiles/oskit_kern.dir/paging.cc.o.d"
+  "liboskit_kern.a"
+  "liboskit_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

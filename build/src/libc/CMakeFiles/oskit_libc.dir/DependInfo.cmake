@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libc/format.cc" "src/libc/CMakeFiles/oskit_libc.dir/format.cc.o" "gcc" "src/libc/CMakeFiles/oskit_libc.dir/format.cc.o.d"
+  "/root/repo/src/libc/malloc.cc" "src/libc/CMakeFiles/oskit_libc.dir/malloc.cc.o" "gcc" "src/libc/CMakeFiles/oskit_libc.dir/malloc.cc.o.d"
+  "/root/repo/src/libc/posix.cc" "src/libc/CMakeFiles/oskit_libc.dir/posix.cc.o" "gcc" "src/libc/CMakeFiles/oskit_libc.dir/posix.cc.o.d"
+  "/root/repo/src/libc/quickalloc.cc" "src/libc/CMakeFiles/oskit_libc.dir/quickalloc.cc.o" "gcc" "src/libc/CMakeFiles/oskit_libc.dir/quickalloc.cc.o.d"
+  "/root/repo/src/libc/stdio.cc" "src/libc/CMakeFiles/oskit_libc.dir/stdio.cc.o" "gcc" "src/libc/CMakeFiles/oskit_libc.dir/stdio.cc.o.d"
+  "/root/repo/src/libc/string.cc" "src/libc/CMakeFiles/oskit_libc.dir/string.cc.o" "gcc" "src/libc/CMakeFiles/oskit_libc.dir/string.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

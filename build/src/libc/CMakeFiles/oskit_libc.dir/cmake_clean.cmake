@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_libc.dir/format.cc.o"
+  "CMakeFiles/oskit_libc.dir/format.cc.o.d"
+  "CMakeFiles/oskit_libc.dir/malloc.cc.o"
+  "CMakeFiles/oskit_libc.dir/malloc.cc.o.d"
+  "CMakeFiles/oskit_libc.dir/posix.cc.o"
+  "CMakeFiles/oskit_libc.dir/posix.cc.o.d"
+  "CMakeFiles/oskit_libc.dir/quickalloc.cc.o"
+  "CMakeFiles/oskit_libc.dir/quickalloc.cc.o.d"
+  "CMakeFiles/oskit_libc.dir/stdio.cc.o"
+  "CMakeFiles/oskit_libc.dir/stdio.cc.o.d"
+  "CMakeFiles/oskit_libc.dir/string.cc.o"
+  "CMakeFiles/oskit_libc.dir/string.cc.o.d"
+  "liboskit_libc.a"
+  "liboskit_libc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_libc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_lmm.dir/lmm.cc.o"
+  "CMakeFiles/oskit_lmm.dir/lmm.cc.o.d"
+  "liboskit_lmm.a"
+  "liboskit_lmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_lmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/clock.cc" "src/machine/CMakeFiles/oskit_machine.dir/clock.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/clock.cc.o.d"
+  "/root/repo/src/machine/cpu.cc" "src/machine/CMakeFiles/oskit_machine.dir/cpu.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/cpu.cc.o.d"
+  "/root/repo/src/machine/disk.cc" "src/machine/CMakeFiles/oskit_machine.dir/disk.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/disk.cc.o.d"
+  "/root/repo/src/machine/fiber.cc" "src/machine/CMakeFiles/oskit_machine.dir/fiber.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/fiber.cc.o.d"
+  "/root/repo/src/machine/nic.cc" "src/machine/CMakeFiles/oskit_machine.dir/nic.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/nic.cc.o.d"
+  "/root/repo/src/machine/pic.cc" "src/machine/CMakeFiles/oskit_machine.dir/pic.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/pic.cc.o.d"
+  "/root/repo/src/machine/pit.cc" "src/machine/CMakeFiles/oskit_machine.dir/pit.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/pit.cc.o.d"
+  "/root/repo/src/machine/simulation.cc" "src/machine/CMakeFiles/oskit_machine.dir/simulation.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/simulation.cc.o.d"
+  "/root/repo/src/machine/uart.cc" "src/machine/CMakeFiles/oskit_machine.dir/uart.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/uart.cc.o.d"
+  "/root/repo/src/machine/wire.cc" "src/machine/CMakeFiles/oskit_machine.dir/wire.cc.o" "gcc" "src/machine/CMakeFiles/oskit_machine.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_machine.dir/clock.cc.o"
+  "CMakeFiles/oskit_machine.dir/clock.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/cpu.cc.o"
+  "CMakeFiles/oskit_machine.dir/cpu.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/disk.cc.o"
+  "CMakeFiles/oskit_machine.dir/disk.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/fiber.cc.o"
+  "CMakeFiles/oskit_machine.dir/fiber.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/nic.cc.o"
+  "CMakeFiles/oskit_machine.dir/nic.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/pic.cc.o"
+  "CMakeFiles/oskit_machine.dir/pic.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/pit.cc.o"
+  "CMakeFiles/oskit_machine.dir/pit.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/simulation.cc.o"
+  "CMakeFiles/oskit_machine.dir/simulation.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/uart.cc.o"
+  "CMakeFiles/oskit_machine.dir/uart.cc.o.d"
+  "CMakeFiles/oskit_machine.dir/wire.cc.o"
+  "CMakeFiles/oskit_machine.dir/wire.cc.o.d"
+  "liboskit_machine.a"
+  "liboskit_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_memdebug.dir/memdebug.cc.o"
+  "CMakeFiles/oskit_memdebug.dir/memdebug.cc.o.d"
+  "liboskit_memdebug.a"
+  "liboskit_memdebug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_memdebug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/oskit_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/oskit_net.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/ip.cc.o.d"
+  "/root/repo/src/net/mbuf.cc" "src/net/CMakeFiles/oskit_net.dir/mbuf.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/mbuf.cc.o.d"
+  "/root/repo/src/net/mbuf_bufio.cc" "src/net/CMakeFiles/oskit_net.dir/mbuf_bufio.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/mbuf_bufio.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/oskit_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/socket.cc.o.d"
+  "/root/repo/src/net/stack.cc" "src/net/CMakeFiles/oskit_net.dir/stack.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/stack.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/oskit_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/oskit_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/udp.cc.o.d"
+  "/root/repo/src/net/wire_formats.cc" "src/net/CMakeFiles/oskit_net.dir/wire_formats.cc.o" "gcc" "src/net/CMakeFiles/oskit_net.dir/wire_formats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sleep/CMakeFiles/oskit_sleep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

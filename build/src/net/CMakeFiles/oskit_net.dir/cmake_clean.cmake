@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_net.dir/icmp.cc.o"
+  "CMakeFiles/oskit_net.dir/icmp.cc.o.d"
+  "CMakeFiles/oskit_net.dir/ip.cc.o"
+  "CMakeFiles/oskit_net.dir/ip.cc.o.d"
+  "CMakeFiles/oskit_net.dir/mbuf.cc.o"
+  "CMakeFiles/oskit_net.dir/mbuf.cc.o.d"
+  "CMakeFiles/oskit_net.dir/mbuf_bufio.cc.o"
+  "CMakeFiles/oskit_net.dir/mbuf_bufio.cc.o.d"
+  "CMakeFiles/oskit_net.dir/socket.cc.o"
+  "CMakeFiles/oskit_net.dir/socket.cc.o.d"
+  "CMakeFiles/oskit_net.dir/stack.cc.o"
+  "CMakeFiles/oskit_net.dir/stack.cc.o.d"
+  "CMakeFiles/oskit_net.dir/tcp.cc.o"
+  "CMakeFiles/oskit_net.dir/tcp.cc.o.d"
+  "CMakeFiles/oskit_net.dir/udp.cc.o"
+  "CMakeFiles/oskit_net.dir/udp.cc.o.d"
+  "CMakeFiles/oskit_net.dir/wire_formats.cc.o"
+  "CMakeFiles/oskit_net.dir/wire_formats.cc.o.d"
+  "liboskit_net.a"
+  "liboskit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

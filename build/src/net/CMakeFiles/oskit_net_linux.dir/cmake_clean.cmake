@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_net_linux.dir/linux/linux_stack.cc.o"
+  "CMakeFiles/oskit_net_linux.dir/linux/linux_stack.cc.o.d"
+  "liboskit_net_linux.a"
+  "liboskit_net_linux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_net_linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

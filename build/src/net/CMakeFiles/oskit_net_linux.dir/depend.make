@@ -1,0 +1,2 @@
+# Empty dependencies file for oskit_net_linux.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_sleep.dir/sleep.cc.o"
+  "CMakeFiles/oskit_sleep.dir/sleep.cc.o.d"
+  "liboskit_sleep.a"
+  "liboskit_sleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_sleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_testbed.dir/testbed.cc.o"
+  "CMakeFiles/oskit_testbed.dir/testbed.cc.o.d"
+  "CMakeFiles/oskit_testbed.dir/ttcp.cc.o"
+  "CMakeFiles/oskit_testbed.dir/ttcp.cc.o.d"
+  "liboskit_testbed.a"
+  "liboskit_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

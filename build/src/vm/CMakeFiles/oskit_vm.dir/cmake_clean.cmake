@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_vm.dir/asm.cc.o"
+  "CMakeFiles/oskit_vm.dir/asm.cc.o.d"
+  "CMakeFiles/oskit_vm.dir/kvm.cc.o"
+  "CMakeFiles/oskit_vm.dir/kvm.cc.o.d"
+  "liboskit_vm.a"
+  "liboskit_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

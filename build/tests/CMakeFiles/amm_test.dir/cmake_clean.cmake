@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_test.dir/amm_test.cc.o"
+  "CMakeFiles/amm_test.dir/amm_test.cc.o.d"
+  "amm_test"
+  "amm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_chain_test.dir/boot_chain_test.cc.o"
+  "CMakeFiles/boot_chain_test.dir/boot_chain_test.cc.o.d"
+  "boot_chain_test"
+  "boot_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

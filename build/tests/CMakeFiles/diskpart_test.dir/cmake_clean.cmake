@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskpart_test.dir/diskpart_test.cc.o"
+  "CMakeFiles/diskpart_test.dir/diskpart_test.cc.o.d"
+  "diskpart_test"
+  "diskpart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskpart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

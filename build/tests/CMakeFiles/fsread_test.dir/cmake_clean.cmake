@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsread_test.dir/fsread_test.cc.o"
+  "CMakeFiles/fsread_test.dir/fsread_test.cc.o.d"
+  "fsread_test"
+  "fsread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmm_test.dir/lmm_test.cc.o"
+  "CMakeFiles/lmm_test.dir/lmm_test.cc.o.d"
+  "lmm_test"
+  "lmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdebug_test.dir/memdebug_test.cc.o"
+  "CMakeFiles/memdebug_test.dir/memdebug_test.cc.o.d"
+  "memdebug_test"
+  "memdebug_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdebug_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_integration_test.dir/net_integration_test.cc.o"
+  "CMakeFiles/net_integration_test.dir/net_integration_test.cc.o.d"
+  "net_integration_test"
+  "net_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

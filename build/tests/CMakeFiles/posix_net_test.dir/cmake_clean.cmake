@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_net_test.dir/posix_net_test.cc.o"
+  "CMakeFiles/posix_net_test.dir/posix_net_test.cc.o.d"
+  "posix_net_test"
+  "posix_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sleep_test.dir/sleep_test.cc.o"
+  "CMakeFiles/sleep_test.dir/sleep_test.cc.o.d"
+  "sleep_test"
+  "sleep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sleep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
