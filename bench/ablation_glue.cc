@@ -16,8 +16,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "src/testbed/ttcp.h"
+#include "src/trace/trace.h"
 
 using namespace oskit;
 using namespace oskit::testbed;
@@ -33,7 +35,20 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t round_trips = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 20000;
+  // Usage: ablation_glue [round_trips] [--json <path>]
+  uint64_t round_trips = 20000;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: ablation_glue [round_trips] [--json <path>]\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      round_trips = std::strtoull(argv[i], nullptr, 0);
+    }
+  }
   size_t blocks = 8192;
 
   const Variant kVariants[] = {
@@ -46,6 +61,7 @@ int main(int argc, char** argv) {
   double mbps[3];
   uint64_t rx_copied[3] = {};
   uint64_t tx_copied[3] = {};
+  trace::CounterSnapshot sender_snapshot;
   std::printf("Glue-overhead ablation (%llu round trips, %zu x 4096-byte "
               "blocks, infinite wire)\n\n",
               static_cast<unsigned long long>(round_trips), blocks);
@@ -74,8 +90,14 @@ int main(int argc, char** argv) {
       }
       TtcpResult t = RunTtcp(world, 4096, blocks);
       mbps[i] = t.MbitPerSecWall();
-      rx_copied[i] = world.host(0).stack->stats().rx_glue_copied_bytes;
+      // Both sides of the copy ledger come from the per-host counter
+      // registries, not from bench-local bookkeeping.
+      rx_copied[i] =
+          world.host(0).trace.registry.Value("net.rx.glue_copied_bytes");
       tx_copied[i] = t.sender_glue_copied_bytes;
+      if (kVariants[i].config == NetConfig::kOskit && !kVariants[i].force_rx_copy) {
+        sender_snapshot = world.host(1).trace.registry.Snapshot();
+      }
     }
     std::printf("%-34s | %14.2f | %16.0f\n", kVariants[i].name, rtt_us[i], mbps[i]);
   }
@@ -104,5 +126,49 @@ int main(int argc, char** argv) {
               "%.0f MB transfer (%.0f%% slower receiver) —\n  the mechanism "
               "that keeps Table 1's OSKit receive row at FreeBSD levels.\n",
               extra_s * 1e3, total_bytes / 1048576.0, 100.0 * extra_s / base_s);
+
+  // Registry snapshot of the variant-B sender: the same numbers kmon's
+  // `counters` command would show on that machine.
+  std::printf("\nVariant B sender counter snapshot (trace registry):\n");
+  for (const auto& [name, value] : sender_snapshot) {
+    if (value != 0 && (name.rfind("glue.", 0) == 0 || name.rfind("net.tcp.", 0) == 0 ||
+                       name.rfind("machine.", 0) == 0)) {
+      std::printf("  %-32s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ablation_glue\",\n");
+    std::fprintf(f, "  \"round_trips\": %llu,\n  \"blocks\": %zu,\n",
+                 static_cast<unsigned long long>(round_trips), blocks);
+    std::fprintf(f, "  \"variants\": [\n");
+    for (int i = 0; i < 3; ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"rtcp_us_per_rt\": %.3f, "
+                   "\"ttcp_mbps\": %.1f, \"tx_glue_copied_bytes\": %llu, "
+                   "\"rx_glue_copied_bytes\": %llu}%s\n",
+                   kVariants[i].name, rtt_us[i], mbps[i],
+                   static_cast<unsigned long long>(tx_copied[i]),
+                   static_cast<unsigned long long>(rx_copied[i]),
+                   i < 2 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"sender_counters\": {\n");
+    size_t remaining = sender_snapshot.size();
+    for (const auto& [name, value] : sender_snapshot) {
+      --remaining;
+      std::fprintf(f, "    \"%s\": %llu%s\n", name.c_str(),
+                   static_cast<unsigned long long>(value),
+                   remaining != 0 ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
   return 0;
 }

@@ -236,7 +236,7 @@ RunResult RunVmTransfer(bool vm_sends, size_t total_bytes, bool wire_limited) {
   auto devices = b.registry.LookupByInterface(EtherDev::kIid);
   if (!devices.empty()) {
     auto* dev = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
-    result.glue_copied_bytes = dev->xmit_stats().copied_bytes;
+    result.glue_copied_bytes = dev->counters().copied_bytes;
   }
   return result;
 }

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Runs every benchmark binary with smoke-sized arguments and emits a
+# machine-readable counter report (BENCH_trace.json, produced by
+# ablation_glue from the sender's trace counter registry).
+#
+# Usage: bench/run_all.sh [build_dir]
+#   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
+#
+# Exit status is non-zero if any benchmark exits non-zero or any shape
+# check prints FAIL.
+
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+LOG_DIR="$BENCH_DIR/logs"
+JSON_OUT="$BENCH_DIR/BENCH_trace.json"
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "error: $BENCH_DIR not found — build the project first" >&2
+    exit 2
+fi
+mkdir -p "$LOG_DIR"
+
+status=0
+
+run_bench() {
+    name="$1"
+    shift
+    if [ ! -x "$BENCH_DIR/$name" ]; then
+        echo "SKIP $name (not built)"
+        return
+    fi
+    log="$LOG_DIR/$name.txt"
+    echo "RUN  $name $*"
+    if ! "$BENCH_DIR/$name" "$@" > "$log" 2>&1; then
+        echo "FAIL $name (non-zero exit, see $log)"
+        status=1
+        return
+    fi
+    if grep -q "FAIL" "$log"; then
+        echo "FAIL $name (shape check failed, see $log)"
+        status=1
+        return
+    fi
+    echo "PASS $name"
+}
+
+# Smoke sizes: enough traffic for every shape check, seconds per bench.
+run_bench table1_bandwidth 2048
+run_bench table2_latency   4000
+run_bench table3_sizes
+run_bench fig_footprint
+run_bench fig_javapc
+run_bench ablation_glue    4000 --json "$JSON_OUT"
+run_bench ablation_alloc
+run_bench ablation_bufio
+
+if [ -f "$JSON_OUT" ]; then
+    echo "wrote $JSON_OUT"
+else
+    echo "FAIL BENCH_trace.json was not produced"
+    status=1
+fi
+
+exit $status

@@ -35,6 +35,7 @@
 #include <cstdlib>
 
 #include "src/testbed/ttcp.h"
+#include "src/trace/trace.h"
 
 using namespace oskit;
 using namespace oskit::testbed;
@@ -53,6 +54,7 @@ struct Cell {
   double model_send_mbps;   // bottlenecked by the sending machine
   double model_recv_mbps;   // bottlenecked by the receiving machine
   uint64_t glue_copied_bytes;
+  trace::CounterSnapshot sender_counters;  // sender registry after the run
 };
 
 Cell RunConfig(NetConfig config, size_t blocks, size_t block_size) {
@@ -76,7 +78,10 @@ Cell RunConfig(NetConfig config, size_t blocks, size_t block_size) {
     world.AddHost("tx", config);
     sw = RunTtcp(world, block_size, blocks);
     cell.wall_mbps = sw.MbitPerSecWall();
+    cell.sender_counters = world.host(1).trace.registry.Snapshot();
   }
+  // Registry-sourced (TtcpResult fills this from the sender host's trace
+  // counter registry, "glue.send.copied_bytes").
   cell.glue_copied_bytes = sw.sender_glue_copied_bytes;
 
   // ---- The P6-scaled model, fed by the transfer's real counters ----
@@ -167,5 +172,20 @@ int main(int argc, char** argv) {
   std::printf("  wire:    every configuration saturates the simulated 100 "
               "Mbps wire: %.1f / %.1f / %.1f Mbit/s\n",
               cells[0].sim_mbps, cells[1].sim_mbps, cells[2].sim_mbps);
+
+  // Sender-side counter snapshots from each configuration's trace registry
+  // (the same numbers kmon's `counters` command shows on that machine).
+  std::printf("\nSender counter snapshots (trace registry, software-path run):\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %s\n", kConfigs[i].name);
+    for (const auto& [name, value] : cells[i].sender_counters) {
+      if (value != 0 &&
+          (name.rfind("glue.send.", 0) == 0 || name == "net.tcp.out" ||
+           name == "linux.tcp.out" || name == "machine.irq.dispatched")) {
+        std::printf("    %-32s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
   return 0;
 }

@@ -15,13 +15,15 @@
 #include <cstdlib>
 
 #include "src/testbed/ttcp.h"
+#include "src/trace/trace.h"
 
 using namespace oskit;
 using namespace oskit::testbed;
 
 namespace {
 
-RtcpResult RunOne(NetConfig config, bool wire_limited, uint64_t round_trips) {
+RtcpResult RunOne(NetConfig config, bool wire_limited, uint64_t round_trips,
+                  trace::CounterSnapshot* out_client_counters = nullptr) {
   EthernetWire::Config wire;
   if (wire_limited) {
     wire.bits_per_second = 100 * 1000 * 1000;
@@ -30,7 +32,11 @@ RtcpResult RunOne(NetConfig config, bool wire_limited, uint64_t round_trips) {
   World world(wire);
   world.AddHost("server", config);
   world.AddHost("client", config);
-  return RunRtcp(world, round_trips);
+  RtcpResult result = RunRtcp(world, round_trips);
+  if (out_client_counters != nullptr) {
+    *out_client_counters = world.host(1).trace.registry.Snapshot();
+  }
+  return result;
 }
 
 }  // namespace
@@ -56,8 +62,10 @@ int main(int argc, char** argv) {
               "--------------\n");
 
   double us[3];
+  trace::CounterSnapshot client_counters[3];
   for (int i = 0; i < 3; ++i) {
-    RtcpResult sw = RunOne(kConfigs[i].config, /*wire_limited=*/false, round_trips);
+    RtcpResult sw = RunOne(kConfigs[i].config, /*wire_limited=*/false, round_trips,
+                           &client_counters[i]);
     RtcpResult wire = RunOne(kConfigs[i].config, /*wire_limited=*/true,
                              round_trips / 10);
     us[i] = sw.UsecPerRoundTripWall();
@@ -71,5 +79,21 @@ int main(int argc, char** argv) {
               overhead, overhead > 1.02 ? "PASS" : "FAIL");
   std::printf("The delta is the COM boundary crossings, bufio conversions and "
               "emulated-process glue per packet (see bench/ablation_glue).\n");
+
+  // Client-side counter snapshots from each configuration's trace registry:
+  // the per-packet mechanism behind the latency rows.
+  std::printf("\nClient counter snapshots (trace registry, software-path run):\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %s\n", kConfigs[i].name);
+    for (const auto& [name, value] : client_counters[i]) {
+      if (value != 0 &&
+          (name.rfind("glue.send.", 0) == 0 || name == "net.tcp.out" ||
+           name == "linux.tcp.out" || name == "net.sleep.sleeps" ||
+           name == "machine.irq.dispatched")) {
+        std::printf("    %-32s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
   return 0;
 }

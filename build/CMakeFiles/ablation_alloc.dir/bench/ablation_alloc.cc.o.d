@@ -184,4 +184,10 @@ CMakeFiles/ablation_alloc.dir/bench/ablation_alloc.cc.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/libc/malloc.h /root/repo/src/libc/quickalloc.h \
- /root/repo/src/lmm/lmm.h
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/trace/counters.h

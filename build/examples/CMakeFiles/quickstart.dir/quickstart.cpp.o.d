@@ -227,7 +227,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/machine/uart.h /root/repo/src/machine/pic.h \
- /root/repo/src/machine/cpu.h /root/repo/src/lmm/lmm.h \
+ /root/repo/src/machine/cpu.h /root/repo/src/trace/counters.h \
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
  /root/repo/src/machine/machine.h /root/repo/src/machine/disk.h \
  /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
  /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \

@@ -5,8 +5,9 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("base")
-subdirs("machine")
 subdirs("com")
+subdirs("trace")
+subdirs("machine")
 subdirs("lmm")
 subdirs("amm")
 subdirs("sleep")

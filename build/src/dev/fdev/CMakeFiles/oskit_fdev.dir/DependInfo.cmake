@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/boot/CMakeFiles/oskit_boot.dir/DependInfo.cmake"
   "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
   "/root/repo/build/src/lmm/CMakeFiles/oskit_lmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oskit_trace.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/boot/CMakeFiles/oskit_boot.dir/DependInfo.cmake"
   "/root/repo/build/src/lmm/CMakeFiles/oskit_lmm.dir/DependInfo.cmake"
   "/root/repo/build/src/sleep/CMakeFiles/oskit_sleep.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oskit_trace.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -210,4 +210,15 @@ src/fs/CMakeFiles/oskit_fs.dir/ffs_com.cc.o: /root/repo/src/fs/ffs_com.cc \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/com/blkio.h \
- /root/repo/src/fs/format.h /root/repo/src/libc/string.h
+ /root/repo/src/trace/trace.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/trace/counters.h /root/repo/src/fs/format.h \
+ /root/repo/src/libc/string.h

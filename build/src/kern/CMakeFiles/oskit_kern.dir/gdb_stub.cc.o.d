@@ -211,9 +211,10 @@ src/kern/CMakeFiles/oskit_kern.dir/gdb_stub.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/base/panic.h \
- /root/repo/src/machine/disk.h /root/repo/src/base/error.h \
- /root/repo/src/machine/clock.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/trace/counters.h /root/repo/src/machine/disk.h \
+ /root/repo/src/base/error.h /root/repo/src/machine/clock.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/machine/pic.h \
  /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
  /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \

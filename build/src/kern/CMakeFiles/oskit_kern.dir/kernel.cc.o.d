@@ -221,14 +221,17 @@ src/kern/CMakeFiles/oskit_kern.dir/kernel.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/machine/uart.h /root/repo/src/machine/pic.h \
- /root/repo/src/machine/cpu.h /root/repo/src/lmm/lmm.h \
- /root/repo/src/machine/machine.h /root/repo/src/machine/disk.h \
- /root/repo/src/base/error.h /root/repo/src/machine/nic.h \
- /root/repo/src/com/etherdev.h /root/repo/src/com/netio.h \
- /root/repo/src/com/bufio.h /root/repo/src/com/blkio.h \
- /root/repo/src/com/iunknown.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/com/guid.h \
- /root/repo/src/machine/wire.h /root/repo/src/base/random.h \
- /root/repo/src/machine/pit.h /root/repo/src/sleep/sleep_envs.h \
- /root/repo/src/sleep/sleep.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/machine/cpu.h /root/repo/src/trace/counters.h \
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/machine/machine.h \
+ /root/repo/src/machine/disk.h /root/repo/src/base/error.h \
+ /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
+ /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \
+ /root/repo/src/com/blkio.h /root/repo/src/com/iunknown.h \
+ /root/repo/src/com/guid.h /root/repo/src/machine/wire.h \
+ /root/repo/src/base/random.h /root/repo/src/machine/pit.h \
+ /root/repo/src/sleep/sleep_envs.h /root/repo/src/sleep/sleep.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

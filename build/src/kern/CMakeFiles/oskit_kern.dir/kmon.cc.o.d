@@ -222,17 +222,20 @@ src/kern/CMakeFiles/oskit_kern.dir/kmon.cc.o: /root/repo/src/kern/kmon.cc \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/machine/uart.h \
  /root/repo/src/machine/pic.h /root/repo/src/machine/cpu.h \
- /root/repo/src/base/panic.h /root/repo/src/kern/kernel.h \
- /root/repo/src/boot/multiboot.h /root/repo/src/machine/physmem.h \
- /usr/include/c++/12/cstddef /root/repo/src/lmm/lmm.h \
- /root/repo/src/machine/machine.h /root/repo/src/machine/disk.h \
- /root/repo/src/base/error.h /root/repo/src/machine/nic.h \
- /root/repo/src/com/etherdev.h /root/repo/src/com/netio.h \
- /root/repo/src/com/bufio.h /root/repo/src/com/blkio.h \
- /root/repo/src/com/iunknown.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/com/guid.h \
- /root/repo/src/machine/wire.h /root/repo/src/base/random.h \
- /root/repo/src/machine/pit.h /root/repo/src/sleep/sleep_envs.h \
- /root/repo/src/sleep/sleep.h /root/repo/src/kern/paging.h \
- /usr/include/c++/12/cstdarg /root/repo/src/libc/format.h \
- /root/repo/src/libc/string.h
+ /root/repo/src/base/panic.h /root/repo/src/trace/counters.h \
+ /root/repo/src/kern/kernel.h /root/repo/src/boot/multiboot.h \
+ /root/repo/src/machine/physmem.h /usr/include/c++/12/cstddef \
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/machine/machine.h \
+ /root/repo/src/machine/disk.h /root/repo/src/base/error.h \
+ /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
+ /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \
+ /root/repo/src/com/blkio.h /root/repo/src/com/iunknown.h \
+ /root/repo/src/com/guid.h /root/repo/src/machine/wire.h \
+ /root/repo/src/base/random.h /root/repo/src/machine/pit.h \
+ /root/repo/src/sleep/sleep_envs.h /root/repo/src/sleep/sleep.h \
+ /root/repo/src/kern/paging.h /usr/include/c++/12/cstdarg \
+ /root/repo/src/libc/format.h /root/repo/src/libc/string.h

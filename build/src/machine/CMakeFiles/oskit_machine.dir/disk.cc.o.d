@@ -110,4 +110,5 @@ src/machine/CMakeFiles/oskit_machine.dir/disk.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/machine/pic.h \
  /root/repo/src/machine/cpu.h /root/repo/src/base/panic.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/trace/counters.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h

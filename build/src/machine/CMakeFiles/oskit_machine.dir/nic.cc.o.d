@@ -112,9 +112,9 @@ src/machine/CMakeFiles/oskit_machine.dir/nic.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/machine/wire.h \
- /root/repo/src/base/random.h /root/repo/src/machine/clock.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/trace/counters.h \
+ /root/repo/src/machine/wire.h /root/repo/src/base/random.h \
+ /root/repo/src/machine/clock.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h

@@ -106,4 +106,5 @@ src/machine/CMakeFiles/oskit_machine.dir/pic.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/base/panic.h
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/base/panic.h \
+ /root/repo/src/trace/counters.h

@@ -108,4 +108,5 @@ src/machine/CMakeFiles/oskit_machine.dir/pit.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/machine/pic.h \
- /root/repo/src/machine/cpu.h /root/repo/src/base/panic.h
+ /root/repo/src/machine/cpu.h /root/repo/src/base/panic.h \
+ /root/repo/src/trace/counters.h

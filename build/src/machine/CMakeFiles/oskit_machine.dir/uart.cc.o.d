@@ -142,4 +142,5 @@ src/machine/CMakeFiles/oskit_machine.dir/uart.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/machine/pic.h \
- /root/repo/src/machine/cpu.h /root/repo/src/base/panic.h
+ /root/repo/src/machine/cpu.h /root/repo/src/base/panic.h \
+ /root/repo/src/trace/counters.h

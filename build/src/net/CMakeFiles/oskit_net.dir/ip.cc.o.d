@@ -225,4 +225,5 @@ src/net/CMakeFiles/oskit_net.dir/ip.cc.o: /root/repo/src/net/ip.cc \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/mbuf.h \
  /root/repo/src/net/wire_formats.h /root/repo/src/base/byteorder.h \
- /root/repo/src/sleep/sleep.h
+ /root/repo/src/sleep/sleep.h /root/repo/src/trace/trace.h \
+ /root/repo/src/trace/counters.h

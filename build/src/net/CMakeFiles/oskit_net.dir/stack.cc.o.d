@@ -226,4 +226,5 @@ src/net/CMakeFiles/oskit_net.dir/stack.cc.o: /root/repo/src/net/stack.cc \
  /root/repo/src/net/wire_formats.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/byteorder.h /root/repo/src/sleep/sleep.h \
+ /root/repo/src/trace/trace.h /root/repo/src/trace/counters.h \
  /root/repo/src/net/mbuf_bufio.h

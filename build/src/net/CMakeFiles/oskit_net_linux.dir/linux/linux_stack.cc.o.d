@@ -223,11 +223,12 @@ src/net/CMakeFiles/oskit_net_linux.dir/linux/linux_stack.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/machine/wire.h /root/repo/src/base/random.h \
- /root/repo/src/machine/clock.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/trace/counters.h /root/repo/src/machine/wire.h \
+ /root/repo/src/base/random.h /root/repo/src/machine/clock.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/wire_formats.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/byteorder.h /root/repo/src/sleep/sleep.h \
- /root/repo/src/base/checksum.h
+ /root/repo/src/trace/trace.h /root/repo/src/base/checksum.h

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
   "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oskit_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
   )
 

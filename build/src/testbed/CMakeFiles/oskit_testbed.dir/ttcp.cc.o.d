@@ -225,20 +225,22 @@ src/testbed/CMakeFiles/oskit_testbed.dir/ttcp.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
  /root/repo/src/machine/uart.h /root/repo/src/machine/pic.h \
- /root/repo/src/machine/cpu.h /root/repo/src/lmm/lmm.h \
- /root/repo/src/machine/machine.h /root/repo/src/machine/disk.h \
- /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
- /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \
- /root/repo/src/com/blkio.h /root/repo/src/machine/wire.h \
- /root/repo/src/base/random.h /root/repo/src/machine/pit.h \
- /root/repo/src/sleep/sleep_envs.h /root/repo/src/sleep/sleep.h \
- /root/repo/src/dev/freebsd/freebsd_ether.h /root/repo/src/net/stack.h \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/com/socket.h \
- /root/repo/src/net/mbuf.h /root/repo/src/net/wire_formats.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/machine/cpu.h /root/repo/src/trace/counters.h \
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/machine/machine.h \
+ /root/repo/src/machine/disk.h /root/repo/src/machine/nic.h \
+ /root/repo/src/com/etherdev.h /root/repo/src/com/netio.h \
+ /root/repo/src/com/bufio.h /root/repo/src/com/blkio.h \
+ /root/repo/src/machine/wire.h /root/repo/src/base/random.h \
+ /root/repo/src/machine/pit.h /root/repo/src/sleep/sleep_envs.h \
+ /root/repo/src/sleep/sleep.h /root/repo/src/dev/freebsd/freebsd_ether.h \
+ /root/repo/src/net/stack.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/com/socket.h /root/repo/src/net/mbuf.h \
+ /root/repo/src/net/wire_formats.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/base/byteorder.h /root/repo/src/dev/linux/linux_glue.h \
  /root/repo/src/dev/linux/linux_ether.h /root/repo/src/dev/linux/skbuff.h \
  /root/repo/src/net/linux/linux_stack.h /usr/include/c++/12/chrono \

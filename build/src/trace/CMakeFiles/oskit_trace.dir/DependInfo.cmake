@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/oskit_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/oskit_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_com.cc" "src/trace/CMakeFiles/oskit_trace.dir/trace_com.cc.o" "gcc" "src/trace/CMakeFiles/oskit_trace.dir/trace_com.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

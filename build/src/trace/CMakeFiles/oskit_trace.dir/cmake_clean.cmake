@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_trace.dir/trace.cc.o"
+  "CMakeFiles/oskit_trace.dir/trace.cc.o.d"
+  "CMakeFiles/oskit_trace.dir/trace_com.cc.o"
+  "CMakeFiles/oskit_trace.dir/trace_com.cc.o.d"
+  "liboskit_trace.a"
+  "liboskit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

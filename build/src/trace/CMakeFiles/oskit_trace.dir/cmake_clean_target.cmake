@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboskit_trace.a"
+)

@@ -32,6 +32,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/boot/CMakeFiles/oskit_boot.dir/DependInfo.cmake"
   "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
   "/root/repo/build/src/libc/CMakeFiles/oskit_libc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oskit_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
   "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
   )

@@ -300,5 +300,6 @@ tests/CMakeFiles/fs_test.dir/fs_test.cc.o: /root/repo/tests/fs_test.cc \
  /root/repo/src/com/guid.h /root/repo/src/fs/ffs.h \
  /root/repo/src/com/filesystem.h /root/repo/src/fs/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/fs/format.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/trace/trace.h \
+ /root/repo/src/trace/counters.h /root/repo/src/fs/format.h \
  /root/repo/src/fs/fsck.h /root/repo/src/fs/secure.h

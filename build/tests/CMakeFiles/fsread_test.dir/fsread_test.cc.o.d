@@ -300,4 +300,5 @@ tests/CMakeFiles/fsread_test.dir/fsread_test.cc.o: \
  /root/repo/src/fs/ffs.h /root/repo/src/com/filesystem.h \
  /root/repo/src/fs/cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/trace/trace.h /root/repo/src/trace/counters.h \
  /root/repo/src/fs/format.h /root/repo/src/fsread/fsread.h

@@ -305,8 +305,9 @@ tests/CMakeFiles/futurework_test.dir/futurework_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/machine/uart.h /root/repo/src/machine/pic.h \
  /root/repo/src/machine/cpu.h /root/repo/src/base/panic.h \
- /root/repo/src/kern/kernel.h /root/repo/src/boot/multiboot.h \
- /root/repo/src/machine/physmem.h /root/repo/src/lmm/lmm.h \
+ /root/repo/src/trace/counters.h /root/repo/src/kern/kernel.h \
+ /root/repo/src/boot/multiboot.h /root/repo/src/machine/physmem.h \
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
  /root/repo/src/machine/machine.h /root/repo/src/machine/disk.h \
  /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
  /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \

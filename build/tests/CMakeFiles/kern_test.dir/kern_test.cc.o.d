@@ -297,9 +297,10 @@ tests/CMakeFiles/kern_test.dir/kern_test.cc.o: \
  /root/repo/src/machine/machine.h /root/repo/src/machine/cpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/panic.h \
- /root/repo/src/machine/disk.h /root/repo/src/base/error.h \
- /root/repo/src/machine/clock.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/trace/counters.h /root/repo/src/machine/disk.h \
+ /root/repo/src/base/error.h /root/repo/src/machine/clock.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/machine/pic.h \
  /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
  /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \
@@ -311,5 +312,6 @@ tests/CMakeFiles/kern_test.dir/kern_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/machine/uart.h /root/repo/src/kern/kernel.h \
  /root/repo/src/boot/multiboot.h /root/repo/src/kern/console.h \
- /root/repo/src/lmm/lmm.h /root/repo/src/sleep/sleep_envs.h \
- /root/repo/src/sleep/sleep.h
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
+ /root/repo/src/sleep/sleep_envs.h /root/repo/src/sleep/sleep.h \
+ /root/repo/src/kern/kmon.h /root/repo/src/kern/paging.h

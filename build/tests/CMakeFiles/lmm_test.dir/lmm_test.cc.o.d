@@ -293,4 +293,5 @@ tests/CMakeFiles/lmm_test.dir/lmm_test.cc.o: /root/repo/tests/lmm_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/base/random.h /root/repo/src/lmm/lmm.h
+ /root/repo/src/base/random.h /root/repo/src/lmm/lmm.h \
+ /root/repo/src/trace/trace.h /root/repo/src/trace/counters.h

@@ -296,9 +296,10 @@ tests/CMakeFiles/machine_test.dir/machine_test.cc.o: \
  /root/repo/src/machine/machine.h /root/repo/src/machine/cpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/base/panic.h \
- /root/repo/src/machine/disk.h /root/repo/src/base/error.h \
- /root/repo/src/machine/clock.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/trace/counters.h /root/repo/src/machine/disk.h \
+ /root/repo/src/base/error.h /root/repo/src/machine/clock.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/machine/pic.h \
  /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
  /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \

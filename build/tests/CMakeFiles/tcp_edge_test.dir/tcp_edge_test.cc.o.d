@@ -309,7 +309,8 @@ tests/CMakeFiles/tcp_edge_test.dir/tcp_edge_test.cc.o: \
  /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /root/repo/src/machine/uart.h /root/repo/src/machine/pic.h \
- /root/repo/src/machine/cpu.h /root/repo/src/lmm/lmm.h \
+ /root/repo/src/machine/cpu.h /root/repo/src/trace/counters.h \
+ /root/repo/src/lmm/lmm.h /root/repo/src/trace/trace.h \
  /root/repo/src/machine/machine.h /root/repo/src/machine/disk.h \
  /root/repo/src/machine/nic.h /root/repo/src/com/etherdev.h \
  /root/repo/src/com/netio.h /root/repo/src/com/bufio.h \

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/oskit_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/amm/CMakeFiles/oskit_amm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memdebug/CMakeFiles/oskit_memdebug.dir/DependInfo.cmake"
+  "/root/repo/build/src/diskpart/CMakeFiles/oskit_diskpart.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/oskit_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsread/CMakeFiles/oskit_fsread.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/oskit_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/oskit_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/freebsd/CMakeFiles/oskit_dev_freebsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oskit_net_linux.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/linux/CMakeFiles/oskit_dev_linux.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/fdev/CMakeFiles/oskit_fdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/oskit_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/lmm/CMakeFiles/oskit_lmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/oskit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sleep/CMakeFiles/oskit_sleep.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/oskit_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/oskit_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/libc/CMakeFiles/oskit_libc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oskit_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/com/CMakeFiles/oskit_com.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/oskit_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.sender_glue_copies),
               static_cast<unsigned long long>(result.sender_glue_copied_bytes));
 
-  const auto& stats = world.host(1).stack->stats();
+  const auto& stats = world.host(1).stack->counters();
   std::printf("sender TCP stats : %llu segments out, %llu retransmits\n",
               static_cast<unsigned long long>(stats.tcp_out),
               static_cast<unsigned long long>(stats.tcp_retransmits));

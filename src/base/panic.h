@@ -13,6 +13,14 @@ namespace oskit {
 using PanicHandler = void (*)(const char* message);
 PanicHandler SetPanicHandler(PanicHandler handler);
 
+// Observers run (in registration order) before the panic handler, so
+// diagnostic state — the trace component's flight recorder, notably — can be
+// dumped while the machine is still standing.  Observers must not panic;
+// a nested Panic() skips the observer pass.
+using PanicObserver = void (*)(void* ctx, const char* message);
+void AddPanicObserver(PanicObserver observer, void* ctx);
+void RemovePanicObserver(PanicObserver observer, void* ctx);
+
 // Formats a message (printf-style) and invokes the installed panic handler.
 [[noreturn]] void Panic(const char* format, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,0 +1,83 @@
+// COM faces of the trace component (src/trace): unified counters and the
+// flight recorder, exported the way every other OSKit component exports its
+// services so a client kernel can bind them at run time and Query between
+// them (§4.4.2 interface extension).
+//
+// CounterSet — read/reset access to the hierarchical counter registry
+// (net.tcp.retransmits, glue.send.copied_bytes, ...).  TraceLog — read/clear
+// access to the flight-recorder ring.  One concrete object
+// (oskit::trace::TraceComponent) implements both; clients probe with Query
+// for whichever face they need.
+
+#ifndef OSKIT_SRC_COM_TRACE_H_
+#define OSKIT_SRC_COM_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/com/iunknown.h"
+
+namespace oskit {
+
+struct CounterInfo {
+  const char* name = "";  // hierarchical dotted name, valid while registered
+  uint64_t value = 0;
+  bool gauge = false;  // gauges may move in both directions
+};
+
+class CounterSet : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x7b332001, 0x0e01, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x41);
+
+  // Number of distinct registered names.
+  virtual Error GetCount(size_t* out_count) = 0;
+
+  // Counters are indexed 0..count-1 in name order; the order is stable
+  // while no counter is registered or unregistered.
+  virtual Error GetCounter(size_t index, CounterInfo* out_info) = 0;
+
+  // kNoEnt when no counter has that name.
+  virtual Error Lookup(const char* name, uint64_t* out_value) = 0;
+
+  // Zeroes every counter.
+  virtual Error Reset() = 0;
+
+ protected:
+  ~CounterSet() = default;
+};
+
+struct TraceRecord {
+  uint64_t seq = 0;       // global recording order
+  uint64_t time = 0;      // environment time source (sim clock)
+  uint32_t type = 0;      // oskit::trace::EventType value
+  const char* type_name = "";
+  const char* tag = "";   // static string naming the recording site
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+class TraceLog : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x7b332002, 0x0e01, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x42);
+
+  // Events currently buffered (<= ring capacity).  Named distinctly from
+  // CounterSet::GetCount so one object can implement both faces.
+  virtual Error GetEventCount(size_t* out_count) = 0;
+
+  // index 0 = oldest buffered event.  kInval past the end.
+  virtual Error Read(size_t index, TraceRecord* out_record) = 0;
+
+  // Total ever recorded, including events lost to ring wrap-around.
+  virtual Error GetTotalRecorded(uint64_t* out_total) = 0;
+
+  virtual Error Clear() = 0;
+
+ protected:
+  ~TraceLog() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_TRACE_H_

@@ -37,6 +37,7 @@ FdevEnv DefaultFdevEnv(KernelEnv* kernel) {
   env.irq_detach = &DefaultIrqDetach;
   env.now_ns = &DefaultNowNs;
   env.sleep_env = &kernel->sleep_env();
+  env.trace = &kernel->trace();
   env.ctx = kernel;
   return env;
 }

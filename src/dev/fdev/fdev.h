@@ -41,6 +41,10 @@ struct FdevEnv {
   // Blocking: the one primitive (§4.7.6).
   SleepEnv* sleep_env = nullptr;
 
+  // Observability environment the glue reports into (src/trace); null binds
+  // the process-global default, like every other entry's fallback.
+  trace::TraceEnv* trace = nullptr;
+
   void* ctx = nullptr;
 };
 

@@ -112,7 +112,12 @@ class LinuxSendNetIo final : public NetIo, public RefCounted<LinuxSendNetIo> {
 }  // namespace
 
 LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
-    : env_(env), name_(std::move(name)) {
+    : env_(env), name_(std::move(name)), trace_(trace::ResolveTraceEnv(env.trace)) {
+  trace_binding_.Bind(&trace_->registry,
+                      {{"glue.send.native_passthrough", &counters_.native_passthrough},
+                       {"glue.send.fake_skbuff", &counters_.fake_skbuff},
+                       {"glue.send.copied", &counters_.copied},
+                       {"glue.send.copied_bytes", &counters_.copied_bytes}});
   libc::Snprintf(dev_.name, sizeof(dev_.name), "%s", name_.c_str());
   dev_.kenv.kmalloc = &GlueKmalloc;
   dev_.kenv.kfree = &GlueKfree;
@@ -207,7 +212,7 @@ Error LinuxEtherDev::Transmit(BufIo* packet, size_t size) {
   void* native = nullptr;
   if (Ok(packet->Query(kSkBuffIoImplIid, &native))) {
     auto* io = static_cast<SkBuffIo*>(native);
-    ++xmit_stats_.native_passthrough;
+    ++counters_.native_passthrough;
     // The driver consumes (frees) the skbuff, so detach it from the
     // wrapper by copying the header into a fresh fake around the same data:
     // simplest correct ownership dance without touching the imported code.
@@ -230,7 +235,8 @@ Error LinuxEtherDev::Transmit(BufIo* packet, size_t size) {
   if (Ok(packet->Map(&mapped, 0, size))) {
     // Foreign but contiguous: manufacture a "fake" skbuff pointing directly
     // at the mapped data (§4.7.3), no copy.
-    ++xmit_stats_.fake_skbuff;
+    ++counters_.fake_skbuff;
+    trace_->recorder.Record(trace::EventType::kBufMap, "glue.send", size);
     sk_buff* fake = dev_alloc_skb(dev_.kenv, 0);
     if (fake == nullptr) {
       packet->Unmap(mapped, 0, size);
@@ -247,8 +253,9 @@ Error LinuxEtherDev::Transmit(BufIo* packet, size_t size) {
 
   // Discontiguous foreign packet (an mbuf chain): allocate a normal skbuff
   // and copy the data in — the Table 1 send-path copy.
-  ++xmit_stats_.copied;
-  xmit_stats_.copied_bytes += size;
+  ++counters_.copied;
+  counters_.copied_bytes += size;
+  trace_->recorder.Record(trace::EventType::kBufCopy, "glue.send", size);
   sk_buff* skb = dev_alloc_skb(dev_.kenv, size);
   if (skb == nullptr) {
     return Error::kNoMem;

@@ -69,11 +69,13 @@ class LinuxEtherDev final : public Device,
                             public EtherDev,
                             public RefCounted<LinuxEtherDev> {
  public:
-  struct XmitStats {
-    uint64_t native_passthrough = 0;  // our own skbuff handed back: no work
-    uint64_t fake_skbuff = 0;         // foreign buffer mapped: zero copy
-    uint64_t copied = 0;              // foreign buffer unmappable: copied
-    uint64_t copied_bytes = 0;
+  // Transmit-path boundary counters, registered with the trace
+  // environment's registry under "glue.send.*".
+  struct Counters {
+    trace::Counter native_passthrough;  // our own skbuff handed back: no work
+    trace::Counter fake_skbuff;         // foreign buffer mapped: zero copy
+    trace::Counter copied;              // foreign buffer unmappable: copied
+    trace::Counter copied_bytes;
   };
 
   LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name);
@@ -91,7 +93,7 @@ class LinuxEtherDev final : public Device,
   Error Close() override;
   Error GetAddr(EtherAddr* out_addr) override;
 
-  const XmitStats& xmit_stats() const { return xmit_stats_; }
+  const Counters& counters() const { return counters_; }
   const net_device_stats& device_stats() const { return dev_.stats; }
 
   // Transmit entry used by the send-side NetIo.
@@ -107,7 +109,9 @@ class LinuxEtherDev final : public Device,
   linux_device dev_;
   std::string name_;
   ComPtr<NetIo> client_recv_;
-  XmitStats xmit_stats_;
+  trace::TraceEnv* trace_;
+  Counters counters_;
+  trace::CounterBlock trace_binding_;
 };
 
 // §5's fdev_linux_init_ethernet + fdev_probe rolled together: probes every

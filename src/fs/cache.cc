@@ -6,9 +6,17 @@
 
 namespace oskit::fs {
 
-BlockCache::BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacity)
-    : device_(std::move(device)), block_size_(block_size), capacity_(capacity) {
+BlockCache::BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacity,
+                       trace::TraceEnv* trace)
+    : device_(std::move(device)),
+      block_size_(block_size),
+      capacity_(capacity),
+      trace_(trace::ResolveTraceEnv(trace)) {
   OSKIT_ASSERT(capacity_ >= 8);
+  trace_binding_.Bind(&trace_->registry,
+                      {{"fs.cache.hits", &counters_.hits},
+                       {"fs.cache.misses", &counters_.misses},
+                       {"fs.cache.writebacks", &counters_.writebacks}});
 }
 
 BlockCache::~BlockCache() {
@@ -34,7 +42,7 @@ Error BlockCache::WriteBack(uint32_t block, Entry& entry) {
     return Error::kIo;
   }
   entry.dirty = false;
-  ++writebacks_;
+  ++counters_.writebacks;
   return Error::kOk;
 }
 
@@ -57,12 +65,12 @@ Error BlockCache::EvictOne() {
 Error BlockCache::Get(uint32_t block, uint8_t** out_data) {
   auto it = entries_.find(block);
   if (it != entries_.end()) {
-    ++hits_;
+    ++counters_.hits;
     Touch(block, it->second);
     *out_data = it->second.data.data();
     return Error::kOk;
   }
-  ++misses_;
+  ++counters_.misses;
   while (entries_.size() >= capacity_) {
     Error err = EvictOne();
     if (!Ok(err)) {

@@ -10,13 +10,23 @@
 #include <vector>
 
 #include "src/com/blkio.h"
+#include "src/trace/trace.h"
 
 namespace oskit::fs {
 
 class BlockCache {
  public:
-  // `capacity` is the number of cached blocks before LRU eviction.
-  BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacity = 256);
+  // Registered with the trace environment's registry under "fs.cache.*".
+  struct Counters {
+    trace::Counter hits;
+    trace::Counter misses;
+    trace::Counter writebacks;
+  };
+
+  // `capacity` is the number of cached blocks before LRU eviction.  `trace`
+  // is the observability environment to report into; null binds the default.
+  BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacity = 256,
+             trace::TraceEnv* trace = nullptr);
   ~BlockCache();
 
   BlockCache(const BlockCache&) = delete;
@@ -42,9 +52,10 @@ class BlockCache {
   // Drops a clean or dirty block without writing (used after freeing it).
   void Invalidate(uint32_t block);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t writebacks() const { return writebacks_; }
+  const Counters& counters() const { return counters_; }
+  uint64_t hits() const { return counters_.hits; }
+  uint64_t misses() const { return counters_.misses; }
+  uint64_t writebacks() const { return counters_.writebacks; }
 
  private:
   struct Entry {
@@ -62,9 +73,9 @@ class BlockCache {
   size_t capacity_;
   std::map<uint32_t, Entry> entries_;
   std::list<uint32_t> lru_;  // front = most recent
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t writebacks_ = 0;
+  trace::TraceEnv* trace_;
+  Counters counters_;
+  trace::CounterBlock trace_binding_;
 };
 
 }  // namespace oskit::fs

@@ -5,17 +5,37 @@
 
 namespace oskit {
 
-KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode sleep_mode)
+KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode sleep_mode,
+                     trace::TraceEnv* trace)
     : machine_(machine),
       info_(info),
-      console_(&machine->sim(), &machine->console_uart()) {
+      console_(&machine->sim(), &machine->console_uart()),
+      trace_(trace::ResolveTraceEnv(trace)) {
   if (sleep_mode == SleepMode::kFiber) {
     sleep_env_ = std::make_unique<FiberSleepEnv>(&machine->sim());
   } else {
     sleep_env_ = std::make_unique<SpinSleepEnv>(&machine->sim());
   }
+  // Bring the observability substrate up with the machine: timestamps from
+  // the simulated clock, the CPU's dispatch counters and flight-recorder
+  // events, and the LMM's allocation instrumentation.
+  trace_->recorder.SetTimeSource(
+      [clock = &machine->sim().clock()] { return clock->Now(); });
+  Cpu& cpu = machine_->cpu();
+  cpu_counters_.Bind(&trace_->registry,
+                     {{"machine.trap.dispatched", &cpu.counters().traps_dispatched},
+                      {"machine.irq.dispatched", &cpu.counters().irq_dispatched}});
+  cpu.SetTraceRecorder(&trace_->recorder);
+  lmm_.BindTrace(trace_);
   InstallDefaultHandlers();
   SetupMemory();
+}
+
+KernelEnv::~KernelEnv() {
+  machine_->cpu().SetTraceRecorder(nullptr);
+  // The time source captured this machine's clock; don't leave it dangling
+  // in a shared (default) environment.
+  trace_->recorder.SetTimeSource(nullptr);
 }
 
 void KernelEnv::InstallDefaultHandlers() {

@@ -30,6 +30,7 @@
 #include "src/lmm/lmm.h"
 #include "src/machine/machine.h"
 #include "src/sleep/sleep_envs.h"
+#include "src/trace/trace.h"
 
 namespace oskit {
 
@@ -43,14 +44,20 @@ class KernelEnv {
     kSpin,   // single-threaded example kernel: spin on the sleep record
   };
 
+  // `trace` is the observability environment (src/trace) this kernel's
+  // components report into; null binds the process-global default.  The
+  // testbed gives every simulated machine its own.
   KernelEnv(Machine* machine, const MultiBootInfo& info,
-            SleepMode sleep_mode = SleepMode::kFiber);
+            SleepMode sleep_mode = SleepMode::kFiber,
+            trace::TraceEnv* trace = nullptr);
+  ~KernelEnv();
 
   Machine& machine() { return *machine_; }
   Simulation& sim() { return machine_->sim(); }
   Lmm& lmm() { return lmm_; }
   BaseConsole& console() { return console_; }
   SleepEnv& sleep_env() { return *sleep_env_; }
+  trace::TraceEnv& trace() { return *trace_; }
   const MultiBootInfo& boot_info() const { return info_; }
 
   // ---- Interrupts ----
@@ -92,6 +99,8 @@ class KernelEnv {
   MultiBootInfo info_;
   BaseConsole console_;
   std::unique_ptr<SleepEnv> sleep_env_;
+  trace::TraceEnv* trace_;
+  trace::CounterBlock cpu_counters_;
   Lmm lmm_;
   LmmRegion region_low_;    // < 1 MB
   LmmRegion region_dma_;    // 1..16 MB

@@ -147,9 +147,49 @@ void KernelMonitor::CmdTranslate(const std::string& args) {
         (flags & kPteUser) != 0 ? " user" : " kernel");
 }
 
+void KernelMonitor::CmdCounters(const std::string& args) {
+  trace::CounterRegistry& registry = kernel_->trace().registry;
+  size_t shown = 0;
+  registry.ForEach(
+      [this, &shown](const char* name, uint64_t value, bool gauge) {
+        Print("%-32s %12llu%s\n", name, static_cast<unsigned long long>(value),
+              gauge ? " (gauge)" : "");
+        ++shown;
+      },
+      args);
+  if (shown == 0) {
+    Print(args.empty() ? "no counters registered\n"
+                       : "no counters match that prefix\n");
+  }
+}
+
+void KernelMonitor::CmdTrace(const std::string& args) {
+  trace::FlightRecorder& recorder = kernel_->trace().recorder;
+  if (args == "dump") {
+    if (recorder.size() == 0) {
+      Print("trace ring empty\n");
+      return;
+    }
+    Print("trace: %llu events (%llu recorded total)\n",
+          static_cast<unsigned long long>(recorder.size()),
+          static_cast<unsigned long long>(recorder.total_recorded()));
+    char line[128];
+    recorder.ForEach([this, &line](const trace::TraceEvent& event) {
+      trace::FlightRecorder::FormatEvent(event, line, sizeof(line));
+      Print("%s\n", line);
+    });
+  } else if (args == "clear") {
+    recorder.Clear();
+    Print("trace ring cleared\n");
+  } else {
+    Print("usage: trace dump | trace clear\n");
+  }
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
-        "s step | c continue | halt | help\n");
+        "counters [prefix] | trace dump|clear | s step | c continue | "
+        "halt | help\n");
 }
 
 void KernelMonitor::Enter(TrapFrame& frame) {
@@ -175,6 +215,10 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdWrite(args);
     } else if (cmd == "t") {
       CmdTranslate(args);
+    } else if (cmd == "counters") {
+      CmdCounters(args);
+    } else if (cmd == "trace") {
+      CmdTrace(args);
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

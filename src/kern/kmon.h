@@ -12,6 +12,9 @@
 //   s                 request single step (sets the flag, continues)
 //   c                 continue
 //   halt              mark the kernel as halted
+//   counters [pfx]    dump the trace counter registry (optional name prefix)
+//   trace dump        dump the flight-recorder ring, oldest first
+//   trace clear       clear the flight-recorder ring
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -54,6 +57,8 @@ class KernelMonitor {
   void CmdMem(const std::string& args);
   void CmdWrite(const std::string& args);
   void CmdTranslate(const std::string& args);
+  void CmdCounters(const std::string& args);
+  void CmdTrace(const std::string& args);
   void CmdHelp();
 
   KernelEnv* kernel_;

@@ -24,6 +24,15 @@ FreeBlock* BlockAt(uintptr_t addr) { return reinterpret_cast<FreeBlock*>(addr); 
 
 }  // namespace
 
+void Lmm::BindTrace(trace::TraceEnv* env) {
+  env = trace::ResolveTraceEnv(env);
+  trace_binding_.Unbind();
+  trace_binding_.Bind(&env->registry,
+                      {{"lmm.alloc_calls", &counters_.alloc_calls},
+                       {"lmm.free_calls", &counters_.free_calls}});
+  recorder_ = &env->recorder;
+}
+
 void Lmm::AddRegion(LmmRegion* region, void* base, size_t size, uint32_t flags,
                     int32_t priority) {
   OSKIT_ASSERT(region != nullptr);
@@ -192,7 +201,10 @@ void* Lmm::AllocGen(size_t size, uint32_t flags, unsigned align_bits,
       if (trail > 0) {
         AddFreeToRegion(r, addr + size, b_hi);
       }
-      ++allocs_;
+      ++counters_.alloc_calls;
+      if (recorder_ != nullptr) {
+        recorder_->Record(trace::EventType::kAlloc, "lmm", addr, size);
+      }
       return reinterpret_cast<void*>(addr);
     }
   }
@@ -207,7 +219,10 @@ void Lmm::Free(void* block, size_t size) {
   for (LmmRegion* r = regions_; r != nullptr; r = r->next) {
     if (lo >= r->min && hi <= r->max) {
       AddFreeToRegion(r, lo, hi);
-      ++frees_;
+      ++counters_.free_calls;
+      if (recorder_ != nullptr) {
+        recorder_->Record(trace::EventType::kFree, "lmm", lo, size);
+      }
       return;
     }
   }

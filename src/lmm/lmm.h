@@ -23,6 +23,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/trace/trace.h"
+
 namespace oskit {
 
 // Flag bits are client-defined; these are the conventional x86 PC ones.
@@ -109,15 +111,26 @@ class Lmm {
   // per-region free-byte counters exact.  Panics on violation.
   void AuditOrDie() const;
 
-  size_t allocs() const { return allocs_; }
-  size_t frees() const { return frees_; }
+  // Call-count counters; BindTrace registers them with a trace environment
+  // as lmm.alloc_calls / lmm.free_calls and wires alloc/free flight-recorder
+  // events (the kernel support library does this for its LMM).
+  struct Counters {
+    trace::Counter alloc_calls;
+    trace::Counter free_calls;
+  };
+  const Counters& counters() const { return counters_; }
+  size_t allocs() const { return counters_.alloc_calls; }
+  size_t frees() const { return counters_.free_calls; }
+
+  void BindTrace(trace::TraceEnv* env);
 
  private:
   void AddFreeToRegion(LmmRegion* region, uintptr_t min, uintptr_t max);
 
   LmmRegion* regions_ = nullptr;
-  size_t allocs_ = 0;
-  size_t frees_ = 0;
+  Counters counters_;
+  trace::CounterBlock trace_binding_;
+  trace::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oskit

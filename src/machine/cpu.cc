@@ -1,5 +1,7 @@
 #include "src/machine/cpu.h"
 
+#include "src/trace/trace.h"
+
 namespace oskit {
 
 Cpu::Cpu() = default;
@@ -41,10 +43,16 @@ void Cpu::Dispatch(uint32_t vector, uint32_t error_code, bool is_interrupt) {
   frame.error_code = error_code;
   frame.flags = interrupts_enabled_ ? (1u << 9) : 0;
   if (is_interrupt) {
-    ++interrupts_dispatched_;
+    ++counters_.irq_dispatched;
     ++in_interrupt_depth_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(trace::EventType::kIrqEnter, "cpu", vector);
+    }
   } else {
-    ++traps_dispatched_;
+    ++counters_.traps_dispatched;
+    if (recorder_ != nullptr) {
+      recorder_->Record(trace::EventType::kTrap, "cpu", vector, error_code);
+    }
   }
   bool handled = false;
   if (vectors_[vector]) {
@@ -55,6 +63,9 @@ void Cpu::Dispatch(uint32_t vector, uint32_t error_code, bool is_interrupt) {
   }
   if (is_interrupt) {
     --in_interrupt_depth_;
+    if (recorder_ != nullptr) {
+      recorder_->Record(trace::EventType::kIrqExit, "cpu", vector);
+    }
   }
   if (!handled) {
     Panic("unhandled %s: vector %u error=%#x",

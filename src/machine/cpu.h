@@ -16,6 +16,11 @@
 #include <functional>
 
 #include "src/base/panic.h"
+#include "src/trace/counters.h"
+
+namespace oskit::trace {
+class FlightRecorder;
+}  // namespace oskit::trace
 
 namespace oskit {
 
@@ -78,9 +83,21 @@ class Cpu {
 
   bool in_interrupt() const { return in_interrupt_depth_ > 0; }
 
-  // Diagnostic counters (exposed implementation, §4.6).
-  uint64_t traps_dispatched() const { return traps_dispatched_; }
-  uint64_t interrupts_dispatched() const { return interrupts_dispatched_; }
+  // Diagnostic counters (exposed implementation, §4.6).  The kernel support
+  // library registers them with its trace environment as
+  // machine.trap.dispatched / machine.irq.dispatched.
+  struct Counters {
+    trace::Counter traps_dispatched;
+    trace::Counter irq_dispatched;
+  };
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  uint64_t traps_dispatched() const { return counters_.traps_dispatched; }
+  uint64_t interrupts_dispatched() const { return counters_.irq_dispatched; }
+
+  // When set, dispatches record irq-enter/irq-exit/trap flight-recorder
+  // events (the kernel support library wires this up).
+  void SetTraceRecorder(trace::FlightRecorder* recorder) { recorder_ = recorder; }
 
  private:
   void Dispatch(uint32_t vector, uint32_t error_code, bool is_interrupt);
@@ -91,8 +108,8 @@ class Cpu {
   bool interrupts_enabled_ = false;  // machines start with interrupts off
   int in_interrupt_depth_ = 0;
   std::deque<uint32_t> pending_interrupts_;
-  uint64_t traps_dispatched_ = 0;
-  uint64_t interrupts_dispatched_ = 0;
+  Counters counters_;
+  trace::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace oskit

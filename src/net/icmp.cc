@@ -24,7 +24,7 @@ void NetStack::IcmpInput(int ifindex, const Ipv4Header& ip, MBuf* payload) {
   }
   uint8_t type = payload->data[0];
   if (type == kIcmpEchoRequest) {
-    ++stats_.icmp_echo_in;
+    ++counters_.icmp_echo_in;
     // Build the reply in private storage: the request may sit in foreign
     // external storage (a zero-copy-imported skbuff) we must not mutate.
     size_t len = payload->pkt_len;

@@ -56,7 +56,7 @@ Error NetStack::IpOutput(uint8_t proto, InetAddr src, InetAddr dst, MBuf* payloa
       ip.src = src;
       ip.dst = dst;
       ip.Serialize(dgram->data);
-      ++stats_.ip_out;
+      ++counters_.ip_out;
       IpInput(0, dgram);
       return Error::kOk;
     }
@@ -89,7 +89,7 @@ Error NetStack::IpOutput(uint8_t proto, InetAddr src, InetAddr dst, MBuf* payloa
     ip.src = src;
     ip.dst = dst;
     ip.Serialize(dgram->data);
-    ++stats_.ip_out;
+    ++counters_.ip_out;
     IpSendViaIface(ifindex, next_hop, dgram);
     return Error::kOk;
   }
@@ -114,8 +114,8 @@ Error NetStack::IpOutput(uint8_t proto, InetAddr src, InetAddr dst, MBuf* payloa
     ip.src = src;
     ip.dst = dst;
     ip.Serialize(dgram->data);
-    ++stats_.ip_out;
-    ++stats_.ip_frag_out;
+    ++counters_.ip_out;
+    ++counters_.ip_frag_out;
     IpSendViaIface(ifindex, next_hop, dgram);
     offset += n;
   }
@@ -124,7 +124,7 @@ Error NetStack::IpOutput(uint8_t proto, InetAddr src, InetAddr dst, MBuf* payloa
 }
 
 void NetStack::IpInput(int ifindex, MBuf* packet) {
-  ++stats_.ip_in;
+  ++counters_.ip_in;
   packet = pool_.Pullup(packet, kIpHeaderSize);
   if (packet == nullptr) {
     return;
@@ -140,7 +140,7 @@ void NetStack::IpInput(int ifindex, MBuf* packet) {
   }
   // Header checksum: must sum to zero including the stored checksum.
   if (InetChecksumOf(packet->data, ip.header_len) != 0) {
-    ++stats_.ip_bad_checksum;
+    ++counters_.ip_bad_checksum;
     pool_.FreeChain(packet);
     return;
   }
@@ -173,7 +173,7 @@ void NetStack::IpInput(int ifindex, MBuf* packet) {
 
   // Reassembly.
   if (ip.more_fragments() || ip.frag_offset_bytes() != 0) {
-    ++stats_.ip_frags_in;
+    ++counters_.ip_frags_in;
     FragKey key{ip.src.value, ip.dst.value, ip.ident, ip.proto};
     FragQueue& q = frags_[key];
     if (q.deadline == 0) {
@@ -210,7 +210,7 @@ void NetStack::IpInput(int ifindex, MBuf* packet) {
     }
     MBuf* whole = pool_.FromData(q.data.data(), q.total_len);
     frags_.erase(key);
-    ++stats_.ip_reassembled;
+    ++counters_.ip_reassembled;
     packet = whole;
   }
 

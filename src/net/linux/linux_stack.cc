@@ -75,8 +75,21 @@ void StackNetifRx(void* ctx, linux_device* /*dev*/, sk_buff* skb) {
 
 }  // namespace
 
-LinuxNetStack::LinuxNetStack(SleepEnv* sleep_env, SimClock* clock, linux_device* dev)
-    : sleep_env_(sleep_env), clock_(clock), dev_(dev), sleep_(sleep_env) {
+LinuxNetStack::LinuxNetStack(SleepEnv* sleep_env, SimClock* clock, linux_device* dev,
+                             trace::TraceEnv* trace)
+    : sleep_env_(sleep_env),
+      clock_(clock),
+      dev_(dev),
+      sleep_(sleep_env),
+      trace_(trace::ResolveTraceEnv(trace)) {
+  trace_binding_.Bind(&trace_->registry,
+                      {{"linux.ip.in", &counters_.ip_in},
+                       {"linux.ip.out", &counters_.ip_out},
+                       {"linux.tcp.in", &counters_.tcp_in},
+                       {"linux.tcp.out", &counters_.tcp_out},
+                       {"linux.tcp.retransmits", &counters_.tcp_retransmits},
+                       {"linux.tcp.drops_ooo", &counters_.drops_ooo},
+                       {"linux.arp.in", &counters_.arp_in}});
   dev_->netif_rx = &StackNetifRx;
   dev_->netif_rx_ctx = this;
   tick_event_ = clock_->ScheduleAfter(500 * kNsPerMs, [this] { SlowTick(); });
@@ -144,7 +157,7 @@ void LinuxNetStack::NetifRx(sk_buff* skb) {
 }
 
 void LinuxNetStack::ArpInput(sk_buff* skb) {
-  ++stats_.arp_in;
+  ++counters_.arp_in;
   ArpPacket arp;
   if (!ArpPacket::Parse(skb->data, skb->len, &arp)) {
     kfree_skb(dev_->kenv, skb);
@@ -214,7 +227,7 @@ void LinuxNetStack::ResolveAndSend(InetAddr next_hop, sk_buff* skb) {
 // ---------------------------------------------------------------------------
 
 void LinuxNetStack::IpInput(sk_buff* skb) {
-  ++stats_.ip_in;
+  ++counters_.ip_in;
   Ipv4Header ip;
   if (!Ipv4Header::Parse(skb->data, skb->len, &ip) ||
       InetChecksumOf(skb->data, ip.header_len) != 0 || ip.total_len > skb->len) {
@@ -242,7 +255,7 @@ void LinuxNetStack::IpInput(sk_buff* skb) {
 
 void LinuxNetStack::IpTcpOutput(InetAddr src, InetAddr dst, sk_buff* skb) {
   // skb->data currently points at the TCP header; push IP and Ethernet.
-  ++stats_.ip_out;
+  ++counters_.ip_out;
   size_t tcp_len = skb->len;
   uint8_t* iph = skb_push(skb, kIpHeaderSize);
   Ipv4Header ip;
@@ -311,7 +324,7 @@ uint16_t LinuxNetStack::AllocPort() {
 }
 
 void LinuxNetStack::SendControl(LTcpPcb* pcb, uint8_t flags, bool with_mss) {
-  ++stats_.tcp_out;
+  ++counters_.tcp_out;
   size_t hdr = with_mss ? kTcpHeaderSize + 4 : kTcpHeaderSize;
   sk_buff* skb = dev_alloc_skb(dev_->kenv, kHeaderRoom);
   skb_reserve(skb, kHeaderRoom - hdr);
@@ -338,7 +351,7 @@ void LinuxNetStack::SendControl(LTcpPcb* pcb, uint8_t flags, bool with_mss) {
 }
 
 void LinuxNetStack::TransmitSeg(LTcpPcb* pcb, LTcpPcb::TxSeg& seg) {
-  ++stats_.tcp_out;
+  ++counters_.tcp_out;
   // Write the headers into the owning skbuff's reserved headroom, then hand
   // the driver a fake clone sharing the data (Linux 2.0's skb_clone role):
   // the queued original stays for retransmission.
@@ -420,7 +433,7 @@ void LinuxNetStack::TcpTrySend(LTcpPcb* pcb) {
 }
 
 void LinuxNetStack::TcpInput(const Ipv4Header& ip, sk_buff* skb) {
-  ++stats_.tcp_in;
+  ++counters_.tcp_in;
   TcpHeader th;
   if (!TcpHeader::Parse(skb->data, skb->len, &th)) {
     kfree_skb(dev_->kenv, skb);
@@ -574,7 +587,7 @@ void LinuxNetStack::TcpInput(const Ipv4Header& ip, sk_buff* skb) {
                SeqLeq(th.seq + data_len, pcb->rcv_nxt)) {
       // Entirely old duplicate: just re-ACK below.
     } else {
-      ++stats_.drops_ooo;
+      ++counters_.drops_ooo;
     }
   }
 
@@ -640,7 +653,7 @@ void LinuxNetStack::SlowTick() {
       continue;
     }
     if (pcb->rexmt_ticks > 0 && --pcb->rexmt_ticks == 0) {
-      ++stats_.tcp_retransmits;
+      ++counters_.tcp_retransmits;
       if (pcb->state == LTcpState::kSynSent) {
         SendControl(pcb, kTcpFlagSyn, /*with_mss=*/true);
         pcb->rexmt_ticks = kRexmtTicks;

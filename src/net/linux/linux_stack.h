@@ -34,6 +34,7 @@
 #include "src/machine/clock.h"
 #include "src/net/wire_formats.h"
 #include "src/sleep/sleep.h"
+#include "src/trace/trace.h"
 
 namespace oskit::net::linuxstack {
 
@@ -107,19 +108,22 @@ struct LTcpPcb {
 
 class LinuxNetStack {
  public:
-  struct Stats {
-    uint64_t ip_in = 0;
-    uint64_t ip_out = 0;
-    uint64_t tcp_in = 0;
-    uint64_t tcp_out = 0;
-    uint64_t tcp_retransmits = 0;
-    uint64_t drops_ooo = 0;
-    uint64_t arp_in = 0;
+  // Registered with the trace environment's registry under "linux.*".
+  struct Counters {
+    trace::Counter ip_in;
+    trace::Counter ip_out;
+    trace::Counter tcp_in;
+    trace::Counter tcp_out;
+    trace::Counter tcp_retransmits;
+    trace::Counter drops_ooo;
+    trace::Counter arp_in;
   };
 
   // Binds directly to the Linux-idiom driver core: stack and driver share
-  // skbuffs natively, as in the real Linux kernel.
-  LinuxNetStack(SleepEnv* sleep_env, SimClock* clock, linux_device* dev);
+  // skbuffs natively, as in the real Linux kernel.  `trace` is the
+  // observability environment to report into; null binds the default.
+  LinuxNetStack(SleepEnv* sleep_env, SimClock* clock, linux_device* dev,
+                trace::TraceEnv* trace = nullptr);
   ~LinuxNetStack();
 
   Error IfConfig(InetAddr addr, InetAddr netmask);
@@ -129,7 +133,7 @@ class LinuxNetStack {
   // A fresh stream socket (born with one reference).
   Socket* MakeSocket();
 
-  const Stats& stats() const { return stats_; }
+  const Counters& counters() const { return counters_; }
 
   // Driver upcall (installed as netif_rx).
   void NetifRx(sk_buff* skb);
@@ -213,7 +217,9 @@ class LinuxNetStack {
   uint16_t ip_ident_ = 1;
 
   ChannelWait sleep_;
-  Stats stats_;
+  trace::TraceEnv* trace_;
+  Counters counters_;
+  trace::CounterBlock trace_binding_;
   SimClock::EventId tick_event_ = SimClock::kInvalidEvent;
   bool shutting_down_ = false;
 };

@@ -28,6 +28,10 @@ thread_local void* g_curproc = nullptr;
 
 void BsdSleepWakeup::Sleep(const void* chan) {
   ++sleeps_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace::EventType::kSleep, "net",
+                      reinterpret_cast<uintptr_t>(chan));
+  }
   // Manufacture the "process" on the caller's stack (§4.7.5).
   EmulatedProc proc(env_);
   proc.chan = chan;
@@ -53,6 +57,10 @@ void BsdSleepWakeup::Sleep(const void* chan) {
 
 void BsdSleepWakeup::Wakeup(const void* chan) {
   ++wakeups_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace::EventType::kWakeup, "net",
+                      reinterpret_cast<uintptr_t>(chan));
+  }
   for (EmulatedProc* p = buckets_[BucketOf(chan)]; p != nullptr; p = p->next) {
     if (p->chan == chan) {
       p->record.Wakeup();
@@ -64,8 +72,37 @@ void BsdSleepWakeup::Wakeup(const void* chan) {
 // Construction / teardown
 // ---------------------------------------------------------------------------
 
-NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock)
-    : sleep_env_(sleep_env), clock_(clock), sleep_wakeup_(sleep_env) {
+NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
+    : sleep_env_(sleep_env),
+      clock_(clock),
+      trace_(trace::ResolveTraceEnv(trace)),
+      sleep_wakeup_(sleep_env, &trace_->recorder) {
+  trace_binding_.Bind(
+      &trace_->registry,
+      {{"net.ip.in", &counters_.ip_in},
+       {"net.ip.out", &counters_.ip_out},
+       {"net.ip.bad_checksum", &counters_.ip_bad_checksum},
+       {"net.ip.frags_in", &counters_.ip_frags_in},
+       {"net.ip.reassembled", &counters_.ip_reassembled},
+       {"net.ip.frag_out", &counters_.ip_frag_out},
+       {"net.arp.in", &counters_.arp_in},
+       {"net.arp.requests_out", &counters_.arp_requests_out},
+       {"net.icmp.echo_in", &counters_.icmp_echo_in},
+       {"net.udp.in", &counters_.udp_in},
+       {"net.udp.out", &counters_.udp_out},
+       {"net.udp.bad_checksum", &counters_.udp_bad_checksum},
+       {"net.udp.no_port", &counters_.udp_no_port},
+       {"net.tcp.in", &counters_.tcp_in},
+       {"net.tcp.out", &counters_.tcp_out},
+       {"net.tcp.bad_checksum", &counters_.tcp_bad_checksum},
+       {"net.tcp.retransmits", &counters_.tcp_retransmits},
+       {"net.tcp.fast_retransmits", &counters_.tcp_fast_retransmits},
+       {"net.tcp.delayed_acks", &counters_.tcp_delayed_acks},
+       {"net.tcp.ooo_segments", &counters_.tcp_ooo_segments},
+       {"net.tcp.rst_out", &counters_.tcp_rst_out},
+       {"net.rx.glue_copied_bytes", &counters_.rx_glue_copied_bytes},
+       {"net.sleep.sleeps", &sleep_wakeup_.sleeps_counter()},
+       {"net.sleep.wakeups", &sleep_wakeup_.wakeups_counter()}});
   StartTimers();
 }
 
@@ -231,7 +268,9 @@ class StackRecvNetIo final : public NetIo, public RefCounted<StackRecvNetIo> {
         packet->Read(cur->data, offset, cur->len, &actual);
         offset += cur->len;
       }
-      stack_->mutable_stats().rx_glue_copied_bytes += size;
+      stack_->mutable_counters().rx_glue_copied_bytes += size;
+      stack_->trace().recorder.Record(trace::EventType::kBufCopy, "net.rx",
+                                      size);
     } else {
       frame = MbufFromBufIo(&stack_->pool(), packet, size);
     }
@@ -306,6 +345,9 @@ void NetStack::EtherInputMbuf(int ifindex, MBuf* frame) {
 }
 
 void NetStack::EtherInput(int ifindex, MBuf* frame) {
+  trace_->recorder.Record(trace::EventType::kPacketRx, "net.ether",
+                          static_cast<uint64_t>(ifindex),
+                          frame != nullptr ? frame->pkt_len : 0);
   frame = pool_.Pullup(frame, kEtherHeaderSize);
   if (frame == nullptr) {
     return;
@@ -334,6 +376,8 @@ void NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
   eh.src = iface.mac;
   eh.type = type;
   eh.Serialize(frame->data);
+  trace_->recorder.Record(trace::EventType::kPacketTx, "net.ether",
+                          static_cast<uint64_t>(ifindex), frame->pkt_len);
 
   if (iface.native) {
     // Baseline path: the BSD-idiom driver takes the chain as-is.
@@ -351,7 +395,7 @@ void NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
 // ---------------------------------------------------------------------------
 
 void NetStack::ArpInput(int ifindex, MBuf* packet) {
-  ++stats_.arp_in;
+  ++counters_.arp_in;
   packet = pool_.Pullup(packet, kArpPacketSize);
   if (packet == nullptr) {
     return;
@@ -390,7 +434,7 @@ void NetStack::ArpInput(int ifindex, MBuf* packet) {
 }
 
 void NetStack::SendArpRequest(int ifindex, InetAddr target) {
-  ++stats_.arp_requests_out;
+  ++counters_.arp_requests_out;
   Iface& iface = ifaces_[ifindex];
   ArpPacket request;
   request.op = kArpOpRequest;

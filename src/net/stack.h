@@ -33,6 +33,7 @@
 #include "src/net/mbuf.h"
 #include "src/net/wire_formats.h"
 #include "src/sleep/sleep.h"
+#include "src/trace/trace.h"
 
 namespace oskit::net {
 
@@ -49,7 +50,9 @@ namespace oskit::net {
 // sleep record (§4.7.6).
 class BsdSleepWakeup {
  public:
-  explicit BsdSleepWakeup(SleepEnv* env) : env_(env) {}
+  explicit BsdSleepWakeup(SleepEnv* env,
+                          trace::FlightRecorder* recorder = nullptr)
+      : env_(env), recorder_(recorder) {}
 
   // Blocks the calling thread of control on `chan`.
   void Sleep(const void* chan);
@@ -57,6 +60,8 @@ class BsdSleepWakeup {
   // Wakes every sleeper on `chan`.  Safe from interrupt level.
   void Wakeup(const void* chan);
 
+  trace::Counter& sleeps_counter() { return sleeps_; }
+  trace::Counter& wakeups_counter() { return wakeups_; }
   uint64_t sleeps() const { return sleeps_; }
   uint64_t wakeups() const { return wakeups_; }
 
@@ -75,9 +80,10 @@ class BsdSleepWakeup {
   }
 
   SleepEnv* env_;
+  trace::FlightRecorder* recorder_;
   EmulatedProc* buckets_[kBuckets] = {};
-  uint64_t sleeps_ = 0;
-  uint64_t wakeups_ = 0;
+  trace::Counter sleeps_;
+  trace::Counter wakeups_;
 };
 
 // ---------------------------------------------------------------------------
@@ -227,32 +233,38 @@ class NativeEtherPort {
 
 class NetStack {
  public:
-  struct Stats {
-    uint64_t ip_in = 0;
-    uint64_t ip_out = 0;
-    uint64_t ip_bad_checksum = 0;
-    uint64_t ip_frags_in = 0;
-    uint64_t ip_reassembled = 0;
-    uint64_t ip_frag_out = 0;
-    uint64_t arp_in = 0;
-    uint64_t arp_requests_out = 0;
-    uint64_t icmp_echo_in = 0;
-    uint64_t udp_in = 0;
-    uint64_t udp_out = 0;
-    uint64_t udp_bad_checksum = 0;
-    uint64_t udp_no_port = 0;
-    uint64_t tcp_in = 0;
-    uint64_t tcp_out = 0;
-    uint64_t tcp_bad_checksum = 0;
-    uint64_t tcp_retransmits = 0;
-    uint64_t tcp_fast_retransmits = 0;
-    uint64_t tcp_delayed_acks = 0;
-    uint64_t tcp_ooo_segments = 0;
-    uint64_t tcp_rst_out = 0;
-    uint64_t rx_glue_copied_bytes = 0;  // forced-copy ablation counter
+  // Per-stack counters, registered with the trace environment's registry
+  // under "net." names (net.tcp.retransmits, net.ip.in, ...) so clients,
+  // kmon, and the benchmarks all read the same instrumentation.
+  struct Counters {
+    trace::Counter ip_in;
+    trace::Counter ip_out;
+    trace::Counter ip_bad_checksum;
+    trace::Counter ip_frags_in;
+    trace::Counter ip_reassembled;
+    trace::Counter ip_frag_out;
+    trace::Counter arp_in;
+    trace::Counter arp_requests_out;
+    trace::Counter icmp_echo_in;
+    trace::Counter udp_in;
+    trace::Counter udp_out;
+    trace::Counter udp_bad_checksum;
+    trace::Counter udp_no_port;
+    trace::Counter tcp_in;
+    trace::Counter tcp_out;
+    trace::Counter tcp_bad_checksum;
+    trace::Counter tcp_retransmits;
+    trace::Counter tcp_fast_retransmits;
+    trace::Counter tcp_delayed_acks;
+    trace::Counter tcp_ooo_segments;
+    trace::Counter tcp_rst_out;
+    trace::Counter rx_glue_copied_bytes;  // forced-copy ablation counter
   };
 
-  NetStack(SleepEnv* sleep_env, SimClock* clock);
+  // `trace` is the observability environment to report into; null binds the
+  // process-global default (the testbed supplies a per-host one).
+  NetStack(SleepEnv* sleep_env, SimClock* clock,
+           trace::TraceEnv* trace = nullptr);
   ~NetStack();
 
   NetStack(const NetStack&) = delete;
@@ -275,11 +287,12 @@ class NetStack {
   // Blocks until a reply arrives or `timeout_ns` elapses.
   Error Ping(InetAddr dst, SimTime timeout_ns, SimTime* out_rtt_ns);
 
-  const Stats& stats() const { return stats_; }
-  Stats& mutable_stats() { return stats_; }  // open implementation (§4.6)
+  const Counters& counters() const { return counters_; }
+  Counters& mutable_counters() { return counters_; }  // open implementation (§4.6)
   MbufPool& pool() { return pool_; }
   BsdSleepWakeup& sleep_wakeup() { return sleep_wakeup_; }
   SimClock& clock() { return *clock_; }
+  trace::TraceEnv& trace() { return *trace_; }
 
   // Native-driver ingress: a complete Ethernet frame as an mbuf chain.
   void EtherInputMbuf(int ifindex, MBuf* frame);
@@ -418,9 +431,11 @@ class NetStack {
 
   SleepEnv* sleep_env_;
   SimClock* clock_;
+  trace::TraceEnv* trace_;
   MbufPool pool_;
   BsdSleepWakeup sleep_wakeup_;
-  Stats stats_;
+  Counters counters_;
+  trace::CounterBlock trace_binding_;
 
   std::vector<Iface> ifaces_;
   InetAddr gateway_;

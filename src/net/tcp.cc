@@ -172,7 +172,7 @@ void NetStack::TcpSendSegment(TcpPcb* pcb, uint32_t seq, uint8_t flags,
   }
   StoreBe16(segment->data + 16, cksum.Finish());
 
-  ++stats_.tcp_out;
+  ++counters_.tcp_out;
   pcb->delayed_ack = false;
   IpOutput(kIpProtoTcp, pcb->laddr, pcb->faddr, segment);
 }
@@ -182,7 +182,7 @@ void NetStack::TcpSendRst(const Ipv4Header& ip, const TcpHeader& th,
   if ((th.flags & kTcpFlagRst) != 0) {
     return;  // never answer a RST with a RST
   }
-  ++stats_.tcp_rst_out;
+  ++counters_.tcp_rst_out;
   MBuf* segment = pool_.GetHeaderAligned(kTcpHeaderSize);
   TcpHeader rst;
   rst.src_port = th.dst_port;
@@ -404,7 +404,7 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
     return;
   }
   // Out of order: insert sorted (drop exact duplicates).
-  ++stats_.tcp_ooo_segments;
+  ++counters_.tcp_ooo_segments;
   auto it = pcb->reass.begin();
   while (it != pcb->reass.end() && SeqLt(it->seq, seq)) {
     ++it;
@@ -418,7 +418,7 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
 }
 
 void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
-  ++stats_.tcp_in;
+  ++counters_.tcp_in;
   size_t seg_total = payload->pkt_len;
   payload = pool_.Pullup(payload, kTcpHeaderSize);
   if (payload == nullptr) {
@@ -450,7 +450,7 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
       cksum.Add(m->data, m->len);
     }
     if (cksum.Finish() != 0) {
-      ++stats_.tcp_bad_checksum;
+      ++counters_.tcp_bad_checksum;
       pool_.FreeChain(payload);
       return;
     }
@@ -649,7 +649,7 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
           ++pcb->dup_acks;
           if (pcb->dup_acks == 3) {
             // Fast retransmit.
-            ++stats_.tcp_fast_retransmits;
+            ++counters_.tcp_fast_retransmits;
             uint32_t flight = pcb->snd_max - pcb->snd_una;
             uint32_t half = flight / 2;
             uint32_t floor2 = 2u * pcb->mss;
@@ -774,14 +774,14 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
 void NetStack::TcpFastTimo() {
   for (auto& pcb : tcp_pcbs_) {
     if (pcb->delayed_ack) {
-      ++stats_.tcp_delayed_acks;
+      ++counters_.tcp_delayed_acks;
       TcpOutput(pcb.get(), /*force_ack=*/true);
     }
   }
 }
 
 void NetStack::TcpRexmtExpired(TcpPcb* pcb) {
-  ++stats_.tcp_retransmits;
+  ++counters_.tcp_retransmits;
   ++pcb->rexmt_shift;
   if (pcb->rexmt_shift > kMaxRexmtShift) {
     TcpDrop(pcb, Error::kTimedOut);

@@ -24,7 +24,7 @@ UdpPcb* NetStack::UdpLookup(InetAddr dst, uint16_t dport) {
 }
 
 void NetStack::UdpInput(const Ipv4Header& ip, MBuf* payload) {
-  ++stats_.udp_in;
+  ++counters_.udp_in;
   payload = pool_.Pullup(payload, kUdpHeaderSize);
   if (payload == nullptr) {
     return;
@@ -51,14 +51,14 @@ void NetStack::UdpInput(const Ipv4Header& ip, MBuf* payload) {
       remaining -= n;
     }
     if (cksum.Finish() != 0) {
-      ++stats_.udp_bad_checksum;
+      ++counters_.udp_bad_checksum;
       pool_.FreeChain(payload);
       return;
     }
   }
   UdpPcb* pcb = UdpLookup(ip.dst, uh.dst_port);
   if (pcb == nullptr) {
-    ++stats_.udp_no_port;
+    ++counters_.udp_no_port;
     pool_.FreeChain(payload);
     return;  // a full implementation would send ICMP port-unreachable
   }
@@ -132,7 +132,7 @@ Error NetStack::UdpOutput(UdpPcb* pcb, const SockAddr& to, MBuf* payload) {
   }
   StoreBe16(dgram->data + 6, sum);
 
-  ++stats_.udp_out;
+  ++counters_.udp_out;
   return IpOutput(kIpProtoUdp, src, to.addr, dgram);
 }
 

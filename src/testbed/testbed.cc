@@ -57,7 +57,9 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
   // Boot: MultiBoot load (no modules needed here) + kernel support bring-up.
   BootLoader loader(&host->machine->phys());
   MultiBootInfo info = loader.Load("testbed");
-  host->kernel = std::make_unique<KernelEnv>(host->machine.get(), info);
+  host->kernel = std::make_unique<KernelEnv>(host->machine.get(), info,
+                                             KernelEnv::SleepMode::kFiber,
+                                             &host->trace);
   host->machine->cpu().EnableInterrupts();
   host->fdev = DefaultFdevEnv(host->kernel.get());
 
@@ -69,7 +71,7 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
       // init the FreeBSD stack, bind, ifconfig.
       linuxdev::InitLinuxEthernet(host->fdev, host->machine.get(), &host->registry);
       host->stack = std::make_unique<net::NetStack>(&host->kernel->sleep_env(),
-                                                    &sim_.clock());
+                                                    &sim_.clock(), &host->trace);
       auto devices = host->registry.LookupByInterface(EtherDev::kIid);
       OSKIT_ASSERT_MSG(!devices.empty(), "no ethernet devices probed");
       ComPtr<EtherDev> ether = ComPtr<EtherDev>::FromQuery(devices[0].get());
@@ -82,7 +84,7 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
     }
     case NetConfig::kNativeBsd: {
       host->stack = std::make_unique<net::NetStack>(&host->kernel->sleep_env(),
-                                                    &sim_.clock());
+                                                    &sim_.clock(), &host->trace);
       host->bsd_driver = std::make_unique<freebsddev::BsdEtherDriver>(
           host->fdev, nic, host->stack.get());
       Error err = host->bsd_driver->Attach();
@@ -107,7 +109,7 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
       dev->kenv.ctx = host->kernel.get();
       linuxdev::simnic_probe(dev, nic);
       host->linux_stack = std::make_unique<net::linuxstack::LinuxNetStack>(
-          &host->kernel->sleep_env(), &sim_.clock(), dev);
+          &host->kernel->sleep_env(), &sim_.clock(), dev, &host->trace);
       host->kernel->IrqRegister(dev->irq, [dev] { linuxdev::simnic_interrupt(dev); });
       host->linux_stack->IfConfig(host->addr, netmask);
       host->socket_factory = host->linux_stack->CreateSocketFactory();

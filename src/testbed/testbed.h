@@ -39,6 +39,10 @@ const char* NetConfigName(NetConfig config);
 
 // One simulated PC with a kernel environment and a bound network stack.
 struct Host {
+  // Per-host observability environment: every component on this host reports
+  // into this registry/recorder, so benchmarks can read per-sender counters.
+  // First member so it outlives everything that registers with it.
+  trace::TraceEnv trace;
   std::unique_ptr<Machine> machine;
   std::unique_ptr<KernelEnv> kernel;
   FdevEnv fdev;

@@ -17,18 +17,15 @@ double WallSecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-// Sender-side glue-copy statistics for OSKit-configured hosts.
+// Sender-side glue-copy statistics for OSKit-configured hosts, read from the
+// host's trace counter registry rather than by downcasting the device.
 void CollectGlueStats(Host& host, TtcpResult* result) {
   if (host.config != NetConfig::kOskit) {
     return;
   }
-  auto devices = host.registry.LookupByInterface(EtherDev::kIid);
-  if (devices.empty()) {
-    return;
-  }
-  auto* dev = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
-  result->sender_glue_copies = dev->xmit_stats().copied;
-  result->sender_glue_copied_bytes = dev->xmit_stats().copied_bytes;
+  result->sender_glue_copies = host.trace.registry.Value("glue.send.copied");
+  result->sender_glue_copied_bytes =
+      host.trace.registry.Value("glue.send.copied_bytes");
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+#include "src/trace/trace.h"
+
+#include <cstdio>
+
+#include "src/base/panic.h"
+
+namespace oskit::trace {
+
+// ---------------------------------------------------------------------------
+// Counter registry
+// ---------------------------------------------------------------------------
+
+CounterSnapshot DiffSnapshots(const CounterSnapshot& before,
+                              const CounterSnapshot& after) {
+  CounterSnapshot diff;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    uint64_t base = it != before.end() ? it->second : 0;
+    if (value != base) {
+      diff[name] = value - base;
+    }
+  }
+  return diff;
+}
+
+void CounterRegistry::Register(const std::string& name, Counter* counter,
+                               bool gauge) {
+  OSKIT_ASSERT_MSG(counter != nullptr, "null counter registered");
+  Entry& entry = entries_[name];
+  entry.gauge = entry.gauge || gauge;
+  entry.instances.push_back(counter);
+}
+
+void CounterRegistry::Unregister(const std::string& name, Counter* counter) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return;
+  }
+  auto& instances = it->second.instances;
+  for (auto inst = instances.begin(); inst != instances.end(); ++inst) {
+    if (*inst == counter) {
+      instances.erase(inst);
+      break;
+    }
+  }
+  if (instances.empty()) {
+    entries_.erase(it);
+  }
+}
+
+bool CounterRegistry::Has(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+uint64_t CounterRegistry::Value(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return 0;
+  }
+  uint64_t sum = 0;
+  for (const Counter* counter : it->second.instances) {
+    sum += counter->value();
+  }
+  return sum;
+}
+
+CounterSnapshot CounterRegistry::Snapshot() const {
+  CounterSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    uint64_t sum = 0;
+    for (const Counter* counter : entry.instances) {
+      sum += counter->value();
+    }
+    snap[name] = sum;
+  }
+  return snap;
+}
+
+void CounterRegistry::ResetAll() {
+  for (auto& [name, entry] : entries_) {
+    for (Counter* counter : entry.instances) {
+      counter->Reset();
+    }
+  }
+}
+
+void CounterRegistry::ForEach(
+    const std::function<void(const char* name, uint64_t value, bool gauge)>& fn,
+    const std::string& prefix) const {
+  for (const auto& [name, entry] : entries_) {
+    if (name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    uint64_t sum = 0;
+    for (const Counter* counter : entry.instances) {
+      sum += counter->value();
+    }
+    fn(name.c_str(), sum, entry.gauge);
+  }
+}
+
+void CounterBlock::Bind(CounterRegistry* registry,
+                        std::initializer_list<Item> items) {
+  OSKIT_ASSERT_MSG(registry_ == nullptr, "CounterBlock bound twice");
+  registry_ = registry;
+  for (const Item& item : items) {
+    registry_->Register(item.name, item.counter, item.gauge);
+    bound_.emplace_back(item.name, item.counter);
+  }
+}
+
+void CounterBlock::Unbind() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  for (const auto& [name, counter] : bound_) {
+    registry_->Unregister(name, counter);
+  }
+  bound_.clear();
+  registry_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kIrqEnter:
+      return "irq-enter";
+    case EventType::kIrqExit:
+      return "irq-exit";
+    case EventType::kTrap:
+      return "trap";
+    case EventType::kPacketRx:
+      return "packet-rx";
+    case EventType::kPacketTx:
+      return "packet-tx";
+    case EventType::kBufMap:
+      return "buf-map";
+    case EventType::kBufCopy:
+      return "buf-copy";
+    case EventType::kSleep:
+      return "sleep";
+    case EventType::kWakeup:
+      return "wakeup";
+    case EventType::kAlloc:
+      return "alloc";
+    case EventType::kFree:
+      return "free";
+    case EventType::kMark:
+      return "mark";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+FlightRecorder::~FlightRecorder() { DisableDumpOnPanic(); }
+
+void FlightRecorder::Record(EventType type, const char* tag, uint64_t arg0,
+                            uint64_t arg1) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent& slot = ring_[next_];
+  slot.seq = next_seq_++;
+  slot.time = now_ ? now_() : slot.seq;
+  slot.type = type;
+  slot.tag = tag != nullptr ? tag : "";
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_recorded_;
+}
+
+size_t FlightRecorder::size() const {
+  return total_recorded_ < ring_.size() ? static_cast<size_t>(total_recorded_)
+                                        : ring_.size();
+}
+
+const TraceEvent& FlightRecorder::At(size_t index) const {
+  OSKIT_ASSERT_MSG(index < size(), "flight recorder index out of range");
+  size_t count = size();
+  // Oldest buffered event sits at next_ once the ring has wrapped.
+  size_t oldest = total_recorded_ > count ? next_ : 0;
+  return ring_[(oldest + index) % ring_.size()];
+}
+
+void FlightRecorder::Clear() {
+  next_ = 0;
+  total_recorded_ = 0;
+}
+
+void FlightRecorder::ForEach(
+    const std::function<void(const TraceEvent&)>& fn) const {
+  size_t count = size();
+  for (size_t i = 0; i < count; ++i) {
+    fn(At(i));
+  }
+}
+
+void FlightRecorder::FormatEvent(const TraceEvent& event, char* buf,
+                                 size_t len) {
+  std::snprintf(buf, len,
+                "seq=%llu t=%llu %s %s arg0=%llu arg1=%llu",
+                static_cast<unsigned long long>(event.seq),
+                static_cast<unsigned long long>(event.time),
+                EventTypeName(event.type), event.tag,
+                static_cast<unsigned long long>(event.arg0),
+                static_cast<unsigned long long>(event.arg1));
+}
+
+namespace {
+
+void StderrSink(void* /*ctx*/, const char* line) {
+  std::fprintf(stderr, "%s\n", line);
+}
+
+}  // namespace
+
+void FlightRecorder::SetDumpSink(DumpSink sink, void* ctx) {
+  dump_sink_ = sink;
+  dump_ctx_ = ctx;
+}
+
+void FlightRecorder::EnableDumpOnPanic(const char* banner) {
+  panic_banner_ = banner != nullptr ? banner : "flight recorder";
+  if (!panic_hooked_) {
+    AddPanicObserver(&FlightRecorder::PanicObserverThunk, this);
+    panic_hooked_ = true;
+  }
+}
+
+void FlightRecorder::DisableDumpOnPanic() {
+  if (panic_hooked_) {
+    RemovePanicObserver(&FlightRecorder::PanicObserverThunk, this);
+    panic_hooked_ = false;
+  }
+}
+
+void FlightRecorder::DumpTo(DumpSink sink, void* ctx) const {
+  if (sink == nullptr) {
+    sink = &StderrSink;
+    ctx = nullptr;
+  }
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "flight recorder: %llu recorded, %zu buffered, %llu dropped",
+                static_cast<unsigned long long>(total_recorded_), size(),
+                static_cast<unsigned long long>(dropped()));
+  sink(ctx, line);
+  size_t count = size();
+  for (size_t i = 0; i < count; ++i) {
+    FormatEvent(At(i), line, sizeof(line));
+    sink(ctx, line);
+  }
+}
+
+void FlightRecorder::PanicObserverThunk(void* ctx, const char* message) {
+  auto* recorder = static_cast<FlightRecorder*>(ctx);
+  DumpSink sink = recorder->dump_sink_ != nullptr ? recorder->dump_sink_
+                                                  : &StderrSink;
+  char line[192];
+  std::snprintf(line, sizeof(line), "=== %s (panic: %s) ===",
+                recorder->panic_banner_, message);
+  sink(recorder->dump_ctx_, line);
+  recorder->DumpTo(recorder->dump_sink_, recorder->dump_ctx_);
+}
+
+// ---------------------------------------------------------------------------
+// Default environment
+// ---------------------------------------------------------------------------
+
+TraceEnv* DefaultTraceEnv() {
+  // Deliberately leaked: components unbinding during static destruction
+  // must still find a live registry.
+  static TraceEnv* env = new TraceEnv;
+  return env;
+}
+
+}  // namespace oskit::trace

@@ -1,0 +1,229 @@
+// The trace component: unified counters and a flight recorder.
+//
+// The paper sells the OSKit on separability and introspectability — §3.5's
+// debugging aids and §4.6's "open implementation" (exposed free-list
+// walking, client-visible internals).  This component is that idea applied
+// to measurement: one registry of named, hierarchical counters shared by
+// every subsystem (net.tcp.retransmits, glue.send.copied_bytes,
+// lmm.alloc_calls, ...), and a fixed-size ring of typed trace events (IRQ
+// enter/exit, packet rx/tx, buffer map/copy, sleep/wakeup, alloc/free)
+// cheap enough to leave compiled in.
+//
+// Like every other OSKit component the trace environment is
+// client-overridable: components accept a TraceEnv* and fall back to a
+// process-global default, so a client kernel can give each simulated
+// machine its own registry/recorder (the testbed does exactly that) while
+// simple programs need to wire nothing.  The COM faces (CounterSet,
+// TraceLog — src/com/trace.h, src/trace/trace_com.h) let client kernels
+// pick the instrumentation up like any other component.
+
+#ifndef OSKIT_SRC_TRACE_TRACE_H_
+#define OSKIT_SRC_TRACE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/trace/counters.h"
+
+namespace oskit::trace {
+
+// ---------------------------------------------------------------------------
+// Counter registry
+// ---------------------------------------------------------------------------
+
+// name -> value at one instant; the unit of snapshot/diff reporting.
+using CounterSnapshot = std::map<std::string, uint64_t>;
+
+// after - before for every name in `after` (names absent from `before`
+// count from zero).  Unchanged counters are dropped.
+CounterSnapshot DiffSnapshots(const CounterSnapshot& before,
+                              const CounterSnapshot& after);
+
+// Indexes counters owned by components under hierarchical dotted names.
+// Registration is non-owning: the component keeps the Counter (its hot path
+// touches a plain word), the registry only reads through the pointer.  The
+// same name may be registered by several instances (two NetStacks sharing
+// the default environment); the registry reports their sum.
+class CounterRegistry {
+ public:
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  void Register(const std::string& name, Counter* counter, bool gauge = false);
+  void Unregister(const std::string& name, Counter* counter);
+
+  bool Has(const std::string& name) const;
+  // Sum across registered instances; 0 when the name is unknown.
+  uint64_t Value(const std::string& name) const;
+
+  size_t size() const { return entries_.size(); }
+
+  CounterSnapshot Snapshot() const;
+
+  // Zeroes every registered counter (gauges included).
+  void ResetAll();
+
+  // Deterministic (name-sorted) iteration, optionally restricted to names
+  // starting with `prefix`.  The name pointer is valid while the entry
+  // stays registered.
+  void ForEach(const std::function<void(const char* name, uint64_t value,
+                                        bool gauge)>& fn,
+               const std::string& prefix = "") const;
+
+ private:
+  struct Entry {
+    std::vector<Counter*> instances;
+    bool gauge = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+// RAII bulk binding: a component lists its (name, counter) pairs once in its
+// constructor and forgets about them; destruction unregisters.
+class CounterBlock {
+ public:
+  CounterBlock() = default;
+  ~CounterBlock() { Unbind(); }
+  CounterBlock(const CounterBlock&) = delete;
+  CounterBlock& operator=(const CounterBlock&) = delete;
+
+  struct Item {
+    const char* name;
+    Counter* counter;
+    bool gauge = false;
+  };
+
+  void Bind(CounterRegistry* registry, std::initializer_list<Item> items);
+  void Unbind();
+
+ private:
+  CounterRegistry* registry_ = nullptr;
+  std::vector<std::pair<std::string, Counter*>> bound_;
+};
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+enum class EventType : uint8_t {
+  kIrqEnter,
+  kIrqExit,
+  kTrap,
+  kPacketRx,
+  kPacketTx,
+  kBufMap,   // foreign buffer mapped at a glue boundary (zero copy)
+  kBufCopy,  // foreign buffer copied at a glue boundary
+  kSleep,
+  kWakeup,
+  kAlloc,
+  kFree,
+  kMark,  // free-form client event
+};
+
+const char* EventTypeName(EventType type);
+
+struct TraceEvent {
+  uint64_t seq = 0;   // global recording order, never reused
+  uint64_t time = 0;  // from the environment's time source (sim clock)
+  EventType type = EventType::kMark;
+  const char* tag = "";  // static string naming the site
+  uint64_t arg0 = 0;     // type-specific (vector number, byte count, ...)
+  uint64_t arg1 = 0;
+};
+
+// Fixed-size ring of trace events.  Recording never allocates and wraps
+// around at capacity, dropping the oldest events; a dump-on-panic hook can
+// be wired into the src/base panic plumbing so the last events survive a
+// crash.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Timestamps default to the recording sequence number until a clock is
+  // wired in (the testbed supplies the simulated clock).
+  void SetTimeSource(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(EventType type, const char* tag, uint64_t arg0 = 0,
+              uint64_t arg1 = 0);
+
+  size_t capacity() const { return ring_.size(); }
+  // Events currently buffered (<= capacity).
+  size_t size() const;
+  uint64_t total_recorded() const { return total_recorded_; }
+  // Events lost to wrap-around.
+  uint64_t dropped() const { return total_recorded_ - size(); }
+
+  // index 0 = oldest buffered event.
+  const TraceEvent& At(size_t index) const;
+
+  void Clear();
+
+  void ForEach(const std::function<void(const TraceEvent&)>& fn) const;
+
+  // "seq=12 t=3400 packet-rx ether arg0=0 arg1=1514"
+  static void FormatEvent(const TraceEvent& event, char* buf, size_t len);
+
+  // ---- dump-on-panic ----
+  using DumpSink = void (*)(void* ctx, const char* line);
+
+  // Where dumps go; defaults to stderr.
+  void SetDumpSink(DumpSink sink, void* ctx);
+
+  // Registers with the src/base panic observer list: on Panic() the
+  // buffered events are written to the dump sink (banner first) before the
+  // panic handler runs.
+  void EnableDumpOnPanic(const char* banner);
+  void DisableDumpOnPanic();
+
+  void DumpTo(DumpSink sink, void* ctx) const;
+
+ private:
+  static void PanicObserverThunk(void* ctx, const char* message);
+
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;  // slot the next event lands in
+  uint64_t total_recorded_ = 0;
+  uint64_t next_seq_ = 1;
+  bool enabled_ = true;
+  std::function<uint64_t()> now_;
+  DumpSink dump_sink_ = nullptr;  // null = stderr
+  void* dump_ctx_ = nullptr;
+  const char* panic_banner_ = nullptr;
+  bool panic_hooked_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// The environment components bind to
+// ---------------------------------------------------------------------------
+
+struct TraceEnv {
+  CounterRegistry registry;
+  FlightRecorder recorder;
+};
+
+// The process-global fallback used when a component is handed no
+// environment.  Never destroyed (components may unregister during static
+// teardown).
+TraceEnv* DefaultTraceEnv();
+
+inline TraceEnv* ResolveTraceEnv(TraceEnv* env) {
+  return env != nullptr ? env : DefaultTraceEnv();
+}
+
+}  // namespace oskit::trace
+
+#endif  // OSKIT_SRC_TRACE_TRACE_H_

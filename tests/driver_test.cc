@@ -140,8 +140,8 @@ TEST_F(DriverTest, LinuxEtherRoundTripAndXmitPaths) {
   ASSERT_EQ(1u, rx_b->frames.size());
   EXPECT_EQ(0, memcmp(rx_b->frames[0].data(), frame, sizeof(frame)));
   EXPECT_TRUE(rx_b->mapped_ok) << "received skbuff should be mappable";
-  EXPECT_EQ(1u, dev_a->xmit_stats().fake_skbuff);
-  EXPECT_EQ(0u, dev_a->xmit_stats().copied);
+  EXPECT_EQ(1u, dev_a->counters().fake_skbuff);
+  EXPECT_EQ(0u, dev_a->counters().copied);
 
   // Discontiguous packet (an mbuf chain): the glue must copy (§4.7.3).
   net::MbufPool pool;
@@ -158,8 +158,8 @@ TEST_F(DriverTest, LinuxEtherRoundTripAndXmitPaths) {
   sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
   ASSERT_EQ(2u, rx_b->frames.size());
   EXPECT_EQ(0, memcmp(rx_b->frames[1].data(), frame, sizeof(frame)));
-  EXPECT_EQ(1u, dev_a->xmit_stats().copied);
-  EXPECT_EQ(sizeof(frame), dev_a->xmit_stats().copied_bytes);
+  EXPECT_EQ(1u, dev_a->counters().copied);
+  EXPECT_EQ(sizeof(frame), dev_a->counters().copied_bytes);
 
   ASSERT_EQ(Error::kOk, ea->Close());
   ASSERT_EQ(Error::kOk, eb->Close());

@@ -289,7 +289,7 @@ TEST(LinuxStackFaultTest, RecoversFromLossViaRetransmission) {
   world.RunToCompletion();
   EXPECT_EQ(kTotal, received);
   EXPECT_EQ(expect_checksum, checksum);
-  EXPECT_GT(world.host(1).linux_stack->stats().tcp_retransmits, 0u);
+  EXPECT_GT(world.host(1).linux_stack->counters().tcp_retransmits, 0u);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "src/kern/gdb_stub.h"
 #include "src/kern/kernel.h"
+#include "src/kern/kmon.h"
 
 namespace oskit {
 namespace {
@@ -252,6 +253,91 @@ TEST_F(KernTest, GdbStubRejectsBadChecksum) {
   std::string out = machine_->debug_uart().TakeOutput();
   // The stub NAKed the corrupt packet.
   EXPECT_NE(std::string::npos, out.find('-'));
+}
+
+// ---------------------------------------------------------------------------
+// kmon trace commands (the src/trace component through the monitor)
+// ---------------------------------------------------------------------------
+
+class KmonTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = std::make_unique<Machine>(&sim_, Machine::Config{});
+    // A private trace environment so other tests' counters can't leak in.
+    kernel_ = std::make_unique<KernelEnv>(machine_.get(), MultiBootInfo{},
+                                          KernelEnv::SleepMode::kFiber, &trace_);
+  }
+
+  // Types a command line into the console as if an operator did.
+  void Type(const std::string& line) {
+    machine_->console_uart().InjectRx(line.data(), line.size());
+    machine_->console_uart().InjectRx("\r", 1);
+  }
+
+  // Runs one scripted monitor session and returns the console transcript.
+  std::string RunSession() {
+    KernelMonitor kmon(kernel_.get(), &kernel_->console());
+    sim_.Spawn("kmon", [&] {
+      TrapFrame frame;
+      kmon.Enter(frame);
+    });
+    EXPECT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
+    return machine_->console_uart().TakeOutput();
+  }
+
+  trace::TraceEnv trace_;
+  Simulation sim_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<KernelEnv> kernel_;
+};
+
+TEST_F(KmonTraceTest, CountersCommandDumpsTheRegistry) {
+  kernel_->lmm().Alloc(4096, 0);
+  machine_->cpu().EnableInterrupts();
+  machine_->cpu().RaiseInterrupt(kIrqBaseVector + 0);
+
+  Type("counters");
+  Type("counters lmm.");
+  Type("counters no.such.prefix");
+  Type("c");
+  std::string out = RunSession();
+
+  // Full dump shows every bound subsystem with live values.
+  EXPECT_NE(std::string::npos, out.find("lmm.alloc_calls"));
+  EXPECT_NE(std::string::npos, out.find("machine.irq.dispatched"));
+  // Prefix filtering and the empty-match message both work.
+  size_t lmm_section = out.find("counters lmm.");
+  ASSERT_NE(std::string::npos, lmm_section);
+  EXPECT_NE(std::string::npos, out.find("lmm.free_calls", lmm_section));
+  EXPECT_NE(std::string::npos, out.find("no counters match that prefix"));
+}
+
+TEST_F(KmonTraceTest, TraceDumpAndClearCommands) {
+  machine_->cpu().EnableInterrupts();
+  machine_->cpu().RaiseInterrupt(kIrqBaseVector + 0);  // irq-enter / irq-exit
+
+  Type("trace dump");
+  Type("trace clear");
+  Type("trace dump");
+  Type("trace bogus");
+  Type("c");
+  std::string out = RunSession();
+
+  size_t first_dump = out.find("trace:");
+  ASSERT_NE(std::string::npos, first_dump);
+  EXPECT_NE(std::string::npos, out.find("irq-enter", first_dump));
+  EXPECT_NE(std::string::npos, out.find("irq-exit", first_dump));
+  EXPECT_NE(std::string::npos, out.find("trace ring cleared"));
+  EXPECT_NE(std::string::npos, out.find("trace ring empty"));
+  EXPECT_NE(std::string::npos, out.find("usage: trace dump | trace clear"));
+}
+
+TEST_F(KmonTraceTest, HelpListsTraceCommands) {
+  Type("help");
+  Type("c");
+  std::string out = RunSession();
+  EXPECT_NE(std::string::npos, out.find("counters [prefix]"));
+  EXPECT_NE(std::string::npos, out.find("trace dump|clear"));
 }
 
 }  // namespace

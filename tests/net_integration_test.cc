@@ -116,7 +116,7 @@ TEST(NetIntegrationTest, OskitReceivePathDoesNotCopyButSendPathDoes) {
     DeviceInfo info;
     ASSERT_EQ(Error::kOk, devices[0]->GetInfo(&info));
     auto* dev = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
-    const auto& stats = dev->xmit_stats();
+    const auto& stats = dev->counters();
     if (sent_bulk) {
       // Bulk data segments are header+cluster chains: unmappable, copied.
       EXPECT_GT(stats.copied, 100u);
@@ -223,8 +223,8 @@ TEST(NetIntegrationTest, UdpFragmentationReassembles) {
   });
   world.RunToCompletion();
   EXPECT_TRUE(received);
-  EXPECT_GT(a.stack->stats().ip_frag_out, 4u);
-  EXPECT_EQ(b.stack->stats().ip_reassembled, 1u);
+  EXPECT_GT(a.stack->counters().ip_frag_out, 4u);
+  EXPECT_EQ(b.stack->counters().ip_reassembled, 1u);
 }
 
 TEST(NetIntegrationTest, ConnectionRefusedGetsRst) {

@@ -172,7 +172,7 @@ TEST_F(TcpEdgeTest, BacklogOverflowDropsSynsButServiceRecovers) {
   }
   world_->RunToCompletion();
   EXPECT_EQ(kClients, served);
-  EXPECT_GT(b().stack->stats().tcp_retransmits, 0u);  // dropped SYNs retried
+  EXPECT_GT(b().stack->counters().tcp_retransmits, 0u);  // dropped SYNs retried
 }
 
 TEST_F(TcpEdgeTest, PeerResetSurfacesAsConnReset) {
