@@ -22,3 +22,6 @@ oskit_bench(fig_javapc)
 oskit_bench(ablation_glue)
 oskit_bench(ablation_alloc)
 oskit_bench(ablation_bufio)
+oskit_bench(fault_campaign)
+target_link_libraries(fault_campaign PRIVATE oskit_fault oskit_amm
+  oskit_memdebug)

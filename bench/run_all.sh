@@ -1,7 +1,8 @@
 #!/bin/sh
 # Runs every benchmark binary with smoke-sized arguments and emits a
 # machine-readable counter report (BENCH_trace.json, produced by
-# ablation_glue from the sender's trace counter registry).
+# ablation_glue from the sender's trace counter registry; BENCH_fault.json,
+# produced by the fault-injection campaign's aggregate counters).
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
@@ -15,6 +16,7 @@ BUILD_DIR="${1:-build}"
 BENCH_DIR="$BUILD_DIR/bench"
 LOG_DIR="$BENCH_DIR/logs"
 JSON_OUT="$BENCH_DIR/BENCH_trace.json"
+FAULT_JSON_OUT="$BENCH_DIR/BENCH_fault.json"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -55,11 +57,18 @@ run_bench fig_javapc
 run_bench ablation_glue    4000 --json "$JSON_OUT"
 run_bench ablation_alloc
 run_bench ablation_bufio
+run_bench fault_campaign   --seeds 8 --json "$FAULT_JSON_OUT"
 
 if [ -f "$JSON_OUT" ]; then
     echo "wrote $JSON_OUT"
 else
     echo "FAIL BENCH_trace.json was not produced"
+    status=1
+fi
+if [ -f "$FAULT_JSON_OUT" ]; then
+    echo "wrote $FAULT_JSON_OUT"
+else
+    echo "FAIL BENCH_fault.json was not produced"
     status=1
 fi
 

@@ -70,6 +70,9 @@ Error Amm::Modify(uint64_t addr, uint64_t size, uint32_t flags) {
 
 Error Amm::Allocate(uint64_t* inout_addr, uint64_t size, uint32_t flags,
                     unsigned align_bits, uint64_t upper_bound) {
+  if (fault_->ShouldFail("amm.alloc")) {
+    return Error::kNoSpace;
+  }
   uint64_t addr = *inout_addr;
   Error err = FindGen(&addr, size, free_flags_, ~uint32_t{0}, align_bits);
   if (!Ok(err)) {

@@ -15,6 +15,7 @@
 #include <map>
 
 #include "src/base/error.h"
+#include "src/fault/fault.h"
 
 namespace oskit {
 
@@ -77,6 +78,10 @@ class Amm {
   // entries with equal flags.  Panics on violation.
   void AuditOrDie() const;
 
+  // Fault injection: with "amm.alloc" armed, Allocate() fails with
+  // kNoSpace on fired calls — the same error a genuinely full map returns.
+  void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
+
  private:
   struct Entry {
     uint64_t end;    // exclusive
@@ -92,6 +97,7 @@ class Amm {
   uint64_t hi_;
   uint32_t free_flags_;
   std::map<uint64_t, Entry> entries_;  // keyed by start address
+  fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
 };
 
 }  // namespace oskit

@@ -27,6 +27,20 @@ uint64_t DefaultNowNs(void* ctx) {
   return static_cast<KernelEnv*>(ctx)->machine().clock().Now();
 }
 
+// Timer tokens are simulation event ids; kInvalidEvent is 0, so a null
+// token can never collide with a live timer.
+void* DefaultTimerStart(void* ctx, uint64_t ns, std::function<void()> fn) {
+  SimClock& clock = static_cast<KernelEnv*>(ctx)->machine().clock();
+  SimClock::EventId id = clock.ScheduleAfter(ns, std::move(fn));
+  return reinterpret_cast<void*>(static_cast<uintptr_t>(id));
+}
+
+bool DefaultTimerCancel(void* ctx, void* token) {
+  SimClock& clock = static_cast<KernelEnv*>(ctx)->machine().clock();
+  auto id = static_cast<SimClock::EventId>(reinterpret_cast<uintptr_t>(token));
+  return id != SimClock::kInvalidEvent && clock.Cancel(id);
+}
+
 }  // namespace
 
 FdevEnv DefaultFdevEnv(KernelEnv* kernel) {
@@ -36,8 +50,11 @@ FdevEnv DefaultFdevEnv(KernelEnv* kernel) {
   env.irq_attach = &DefaultIrqAttach;
   env.irq_detach = &DefaultIrqDetach;
   env.now_ns = &DefaultNowNs;
+  env.timer_start = &DefaultTimerStart;
+  env.timer_cancel = &DefaultTimerCancel;
   env.sleep_env = &kernel->sleep_env();
   env.trace = &kernel->trace();
+  env.fault = &kernel->fault();
   env.ctx = kernel;
   return env;
 }

@@ -38,12 +38,22 @@ struct FdevEnv {
   // Time.
   uint64_t (*now_ns)(void* ctx) = nullptr;
 
+  // One-shot timers, for driver watchdogs: `fn` runs at interrupt level
+  // after `ns`.  timer_start returns a token for timer_cancel; cancelling
+  // an already-fired timer is a harmless no-op returning false.
+  void* (*timer_start)(void* ctx, uint64_t ns, std::function<void()> fn) = nullptr;
+  bool (*timer_cancel)(void* ctx, void* token) = nullptr;
+
   // Blocking: the one primitive (§4.7.6).
   SleepEnv* sleep_env = nullptr;
 
   // Observability environment the glue reports into (src/trace); null binds
   // the process-global default, like every other entry's fallback.
   trace::TraceEnv* trace = nullptr;
+
+  // Fault-injection environment the glue probes (src/fault); null binds the
+  // process-global default, which has nothing armed.
+  fault::FaultEnv* fault = nullptr;
 
   void* ctx = nullptr;
 };

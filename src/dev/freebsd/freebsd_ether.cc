@@ -1,13 +1,28 @@
 #include "src/dev/freebsd/freebsd_ether.h"
 
+#include <cstring>
+
 #include "src/base/panic.h"
 
 namespace oskit::freebsddev {
 
+namespace {
+// How often the RX watchdog looks for frames stranded by a lost interrupt.
+constexpr uint64_t kRxWatchdogNs = 10 * 1000 * 1000;  // 10 ms
+}  // namespace
+
 BsdEtherDriver::BsdEtherDriver(const FdevEnv& env, NicHw* hw, net::NetStack* stack)
-    : env_(env), hw_(hw), stack_(stack) {}
+    : env_(env), hw_(hw), stack_(stack),
+      fault_(fault::ResolveFaultEnv(env.fault)) {
+  trace::TraceEnv* tenv = trace::ResolveTraceEnv(env_.trace);
+  trace_binding_.Bind(&tenv->registry,
+                      {{"bsd.tx.linearized", &tx_linearized_},
+                       {"bsd.rx.alloc_drops", &rx_alloc_drops_},
+                       {"bsd.rx.watchdog_recoveries", &rx_watchdog_recoveries_}});
+}
 
 BsdEtherDriver::~BsdEtherDriver() {
+  CancelRxWatchdog();
   if (attached_) {
     env_.irq_detach(env_.ctx, hw_->irq());
     hw_->EnableRxInterrupt(false);
@@ -22,25 +37,44 @@ Error BsdEtherDriver::Attach() {
   env_.irq_attach(env_.ctx, hw_->irq(), [this] { Interrupt(); });
   hw_->EnableRxInterrupt(true);
   attached_ = true;
+  ArmRxWatchdog();
   return Error::kOk;
 }
 
 void BsdEtherDriver::Output(net::MBuf* frame) {
   // Gather DMA straight from the chain: no software copy, the hardware
   // assembles the frame from the descriptor list.
-  const uint8_t* chunks[64];
-  size_t lens[64];
+  const uint8_t* chunks[kMaxGather];
+  size_t lens[kMaxGather];
   size_t count = 0;
+  bool overflow = false;
   for (net::MBuf* m = frame; m != nullptr; m = m->next) {
     if (m->len == 0) {
       continue;
     }
-    OSKIT_ASSERT_MSG(count < 64, "gather list overflow");
+    if (count >= kMaxGather) {
+      overflow = true;
+      break;
+    }
     chunks[count] = m->data;
     lens[count] = m->len;
     ++count;
   }
-  hw_->TxStartVec(chunks, lens, count);
+  if (overflow) {
+    // More fragments than descriptors: linearize through a bounce buffer,
+    // the if_xl-style m_defrag fallback, instead of dying on an assert.
+    uint8_t bounce[kEtherMaxFrame];
+    size_t total = 0;
+    for (net::MBuf* m = frame; m != nullptr; m = m->next) {
+      OSKIT_ASSERT_MSG(total + m->len <= sizeof(bounce), "oversize frame");
+      std::memcpy(bounce + total, m->data, m->len);
+      total += m->len;
+    }
+    ++tx_linearized_;
+    hw_->TxStart(bounce, total);
+  } else {
+    hw_->TxStartVec(chunks, lens, count);
+  }
   ++tx_frames_;
   stack_->pool().FreeChain(frame);
 }
@@ -48,6 +82,14 @@ void BsdEtherDriver::Output(net::MBuf* frame) {
 void BsdEtherDriver::Interrupt() {
   while (hw_->RxPending()) {
     size_t frame_len = hw_->RxFrameSize();
+    if (fault_->ShouldFail("mbuf.rx_alloc")) {
+      // Receive-buffer exhaustion: drain the frame to the floor (the ring
+      // must advance) and count the drop; TCP above retransmits.
+      uint8_t scratch[kEtherMaxFrame];
+      hw_->RxDequeue(scratch);
+      ++rx_alloc_drops_;
+      continue;
+    }
     net::MBuf* m = stack_->pool().GetCluster();
     OSKIT_ASSERT(frame_len <= m->buf_size());
     hw_->RxDequeue(m->data);
@@ -55,6 +97,33 @@ void BsdEtherDriver::Interrupt() {
     m->pkt_len = m->len;
     ++rx_frames_;
     stack_->EtherInputMbuf(ifindex_, m);
+  }
+}
+
+void BsdEtherDriver::ArmRxWatchdog() {
+  if (env_.timer_start == nullptr) {
+    return;
+  }
+  watchdog_token_ =
+      env_.timer_start(env_.ctx, kRxWatchdogNs, [this] { RxWatchdogTick(); });
+}
+
+void BsdEtherDriver::RxWatchdogTick() {
+  watchdog_token_ = nullptr;
+  if (!attached_) {
+    return;
+  }
+  if (hw_->RxPending()) {
+    ++rx_watchdog_recoveries_;
+    Interrupt();
+  }
+  ArmRxWatchdog();
+}
+
+void BsdEtherDriver::CancelRxWatchdog() {
+  if (watchdog_token_ != nullptr && env_.timer_cancel != nullptr) {
+    env_.timer_cancel(env_.ctx, watchdog_token_);
+    watchdog_token_ = nullptr;
   }
 }
 

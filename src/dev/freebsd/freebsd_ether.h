@@ -5,6 +5,12 @@
 // buffer-model conversion and no COM boundary anywhere between TCP and the
 // wire.  Transmit hands the hardware the mbuf chain as a DMA gather list;
 // receive allocates a cluster mbuf and feeds the stack directly.
+//
+// Robustness: a chain with more fragments than the hardware has gather
+// descriptors is linearized through a bounce buffer instead of tripping an
+// assertion; receive-buffer exhaustion drops the frame (counted) instead of
+// wedging; and a watchdog timer drains the RX ring if an interrupt is lost.
+// Recovery actions are counted into the trace registry under "bsd.*".
 
 #ifndef OSKIT_SRC_DEV_FREEBSD_FREEBSD_ETHER_H_
 #define OSKIT_SRC_DEV_FREEBSD_FREEBSD_ETHER_H_
@@ -29,17 +35,31 @@ class BsdEtherDriver final : public net::NativeEtherPort {
 
   uint64_t tx_frames() const { return tx_frames_; }
   uint64_t rx_frames() const { return rx_frames_; }
+  uint64_t tx_linearized() const { return tx_linearized_; }
+  uint64_t rx_alloc_drops() const { return rx_alloc_drops_; }
 
  private:
+  // The hardware's gather-descriptor budget (TxStartVec limit).
+  static constexpr size_t kMaxGather = 64;
+
   void Interrupt();
+  void ArmRxWatchdog();
+  void RxWatchdogTick();
+  void CancelRxWatchdog();
 
   FdevEnv env_;
   NicHw* hw_;
   net::NetStack* stack_;
+  fault::FaultEnv* fault_;
   int ifindex_ = -1;
   bool attached_ = false;
   uint64_t tx_frames_ = 0;
   uint64_t rx_frames_ = 0;
+  trace::Counter tx_linearized_;
+  trace::Counter rx_alloc_drops_;
+  trace::Counter rx_watchdog_recoveries_;
+  trace::CounterBlock trace_binding_;
+  void* watchdog_token_ = nullptr;
 };
 
 }  // namespace oskit::freebsddev

@@ -7,6 +7,11 @@
 
 namespace oskit::linuxdev {
 
+namespace {
+// How often the RX watchdog looks for frames stranded by a lost interrupt.
+constexpr uint64_t kRxWatchdogNs = 10 * 1000 * 1000;  // 10 ms
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SkBuffIo
 // ---------------------------------------------------------------------------
@@ -117,7 +122,11 @@ LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
                       {{"glue.send.native_passthrough", &counters_.native_passthrough},
                        {"glue.send.fake_skbuff", &counters_.fake_skbuff},
                        {"glue.send.copied", &counters_.copied},
-                       {"glue.send.copied_bytes", &counters_.copied_bytes}});
+                       {"glue.send.copied_bytes", &counters_.copied_bytes},
+                       {"glue.recv.push_errors", &counters_.rx_push_errors},
+                       {"glue.recv.oom_drops", &counters_.rx_oom_drops},
+                       {"glue.recv.watchdog_recoveries",
+                        &counters_.rx_watchdog_recoveries}});
   libc::Snprintf(dev_.name, sizeof(dev_.name), "%s", name_.c_str());
   dev_.kenv.kmalloc = &GlueKmalloc;
   dev_.kenv.kfree = &GlueKfree;
@@ -127,6 +136,7 @@ LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
 }
 
 LinuxEtherDev::~LinuxEtherDev() {
+  CancelRxWatchdog();
   if (dev_.opened) {
     env_.irq_detach(env_.ctx, dev_.irq);
     dev_.stop(&dev_);
@@ -165,7 +175,51 @@ void LinuxEtherDev::NetifRxThunk(void* ctx, linux_device* dev, sk_buff* skb) {
   // wrapper owns the skbuff; the client takes references if it keeps it.
   size_t len = skb->len;
   ComPtr<SkBuffIo> io(new SkBuffIo(dev->kenv, skb));
-  self->client_recv_->Push(io.get(), len);
+  Error err = self->client_recv_->Push(io.get(), len);
+  if (!Ok(err)) {
+    // The client refused the frame (typically mbuf exhaustion); the frame
+    // is dropped here, cleanly, and the stack above retransmits.
+    ++self->counters_.rx_push_errors;
+  }
+}
+
+void LinuxEtherDev::SyncRxStats() {
+  uint64_t dropped = dev_.stats.rx_dropped;
+  if (dropped > last_rx_dropped_) {
+    counters_.rx_oom_drops += dropped - last_rx_dropped_;
+    last_rx_dropped_ = dropped;
+  }
+}
+
+void LinuxEtherDev::ArmRxWatchdog() {
+  if (env_.timer_start == nullptr) {
+    return;
+  }
+  watchdog_token_ =
+      env_.timer_start(env_.ctx, kRxWatchdogNs, [this] { RxWatchdogTick(); });
+}
+
+void LinuxEtherDev::RxWatchdogTick() {
+  watchdog_token_ = nullptr;
+  if (!dev_.opened) {
+    return;
+  }
+  if (dev_.priv->RxPending()) {
+    // Frames are sitting in the ring with no interrupt in sight: the IRQ
+    // was lost.  Run the handler by hand, like a Linux driver's dev->tx/rx
+    // timeout path.
+    ++counters_.rx_watchdog_recoveries;
+    simnic_interrupt(&dev_);
+    SyncRxStats();
+  }
+  ArmRxWatchdog();
+}
+
+void LinuxEtherDev::CancelRxWatchdog() {
+  if (watchdog_token_ != nullptr && env_.timer_cancel != nullptr) {
+    env_.timer_cancel(env_.ctx, watchdog_token_);
+    watchdog_token_ = nullptr;
+  }
 }
 
 Error LinuxEtherDev::Open(NetIo* recv, NetIo** out_send) {
@@ -180,7 +234,11 @@ Error LinuxEtherDev::Open(NetIo* recv, NetIo** out_send) {
     client_recv_.Reset();
     return Error::kIo;
   }
-  env_.irq_attach(env_.ctx, dev_.irq, [this] { simnic_interrupt(&dev_); });
+  env_.irq_attach(env_.ctx, dev_.irq, [this] {
+    simnic_interrupt(&dev_);
+    SyncRxStats();
+  });
+  ArmRxWatchdog();
   *out_send = new LinuxSendNetIo(this);
   return Error::kOk;
 }
@@ -189,6 +247,7 @@ Error LinuxEtherDev::Close() {
   if (!dev_.opened) {
     return Error::kOk;
   }
+  CancelRxWatchdog();
   env_.irq_detach(env_.ctx, dev_.irq);
   dev_.stop(&dev_);
   client_recv_.Reset();

@@ -69,13 +69,16 @@ class LinuxEtherDev final : public Device,
                             public EtherDev,
                             public RefCounted<LinuxEtherDev> {
  public:
-  // Transmit-path boundary counters, registered with the trace
-  // environment's registry under "glue.send.*".
+  // Boundary counters, registered with the trace environment's registry
+  // under "glue.send.*" / "glue.recv.*".
   struct Counters {
     trace::Counter native_passthrough;  // our own skbuff handed back: no work
     trace::Counter fake_skbuff;         // foreign buffer mapped: zero copy
     trace::Counter copied;              // foreign buffer unmappable: copied
     trace::Counter copied_bytes;
+    trace::Counter rx_push_errors;      // client NetIo::Push refused a frame
+    trace::Counter rx_oom_drops;        // driver dropped: no skbuff memory
+    trace::Counter rx_watchdog_recoveries;  // ring drained after a lost IRQ
   };
 
   LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name);
@@ -105,6 +108,14 @@ class LinuxEtherDev final : public Device,
 
   static void NetifRxThunk(void* ctx, linux_device* dev, sk_buff* skb);
 
+  // Folds the driver's private drop statistics into the registry counters.
+  void SyncRxStats();
+  // RX watchdog: a periodic timer (fdev timer service) that drains the ring
+  // if frames are waiting with no interrupt — the recovery for a lost IRQ.
+  void ArmRxWatchdog();
+  void RxWatchdogTick();
+  void CancelRxWatchdog();
+
   FdevEnv env_;
   linux_device dev_;
   std::string name_;
@@ -112,6 +123,8 @@ class LinuxEtherDev final : public Device,
   trace::TraceEnv* trace_;
   Counters counters_;
   trace::CounterBlock trace_binding_;
+  uint64_t last_rx_dropped_ = 0;
+  void* watchdog_token_ = nullptr;
 };
 
 // §5's fdev_linux_init_ethernet + fdev_probe rolled together: probes every

@@ -14,19 +14,52 @@ namespace oskit::linuxdev {
 
 Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors, uint8_t* buf,
                      bool write) {
-  OSKIT_ASSERT_MSG(!drive->busy, "overlapping IDE requests");
+  if (drive->busy) {
+    return Error::kBusy;  // one outstanding request, 1997 IDE
+  }
   drive->busy = true;
-  drive->done = false;
-  ++drive->requests_issued;
-  if (write) {
-    drive->hw->SubmitWrite(lba, sectors, buf);
-  } else {
-    drive->hw->SubmitRead(lba, sectors, buf);
+  for (uint32_t attempt = 0;; ++attempt) {
+    drive->done = false;
+    drive->status = Error::kOk;
+    ++drive->requests_issued;
+    if (write) {
+      drive->hw->SubmitWrite(lba, sectors, buf);
+    } else {
+      drive->hw->SubmitRead(lba, sectors, buf);
+    }
+    // Linux style: sleep until the IRQ handler marks the request done —
+    // watched over by a timeout that doubles on every retry (the backoff).
+    bool timed_out = false;
+    while (!drive->done) {
+      if (drive->benv.sleep_on_timeout != nullptr && drive->timeout_ns != 0) {
+        bool expired = drive->benv.sleep_on_timeout(
+            drive->benv.ctx, drive, drive->timeout_ns << attempt);
+        if (expired && !drive->done) {
+          timed_out = true;
+          break;
+        }
+      } else {
+        drive->benv.sleep_on(drive->benv.ctx, drive);
+      }
+    }
+    if (timed_out) {
+      // Completion lost (controller hung or a dropped interrupt): reset the
+      // controller — which also cancels any late completion — and reissue.
+      ++drive->watchdog_resets;
+      drive->hw->Reset();
+      drive->status = Error::kTimedOut;
+    } else if (Ok(drive->status)) {
+      drive->busy = false;
+      return Error::kOk;
+    } else if (drive->status == Error::kOutOfRange) {
+      break;  // an addressing bug, not a transient fault: don't hammer it
+    }
+    if (attempt >= drive->max_retries) {
+      break;
+    }
+    ++drive->retries;
   }
-  // Linux style: sleep until the IRQ handler marks the request done.
-  while (!drive->done) {
-    drive->benv.sleep_on(drive->benv.ctx, drive);
-  }
+  ++drive->errors_surfaced;
   drive->busy = false;
   return drive->status;
 }
@@ -58,6 +91,10 @@ void GlueWakeUp(void* ctx, void* /*chan*/) {
   static_cast<LinuxIdeDev*>(ctx)->WakeCompletion();
 }
 
+bool GlueSleepOnTimeout(void* ctx, void* /*chan*/, uint64_t ns) {
+  return static_cast<LinuxIdeDev*>(ctx)->SleepOnCompletionTimeout(ns);
+}
+
 }  // namespace
 
 LinuxIdeDev::LinuxIdeDev(const FdevEnv& env, DiskHw* hw, std::string name)
@@ -65,8 +102,28 @@ LinuxIdeDev::LinuxIdeDev(const FdevEnv& env, DiskHw* hw, std::string name)
   drive_.hw = hw;
   drive_.benv.sleep_on = &GlueSleepOn;
   drive_.benv.wake_up = &GlueWakeUp;
+  if (env_.timer_start != nullptr) {
+    drive_.benv.sleep_on_timeout = &GlueSleepOnTimeout;
+  }
   drive_.benv.ctx = this;
+  trace::TraceEnv* tenv = trace::ResolveTraceEnv(env_.trace);
+  trace_binding_.Bind(&tenv->registry,
+                      {{"glue.ide.retries", &drive_.retries},
+                       {"glue.ide.watchdog_resets", &drive_.watchdog_resets},
+                       {"glue.ide.errors_surfaced", &drive_.errors_surfaced}});
   env_.irq_attach(env_.ctx, hw->irq(), [this] { ide_interrupt(&drive_); });
+}
+
+bool LinuxIdeDev::SleepOnCompletionTimeout(uint64_t ns) {
+  if (env_.timer_start == nullptr) {
+    completion_.Sleep();
+    return false;
+  }
+  void* token = env_.timer_start(env_.ctx, ns, [this] { WakeCompletion(); });
+  completion_.Sleep();
+  // Cancel failing means the watchdog event already ran: the wake that
+  // resumed us was the timeout, not the completion interrupt.
+  return !env_.timer_cancel(env_.ctx, token);
 }
 
 LinuxIdeDev::~LinuxIdeDev() { env_.irq_detach(env_.ctx, drive_.hw->irq()); }

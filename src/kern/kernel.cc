@@ -6,11 +6,12 @@
 namespace oskit {
 
 KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode sleep_mode,
-                     trace::TraceEnv* trace)
+                     trace::TraceEnv* trace, fault::FaultEnv* fault)
     : machine_(machine),
       info_(info),
       console_(&machine->sim(), &machine->console_uart()),
-      trace_(trace::ResolveTraceEnv(trace)) {
+      trace_(trace::ResolveTraceEnv(trace)),
+      fault_(fault::ResolveFaultEnv(fault)) {
   if (sleep_mode == SleepMode::kFiber) {
     sleep_env_ = std::make_unique<FiberSleepEnv>(&machine->sim());
   } else {
@@ -22,11 +23,26 @@ KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode slee
   trace_->recorder.SetTimeSource(
       [clock = &machine->sim().clock()] { return clock->Now(); });
   Cpu& cpu = machine_->cpu();
+  Pit& pit = machine_->pit();
   cpu_counters_.Bind(&trace_->registry,
                      {{"machine.trap.dispatched", &cpu.counters().traps_dispatched},
-                      {"machine.irq.dispatched", &cpu.counters().irq_dispatched}});
+                      {"machine.irq.dispatched", &cpu.counters().irq_dispatched},
+                      {"machine.pit.skew_events", &pit.skew_events_counter()},
+                      {"machine.pit.skew_compensations",
+                       &pit.skew_compensations_counter()}});
   cpu.SetTraceRecorder(&trace_->recorder);
   lmm_.BindTrace(trace_);
+  // Thread the fault environment through this kernel's machine: the fault
+  // campaign arms one env and every simulated device on the machine sees it.
+  lmm_.BindFault(fault_);
+  fault_->BindTrace(trace_);
+  pit.SetFaultEnv(fault_);
+  for (const auto& nic : machine_->nics()) {
+    nic->SetFaultEnv(fault_);
+  }
+  for (const auto& disk : machine_->disks()) {
+    disk->SetFaultEnv(fault_);
+  }
   InstallDefaultHandlers();
   SetupMemory();
 }
@@ -36,6 +52,10 @@ KernelEnv::~KernelEnv() {
   // The time source captured this machine's clock; don't leave it dangling
   // in a shared (default) environment.
   trace_->recorder.SetTimeSource(nullptr);
+  // The fault environment may outlive this kernel's trace registry (a
+  // campaign sweeps many worlds with one env); move its reporting back to
+  // the process-global default while the registry is still alive.
+  fault_->BindTrace(nullptr);
 }
 
 void KernelEnv::InstallDefaultHandlers() {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/boot/multiboot.h"
+#include "src/fault/fault.h"
 #include "src/kern/console.h"
 #include "src/lmm/lmm.h"
 #include "src/machine/machine.h"
@@ -46,10 +47,13 @@ class KernelEnv {
 
   // `trace` is the observability environment (src/trace) this kernel's
   // components report into; null binds the process-global default.  The
-  // testbed gives every simulated machine its own.
+  // testbed gives every simulated machine its own.  `fault` is the fault
+  // environment (src/fault) wired through this kernel's machine and LMM —
+  // null binds the process-global default, which has nothing armed.
   KernelEnv(Machine* machine, const MultiBootInfo& info,
             SleepMode sleep_mode = SleepMode::kFiber,
-            trace::TraceEnv* trace = nullptr);
+            trace::TraceEnv* trace = nullptr,
+            fault::FaultEnv* fault = nullptr);
   ~KernelEnv();
 
   Machine& machine() { return *machine_; }
@@ -58,6 +62,7 @@ class KernelEnv {
   BaseConsole& console() { return console_; }
   SleepEnv& sleep_env() { return *sleep_env_; }
   trace::TraceEnv& trace() { return *trace_; }
+  fault::FaultEnv& fault() { return *fault_; }
   const MultiBootInfo& boot_info() const { return info_; }
 
   // ---- Interrupts ----
@@ -100,6 +105,7 @@ class KernelEnv {
   BaseConsole console_;
   std::unique_ptr<SleepEnv> sleep_env_;
   trace::TraceEnv* trace_;
+  fault::FaultEnv* fault_;
   trace::CounterBlock cpu_counters_;
   Lmm lmm_;
   LmmRegion region_low_;    // < 1 MB

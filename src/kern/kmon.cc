@@ -186,10 +186,73 @@ void KernelMonitor::CmdTrace(const std::string& args) {
   }
 }
 
+void KernelMonitor::CmdFault(const std::string& args) {
+  fault::FaultEnv& env = kernel_->fault();
+  if (args.empty()) {
+    Print("fault env seed=%llu total_fires=%llu\n",
+          static_cast<unsigned long long>(env.seed()),
+          static_cast<unsigned long long>(env.total_fires()));
+    size_t shown = 0;
+    env.ForEachSite([this, &shown](const char* site, const fault::FaultSpec& spec,
+                                   bool armed, uint64_t calls, uint64_t fires) {
+      Print("%-24s %s pct=%u nth=%llu calls=%llu fires=%llu\n", site,
+            armed ? "armed   " : "disarmed", spec.probability_percent,
+            static_cast<unsigned long long>(spec.nth_call),
+            static_cast<unsigned long long>(calls),
+            static_cast<unsigned long long>(fires));
+      ++shown;
+    });
+    if (shown == 0) {
+      Print("no fault sites touched yet\n");
+    }
+    return;
+  }
+  size_t space = args.find(' ');
+  std::string sub = args.substr(0, space);
+  std::string rest = space == std::string::npos ? "" : args.substr(space + 1);
+  if (sub == "arm") {
+    size_t sp2 = rest.find(' ');
+    std::string site = rest.substr(0, sp2);
+    std::string nums = sp2 == std::string::npos ? "" : rest.substr(sp2 + 1);
+    uint64_t pct = 0;
+    uint64_t nth = 0;
+    if (site.empty() || !ParseNumbers(nums, &pct, &nth) || pct > 100) {
+      Print("usage: fault arm <site> <pct> [nth]\n");
+      return;
+    }
+    fault::FaultSpec spec;
+    spec.probability_percent = static_cast<uint32_t>(pct);
+    spec.nth_call = nth;
+    env.Arm(site, spec);
+    Print("armed %s\n", site.c_str());
+  } else if (sub == "disarm") {
+    if (rest == "all") {
+      env.DisarmAll();
+      Print("all sites disarmed\n");
+    } else if (!rest.empty()) {
+      env.Disarm(rest);
+      Print("disarmed %s\n", rest.c_str());
+    } else {
+      Print("usage: fault disarm <site>|all\n");
+    }
+  } else if (sub == "seed") {
+    uint64_t seed = 0;
+    if (!ParseNumbers(rest, &seed, nullptr)) {
+      Print("usage: fault seed <n>\n");
+      return;
+    }
+    env.Reseed(seed);
+    Print("reseeded to %llu\n", static_cast<unsigned long long>(seed));
+  } else {
+    Print("usage: fault | fault arm <site> <pct> [nth] | "
+          "fault disarm <site>|all | fault seed <n>\n");
+  }
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
-        "counters [prefix] | trace dump|clear | s step | c continue | "
-        "halt | help\n");
+        "counters [prefix] | trace dump|clear | fault [arm|disarm|seed] | "
+        "s step | c continue | halt | help\n");
 }
 
 void KernelMonitor::Enter(TrapFrame& frame) {
@@ -219,6 +282,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdCounters(args);
     } else if (cmd == "trace") {
       CmdTrace(args);
+    } else if (cmd == "fault") {
+      CmdFault(args);
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

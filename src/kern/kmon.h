@@ -15,6 +15,10 @@
 //   counters [pfx]    dump the trace counter registry (optional name prefix)
 //   trace dump        dump the flight-recorder ring, oldest first
 //   trace clear       clear the flight-recorder ring
+//   fault             list fault-injection sites (spec, calls, fires)
+//   fault arm <site> <pct> [nth]   arm a site (percent probability / nth call)
+//   fault disarm <site>|all        disarm one site or every site
+//   fault seed <n>    reseed the fault environment (resets call/fire counts)
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -59,6 +63,7 @@ class KernelMonitor {
   void CmdTranslate(const std::string& args);
   void CmdCounters(const std::string& args);
   void CmdTrace(const std::string& args);
+  void CmdFault(const std::string& args);
   void CmdHelp();
 
   KernelEnv* kernel_;

@@ -169,6 +169,10 @@ void* Lmm::AllocGen(size_t size, uint32_t flags, unsigned align_bits,
   size = RoundUp(size);
   uintptr_t bounds_max = bounds_size == 0 ? ~uintptr_t{0} : bounds_min + bounds_size;
 
+  if (fault_->ShouldFail("lmm.alloc")) {
+    return nullptr;  // simulated exhaustion: same contract as the real miss
+  }
+
   for (LmmRegion* r = regions_; r != nullptr; r = r->next) {
     if ((r->flags & flags) != flags) {
       continue;

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/fault/fault.h"
 #include "src/trace/trace.h"
 
 namespace oskit {
@@ -124,6 +125,10 @@ class Lmm {
 
   void BindTrace(trace::TraceEnv* env);
 
+  // Fault injection: when the bound environment arms "lmm.alloc", AllocGen
+  // fails (returns nullptr) on fired calls, exactly as exhaustion would.
+  void BindFault(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
+
  private:
   void AddFreeToRegion(LmmRegion* region, uintptr_t min, uintptr_t max);
 
@@ -131,6 +136,7 @@ class Lmm {
   Counters counters_;
   trace::CounterBlock trace_binding_;
   trace::FlightRecorder* recorder_ = nullptr;
+  fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
 };
 
 }  // namespace oskit

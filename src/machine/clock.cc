@@ -10,15 +10,19 @@ SimClock::EventId SimClock::ScheduleAt(SimTime when, std::function<void()> fn) {
   }
   EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
 bool SimClock::Cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) {
+  // Only a still-pending event can be cancelled; an id that already ran (or
+  // was cancelled) reports failure so watchdog users can tell the two apart.
+  if (live_.erase(id) == 0) {
     return false;
   }
   // Lazy deletion: the queue entry is skipped when it surfaces.
-  return cancelled_.insert(id).second;
+  cancelled_.insert(id);
+  return true;
 }
 
 SimTime SimClock::NextEventTime() {
@@ -41,6 +45,7 @@ bool SimClock::RunOne() {
     if (cancelled_.erase(ev.id) > 0) {
       continue;
     }
+    live_.erase(ev.id);
     OSKIT_ASSERT(ev.when >= now_);
     now_ = ev.when;
     ++events_run_;
@@ -60,6 +65,7 @@ void SimClock::RunUntil(SimTime deadline) {
     if (cancelled_.erase(ev.id) > 0) {
       continue;
     }
+    live_.erase(ev.id);
     now_ = ev.when;
     ++events_run_;
     ev.fn();

@@ -38,10 +38,12 @@ class SimClock {
   }
 
   // Cancels a pending event.  Returns false if it already ran or was
-  // cancelled (safe to call redundantly).
+  // cancelled (safe to call redundantly).  Watchdog patterns rely on that
+  // distinction: "cancel failed" is how a waker learns the timeout already
+  // fired, so cancelling a completed event must NOT report success.
   bool Cancel(EventId id);
 
-  bool HasPending() const { return queue_.size() > cancelled_.size(); }
+  bool HasPending() const { return !live_.empty(); }
 
   // Time of the earliest pending event; ~0 when none are pending.
   SimTime NextEventTime();
@@ -76,7 +78,8 @@ class SimClock {
   EventId next_id_ = 1;
   size_t events_run_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;       // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  // lazy-deletion tombstones
 };
 
 }  // namespace oskit

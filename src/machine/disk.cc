@@ -6,40 +6,80 @@
 
 namespace oskit {
 
+SimTime DiskHw::EffectiveDelay(SimTime delay) {
+  if (fault_->ShouldFail("disk.slow")) {
+    uint64_t mult = fault_->SiteArg("disk.slow");
+    delay *= mult != 0 ? mult : 10;
+  }
+  return delay;
+}
+
 void DiskHw::SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf) {
   OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
   busy_ = true;
+  if (fault_->ShouldFail("disk.stuck")) {
+    return;  // controller hang: no completion until Reset()
+  }
   if (lba + sectors > sector_count_) {
-    clock_->ScheduleAfter(timing_.seek_ns, [this] { Complete(Error::kOutOfRange); });
+    pending_ = clock_->ScheduleAfter(timing_.seek_ns,
+                                     [this] { Complete(Error::kOutOfRange); });
+    return;
+  }
+  if (fault_->ShouldFail("disk.read.error")) {
+    pending_ = clock_->ScheduleAfter(EffectiveDelay(TransferDelay(sectors)),
+                                     [this] { Complete(Error::kIo); });
     return;
   }
   // Latch the transfer; data moves at completion time (models DMA finishing).
   uint64_t offset = lba * kSectorSize;
   size_t bytes = static_cast<size_t>(sectors) * kSectorSize;
-  clock_->ScheduleAfter(TransferDelay(sectors), [this, offset, bytes, buf] {
-    std::memcpy(buf, store_.data() + offset, bytes);
-    ++reads_completed_;
-    Complete(Error::kOk);
-  });
+  pending_ = clock_->ScheduleAfter(
+      EffectiveDelay(TransferDelay(sectors)), [this, offset, bytes, buf] {
+        std::memcpy(buf, store_.data() + offset, bytes);
+        ++reads_completed_;
+        Complete(Error::kOk);
+      });
 }
 
 void DiskHw::SubmitWrite(uint64_t lba, uint32_t sectors, const uint8_t* buf) {
   OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
   busy_ = true;
+  if (fault_->ShouldFail("disk.stuck")) {
+    return;  // controller hang: no completion until Reset()
+  }
   if (lba + sectors > sector_count_) {
-    clock_->ScheduleAfter(timing_.seek_ns, [this] { Complete(Error::kOutOfRange); });
+    pending_ = clock_->ScheduleAfter(timing_.seek_ns,
+                                     [this] { Complete(Error::kOutOfRange); });
+    return;
+  }
+  if (fault_->ShouldFail("disk.write.error")) {
+    pending_ = clock_->ScheduleAfter(EffectiveDelay(TransferDelay(sectors)),
+                                     [this] { Complete(Error::kIo); });
     return;
   }
   uint64_t offset = lba * kSectorSize;
   size_t bytes = static_cast<size_t>(sectors) * kSectorSize;
-  clock_->ScheduleAfter(TransferDelay(sectors), [this, offset, bytes, buf] {
-    std::memcpy(store_.data() + offset, buf, bytes);
-    ++writes_completed_;
-    Complete(Error::kOk);
-  });
+  pending_ = clock_->ScheduleAfter(
+      EffectiveDelay(TransferDelay(sectors)), [this, offset, bytes, buf] {
+        std::memcpy(store_.data() + offset, buf, bytes);
+        ++writes_completed_;
+        Complete(Error::kOk);
+      });
+}
+
+void DiskHw::Reset() {
+  if (pending_ != SimClock::kInvalidEvent) {
+    clock_->Cancel(pending_);  // a late completion must not fire mid-retry
+    pending_ = SimClock::kInvalidEvent;
+  }
+  busy_ = false;
+  done_ = false;
+  status_ = Error::kOk;
+  ++resets_;
 }
 
 void DiskHw::Complete(Error status) {
+  pending_ = SimClock::kInvalidEvent;
   busy_ = false;
   done_ = true;
   status_ = status;

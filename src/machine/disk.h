@@ -5,6 +5,14 @@
 // simulated seek+transfer delay and raises IRQ 14.  The backing store is a
 // host memory buffer; tests and the boot-image builder can access it
 // directly to install filesystem images.
+//
+// Fault injection (src/fault): with an environment bound, the disk honours
+//   disk.read.error / disk.write.error — complete the request with kIo,
+//   disk.stuck  — accept the request and never complete it (driver
+//                 watchdogs must Reset() the controller),
+//   disk.slow   — stretch the transfer delay by the site arg (a multiplier),
+// modelling the media-error, hung-controller, and degraded-mode behaviours
+// real IDE drivers defend against.
 
 #ifndef OSKIT_SRC_MACHINE_DISK_H_
 #define OSKIT_SRC_MACHINE_DISK_H_
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "src/base/error.h"
+#include "src/fault/fault.h"
 #include "src/machine/clock.h"
 #include "src/machine/pic.h"
 
@@ -35,6 +44,7 @@ class DiskHw {
   uint64_t sector_count() const { return sector_count_; }
   int irq() const { return irq_; }
   void SetTiming(const Timing& timing) { timing_ = timing; }
+  void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
 
   // ---- Driver-facing request interface ----
   // Exactly one request may be outstanding.  Completion raises the IRQ;
@@ -47,6 +57,12 @@ class DiskHw {
   Error RequestStatus() const { return status_; }
   void AckCompletion() { done_ = false; }
 
+  // Controller reset: aborts any outstanding request (its completion will
+  // never arrive) and returns the interface to idle.  The recovery path a
+  // driver watchdog takes after a hung request.
+  void Reset();
+  uint64_t resets() const { return resets_; }
+
   // ---- Host-side direct access (image installation, test assertions) ----
   uint8_t* raw() { return store_.data(); }
   size_t raw_size() const { return store_.size(); }
@@ -56,6 +72,8 @@ class DiskHw {
 
  private:
   void Complete(Error status);
+  // Applies the disk.slow fault to a nominal delay.
+  SimTime EffectiveDelay(SimTime delay);
   SimTime TransferDelay(uint32_t sectors) const {
     return timing_.seek_ns + timing_.per_byte_ns * sectors * kSectorSize;
   }
@@ -71,6 +89,9 @@ class DiskHw {
   Error status_ = Error::kOk;
   uint64_t reads_completed_ = 0;
   uint64_t writes_completed_ = 0;
+  uint64_t resets_ = 0;
+  SimClock::EventId pending_ = SimClock::kInvalidEvent;
+  fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
 };
 
 }  // namespace oskit

@@ -19,6 +19,13 @@ void NicHw::TxStart(const uint8_t* frame, size_t len) {
   OSKIT_ASSERT_MSG(len >= kEtherHeaderSize, "runt frame");
   OSKIT_ASSERT_MSG(len <= kEtherMaxFrame, "oversize frame");
   ++tx_frames_;
+  if (fault_->ShouldFail("nic.irq.spurious")) {
+    pic_->RaiseIrq(irq_);  // causeless interrupt: drivers must tolerate it
+  }
+  if (fault_->ShouldFail("nic.tx.drop")) {
+    ++tx_dropped_;
+    return;  // the transceiver ate the frame; TCP's timers must notice
+  }
   wire_->Transmit(this, frame, len);
 }
 
@@ -46,7 +53,19 @@ void NicHw::FrameArrived(const uint8_t* frame, size_t len) {
   }
   ++rx_frames_;
   rx_ring_.emplace_back(frame, frame + len);
+  if (len > kEtherHeaderSize && fault_->ShouldFail("nic.rx.corrupt")) {
+    // Flip one payload byte past the header so the frame still reaches the
+    // stack and the protocol checksums have to catch it.
+    std::vector<uint8_t>& stored = rx_ring_.back();
+    size_t at = kEtherHeaderSize + fault_->rng().Below(len - kEtherHeaderSize);
+    stored[at] ^= 0xff;
+    ++rx_corrupted_;
+  }
   if (rx_interrupt_enabled_) {
+    if (fault_->ShouldFail("nic.rx.miss_irq")) {
+      ++rx_irqs_missed_;  // frame is in the ring; only the IRQ is lost
+      return;
+    }
     pic_->RaiseIrq(irq_);
   }
 }

@@ -4,6 +4,15 @@
 // it exposes register-style programmed I/O — RX ring status, RX dequeue, TX
 // start — and raises its IRQ when a frame for this station arrives.  It does
 // hardware-level destination filtering (own MAC, broadcast, promiscuous).
+//
+// Fault injection (src/fault): with an environment bound, the NIC honours
+//   nic.tx.drop     — frame accepted by the "hardware" but never reaches
+//                     the wire (cable/transceiver fault),
+//   nic.rx.corrupt  — one byte of the received frame flips in the RX ring
+//                     (checksum offload is for later decades),
+//   nic.rx.miss_irq — frame lands in the ring but the interrupt is lost
+//                     (the classic missed-IRQ race drivers watchdog for),
+//   nic.irq.spurious — an extra, causeless IRQ is raised on transmit.
 
 #ifndef OSKIT_SRC_MACHINE_NIC_H_
 #define OSKIT_SRC_MACHINE_NIC_H_
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "src/com/etherdev.h"
+#include "src/fault/fault.h"
 #include "src/machine/pic.h"
 #include "src/machine/wire.h"
 
@@ -33,6 +43,7 @@ class NicHw final : public WireEndpoint {
 
   void SetPromiscuous(bool on) { promiscuous_ = on; }
   void EnableRxInterrupt(bool on) { rx_interrupt_enabled_ = on; }
+  void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
 
   // ---- Driver-facing "registers" ----
   bool RxPending() const { return !rx_ring_.empty(); }
@@ -56,6 +67,9 @@ class NicHw final : public WireEndpoint {
   uint64_t rx_frames() const { return rx_frames_; }
   uint64_t rx_overruns() const { return rx_overruns_; }
   uint64_t tx_frames() const { return tx_frames_; }
+  uint64_t tx_dropped() const { return tx_dropped_; }
+  uint64_t rx_corrupted() const { return rx_corrupted_; }
+  uint64_t rx_irqs_missed() const { return rx_irqs_missed_; }
 
  private:
   bool AcceptsFrame(const uint8_t* frame, size_t len) const;
@@ -70,6 +84,10 @@ class NicHw final : public WireEndpoint {
   uint64_t rx_frames_ = 0;
   uint64_t rx_overruns_ = 0;
   uint64_t tx_frames_ = 0;
+  uint64_t tx_dropped_ = 0;
+  uint64_t rx_corrupted_ = 0;
+  uint64_t rx_irqs_missed_ = 0;
+  fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
 };
 
 }  // namespace oskit

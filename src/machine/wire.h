@@ -45,6 +45,10 @@ class EthernetWire {
 
   void Attach(WireEndpoint* endpoint) { endpoints_.push_back(endpoint); }
 
+  // Runtime fault-model control: lets a test partition the segment
+  // (100% loss) and later heal it.
+  void set_loss_percent(uint32_t percent) { config_.loss_percent = percent; }
+
   // Transmits a frame from `source`; delivered to all other endpoints.
   void Transmit(WireEndpoint* source, const uint8_t* frame, size_t len);
 

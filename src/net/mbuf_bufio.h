@@ -3,8 +3,12 @@
 // Outbound: an mbuf chain leaves the FreeBSD-idiom component as an opaque
 // BufIo.  Map() succeeds only for ranges that happen to be contiguous inside
 // one mbuf — so a multi-mbuf TCP segment presented to the Linux driver fails
-// to map and forces the driver glue to copy it into a contiguous skbuff,
-// which is precisely the send-path copy Table 1 measures.
+// to map (kNotImpl) and forces the driver glue onto its Read()-based copy
+// path into a contiguous skbuff, which is precisely the send-path copy
+// Table 1 measures.  A multi-mbuf segment therefore always transmits; when
+// the copy path itself fails (skbuff allocation), the error propagates back
+// through NetIo::Push to NetStack::EtherOutput, which counts it
+// (net.tx.errors) — nothing is dropped silently.
 //
 // Inbound: MbufFromBufIo imports a foreign packet.  When the foreign object
 // maps (a contiguous skbuff always does), the data is grafted into an mbuf

@@ -48,6 +48,10 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
     pcb->connected = true;
     if (pcb->lport == 0) {
       pcb->lport = AllocEphemeralPort(/*tcp=*/false);
+      if (pcb->lport == 0) {
+        pcb->connected = false;
+        return Error::kNoBufs;
+      }
     }
     return Error::kOk;
   }
@@ -58,6 +62,9 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
   }
   if (pcb->lport == 0) {
     pcb->lport = AllocEphemeralPort(/*tcp=*/true);
+    if (pcb->lport == 0) {
+      return Error::kNoBufs;
+    }
   }
   if (pcb->laddr.IsAny()) {
     InetAddr next_hop;

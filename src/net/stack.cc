@@ -101,6 +101,8 @@ NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
        {"net.tcp.ooo_segments", &counters_.tcp_ooo_segments},
        {"net.tcp.rst_out", &counters_.tcp_rst_out},
        {"net.rx.glue_copied_bytes", &counters_.rx_glue_copied_bytes},
+       {"net.rx.alloc_drops", &counters_.rx_alloc_drops},
+       {"net.tx.errors", &counters_.tx_errors},
        {"net.sleep.sleeps", &sleep_wakeup_.sleeps_counter()},
        {"net.sleep.wakeups", &sleep_wakeup_.wakeups_counter()}});
   StartTimers();
@@ -259,6 +261,12 @@ class StackRecvNetIo final : public NetIo, public RefCounted<StackRecvNetIo> {
   Error Push(BufIo* packet, size_t size) override {
     // Import the foreign packet: zero-copy when it maps (§4.7.3), unless
     // the ablation switch forces the copy path.
+    if (stack_->fault_->ShouldFail("mbuf.rx_alloc")) {
+      // Injected mbuf exhaustion at the import boundary: refuse the frame
+      // cleanly — the driver keeps ownership and TCP above retransmits.
+      ++stack_->mutable_counters().rx_alloc_drops;
+      return Error::kNoMem;
+    }
     MBuf* frame;
     if (stack_->force_rx_copy()) {
       frame = stack_->pool().FromData(nullptr, size);
@@ -275,6 +283,7 @@ class StackRecvNetIo final : public NetIo, public RefCounted<StackRecvNetIo> {
       frame = MbufFromBufIo(&stack_->pool(), packet, size);
     }
     if (frame == nullptr) {
+      ++stack_->mutable_counters().rx_alloc_drops;
       return Error::kNoMem;
     }
     stack_->EtherInputMbuf(ifindex_, frame);
@@ -367,8 +376,8 @@ void NetStack::EtherInput(int ifindex, MBuf* frame) {
   }
 }
 
-void NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
-                           MBuf* payload) {
+Error NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
+                            MBuf* payload) {
   Iface& iface = ifaces_[ifindex];
   MBuf* frame = pool_.Prepend(payload, kEtherHeaderSize);
   EtherHeader eh;
@@ -382,12 +391,22 @@ void NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
   if (iface.native) {
     // Baseline path: the BSD-idiom driver takes the chain as-is.
     iface.port->Output(frame);
-    return;
+    return Error::kOk;
   }
   // OSKit path: the chain leaves the component as an opaque BufIo (§4.7.3).
   size_t len = frame->pkt_len;
   auto bufio = MbufBufIo::Wrap(&pool_, frame);
-  iface.tx->Push(bufio.get(), len);
+  Error err = iface.tx->Push(bufio.get(), len);
+  if (!Ok(err)) {
+    // The driver refused the frame (OOM, injected fault, multi-mbuf Map
+    // failure).  Count it — the frame is reclaimed by the wrapper, and the
+    // protocols above recover by retransmission.
+    ++counters_.tx_errors;
+    trace_->recorder.Record(trace::EventType::kMark, "net.tx.error",
+                            static_cast<uint64_t>(ifindex),
+                            static_cast<uint64_t>(err));
+  }
+  return err;
 }
 
 // ---------------------------------------------------------------------------

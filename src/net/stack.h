@@ -29,6 +29,7 @@
 #include "src/com/etherdev.h"
 #include "src/com/netio.h"
 #include "src/com/socket.h"
+#include "src/fault/fault.h"
 #include "src/machine/clock.h"
 #include "src/net/mbuf.h"
 #include "src/net/wire_formats.h"
@@ -259,6 +260,8 @@ class NetStack {
     trace::Counter tcp_ooo_segments;
     trace::Counter tcp_rst_out;
     trace::Counter rx_glue_copied_bytes;  // forced-copy ablation counter
+    trace::Counter rx_alloc_drops;        // RX import failed: no mbuf memory
+    trace::Counter tx_errors;             // egress refused a frame
   };
 
   // `trace` is the observability environment to report into; null binds the
@@ -304,6 +307,10 @@ class NetStack {
   // instead of mapping them (disables the §4.7.3 zero-copy import).
   void SetForceRxCopy(bool force) { force_rx_copy_ = force; }
   bool force_rx_copy() const { return force_rx_copy_; }
+
+  // Fault-injection environment: null rebinds the process-global default.
+  // Probed at the RX mbuf-import boundary ("mbuf.rx_alloc").
+  void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
 
  private:
   friend class BsdSocket;
@@ -360,7 +367,10 @@ class NetStack {
 
   // ---- link layer ----
   void EtherInput(int ifindex, MBuf* frame);
-  void EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type, MBuf* payload);
+  // Frames the payload and hands it to the interface.  A refused frame is
+  // counted into tx_errors and surfaced to the caller; most callers may
+  // ignore it (TCP retransmits, ARP re-requests) but nothing fails silently.
+  Error EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type, MBuf* payload);
   void ArpInput(int ifindex, MBuf* packet);
   void SendArpRequest(int ifindex, InetAddr target);
   // Resolves and transmits, or queues on the ARP entry.
@@ -392,7 +402,7 @@ class NetStack {
   void TcpFastTimo();
   void TcpRexmtExpired(TcpPcb* pcb);
   void TcpSetState(TcpPcb* pcb, TcpState next);
-  void TcpDrop(TcpPcb* pcb, Error err);
+  void TcpDrop(TcpPcb* pcb, Error err, bool announce = true);
   void TcpCloseDone(TcpPcb* pcb);  // reaches CLOSED: free or hand to socket
   void TcpProcessAck(TcpPcb* pcb, const TcpHeader& th);
   void TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data);
@@ -451,6 +461,7 @@ class NetStack {
   std::list<std::unique_ptr<UdpPcb>> udp_pcbs_;
 
   bool force_rx_copy_ = false;
+  fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
   SimClock::EventId fast_timer_ = SimClock::kInvalidEvent;
   SimClock::EventId slow_timer_ = SimClock::kInvalidEvent;
   bool shutting_down_ = false;

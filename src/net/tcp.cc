@@ -76,7 +76,9 @@ uint16_t NetStack::AllocEphemeralPort(bool tcp) {
       return port;
     }
   }
-  Panic("ephemeral port space exhausted");
+  // Port space exhausted: a resource failure the socket layer surfaces as
+  // kNoBufs, not a reason to bring the kernel down.
+  return 0;
 }
 
 uint32_t NetStack::NextIss() {
@@ -567,9 +569,9 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
   // RST.
   if ((th.flags & kTcpFlagRst) != 0) {
     if (pcb->state == TcpState::kTimeWait) {
-      TcpDrop(pcb, Error::kOk);
+      TcpDrop(pcb, Error::kOk, /*announce=*/false);
     } else {
-      TcpDrop(pcb, Error::kConnReset);
+      TcpDrop(pcb, Error::kConnReset, /*announce=*/false);
     }
     pool_.FreeChain(payload);
     return;
@@ -703,7 +705,7 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
   if (pcb->detached && payload != nullptr && data_len > 0) {
     TcpSendRst(ip, th, data_len);
     pool_.FreeChain(payload);
-    TcpDrop(pcb, Error::kOk);
+    TcpDrop(pcb, Error::kOk, /*announce=*/false);  // the RST just went out
     return;
   }
 
@@ -865,7 +867,17 @@ void NetStack::TcpSlowTimo() {
 // Teardown
 // ---------------------------------------------------------------------------
 
-void NetStack::TcpDrop(TcpPcb* pcb, Error err) {
+void NetStack::TcpDrop(TcpPcb* pcb, Error err, bool announce) {
+  // BSD tcp_drop: a synchronized connection announces the abort with a RST,
+  // so a peer blocked in Recv gets ECONNRESET instead of hanging on a
+  // half-dead connection.  (SYN_SENT has nothing to reset: the peer either
+  // never saw us or will RST our retransmitted SYN itself.)
+  if (announce && pcb->state >= TcpState::kSynReceived &&
+      pcb->state != TcpState::kTimeWait) {
+    ++counters_.tcp_rst_out;
+    TcpSendSegment(pcb, pcb->snd_nxt, kTcpFlagRst | kTcpFlagAck, nullptr, 0, 0,
+                   false);
+  }
   pcb->so_error = err;
   TcpSetState(pcb, TcpState::kClosed);
   TcpCloseDone(pcb);

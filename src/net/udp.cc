@@ -86,6 +86,10 @@ void NetStack::UdpInput(const Ipv4Header& ip, MBuf* payload) {
 Error NetStack::UdpOutput(UdpPcb* pcb, const SockAddr& to, MBuf* payload) {
   if (pcb->lport == 0) {
     pcb->lport = AllocEphemeralPort(/*tcp=*/false);
+    if (pcb->lport == 0) {
+      pool_.FreeChain(payload);
+      return Error::kNoBufs;
+    }
   }
   size_t data_len = payload->pkt_len;
   size_t udp_len = data_len + kUdpHeaderSize;

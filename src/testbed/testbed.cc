@@ -26,7 +26,8 @@ ComPtr<Socket> Host::MakeSocket(SockType type) {
   return socket;
 }
 
-World::World(const EthernetWire::Config& wire_config) {
+World::World(const EthernetWire::Config& wire_config, fault::FaultEnv* fault)
+    : fault_(fault::ResolveFaultEnv(fault)) {
   wire_ = std::make_unique<EthernetWire>(&sim_.clock(), wire_config);
 }
 
@@ -59,7 +60,7 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
   MultiBootInfo info = loader.Load("testbed");
   host->kernel = std::make_unique<KernelEnv>(host->machine.get(), info,
                                              KernelEnv::SleepMode::kFiber,
-                                             &host->trace);
+                                             &host->trace, fault_);
   host->machine->cpu().EnableInterrupts();
   host->fdev = DefaultFdevEnv(host->kernel.get());
 
@@ -72,6 +73,7 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
       linuxdev::InitLinuxEthernet(host->fdev, host->machine.get(), &host->registry);
       host->stack = std::make_unique<net::NetStack>(&host->kernel->sleep_env(),
                                                     &sim_.clock(), &host->trace);
+      host->stack->SetFaultEnv(fault_);
       auto devices = host->registry.LookupByInterface(EtherDev::kIid);
       OSKIT_ASSERT_MSG(!devices.empty(), "no ethernet devices probed");
       ComPtr<EtherDev> ether = ComPtr<EtherDev>::FromQuery(devices[0].get());
@@ -85,6 +87,7 @@ Host& World::AddHost(const std::string& name, NetConfig config) {
     case NetConfig::kNativeBsd: {
       host->stack = std::make_unique<net::NetStack>(&host->kernel->sleep_env(),
                                                     &sim_.clock(), &host->trace);
+      host->stack->SetFaultEnv(fault_);
       host->bsd_driver = std::make_unique<freebsddev::BsdEtherDriver>(
           host->fdev, nic, host->stack.get());
       Error err = host->bsd_driver->Attach();

@@ -65,7 +65,11 @@ struct Host {
 
 class World {
  public:
-  explicit World(const EthernetWire::Config& wire_config = {});
+  // `fault` is the fault-injection environment every host's kernel, devices
+  // and stack bind to; null binds the process-global default.  A campaign
+  // passes one per-seed env and arms sites on it before/while running.
+  explicit World(const EthernetWire::Config& wire_config = {},
+                 fault::FaultEnv* fault = nullptr);
   ~World();
 
   Simulation& sim() { return sim_; }
@@ -86,6 +90,7 @@ class World {
  private:
   Simulation sim_;
   std::unique_ptr<EthernetWire> wire_;
+  fault::FaultEnv* fault_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };
 

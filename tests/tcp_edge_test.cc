@@ -311,5 +311,140 @@ TEST_F(TcpEdgeTest, MssOptionIsNegotiatedDown) {
   world_->RunToCompletion();
 }
 
+TEST(TcpFaultTest, DeliversIntactUnderCombinedFaults) {
+  // Wire loss/reorder plus injected NIC RX corruption and allocator OOM at
+  // the mbuf import boundary: TCP must either deliver the payload intact or
+  // surface an error — never silently corrupt or truncate.
+  fault::FaultEnv fenv(1234);
+  EthernetWire::Config wc;
+  wc.loss_percent = 2;
+  wc.reorder_jitter_ns = 200 * kNsPerUs;
+  wc.fault_seed = 1234;
+  World world(wc, &fenv);
+  Host& a = world.AddHost("a", NetConfig::kNativeBsd);
+  Host& b = world.AddHost("b", NetConfig::kNativeBsd);
+
+  fault::FaultSpec corrupt;
+  corrupt.probability_percent = 2;
+  fenv.Arm("nic.rx.corrupt", corrupt);
+  fault::FaultSpec oom;
+  oom.probability_percent = 2;
+  fenv.Arm("mbuf.rx_alloc", oom);
+  fault::FaultSpec lmm_oom;
+  lmm_oom.probability_percent = 1;
+  fenv.Arm("lmm.alloc", lmm_oom);
+
+  constexpr size_t kTotal = 128 * 1024;
+  auto pattern = [](size_t i) { return static_cast<uint8_t>(i * 37 + 11); };
+  std::string got;
+  got.reserve(kTotal);
+  world.sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a.MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    char buf[4096];
+    size_t n = 0;
+    while (Ok(conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+      got.append(buf, n);
+    }
+  });
+  world.sim().Spawn("client", [&] {
+    ComPtr<Socket> conn = b.MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a.addr, kPort}));
+    uint8_t buf[4096];
+    size_t done = 0;
+    while (done < kTotal) {
+      size_t chunk = std::min(sizeof(buf), kTotal - done);
+      for (size_t i = 0; i < chunk; ++i) {
+        buf[i] = pattern(done + i);
+      }
+      size_t n = 0;
+      ASSERT_EQ(Error::kOk, conn->Send(buf, chunk, &n));
+      done += n;
+    }
+    ASSERT_EQ(Error::kOk, conn->Shutdown(SockShutdown::kWrite));
+  });
+  world.RunToCompletion();
+  fenv.DisarmAll();
+
+  ASSERT_EQ(kTotal, got.size());
+  for (size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(pattern(i), static_cast<uint8_t>(got[i])) << "at offset " << i;
+  }
+  // The faults really happened and the recovery machinery really acted.
+  EXPECT_GT(fenv.fires("nic.rx.corrupt"), 0u);
+  EXPECT_GT(fenv.fires("mbuf.rx_alloc"), 0u);
+  EXPECT_GT(a.stack->counters().tcp_retransmits +
+                b.stack->counters().tcp_retransmits,
+            0u);
+  EXPECT_GT(a.trace.registry.Value("net.rx.alloc_drops") +
+                a.trace.registry.Value("bsd.rx.alloc_drops") +
+                b.trace.registry.Value("bsd.rx.alloc_drops"),
+            0u);
+}
+
+TEST(TcpFaultTest, AbortAnnouncesResetToPeer) {
+  // BSD tcp_drop semantics: when one side gives up retransmitting, the abort
+  // must be announced with a RST so the peer's blocked Recv returns
+  // kConnReset instead of hanging on a half-dead connection forever.
+  //
+  // The failure is made asymmetric by muting only the server's transmitter:
+  // the client's segments still arrive, but no ACK ever comes back, so the
+  // client exhausts its retransmit budget and aborts — and its RST can still
+  // cross the (healthy) wire.
+  World world;
+  Host& a = world.AddHost("a", NetConfig::kNativeBsd);
+  Host& b = world.AddHost("b", NetConfig::kNativeBsd);
+
+  fault::FaultEnv mute_env(1);
+  a.machine->nics()[0]->SetFaultEnv(&mute_env);
+
+  Error server_err = Error::kOk;
+  Error client_err = Error::kOk;
+  size_t server_got = 0;
+  world.sim().Spawn("server", [&] {
+    ComPtr<Socket> listener = a.MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, listener->Bind(SockAddr{kInetAny, kPort}));
+    ASSERT_EQ(Error::kOk, listener->Listen(1));
+    SockAddr peer;
+    ComPtr<Socket> conn;
+    ASSERT_EQ(Error::kOk, listener->Accept(&peer, conn.Receive()));
+    char buf[4096];
+    size_t n = 0;
+    while (Ok(server_err = conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+      server_got += n;
+    }
+  });
+  world.sim().Spawn("client", [&] {
+    ComPtr<Socket> conn = b.MakeSocket(SockType::kStream);
+    ASSERT_EQ(Error::kOk, conn->Connect(SockAddr{a.addr, kPort}));
+    uint8_t buf[4096] = {};
+    size_t n = 0;
+    ASSERT_EQ(Error::kOk, conn->Send(buf, sizeof(buf), &n));
+    world.sim().PollWait([&] { return server_got >= sizeof(buf); });
+
+    fault::FaultSpec mute;
+    mute.probability_percent = 100;
+    mute_env.Arm("nic.tx.drop", mute);
+    ASSERT_EQ(Error::kOk, conn->Send(buf, sizeof(buf), &n));
+    // Block until the abort: the retransmit give-up sets so_error and wakes
+    // this sleeper.
+    while (Ok(client_err = conn->Recv(buf, sizeof(buf), &n)) && n > 0) {
+    }
+  });
+  // The retransmit budget (RTO doubling from 6 s to the 64 s cap, twelve
+  // times) takes ~660 simulated seconds to exhaust.
+  world.RunToCompletion(1800 * kNsPerSec);
+  mute_env.DisarmAll();
+
+  EXPECT_EQ(Error::kTimedOut, client_err);   // the aborting side
+  EXPECT_EQ(Error::kConnReset, server_err);  // the peer, told via RST
+  EXPECT_GT(b.stack->counters().tcp_rst_out.value(), 0u);
+  EXPECT_GT(mute_env.fires("nic.tx.drop"), 0u);
+}
+
 }  // namespace
 }  // namespace oskit::testbed
