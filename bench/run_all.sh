@@ -2,7 +2,9 @@
 # Runs every benchmark binary with smoke-sized arguments and emits a
 # machine-readable counter report (BENCH_trace.json, produced by
 # ablation_glue from the sender's trace counter registry; BENCH_fault.json,
-# produced by the fault-injection campaign's aggregate counters).
+# produced by the fault-injection campaign's aggregate counters;
+# BENCH_sg.json, produced by table1_bandwidth with the per-row
+# bytes-copied-per-byte-sent figures for the scatter-gather send path).
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
@@ -17,6 +19,7 @@ BENCH_DIR="$BUILD_DIR/bench"
 LOG_DIR="$BENCH_DIR/logs"
 JSON_OUT="$BENCH_DIR/BENCH_trace.json"
 FAULT_JSON_OUT="$BENCH_DIR/BENCH_fault.json"
+SG_JSON_OUT="$BENCH_DIR/BENCH_sg.json"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -49,7 +52,7 @@ run_bench() {
 }
 
 # Smoke sizes: enough traffic for every shape check, seconds per bench.
-run_bench table1_bandwidth 2048
+run_bench table1_bandwidth 2048 --json "$SG_JSON_OUT"
 run_bench table2_latency   4000
 run_bench table3_sizes
 run_bench fig_footprint
@@ -69,6 +72,12 @@ if [ -f "$FAULT_JSON_OUT" ]; then
     echo "wrote $FAULT_JSON_OUT"
 else
     echo "FAIL BENCH_fault.json was not produced"
+    status=1
+fi
+if [ -f "$SG_JSON_OUT" ]; then
+    echo "wrote $SG_JSON_OUT"
+else
+    echo "FAIL BENCH_sg.json was not produced"
     status=1
 fi
 

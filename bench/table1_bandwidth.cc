@@ -1,11 +1,18 @@
-// Table 1 reproduction: ttcp TCP bandwidth for the three configurations.
+// Table 1 reproduction: ttcp TCP bandwidth across the stack configurations.
 //
 // Paper setup: two Pentium Pro 200 MHz PCs on 100 Mbps Ethernet, ttcp
 // sending 131072 x 4096-byte blocks; rows Linux 2.0.29, FreeBSD 2.1.5, and
 // the OSKit (FreeBSD stack + Linux drivers).  Findings: the OSKit receives
 // about as fast as FreeBSD (the received skbuff maps into an mbuf cluster
-// without copying) but sends slower (discontiguous mbuf chains must be
+// without copying) but sends slower (discontiguous mbuf chains had to be
 // copied into contiguous skbuffs).
+//
+// This harness runs the OSKit configuration twice: once with the historical
+// flatten-on-send glue behaviour forced (reproducing the paper's measured
+// asymmetry) and once with the scatter-gather transmit path (BufIoVec +
+// gather DMA), which removes the send-side copy entirely.  The key derived
+// figure is bytes-copied-per-byte-sent: ~1.0 for the flatten path, 0 for
+// scatter-gather.
 //
 // Both machines of a pair run the same configuration, as in the paper.
 // Three views of each transfer:
@@ -33,6 +40,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "src/testbed/ttcp.h"
 #include "src/trace/trace.h"
@@ -48,25 +56,50 @@ constexpr double kFixedPerSegment = 100e-6;  // s, per side
 constexpr double kWireBps = 100e6;
 constexpr double kMss = 1448;
 
+struct Row {
+  const char* name;
+  const char* json_key;
+  NetConfig config;
+  bool force_tx_flatten;
+};
+
 struct Cell {
   double wall_mbps;
   double sim_mbps;
   double model_send_mbps;   // bottlenecked by the sending machine
   double model_recv_mbps;   // bottlenecked by the receiving machine
+  uint64_t bytes_sent;
   uint64_t glue_copied_bytes;
+  uint64_t sg_frames;
+  uint64_t sg_segments;
   trace::CounterSnapshot sender_counters;  // sender registry after the run
+
+  // The headline derived figure: how many bytes the boundary glue copied
+  // for every byte that went out on the wire.
+  double CopiedPerByte() const {
+    return bytes_sent > 0
+               ? static_cast<double>(glue_copied_bytes) / bytes_sent
+               : 0;
+  }
 };
 
-Cell RunConfig(NetConfig config, size_t blocks, size_t block_size) {
+Cell RunConfig(const Row& row, size_t blocks, size_t block_size) {
   Cell cell{};
+  auto apply_toggles = [&](World& world) {
+    if (row.force_tx_flatten) {
+      world.host(0).stack->SetForceTxFlatten(true);
+      world.host(1).stack->SetForceTxFlatten(true);
+    }
+  };
   // Wire-limited run (smaller: it is wire-paced anyway).
   {
     EthernetWire::Config wire;
     wire.bits_per_second = static_cast<uint64_t>(kWireBps);
     wire.propagation_ns = 5 * kNsPerUs;
     World world(wire);
-    world.AddHost("rx", config);
-    world.AddHost("tx", config);
+    world.AddHost("rx", row.config);
+    world.AddHost("tx", row.config);
+    apply_toggles(world);
     TtcpResult r = RunTtcp(world, block_size, blocks / 4);
     cell.sim_mbps = r.MbitPerSecSim();
   }
@@ -74,15 +107,19 @@ Cell RunConfig(NetConfig config, size_t blocks, size_t block_size) {
   TtcpResult sw;
   {
     World world;
-    world.AddHost("rx", config);
-    world.AddHost("tx", config);
+    world.AddHost("rx", row.config);
+    world.AddHost("tx", row.config);
+    apply_toggles(world);
     sw = RunTtcp(world, block_size, blocks);
     cell.wall_mbps = sw.MbitPerSecWall();
     cell.sender_counters = world.host(1).trace.registry.Snapshot();
   }
-  // Registry-sourced (TtcpResult fills this from the sender host's trace
-  // counter registry, "glue.send.copied_bytes").
+  // Registry-sourced (TtcpResult fills these from the sender host's trace
+  // counter registry, "glue.send.*").
+  cell.bytes_sent = sw.bytes_transferred;
   cell.glue_copied_bytes = sw.sender_glue_copied_bytes;
+  cell.sg_frames = sw.sender_glue_sg_frames;
+  cell.sg_segments = sw.sender_glue_sg_segments;
 
   // ---- The P6-scaled model, fed by the transfer's real counters ----
   double bytes = static_cast<double>(sw.bytes_transferred);
@@ -90,7 +127,8 @@ Cell RunConfig(NetConfig config, size_t blocks, size_t block_size) {
 
   // Sender-side seconds: fixed per segment, the socket-layer user->buffer
   // copy, the checksum over every byte, plus whatever the glue REALLY
-  // copied (zero for both native configurations, ~all bytes for OSKit).
+  // copied (zero for the natives and for scatter-gather OSKit, ~all bytes
+  // for flatten OSKit).
   double sender_s = segments * kFixedPerSegment + bytes / kMemcpyBw +
                     bytes / kChecksumBw +
                     static_cast<double>(cell.glue_copied_bytes) / kMemcpyBw;
@@ -113,19 +151,34 @@ Cell RunConfig(NetConfig config, size_t blocks, size_t block_size) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Usage: table1_bandwidth [blocks] [--json <path>]
   // Paper: 131072 blocks (512 MB).  Default 8192 blocks (32 MB) per cell so
   // the table runs in seconds; pass a block count to scale.
-  size_t blocks = argc > 1 ? std::strtoul(argv[1], nullptr, 0) : 8192;
+  size_t blocks = 8192;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: table1_bandwidth [blocks] [--json <path>]\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      blocks = std::strtoul(argv[i], nullptr, 0);
+    }
+  }
   const size_t kBlockSize = 4096;
 
-  const struct {
-    const char* name;
-    NetConfig config;
-  } kConfigs[] = {
-      {"Linux 2.0.29 (native skbuff stack)", NetConfig::kNativeLinux},
-      {"FreeBSD 2.1.5 (native mbuf stack)", NetConfig::kNativeBsd},
-      {"OSKit (FreeBSD stack + Linux driver)", NetConfig::kOskit},
+  const Row kRows[] = {
+      {"Linux 2.0.29 (native skbuff stack)", "linux", NetConfig::kNativeLinux,
+       false},
+      {"FreeBSD 2.1.5 (native mbuf stack)", "freebsd", NetConfig::kNativeBsd,
+       false},
+      {"OSKit, flatten send (1997 glue)", "oskit_flatten", NetConfig::kOskit,
+       true},
+      {"OSKit, scatter-gather send", "oskit_sg", NetConfig::kOskit, false},
   };
+  constexpr int kNumRows = 4;
 
   std::printf("Table 1: TCP bandwidth measured with ttcp "
               "(%zu blocks x %zu bytes = %.0f MB per cell)\n",
@@ -133,51 +186,77 @@ int main(int argc, char** argv) {
   std::printf("(both machines of each pair run the configuration, as in the "
               "paper)\n\n");
 
-  Cell cells[3];
-  for (int i = 0; i < 3; ++i) {
-    cells[i] = RunConfig(kConfigs[i].config, blocks, kBlockSize);
+  Cell cells[kNumRows];
+  for (int i = 0; i < kNumRows; ++i) {
+    cells[i] = RunConfig(kRows[i], blocks, kBlockSize);
   }
 
-  std::printf("%-38s | %11s | %11s | %12s | %12s | %12s\n", "configuration",
-              "wire (sim)", "sw (wall)", "model send", "model recv",
-              "glue copies");
-  std::printf("%-38s | %11s | %11s | %12s | %12s | %12s\n", "", "Mbit/s",
-              "Mbit/s", "Mbit/s", "Mbit/s", "bytes");
-  std::printf("---------------------------------------+-------------+------------"
-              "-+--------------+--------------+--------------\n");
-  for (int i = 0; i < 3; ++i) {
-    std::printf("%-38s | %11.1f | %11.0f | %12.1f | %12.1f | %12llu\n",
-                kConfigs[i].name, cells[i].sim_mbps, cells[i].wall_mbps,
+  std::printf("%-36s | %10s | %10s | %11s | %11s | %12s | %9s\n",
+              "configuration", "wire (sim)", "sw (wall)", "model send",
+              "model recv", "glue copies", "copied/");
+  std::printf("%-36s | %10s | %10s | %11s | %11s | %12s | %9s\n", "", "Mbit/s",
+              "Mbit/s", "Mbit/s", "Mbit/s", "bytes", "byte sent");
+  std::printf("-------------------------------------+------------+------------+"
+              "-------------+-------------+--------------+----------\n");
+  for (int i = 0; i < kNumRows; ++i) {
+    std::printf("%-36s | %10.1f | %10.0f | %11.1f | %11.1f | %12llu | %9.3f\n",
+                kRows[i].name, cells[i].sim_mbps, cells[i].wall_mbps,
                 cells[i].model_send_mbps, cells[i].model_recv_mbps,
-                static_cast<unsigned long long>(cells[i].glue_copied_bytes));
+                static_cast<unsigned long long>(cells[i].glue_copied_bytes),
+                cells[i].CopiedPerByte());
   }
 
   const Cell& bsd = cells[1];
-  const Cell& oskit = cells[2];
-  double send_ratio = oskit.model_send_mbps / bsd.model_send_mbps;
-  double recv_ratio = oskit.model_recv_mbps / bsd.model_recv_mbps;
+  const Cell& flatten = cells[2];
+  const Cell& sg = cells[3];
+  double flatten_send_ratio = flatten.model_send_mbps / bsd.model_send_mbps;
+  double sg_send_ratio = sg.model_send_mbps / bsd.model_send_mbps;
+  double recv_ratio = sg.model_recv_mbps / bsd.model_recv_mbps;
+  bool fail = false;
+
   std::printf("\nShape checks against the paper's findings:\n");
-  std::printf("  receive: OSKit/FreeBSD = %.3f  (paper ~1.0 — zero-copy "
+  bool ok = recv_ratio > 0.98 && recv_ratio < 1.02;
+  fail |= !ok;
+  std::printf("  receive:      OSKit/FreeBSD = %.3f  (paper ~1.0 — zero-copy "
               "skbuff->mbuf mapping; glue rx copies = 0)  %s\n",
-              recv_ratio, recv_ratio > 0.98 && recv_ratio < 1.02 ? "PASS" : "FAIL");
-  std::printf("  send:    OSKit/FreeBSD = %.3f  (paper < 1 — the glue really "
-              "copied %llu of %.0f MB through mbuf->skbuff)  %s\n",
-              send_ratio,
-              static_cast<unsigned long long>(oskit.glue_copied_bytes),
-              blocks * kBlockSize / 1048576.0, send_ratio < 0.95 ? "PASS" : "FAIL");
-  std::printf("  natives: FreeBSD and Linux pay no conversion copy (glue "
+              recv_ratio, ok ? "PASS" : "FAIL");
+  ok = flatten_send_ratio < 0.95;
+  fail |= !ok;
+  std::printf("  send/flatten: OSKit/FreeBSD = %.3f  (paper < 1 — the glue "
+              "really copied %llu of %.0f MB through mbuf->skbuff)  %s\n",
+              flatten_send_ratio,
+              static_cast<unsigned long long>(flatten.glue_copied_bytes),
+              blocks * kBlockSize / 1048576.0, ok ? "PASS" : "FAIL");
+  // The scatter-gather path must copy strictly less per byte than the
+  // flatten path — this is the tentpole claim, counter-verified.
+  ok = sg.CopiedPerByte() < flatten.CopiedPerByte() &&
+       sg.glue_copied_bytes == 0 && sg.sg_frames > 0;
+  fail |= !ok;
+  std::printf("  send/sg:      copied-per-byte %.3f -> %.3f, %llu gather "
+              "frames (%llu segments) — the send copy is gone  %s\n",
+              flatten.CopiedPerByte(), sg.CopiedPerByte(),
+              static_cast<unsigned long long>(sg.sg_frames),
+              static_cast<unsigned long long>(sg.sg_segments),
+              ok ? "PASS" : "FAIL");
+  ok = sg_send_ratio > flatten_send_ratio && sg_send_ratio > 0.98;
+  fail |= !ok;
+  std::printf("  send/model:   OSKit-sg/FreeBSD = %.3f  (> flatten's %.3f and "
+              "~1.0: scatter-gather restores parity)  %s\n",
+              sg_send_ratio, flatten_send_ratio, ok ? "PASS" : "FAIL");
+  std::printf("  natives:      FreeBSD and Linux pay no conversion copy (glue "
               "bytes: %llu / %llu)\n",
               static_cast<unsigned long long>(cells[0].glue_copied_bytes),
               static_cast<unsigned long long>(cells[1].glue_copied_bytes));
-  std::printf("  wire:    every configuration saturates the simulated 100 "
-              "Mbps wire: %.1f / %.1f / %.1f Mbit/s\n",
-              cells[0].sim_mbps, cells[1].sim_mbps, cells[2].sim_mbps);
+  std::printf("  wire:         every configuration saturates the simulated 100 "
+              "Mbps wire: %.1f / %.1f / %.1f / %.1f Mbit/s\n",
+              cells[0].sim_mbps, cells[1].sim_mbps, cells[2].sim_mbps,
+              cells[3].sim_mbps);
 
   // Sender-side counter snapshots from each configuration's trace registry
   // (the same numbers kmon's `counters` command shows on that machine).
   std::printf("\nSender counter snapshots (trace registry, software-path run):\n");
-  for (int i = 0; i < 3; ++i) {
-    std::printf("  %s\n", kConfigs[i].name);
+  for (int i = 0; i < kNumRows; ++i) {
+    std::printf("  %s\n", kRows[i].name);
     for (const auto& [name, value] : cells[i].sender_counters) {
       if (value != 0 &&
           (name.rfind("glue.send.", 0) == 0 || name == "net.tcp.out" ||
@@ -187,5 +266,43 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"table1_bandwidth_sg\",\n");
+    std::fprintf(f, "  \"blocks\": %zu,\n  \"block_size\": %zu,\n", blocks,
+                 kBlockSize);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (int i = 0; i < kNumRows; ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(
+          f,
+          "    {\"config\": \"%s\", \"bytes_sent\": %llu, "
+          "\"glue_copied_bytes\": %llu, \"copied_per_byte_sent\": %.6f, "
+          "\"sg_frames\": %llu, \"sg_segments\": %llu, "
+          "\"model_send_mbps\": %.1f, \"model_recv_mbps\": %.1f, "
+          "\"sim_mbps\": %.1f}%s\n",
+          kRows[i].json_key, static_cast<unsigned long long>(c.bytes_sent),
+          static_cast<unsigned long long>(c.glue_copied_bytes),
+          c.CopiedPerByte(), static_cast<unsigned long long>(c.sg_frames),
+          static_cast<unsigned long long>(c.sg_segments), c.model_send_mbps,
+          c.model_recv_mbps, c.sim_mbps, i < kNumRows - 1 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"checks\": {\"recv_ratio\": %.4f, "
+                 "\"flatten_send_ratio\": %.4f, \"sg_send_ratio\": %.4f, "
+                 "\"sg_copied_per_byte\": %.6f, "
+                 "\"flatten_copied_per_byte\": %.6f}\n",
+                 recv_ratio, flatten_send_ratio, sg_send_ratio,
+                 sg.CopiedPerByte(), flatten.CopiedPerByte());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+
+  return fail ? 1 : 0;
 }

@@ -21,12 +21,25 @@ int simnic_stop(linux_device* dev) {
 }
 
 int simnic_xmit(sk_buff* skb, linux_device* dev) {
-  // Linux drivers hand the hardware ONE contiguous buffer; that contiguity
-  // assumption is what forces the glue's copy on the OSKit send path.
+  // Classic path: the driver hands the hardware ONE contiguous buffer.
   dev->priv->TxStart(skb->data, skb->len);
   dev->stats.tx_packets += 1;
   dev->stats.tx_bytes += skb->len;
   kfree_skb(dev->kenv, skb);
+  return 0;
+}
+
+int simnic_xmit_vec(const uint8_t* const* chunks, const size_t* lens,
+                    size_t count, linux_device* dev) {
+  // Gather path: the descriptor list goes straight into the NIC's DMA
+  // engine, so a discontiguous packet transmits without being flattened.
+  dev->priv->TxStartVec(chunks, lens, count);
+  size_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += lens[i];
+  }
+  dev->stats.tx_packets += 1;
+  dev->stats.tx_bytes += total;
   return 0;
 }
 
@@ -39,6 +52,7 @@ int simnic_probe(linux_device* dev, oskit::NicHw* hw) {
   dev->open = &simnic_open;
   dev->stop = &simnic_stop;
   dev->hard_start_xmit = &simnic_xmit;
+  dev->hard_start_xmit_vec = &simnic_xmit_vec;  // simnic has gather DMA
   return 0;
 }
 

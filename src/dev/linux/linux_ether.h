@@ -41,6 +41,12 @@ struct linux_device {
   int (*stop)(linux_device* dev) = nullptr;
   int (*hard_start_xmit)(sk_buff* skb, linux_device* dev) = nullptr;
 
+  // Scatter-gather transmit (a NETIF_F_SG-style capability): present only
+  // when the hardware has gather DMA; callers must check for nullptr and
+  // fall back to hard_start_xmit on a linearized buffer.
+  int (*hard_start_xmit_vec)(const uint8_t* const* chunks, const size_t* lens,
+                             size_t count, linux_device* dev) = nullptr;
+
   // Upcall installed by the surrounding glue.
   netif_rx_fn netif_rx = nullptr;
   void* netif_rx_ctx = nullptr;

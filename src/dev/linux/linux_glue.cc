@@ -121,6 +121,8 @@ LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
   trace_binding_.Bind(&trace_->registry,
                       {{"glue.send.native_passthrough", &counters_.native_passthrough},
                        {"glue.send.fake_skbuff", &counters_.fake_skbuff},
+                       {"glue.send.sg_frames", &counters_.sg_frames},
+                       {"glue.send.sg_segments", &counters_.sg_segments},
                        {"glue.send.copied", &counters_.copied},
                        {"glue.send.copied_bytes", &counters_.copied_bytes},
                        {"glue.recv.push_errors", &counters_.rx_push_errors},
@@ -310,8 +312,38 @@ Error LinuxEtherDev::Transmit(BufIo* packet, size_t size) {
     return Error::kOk;
   }
 
-  // Discontiguous foreign packet (an mbuf chain): allocate a normal skbuff
-  // and copy the data in — the Table 1 send-path copy.
+  // Discontiguous foreign packet.  If the object can publish its pieces
+  // (BufIoVec, discovered §4.4.2-style via Query) and the driver advertises
+  // gather DMA, transmit the segments directly — no copy, no flatten.
+  if (dev_.hard_start_xmit_vec != nullptr) {
+    void* vec_raw = nullptr;
+    if (Ok(packet->Query(BufIoVec::kIid, &vec_raw))) {
+      auto* vec = static_cast<BufIoVec*>(vec_raw);
+      constexpr size_t kTxGather = 16;  // simnic DMA descriptor ring slots
+      BufIoSegment segs[kTxGather];
+      size_t count = 0;
+      Error verr = vec->Vectors(segs, kTxGather, 0, size, &count);
+      if (Ok(verr) && count > 0) {
+        const uint8_t* chunks[kTxGather];
+        size_t lens[kTxGather];
+        for (size_t i = 0; i < count; ++i) {
+          chunks[i] = segs[i].data;
+          lens[i] = segs[i].len;
+        }
+        ++counters_.sg_frames;
+        counters_.sg_segments += count;
+        trace_->recorder.Record(trace::EventType::kBufMap, "glue.send.sg", size);
+        dev_.hard_start_xmit_vec(chunks, lens, count, &dev_);
+        vec->UnmapVectors(0, size);
+        vec->Release();
+        return Error::kOk;
+      }
+      vec->Release();
+    }
+  }
+
+  // Last resort: allocate a normal skbuff and copy the data in — the
+  // Table 1 send-path copy, now only a fallback.
   ++counters_.copied;
   counters_.copied_bytes += size;
   trace_->recorder.Record(trace::EventType::kBufCopy, "glue.send", size);

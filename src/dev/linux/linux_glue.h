@@ -7,8 +7,11 @@
 //
 //   receive:  skbuff --(wrap, no copy)--> BufIo --> client's NetIo
 //   transmit: BufIo --Map ok--> "fake" skbuff around the mapped data (no
-//             copy); --Map fails--> dev_alloc_skb + Read (the copy the paper
-//             blames for the OSKit's lower send bandwidth, §5);
+//             copy); --Map fails but the object Queries as BufIoVec and the
+//             driver has gather DMA--> scatter-gather transmit straight from
+//             the object's segments (no copy, no flatten); --otherwise-->
+//             dev_alloc_skb + Read (the copy the paper blamed for the
+//             OSKit's lower send bandwidth, §5 — now only the fallback);
 //             native skbuffs are recognised by their function-table pointer
 //             and passed straight through (§4.7.3).
 
@@ -74,6 +77,8 @@ class LinuxEtherDev final : public Device,
   struct Counters {
     trace::Counter native_passthrough;  // our own skbuff handed back: no work
     trace::Counter fake_skbuff;         // foreign buffer mapped: zero copy
+    trace::Counter sg_frames;           // discontiguous buffer gathered: zero copy
+    trace::Counter sg_segments;         // total segments across sg_frames
     trace::Counter copied;              // foreign buffer unmappable: copied
     trace::Counter copied_bytes;
     trace::Counter rx_push_errors;      // client NetIo::Push refused a frame

@@ -15,32 +15,43 @@ size_t NicHw::RxDequeue(uint8_t* buf) {
   return len;
 }
 
-void NicHw::TxStart(const uint8_t* frame, size_t len) {
-  OSKIT_ASSERT_MSG(len >= kEtherHeaderSize, "runt frame");
-  OSKIT_ASSERT_MSG(len <= kEtherMaxFrame, "oversize frame");
+bool NicHw::TxGate() {
   ++tx_frames_;
   if (fault_->ShouldFail("nic.irq.spurious")) {
     pic_->RaiseIrq(irq_);  // causeless interrupt: drivers must tolerate it
   }
   if (fault_->ShouldFail("nic.tx.drop")) {
     ++tx_dropped_;
-    return;  // the transceiver ate the frame; TCP's timers must notice
+    return false;  // the transceiver ate the frame; TCP's timers must notice
+  }
+  return true;
+}
+
+void NicHw::TxStart(const uint8_t* frame, size_t len) {
+  OSKIT_ASSERT_MSG(len >= kEtherHeaderSize, "runt frame");
+  OSKIT_ASSERT_MSG(len <= kEtherMaxFrame, "oversize frame");
+  if (!TxGate()) {
+    return;
   }
   wire_->Transmit(this, frame, len);
 }
 
 void NicHw::TxStartVec(const uint8_t* const* chunks, const size_t* lens,
                        size_t count) {
-  // Hardware DMA gather: the NIC assembles the frame from the descriptor
-  // list.  (A real wire sees one contiguous frame either way.)
-  uint8_t frame[kEtherMaxFrame];
+  // Hardware DMA gather: the descriptor list goes straight to the wire-side
+  // engine — the NIC never stages the frame through a bounce buffer, which
+  // is the whole point of the scatter-gather transmit path.
   size_t total = 0;
   for (size_t i = 0; i < count; ++i) {
-    OSKIT_ASSERT_MSG(total + lens[i] <= sizeof(frame), "oversize gather frame");
-    std::memcpy(frame + total, chunks[i], lens[i]);
     total += lens[i];
   }
-  TxStart(frame, total);
+  OSKIT_ASSERT_MSG(total >= kEtherHeaderSize, "runt frame");
+  OSKIT_ASSERT_MSG(total <= kEtherMaxFrame, "oversize gather frame");
+  ++tx_gathers_;
+  if (!TxGate()) {
+    return;
+  }
+  wire_->Transmit(this, chunks, lens, count);
 }
 
 void NicHw::FrameArrived(const uint8_t* frame, size_t len) {

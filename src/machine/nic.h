@@ -54,9 +54,10 @@ class NicHw final : public WireEndpoint {
   size_t RxDequeue(uint8_t* buf);
 
   // Starts transmission of a complete Ethernet frame (header + payload).
-  // The simulated NIC does not do scatter/gather unless asked: the BSD-idiom
-  // driver uses TxStartVec (models DMA gather); the Linux-idiom driver
-  // always hands one contiguous buffer to TxStart.
+  // TxStartVec is the DMA-gather entry point: the descriptor list is handed
+  // to the wire-side engine as-is, with no bounce-buffer assembly in the
+  // NIC.  Both the BSD-idiom driver and the Linux-idiom driver's
+  // hard_start_xmit_vec use it; TxStart is the single-buffer legacy path.
   void TxStart(const uint8_t* frame, size_t len);
   void TxStartVec(const uint8_t* const* chunks, const size_t* lens, size_t count);
 
@@ -70,9 +71,14 @@ class NicHw final : public WireEndpoint {
   uint64_t tx_dropped() const { return tx_dropped_; }
   uint64_t rx_corrupted() const { return rx_corrupted_; }
   uint64_t rx_irqs_missed() const { return rx_irqs_missed_; }
+  uint64_t tx_gathers() const { return tx_gathers_; }
 
  private:
   bool AcceptsFrame(const uint8_t* frame, size_t len) const;
+
+  // Shared transmit gate: counts the frame and applies the TX fault model.
+  // Returns false when the frame is eaten before reaching the wire.
+  bool TxGate();
 
   EthernetWire* wire_;
   Pic* pic_;
@@ -87,6 +93,7 @@ class NicHw final : public WireEndpoint {
   uint64_t tx_dropped_ = 0;
   uint64_t rx_corrupted_ = 0;
   uint64_t rx_irqs_missed_ = 0;
+  uint64_t tx_gathers_ = 0;
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
 };
 

@@ -3,6 +3,28 @@
 namespace oskit {
 
 void EthernetWire::Transmit(WireEndpoint* source, const uint8_t* frame, size_t len) {
+  Deliver(source, std::vector<uint8_t>(frame, frame + len));
+}
+
+void EthernetWire::Transmit(WireEndpoint* source, const uint8_t* const* chunks,
+                            const size_t* lens, size_t count) {
+  // Gather DMA: assemble the descriptor list directly into the delivery
+  // buffer; on a real NIC this is the DMA engine walking the descriptors.
+  size_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += lens[i];
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(total);
+  for (size_t i = 0; i < count; ++i) {
+    frame.insert(frame.end(), chunks[i], chunks[i] + lens[i]);
+  }
+  ++gather_transmits_;
+  Deliver(source, std::move(frame));
+}
+
+void EthernetWire::Deliver(WireEndpoint* source, std::vector<uint8_t> frame) {
+  size_t len = frame.size();
   ++frames_sent_;
   bytes_carried_ += len;
 
@@ -30,7 +52,7 @@ void EthernetWire::Transmit(WireEndpoint* source, const uint8_t* frame, size_t l
     if (config_.reorder_jitter_ns != 0) {
       when += rng_.Below(config_.reorder_jitter_ns + 1);
     }
-    std::vector<uint8_t> copy(frame, frame + len);
+    std::vector<uint8_t> copy = frame;
     if (config_.duplicate_percent != 0 && rng_.Percent(config_.duplicate_percent)) {
       ++frames_duplicated_;
       SimTime dup_when = when;

@@ -52,13 +52,23 @@ class EthernetWire {
   // Transmits a frame from `source`; delivered to all other endpoints.
   void Transmit(WireEndpoint* source, const uint8_t* frame, size_t len);
 
+  // Gather-DMA transmit: the frame is described as an iovec-style chunk
+  // list and the wire-side engine assembles it straight into the delivery
+  // buffer — the NIC model never stages it through a bounce buffer.
+  void Transmit(WireEndpoint* source, const uint8_t* const* chunks,
+                const size_t* lens, size_t count);
+
   // Statistics (exposed implementation, §4.6).
   uint64_t frames_sent() const { return frames_sent_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t frames_duplicated() const { return frames_duplicated_; }
   uint64_t bytes_carried() const { return bytes_carried_; }
+  uint64_t gather_transmits() const { return gather_transmits_; }
 
  private:
+  // Common fan-out: serialization, fault model, per-destination scheduling.
+  void Deliver(WireEndpoint* source, std::vector<uint8_t> frame);
+
   void ScheduleDelivery(WireEndpoint* dest, std::vector<uint8_t> frame,
                         SimTime when);
 
@@ -71,6 +81,7 @@ class EthernetWire {
   uint64_t frames_dropped_ = 0;
   uint64_t frames_duplicated_ = 0;
   uint64_t bytes_carried_ = 0;
+  uint64_t gather_transmits_ = 0;
 };
 
 }  // namespace oskit

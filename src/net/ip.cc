@@ -81,6 +81,10 @@ Error NetStack::IpOutput(uint8_t proto, InetAddr src, InetAddr dst, MBuf* payloa
   size_t mtu_payload = kEtherMtu - kIpHeaderSize;
 
   if (payload_len + kIpHeaderSize <= kEtherMtu) {
+    // Transport payloads arrive with a header mbuf that reserved headroom
+    // (see TcpSendSegment), so this prepend — and the Ethernet one below —
+    // extends that leading mbuf in place: no new mbufs, no data movement,
+    // and the chain reaches the driver in its original shape.
     MBuf* dgram = pool_.Prepend(payload, kIpHeaderSize);
     Ipv4Header ip;
     ip.total_len = static_cast<uint16_t>(dgram->pkt_len);

@@ -313,6 +313,143 @@ MBuf* MbufPool::CopyChain(const MBuf* m, size_t offset, size_t len) {
   return head;
 }
 
+MBuf* MbufPool::AppendChain(MBuf* a, MBuf* b) {
+  if (a == nullptr) {
+    return b;
+  }
+  if (b == nullptr) {
+    return a;
+  }
+  MBuf* tail = a;
+  while (tail->next != nullptr) {
+    tail = tail->next;
+  }
+  tail->next = b;
+  a->pkt_len += b->pkt_len;
+  b->pkt_len = 0;  // pkt_len lives on the head only
+  return a;
+}
+
+MBuf* MbufPool::Split(MBuf* m, size_t offset) {
+  if (offset >= m->pkt_len) {
+    return nullptr;
+  }
+  uint32_t head_len = static_cast<uint32_t>(offset);
+  uint32_t tail_len = m->pkt_len - head_len;
+  // Walk to the mbuf containing byte `offset`.
+  MBuf* prev = nullptr;
+  MBuf* cur = m;
+  size_t off = offset;
+  while (cur != nullptr && off >= cur->len) {
+    off -= cur->len;
+    prev = cur;
+    cur = cur->next;
+  }
+  OSKIT_ASSERT(cur != nullptr);
+  MBuf* rest;
+  if (off == 0 && prev != nullptr) {
+    // Clean break between mbufs.
+    rest = cur;
+    prev->next = nullptr;
+  } else {
+    // Mid-mbuf split (or a split at byte 0, where `m` must stay the head):
+    // the tail's first piece shares cluster/external storage; internal
+    // bytes are copied out.
+    MBuf* piece = Get();
+    if (cur->ext != nullptr) {
+      piece->ext = cur->ext;
+      ++cur->ext->refs;
+      piece->data = cur->data + off;
+    } else {
+      OSKIT_ASSERT(cur->len - off <= MBuf::kDataSpace);
+      std::memcpy(piece->data, cur->data + off, cur->len - off);
+    }
+    piece->len = static_cast<uint32_t>(cur->len - off);
+    piece->next = cur->next;
+    cur->len = static_cast<uint32_t>(off);
+    cur->next = nullptr;
+    rest = piece;
+  }
+  m->pkt_len = head_len;
+  rest->pkt_len = tail_len;
+  return rest;
+}
+
+MBuf* MbufPool::Coalesce(MBuf* m, size_t max_count) {
+  OSKIT_ASSERT(max_count >= 1);
+  if (ChainCount(m) <= max_count) {
+    return m;
+  }
+  // Keep the longest (header-bearing) prefix such that prefix mbufs plus
+  // the flattened suffix — packed into clusters — fit under max_count.
+  // Only the suffix bytes are copied, never the headers up front.
+  size_t total = ChainLength(m);
+  size_t keep = max_count - 1;  // mbufs of prefix to preserve
+  size_t prefix_len = 0;
+  size_t prefix_count = 0;
+  for (const MBuf* c = m; c != nullptr && prefix_count < keep; c = c->next) {
+    prefix_len += c->len;
+    ++prefix_count;
+  }
+  size_t suffix_len = total - prefix_len;
+  auto clusters_for = [](size_t n) {
+    return n == 0 ? size_t{0} : (n + kClusterSize - 1) / kClusterSize;
+  };
+  while (prefix_count > 0 &&
+         prefix_count + clusters_for(suffix_len) > max_count) {
+    // Fold the last kept mbuf into the suffix and retry.
+    const MBuf* c = m;
+    for (size_t i = 1; i < prefix_count; ++i) {
+      c = c->next;
+    }
+    prefix_len -= c->len;
+    suffix_len += c->len;
+    --prefix_count;
+  }
+  if (prefix_count + clusters_for(suffix_len) > max_count) {
+    // Even ceil(len / cluster) clusters exceed max_count: the chain is
+    // already minimal; the caller must fall back to its own bounce buffer.
+    return m;
+  }
+  // Build the packed suffix from a deep copy, then splice it in.
+  MBuf* suffix = nullptr;
+  MBuf* suffix_tail = nullptr;
+  {
+    size_t off = prefix_len;
+    size_t remaining = suffix_len;
+    while (remaining > 0) {
+      MBuf* fresh = remaining > MBuf::kDataSpace ? GetCluster() : Get();
+      size_t n = remaining < fresh->buf_size() ? remaining : fresh->buf_size();
+      CopyData(m, off, n, fresh->data);
+      fresh->len = static_cast<uint32_t>(n);
+      if (suffix == nullptr) {
+        suffix = fresh;
+      } else {
+        suffix_tail->next = fresh;
+      }
+      suffix_tail = fresh;
+      off += n;
+      remaining -= n;
+    }
+  }
+  if (prefix_count == 0) {
+    if (suffix == nullptr) {
+      // Zero-length packet made of empty mbufs: collapse to one empty mbuf.
+      suffix = Get();
+    }
+    suffix->pkt_len = m->pkt_len;
+    FreeChain(m);
+    return suffix;
+  }
+  MBuf* last_kept = m;
+  for (size_t i = 1; i < prefix_count; ++i) {
+    last_kept = last_kept->next;
+  }
+  FreeChain(last_kept->next);
+  last_kept->next = suffix;
+  return m;
+}
+
 size_t MbufPool::ChainLength(const MBuf* m) {
   size_t n = 0;
   for (; m != nullptr; m = m->next) {

@@ -121,6 +121,25 @@ class MbufPool {
   static constexpr size_t kCopyAll = ~size_t{0};
   MBuf* CopyChain(const MBuf* m, size_t offset, size_t len);
 
+  // Concatenates packet `b` onto packet `a` (BSD m_cat): links b's mbufs
+  // after a's tail and folds b's length into a->pkt_len.  Zero-length mbufs
+  // are kept; Coalesce cleans them up.  Returns `a` (or `b` if `a` null).
+  MBuf* AppendChain(MBuf* a, MBuf* b);
+
+  // Splits packet `m` at byte `offset` (BSD m_split): `m` keeps bytes
+  // [0, offset), the returned packet holds [offset, end).  A split falling
+  // inside a cluster/external mbuf shares the storage (refs++); one inside
+  // an internal mbuf copies the tail bytes.  Returns nullptr (leaving `m`
+  // untouched) if offset >= pkt_len or allocation fails.
+  MBuf* Split(MBuf* m, size_t offset);
+
+  // Coalesce-threshold (the gather-DMA escape hatch): if the chain has more
+  // than `max_count` mbufs, merges neighbours into fresh clusters until it
+  // fits.  Unlike a full flatten this copies only the merged suffix bytes.
+  // Returns the (possibly new) head; on allocation failure returns the
+  // original chain unchanged (caller still owns it).
+  MBuf* Coalesce(MBuf* m, size_t max_count);
+
   // Recomputes and returns the chain's total length.
   static size_t ChainLength(const MBuf* m);
 

@@ -6,8 +6,8 @@
 
 namespace oskit::net {
 
-ComPtr<MbufBufIo> MbufBufIo::Wrap(MbufPool* pool, MBuf* chain) {
-  return ComPtr<MbufBufIo>(new MbufBufIo(pool, chain));
+ComPtr<MbufBufIo> MbufBufIo::Wrap(MbufPool* pool, MBuf* chain, bool expose_sg) {
+  return ComPtr<MbufBufIo>(new MbufBufIo(pool, chain, expose_sg));
 }
 
 MbufBufIo::~MbufBufIo() { pool_->FreeChain(chain_); }
@@ -16,6 +16,11 @@ Error MbufBufIo::Query(const Guid& iid, void** out) {
   if (iid == IUnknown::kIid || iid == BlkIo::kIid || iid == BufIo::kIid) {
     AddRef();
     *out = static_cast<BufIo*>(this);
+    return Error::kOk;
+  }
+  if (expose_sg_ && iid == BufIoVec::kIid) {
+    AddRef();
+    *out = static_cast<BufIoVec*>(this);
     return Error::kOk;
   }
   *out = nullptr;
@@ -68,6 +73,50 @@ Error MbufBufIo::Map(void** out_addr, off_t64 offset, size_t amount) {
 }
 
 Error MbufBufIo::Unmap(void* addr, off_t64 offset, size_t amount) {
+  return Error::kOk;
+}
+
+Error MbufBufIo::Vectors(BufIoSegment* out_segs, size_t cap, off_t64 offset,
+                         size_t amount, size_t* out_count) {
+  *out_count = 0;
+  if (offset + amount > chain_->pkt_len) {
+    return Error::kOutOfRange;
+  }
+  const MBuf* m = chain_;
+  off_t64 off = offset;
+  while (m != nullptr && off >= m->len) {
+    off -= m->len;
+    m = m->next;
+  }
+  size_t count = 0;
+  size_t remaining = amount;
+  while (remaining > 0) {
+    OSKIT_ASSERT(m != nullptr);
+    size_t n = m->len - off;
+    if (n > remaining) {
+      n = remaining;
+    }
+    if (n > 0) {
+      if (count == cap) {
+        // More pieces than the consumer's gather descriptors; it may
+        // Coalesce the chain or fall back to Read().
+        *out_count = 0;
+        return Error::kNotImpl;
+      }
+      out_segs[count].data = m->data + off;
+      out_segs[count].len = n;
+      ++count;
+    }
+    remaining -= n;
+    off = 0;
+    m = m->next;
+  }
+  *out_count = count;
+  return Error::kOk;
+}
+
+Error MbufBufIo::UnmapVectors(off_t64 /*offset*/, size_t /*amount*/) {
+  // The chain is owned by this object; nothing extra was pinned.
   return Error::kOk;
 }
 

@@ -1,13 +1,16 @@
 // BufIo <-> mbuf glue (paper §4.7.3).
 //
 // Outbound: an mbuf chain leaves the FreeBSD-idiom component as an opaque
-// BufIo.  Map() succeeds only for ranges that happen to be contiguous inside
-// one mbuf — so a multi-mbuf TCP segment presented to the Linux driver fails
-// to map (kNotImpl) and forces the driver glue onto its Read()-based copy
-// path into a contiguous skbuff, which is precisely the send-path copy
-// Table 1 measures.  A multi-mbuf segment therefore always transmits; when
-// the copy path itself fails (skbuff allocation), the error propagates back
-// through NetIo::Push to NetStack::EtherOutput, which counts it
+// buffer object.  Map() keeps the paper's contract — it succeeds only for
+// ranges that happen to be contiguous inside one mbuf — but the wrapper also
+// implements BufIoVec, so a gather-capable consumer can Query for the
+// scatter-gather view and transmit a multi-mbuf TCP segment without
+// flattening it.  Consumers without gather support (or a wrapper built with
+// expose_sg = false, the ablation/legacy mode) still land on the Read()-based
+// copy path into a contiguous skbuff — the send-path copy the original
+// Table 1 measured.  Either way the segment transmits; when a driver-side
+// failure occurs (skbuff allocation, injected fault), the error propagates
+// back through NetIo::Push to NetStack::EtherOutput, which counts it
 // (net.tx.errors) — nothing is dropped silently.
 //
 // Inbound: MbufFromBufIo imports a foreign packet.  When the foreign object
@@ -23,10 +26,14 @@
 
 namespace oskit::net {
 
-class MbufBufIo final : public BufIo, public RefCounted<MbufBufIo> {
+class MbufBufIo final : public BufIoVec, public RefCounted<MbufBufIo> {
  public:
   // Takes ownership of `chain`; it returns to `pool` when the object dies.
-  static ComPtr<MbufBufIo> Wrap(MbufPool* pool, MBuf* chain);
+  // With expose_sg = false the wrapper refuses to Query as BufIoVec, which
+  // reproduces the pre-scatter-gather copy-on-send behaviour exactly (used
+  // by the benches' flatten ablation).
+  static ComPtr<MbufBufIo> Wrap(MbufPool* pool, MBuf* chain,
+                                bool expose_sg = true);
 
   // IUnknown
   Error Query(const Guid& iid, void** out) override;
@@ -46,16 +53,24 @@ class MbufBufIo final : public BufIo, public RefCounted<MbufBufIo> {
   Error Wire() override { return Error::kOk; }
   Error Unwire() override { return Error::kOk; }
 
+  // BufIoVec: one segment per mbuf covering the range.  The chain is pinned
+  // by this object's own lifetime, so Vectors/UnmapVectors are pure views.
+  Error Vectors(BufIoSegment* out_segs, size_t cap, off_t64 offset,
+                size_t amount, size_t* out_count) override;
+  Error UnmapVectors(off_t64 offset, size_t amount) override;
+
   // The component-internal view (never exposed across the glue boundary).
   MBuf* chain() { return chain_; }
 
  private:
   friend class RefCounted<MbufBufIo>;
-  MbufBufIo(MbufPool* pool, MBuf* chain) : pool_(pool), chain_(chain) {}
+  MbufBufIo(MbufPool* pool, MBuf* chain, bool expose_sg)
+      : pool_(pool), chain_(chain), expose_sg_(expose_sg) {}
   ~MbufBufIo();
 
   MbufPool* pool_;
   MBuf* chain_;
+  bool expose_sg_;
 };
 
 // Imports `size` bytes of a foreign BufIo packet into an mbuf chain,

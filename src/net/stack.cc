@@ -393,14 +393,17 @@ Error NetStack::EtherOutput(int ifindex, const EtherAddr& dst, uint16_t type,
     iface.port->Output(frame);
     return Error::kOk;
   }
-  // OSKit path: the chain leaves the component as an opaque BufIo (§4.7.3).
+  // OSKit path: the chain leaves the component as an opaque buffer object
+  // (§4.7.3).  The wrapper also speaks BufIoVec, so a gather-capable driver
+  // transmits a multi-mbuf chain without flattening; the force_tx_flatten_
+  // ablation withholds that interface to reproduce the old copy path.
   size_t len = frame->pkt_len;
-  auto bufio = MbufBufIo::Wrap(&pool_, frame);
+  auto bufio = MbufBufIo::Wrap(&pool_, frame, !force_tx_flatten_);
   Error err = iface.tx->Push(bufio.get(), len);
   if (!Ok(err)) {
-    // The driver refused the frame (OOM, injected fault, multi-mbuf Map
-    // failure).  Count it — the frame is reclaimed by the wrapper, and the
-    // protocols above recover by retransmission.
+    // The driver refused the frame (OOM, injected fault).  Count it — the
+    // frame is reclaimed by the wrapper, and the protocols above recover by
+    // retransmission.
     ++counters_.tx_errors;
     trace_->recorder.Record(trace::EventType::kMark, "net.tx.error",
                             static_cast<uint64_t>(ifindex),

@@ -308,6 +308,13 @@ class NetStack {
   void SetForceRxCopy(bool force) { force_rx_copy_ = force; }
   bool force_rx_copy() const { return force_rx_copy_; }
 
+  // Ablation hook: when set, outbound packets are wrapped without the
+  // scatter-gather interface, so the driver glue flattens multi-mbuf
+  // segments through its Read() copy path — the pre-BufIoVec behaviour the
+  // original Table 1 measured.
+  void SetForceTxFlatten(bool force) { force_tx_flatten_ = force; }
+  bool force_tx_flatten() const { return force_tx_flatten_; }
+
   // Fault-injection environment: null rebinds the process-global default.
   // Probed at the RX mbuf-import boundary ("mbuf.rx_alloc").
   void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
@@ -461,6 +468,7 @@ class NetStack {
   std::list<std::unique_ptr<UdpPcb>> udp_pcbs_;
 
   bool force_rx_copy_ = false;
+  bool force_tx_flatten_ = false;
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
   SimClock::EventId fast_timer_ = SimClock::kInvalidEvent;
   SimClock::EventId slow_timer_ = SimClock::kInvalidEvent;

@@ -136,7 +136,11 @@ void NetStack::TcpSendSegment(TcpPcb* pcb, uint32_t seq, uint8_t flags,
   if (data_len > 0) {
     // Reference the send buffer's storage rather than copying it: this is
     // why outgoing BSD packets are discontiguous chains (§5) — a header
-    // mbuf followed by cluster references.
+    // mbuf followed by cluster references.  Prepend allocates the header
+    // mbuf with maximal headroom, so the IP and Ethernet headers prepended
+    // below it land in this same reserved leading mbuf and the chain's
+    // shape never changes on the way to the driver — the contract the
+    // scatter-gather transmit path relies on.
     segment = pool_.CopyChain(data_src, data_off, data_len);
     segment = pool_.Prepend(segment, header_len);
   } else {

@@ -26,6 +26,9 @@ void CollectGlueStats(Host& host, TtcpResult* result) {
   result->sender_glue_copies = host.trace.registry.Value("glue.send.copied");
   result->sender_glue_copied_bytes =
       host.trace.registry.Value("glue.send.copied_bytes");
+  result->sender_glue_sg_frames = host.trace.registry.Value("glue.send.sg_frames");
+  result->sender_glue_sg_segments =
+      host.trace.registry.Value("glue.send.sg_segments");
 }
 
 }  // namespace

@@ -20,6 +20,8 @@ struct TtcpResult {
   SimTime sim_ns = 0;          // simulated time elapsed
   uint64_t sender_glue_copies = 0;   // OSKit config: mbuf->skbuff copies
   uint64_t sender_glue_copied_bytes = 0;
+  uint64_t sender_glue_sg_frames = 0;  // OSKit config: gather transmits
+  uint64_t sender_glue_sg_segments = 0;
 
   double MbitPerSecWall() const {
     return wall_seconds > 0 ? bytes_transferred * 8.0 / wall_seconds / 1e6 : 0;

@@ -143,14 +143,20 @@ TEST_F(DriverTest, LinuxEtherRoundTripAndXmitPaths) {
   EXPECT_EQ(1u, dev_a->counters().fake_skbuff);
   EXPECT_EQ(0u, dev_a->counters().copied);
 
-  // Discontiguous packet (an mbuf chain): the glue must copy (§4.7.3).
+  // Discontiguous packet (a 3-mbuf chain: header + two payload pieces, the
+  // shape a TCP segment takes when its payload straddles a cluster
+  // boundary): the wrapper speaks BufIoVec, so the glue gathers all three
+  // segments through the driver's DMA — the flatten counters must not move.
   net::MbufPool pool;
   {
-    auto data = std::vector<uint8_t>(frame, frame + sizeof(frame));
     net::MBuf* chain = pool.GetHeaderAligned(14);
     memcpy(chain->data, frame, 14);
-    net::MBuf* body = pool.FromData(frame + 14, sizeof(frame) - 14);
-    chain->next = body;
+    net::MBuf* body1 = pool.FromData(frame + 14, 25);
+    net::MBuf* body2 = pool.FromData(frame + 39, sizeof(frame) - 39);
+    chain->next = body1;
+    body1->next = body2;
+    body1->pkt_len = 0;
+    body2->pkt_len = 0;
     chain->pkt_len = sizeof(frame);
     auto io = net::MbufBufIo::Wrap(&pool, chain);
     ASSERT_EQ(Error::kOk, tx_a_owned->Push(io.get(), sizeof(frame)));
@@ -158,6 +164,25 @@ TEST_F(DriverTest, LinuxEtherRoundTripAndXmitPaths) {
   sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
   ASSERT_EQ(2u, rx_b->frames.size());
   EXPECT_EQ(0, memcmp(rx_b->frames[1].data(), frame, sizeof(frame)));
+  EXPECT_EQ(1u, dev_a->counters().sg_frames);
+  EXPECT_EQ(3u, dev_a->counters().sg_segments);
+  EXPECT_EQ(0u, dev_a->counters().copied);
+  EXPECT_EQ(0u, dev_a->counters().copied_bytes);
+
+  // The same chain wrapped with scatter-gather withheld (the pre-BufIoVec
+  // wrapper): the glue falls back to its Read() copy path (§4.7.3).
+  {
+    net::MBuf* chain = pool.GetHeaderAligned(14);
+    memcpy(chain->data, frame, 14);
+    net::MBuf* body = pool.FromData(frame + 14, sizeof(frame) - 14);
+    chain->next = body;
+    chain->pkt_len = sizeof(frame);
+    auto io = net::MbufBufIo::Wrap(&pool, chain, /*expose_sg=*/false);
+    ASSERT_EQ(Error::kOk, tx_a_owned->Push(io.get(), sizeof(frame)));
+  }
+  sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
+  ASSERT_EQ(3u, rx_b->frames.size());
+  EXPECT_EQ(0, memcmp(rx_b->frames[2].data(), frame, sizeof(frame)));
   EXPECT_EQ(1u, dev_a->counters().copied);
   EXPECT_EQ(sizeof(frame), dev_a->counters().copied_bytes);
 

@@ -101,10 +101,10 @@ INSTANTIATE_TEST_SUITE_P(
         ConfigPair{NetConfig::kOskit, NetConfig::kNativeLinux, "linux_to_oskit"}),
     [](const ::testing::TestParamInfo<ConfigPair>& info) { return info.param.name; });
 
-TEST(NetIntegrationTest, OskitReceivePathDoesNotCopyButSendPathDoes) {
-  // The Table 1 mechanism, asserted directly: in the OSKit configuration
-  // the Linux driver glue copies on transmit (mbuf chain -> skbuff) and
-  // never on receive (skbuff mapped into an mbuf).
+TEST(NetIntegrationTest, OskitNeitherPathCopiesWithScatterGather) {
+  // The post-BufIoVec mechanism, asserted directly: receive still maps
+  // (skbuff grafted into an mbuf) and transmit now gathers the multi-mbuf
+  // segments straight into the NIC's DMA engine — no copy either way.
   World world;
   Host& rx = world.AddHost("rx", NetConfig::kOskit);
   Host& tx = world.AddHost("tx", NetConfig::kOskit);
@@ -117,18 +117,42 @@ TEST(NetIntegrationTest, OskitReceivePathDoesNotCopyButSendPathDoes) {
     ASSERT_EQ(Error::kOk, devices[0]->GetInfo(&info));
     auto* dev = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
     const auto& stats = dev->counters();
+    // No flatten copies on either side, ever.
+    EXPECT_EQ(stats.copied, 0u);
+    EXPECT_EQ(stats.copied_bytes, 0u);
     if (sent_bulk) {
-      // Bulk data segments are header+cluster chains: unmappable, copied.
-      EXPECT_GT(stats.copied, 100u);
-      EXPECT_GT(stats.copied_bytes, 200u * 1024);
+      // Bulk data segments are header+cluster chains: gathered, not copied.
+      EXPECT_GT(stats.sg_frames, 100u);
+      // Every gather frame has at least header + payload segments.
+      EXPECT_GE(stats.sg_segments, 2 * stats.sg_frames);
     } else {
       // The receiver transmits only ACKs (single-mbuf segments, mappable).
       EXPECT_GT(stats.fake_skbuff, 10u);
-      EXPECT_EQ(stats.copied_bytes, 0u);
     }
   };
   check(tx, /*sent_bulk=*/true);
   check(rx, /*sent_bulk=*/false);
+}
+
+TEST(NetIntegrationTest, OskitForcedFlattenReproducesTable1SendCopy) {
+  // The historical Table 1 mechanism, still reachable via the ablation
+  // toggle: with scatter-gather withheld, bulk transmit falls back to the
+  // glue's Read() copy into a contiguous skbuff.
+  World world;
+  Host& rx = world.AddHost("rx", NetConfig::kOskit);
+  Host& tx = world.AddHost("tx", NetConfig::kOskit);
+  rx.stack->SetForceTxFlatten(true);
+  tx.stack->SetForceTxFlatten(true);
+  RunStreamTransfer(world, 256 * 1024, 4096);
+
+  auto devices = tx.registry.LookupByInterface(EtherDev::kIid);
+  ASSERT_EQ(1u, devices.size());
+  auto* dev = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
+  const auto& stats = dev->counters();
+  // Bulk data segments are header+cluster chains: unmappable, copied.
+  EXPECT_GT(stats.copied, 100u);
+  EXPECT_GT(stats.copied_bytes, 200u * 1024);
+  EXPECT_EQ(stats.sg_frames, 0u);
 }
 
 TEST(NetIntegrationTest, PingMeasuresRoundTrip) {
