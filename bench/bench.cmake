@@ -25,3 +25,5 @@ oskit_bench(ablation_bufio)
 oskit_bench(fault_campaign)
 target_link_libraries(fault_campaign PRIVATE oskit_fault oskit_amm
   oskit_memdebug)
+oskit_bench(crash_campaign)
+target_link_libraries(crash_campaign PRIVATE oskit_fault)

@@ -4,7 +4,9 @@
 # ablation_glue from the sender's trace counter registry; BENCH_fault.json,
 # produced by the fault-injection campaign's aggregate counters;
 # BENCH_sg.json, produced by table1_bandwidth with the per-row
-# bytes-copied-per-byte-sent figures for the scatter-gather send path).
+# bytes-copied-per-byte-sent figures for the scatter-gather send path;
+# BENCH_crash.json, produced by the every-write power-cut crash campaign's
+# aggregate durability counters).
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
@@ -20,6 +22,7 @@ LOG_DIR="$BENCH_DIR/logs"
 JSON_OUT="$BENCH_DIR/BENCH_trace.json"
 FAULT_JSON_OUT="$BENCH_DIR/BENCH_fault.json"
 SG_JSON_OUT="$BENCH_DIR/BENCH_sg.json"
+CRASH_JSON_OUT="$BENCH_DIR/BENCH_crash.json"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -61,6 +64,7 @@ run_bench ablation_glue    4000 --json "$JSON_OUT"
 run_bench ablation_alloc
 run_bench ablation_bufio
 run_bench fault_campaign   --seeds 8 --json "$FAULT_JSON_OUT"
+run_bench crash_campaign   --seeds 2 --json "$CRASH_JSON_OUT"
 
 if [ -f "$JSON_OUT" ]; then
     echo "wrote $JSON_OUT"
@@ -78,6 +82,12 @@ if [ -f "$SG_JSON_OUT" ]; then
     echo "wrote $SG_JSON_OUT"
 else
     echo "FAIL BENCH_sg.json was not produced"
+    status=1
+fi
+if [ -f "$CRASH_JSON_OUT" ]; then
+    echo "wrote $CRASH_JSON_OUT"
+else
+    echo "FAIL BENCH_crash.json was not produced"
     status=1
 fi
 

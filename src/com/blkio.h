@@ -43,6 +43,28 @@ class BlkIo : public IUnknown {
   ~BlkIo() = default;
 };
 
+// Flush/barrier extension of the block boundary (new GUID, discovered via
+// Query — the §4.4.2 evolution idiom, like BufIoVec over BufIo): a client
+// that needs a durability point asks the device for BlkIoBarrier; devices
+// without a volatile write cache simply don't export it (or export it as a
+// timed no-op) and old consumers keep working against plain BlkIo.
+//
+// It derives IUnknown rather than BlkIo so implementations that already
+// expose BlkIo through another path (BufIo, Device) can add it without a
+// diamond; callers always reach it through Query on the same object.
+class BlkIoBarrier : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x4aa7dfe2, 0x7c74, 0x11cf, 0xb5, 0x00, 0x08,
+                                        0x00, 0x09, 0x53, 0xad, 0xc2);
+
+  // Returns once every write acknowledged before this call is durable: will
+  // survive a power cut.  The ordering primitive journaling builds on.
+  virtual Error Flush() = 0;
+
+ protected:
+  ~BlkIoBarrier() = default;
+};
+
 }  // namespace oskit
 
 #endif  // OSKIT_SRC_COM_BLKIO_H_

@@ -49,9 +49,13 @@ class IUnknown {
   ~IUnknown() = default;
 };
 
-// Typed Query helper: probes `object` for interface T.
-template <typename T>
-Error QueryFor(IUnknown* object, T** out) {
+// Typed Query helper: probes `object` for interface T.  Generic over the
+// object's static type so that objects reaching IUnknown through several
+// interface bases (MemBlkIo: BufIo and BlkIoBarrier) need no ambiguous
+// up-conversion — Query itself is unambiguous, whichever vtable it is
+// reached through.
+template <typename T, typename Obj>
+Error QueryFor(Obj* object, T** out) {
   void* raw = nullptr;
   Error err = object->Query(T::kIid, &raw);
   *out = static_cast<T*>(raw);
@@ -140,7 +144,8 @@ class ComPtr {
   explicit operator bool() const { return ptr_ != nullptr; }
 
   // Queries `object` for T and wraps the result.
-  static ComPtr FromQuery(IUnknown* object) {
+  template <typename Obj>
+  static ComPtr FromQuery(Obj* object) {
     T* raw = nullptr;
     if (object == nullptr || !Ok(QueryFor(object, &raw))) {
       return ComPtr();

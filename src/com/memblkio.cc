@@ -26,6 +26,11 @@ Error MemBlkIo::Query(const Guid& iid, void** out) {
     *out = static_cast<BufIo*>(this);
     return Error::kOk;
   }
+  if (iid == BlkIoBarrier::kIid) {
+    AddRef();
+    *out = static_cast<BlkIoBarrier*>(this);
+    return Error::kOk;
+  }
   *out = nullptr;
   return Error::kNoInterface;
 }

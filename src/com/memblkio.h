@@ -15,7 +15,7 @@
 
 namespace oskit {
 
-class MemBlkIo final : public BufIo, public RefCounted<MemBlkIo> {
+class MemBlkIo final : public BufIo, public BlkIoBarrier, public RefCounted<MemBlkIo> {
  public:
   // Creates an object of `size` zero bytes.  `block_size` is the advertised
   // granularity (1 for byte-addressable RAM objects).
@@ -42,6 +42,9 @@ class MemBlkIo final : public BufIo, public RefCounted<MemBlkIo> {
   Error Unmap(void* addr, off_t64 offset, size_t amount) override;
   Error Wire() override { return Error::kOk; }
   Error Unwire() override { return Error::kOk; }
+
+  // BlkIoBarrier: RAM is "durable" the moment a Write returns.
+  Error Flush() override { return Error::kOk; }
 
   // Direct access for owners (open implementation, §4.6).
   uint8_t* data() { return data_.data(); }

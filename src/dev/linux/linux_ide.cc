@@ -12,8 +12,13 @@ namespace oskit::linuxdev {
 // "Imported" driver core
 // ---------------------------------------------------------------------------
 
-Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors, uint8_t* buf,
-                     bool write) {
+namespace {
+
+// The commands the request loop can program into the controller.
+enum ide_cmd { IDE_CMD_READ, IDE_CMD_WRITE, IDE_CMD_FLUSH };
+
+Error ide_issue_and_wait(ide_drive* drive, ide_cmd cmd, uint64_t lba,
+                         uint32_t sectors, uint8_t* buf) {
   if (drive->busy) {
     return Error::kBusy;  // one outstanding request, 1997 IDE
   }
@@ -22,10 +27,16 @@ Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors, uint8_t* 
     drive->done = false;
     drive->status = Error::kOk;
     ++drive->requests_issued;
-    if (write) {
-      drive->hw->SubmitWrite(lba, sectors, buf);
-    } else {
-      drive->hw->SubmitRead(lba, sectors, buf);
+    switch (cmd) {
+      case IDE_CMD_READ:
+        drive->hw->SubmitRead(lba, sectors, buf);
+        break;
+      case IDE_CMD_WRITE:
+        drive->hw->SubmitWrite(lba, sectors, buf);
+        break;
+      case IDE_CMD_FLUSH:
+        drive->hw->SubmitFlush();
+        break;
     }
     // Linux style: sleep until the IRQ handler marks the request done —
     // watched over by a timeout that doubles on every retry (the backoff).
@@ -62,6 +73,18 @@ Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors, uint8_t* 
   ++drive->errors_surfaced;
   drive->busy = false;
   return drive->status;
+}
+
+}  // namespace
+
+Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors, uint8_t* buf,
+                     bool write) {
+  return ide_issue_and_wait(drive, write ? IDE_CMD_WRITE : IDE_CMD_READ, lba,
+                            sectors, buf);
+}
+
+Error ide_do_flush(ide_drive* drive) {
+  return ide_issue_and_wait(drive, IDE_CMD_FLUSH, 0, 0, nullptr);
 }
 
 void ide_interrupt(ide_drive* drive) {
@@ -137,6 +160,11 @@ Error LinuxIdeDev::Query(const Guid& iid, void** out) {
   if (iid == BlkIo::kIid) {
     AddRef();
     *out = static_cast<BlkIo*>(this);
+    return Error::kOk;
+  }
+  if (iid == BlkIoBarrier::kIid) {
+    AddRef();
+    *out = static_cast<BlkIoBarrier*>(this);
     return Error::kOk;
   }
   *out = nullptr;

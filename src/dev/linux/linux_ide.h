@@ -68,6 +68,11 @@ struct ide_drive {
 oskit::Error ide_do_request(ide_drive* drive, uint64_t lba, uint32_t sectors,
                             uint8_t* buf, bool write);
 
+// Issues a cache-flush command (WIN_FLUSH_CACHE) through the same blocking,
+// retry and watchdog machinery.  On success every previously acknowledged
+// write is durable.
+oskit::Error ide_do_flush(ide_drive* drive);
+
 // The interrupt handler the glue attaches to IRQ 14.
 void ide_interrupt(ide_drive* drive);
 
@@ -75,7 +80,8 @@ void ide_interrupt(ide_drive* drive);
 // Glue: COM export
 // ---------------------------------------------------------------------------
 
-class LinuxIdeDev final : public Device, public BlkIo, public RefCounted<LinuxIdeDev> {
+class LinuxIdeDev final : public Device, public BlkIo, public BlkIoBarrier,
+                          public RefCounted<LinuxIdeDev> {
  public:
   LinuxIdeDev(const FdevEnv& env, oskit::DiskHw* hw, std::string name);
 
@@ -95,6 +101,9 @@ class LinuxIdeDev final : public Device, public BlkIo, public RefCounted<LinuxId
               size_t* out_actual) override;
   Error GetSize(off_t64* out_size) override;
   Error SetSize(off_t64) override { return Error::kNotImpl; }
+
+  // BlkIoBarrier: drains the drive's volatile write cache.
+  Error Flush() override { return ide_do_flush(&drive_); }
 
   const ide_drive& drive() const { return drive_; }
   ide_drive& mutable_drive() { return drive_; }  // recovery-policy tuning

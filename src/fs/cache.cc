@@ -1,5 +1,6 @@
 #include "src/fs/cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/panic.h"
@@ -13,10 +14,14 @@ BlockCache::BlockCache(ComPtr<BlkIo> device, uint32_t block_size, size_t capacit
       capacity_(capacity),
       trace_(trace::ResolveTraceEnv(trace)) {
   OSKIT_ASSERT(capacity_ >= 8);
+  // Discover the barrier extension the §4.4.2 way: ask, don't assume.  A
+  // device without one (plain memory block device) gets free barriers.
+  barrier_ = ComPtr<BlkIoBarrier>::FromQuery(device_.get());
   trace_binding_.Bind(&trace_->registry,
                       {{"fs.cache.hits", &counters_.hits},
                        {"fs.cache.misses", &counters_.misses},
-                       {"fs.cache.writebacks", &counters_.writebacks}});
+                       {"fs.cache.writebacks", &counters_.writebacks},
+                       {"fs.cache.barriers", &counters_.barriers}});
 }
 
 BlockCache::~BlockCache() {
@@ -28,6 +33,14 @@ void BlockCache::Touch(uint32_t block, Entry& entry) {
   lru_.erase(entry.lru_pos);
   lru_.push_front(block);
   entry.lru_pos = lru_.begin();
+}
+
+void BlockCache::Remove(uint32_t block) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
 }
 
 Error BlockCache::WriteBack(uint32_t block, Entry& entry) {
@@ -48,18 +61,29 @@ Error BlockCache::WriteBack(uint32_t block, Entry& entry) {
 
 Error BlockCache::EvictOne() {
   OSKIT_ASSERT(!lru_.empty());
-  uint32_t victim = lru_.back();
-  auto it = entries_.find(victim);
-  OSKIT_ASSERT(it != entries_.end());
-  if (it->second.dirty) {
-    Error err = WriteBack(victim, it->second);
-    if (!Ok(err)) {
-      return err;
+  // Least-recently-used first, but a dirty block the pin callback claims
+  // (an open journal transaction's metadata) must not reach its home
+  // location before the commit record — skip it.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    uint32_t victim = *it;
+    auto pos = entries_.find(victim);
+    OSKIT_ASSERT(pos != entries_.end());
+    if (pos->second.dirty && pin_ && pin_(victim)) {
+      continue;
     }
+    if (pos->second.dirty) {
+      Error err = WriteBack(victim, pos->second);
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+    lru_.erase(pos->second.lru_pos);
+    entries_.erase(pos);
+    return Error::kOk;
   }
-  lru_.pop_back();
-  entries_.erase(it);
-  return Error::kOk;
+  // Every cached block is pinned dirty: the transaction outgrew the cache.
+  // Surface it; the filesystem falls back to a non-journaled writeback.
+  return Error::kBusy;
 }
 
 Error BlockCache::Get(uint32_t block, uint8_t** out_data) {
@@ -103,6 +127,11 @@ void BlockCache::MarkDirty(uint32_t block) {
   it->second.dirty = true;
 }
 
+bool BlockCache::IsDirty(uint32_t block) const {
+  auto it = entries_.find(block);
+  return it != entries_.end() && it->second.dirty;
+}
+
 Error BlockCache::ReadBlock(uint32_t block, void* out) {
   uint8_t* data = nullptr;
   Error err = Get(block, &data);
@@ -135,24 +164,67 @@ Error BlockCache::ZeroBlock(uint32_t block) {
   return Error::kOk;
 }
 
-Error BlockCache::Sync() {
-  for (auto& [block, entry] : entries_) {
+std::vector<uint32_t> BlockCache::CollectDirty() const {
+  std::vector<uint32_t> dirty;
+  for (const auto& [block, entry] : entries_) {
     if (entry.dirty) {
-      Error err = WriteBack(block, entry);
-      if (!Ok(err)) {
-        return err;
-      }
+      dirty.push_back(block);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  return dirty;
+}
+
+Error BlockCache::Sync() {
+  // Ascending block order, always: the hash map's iteration order must never
+  // leak into the device's write log, or the crash-point campaign (which
+  // cuts power at every write index) stops being reproducible.
+  for (uint32_t block : CollectDirty()) {
+    Error err = WriteBackOne(block);
+    if (!Ok(err)) {
+      return err;
     }
   }
   return Error::kOk;
 }
 
-void BlockCache::Invalidate(uint32_t block) {
+Error BlockCache::WriteBackOne(uint32_t block) {
   auto it = entries_.find(block);
-  if (it != entries_.end()) {
-    lru_.erase(it->second.lru_pos);
-    entries_.erase(it);
+  if (it == entries_.end() || !it->second.dirty) {
+    return Error::kOk;
   }
+  return WriteBack(block, it->second);
+}
+
+Error BlockCache::Barrier() {
+  if (!barrier_) {
+    return Error::kOk;
+  }
+  Error err = barrier_->Flush();
+  if (Ok(err)) {
+    ++counters_.barriers;
+  }
+  return err;
+}
+
+Error BlockCache::Invalidate(uint32_t block) {
+  auto it = entries_.find(block);
+  if (it == entries_.end()) {
+    return Error::kOk;
+  }
+  if (it->second.dirty) {
+    // Refuse to silently lose a pending write; callers that mean it use
+    // DropDirty.
+    return Error::kBusy;
+  }
+  Remove(block);
+  return Error::kOk;
+}
+
+void BlockCache::DropDirty(uint32_t block) { Remove(block); }
+
+void BlockCache::SetEvictionPin(std::function<bool(uint32_t)> pin) {
+  pin_ = std::move(pin);
 }
 
 }  // namespace oskit::fs

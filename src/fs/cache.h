@@ -1,12 +1,21 @@
 // Write-back block cache over a BlkIo, in the style of the BSD buffer cache
 // the imported filesystem code expected.
+//
+// Durability: the cache discovers the device's BlkIoBarrier extension via
+// Query at construction.  Sync() writes dirty blocks back in ascending block
+// order — a deterministic sequence the crash-point campaign depends on —
+// and Barrier() makes everything written so far durable.  Writing back does
+// NOT make data durable on a device with a volatile write cache; callers
+// sequence WriteBack/Sync and Barrier to build ordering guarantees (the
+// journal's commit protocol lives in src/fs/journal).
 
 #ifndef OSKIT_SRC_FS_CACHE_H_
 #define OSKIT_SRC_FS_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "src/com/blkio.h"
@@ -21,6 +30,7 @@ class BlockCache {
     trace::Counter hits;
     trace::Counter misses;
     trace::Counter writebacks;
+    trace::Counter barriers;
   };
 
   // `capacity` is the number of cached blocks before LRU eviction.  `trace`
@@ -40,17 +50,39 @@ class BlockCache {
 
   // Marks a block dirty (bdwrite).
   void MarkDirty(uint32_t block);
+  bool IsDirty(uint32_t block) const;
 
   // Convenience: whole-block read/write through the cache.
   Error ReadBlock(uint32_t block, void* out);
   Error WriteBlock(uint32_t block, const void* data);
   Error ZeroBlock(uint32_t block);
 
-  // Flushes all dirty blocks to the device (sync).
+  // Writes all dirty blocks back in ascending block order (sync).  Does NOT
+  // issue a barrier; pair with Barrier() for a durability point.
   Error Sync();
 
-  // Drops a clean or dirty block without writing (used after freeing it).
-  void Invalidate(uint32_t block);
+  // Dirty block numbers in ascending order (what Sync would write).
+  std::vector<uint32_t> CollectDirty() const;
+
+  // Writes one dirty block back (no-op when absent or clean).
+  Error WriteBackOne(uint32_t block);
+
+  // Durability point: everything written back before this call survives a
+  // power cut.  kOk trivially when the device exports no BlkIoBarrier.
+  Error Barrier();
+
+  // Drops a CLEAN block; refuses (kBusy) to silently discard dirty data.
+  // Dropping a block that is not cached is a harmless no-op.
+  Error Invalidate(uint32_t block);
+
+  // The intentional-data-loss spelling: drops the block even when dirty
+  // (simulated power cut, block freed before ever reaching the device).
+  void DropDirty(uint32_t block);
+
+  // Blocks for which `pin` returns true are never evicted while dirty —
+  // the journal pins an open transaction's metadata so no home-location
+  // write precedes the commit record.  Clean blocks always evict.
+  void SetEvictionPin(std::function<bool(uint32_t)> pin);
 
   const Counters& counters() const { return counters_; }
   uint64_t hits() const { return counters_.hits; }
@@ -67,12 +99,15 @@ class BlockCache {
   Error EvictOne();
   Error WriteBack(uint32_t block, Entry& entry);
   void Touch(uint32_t block, Entry& entry);
+  void Remove(uint32_t block);
 
   ComPtr<BlkIo> device_;
+  ComPtr<BlkIoBarrier> barrier_;  // null when the device has none
   uint32_t block_size_;
   size_t capacity_;
-  std::map<uint32_t, Entry> entries_;
+  std::unordered_map<uint32_t, Entry> entries_;
   std::list<uint32_t> lru_;  // front = most recent
+  std::function<bool(uint32_t)> pin_;
   trace::TraceEnv* trace_;
   Counters counters_;
   trace::CounterBlock trace_binding_;

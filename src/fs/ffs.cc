@@ -44,7 +44,27 @@ Error Mkfs(BlkIo* device, const MkfsOptions& options) {
   sb.bitmap_blocks = (total_blocks + kBlockSize * 8 - 1) / (kBlockSize * 8);
   sb.itable_start = sb.bitmap_start + sb.bitmap_blocks;
   sb.itable_blocks = sb.inode_count / kInodesPerBlock;
-  sb.data_start = sb.itable_start + sb.itable_blocks;
+  // Journal region between the inode table and the data area (still inside
+  // the metadata zone fsck treats as implicitly in-use).
+  uint32_t journal_blocks = options.journal_blocks;
+  if (journal_blocks == MkfsOptions::kAutoJournal) {
+    journal_blocks = total_blocks / 32;
+    if (journal_blocks > 64) {
+      journal_blocks = 64;
+    }
+    if (journal_blocks < kMinJournalBlocks) {
+      journal_blocks = kMinJournalBlocks;
+    }
+    // A volume too small to afford a journal gets none rather than failing.
+    if (sb.itable_start + sb.itable_blocks + journal_blocks + 4 >= total_blocks) {
+      journal_blocks = 0;
+    }
+  } else if (journal_blocks != 0 && journal_blocks < kMinJournalBlocks) {
+    return Error::kInval;
+  }
+  sb.journal_start = journal_blocks != 0 ? sb.itable_start + sb.itable_blocks : 0;
+  sb.journal_blocks = journal_blocks;
+  sb.data_start = sb.itable_start + sb.itable_blocks + journal_blocks;
   if (sb.data_start + 4 >= total_blocks) {
     return Error::kNoSpace;
   }
@@ -134,6 +154,15 @@ Error Mkfs(BlkIo* device, const MkfsOptions& options) {
     return err;
   }
 
+  // Journal superblock (the region itself was zeroed by the metadata sweep
+  // above, so no stale transaction from a previous life can ever replay).
+  if (sb.journal_blocks != 0) {
+    err = JournalFormat(device, sb);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+
   // Superblock last (a crash mid-mkfs leaves no valid magic).
   std::memset(block.data(), 0, kBlockSize);
   std::memcpy(block.data(), &sb, sizeof(sb));
@@ -144,16 +173,9 @@ Error Mkfs(BlkIo* device, const MkfsOptions& options) {
 // Mount / superblock
 // ---------------------------------------------------------------------------
 
-Offs::Offs(ComPtr<BlkIo> device, const SuperBlock& sb)
-    : device_(std::move(device)), sb_(sb) {
-  cache_ = std::make_unique<BlockCache>(device_, kBlockSize);
-  alloc_cursor_ = sb_.data_start;
-}
+namespace {
 
-Offs::~Offs() = default;
-
-Error Offs::Mount(BlkIo* device, FileSystem** out_fs) {
-  *out_fs = nullptr;
+Error LoadSuperBlockRaw(BlkIo* device, SuperBlock* out) {
   uint8_t block[kBlockSize];
   size_t actual = 0;
   Error err = device->Read(block, 0, kBlockSize, &actual);
@@ -163,25 +185,79 @@ Error Offs::Mount(BlkIo* device, FileSystem** out_fs) {
   if (actual != kBlockSize) {
     return Error::kCorrupt;
   }
-  SuperBlock sb;
-  std::memcpy(&sb, block, sizeof(sb));
-  if (sb.magic != kFsMagic || sb.version != kFsVersion || sb.block_size != kBlockSize) {
+  std::memcpy(out, block, sizeof(*out));
+  if (out->magic != kFsMagic || out->version != kFsVersion ||
+      out->block_size != kBlockSize) {
     return Error::kCorrupt;
   }
   off_t64 device_bytes = 0;
   err = device->GetSize(&device_bytes);
-  if (!Ok(err) || static_cast<off_t64>(sb.total_blocks) * kBlockSize > device_bytes) {
+  if (!Ok(err) ||
+      static_cast<off_t64>(out->total_blocks) * kBlockSize > device_bytes) {
     return Error::kCorrupt;
   }
-  auto* fs = new Offs(ComPtr<BlkIo>::Retain(device), sb);
-  // Mark dirty-on-disk until a clean unmount (what fsck keys off).
-  fs->sb_.clean = 0;
-  err = fs->WriteSuperBlock();
+  return Error::kOk;
+}
+
+}  // namespace
+
+Offs::Offs(ComPtr<BlkIo> device, const SuperBlock& sb, trace::TraceEnv* trace)
+    : device_(std::move(device)), sb_(sb) {
+  cache_ = std::make_unique<BlockCache>(device_, kBlockSize, 256, trace);
+  alloc_cursor_ = sb_.data_start;
+  trace::TraceEnv* tenv = trace::ResolveTraceEnv(trace);
+  jcounters_binding_.Bind(&tenv->registry,
+                          {{"fs.journal.commits", &jcounters_.commits},
+                           {"fs.journal.blocks_logged", &jcounters_.blocks_logged},
+                           {"fs.journal.overflows", &jcounters_.overflows},
+                           {"fs.journal.meta_ops", &jcounters_.meta_ops},
+                           {"fs.journal.replays", &jcounters_.replays},
+                           {"fs.journal.discarded_txns",
+                            &jcounters_.discarded_txns}});
+}
+
+Offs::~Offs() = default;
+
+Error Offs::Mount(BlkIo* device, FileSystem** out_fs) {
+  return Mount(device, MountOptions{}, out_fs);
+}
+
+Error Offs::Mount(BlkIo* device, const MountOptions& options, FileSystem** out_fs) {
+  *out_fs = nullptr;
+  SuperBlock sb;
+  Error err = LoadSuperBlockRaw(device, &sb);
   if (!Ok(err)) {
-    fs->Release();
     return err;
   }
-  err = fs->cache_->Sync();
+  JournalReplayStats replay_stats;
+  if (sb.journal_blocks >= kMinJournalBlocks && options.replay_journal) {
+    err = JournalReplay(device, sb, /*apply=*/true, &replay_stats);
+    if (!Ok(err)) {
+      return err;
+    }
+    // Block 0 may itself have been a replay target; trust the redone image.
+    err = LoadSuperBlockRaw(device, &sb);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  auto* fs = new Offs(ComPtr<BlkIo>::Retain(device), sb, options.trace);
+  if (sb.journal_blocks >= kMinJournalBlocks) {
+    fs->journal_ = std::make_unique<JournalWriter>(fs->device_, sb.journal_start,
+                                                   sb.journal_blocks);
+    err = fs->journal_->Load();
+    if (!Ok(err)) {
+      fs->Release();
+      return err;
+    }
+    fs->jcounters_.replays += replay_stats.replayed_txns;
+    fs->jcounters_.discarded_txns += replay_stats.discarded_txns;
+    fs->cache_->SetEvictionPin(
+        [fs](uint32_t block) { return fs->txn_blocks_.count(block) != 0; });
+  }
+  // Mark dirty-on-disk until a clean unmount (what fsck keys off).
+  fs->sb_.clean = 0;
+  err = fs->Sync();
   if (!Ok(err)) {
     fs->Release();
     return err;
@@ -198,7 +274,35 @@ Error Offs::WriteSuperBlock() {
   }
   std::memset(data, 0, kBlockSize);
   std::memcpy(data, &sb_, sizeof(sb_));
-  cache_->MarkDirty(0);
+  MetaDirty(0);
+  return Error::kOk;
+}
+
+void Offs::MetaDirty(uint32_t block) {
+  cache_->MarkDirty(block);
+  if (journal_) {
+    txn_blocks_.insert(block);
+  }
+}
+
+Error Offs::NoteMetaOp() {
+  ++jcounters_.meta_ops;
+  if (journal_ == nullptr) {
+    return Error::kOk;
+  }
+  // Commit early at operation boundaries so the open transaction always
+  // fits the journal: the batch so far is consistent, the next op starts a
+  // fresh one.
+  uint32_t soft_limit = journal_->capacity() / 2;
+  if (soft_limit > 24) {
+    soft_limit = 24;
+  }
+  if (soft_limit < 1) {
+    soft_limit = 1;
+  }
+  if (txn_blocks_.size() >= soft_limit) {
+    return Sync();
+  }
   return Error::kOk;
 }
 
@@ -226,7 +330,84 @@ Error Offs::Sync() {
   if (!Ok(err)) {
     return err;
   }
-  return cache_->Sync();
+  if (journal_ == nullptr) {
+    // Unjournaled (ablation) path: ordered writeback and one barrier.  The
+    // writeback itself is not atomic — exactly the weakness the crash
+    // campaign's ablation phase demonstrates.
+    err = cache_->Sync();
+    if (!Ok(err)) {
+      return err;
+    }
+    return cache_->Barrier();
+  }
+
+  // Phase 1: non-transaction (file data) blocks to their home locations,
+  // ascending, made durable before any metadata referencing them commits.
+  for (uint32_t block : cache_->CollectDirty()) {
+    if (txn_blocks_.count(block) != 0) {
+      continue;
+    }
+    err = cache_->WriteBackOne(block);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  err = cache_->Barrier();
+  if (!Ok(err)) {
+    return err;
+  }
+  if (txn_blocks_.empty()) {
+    return Error::kOk;
+  }
+
+  std::vector<uint32_t> targets(txn_blocks_.begin(), txn_blocks_.end());
+  if (targets.size() > journal_->capacity()) {
+    // The batch outgrew the journal: fall back to a plain barriered
+    // writeback.  Not atomic, but counted, so campaigns can prove the
+    // fallback never fires on their workloads.
+    ++jcounters_.overflows;
+    txn_blocks_.clear();
+    err = cache_->Sync();
+    if (!Ok(err)) {
+      return err;
+    }
+    return cache_->Barrier();
+  }
+
+  // Phase 2: the write-ahead commit (images + header + commit + flush).
+  // The transaction stays pinned until the commit record is durable; only
+  // then may home locations be overwritten.
+  err = journal_->Commit(targets, [this](uint32_t block, uint8_t* out) {
+    uint8_t* data = nullptr;
+    Error e = cache_->Get(block, &data);
+    if (!Ok(e)) {
+      return e;
+    }
+    std::memcpy(out, data, kBlockSize);
+    return Error::kOk;
+  });
+  if (!Ok(err)) {
+    return err;
+  }
+  ++jcounters_.commits;
+  jcounters_.blocks_logged += targets.size();
+  txn_blocks_.clear();
+
+  // Phase 3: home-location writeback (ascending) behind the commit barrier.
+  for (uint32_t block : targets) {
+    err = cache_->WriteBackOne(block);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  err = cache_->Barrier();
+  if (!Ok(err)) {
+    return err;
+  }
+
+  // Phase 4: lazily retire the transaction.  A stale checkpoint only means
+  // replay redoes idempotent work.
+  return journal_->Checkpoint();
 }
 
 Error Offs::Unmount() {
@@ -271,7 +452,7 @@ Error Offs::WriteInode(uint64_t ino, const DiskInode& inode) {
     return err;
   }
   std::memcpy(data + (ino % kInodesPerBlock) * kInodeSize, &inode, sizeof(DiskInode));
-  cache_->MarkDirty(block);
+  MetaDirty(block);
   return Error::kOk;
 }
 
@@ -343,7 +524,7 @@ Error Offs::SetBitmapBit(uint32_t block, bool used) {
   } else {
     data[bit / 8] &= static_cast<uint8_t>(~mask);
   }
-  cache_->MarkDirty(bitmap_block);
+  MetaDirty(bitmap_block);
   return Error::kOk;
 }
 
@@ -434,7 +615,7 @@ Error Offs::BMap(uint64_t ino, DiskInode* inode, uint32_t file_block, bool alloc
       return err;
     }
     std::memcpy(data + index * 4, &value, 4);
-    cache_->MarkDirty(table_block);
+    MetaDirty(table_block);  // indirect blocks are metadata
     return Error::kOk;
   };
 
@@ -602,6 +783,10 @@ Error Offs::FileWriteAt(uint64_t ino, const void* buf, uint64_t offset, size_t a
   if (!Ok(err)) {
     return err;
   }
+  // Directory contents are metadata: a half-applied dirent write is exactly
+  // the orphan/corruption class the journal exists to prevent.  Regular
+  // file data stays outside the transaction (ordered mode).
+  bool is_dir = (inode.mode & kModeTypeMask) == kModeDirectory;
   const auto* in = static_cast<const uint8_t*>(buf);
   size_t done = 0;
   while (done < amount) {
@@ -623,7 +808,11 @@ Error Offs::FileWriteAt(uint64_t ino, const void* buf, uint64_t offset, size_t a
       return err;
     }
     std::memcpy(data + in_block, in + done, n);
-    cache_->MarkDirty(block);
+    if (is_dir) {
+      MetaDirty(block);
+    } else {
+      cache_->MarkDirty(block);
+    }
     done += n;
   }
   if (offset + done > inode.size) {
@@ -695,7 +884,7 @@ Error Offs::TruncateBlocks(DiskInode* inode, uint32_t from_fb) {
           }
           slot = 0;
           std::memcpy(data + i * 4, &slot, 4);
-          cache_->MarkDirty(inode->indirect);
+          MetaDirty(inode->indirect);
           inode->blocks -= 1;
         } else if (slot != 0) {
           any_left = true;
@@ -750,7 +939,7 @@ Error Offs::TruncateBlocks(DiskInode* inode, uint32_t from_fb) {
           }
           slot = 0;
           std::memcpy(mid_data + i * 4, &slot, 4);
-          cache_->MarkDirty(mid);
+          MetaDirty(mid);
           inode->blocks -= 1;
         } else {
           mid_any_left = true;
@@ -769,7 +958,7 @@ Error Offs::TruncateBlocks(DiskInode* inode, uint32_t from_fb) {
           return err;
         }
         std::memcpy(outer_data + o * 4, &zero, 4);
-        cache_->MarkDirty(inode->double_indirect);
+        MetaDirty(inode->double_indirect);
       } else {
         outer_any_left = true;
       }
@@ -811,7 +1000,10 @@ Error Offs::FileTruncate(uint64_t ino, uint64_t new_size) {
         }
         std::memset(data + new_size % kBlockSize, 0,
                     kBlockSize - new_size % kBlockSize);
-        cache_->MarkDirty(block);
+        // Journaled even though it is file data: the zeroing must land
+        // atomically with the size change, or a replayed truncate could
+        // expose stale bytes on re-extension.
+        MetaDirty(block);
       }
     }
   }

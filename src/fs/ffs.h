@@ -11,26 +11,47 @@
 #define OSKIT_SRC_FS_FFS_H_
 
 #include <memory>
+#include <set>
 
 #include "src/com/filesystem.h"
 #include "src/fs/cache.h"
 #include "src/fs/format.h"
+#include "src/fs/journal.h"
+#include "src/trace/trace.h"
 
 namespace oskit::fs {
 
 struct MkfsOptions {
   // 0 = choose automatically (one inode per 8 data blocks).
   uint32_t inode_count = 0;
+  // Journal region size in blocks.  kAutoJournal sizes it from the device
+  // (and silently omits it on volumes too small to hold one); 0 formats
+  // without a journal (the crash campaign's ablation mode); any other value
+  // is used as given and must fit.
+  static constexpr uint32_t kAutoJournal = 0xffffffff;
+  uint32_t journal_blocks = kAutoJournal;
 };
 
 // Formats the device.  Destroys all content.
 Error Mkfs(BlkIo* device, const MkfsOptions& options = {});
 
+struct MountOptions {
+  // Observability environment for the cache and journal counters; null
+  // binds the process-global default.
+  trace::TraceEnv* trace = nullptr;
+  // Replay the journal's commit chain before exposing the volume.  Off only
+  // for tests that want to inspect the unreplayed image.
+  bool replay_journal = true;
+};
+
 class Offs final : public FileSystem, public RefCounted<Offs> {
  public:
   // Mounts the filesystem; fails with kCorrupt when the superblock does not
-  // validate.  The clean flag is cleared on disk until Unmount.
+  // validate.  Replays the metadata journal first (crash recovery), then
+  // clears the clean flag on disk until Unmount.
   static Error Mount(BlkIo* device, FileSystem** out_fs);
+  static Error Mount(BlkIo* device, const MountOptions& options,
+                     FileSystem** out_fs);
 
   // IUnknown
   Error Query(const Guid& iid, void** out) override;
@@ -75,10 +96,32 @@ class Offs final : public FileSystem, public RefCounted<Offs> {
   BlockCache& cache() { return *cache_; }
   uint64_t now() { return ++mtime_counter_; }
   bool unmounted() const { return unmounted_; }
+  bool journaled() const { return journal_ != nullptr; }
+
+  // Registered as "fs.journal.*" in the mount's trace environment.
+  struct JournalCounters {
+    trace::Counter commits;         // transactions written and flushed
+    trace::Counter blocks_logged;   // block images across all commits
+    trace::Counter overflows;       // batches too big: unjournaled fallback
+    trace::Counter meta_ops;        // metadata operations noted
+    trace::Counter replays;         // transactions redone at mount
+    trace::Counter discarded_txns;  // torn transactions dropped at mount
+  };
+  const JournalCounters& journal_counters() const { return jcounters_; }
+
+  // Called by the COM wrappers at each metadata-operation boundary: counts
+  // the op and commits early when the open transaction nears the journal's
+  // capacity (keeping every batch atomically commitable).
+  Error NoteMetaOp();
+
+  // ---- exposed for the File/Dir wrappers and white-box tests ----
+  // MarkDirty for a METADATA block: also enlists it in the open journal
+  // transaction (and thereby pins it against eviction until commit).
+  void MetaDirty(uint32_t block);
 
  private:
   friend class RefCounted<Offs>;
-  Offs(ComPtr<BlkIo> device, const SuperBlock& sb);
+  Offs(ComPtr<BlkIo> device, const SuperBlock& sb, trace::TraceEnv* trace);
   ~Offs();
 
   Error WriteSuperBlock();
@@ -90,6 +133,10 @@ class Offs final : public FileSystem, public RefCounted<Offs> {
   ComPtr<BlkIo> device_;
   SuperBlock sb_;
   std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<JournalWriter> journal_;  // null on unjournaled volumes
+  std::set<uint32_t> txn_blocks_;  // the open transaction's metadata blocks
+  JournalCounters jcounters_;
+  trace::CounterBlock jcounters_binding_;
   uint64_t mtime_counter_ = 0;
   bool unmounted_ = false;
   uint32_t alloc_cursor_ = 0;  // rotor for block allocation

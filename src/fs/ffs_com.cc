@@ -82,6 +82,10 @@ class OffsFile final : public File, public RefCounted<OffsFile> {
     if (fs_->unmounted()) {
       return Error::kBadF;
     }
+    Error err = fs_->NoteMetaOp();
+    if (!Ok(err)) {
+      return err;
+    }
     return fs_->FileTruncate(ino_, new_size);
   }
 
@@ -167,8 +171,12 @@ class OffsDir final : public Dir, public RefCounted<OffsDir> {
     if (Ok(fs_->DirLookup(ino_, name, &existing))) {
       return Error::kExist;
     }
+    Error err = fs_->NoteMetaOp();
+    if (!Ok(err)) {
+      return err;
+    }
     uint64_t ino = 0;
-    Error err = fs_->AllocInode(kModeRegular | (mode & 0777), &ino);
+    err = fs_->AllocInode(kModeRegular | (mode & 0777), &ino);
     if (!Ok(err)) {
       return err;
     }
@@ -203,8 +211,12 @@ class OffsDir final : public Dir, public RefCounted<OffsDir> {
     if (Ok(fs_->DirLookup(ino_, name, &existing))) {
       return Error::kExist;
     }
+    Error err = fs_->NoteMetaOp();
+    if (!Ok(err)) {
+      return err;
+    }
     uint64_t ino = 0;
-    Error err = fs_->AllocInode(kModeDirectory | (mode & 0777), &ino);
+    err = fs_->AllocInode(kModeDirectory | (mode & 0777), &ino);
     if (!Ok(err)) {
       return err;
     }
@@ -260,6 +272,10 @@ class OffsDir final : public Dir, public RefCounted<OffsDir> {
     if ((inode.mode & kModeTypeMask) == kModeDirectory) {
       return Error::kIsDir;
     }
+    err = fs_->NoteMetaOp();
+    if (!Ok(err)) {
+      return err;
+    }
     err = fs_->DirRemove(ino_, name);
     if (!Ok(err)) {
       return err;
@@ -300,6 +316,10 @@ class OffsDir final : public Dir, public RefCounted<OffsDir> {
     if (!empty) {
       return Error::kNotEmpty;
     }
+    err = fs_->NoteMetaOp();
+    if (!Ok(err)) {
+      return err;
+    }
     err = fs_->DirRemove(ino_, name);
     if (!Ok(err)) {
       return err;
@@ -336,6 +356,10 @@ class OffsDir final : public Dir, public RefCounted<OffsDir> {
     uint64_t existing = 0;
     if (Ok(fs_->DirLookup(dest->ino_, new_name, &existing))) {
       return Error::kExist;
+    }
+    err = fs_->NoteMetaOp();
+    if (!Ok(err)) {
+      return err;
     }
     DiskInode inode;
     err = fs_->ReadInode(ino, &inode);

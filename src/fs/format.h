@@ -51,6 +51,12 @@ struct SuperBlock {
   uint32_t free_blocks = 0;
   uint32_t free_inodes = 0;
   uint32_t clean = 1;          // cleared while mounted read-write
+  // Write-ahead journal region, [journal_start, journal_start+journal_blocks).
+  // Zero blocks means the volume was formatted without a journal (the crash
+  // campaign's ablation mode).  Appended after `clean`, so images written by
+  // older tools read back with journal_blocks == 0 — no version bump needed.
+  uint32_t journal_start = 0;
+  uint32_t journal_blocks = 0;
 };
 
 struct DiskInode {

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "src/fs/format.h"
+#include "src/fs/journal.h"
 #include "src/libc/format.h"
 #include "src/libc/string.h"
 
@@ -14,7 +15,8 @@ namespace {
 
 class Checker {
  public:
-  explicit Checker(BlkIo* device) : device_(device) {}
+  Checker(BlkIo* device, const FsckOptions& options)
+      : device_(device), options_(options) {}
 
   FsckReport Run() {
     if (!LoadSuperBlock()) {
@@ -22,6 +24,16 @@ class Checker {
     }
     report_.superblock_valid = true;
     report_.was_clean = sb_.clean != 0;
+
+    CheckJournal();
+    if (options_.replay_journal && report_.journal_replayed_txns > 0) {
+      // Replay rewrote metadata (possibly block 0 itself): re-read the
+      // superblock and check the repaired image.
+      if (!LoadSuperBlock()) {
+        return report_;
+      }
+      report_.was_clean = sb_.clean != 0;
+    }
 
     block_seen_.assign(sb_.total_blocks, false);
     inode_links_.clear();
@@ -63,6 +75,39 @@ class Checker {
       return false;
     }
     return true;
+  }
+
+  void CheckJournal() {
+    if (sb_.journal_blocks == 0) {
+      return;
+    }
+    if (sb_.journal_blocks < kMinJournalBlocks ||
+        sb_.journal_start < sb_.itable_start ||
+        sb_.journal_start + sb_.journal_blocks > sb_.data_start) {
+      Problem("journal region [%u,+%u) does not fit the metadata area",
+              sb_.journal_start, sb_.journal_blocks);
+      return;
+    }
+    JournalReplayStats stats;
+    Error err = JournalReplay(device_, sb_, options_.replay_journal, &stats);
+    if (!Ok(err)) {
+      Problem("journal superblock failed validation");
+      return;
+    }
+    report_.journal_present = stats.journal_present;
+    report_.journal_discarded_txns = stats.discarded_txns;
+    if (options_.replay_journal) {
+      report_.journal_replayed_txns = stats.replayed_txns;
+    } else {
+      report_.journal_pending_txns = stats.replayed_txns;
+      if (stats.replayed_txns > 0) {
+        // Committed-but-unapplied transactions mean the home-location
+        // metadata may be arbitrarily stale; checking it without replay
+        // would report phantom corruption.
+        Problem("journal has %u unapplied transactions (run with replay)",
+                stats.replayed_txns);
+      }
+    }
   }
 
   bool ReadInodeRaw(uint64_t ino, DiskInode* out) {
@@ -372,6 +417,7 @@ class Checker {
   }
 
   BlkIo* device_;
+  FsckOptions options_;
   SuperBlock sb_{};
   FsckReport report_;
   std::vector<bool> block_seen_;
@@ -380,6 +426,10 @@ class Checker {
 
 }  // namespace
 
-FsckReport Fsck(BlkIo* device) { return Checker(device).Run(); }
+FsckReport Fsck(BlkIo* device, const FsckOptions& options) {
+  return Checker(device, options).Run();
+}
+
+FsckReport Fsck(BlkIo* device) { return Fsck(device, FsckOptions{}); }
 
 }  // namespace oskit::fs

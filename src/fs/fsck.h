@@ -5,6 +5,11 @@
 // bitmap, link counts vs directory references, and size vs held blocks.
 // The randomized filesystem property tests run this after every operation
 // sequence and after simulated crashes (unsynced caches).
+//
+// On journaled volumes the checker also walks the journal's commit chain:
+// by default read-only (reporting how many transactions are pending or
+// torn), or — with replay_journal — redoing them first, the way a real
+// fsck repairs a crashed log-structured volume before checking it.
 
 #ifndef OSKIT_SRC_FS_FSCK_H_
 #define OSKIT_SRC_FS_FSCK_H_
@@ -16,6 +21,12 @@
 
 namespace oskit::fs {
 
+struct FsckOptions {
+  // Apply pending journal transactions before checking.  The only write
+  // fsck will ever perform.
+  bool replay_journal = false;
+};
+
 struct FsckReport {
   bool superblock_valid = false;
   bool was_clean = false;       // on-disk clean flag
@@ -24,10 +35,17 @@ struct FsckReport {
   uint64_t blocks_in_use = 0;
   uint64_t directories = 0;
   uint64_t regular_files = 0;
+  // Journal state (zeroes on unjournaled volumes).
+  bool journal_present = false;
+  uint64_t journal_pending_txns = 0;    // committed, not yet checkpointed
+  uint64_t journal_replayed_txns = 0;   // redone (replay_journal only)
+  uint64_t journal_discarded_txns = 0;  // torn candidates ignored
   std::vector<std::string> problems;
 };
 
-// Read-only check; never modifies the device.
+// Never modifies the device (unless options.replay_journal is set, which
+// writes only journal-committed images and the journal checkpoint).
+FsckReport Fsck(BlkIo* device, const FsckOptions& options);
 FsckReport Fsck(BlkIo* device);
 
 }  // namespace oskit::fs

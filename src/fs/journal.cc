@@ -1,0 +1,337 @@
+#include "src/fs/journal.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit::fs {
+
+uint64_t Fnv64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+uint64_t JsbChecksum(const JournalSuper& jsb) {
+  return Fnv64(&jsb, offsetof(JournalSuper, checksum));
+}
+
+Error ReadBlockRaw(BlkIo* device, uint32_t block, uint8_t* out) {
+  size_t actual = 0;
+  Error err = device->Read(out, static_cast<off_t64>(block) * kBlockSize,
+                           kBlockSize, &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+  return actual == kBlockSize ? Error::kOk : Error::kIo;
+}
+
+Error WriteBlockRaw(BlkIo* device, uint32_t block, const void* data) {
+  size_t actual = 0;
+  Error err = device->Write(data, static_cast<off_t64>(block) * kBlockSize,
+                            kBlockSize, &actual);
+  if (!Ok(err)) {
+    return err;
+  }
+  return actual == kBlockSize ? Error::kOk : Error::kIo;
+}
+
+Error LoadJsb(BlkIo* device, uint32_t journal_start, uint32_t region_blocks,
+              JournalSuper* out) {
+  uint8_t block[kBlockSize];
+  Error err = ReadBlockRaw(device, journal_start, block);
+  if (!Ok(err)) {
+    return err;
+  }
+  std::memcpy(out, block, sizeof(*out));
+  // next_pos == region_blocks is legal: a transaction that ended exactly at
+  // the region boundary leaves the checkpoint parked there until the next
+  // Commit wraps it back to 1 (ReadTxnAt reads it as a clean end of chain).
+  if (out->magic != kJournalMagic || out->version != kJournalVersion ||
+      out->region_blocks != region_blocks || out->checksum != JsbChecksum(*out) ||
+      out->next_pos < 1 || out->next_pos > region_blocks || out->next_seq == 0) {
+    return Error::kCorrupt;
+  }
+  return Error::kOk;
+}
+
+Error StoreJsb(BlkIo* device, uint32_t journal_start, JournalSuper* jsb) {
+  jsb->checksum = JsbChecksum(*jsb);
+  uint8_t block[kBlockSize] = {};
+  std::memcpy(block, jsb, sizeof(*jsb));
+  return WriteBlockRaw(device, journal_start, block);
+}
+
+// One parsed, validated transaction.
+struct TxnView {
+  TxnHeader header;
+  std::vector<uint32_t> targets;
+};
+
+// Reads the transaction candidate at region block `pos`, expecting `seq`.
+// kOk: valid.  kNoEnt: no candidate (stop quietly).  kCorrupt: a candidate
+// header that fails validation (counts as a discard).
+Error ReadTxnAt(BlkIo* device, const SuperBlock& sb, uint32_t pos, uint64_t seq,
+                TxnView* out) {
+  uint32_t region = sb.journal_blocks;
+  if (pos < 1 || pos + 2 > region) {
+    return Error::kNoEnt;
+  }
+  uint8_t header_block[kBlockSize];
+  Error err = ReadBlockRaw(device, sb.journal_start + pos, header_block);
+  if (!Ok(err)) {
+    return err;
+  }
+  TxnHeader header;
+  std::memcpy(&header, header_block, sizeof(header));
+  if (header.magic != kTxnHeaderMagic) {
+    return Error::kNoEnt;  // free space or an old lap's payload: end of chain
+  }
+  if (header.seq != seq || header.n_blocks == 0 ||
+      header.n_blocks > kMaxTxnTargets || pos + 2 + header.n_blocks > region) {
+    return Error::kCorrupt;
+  }
+  uint8_t commit_block[kBlockSize];
+  err = ReadBlockRaw(device, sb.journal_start + pos + 1 + header.n_blocks,
+                     commit_block);
+  if (!Ok(err)) {
+    return err;
+  }
+  TxnCommit commit;
+  std::memcpy(&commit, commit_block, sizeof(commit));
+  if (commit.magic != kTxnCommitMagic || commit.seq != seq ||
+      commit.n_blocks != header.n_blocks ||
+      commit.checksum != Fnv64(header_block, kBlockSize)) {
+    return Error::kCorrupt;  // torn or never-completed commit
+  }
+  // Header and commit agree; now the images must match the header's digest.
+  uint64_t payload = 0xcbf29ce484222325ull;
+  uint8_t image[kBlockSize];
+  for (uint32_t i = 0; i < header.n_blocks; ++i) {
+    err = ReadBlockRaw(device, sb.journal_start + pos + 1 + i, image);
+    if (!Ok(err)) {
+      return err;
+    }
+    payload = Fnv64(image, kBlockSize, payload);
+  }
+  if (payload != header.payload_checksum) {
+    return Error::kCorrupt;
+  }
+  out->header = header;
+  out->targets.resize(header.n_blocks);
+  std::memcpy(out->targets.data(), header_block + sizeof(TxnHeader),
+              header.n_blocks * sizeof(uint32_t));
+  for (uint32_t target : out->targets) {
+    if (target >= sb.total_blocks) {
+      return Error::kCorrupt;
+    }
+  }
+  return Error::kOk;
+}
+
+}  // namespace
+
+Error JournalFormat(BlkIo* device, const SuperBlock& sb) {
+  OSKIT_ASSERT(sb.journal_blocks >= kMinJournalBlocks);
+  JournalSuper jsb;
+  jsb.region_blocks = sb.journal_blocks;
+  return StoreJsb(device, sb.journal_start, &jsb);
+}
+
+Error JournalReplay(BlkIo* device, const SuperBlock& sb, bool apply,
+                    JournalReplayStats* stats) {
+  *stats = JournalReplayStats{};
+  if (sb.journal_blocks < kMinJournalBlocks) {
+    return Error::kOk;  // ablation mode: no journal on this volume
+  }
+  JournalSuper jsb;
+  Error err = LoadJsb(device, sb.journal_start, sb.journal_blocks, &jsb);
+  if (!Ok(err)) {
+    return err;
+  }
+  stats->journal_present = true;
+
+  uint32_t pos = jsb.next_pos;
+  uint64_t seq = jsb.next_seq;
+  uint8_t image[kBlockSize];
+  for (;;) {
+    TxnView txn;
+    err = ReadTxnAt(device, sb, pos, seq, &txn);
+    if (err == Error::kNoEnt) {
+      break;  // clean end of chain
+    }
+    if (err == Error::kCorrupt) {
+      // A torn transaction is discarded, never partially applied — and
+      // nothing after it can have committed (each commit is flushed before
+      // the next transaction starts), so the chain ends here.
+      ++stats->discarded_txns;
+      break;
+    }
+    if (!Ok(err)) {
+      return err;
+    }
+    if (apply) {
+      for (uint32_t i = 0; i < txn.header.n_blocks; ++i) {
+        err = ReadBlockRaw(device, sb.journal_start + pos + 1 + i, image);
+        if (!Ok(err)) {
+          return err;
+        }
+        err = WriteBlockRaw(device, txn.targets[i], image);
+        if (!Ok(err)) {
+          return err;
+        }
+      }
+    }
+    stats->replayed_blocks += txn.header.n_blocks;
+    ++stats->replayed_txns;
+    pos += txn.header.n_blocks + 2;
+    ++seq;
+  }
+
+  if (apply && stats->replayed_txns > 0) {
+    // Make the redone metadata durable, then retire the chain so a second
+    // crash replays nothing stale.
+    ComPtr<BlkIoBarrier> barrier = ComPtr<BlkIoBarrier>::FromQuery(device);
+    if (barrier) {
+      err = barrier->Flush();
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+    jsb.next_pos = pos;
+    jsb.next_seq = seq;
+    err = StoreJsb(device, sb.journal_start, &jsb);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (barrier) {
+      err = barrier->Flush();
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+  }
+  return Error::kOk;
+}
+
+JournalWriter::JournalWriter(ComPtr<BlkIo> device, uint32_t journal_start,
+                             uint32_t journal_blocks)
+    : device_(std::move(device)), start_(journal_start), region_(journal_blocks) {
+  OSKIT_ASSERT(region_ >= kMinJournalBlocks);
+  barrier_ = ComPtr<BlkIoBarrier>::FromQuery(device_.get());
+}
+
+Error JournalWriter::Load() {
+  JournalSuper jsb;
+  Error err = LoadJsb(device_.get(), start_, region_, &jsb);
+  if (!Ok(err)) {
+    return err;
+  }
+  next_pos_ = jsb.next_pos;
+  next_seq_ = jsb.next_seq;
+  return Error::kOk;
+}
+
+uint32_t JournalWriter::capacity() const {
+  uint32_t by_region = region_ - 3;  // jsb, header, commit
+  return by_region < kMaxTxnTargets ? by_region : kMaxTxnTargets;
+}
+
+Error JournalWriter::WriteRaw(uint32_t region_block, const void* data) {
+  return WriteBlockRaw(device_.get(), start_ + region_block, data);
+}
+
+Error JournalWriter::Barrier() {
+  return barrier_ ? barrier_->Flush() : Error::kOk;
+}
+
+Error JournalWriter::WriteJsb(bool flush) {
+  JournalSuper jsb;
+  jsb.region_blocks = region_;
+  jsb.next_pos = next_pos_;
+  jsb.next_seq = next_seq_;
+  Error err = StoreJsb(device_.get(), start_, &jsb);
+  if (!Ok(err)) {
+    return err;
+  }
+  return flush ? Barrier() : Error::kOk;
+}
+
+Error JournalWriter::Commit(
+    const std::vector<uint32_t>& targets,
+    const std::function<Error(uint32_t, uint8_t*)>& read_block) {
+  uint32_t n = static_cast<uint32_t>(targets.size());
+  if (n == 0) {
+    return Error::kOk;
+  }
+  if (n > capacity()) {
+    return Error::kNoSpace;
+  }
+  if (next_pos_ + n + 2 > region_) {
+    // Wrap.  The checkpoint must be durable BEFORE old journal space is
+    // reused, or a stale checkpoint could point a future replay into the
+    // middle of this transaction's images.
+    next_pos_ = 1;
+    Error err = WriteJsb(/*flush=*/true);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+
+  uint8_t image[kBlockSize];
+  uint64_t payload = 0xcbf29ce484222325ull;
+  for (uint32_t i = 0; i < n; ++i) {
+    Error err = read_block(targets[i], image);
+    if (!Ok(err)) {
+      return err;
+    }
+    payload = Fnv64(image, kBlockSize, payload);
+    err = WriteRaw(next_pos_ + 1 + i, image);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+
+  uint8_t header_block[kBlockSize] = {};
+  TxnHeader header;
+  header.n_blocks = n;
+  header.seq = next_seq_;
+  header.payload_checksum = payload;
+  std::memcpy(header_block, &header, sizeof(header));
+  std::memcpy(header_block + sizeof(header), targets.data(),
+              n * sizeof(uint32_t));
+  Error err = WriteRaw(next_pos_, header_block);
+  if (!Ok(err)) {
+    return err;
+  }
+
+  uint8_t commit_block[kBlockSize] = {};
+  TxnCommit commit;
+  commit.n_blocks = n;
+  commit.seq = next_seq_;
+  commit.checksum = Fnv64(header_block, kBlockSize);
+  std::memcpy(commit_block, &commit, sizeof(commit));
+  err = WriteRaw(next_pos_ + 1 + n, commit_block);
+  if (!Ok(err)) {
+    return err;
+  }
+
+  // The commit barrier: after this returns, the transaction replays.
+  err = Barrier();
+  if (!Ok(err)) {
+    return err;
+  }
+  next_pos_ += n + 2;
+  ++next_seq_;
+  return Error::kOk;
+}
+
+Error JournalWriter::Checkpoint() { return WriteJsb(/*flush=*/false); }
+
+}  // namespace oskit::fs

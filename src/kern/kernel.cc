@@ -42,6 +42,15 @@ KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode slee
   }
   for (const auto& disk : machine_->disks()) {
     disk->SetFaultEnv(fault_);
+    // Per-disk durability counters; with several disks the registry reports
+    // the sum, like every other multi-instance binding.
+    auto block = std::make_unique<trace::CounterBlock>();
+    block->Bind(&trace_->registry,
+                {{"disk.wcache.writes", &disk->wcache_writes_counter()},
+                 {"disk.wcache.flushes", &disk->wcache_flushes_counter()},
+                 {"disk.wcache.dropped", &disk->wcache_dropped_counter()},
+                 {"disk.wcache.torn", &disk->wcache_torn_counter()}});
+    disk_counters_.push_back(std::move(block));
   }
   InstallDefaultHandlers();
   SetupMemory();

@@ -1,8 +1,10 @@
 #include "src/machine/disk.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/panic.h"
+#include "src/base/random.h"
 
 namespace oskit {
 
@@ -17,6 +19,11 @@ SimTime DiskHw::EffectiveDelay(SimTime delay) {
 void DiskHw::SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf) {
   OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
   busy_ = true;
+  if (powered_off_) {
+    pending_ = clock_->ScheduleAfter(timing_.seek_ns,
+                                     [this] { Complete(Error::kIo); });
+    return;
+  }
   if (fault_->ShouldFail("disk.stuck")) {
     return;  // controller hang: no completion until Reset()
   }
@@ -44,6 +51,11 @@ void DiskHw::SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf) {
 void DiskHw::SubmitWrite(uint64_t lba, uint32_t sectors, const uint8_t* buf) {
   OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
   busy_ = true;
+  if (powered_off_) {
+    pending_ = clock_->ScheduleAfter(timing_.seek_ns,
+                                     [this] { Complete(Error::kIo); });
+    return;
+  }
   if (fault_->ShouldFail("disk.stuck")) {
     return;  // controller hang: no completion until Reset()
   }
@@ -60,11 +72,64 @@ void DiskHw::SubmitWrite(uint64_t lba, uint32_t sectors, const uint8_t* buf) {
   uint64_t offset = lba * kSectorSize;
   size_t bytes = static_cast<size_t>(sectors) * kSectorSize;
   pending_ = clock_->ScheduleAfter(
-      EffectiveDelay(TransferDelay(sectors)), [this, offset, bytes, buf] {
+      EffectiveDelay(TransferDelay(sectors)),
+      [this, lba, sectors, offset, bytes, buf] {
         std::memcpy(store_.data() + offset, buf, bytes);
+        if (wcache_enabled_) {
+          CachedWrite w;
+          w.lba = lba;
+          w.sectors = sectors;
+          w.data.assign(buf, buf + bytes);
+          wcache_.push_back(std::move(w));
+          ++wcache_writes_;
+        }
         ++writes_completed_;
+        write_log_.push_back({lba, sectors});
+        if (cut_armed_ && writes_completed_ >= cut_at_writes_) {
+          // Power dies as this write's completion was about to be posted:
+          // the write is part of the at-risk set and the request errors out.
+          cut_armed_ = false;
+          PowerCut(cut_policy_, cut_seed_);
+          Complete(Error::kIo);
+          return;
+        }
         Complete(Error::kOk);
       });
+}
+
+void DiskHw::SubmitFlush() {
+  OSKIT_ASSERT_MSG(!busy_, "request submitted while disk busy");
+  busy_ = true;
+  if (powered_off_) {
+    pending_ = clock_->ScheduleAfter(timing_.seek_ns,
+                                     [this] { Complete(Error::kIo); });
+    return;
+  }
+  if (fault_->ShouldFail("disk.stuck")) {
+    return;  // controller hang: no completion until Reset()
+  }
+  size_t cached_bytes = 0;
+  for (const CachedWrite& w : wcache_) {
+    cached_bytes += w.data.size();
+  }
+  SimTime delay = timing_.seek_ns + timing_.per_byte_ns * cached_bytes;
+  if (fault_->ShouldFail("disk.flush.error")) {
+    // The command fails and the cache stays volatile; the driver must retry.
+    pending_ = clock_->ScheduleAfter(EffectiveDelay(delay),
+                                     [this] { Complete(Error::kIo); });
+    return;
+  }
+  pending_ = clock_->ScheduleAfter(EffectiveDelay(delay), [this] {
+    if (wcache_enabled_) {
+      for (const CachedWrite& w : wcache_) {
+        ApplyToDurable(w, w.sectors);
+      }
+      wcache_.clear();
+    }
+    ++flushes_completed_;
+    ++wcache_flushes_;
+    Complete(Error::kOk);
+  });
 }
 
 void DiskHw::Reset() {
@@ -76,6 +141,97 @@ void DiskHw::Reset() {
   done_ = false;
   status_ = Error::kOk;
   ++resets_;
+}
+
+void DiskHw::EnableWriteCache(bool on) {
+  if (on == wcache_enabled_) {
+    return;
+  }
+  if (on) {
+    durable_ = store_;  // everything written so far is durable
+  } else {
+    for (const CachedWrite& w : wcache_) {
+      ApplyToDurable(w, w.sectors);
+    }
+    wcache_.clear();
+    durable_.clear();
+    durable_.shrink_to_fit();
+  }
+  wcache_enabled_ = on;
+}
+
+void DiskHw::ApplyToDurable(const CachedWrite& w, uint32_t sectors) {
+  std::memcpy(durable_.data() + w.lba * kSectorSize, w.data.data(),
+              static_cast<size_t>(sectors) * kSectorSize);
+}
+
+void DiskHw::PowerCut(CutPolicy policy, uint64_t seed) {
+  // Any in-flight request dies with the power: cancel its completion.
+  if (pending_ != SimClock::kInvalidEvent) {
+    clock_->Cancel(pending_);
+    pending_ = SimClock::kInvalidEvent;
+  }
+  if (wcache_enabled_) {
+    Rng rng(seed);
+    switch (policy) {
+      case CutPolicy::kDropAll:
+        wcache_dropped_ += wcache_.size();
+        break;
+      case CutPolicy::kDropSubset:
+        for (const CachedWrite& w : wcache_) {
+          if (rng.Percent(50)) {
+            ApplyToDurable(w, w.sectors);
+          } else {
+            ++wcache_dropped_;
+          }
+        }
+        break;
+      case CutPolicy::kReorder: {
+        std::vector<size_t> order(wcache_.size());
+        for (size_t i = 0; i < order.size(); ++i) {
+          order[i] = i;
+        }
+        for (size_t i = order.size(); i > 1; --i) {  // Fisher-Yates
+          std::swap(order[i - 1], order[rng.Below(i)]);
+        }
+        for (size_t idx : order) {
+          if (rng.Percent(75)) {
+            ApplyToDurable(wcache_[idx], wcache_[idx].sectors);
+          } else {
+            ++wcache_dropped_;
+          }
+        }
+        break;
+      }
+      case CutPolicy::kTear:
+        // Everything but the last write survives; the last lands only a
+        // sector prefix — the transfer the power failure interrupted.
+        for (size_t i = 0; i + 1 < wcache_.size(); ++i) {
+          ApplyToDurable(wcache_[i], wcache_[i].sectors);
+        }
+        if (!wcache_.empty()) {
+          const CachedWrite& last = wcache_.back();
+          auto kept = static_cast<uint32_t>(rng.Below(last.sectors));
+          ApplyToDurable(last, kept);
+          ++wcache_torn_;
+        }
+        break;
+    }
+    wcache_.clear();
+    store_ = durable_;  // the visible image IS the post-crash image now
+  }
+  powered_off_ = true;
+  busy_ = false;
+  done_ = false;
+  status_ = Error::kIo;
+}
+
+void DiskHw::ArmPowerCut(uint64_t after_writes, CutPolicy policy, uint64_t seed) {
+  OSKIT_ASSERT_MSG(after_writes > 0, "ArmPowerCut needs a positive write count");
+  cut_armed_ = true;
+  cut_at_writes_ = writes_completed_ + after_writes;
+  cut_policy_ = policy;
+  cut_seed_ = seed;
 }
 
 void DiskHw::Complete(Error status) {

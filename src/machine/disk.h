@@ -1,13 +1,25 @@
 // Simulated IDE disk hardware.
 //
 // One outstanding request at a time (like a 1997 IDE controller in PIO/DMA
-// mode): the driver programs a read or write, the disk completes it after a
-// simulated seek+transfer delay and raises IRQ 14.  The backing store is a
-// host memory buffer; tests and the boot-image builder can access it
-// directly to install filesystem images.
+// mode): the driver programs a read, write or cache-flush, the disk completes
+// it after a simulated seek+transfer delay and raises IRQ 14.  The backing
+// store is a host memory buffer; tests and the boot-image builder can access
+// it directly to install filesystem images.
+//
+// Volatile write cache (the durability model): with EnableWriteCache(true)
+// the disk behaves like real drives of the era — a completed write is
+// immediately VISIBLE (reads see it, raw() sees it) but only becomes DURABLE
+// once a Flush command completes.  PowerCut() reconstructs the post-crash
+// image: the un-flushed write set is discarded under a seeded policy (drop
+// all, drop a random subset, reorder, or tear one sector run mid-write), the
+// visible store collapses to the surviving image, and the controller goes
+// dead (every further request completes with kIo).  With the cache disabled
+// (the default, and the pre-flush-capable 1997 baseline) every completed
+// write is durable at once and Flush is a timed no-op.
 //
 // Fault injection (src/fault): with an environment bound, the disk honours
 //   disk.read.error / disk.write.error — complete the request with kIo,
+//   disk.flush.error — complete a Flush with kIo without draining the cache,
 //   disk.stuck  — accept the request and never complete it (driver
 //                 watchdogs must Reset() the controller),
 //   disk.slow   — stretch the transfer delay by the site arg (a multiplier),
@@ -24,6 +36,7 @@
 #include "src/fault/fault.h"
 #include "src/machine/clock.h"
 #include "src/machine/pic.h"
+#include "src/trace/trace.h"
 
 namespace oskit {
 
@@ -35,6 +48,21 @@ class DiskHw {
   struct Timing {
     SimTime seek_ns = 100 * kNsPerUs;     // fixed per-request overhead
     SimTime per_byte_ns = 20;             // ~50 MB/s transfer
+  };
+
+  // How PowerCut() disposes of the un-flushed write set.
+  enum class CutPolicy {
+    kDropAll,     // nothing since the last flush survives
+    kDropSubset,  // each cached write survives with probability 1/2
+    kReorder,     // a random subset survives, applied in a shuffled order
+    kTear,        // earlier writes survive; the last write lands only a
+                  // sector-prefix (a transfer interrupted mid-run)
+  };
+
+  // One completed write request, in completion order.
+  struct WriteRecord {
+    uint64_t lba = 0;
+    uint32_t sectors = 0;
   };
 
   DiskHw(SimClock* clock, Pic* pic, uint64_t sector_count, int irq = kDefaultIrq)
@@ -51,6 +79,9 @@ class DiskHw {
   // the driver then reads RequestDone()/RequestStatus().
   void SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf);
   void SubmitWrite(uint64_t lba, uint32_t sectors, const uint8_t* buf);
+  // Drains the volatile write cache to durable media.  Timed like a write of
+  // the cached bytes; a no-op (still timed) when the cache is disabled.
+  void SubmitFlush();
 
   bool Busy() const { return busy_; }
   bool RequestDone() const { return done_; }
@@ -58,25 +89,69 @@ class DiskHw {
   void AckCompletion() { done_ = false; }
 
   // Controller reset: aborts any outstanding request (its completion will
-  // never arrive) and returns the interface to idle.  The recovery path a
-  // driver watchdog takes after a hung request.
+  // never arrive — no partial transfer reaches the cache or the store) and
+  // returns the interface to idle.  Writes already completed into the
+  // volatile cache stay cached.  The recovery path a driver watchdog takes
+  // after a hung request.
   void Reset();
   uint64_t resets() const { return resets_; }
 
+  // ---- Durability model ----
+  // Turning the cache on snapshots the current store as the durable image;
+  // turning it off flushes (everything becomes durable).
+  void EnableWriteCache(bool on);
+  bool write_cache_enabled() const { return wcache_enabled_; }
+
+  // Simulates power loss NOW: un-flushed writes are dropped/torn under the
+  // seeded policy, store_ collapses to the surviving (post-crash) image, and
+  // the controller goes dead — any outstanding request never completes and
+  // every later submit completes with kIo.
+  void PowerCut(CutPolicy policy, uint64_t seed);
+
+  // Arms PowerCut to fire synchronously when the `after_writes`-th write
+  // request (counted from now) completes; that write is part of the at-risk
+  // set and its request completes with kIo (the controller's dying gasp).
+  void ArmPowerCut(uint64_t after_writes, CutPolicy policy, uint64_t seed);
+  bool powered_off() const { return powered_off_; }
+
+  // Completed write requests in completion order, for write-ordering
+  // regression tests (reset by ClearWriteLog).
+  const std::vector<WriteRecord>& write_log() const { return write_log_; }
+  void ClearWriteLog() { write_log_.clear(); }
+
   // ---- Host-side direct access (image installation, test assertions) ----
+  // After a PowerCut this IS the post-crash image.
   uint8_t* raw() { return store_.data(); }
   size_t raw_size() const { return store_.size(); }
 
   uint64_t reads_completed() const { return reads_completed_; }
   uint64_t writes_completed() const { return writes_completed_; }
+  uint64_t flushes_completed() const { return flushes_completed_; }
+  size_t cached_writes() const { return wcache_.size(); }
+
+  // Write-cache counters, bound into the registry by the client kernel as
+  // disk.wcache.* (the Pit counter-accessor pattern).
+  trace::Counter& wcache_writes_counter() { return wcache_writes_; }
+  trace::Counter& wcache_flushes_counter() { return wcache_flushes_; }
+  trace::Counter& wcache_dropped_counter() { return wcache_dropped_; }
+  trace::Counter& wcache_torn_counter() { return wcache_torn_; }
 
  private:
+  // A completed-but-unflushed write: the data as transferred, so the
+  // post-crash image can be reconstructed per request.
+  struct CachedWrite {
+    uint64_t lba = 0;
+    uint32_t sectors = 0;
+    std::vector<uint8_t> data;
+  };
+
   void Complete(Error status);
   // Applies the disk.slow fault to a nominal delay.
   SimTime EffectiveDelay(SimTime delay);
   SimTime TransferDelay(uint32_t sectors) const {
     return timing_.seek_ns + timing_.per_byte_ns * sectors * kSectorSize;
   }
+  void ApplyToDurable(const CachedWrite& w, uint32_t sectors);
 
   SimClock* clock_;
   Pic* pic_;
@@ -89,9 +164,25 @@ class DiskHw {
   Error status_ = Error::kOk;
   uint64_t reads_completed_ = 0;
   uint64_t writes_completed_ = 0;
+  uint64_t flushes_completed_ = 0;
   uint64_t resets_ = 0;
   SimClock::EventId pending_ = SimClock::kInvalidEvent;
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
+
+  // Durability model state.
+  bool wcache_enabled_ = false;
+  bool powered_off_ = false;
+  std::vector<uint8_t> durable_;     // last-flushed image (cache enabled only)
+  std::vector<CachedWrite> wcache_;  // completed, not yet durable, in order
+  std::vector<WriteRecord> write_log_;
+  bool cut_armed_ = false;
+  uint64_t cut_at_writes_ = 0;  // absolute writes_completed_ threshold
+  CutPolicy cut_policy_ = CutPolicy::kDropAll;
+  uint64_t cut_seed_ = 0;
+  trace::Counter wcache_writes_;
+  trace::Counter wcache_flushes_;
+  trace::Counter wcache_dropped_;
+  trace::Counter wcache_torn_;
 };
 
 }  // namespace oskit

@@ -282,6 +282,68 @@ TEST_F(DriverTest, FilesystemRunsOnTheIdeDriver) {
   ASSERT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
 }
 
+TEST_F(DriverTest, IdeDriverFlushesThroughBlkIoBarrier) {
+  // The §4.4.2 extension discovered the COM way: Query the IDE device for
+  // BlkIoBarrier and drain the disk's volatile write cache through it.
+  DiskHw* disk = machine_->AddDisk(2048);
+  disk->EnableWriteCache(true);
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk, linuxdev::InitLinuxIde(fdev_, machine_.get(), &registry));
+  auto device = registry.LookupByName("hda");
+  ASSERT_TRUE(device);
+  ComPtr<BlkIo> blkio = ComPtr<BlkIo>::FromQuery(device.get());
+  ComPtr<BlkIoBarrier> barrier = ComPtr<BlkIoBarrier>::FromQuery(device.get());
+  ASSERT_TRUE(blkio);
+  ASSERT_TRUE(barrier);
+
+  sim_.Spawn("flush", [&] {
+    uint8_t data[512];
+    for (size_t i = 0; i < sizeof(data); ++i) {
+      data[i] = static_cast<uint8_t>(i);
+    }
+    size_t actual = 0;
+    ASSERT_EQ(Error::kOk, blkio->Write(data, 512, sizeof(data), &actual));
+    EXPECT_GT(disk->cached_writes(), 0u);
+    ASSERT_EQ(Error::kOk, barrier->Flush());
+    EXPECT_EQ(0u, disk->cached_writes());
+    EXPECT_EQ(1u, disk->flushes_completed());
+  });
+  ASSERT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
+}
+
+TEST_F(DriverTest, BlockCacheSyncWritesBlocksInAscendingOrder) {
+  // Regression pin for the crash campaign's reproducibility: Sync must
+  // write back in ascending block order, never hash-map iteration order.
+  // The disk's write log is the ground truth.
+  DiskHw* disk = machine_->AddDisk(2048);
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk, linuxdev::InitLinuxIde(fdev_, machine_.get(), &registry));
+  auto device = registry.LookupByName("hda");
+  ComPtr<BlkIo> blkio = ComPtr<BlkIo>::FromQuery(device.get());
+  ASSERT_TRUE(blkio);
+
+  sim_.Spawn("sync-order", [&] {
+    fs::BlockCache cache(blkio, fs::kBlockSize, 64);
+    std::vector<uint8_t> block(fs::kBlockSize, 0xcd);
+    for (uint32_t b : {50u, 3u, 27u, 9u, 40u, 12u}) {
+      ASSERT_EQ(Error::kOk, cache.WriteBlock(b, block.data()));
+    }
+    disk->ClearWriteLog();
+    ASSERT_EQ(Error::kOk, cache.Sync());
+    const auto& log = disk->write_log();
+    ASSERT_GE(log.size(), 6u);
+    for (size_t i = 1; i < log.size(); ++i) {
+      EXPECT_LE(log[i - 1].lba, log[i].lba)
+          << "write " << i << " went backwards";
+    }
+    // First and last writebacks belong to the lowest and highest blocks.
+    EXPECT_EQ(3u * (fs::kBlockSize / 512), log.front().lba);
+    EXPECT_EQ(50u * (fs::kBlockSize / 512),
+              log.back().lba + log.back().sectors - fs::kBlockSize / 512);
+  });
+  ASSERT_EQ(Simulation::RunResult::kAllDone, sim_.Run());
+}
+
 TEST_F(DriverTest, BsdTtyBlocksUntilInput) {
   DeviceRegistry registry;
   ASSERT_EQ(Error::kOk,

@@ -60,6 +60,65 @@ class FsTest : public ::testing::Test {
   ComPtr<Dir> root_;
 };
 
+TEST(BlockCacheTest, InvalidateRefusesDirtyButDropDirtyDiscards) {
+  auto disk = MemBlkIo::Create(1024 * 1024, 512);
+  BlockCache cache(ComPtr<BlkIo>::Retain(disk.get()), kBlockSize, 8);
+
+  std::vector<uint8_t> data(kBlockSize, 0xab);
+  ASSERT_EQ(Error::kOk, cache.WriteBlock(5, data.data()));
+  ASSERT_TRUE(cache.IsDirty(5));
+
+  // A dirty block holds a pending write: Invalidate must refuse to lose it.
+  EXPECT_EQ(Error::kBusy, cache.Invalidate(5));
+  EXPECT_TRUE(cache.IsDirty(5));
+
+  // DropDirty is the deliberate spelling — the write never reaches the
+  // device, so a re-read sees the old (zero) contents.
+  cache.DropDirty(5);
+  EXPECT_FALSE(cache.IsDirty(5));
+  std::vector<uint8_t> readback(kBlockSize, 0xff);
+  ASSERT_EQ(Error::kOk, cache.ReadBlock(5, readback.data()));
+  EXPECT_EQ(std::vector<uint8_t>(kBlockSize, 0), readback);
+
+  // Clean and absent blocks invalidate without complaint.
+  EXPECT_EQ(Error::kOk, cache.Invalidate(5));
+  EXPECT_EQ(Error::kOk, cache.Invalidate(123));
+
+  // After a writeback the block is clean again and evictable.
+  ASSERT_EQ(Error::kOk, cache.WriteBlock(6, data.data()));
+  ASSERT_EQ(Error::kOk, cache.Sync());
+  EXPECT_FALSE(cache.IsDirty(6));
+  EXPECT_EQ(Error::kOk, cache.Invalidate(6));
+}
+
+TEST(BlockCacheTest, EvictionPinKeepsDirtyBlocksCached) {
+  auto disk = MemBlkIo::Create(1024 * 1024, 512);
+  BlockCache cache(ComPtr<BlkIo>::Retain(disk.get()), kBlockSize, 8);
+  cache.SetEvictionPin([](uint32_t block) { return block < 4; });
+
+  std::vector<uint8_t> data(kBlockSize, 0x5a);
+  for (uint32_t b = 0; b < 4; ++b) {
+    ASSERT_EQ(Error::kOk, cache.WriteBlock(b, data.data()));
+  }
+  // Stream enough unpinned blocks through to force evictions: the LRU
+  // victims must be the clean read blocks, never the pinned dirty ones.
+  std::vector<uint8_t> buf(kBlockSize);
+  for (uint32_t b = 100; b < 110; ++b) {
+    ASSERT_EQ(Error::kOk, cache.ReadBlock(b, buf.data()));
+  }
+  for (uint32_t b = 0; b < 4; ++b) {
+    EXPECT_TRUE(cache.IsDirty(b)) << "pinned block " << b << " was evicted";
+  }
+  // With every slot pinned dirty and no clean block to evict, a miss
+  // surfaces kBusy instead of writing a pinned block home.
+  BlockCache tight(ComPtr<BlkIo>::Retain(disk.get()), kBlockSize, 8);
+  tight.SetEvictionPin([](uint32_t) { return true; });
+  for (uint32_t b = 0; b < 8; ++b) {
+    ASSERT_EQ(Error::kOk, tight.WriteBlock(b, data.data()));
+  }
+  EXPECT_EQ(Error::kBusy, tight.ReadBlock(50, buf.data()));
+}
+
 TEST_F(FsTest, FreshFilesystemPassesFsck) { ExpectFsckClean(); }
 
 TEST_F(FsTest, CreateWriteReadPersistsAcrossRemount) {

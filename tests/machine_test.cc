@@ -431,6 +431,243 @@ TEST(DiskTest, OutOfRangeRequestFails) {
   EXPECT_EQ(Error::kOutOfRange, disk->RequestStatus());
 }
 
+// Shared setup for the disk durability tests: machine, one disk, IRQ wired.
+struct DiskRig {
+  Simulation sim;
+  Machine machine{&sim, {}};
+  DiskHw* disk = nullptr;
+
+  explicit DiskRig(uint64_t sectors) {
+    machine.cpu().EnableInterrupts();
+    disk = machine.AddDisk(sectors);
+    machine.cpu().SetVector(kIrqBaseVector + disk->irq(),
+                            [](TrapFrame&) { return true; });
+    machine.pic().Unmask(disk->irq());
+  }
+
+  // Runs the simulation until the outstanding request completes and returns
+  // its status.
+  Error Run() {
+    while (sim.clock().RunOne()) {
+    }
+    EXPECT_TRUE(disk->RequestDone());
+    Error status = disk->RequestStatus();
+    disk->AckCompletion();
+    return status;
+  }
+
+  Error Write(uint64_t lba, uint32_t sectors, const uint8_t* buf) {
+    disk->SubmitWrite(lba, sectors, buf);
+    return Run();
+  }
+
+  Error Flush() {
+    disk->SubmitFlush();
+    return Run();
+  }
+};
+
+void FillSector(uint8_t* buf, uint8_t tag) {
+  for (size_t i = 0; i < DiskHw::kSectorSize; ++i) {
+    buf[i] = static_cast<uint8_t>(tag + i);
+  }
+}
+
+TEST(DiskTest, WriteCacheVolatileUntilFlush) {
+  uint8_t sector[DiskHw::kSectorSize];
+  FillSector(sector, 3);
+
+  // Unflushed write: visible immediately, gone after the cut.
+  {
+    DiskRig rig(64);
+    rig.disk->EnableWriteCache(true);
+    EXPECT_EQ(Error::kOk, rig.Write(7, 1, sector));
+    EXPECT_EQ(0, memcmp(rig.disk->raw() + 7 * DiskHw::kSectorSize, sector,
+                        sizeof(sector)));
+    EXPECT_EQ(1u, rig.disk->cached_writes());
+    rig.disk->PowerCut(DiskHw::CutPolicy::kDropAll, 1);
+    EXPECT_TRUE(rig.disk->powered_off());
+    uint8_t zero[DiskHw::kSectorSize] = {};
+    EXPECT_EQ(0, memcmp(rig.disk->raw() + 7 * DiskHw::kSectorSize, zero,
+                        sizeof(zero)));
+    EXPECT_EQ(1u, rig.disk->wcache_dropped_counter().value());
+    // A dead controller fails every request.
+    rig.disk->SubmitWrite(7, 1, sector);
+    EXPECT_EQ(Error::kIo, rig.Run());
+  }
+
+  // Flushed write: survives the same cut.
+  {
+    DiskRig rig(64);
+    rig.disk->EnableWriteCache(true);
+    EXPECT_EQ(Error::kOk, rig.Write(7, 1, sector));
+    EXPECT_EQ(Error::kOk, rig.Flush());
+    EXPECT_EQ(0u, rig.disk->cached_writes());
+    EXPECT_EQ(1u, rig.disk->flushes_completed());
+    rig.disk->PowerCut(DiskHw::CutPolicy::kDropAll, 1);
+    EXPECT_EQ(0, memcmp(rig.disk->raw() + 7 * DiskHw::kSectorSize, sector,
+                        sizeof(sector)));
+    EXPECT_EQ(0u, rig.disk->wcache_dropped_counter().value());
+  }
+}
+
+TEST(DiskTest, WriteLogRecordsCompletionOrder) {
+  DiskRig rig(64);
+  uint8_t sector[DiskHw::kSectorSize];
+  FillSector(sector, 9);
+  EXPECT_EQ(Error::kOk, rig.Write(11, 1, sector));
+  EXPECT_EQ(Error::kOk, rig.Write(3, 1, sector));
+  ASSERT_EQ(2u, rig.disk->write_log().size());
+  EXPECT_EQ(11u, rig.disk->write_log()[0].lba);
+  EXPECT_EQ(3u, rig.disk->write_log()[1].lba);
+  rig.disk->ClearWriteLog();
+  EXPECT_TRUE(rig.disk->write_log().empty());
+}
+
+TEST(DiskTest, PowerCutPoliciesDeterministicPerSeed) {
+  // For each lossy policy: the same seed must yield the same post-crash
+  // image (the crash campaign replays runs by seed), and a different seed a
+  // generally different one.
+  for (DiskHw::CutPolicy policy :
+       {DiskHw::CutPolicy::kDropSubset, DiskHw::CutPolicy::kReorder,
+        DiskHw::CutPolicy::kTear}) {
+    auto run = [&](uint64_t seed) {
+      DiskRig rig(64);
+      rig.disk->EnableWriteCache(true);
+      uint8_t sector[4 * DiskHw::kSectorSize];
+      for (uint8_t tag = 0; tag < 8; ++tag) {
+        FillSector(sector, tag);
+        FillSector(sector + DiskHw::kSectorSize, tag + 100);
+        FillSector(sector + 2 * DiskHw::kSectorSize, tag + 200);
+        FillSector(sector + 3 * DiskHw::kSectorSize, tag + 23);
+        // Overlapping runs so reordering is observable.
+        EXPECT_EQ(Error::kOk, rig.Write(tag * 2, 4, sector));
+      }
+      rig.disk->PowerCut(policy, seed);
+      return std::vector<uint8_t>(rig.disk->raw(),
+                                  rig.disk->raw() + rig.disk->raw_size());
+    };
+    EXPECT_EQ(run(42), run(42));
+    EXPECT_NE(run(42), run(43));
+  }
+}
+
+TEST(DiskTest, TearPolicyKeepsSectorPrefixOfLastWrite) {
+  DiskRig rig(64);
+  rig.disk->EnableWriteCache(true);
+  uint8_t a[DiskHw::kSectorSize];
+  uint8_t b[4 * DiskHw::kSectorSize];
+  FillSector(a, 1);
+  for (int s = 0; s < 4; ++s) {
+    FillSector(b + s * DiskHw::kSectorSize, static_cast<uint8_t>(50 + s));
+  }
+  EXPECT_EQ(Error::kOk, rig.Write(2, 1, a));
+  EXPECT_EQ(Error::kOk, rig.Write(10, 4, b));
+  rig.disk->PowerCut(DiskHw::CutPolicy::kTear, 7);
+  // The earlier write always survives a tear of the last one.
+  EXPECT_EQ(0, memcmp(rig.disk->raw() + 2 * DiskHw::kSectorSize, a, sizeof(a)));
+  EXPECT_EQ(1u, rig.disk->wcache_torn_counter().value());
+  // The torn write landed some whole-sector prefix: each of its sectors is
+  // entirely old (zero) or entirely new, and never new-after-old.
+  bool seen_old = false;
+  for (int s = 0; s < 4; ++s) {
+    const uint8_t* sec = rig.disk->raw() + (10 + s) * DiskHw::kSectorSize;
+    uint8_t zero[DiskHw::kSectorSize] = {};
+    bool is_new = memcmp(sec, b + s * DiskHw::kSectorSize,
+                         DiskHw::kSectorSize) == 0;
+    bool is_old = memcmp(sec, zero, DiskHw::kSectorSize) == 0;
+    EXPECT_TRUE(is_new || is_old) << "sector " << s << " is torn mid-sector";
+    if (is_old) {
+      seen_old = true;
+    }
+    if (seen_old) {
+      EXPECT_TRUE(is_old) << "sector " << s << " written after a gap";
+    }
+  }
+}
+
+TEST(DiskTest, ArmedPowerCutFailsAtRiskWrite) {
+  DiskRig rig(64);
+  rig.disk->EnableWriteCache(true);
+  uint8_t sector[DiskHw::kSectorSize];
+  FillSector(sector, 5);
+  rig.disk->ArmPowerCut(2, DiskHw::CutPolicy::kDropAll, 99);
+  EXPECT_EQ(Error::kOk, rig.Write(1, 1, sector));
+  // The second write is the dying gasp: power fails as it completes.
+  EXPECT_EQ(Error::kIo, rig.Write(2, 1, sector));
+  EXPECT_TRUE(rig.disk->powered_off());
+  uint8_t zero[DiskHw::kSectorSize] = {};
+  EXPECT_EQ(0, memcmp(rig.disk->raw() + 1 * DiskHw::kSectorSize, zero,
+                      sizeof(zero)));
+  EXPECT_EQ(0, memcmp(rig.disk->raw() + 2 * DiskHw::kSectorSize, zero,
+                      sizeof(zero)));
+}
+
+TEST(DiskTest, ResetDuringInFlightWriteLeavesDurableStorageUntouched) {
+  DiskRig rig(64);
+  rig.disk->EnableWriteCache(true);
+  uint8_t a[DiskHw::kSectorSize];
+  uint8_t b[DiskHw::kSectorSize];
+  FillSector(a, 1);
+  FillSector(b, 2);
+  EXPECT_EQ(Error::kOk, rig.Write(4, 1, a));
+  EXPECT_EQ(Error::kOk, rig.Flush());
+
+  // Reset the controller while the next write is still in flight: its
+  // completion must never arrive and no partial transfer may reach the
+  // cache or the store.
+  rig.disk->SubmitWrite(5, 1, b);
+  EXPECT_TRUE(rig.disk->Busy());
+  rig.disk->Reset();
+  while (rig.sim.clock().RunOne()) {
+  }
+  EXPECT_FALSE(rig.disk->RequestDone());
+  EXPECT_EQ(1u, rig.disk->resets());
+  EXPECT_EQ(1u, rig.disk->writes_completed());
+  EXPECT_EQ(0u, rig.disk->cached_writes());
+  uint8_t zero[DiskHw::kSectorSize] = {};
+  EXPECT_EQ(0, memcmp(rig.disk->raw() + 5 * DiskHw::kSectorSize, zero,
+                      sizeof(zero)));
+  // The flushed write is still durable across a subsequent power cut.
+  rig.disk->PowerCut(DiskHw::CutPolicy::kDropAll, 3);
+  EXPECT_EQ(0, memcmp(rig.disk->raw() + 4 * DiskHw::kSectorSize, a, sizeof(a)));
+
+  // And the controller works again after the reset (before the cut this
+  // retry would have succeeded — verify via a second rig).
+  DiskRig retry(64);
+  retry.disk->SubmitWrite(5, 1, b);
+  retry.disk->Reset();
+  while (retry.sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(Error::kOk, retry.Write(5, 1, b));
+  EXPECT_EQ(0, memcmp(retry.disk->raw() + 5 * DiskHw::kSectorSize, b,
+                      sizeof(b)));
+}
+
+TEST(DiskTest, FlushErrorFaultLeavesCacheVolatile) {
+  DiskRig rig(64);
+  fault::FaultEnv faults(1);
+  fault::FaultSpec spec;
+  spec.probability_percent = 100;
+  spec.max_fires = 1;
+  faults.Arm("disk.flush.error", spec);
+  rig.disk->SetFaultEnv(&faults);
+  rig.disk->EnableWriteCache(true);
+  uint8_t sector[DiskHw::kSectorSize];
+  FillSector(sector, 8);
+  EXPECT_EQ(Error::kOk, rig.Write(6, 1, sector));
+  // First flush fails; the cache must stay volatile.
+  EXPECT_EQ(Error::kIo, rig.Flush());
+  EXPECT_EQ(1u, rig.disk->cached_writes());
+  EXPECT_EQ(0u, rig.disk->flushes_completed());
+  // The retry drains it.
+  EXPECT_EQ(Error::kOk, rig.Flush());
+  EXPECT_EQ(0u, rig.disk->cached_writes());
+  rig.disk->PowerCut(DiskHw::CutPolicy::kDropAll, 4);
+  EXPECT_EQ(0, memcmp(rig.disk->raw() + 6 * DiskHw::kSectorSize, sector,
+                      sizeof(sector)));
+}
+
 TEST(PhysMemTest, DmaReachability) {
   PhysMem phys(32 * 1024 * 1024);
   void* low = phys.PtrAt(1024 * 1024);
