@@ -1,0 +1,236 @@
+// NAPI ablation: RX interrupt mitigation + budgeted polled dispatch.
+//
+// The 1997 driver raised one interrupt per received frame; at 100 Mbps that
+// is ~8600 interrupts per second of pure dispatch overhead on the receive
+// path (and the receive-livelock literature's whole complaint).  This bench
+// runs the same wire-limited ttcp transfer twice:
+//
+//   oskit (per-frame)     — seed behaviour: NIC mitigation registers at
+//                           their defaults (threshold 1, no holdoff), glue
+//                           drains the ring from the ISR, one IRQ per frame;
+//   oskit_napi            — NIC raises only after 8 frames pend or a 1 ms
+//                           holdoff expires (ring-occupancy fallback at 3/4
+//                           full), glue masks RX, drains up to a 16-frame
+//                           budget per softirq-style dispatch, re-enables
+//                           and RE-CHECKS the ring, and hands each drained
+//                           burst to TCP as one batch (one delayed-ACK pass).
+//
+// Everything is counter-verified from the receiver's trace registry: IRQs
+// actually raised per frame actually delivered (nic.rx.coalesce.*), frames
+// per poll dispatch (glue.rx.poll.*), and TCP batch passes (net.tcp.*).
+// The headline claim — the PR's acceptance criterion — is a >= 4x reduction
+// in RX interrupts per delivered frame at wire saturation, with the byte
+// count asserted identical by the ttcp harness itself.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/testbed/ttcp.h"
+#include "src/trace/trace.h"
+
+using namespace oskit;
+using namespace oskit::testbed;
+
+namespace {
+
+struct Metrics {
+  const char* json_key;
+  double sim_mbps = 0;
+  uint64_t rx_frames = 0;       // frames the receiver's NIC accepted
+  uint64_t rx_irqs = 0;         // RX interrupts actually raised for them
+  uint64_t threshold_fires = 0;
+  uint64_t holdoff_fires = 0;
+  uint64_t ring_fires = 0;
+  uint64_t polls = 0;           // glue poll dispatches
+  uint64_t poll_frames = 0;     // frames delivered by those dispatches
+  uint64_t budget_exhausted = 0;
+  uint64_t reenable_races = 0;  // frames caught by the post-re-enable check
+  uint64_t rx_batches = 0;      // TCP batch passes on the receiver
+  uint64_t batched_outputs = 0;
+
+  double IrqsPerFrame() const {
+    return rx_frames > 0 ? static_cast<double>(rx_irqs) / rx_frames : 0;
+  }
+  double FramesPerPoll() const {
+    return polls > 0 ? static_cast<double>(poll_frames) / polls : 0;
+  }
+};
+
+Metrics RunConfig(const char* json_key, NetConfig config, size_t blocks) {
+  // Wire-limited, as the claim is about saturation-rate interrupt load.
+  EthernetWire::Config wire;
+  wire.bits_per_second = 100 * 1000 * 1000;
+  wire.propagation_ns = 5 * kNsPerUs;
+  World world(wire);
+  world.AddHost("rx", config);
+  world.AddHost("tx", config);
+  TtcpResult r = RunTtcp(world, /*block_size=*/4096, blocks);
+
+  Metrics m;
+  m.json_key = json_key;
+  m.sim_mbps = r.MbitPerSecSim();
+  const trace::CounterRegistry& reg = world.host(0).trace.registry;
+  m.rx_frames = reg.Value("nic.rx.coalesce.frames");
+  m.rx_irqs = reg.Value("nic.rx.coalesce.irqs");
+  m.threshold_fires = reg.Value("nic.rx.coalesce.threshold_fires");
+  m.holdoff_fires = reg.Value("nic.rx.coalesce.holdoff_fires");
+  m.ring_fires = reg.Value("nic.rx.coalesce.ring_fallback_fires");
+  m.polls = reg.Value("glue.rx.poll.polls");
+  m.poll_frames = reg.Value("glue.rx.poll.frames");
+  m.budget_exhausted = reg.Value("glue.rx.poll.budget_exhausted");
+  m.reenable_races = reg.Value("glue.rx.poll.reenable_races");
+  m.rx_batches = reg.Value("net.tcp.rx_batches");
+  m.batched_outputs = reg.Value("net.tcp.batched_outputs");
+  return m;
+}
+
+void PrintRow(const char* name, const Metrics& m) {
+  std::printf("%-26s | %10.1f | %8llu | %8llu | %9.3f | %8llu | %11.1f\n",
+              name, m.sim_mbps, static_cast<unsigned long long>(m.rx_frames),
+              static_cast<unsigned long long>(m.rx_irqs), m.IrqsPerFrame(),
+              static_cast<unsigned long long>(m.polls), m.FramesPerPoll());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Usage: napi_rx [blocks] [--json <path>]
+  size_t blocks = 2048;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: napi_rx [blocks] [--json <path>]\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      blocks = std::strtoul(argv[i], nullptr, 0);
+    }
+  }
+
+  std::printf("NAPI ablation: wire-limited ttcp (%zu x 4096-byte blocks), "
+              "receiver-side interrupt accounting\n\n",
+              blocks);
+
+  Metrics perframe = RunConfig("oskit_perframe", NetConfig::kOskit, blocks);
+  Metrics napi = RunConfig("oskit_napi", NetConfig::kOskitNapi, blocks);
+
+  std::printf("%-26s | %10s | %8s | %8s | %9s | %8s | %11s\n", "configuration",
+              "wire Mbit/s", "frames", "RX IRQs", "IRQ/frame", "polls",
+              "frames/poll");
+  std::printf("---------------------------+------------+----------+----------+"
+              "-----------+----------+------------\n");
+  PrintRow("OSKit, per-frame IRQ", perframe);
+  PrintRow("OSKit, coalesced+polled", napi);
+  std::printf("\nnapi IRQ causes: threshold=%llu holdoff=%llu ring=%llu; "
+              "budget exhausted=%llu, re-enable races caught=%llu, "
+              "tcp batches=%llu (outputs deferred into them=%llu)\n",
+              static_cast<unsigned long long>(napi.threshold_fires),
+              static_cast<unsigned long long>(napi.holdoff_fires),
+              static_cast<unsigned long long>(napi.ring_fires),
+              static_cast<unsigned long long>(napi.budget_exhausted),
+              static_cast<unsigned long long>(napi.reenable_races),
+              static_cast<unsigned long long>(napi.rx_batches),
+              static_cast<unsigned long long>(napi.batched_outputs));
+
+  bool fail = false;
+  std::printf("\nShape checks:\n");
+
+  // The seed path really is one interrupt per frame (this is the ablation
+  // baseline — if it drifts, the reduction factor below means nothing).
+  bool ok = perframe.IrqsPerFrame() > 0.99 && perframe.polls == 0;
+  fail |= !ok;
+  std::printf("  per-frame:   %.3f IRQs/frame, %llu polls (1997 behaviour: "
+              "one IRQ per frame, ISR drain)  %s\n",
+              perframe.IrqsPerFrame(),
+              static_cast<unsigned long long>(perframe.polls),
+              ok ? "PASS" : "FAIL");
+
+  // The acceptance criterion: >= 4x fewer RX interrupts per delivered frame.
+  double reduction = napi.IrqsPerFrame() > 0
+                         ? perframe.IrqsPerFrame() / napi.IrqsPerFrame()
+                         : 0;
+  ok = reduction >= 4.0;
+  fail |= !ok;
+  std::printf("  mitigation:  %.3f -> %.3f IRQs/frame (%.1fx fewer; "
+              "acceptance floor 4x)  %s\n",
+              perframe.IrqsPerFrame(), napi.IrqsPerFrame(), reduction,
+              ok ? "PASS" : "FAIL");
+
+  // The polled path really carried the frames (not the legacy ISR drain),
+  // and each dispatch amortised over several frames.
+  // (tolerate a couple of frames parked in the ring when the simulation's
+  // fibers finish mid-close-handshake)
+  ok = napi.polls > 0 && napi.poll_frames + 4 >= napi.rx_frames &&
+       napi.poll_frames <= napi.rx_frames && napi.FramesPerPoll() > 1.5;
+  fail |= !ok;
+  std::printf("  polling:     %llu/%llu frames via poll dispatch, %.1f "
+              "frames/poll  %s\n",
+              static_cast<unsigned long long>(napi.poll_frames),
+              static_cast<unsigned long long>(napi.rx_frames),
+              napi.FramesPerPoll(), ok ? "PASS" : "FAIL");
+
+  // The burst fed TCP as batches: one delayed-ACK pass per burst, several
+  // inputs folded into each deferred output.
+  ok = napi.rx_batches > 0 && napi.batched_outputs >= napi.rx_batches;
+  fail |= !ok;
+  std::printf("  tcp batch:   %llu batch passes, %llu deferred outputs  %s\n",
+              static_cast<unsigned long long>(napi.rx_batches),
+              static_cast<unsigned long long>(napi.batched_outputs),
+              ok ? "PASS" : "FAIL");
+
+  // Mitigation must not cost bandwidth at saturation (byte-for-byte
+  // delivery is already asserted inside the ttcp harness).
+  ok = napi.sim_mbps > 0.95 * perframe.sim_mbps;
+  fail |= !ok;
+  std::printf("  bandwidth:   %.1f vs %.1f Mbit/s wire-limited  %s\n",
+              napi.sim_mbps, perframe.sim_mbps, ok ? "PASS" : "FAIL");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"napi_rx\",\n  \"blocks\": %zu,\n",
+                 blocks);
+    std::fprintf(f, "  \"configs\": [\n");
+    const Metrics* rows[] = {&perframe, &napi};
+    for (int i = 0; i < 2; ++i) {
+      const Metrics& m = *rows[i];
+      std::fprintf(
+          f,
+          "    {\"config\": \"%s\", \"sim_mbps\": %.1f, "
+          "\"rx_frames\": %llu, \"rx_irqs\": %llu, "
+          "\"irqs_per_frame\": %.4f, \"polls\": %llu, "
+          "\"poll_frames\": %llu, \"frames_per_poll\": %.2f, "
+          "\"threshold_fires\": %llu, \"holdoff_fires\": %llu, "
+          "\"ring_fallback_fires\": %llu, \"budget_exhausted\": %llu, "
+          "\"reenable_races\": %llu, \"tcp_rx_batches\": %llu, "
+          "\"tcp_batched_outputs\": %llu}%s\n",
+          m.json_key, m.sim_mbps, static_cast<unsigned long long>(m.rx_frames),
+          static_cast<unsigned long long>(m.rx_irqs), m.IrqsPerFrame(),
+          static_cast<unsigned long long>(m.polls),
+          static_cast<unsigned long long>(m.poll_frames), m.FramesPerPoll(),
+          static_cast<unsigned long long>(m.threshold_fires),
+          static_cast<unsigned long long>(m.holdoff_fires),
+          static_cast<unsigned long long>(m.ring_fires),
+          static_cast<unsigned long long>(m.budget_exhausted),
+          static_cast<unsigned long long>(m.reenable_races),
+          static_cast<unsigned long long>(m.rx_batches),
+          static_cast<unsigned long long>(m.batched_outputs),
+          i == 0 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"checks\": {\"irq_reduction_factor\": %.2f, "
+                 "\"acceptance_floor\": 4.0}\n",
+                 reduction);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  }
+
+  return fail ? 1 : 0;
+}

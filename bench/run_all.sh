@@ -6,7 +6,8 @@
 # BENCH_sg.json, produced by table1_bandwidth with the per-row
 # bytes-copied-per-byte-sent figures for the scatter-gather send path;
 # BENCH_crash.json, produced by the every-write power-cut crash campaign's
-# aggregate durability counters).
+# aggregate durability counters; BENCH_napi.json, produced by the NAPI
+# ablation with IRQs-per-frame and frames-per-poll at wire saturation).
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
@@ -23,6 +24,7 @@ JSON_OUT="$BENCH_DIR/BENCH_trace.json"
 FAULT_JSON_OUT="$BENCH_DIR/BENCH_fault.json"
 SG_JSON_OUT="$BENCH_DIR/BENCH_sg.json"
 CRASH_JSON_OUT="$BENCH_DIR/BENCH_crash.json"
+NAPI_JSON_OUT="$BENCH_DIR/BENCH_napi.json"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -57,6 +59,7 @@ run_bench() {
 # Smoke sizes: enough traffic for every shape check, seconds per bench.
 run_bench table1_bandwidth 2048 --json "$SG_JSON_OUT"
 run_bench table2_latency   4000
+run_bench napi_rx          2048 --json "$NAPI_JSON_OUT"
 run_bench table3_sizes
 run_bench fig_footprint
 run_bench fig_javapc
@@ -88,6 +91,12 @@ if [ -f "$CRASH_JSON_OUT" ]; then
     echo "wrote $CRASH_JSON_OUT"
 else
     echo "FAIL BENCH_crash.json was not produced"
+    status=1
+fi
+if [ -f "$NAPI_JSON_OUT" ]; then
+    echo "wrote $NAPI_JSON_OUT"
+else
+    echo "FAIL BENCH_napi.json was not produced"
     status=1
 fi
 

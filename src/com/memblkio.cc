@@ -35,15 +35,17 @@ Error MemBlkIo::Query(const Guid& iid, void** out) {
   return Error::kNoInterface;
 }
 
+// Bounds discipline (shared with SkBuffIo and MbufBufIo): off_t64 is
+// unsigned, so a "negative" offset arrives huge and `offset + amount` can
+// wrap.  Check the offset first, then clamp/compare against the remainder.
+
 Error MemBlkIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
   *out_actual = 0;
   if (offset > data_.size()) {
     return Error::kOutOfRange;
   }
-  size_t n = amount;
-  if (offset + n > data_.size()) {
-    n = data_.size() - offset;
-  }
+  size_t avail = data_.size() - static_cast<size_t>(offset);
+  size_t n = amount < avail ? amount : avail;
   std::memcpy(buf, data_.data() + offset, n);
   *out_actual = n;
   return Error::kOk;
@@ -55,10 +57,8 @@ Error MemBlkIo::Write(const void* buf, off_t64 offset, size_t amount,
   if (offset > data_.size()) {
     return Error::kOutOfRange;
   }
-  size_t n = amount;
-  if (offset + n > data_.size()) {
-    n = data_.size() - offset;
-  }
+  size_t avail = data_.size() - static_cast<size_t>(offset);
+  size_t n = amount < avail ? amount : avail;
   std::memcpy(data_.data() + offset, buf, n);
   *out_actual = n;
   return Error::kOk;
@@ -79,7 +79,8 @@ Error MemBlkIo::SetSize(off_t64 new_size) {
 }
 
 Error MemBlkIo::Map(void** out_addr, off_t64 offset, size_t amount) {
-  if (offset + amount > data_.size()) {
+  if (offset > data_.size() ||
+      amount > data_.size() - static_cast<size_t>(offset)) {
     return Error::kOutOfRange;
   }
   ++maps_outstanding_;

@@ -27,6 +27,25 @@ class NetIo : public IUnknown {
   ~NetIo() = default;
 };
 
+// Batched delivery, the §4.4.2 interface-extension idiom: a receiver that
+// can amortize per-packet work (one TCP delayed-ACK/scheduling pass per
+// burst instead of per frame) additionally implements NetIoBatch, and a
+// polled driver discovers it via Query.  Pushes between BeginBatch() and
+// EndBatch() may defer their response processing until EndBatch(); the
+// bracket must not be nested.  A receiver exposing only plain NetIo gets
+// per-packet behaviour, unchanged.
+class NetIoBatch : public NetIo {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x4aa7dfed, 0x7c74, 0x11cf, 0xb5, 0x00, 0x08,
+                                        0x00, 0x09, 0x53, 0xad, 0xc2);
+
+  virtual void BeginBatch() = 0;
+  virtual void EndBatch() = 0;
+
+ protected:
+  ~NetIoBatch() = default;
+};
+
 }  // namespace oskit
 
 #endif  // OSKIT_SRC_COM_NETIO_H_

@@ -56,30 +56,49 @@ int simnic_probe(linux_device* dev, oskit::NicHw* hw) {
   return 0;
 }
 
-void simnic_interrupt(linux_device* dev) {
+namespace {
+
+// Receives one frame off the ring: the classic Linux 2.0 path shared by the
+// interrupt handler and the budgeted poll.
+void simnic_rx_one(linux_device* dev) {
   oskit::NicHw* hw = dev->priv;
-  while (hw->RxPending()) {
-    size_t frame_len = hw->RxFrameSize();
-    // Classic Linux 2.0 receive: allocate len+2, reserve 2 so the IP header
-    // lands 4-byte aligned past the 14-byte Ethernet header.
-    sk_buff* skb = dev_alloc_skb(dev->kenv, frame_len + 2);
-    if (skb == nullptr) {
-      // Out of memory: drop the frame (drain it so the ring advances).
-      uint8_t discard[oskit::kEtherMaxFrame];
-      hw->RxDequeue(discard);
-      dev->stats.rx_dropped += 1;
-      continue;
-    }
-    skb_reserve(skb, 2);
-    hw->RxDequeue(skb_put(skb, frame_len));
-    dev->stats.rx_packets += 1;
-    dev->stats.rx_bytes += frame_len;
-    if (dev->netif_rx != nullptr && dev->opened) {
-      dev->netif_rx(dev->netif_rx_ctx, dev, skb);
-    } else {
-      kfree_skb(dev->kenv, skb);
-    }
+  size_t frame_len = hw->RxFrameSize();
+  // Classic Linux 2.0 receive: allocate len+2, reserve 2 so the IP header
+  // lands 4-byte aligned past the 14-byte Ethernet header.
+  sk_buff* skb = dev_alloc_skb(dev->kenv, frame_len + 2);
+  if (skb == nullptr) {
+    // Out of memory: drop the frame (drain it so the ring advances).
+    uint8_t discard[oskit::kEtherMaxFrame];
+    hw->RxDequeue(discard);
+    dev->stats.rx_dropped += 1;
+    return;
   }
+  skb_reserve(skb, 2);
+  hw->RxDequeue(skb_put(skb, frame_len));
+  dev->stats.rx_packets += 1;
+  dev->stats.rx_bytes += frame_len;
+  if (dev->netif_rx != nullptr && dev->opened) {
+    dev->netif_rx(dev->netif_rx_ctx, dev, skb);
+  } else {
+    kfree_skb(dev->kenv, skb);
+  }
+}
+
+}  // namespace
+
+void simnic_interrupt(linux_device* dev) {
+  while (dev->priv->RxPending()) {
+    simnic_rx_one(dev);
+  }
+}
+
+int simnic_poll(linux_device* dev, int budget) {
+  int done = 0;
+  while (done < budget && dev->priv->RxPending()) {
+    simnic_rx_one(dev);
+    ++done;
+  }
+  return done;
 }
 
 }  // namespace oskit::linuxdev

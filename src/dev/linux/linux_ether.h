@@ -65,8 +65,17 @@ struct linux_device {
 // station address.  Returns 0 on success.
 int simnic_probe(linux_device* dev, oskit::NicHw* hw);
 
-// The driver's interrupt handler; the glue attaches it to the IRQ.
+// The driver's interrupt handler; the glue attaches it to the IRQ.  Drains
+// the whole RX ring (the classic per-frame-IRQ receive loop).
 void simnic_interrupt(linux_device* dev);
+
+// NAPI-style budgeted receive: drains at most `budget` frames from the RX
+// ring and returns how many were delivered (OOM drops count against the
+// budget — they consumed ring slots).  The caller owns the interrupt
+// discipline: mask the RX IRQ before polling, re-enable and RE-CHECK the
+// ring afterwards (frames arriving between the last RxPending() check and
+// the re-enable raise no interrupt).
+int simnic_poll(linux_device* dev, int budget);
 
 }  // namespace oskit::linuxdev
 

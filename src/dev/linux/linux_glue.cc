@@ -32,15 +32,19 @@ Error SkBuffIo::Query(const Guid& iid, void** out) {
   return Error::kNoInterface;
 }
 
+// Bounds discipline for all three accessors: off_t64 is unsigned, so a
+// "negative" offset arrives as a huge value and `offset + amount` can wrap
+// back into range.  Check the offset against the length FIRST, then compare
+// the amount against the remainder (subtraction form — cannot overflow).
+// These checks guard memcpy ranges reachable from the COM BufIo surface.
+
 Error SkBuffIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
   *out_actual = 0;
   if (offset > skb_->len) {
     return Error::kOutOfRange;
   }
-  size_t n = amount;
-  if (offset + n > skb_->len) {
-    n = skb_->len - offset;
-  }
+  size_t avail = skb_->len - static_cast<size_t>(offset);
+  size_t n = amount < avail ? amount : avail;
   std::memcpy(buf, skb_->data + offset, n);
   *out_actual = n;
   return Error::kOk;
@@ -49,7 +53,7 @@ Error SkBuffIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actua
 Error SkBuffIo::Write(const void* buf, off_t64 offset, size_t amount,
                       size_t* out_actual) {
   *out_actual = 0;
-  if (offset + amount > skb_->len) {
+  if (offset > skb_->len || amount > skb_->len - static_cast<size_t>(offset)) {
     return Error::kOutOfRange;
   }
   std::memcpy(skb_->data + offset, buf, amount);
@@ -64,7 +68,7 @@ Error SkBuffIo::GetSize(off_t64* out_size) {
 
 Error SkBuffIo::Map(void** out_addr, off_t64 offset, size_t amount) {
   // An skbuff is always contiguous: mapping always succeeds in bounds.
-  if (offset + amount > skb_->len) {
+  if (offset > skb_->len || amount > skb_->len - static_cast<size_t>(offset)) {
     return Error::kOutOfRange;
   }
   *out_addr = skb_->data + offset;
@@ -127,8 +131,14 @@ LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
                        {"glue.send.copied_bytes", &counters_.copied_bytes},
                        {"glue.recv.push_errors", &counters_.rx_push_errors},
                        {"glue.recv.oom_drops", &counters_.rx_oom_drops},
-                       {"glue.recv.watchdog_recoveries",
-                        &counters_.rx_watchdog_recoveries}});
+                       {"glue.recov.rx_watchdog",
+                        &counters_.rx_watchdog_recoveries},
+                       {"glue.rx.poll.polls", &counters_.rx_polls},
+                       {"glue.rx.poll.frames", &counters_.rx_poll_frames},
+                       {"glue.rx.poll.budget_exhausted",
+                        &counters_.rx_poll_budget_exhausted},
+                       {"glue.rx.poll.reenable_races",
+                        &counters_.rx_poll_reenable_races}});
   libc::Snprintf(dev_.name, sizeof(dev_.name), "%s", name_.c_str());
   dev_.kenv.kmalloc = &GlueKmalloc;
   dev_.kenv.kfree = &GlueKfree;
@@ -139,9 +149,21 @@ LinuxEtherDev::LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name)
 
 LinuxEtherDev::~LinuxEtherDev() {
   CancelRxWatchdog();
+  CancelRxPollEvents();
   if (dev_.opened) {
     env_.irq_detach(env_.ctx, dev_.irq);
     dev_.stop(&dev_);
+  }
+}
+
+void LinuxEtherDev::SetRxPoll(const RxPollConfig& config) {
+  OSKIT_ASSERT_MSG(config.budget >= 1, "poll budget below 1");
+  poll_ = config;
+  if (!poll_.enabled) {
+    CancelRxPollEvents();
+    if (dev_.opened) {
+      dev_.priv->EnableRxInterrupt(true);
+    }
   }
 }
 
@@ -206,13 +228,22 @@ void LinuxEtherDev::RxWatchdogTick() {
   if (!dev_.opened) {
     return;
   }
-  if (dev_.priv->RxPending()) {
+  // Frames waiting with a poll or re-enable pass already queued are being
+  // handled, not stranded; only recover when nothing is in flight.
+  if (dev_.priv->RxPending() && !RxPollInFlight()) {
     // Frames are sitting in the ring with no interrupt in sight: the IRQ
-    // was lost.  Run the handler by hand, like a Linux driver's dev->tx/rx
-    // timeout path.
+    // was lost (under coalescing, a lost IRQ strands the whole batch).
+    // Run the handler by hand, like a Linux driver's dev->tx/rx timeout
+    // path — through the poll loop when polling is on, so recovery keeps
+    // the budget and batching discipline.
     ++counters_.rx_watchdog_recoveries;
-    simnic_interrupt(&dev_);
-    SyncRxStats();
+    if (poll_.enabled) {
+      dev_.priv->EnableRxInterrupt(false);
+      ScheduleRxPoll(0);
+    } else {
+      simnic_interrupt(&dev_);
+      SyncRxStats();
+    }
   }
   ArmRxWatchdog();
 }
@@ -224,22 +255,109 @@ void LinuxEtherDev::CancelRxWatchdog() {
   }
 }
 
+// ---- Polled receive (NAPI-style) ----
+
+void LinuxEtherDev::RxIrq() {
+  if (!poll_.enabled) {
+    // 1997 behaviour: drain the whole ring at interrupt level, one IRQ per
+    // frame arriving later.
+    simnic_interrupt(&dev_);
+    SyncRxStats();
+    return;
+  }
+  if (RxPollInFlight()) {
+    return;  // spurious or raced IRQ: a drain is already on its way
+  }
+  // Mask further RX interrupts and defer the drain to the budgeted poll.
+  dev_.priv->EnableRxInterrupt(false);
+  ScheduleRxPoll(poll_.softirq_delay_ns);
+}
+
+void LinuxEtherDev::ScheduleRxPoll(uint64_t delay_ns) {
+  poll_token_ =
+      env_.timer_start(env_.ctx, delay_ns, [this] { RxPollDispatch(); });
+}
+
+void LinuxEtherDev::RxPollDispatch() {
+  poll_token_ = nullptr;
+  if (!dev_.opened) {
+    return;
+  }
+  ++counters_.rx_polls;
+  if (batch_recv_) {
+    batch_recv_->BeginBatch();
+  }
+  int n = simnic_poll(&dev_, poll_.budget);
+  counters_.rx_poll_frames += static_cast<uint64_t>(n);
+  SyncRxStats();
+  if (batch_recv_) {
+    batch_recv_->EndBatch();
+  }
+  if (n >= poll_.budget && dev_.priv->RxPending()) {
+    // Budget exhausted with work left: stay in polled mode (interrupts
+    // remain masked) and take another pass.
+    ++counters_.rx_poll_budget_exhausted;
+    ScheduleRxPoll(poll_.softirq_delay_ns);
+    return;
+  }
+  reenable_token_ =
+      env_.timer_start(env_.ctx, poll_.reenable_delay_ns, [this] { RxReenable(); });
+}
+
+void LinuxEtherDev::RxReenable() {
+  reenable_token_ = nullptr;
+  if (!dev_.opened) {
+    return;
+  }
+  dev_.priv->EnableRxInterrupt(true);
+  // THE race: a frame that arrived after the poll's final RxPending() check
+  // and before this re-enable raised no interrupt, and re-enabling does not
+  // replay it.  Without this re-check it strands until the watchdog's 10 ms
+  // sweep — the classic NAPI exit bug.
+  if (dev_.priv->RxPending()) {
+    ++counters_.rx_poll_reenable_races;
+    dev_.priv->EnableRxInterrupt(false);
+    ScheduleRxPoll(poll_.softirq_delay_ns);
+  }
+}
+
+void LinuxEtherDev::CancelRxPollEvents() {
+  if (env_.timer_cancel == nullptr) {
+    poll_token_ = nullptr;
+    reenable_token_ = nullptr;
+    return;
+  }
+  if (poll_token_ != nullptr) {
+    env_.timer_cancel(env_.ctx, poll_token_);
+    poll_token_ = nullptr;
+  }
+  if (reenable_token_ != nullptr) {
+    env_.timer_cancel(env_.ctx, reenable_token_);
+    reenable_token_ = nullptr;
+  }
+}
+
 Error LinuxEtherDev::Open(NetIo* recv, NetIo** out_send) {
   if (dev_.opened) {
     return Error::kBusy;
   }
   client_recv_ = ComPtr<NetIo>::Retain(recv);
+  // Discover the client's batch face (§4.4.2: extension by Query) so the
+  // poll loop can bracket a burst; a plain NetIo client gets per-frame
+  // delivery, unchanged.
+  void* batch_raw = nullptr;
+  if (Ok(recv->Query(NetIoBatch::kIid, &batch_raw))) {
+    batch_recv_ = ComPtr<NetIoBatch>(static_cast<NetIoBatch*>(batch_raw));
+  }
   dev_.netif_rx = &LinuxEtherDev::NetifRxThunk;
   dev_.netif_rx_ctx = this;
   int rc = dev_.open(&dev_);
   if (rc != 0) {
     client_recv_.Reset();
+    batch_recv_.Reset();
     return Error::kIo;
   }
-  env_.irq_attach(env_.ctx, dev_.irq, [this] {
-    simnic_interrupt(&dev_);
-    SyncRxStats();
-  });
+  env_.irq_attach(env_.ctx, dev_.irq, [this] { RxIrq(); });
   ArmRxWatchdog();
   *out_send = new LinuxSendNetIo(this);
   return Error::kOk;
@@ -250,9 +368,11 @@ Error LinuxEtherDev::Close() {
     return Error::kOk;
   }
   CancelRxWatchdog();
+  CancelRxPollEvents();
   env_.irq_detach(env_.ctx, dev_.irq);
   dev_.stop(&dev_);
   client_recv_.Reset();
+  batch_recv_.Reset();
   return Error::kOk;
 }
 

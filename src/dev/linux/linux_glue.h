@@ -73,7 +73,8 @@ class LinuxEtherDev final : public Device,
                             public RefCounted<LinuxEtherDev> {
  public:
   // Boundary counters, registered with the trace environment's registry
-  // under "glue.send.*" / "glue.recv.*".
+  // under "glue.send.*" / "glue.recv.*" / "glue.rx.poll.*" /
+  // "glue.recov.*".
   struct Counters {
     trace::Counter native_passthrough;  // our own skbuff handed back: no work
     trace::Counter fake_skbuff;         // foreign buffer mapped: zero copy
@@ -84,6 +85,25 @@ class LinuxEtherDev final : public Device,
     trace::Counter rx_push_errors;      // client NetIo::Push refused a frame
     trace::Counter rx_oom_drops;        // driver dropped: no skbuff memory
     trace::Counter rx_watchdog_recoveries;  // ring drained after a lost IRQ
+    trace::Counter rx_polls;            // budgeted poll dispatches
+    trace::Counter rx_poll_frames;      // frames delivered by those polls
+    trace::Counter rx_poll_budget_exhausted;  // polls that hit the budget
+    trace::Counter rx_poll_reenable_races;    // frames caught by the re-check
+  };
+
+  // NAPI-style polled receive.  Disabled by default (per-frame 1997
+  // behaviour, the ablation baseline).  When enabled, the ISR masks the RX
+  // interrupt and defers to a budgeted poll: drain up to `budget` frames,
+  // then either keep polling (budget exhausted) or re-enable the interrupt
+  // and RE-CHECK the ring — a frame can arrive between the final drain and
+  // the re-enable, raising no IRQ (the hardware does not latch); without
+  // the re-check it strands until the watchdog.  The delays model softirq
+  // scheduling and the ISR exit path.
+  struct RxPollConfig {
+    bool enabled = false;
+    int budget = 16;
+    uint64_t softirq_delay_ns = 2 * 1000;   // IRQ -> poll dispatch
+    uint64_t reenable_delay_ns = 2 * 1000;  // last drain -> re-enable+re-check
   };
 
   LinuxEtherDev(const FdevEnv& env, NicHw* hw, std::string name);
@@ -104,6 +124,9 @@ class LinuxEtherDev final : public Device,
   const Counters& counters() const { return counters_; }
   const net_device_stats& device_stats() const { return dev_.stats; }
 
+  void SetRxPoll(const RxPollConfig& config);
+  const RxPollConfig& rx_poll_config() const { return poll_; }
+
   // Transmit entry used by the send-side NetIo.
   Error Transmit(BufIo* packet, size_t size);
 
@@ -121,15 +144,29 @@ class LinuxEtherDev final : public Device,
   void RxWatchdogTick();
   void CancelRxWatchdog();
 
+  // Polled-RX machinery (see RxPollConfig).
+  void RxIrq();             // the ISR: per-frame drain, or mask + defer
+  void RxPollDispatch();    // budgeted drain, batched into the stack
+  void RxReenable();        // re-enable the interrupt, then re-check
+  void ScheduleRxPoll(uint64_t delay_ns);
+  void CancelRxPollEvents();
+  bool RxPollInFlight() const {
+    return poll_token_ != nullptr || reenable_token_ != nullptr;
+  }
+
   FdevEnv env_;
   linux_device dev_;
   std::string name_;
   ComPtr<NetIo> client_recv_;
+  ComPtr<NetIoBatch> batch_recv_;  // client_recv_'s batch face, if it has one
   trace::TraceEnv* trace_;
   Counters counters_;
   trace::CounterBlock trace_binding_;
   uint64_t last_rx_dropped_ = 0;
   void* watchdog_token_ = nullptr;
+  RxPollConfig poll_;
+  void* poll_token_ = nullptr;      // pending RxPollDispatch timer
+  void* reenable_token_ = nullptr;  // pending RxReenable timer
 };
 
 // §5's fdev_linux_init_ethernet + fdev_probe rolled together: probes every

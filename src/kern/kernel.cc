@@ -39,6 +39,19 @@ KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode slee
   pit.SetFaultEnv(fault_);
   for (const auto& nic : machine_->nics()) {
     nic->SetFaultEnv(fault_);
+    // Per-NIC interrupt-coalescing counters; with several NICs the registry
+    // reports the sum, like every other multi-instance binding.
+    auto block = std::make_unique<trace::CounterBlock>();
+    block->Bind(&trace_->registry,
+                {{"nic.rx.coalesce.frames", &nic->rx_coalesce_frames_counter()},
+                 {"nic.rx.coalesce.irqs", &nic->rx_coalesce_irqs_counter()},
+                 {"nic.rx.coalesce.threshold_fires",
+                  &nic->rx_coalesce_threshold_counter()},
+                 {"nic.rx.coalesce.holdoff_fires",
+                  &nic->rx_coalesce_holdoff_counter()},
+                 {"nic.rx.coalesce.ring_fallback_fires",
+                  &nic->rx_coalesce_ring_counter()}});
+    nic_counters_.push_back(std::move(block));
   }
   for (const auto& disk : machine_->disks()) {
     disk->SetFaultEnv(fault_);

@@ -108,6 +108,7 @@ class KernelEnv {
   fault::FaultEnv* fault_;
   trace::CounterBlock cpu_counters_;
   std::vector<std::unique_ptr<trace::CounterBlock>> disk_counters_;
+  std::vector<std::unique_ptr<trace::CounterBlock>> nic_counters_;
   Lmm lmm_;
   LmmRegion region_low_;    // < 1 MB
   LmmRegion region_dma_;    // 1..16 MB

@@ -249,9 +249,61 @@ void KernelMonitor::CmdFault(const std::string& args) {
   }
 }
 
+void KernelMonitor::CmdNicMit(const std::string& args) {
+  const auto& nics = kernel_->machine().nics();
+  if (nics.empty()) {
+    Print("no NICs on this machine\n");
+    return;
+  }
+  if (args.empty()) {
+    size_t idx = 0;
+    for (const auto& nic : nics) {
+      const NicHw::RxMitigation& mit = nic->rx_mitigation();
+      Print("nic%llu: threshold=%llu holdoff_us=%llu ring_fallback=%llu "
+            "frames=%llu irqs=%llu\n",
+            static_cast<unsigned long long>(idx++),
+            static_cast<unsigned long long>(mit.frame_threshold),
+            static_cast<unsigned long long>(mit.holdoff_ns / 1000),
+            static_cast<unsigned long long>(mit.ring_fallback),
+            static_cast<unsigned long long>(nic->rx_coalesce_frames_counter()),
+            static_cast<unsigned long long>(nic->rx_coalesce_irqs_counter()));
+    }
+    return;
+  }
+  // nicmit <idx> <threshold> <holdoff_us> — three numbers, parsed by hand
+  // (ParseNumbers stops at two).
+  const char* p = args.c_str();
+  const char* end = nullptr;
+  uint64_t idx = static_cast<uint64_t>(libc::Strtoul(p, &end, 0));
+  bool ok = end != p;
+  p = end;
+  uint64_t threshold = static_cast<uint64_t>(libc::Strtoul(p, &end, 0));
+  ok = ok && end != p;
+  p = end;
+  uint64_t holdoff_us = static_cast<uint64_t>(libc::Strtoul(p, &end, 0));
+  ok = ok && end != p;
+  if (!ok || threshold < 1) {
+    Print("usage: nicmit | nicmit <idx> <threshold> <holdoff_us>\n");
+    return;
+  }
+  if (idx >= nics.size()) {
+    Print("no such NIC\n");
+    return;
+  }
+  NicHw::RxMitigation mit = nics[idx]->rx_mitigation();
+  mit.frame_threshold = threshold;
+  mit.holdoff_ns = holdoff_us * 1000;
+  nics[idx]->SetRxMitigation(mit);
+  Print("nic%llu: threshold=%llu holdoff_us=%llu\n",
+        static_cast<unsigned long long>(idx),
+        static_cast<unsigned long long>(threshold),
+        static_cast<unsigned long long>(holdoff_us));
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
         "counters [prefix] | trace dump|clear | fault [arm|disarm|seed] | "
+        "nicmit [idx threshold holdoff_us] | "
         "s step | c continue | halt | help\n");
 }
 
@@ -284,6 +336,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdTrace(args);
     } else if (cmd == "fault") {
       CmdFault(args);
+    } else if (cmd == "nicmit") {
+      CmdNicMit(args);
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

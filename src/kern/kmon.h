@@ -19,6 +19,8 @@
 //   fault arm <site> <pct> [nth]   arm a site (percent probability / nth call)
 //   fault disarm <site>|all        disarm one site or every site
 //   fault seed <n>    reseed the fault environment (resets call/fire counts)
+//   nicmit            show each NIC's RX interrupt-mitigation registers
+//   nicmit <idx> <threshold> <holdoff_us>   program a NIC's mitigation
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -64,6 +66,7 @@ class KernelMonitor {
   void CmdCounters(const std::string& args);
   void CmdTrace(const std::string& args);
   void CmdFault(const std::string& args);
+  void CmdNicMit(const std::string& args);
   void CmdHelp();
 
   KernelEnv* kernel_;

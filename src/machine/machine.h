@@ -56,7 +56,8 @@ class Machine {
 
   NicHw* AddNic(EthernetWire* wire, const EtherAddr& mac,
                 int irq = NicHw::kDefaultIrq) {
-    nics_.push_back(std::make_unique<NicHw>(wire, &pic_, mac, irq));
+    nics_.push_back(
+        std::make_unique<NicHw>(wire, &pic_, &sim_->clock(), mac, irq));
     return nics_.back().get();
   }
 

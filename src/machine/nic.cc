@@ -6,12 +6,29 @@
 
 namespace oskit {
 
+NicHw::~NicHw() { CancelHoldoff(); }
+
+void NicHw::SetRxMitigation(const RxMitigation& mit) {
+  OSKIT_ASSERT_MSG(mit.frame_threshold >= 1, "threshold below 1");
+  OSKIT_ASSERT_MSG(mit.ring_fallback >= 1, "ring fallback below 1");
+  mit_ = mit;
+  if (mit_.holdoff_ns == 0) {
+    CancelHoldoff();
+  }
+}
+
 size_t NicHw::RxDequeue(uint8_t* buf) {
   OSKIT_ASSERT_MSG(!rx_ring_.empty(), "RX dequeue on empty ring");
   const std::vector<uint8_t>& frame = rx_ring_.front();
   size_t len = frame.size();
   std::memcpy(buf, frame.data(), len);
   rx_ring_.pop_front();
+  // A drained frame no longer needs announcing; without this clamp a
+  // polled driver would see stale threshold IRQs for frames it already
+  // consumed.
+  if (unannounced_ > rx_ring_.size()) {
+    unannounced_ = rx_ring_.size();
+  }
   return len;
 }
 
@@ -72,12 +89,55 @@ void NicHw::FrameArrived(const uint8_t* frame, size_t len) {
     stored[at] ^= 0xff;
     ++rx_corrupted_;
   }
-  if (rx_interrupt_enabled_) {
-    if (fault_->ShouldFail("nic.rx.miss_irq")) {
-      ++rx_irqs_missed_;  // frame is in the ring; only the IRQ is lost
-      return;
-    }
-    pic_->RaiseIrq(irq_);
+  ++rx_coalesce_frames_;
+  if (!rx_interrupt_enabled_) {
+    // The driver is polling with interrupts masked: the frame sits in the
+    // ring unannounced.  Nothing fires when the interrupt is re-enabled,
+    // either — that is the race the poll loop's re-check closes.
+    return;
+  }
+  ++unannounced_;
+  if (unannounced_ >= mit_.frame_threshold) {
+    ++rx_coalesce_threshold_;
+    RaiseRxIrq();
+    return;
+  }
+  if (rx_ring_.size() >= mit_.ring_fallback) {
+    ++rx_coalesce_ring_;
+    RaiseRxIrq();
+    return;
+  }
+  if (mit_.holdoff_ns > 0 && holdoff_event_ == SimClock::kInvalidEvent) {
+    holdoff_event_ =
+        clock_->ScheduleAfter(mit_.holdoff_ns, [this] { HoldoffFired(); });
+  }
+}
+
+void NicHw::RaiseRxIrq() {
+  unannounced_ = 0;
+  CancelHoldoff();
+  if (fault_->ShouldFail("nic.rx.miss_irq")) {
+    // The announcement is consumed but the line never asserts: every frame
+    // batched behind it strands until software notices (the RX watchdog).
+    ++rx_irqs_missed_;
+    return;
+  }
+  ++rx_coalesce_irqs_;
+  pic_->RaiseIrq(irq_);
+}
+
+void NicHw::HoldoffFired() {
+  holdoff_event_ = SimClock::kInvalidEvent;
+  if (rx_interrupt_enabled_ && unannounced_ > 0) {
+    ++rx_coalesce_holdoff_;
+    RaiseRxIrq();
+  }
+}
+
+void NicHw::CancelHoldoff() {
+  if (holdoff_event_ != SimClock::kInvalidEvent) {
+    clock_->Cancel(holdoff_event_);
+    holdoff_event_ = SimClock::kInvalidEvent;
   }
 }
 

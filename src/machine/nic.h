@@ -5,13 +5,27 @@
 // start — and raises its IRQ when a frame for this station arrives.  It does
 // hardware-level destination filtering (own MAC, broadcast, promiscuous).
 //
+// Interrupt mitigation: the RX IRQ is governed by coalescing "registers"
+// (RxMitigation).  The IRQ fires when `frame_threshold` frames have arrived
+// since the last announcement, or when a `holdoff_ns` timer armed by the
+// first unannounced frame expires, whichever comes first; `ring_fallback`
+// is a ring-occupancy safety net so a deep ring never strands frames behind
+// a long holdoff.  The power-on defaults (threshold 1, no holdoff) reproduce
+// the classic one-interrupt-per-frame behaviour exactly.  Like real
+// hardware, re-enabling the RX interrupt does NOT retroactively announce
+// frames that arrived while it was disabled — software running a polled
+// receive loop must re-check the ring after re-enabling (the classic NAPI
+// race; the Linux glue's poll path does, and tests depend on it).
+//
 // Fault injection (src/fault): with an environment bound, the NIC honours
 //   nic.tx.drop     — frame accepted by the "hardware" but never reaches
 //                     the wire (cable/transceiver fault),
 //   nic.rx.corrupt  — one byte of the received frame flips in the RX ring
 //                     (checksum offload is for later decades),
 //   nic.rx.miss_irq — frame lands in the ring but the interrupt is lost
-//                     (the classic missed-IRQ race drivers watchdog for),
+//                     (the classic missed-IRQ race drivers watchdog for);
+//                     under coalescing a lost IRQ swallows the whole
+//                     announcement, stranding every batched frame,
 //   nic.irq.spurious — an extra, causeless IRQ is raised on transmit.
 
 #ifndef OSKIT_SRC_MACHINE_NIC_H_
@@ -23,8 +37,10 @@
 
 #include "src/com/etherdev.h"
 #include "src/fault/fault.h"
+#include "src/machine/clock.h"
 #include "src/machine/pic.h"
 #include "src/machine/wire.h"
+#include "src/trace/counters.h"
 
 namespace oskit {
 
@@ -33,10 +49,20 @@ class NicHw final : public WireEndpoint {
   static constexpr int kDefaultIrq = 11;
   static constexpr size_t kRxRingCapacity = 64;
 
-  NicHw(EthernetWire* wire, Pic* pic, const EtherAddr& mac, int irq = kDefaultIrq)
-      : wire_(wire), pic_(pic), mac_(mac), irq_(irq) {
+  // RX interrupt coalescing registers (see file comment).  Defaults model
+  // the 1997 hardware: every frame announces itself.
+  struct RxMitigation {
+    size_t frame_threshold = 1;  // raise after N unannounced frames
+    uint64_t holdoff_ns = 0;     // ... or this long after the first one
+    size_t ring_fallback = kRxRingCapacity * 3 / 4;  // occupancy safety net
+  };
+
+  NicHw(EthernetWire* wire, Pic* pic, SimClock* clock, const EtherAddr& mac,
+        int irq = kDefaultIrq)
+      : wire_(wire), pic_(pic), clock_(clock), mac_(mac), irq_(irq) {
     wire->Attach(this);
   }
+  ~NicHw() override;
 
   const EtherAddr& mac() const { return mac_; }
   int irq() const { return irq_; }
@@ -44,6 +70,9 @@ class NicHw final : public WireEndpoint {
   void SetPromiscuous(bool on) { promiscuous_ = on; }
   void EnableRxInterrupt(bool on) { rx_interrupt_enabled_ = on; }
   void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
+
+  void SetRxMitigation(const RxMitigation& mit);
+  const RxMitigation& rx_mitigation() const { return mit_; }
 
   // ---- Driver-facing "registers" ----
   bool RxPending() const { return !rx_ring_.empty(); }
@@ -73,6 +102,14 @@ class NicHw final : public WireEndpoint {
   uint64_t rx_irqs_missed() const { return rx_irqs_missed_; }
   uint64_t tx_gathers() const { return tx_gathers_; }
 
+  // Coalescing counters, bound into the per-machine registry by KernelEnv
+  // under "nic.rx.coalesce.*".
+  trace::Counter& rx_coalesce_frames_counter() { return rx_coalesce_frames_; }
+  trace::Counter& rx_coalesce_irqs_counter() { return rx_coalesce_irqs_; }
+  trace::Counter& rx_coalesce_threshold_counter() { return rx_coalesce_threshold_; }
+  trace::Counter& rx_coalesce_holdoff_counter() { return rx_coalesce_holdoff_; }
+  trace::Counter& rx_coalesce_ring_counter() { return rx_coalesce_ring_; }
+
  private:
   bool AcceptsFrame(const uint8_t* frame, size_t len) const;
 
@@ -80,12 +117,22 @@ class NicHw final : public WireEndpoint {
   // Returns false when the frame is eaten before reaching the wire.
   bool TxGate();
 
+  // Announces pending frames: resets the coalescing state and raises the
+  // IRQ (unless the fault model loses it — then the whole batch strands).
+  void RaiseRxIrq();
+  void HoldoffFired();
+  void CancelHoldoff();
+
   EthernetWire* wire_;
   Pic* pic_;
+  SimClock* clock_;
   EtherAddr mac_;
   int irq_;
   bool promiscuous_ = false;
   bool rx_interrupt_enabled_ = false;
+  RxMitigation mit_;
+  size_t unannounced_ = 0;  // frames enqueued since the last IRQ
+  SimClock::EventId holdoff_event_ = SimClock::kInvalidEvent;
   std::deque<std::vector<uint8_t>> rx_ring_;
   uint64_t rx_frames_ = 0;
   uint64_t rx_overruns_ = 0;
@@ -94,6 +141,11 @@ class NicHw final : public WireEndpoint {
   uint64_t rx_corrupted_ = 0;
   uint64_t rx_irqs_missed_ = 0;
   uint64_t tx_gathers_ = 0;
+  trace::Counter rx_coalesce_frames_;
+  trace::Counter rx_coalesce_irqs_;
+  trace::Counter rx_coalesce_threshold_;
+  trace::Counter rx_coalesce_holdoff_;
+  trace::Counter rx_coalesce_ring_;
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
 };
 

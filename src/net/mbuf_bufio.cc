@@ -30,13 +30,13 @@ Error MbufBufIo::Query(const Guid& iid, void** out) {
 Error MbufBufIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
   *out_actual = 0;
   size_t total = chain_->pkt_len;
+  // off_t64 is unsigned: check the offset first, then compare the amount
+  // against the remainder (subtraction form — `offset + amount` can wrap).
   if (offset > total) {
     return Error::kOutOfRange;
   }
-  size_t n = amount;
-  if (offset + n > total) {
-    n = total - offset;
-  }
+  size_t avail = total - static_cast<size_t>(offset);
+  size_t n = amount < avail ? amount : avail;
   pool_->CopyData(chain_, offset, n, buf);
   *out_actual = n;
   return Error::kOk;
@@ -65,7 +65,9 @@ Error MbufBufIo::Map(void** out_addr, off_t64 offset, size_t amount) {
     off -= m->len;
     m = m->next;
   }
-  if (m == nullptr || off + amount > m->len) {
+  // Subtraction form: `off + amount` can wrap with a huge amount, yielding
+  // an in-"range" pointer past the mbuf.
+  if (m == nullptr || amount > m->len - static_cast<size_t>(off)) {
     return Error::kNotImpl;
   }
   *out_addr = m->data + off;
@@ -79,7 +81,8 @@ Error MbufBufIo::Unmap(void* addr, off_t64 offset, size_t amount) {
 Error MbufBufIo::Vectors(BufIoSegment* out_segs, size_t cap, off_t64 offset,
                          size_t amount, size_t* out_count) {
   *out_count = 0;
-  if (offset + amount > chain_->pkt_len) {
+  if (offset > chain_->pkt_len ||
+      amount > chain_->pkt_len - static_cast<size_t>(offset)) {
     return Error::kOutOfRange;
   }
   const MBuf* m = chain_;

@@ -82,8 +82,8 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
   pcb->snd_max = pcb->snd_nxt;
   pcb->snd_cwnd = pcb->mss;
   pcb->snd_ssthresh = 65535;
-  pcb->snd.hiwat = kDefaultBufSize;
-  pcb->rcv.hiwat = kDefaultBufSize;
+  pcb->snd.hiwat = default_sock_buf_;
+  pcb->rcv.hiwat = default_sock_buf_;
   pcb->state = TcpState::kSynSent;
   pcb->conn_timer = 60;  // 30 s
   TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn, nullptr, 0, 0, /*with_mss=*/true);

@@ -98,6 +98,8 @@ NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
        {"net.tcp.retransmits", &counters_.tcp_retransmits},
        {"net.tcp.fast_retransmits", &counters_.tcp_fast_retransmits},
        {"net.tcp.delayed_acks", &counters_.tcp_delayed_acks},
+       {"net.tcp.rx_batches", &counters_.tcp_rx_batches},
+       {"net.tcp.batched_outputs", &counters_.tcp_batched_outputs},
        {"net.tcp.ooo_segments", &counters_.tcp_ooo_segments},
        {"net.tcp.rst_out", &counters_.tcp_rst_out},
        {"net.rx.glue_copied_bytes", &counters_.rx_glue_copied_bytes},
@@ -242,21 +244,28 @@ void NetStack::SbFlush(SockBuf* sb) {
 // ---------------------------------------------------------------------------
 
 // The stack's receive-side NetIo handed to COM-bound drivers: the callback
-// half of the §5 exchange.
-class StackRecvNetIo final : public NetIo, public RefCounted<StackRecvNetIo> {
+// half of the §5 exchange.  It additionally implements NetIoBatch (the
+// §4.4.2 extension idiom: same object, richer interface discovered via
+// Query) so a polled driver can bracket a burst of frames and pay one TCP
+// response pass for the lot.
+class StackRecvNetIo final : public NetIoBatch,
+                             public RefCounted<StackRecvNetIo> {
  public:
   StackRecvNetIo(NetStack* stack, int ifindex) : stack_(stack), ifindex_(ifindex) {}
 
   Error Query(const Guid& iid, void** out) override {
-    if (iid == IUnknown::kIid || iid == NetIo::kIid) {
+    if (iid == IUnknown::kIid || iid == NetIo::kIid || iid == NetIoBatch::kIid) {
       AddRef();
-      *out = static_cast<NetIo*>(this);
+      *out = static_cast<NetIoBatch*>(this);
       return Error::kOk;
     }
     *out = nullptr;
     return Error::kNoInterface;
   }
   OSKIT_REFCOUNTED_BOILERPLATE()
+
+  void BeginBatch() override { stack_->BeginRxBatch(); }
+  void EndBatch() override { stack_->EndRxBatch(); }
 
   Error Push(BufIo* packet, size_t size) override {
     // Import the foreign packet: zero-copy when it maps (§4.7.3), unless

@@ -257,6 +257,8 @@ class NetStack {
     trace::Counter tcp_retransmits;
     trace::Counter tcp_fast_retransmits;
     trace::Counter tcp_delayed_acks;
+    trace::Counter tcp_rx_batches;        // non-empty NetIoBatch brackets
+    trace::Counter tcp_batched_outputs;   // output passes deferred to EndBatch
     trace::Counter tcp_ooo_segments;
     trace::Counter tcp_rst_out;
     trace::Counter rx_glue_copied_bytes;  // forced-copy ablation counter
@@ -300,8 +302,24 @@ class NetStack {
   // Native-driver ingress: a complete Ethernet frame as an mbuf chain.
   void EtherInputMbuf(int ifindex, MBuf* frame);
 
+  // ---- RX batching (the NetIoBatch bracket, driven by a polled driver) ----
+  // Between BeginRxBatch and EndRxBatch, TcpInput defers its per-segment
+  // response transmission (ACKs, window-opened sends); EndRxBatch runs one
+  // TcpOutput pass per touched connection, so a poll burst costs one
+  // delayed-ACK/scheduling pass instead of one per frame.
+  void BeginRxBatch();
+  void EndRxBatch();
+
   // Default socket buffer size (ttcp-era BSD default).
   static constexpr size_t kDefaultBufSize = 32 * 1024;
+
+  // New connections size snd/rcv buffers from this (default above; capped
+  // by the 16-bit advertised window — there is no window scaling here).
+  // Mitigated-RX configurations raise it: coalescing parks up to ~1 ms of
+  // traffic per batch, and at 100 Mbps the bandwidth-delay product across
+  // that holdoff needs a deeper window to keep the wire full.
+  void SetDefaultSockBuf(size_t bytes) { default_sock_buf_ = bytes; }
+  size_t default_sock_buf() const { return default_sock_buf_; }
 
   // Ablation hook: when set, the COM receive path copies foreign packets
   // instead of mapping them (disables the §4.7.3 zero-copy import).
@@ -467,8 +485,20 @@ class NetStack {
   std::list<std::unique_ptr<TcpPcb>> tcp_pcbs_;
   std::list<std::unique_ptr<UdpPcb>> udp_pcbs_;
 
+  // Connections touched while an RX batch is open, with the strongest
+  // force_ack seen; flushed (after a liveness check against tcp_pcbs_ —
+  // input inside the batch may have freed a pcb) by EndRxBatch.
+  void RxBatchDefer(TcpPcb* pcb, bool force_ack);
+  struct RxBatchEntry {
+    TcpPcb* pcb;
+    bool force_ack;
+  };
+  bool rx_batch_active_ = false;
+  std::vector<RxBatchEntry> rx_batch_;
+
   bool force_rx_copy_ = false;
   bool force_tx_flatten_ = false;
+  size_t default_sock_buf_ = kDefaultBufSize;
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
   SimClock::EventId fast_timer_ = SimClock::kInvalidEvent;
   SimClock::EventId slow_timer_ = SimClock::kInvalidEvent;

@@ -512,8 +512,8 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
     }
     child->snd_cwnd = child->mss;
     child->snd_ssthresh = kMaxWindow;
-    child->snd.hiwat = kDefaultBufSize;
-    child->rcv.hiwat = kDefaultBufSize;
+    child->snd.hiwat = default_sock_buf_;
+    child->rcv.hiwat = default_sock_buf_;
     child->state = TcpState::kSynReceived;
     child->conn_timer = kConnTimeoutTicks;
     TcpPcb* child_raw = child.get();
@@ -766,10 +766,49 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
     sleep_wakeup_.Wakeup(&pcb->rcv);
   }
 
-  if (send_now) {
+  if (rx_batch_active_) {
+    // A polled driver has the NetIoBatch bracket open: defer the response
+    // pass so a burst of segments costs one TcpOutput per connection.
+    RxBatchDefer(pcb, send_now);
+  } else if (send_now) {
     TcpOutput(pcb, /*force_ack=*/true);
   } else {
     TcpOutput(pcb, /*force_ack=*/false);  // piggyback ACK with any ready data
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RX batching (NetIoBatch)
+// ---------------------------------------------------------------------------
+
+void NetStack::BeginRxBatch() {
+  OSKIT_ASSERT_MSG(!rx_batch_active_, "nested RX batch");
+  rx_batch_active_ = true;
+}
+
+void NetStack::RxBatchDefer(TcpPcb* pcb, bool force_ack) {
+  for (RxBatchEntry& entry : rx_batch_) {
+    if (entry.pcb == pcb) {
+      entry.force_ack = entry.force_ack || force_ack;
+      return;
+    }
+  }
+  rx_batch_.push_back({pcb, force_ack});
+}
+
+void NetStack::EndRxBatch() {
+  rx_batch_active_ = false;
+  if (rx_batch_.empty()) {
+    return;
+  }
+  ++counters_.tcp_rx_batches;
+  std::vector<RxBatchEntry> deferred;
+  deferred.swap(rx_batch_);
+  // Entries are live: TcpCloseDone scrubs a dying pcb out of the pending
+  // batch, so input inside the bracket cannot leave a dangling deferral.
+  for (const RxBatchEntry& entry : deferred) {
+    ++counters_.tcp_batched_outputs;
+    TcpOutput(entry.pcb, entry.force_ack);
   }
 }
 
@@ -903,6 +942,15 @@ void NetStack::TcpCloseDone(TcpPcb* pcb) {
         pool_.FreeChain(seg.data);
       }
       pcb->reass.clear();
+      // Drop any output pass an open RX batch deferred for this pcb: the
+      // pointer dies here, and a later allocation could reuse the address.
+      for (auto bit = rx_batch_.begin(); bit != rx_batch_.end();) {
+        if (bit->pcb == pcb) {
+          bit = rx_batch_.erase(bit);
+        } else {
+          ++bit;
+        }
+      }
       tcp_pcbs_.erase(it);
       return;
     }

@@ -10,7 +10,10 @@
 //                 no COM boundary (the paper's "FreeBSD" baseline row);
 //   kNativeLinux— the Linux-idiom baseline stack (contiguous skbuffs end to
 //                 end) bound directly to the Linux driver core (the paper's
-//                 "Linux" baseline row).
+//                 "Linux" baseline row);
+//   kOskitNapi  — the kOskit binding with RX interrupt mitigation programmed
+//                 on the NIC (threshold 8 frames / 1 ms holdoff) and the
+//                 budgeted polled-RX dispatch enabled in the glue.
 
 #ifndef OSKIT_SRC_TESTBED_TESTBED_H_
 #define OSKIT_SRC_TESTBED_TESTBED_H_
@@ -33,6 +36,7 @@ enum class NetConfig {
   kOskit,
   kNativeBsd,
   kNativeLinux,
+  kOskitNapi,
 };
 
 const char* NetConfigName(NetConfig config);

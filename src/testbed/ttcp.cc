@@ -20,7 +20,7 @@ double WallSecondsSince(std::chrono::steady_clock::time_point start) {
 // Sender-side glue-copy statistics for OSKit-configured hosts, read from the
 // host's trace counter registry rather than by downcasting the device.
 void CollectGlueStats(Host& host, TtcpResult* result) {
-  if (host.config != NetConfig::kOskit) {
+  if (host.config != NetConfig::kOskit && host.config != NetConfig::kOskitNapi) {
     return;
   }
   result->sender_glue_copies = host.trace.registry.Value("glue.send.copied");

@@ -372,6 +372,300 @@ TEST_F(DriverTest, BsdTtyBlocksUntilInput) {
   EXPECT_EQ("echo", machine_->console_uart().TakeOutput());
 }
 
+// ---- Buffer-I/O bounds: the unsigned-off_t64 abuse suite ----
+//
+// off_t64 is unsigned, so a "negative" offset arrives as a huge value and
+// the historical `offset + amount > len` checks wrapped right back into
+// range, letting a COM client drive memcpy out of bounds.  These tests poke
+// the COM BufIo surface directly with the abusive values; against the
+// pre-fix code the SkBuffIo cases die under ASan (wild memcpy), and they
+// pin the overflow-safe checks for all three implementations.
+
+TEST_F(DriverTest, SkBuffIoBoundsRejectNegativeOffsetAndWrappingAmount) {
+  linuxdev::LinuxKernelEnv kenv;
+  kenv.kmalloc = +[](void* ctx, size_t size) -> void* {
+    return static_cast<KernelEnv*>(ctx)->MemAlloc(size);
+  };
+  kenv.kfree = +[](void* ctx, void* p, size_t size) {
+    static_cast<KernelEnv*>(ctx)->MemFree(p, size);
+  };
+  kenv.ctx = kernel_.get();
+
+  constexpr size_t kLen = 96;
+  linuxdev::sk_buff* skb = linuxdev::dev_alloc_skb(kenv, kLen + 16);
+  ASSERT_NE(nullptr, skb);
+  uint8_t* put = linuxdev::skb_put(skb, kLen);
+  for (size_t i = 0; i < kLen; ++i) {
+    put[i] = static_cast<uint8_t>(i ^ 0x5c);
+  }
+  ComPtr<linuxdev::SkBuffIo> impl(new linuxdev::SkBuffIo(kenv, skb));
+  ComPtr<BufIo> io = ComPtr<BufIo>::FromQuery(impl.get());
+  ASSERT_TRUE(io);
+
+  uint8_t buf[kLen] = {};
+  size_t actual = 99;
+
+  // Read at offset -8: pre-fix, `offset + amount` wrapped to 8 and the
+  // memcpy sourced from skb->data - 8 rows of someone else's heap.
+  EXPECT_EQ(Error::kOutOfRange,
+            io->Read(buf, static_cast<off_t64>(-8), 16, &actual));
+  EXPECT_EQ(0u, actual);
+
+  // Amount that wraps: offset in range, offset + amount == 4 (mod 2^64).
+  actual = 99;
+  EXPECT_EQ(Error::kOutOfRange,
+            io->Write(buf, 8, static_cast<size_t>(-4), &actual));
+  EXPECT_EQ(0u, actual);
+  void* addr = nullptr;
+  EXPECT_EQ(Error::kOutOfRange, io->Map(&addr, 8, static_cast<size_t>(-4)));
+  EXPECT_EQ(Error::kOutOfRange,
+            io->Map(&addr, static_cast<off_t64>(-8), 4));
+
+  // Read clamps to the tail (BlkIo partial-read semantics), Write/Map do
+  // not run past it.
+  ASSERT_EQ(Error::kOk, io->Read(buf, kLen - 4, SIZE_MAX, &actual));
+  EXPECT_EQ(4u, actual);
+  EXPECT_EQ(Error::kOutOfRange, io->Write(buf, kLen - 4, 8, &actual));
+  EXPECT_EQ(Error::kOutOfRange, io->Map(&addr, kLen - 4, 8));
+
+  // The valid surface still works exactly.
+  ASSERT_EQ(Error::kOk, io->Read(buf, 0, kLen, &actual));
+  ASSERT_EQ(kLen, actual);
+  EXPECT_EQ(0, memcmp(buf, put, kLen));
+  ASSERT_EQ(Error::kOk, io->Map(&addr, kLen - 4, 4));
+  EXPECT_EQ(put + kLen - 4, addr);
+}
+
+TEST_F(DriverTest, BufIoBoundsAbuseSuiteAcrossImplementations) {
+  // One parameterized sweep over every BufIo the boundary glue hands out:
+  // SkBuffIo (received skbuff), MemBlkIo (memory object), MbufBufIo (mbuf
+  // chain).  Each backs 64 identical pattern bytes.
+  linuxdev::LinuxKernelEnv kenv;
+  kenv.kmalloc = +[](void* ctx, size_t size) -> void* {
+    return static_cast<KernelEnv*>(ctx)->MemAlloc(size);
+  };
+  kenv.kfree = +[](void* ctx, void* p, size_t size) {
+    static_cast<KernelEnv*>(ctx)->MemFree(p, size);
+  };
+  kenv.ctx = kernel_.get();
+
+  constexpr size_t kLen = 64;
+  uint8_t pattern[kLen];
+  for (size_t i = 0; i < kLen; ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 3 + 1);
+  }
+
+  net::MbufPool pool;
+  struct Target {
+    const char* name;
+    ComPtr<BufIo> io;
+  };
+  std::vector<Target> targets;
+
+  targets.push_back(
+      {"MemBlkIo",
+       ComPtr<BufIo>::FromQuery(MemBlkIo::CreateFrom(pattern, kLen).get())});
+
+  linuxdev::sk_buff* skb = linuxdev::dev_alloc_skb(kenv, kLen + 16);
+  ASSERT_NE(nullptr, skb);
+  memcpy(linuxdev::skb_put(skb, kLen), pattern, kLen);
+  ComPtr<linuxdev::SkBuffIo> skio(new linuxdev::SkBuffIo(kenv, skb));
+  targets.push_back({"SkBuffIo", ComPtr<BufIo>::FromQuery(skio.get())});
+
+  {
+    // A 3-mbuf chain (header + two payload pieces) so the offset walk and
+    // per-mbuf Map contiguity limits are exercised too.
+    net::MBuf* chain = pool.GetHeaderAligned(14);
+    memcpy(chain->data, pattern, 14);
+    net::MBuf* body1 = pool.FromData(pattern + 14, 25);
+    net::MBuf* body2 = pool.FromData(pattern + 39, kLen - 39);
+    chain->next = body1;
+    body1->next = body2;
+    body1->pkt_len = 0;
+    body2->pkt_len = 0;
+    chain->pkt_len = kLen;
+    targets.push_back(
+        {"MbufBufIo",
+         ComPtr<BufIo>::FromQuery(net::MbufBufIo::Wrap(&pool, chain).get())});
+  }
+
+  const off_t64 kHugeOffsets[] = {
+      static_cast<off_t64>(-1), static_cast<off_t64>(-8),
+      static_cast<off_t64>(-static_cast<int64_t>(kLen)), kLen + 1,
+      static_cast<off_t64>(1) << 62};
+
+  for (Target& t : targets) {
+    SCOPED_TRACE(t.name);
+    BufIo* io = t.io.get();
+    off_t64 size = 0;
+    ASSERT_EQ(Error::kOk, io->GetSize(&size));
+    ASSERT_EQ(kLen, size);
+
+    uint8_t buf[kLen + 32];
+    size_t actual = 0;
+
+    // Baseline round trip.
+    ASSERT_EQ(Error::kOk, io->Read(buf, 0, kLen, &actual));
+    ASSERT_EQ(kLen, actual);
+    EXPECT_EQ(0, memcmp(buf, pattern, kLen));
+
+    // Every huge/"negative" offset is rejected outright, for every verb.
+    for (off_t64 off : kHugeOffsets) {
+      SCOPED_TRACE(static_cast<long long>(off));
+      actual = 99;
+      EXPECT_NE(Error::kOk, io->Read(buf, off, 8, &actual));
+      EXPECT_EQ(0u, actual);
+      actual = 99;
+      EXPECT_NE(Error::kOk, io->Write(pattern, off, 8, &actual));
+      EXPECT_EQ(0u, actual);
+      void* addr = nullptr;
+      EXPECT_NE(Error::kOk, io->Map(&addr, off, 8));
+    }
+
+    // Wrapping amounts at in-range offsets: Read may clamp to the tail
+    // (partial-read semantics) but must never run past it; Write either
+    // errors, clamps, or is unimplemented; Map must refuse.
+    memset(buf, 0xee, sizeof(buf));
+    actual = 0;
+    Error err = io->Read(buf, kLen - 4, SIZE_MAX, &actual);
+    if (Ok(err)) {
+      EXPECT_LE(actual, 4u);
+      for (size_t i = 4; i < sizeof(buf); ++i) {
+        ASSERT_EQ(0xee, buf[i]) << "Read spilled past the clamped tail";
+      }
+    } else {
+      EXPECT_EQ(0u, actual);
+    }
+    actual = 0;
+    err = io->Write(pattern, kLen - 4, static_cast<size_t>(-4), &actual);
+    if (Ok(err)) {
+      EXPECT_LE(actual, 4u);
+    } else {
+      EXPECT_EQ(0u, actual);
+    }
+    void* addr = nullptr;
+    EXPECT_NE(Error::kOk, io->Map(&addr, 8, static_cast<size_t>(-4)));
+    EXPECT_NE(Error::kOk, io->Map(&addr, kLen - 4, 8));
+
+    // The empty tail is addressable; one past it is not.
+    EXPECT_EQ(Error::kOk, io->Read(buf, kLen, 8, &actual));
+    EXPECT_EQ(0u, actual);
+    EXPECT_NE(Error::kOk, io->Read(buf, kLen + 1, 1, &actual));
+
+    // A small in-range Map still works and sees the right bytes.
+    ASSERT_EQ(Error::kOk, io->Map(&addr, 2, 4));
+    EXPECT_EQ(0, memcmp(addr, pattern + 2, 4));
+    EXPECT_EQ(Error::kOk, io->Unmap(addr, 2, 4));
+  }
+}
+
+// ---- Polled RX (NAPI-style): budgeted drain and the re-enable race ----
+
+TEST_F(DriverTest, PolledRxDrainsBurstBeyondBudget) {
+  // A burst larger than the poll budget must be delivered completely by
+  // chained poll dispatches (budget-exhausted reschedules), with exactly
+  // one coalesced IRQ and no watchdog help.
+  NicHw* nic_a = machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 1}}, 11);
+  NicHw* nic_b = machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 2}}, 12);
+
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk,
+            linuxdev::InitLinuxEthernet(fdev_, machine_.get(), &registry));
+  auto devices = registry.LookupByInterface(EtherDev::kIid);
+  ASSERT_EQ(2u, devices.size());
+  auto* dev_a = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
+
+  NicHw::RxMitigation mit;
+  mit.frame_threshold = 4;
+  nic_a->SetRxMitigation(mit);
+  linuxdev::LinuxEtherDev::RxPollConfig poll;
+  poll.enabled = true;
+  poll.budget = 4;
+  dev_a->SetRxPoll(poll);
+
+  ComPtr<RecorderNetIo> rx_a(new RecorderNetIo());
+  NetIo* tx_a = nullptr;
+  ComPtr<EtherDev> ea = ComPtr<EtherDev>::FromQuery(devices[0].get());
+  ASSERT_EQ(Error::kOk, ea->Open(rx_a.get(), &tx_a));
+  ComPtr<NetIo> tx_a_owned(tx_a);
+
+  uint8_t frame[60] = {2, 0, 0, 0, 0, 1, 2, 0, 0, 0, 0, 2};
+  constexpr int kBurst = 19;  // 4 full budgets + a 3-frame remainder
+  for (int i = 0; i < kBurst; ++i) {
+    frame[12] = static_cast<uint8_t>(i);  // distinguishable payloads
+    nic_b->TxStart(frame, sizeof(frame));
+  }
+  sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
+
+  ASSERT_EQ(static_cast<size_t>(kBurst), rx_a->frames.size());
+  for (int i = 0; i < kBurst; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(i), rx_a->frames[i][12]) << "frame order";
+  }
+  const auto& c = dev_a->counters();
+  EXPECT_EQ(5u, static_cast<uint64_t>(c.rx_polls));
+  EXPECT_EQ(static_cast<uint64_t>(kBurst),
+            static_cast<uint64_t>(c.rx_poll_frames));
+  EXPECT_EQ(4u, static_cast<uint64_t>(c.rx_poll_budget_exhausted));
+  EXPECT_EQ(0u, static_cast<uint64_t>(c.rx_watchdog_recoveries))
+      << "the poll chain, not the watchdog, must deliver the burst";
+  EXPECT_EQ(1u, static_cast<uint64_t>(nic_a->rx_coalesce_irqs_counter()))
+      << "one coalesced announcement for the whole burst";
+  ASSERT_EQ(Error::kOk, ea->Close());
+}
+
+TEST_F(DriverTest, PolledRxRechecksRingAfterReenable) {
+  // The classic NAPI race: a frame lands after the poll drained the ring
+  // but before the RX interrupt is re-enabled.  The hardware does not
+  // replay it, so the driver's post-re-enable re-check is the only thing
+  // standing between that frame and a 10 ms watchdog stall.
+  NicHw* nic_a = machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 1}}, 11);
+  NicHw* nic_b = machine_->AddNic(wire_.get(), EtherAddr{{2, 0, 0, 0, 0, 2}}, 12);
+
+  DeviceRegistry registry;
+  ASSERT_EQ(Error::kOk,
+            linuxdev::InitLinuxEthernet(fdev_, machine_.get(), &registry));
+  auto devices = registry.LookupByInterface(EtherDev::kIid);
+  ASSERT_EQ(2u, devices.size());
+  auto* dev_a = static_cast<linuxdev::LinuxEtherDev*>(devices[0].get());
+
+  // Wide, explicit windows so the arrival timing below is unambiguous:
+  // IRQ at t, poll at t+10us, re-enable at t+110us.
+  linuxdev::LinuxEtherDev::RxPollConfig poll;
+  poll.enabled = true;
+  poll.softirq_delay_ns = 10 * kNsPerUs;
+  poll.reenable_delay_ns = 100 * kNsPerUs;
+  dev_a->SetRxPoll(poll);
+
+  ComPtr<RecorderNetIo> rx_a(new RecorderNetIo());
+  NetIo* tx_a = nullptr;
+  ComPtr<EtherDev> ea = ComPtr<EtherDev>::FromQuery(devices[0].get());
+  ASSERT_EQ(Error::kOk, ea->Open(rx_a.get(), &tx_a));
+  ComPtr<NetIo> tx_a_owned(tx_a);
+
+  uint8_t frame[60] = {2, 0, 0, 0, 0, 1, 2, 0, 0, 0, 0, 2};
+  frame[12] = 1;
+  nic_b->TxStart(frame, sizeof(frame));
+  // Lands at t+50us: after the poll dispatch drained frame 1, before the
+  // re-enable at t+110us — squarely in the race window, raising no IRQ.
+  sim_.clock().ScheduleAfter(50 * kNsPerUs, [&] {
+    frame[12] = 2;
+    nic_b->TxStart(frame, sizeof(frame));
+  });
+  sim_.clock().RunUntil(sim_.clock().Now() + kNsPerMs);
+
+  ASSERT_EQ(2u, rx_a->frames.size()) << "the race-window frame was stranded";
+  EXPECT_EQ(1, rx_a->frames[0][12]);
+  EXPECT_EQ(2, rx_a->frames[1][12]);
+  const auto& c = dev_a->counters();
+  EXPECT_EQ(1u, static_cast<uint64_t>(c.rx_poll_reenable_races))
+      << "the re-check, not an IRQ, must have found the frame";
+  EXPECT_EQ(2u, static_cast<uint64_t>(c.rx_polls));
+  EXPECT_EQ(0u, static_cast<uint64_t>(c.rx_watchdog_recoveries));
+  EXPECT_EQ(1u, static_cast<uint64_t>(nic_a->rx_coalesce_irqs_counter()))
+      << "the hardware never announced the race-window frame";
+  ASSERT_EQ(Error::kOk, ea->Close());
+}
+
 TEST_F(DriverTest, ClistQueuesArbitraryBytes) {
   freebsddev::Clist clist(fdev_);
   EXPECT_EQ(-1, clist.Getc());

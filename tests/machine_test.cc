@@ -326,8 +326,8 @@ TEST(NicTest, FiltersByDestinationMac) {
   Pic pic(&cpu);
   EtherAddr mac_a{{2, 0, 0, 0, 0, 1}};
   EtherAddr mac_b{{2, 0, 0, 0, 0, 2}};
-  NicHw nic_a(&wire, &pic, mac_a);
-  NicHw nic_b(&wire, &pic, mac_b);
+  NicHw nic_a(&wire, &pic, &sim.clock(), mac_a);
+  NicHw nic_b(&wire, &pic, &sim.clock(), mac_b);
 
   uint8_t frame[60] = {};
   memcpy(frame, mac_b.bytes, 6);  // dst = B
@@ -353,14 +353,108 @@ TEST(NicTest, FiltersByDestinationMac) {
   EXPECT_EQ(2u, nic_b.rx_frames());
 }
 
+TEST(NicTest, RxMitigationThresholdHoldoffAndRingFallback) {
+  Simulation sim;
+  EthernetWire wire(&sim.clock(), {});
+  Cpu cpu;
+  Pic pic(&cpu);
+  EtherAddr mac_a{{2, 0, 0, 0, 0, 1}};
+  EtherAddr mac_b{{2, 0, 0, 0, 0, 2}};
+  NicHw tx(&wire, &pic, &sim.clock(), mac_a);
+  NicHw rx(&wire, &pic, &sim.clock(), mac_b);
+  rx.EnableRxInterrupt(true);
+
+  uint8_t frame[60] = {};
+  memcpy(frame, mac_b.bytes, 6);
+  memcpy(frame + 6, mac_a.bytes, 6);
+  auto send = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      tx.TxStart(frame, sizeof(frame));
+    }
+  };
+  auto drain = [&] {
+    uint8_t buf[kEtherMaxFrame];
+    while (rx.RxPending()) {
+      rx.RxDequeue(buf);
+    }
+  };
+  auto irqs = [&] { return static_cast<uint64_t>(rx.rx_coalesce_irqs_counter()); };
+
+  // Threshold: the IRQ fires on the Nth unannounced frame, not before.
+  NicHw::RxMitigation mit;
+  mit.frame_threshold = 3;
+  rx.SetRxMitigation(mit);
+  send(2);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(0u, irqs());
+  EXPECT_TRUE(rx.RxPending());
+  send(1);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(1u, irqs());
+  EXPECT_EQ(1u, static_cast<uint64_t>(rx.rx_coalesce_threshold_counter()));
+  drain();
+
+  // Holdoff: below-threshold frames are announced when the timer armed by
+  // the first of them expires.
+  mit.frame_threshold = 100;
+  mit.holdoff_ns = 1 * kNsPerMs;
+  rx.SetRxMitigation(mit);
+  send(2);
+  sim.clock().RunUntil(sim.clock().Now() + 100 * kNsPerUs);
+  EXPECT_EQ(1u, irqs()) << "no IRQ before the holdoff expires";
+  sim.clock().RunUntil(sim.clock().Now() + 2 * kNsPerMs);
+  EXPECT_EQ(2u, irqs());
+  EXPECT_EQ(1u, static_cast<uint64_t>(rx.rx_coalesce_holdoff_counter()));
+  drain();
+
+  // Ring-occupancy fallback: with a huge threshold and no holdoff, the
+  // safety net announces when the ring fills to the configured mark.
+  mit.frame_threshold = 1000;
+  mit.holdoff_ns = 0;
+  mit.ring_fallback = 5;
+  rx.SetRxMitigation(mit);
+  send(4);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(2u, irqs());
+  send(1);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(3u, irqs());
+  EXPECT_EQ(1u, static_cast<uint64_t>(rx.rx_coalesce_ring_counter()));
+  drain();
+
+  // Masked RX: frames land silently, and re-enabling does NOT retroactively
+  // announce them — the classic race a polled driver must re-check for.
+  rx.EnableRxInterrupt(false);
+  send(3);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(3u, irqs());
+  EXPECT_TRUE(rx.RxPending());
+  rx.EnableRxInterrupt(true);
+  EXPECT_EQ(3u, irqs()) << "re-enable must not replay the pending frames";
+  mit = NicHw::RxMitigation{};  // back to per-frame power-on defaults
+  rx.SetRxMitigation(mit);
+  send(1);
+  while (sim.clock().RunOne()) {
+  }
+  EXPECT_EQ(4u, irqs());
+  // Every accepted frame was counted even while masked/coalescing.
+  EXPECT_EQ(static_cast<uint64_t>(rx.rx_coalesce_frames_counter()),
+            rx.rx_frames());
+}
+
 TEST(NicTest, GatherTransmitMatchesFlat) {
   SimClock clock;
   Simulation sim;
   EthernetWire wire(&sim.clock(), {});
   Cpu cpu;
   Pic pic(&cpu);
-  NicHw tx(&wire, &pic, EtherAddr{{2, 0, 0, 0, 0, 1}});
-  NicHw rx(&wire, &pic, EtherAddr{{2, 0, 0, 0, 0, 2}});
+  NicHw tx(&wire, &pic, &sim.clock(), EtherAddr{{2, 0, 0, 0, 0, 1}});
+  NicHw rx(&wire, &pic, &sim.clock(), EtherAddr{{2, 0, 0, 0, 0, 2}});
   rx.SetPromiscuous(true);
 
   uint8_t part1[14] = {2, 0, 0, 0, 0, 2, 2, 0, 0, 0, 0, 1, 0x08, 0x00};
