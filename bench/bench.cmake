@@ -20,6 +20,7 @@ target_compile_definitions(fig_footprint PRIVATE
   OSKIT_BUILD_DIR="${CMAKE_BINARY_DIR}")
 oskit_bench(fig_javapc)
 oskit_bench(napi_rx)
+oskit_bench(c10k)
 oskit_bench(ablation_glue)
 oskit_bench(ablation_alloc)
 oskit_bench(ablation_bufio)

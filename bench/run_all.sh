@@ -7,7 +7,9 @@
 # bytes-copied-per-byte-sent figures for the scatter-gather send path;
 # BENCH_crash.json, produced by the every-write power-cut crash campaign's
 # aggregate durability counters; BENCH_napi.json, produced by the NAPI
-# ablation with IRQs-per-frame and frames-per-poll at wire saturation).
+# ablation with IRQs-per-frame and frames-per-poll at wire saturation;
+# BENCH_c10k.json, produced by the scale-out C10k bench with held-open
+# concurrency, connect-to-echo latency percentiles, and switch statistics).
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
@@ -25,6 +27,7 @@ FAULT_JSON_OUT="$BENCH_DIR/BENCH_fault.json"
 SG_JSON_OUT="$BENCH_DIR/BENCH_sg.json"
 CRASH_JSON_OUT="$BENCH_DIR/BENCH_crash.json"
 NAPI_JSON_OUT="$BENCH_DIR/BENCH_napi.json"
+C10K_JSON_OUT="$BENCH_DIR/BENCH_c10k.json"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -60,6 +63,7 @@ run_bench() {
 run_bench table1_bandwidth 2048 --json "$SG_JSON_OUT"
 run_bench table2_latency   4000
 run_bench napi_rx          2048 --json "$NAPI_JSON_OUT"
+run_bench c10k             --hosts 4 --per-host 150 --json "$C10K_JSON_OUT"
 run_bench table3_sizes
 run_bench fig_footprint
 run_bench fig_javapc
@@ -97,6 +101,12 @@ if [ -f "$NAPI_JSON_OUT" ]; then
     echo "wrote $NAPI_JSON_OUT"
 else
     echo "FAIL BENCH_napi.json was not produced"
+    status=1
+fi
+if [ -f "$C10K_JSON_OUT" ]; then
+    echo "wrote $C10K_JSON_OUT"
+else
+    echo "FAIL BENCH_c10k.json was not produced"
     status=1
 fi
 

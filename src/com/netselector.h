@@ -1,0 +1,92 @@
+// Readiness-notification interfaces for scalable socket servers.
+//
+// The paper's socket interface (src/com/socket.h) is the classic blocking
+// BSD model: one thread of control per connection, parked in sleep/wakeup.
+// That model collapses at thousands of connections — the C10k problem — so
+// the stack also exports NetSelector, an epoll-style readiness interface:
+// register a socket with an interest mask once, then harvest batches of
+// ready sockets from one thread.  Like every optional capability in the
+// OSKit (§4.4.2), it is a separate COM interface discovered via Query, so
+// clients that never need it pay nothing and foreign stacks simply don't
+// implement it.
+//
+// SocketExt is the companion per-socket extension interface: non-blocking
+// mode (so one server loop can service every ready socket without parking)
+// and batched accept (drain a listener's whole accept queue in one call).
+
+#ifndef OSKIT_SRC_COM_NETSELECTOR_H_
+#define OSKIT_SRC_COM_NETSELECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/com/iunknown.h"
+#include "src/com/socket.h"
+
+namespace oskit {
+
+// Readiness event bits.  kNetError is always reported regardless of the
+// registered interest mask (epoll's EPOLLERR/EPOLLHUP rule).
+inline constexpr uint32_t kNetReadable = 1u << 0;
+inline constexpr uint32_t kNetWritable = 1u << 1;
+inline constexpr uint32_t kNetError = 1u << 2;
+
+struct NetReadyEvent {
+  Socket* socket = nullptr;  // borrowed: no reference is added
+  void* token = nullptr;     // the registration's opaque cookie
+  uint32_t events = 0;       // kNet* bits ready at harvest time
+};
+
+class NetSelector : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x8f2d3b62, 0x0df2, 0x11d0, 0xa6, 0xbe,
+                                        0x00, 0xa0, 0xc9, 0x0a, 0x5f, 0x31);
+
+  // Registers `socket` with the given interest mask.  `edge` selects
+  // edge-triggered delivery (wake only on new readiness); level-triggered
+  // registrations stay on the ready list while the condition holds.
+  // `token` is returned verbatim in harvested events.  A socket already
+  // registered with a selector returns kBusy; a socket that is currently
+  // ready is reported by the next Wait without needing a fresh event.
+  // Registration is weak: the selector takes no reference, and a socket
+  // that dies unregisters itself.
+  virtual Error Add(Socket* socket, uint32_t interest, bool edge,
+                    void* token) = 0;
+
+  // Changes the interest mask / trigger mode of a registration.
+  virtual Error Modify(Socket* socket, uint32_t interest, bool edge) = 0;
+
+  virtual Error Remove(Socket* socket) = 0;
+
+  // Harvests up to `capacity` ready registrations.  With `block` set, parks
+  // the caller (sleep/wakeup) until at least one event is available; with
+  // it clear, returns immediately (possibly zero events).
+  virtual Error Wait(NetReadyEvent* out_events, size_t capacity, bool block,
+                     size_t* out_count) = 0;
+
+ protected:
+  ~NetSelector() = default;
+};
+
+class SocketExt : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x8f2d3b63, 0x0df2, 0x11d0, 0xa6, 0xbe,
+                                        0x00, 0xa0, 0xc9, 0x0a, 0x5f, 0x32);
+
+  // Non-blocking mode: operations that would park the caller return
+  // kWouldBlock instead (Send may return a short count first).
+  virtual Error SetNonBlocking(bool on) = 0;
+
+  // Drains up to `capacity` established connections from a listener's
+  // accept queue without blocking.  Always returns kOk with *out_count
+  // possibly zero; each accepted socket is returned with one reference.
+  virtual Error AcceptBatch(SockAddr* out_peers, Socket** out_sockets,
+                            size_t capacity, size_t* out_count) = 0;
+
+ protected:
+  ~SocketExt() = default;
+};
+
+}  // namespace oskit
+
+#endif  // OSKIT_SRC_COM_NETSELECTOR_H_

@@ -300,10 +300,18 @@ void KernelMonitor::CmdNicMit(const std::string& args) {
         static_cast<unsigned long long>(holdoff_us));
 }
 
+void KernelMonitor::CmdNetstat() {
+  if (!netstat_) {
+    Print("no network stack attached\n");
+    return;
+  }
+  netstat_([this](const char* line) { Print("%s\n", line); });
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
         "counters [prefix] | trace dump|clear | fault [arm|disarm|seed] | "
-        "nicmit [idx threshold holdoff_us] | "
+        "nicmit [idx threshold holdoff_us] | netstat | "
         "s step | c continue | halt | help\n");
 }
 
@@ -338,6 +346,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdFault(args);
     } else if (cmd == "nicmit") {
       CmdNicMit(args);
+    } else if (cmd == "netstat") {
+      CmdNetstat();
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

@@ -21,6 +21,8 @@
 //   fault seed <n>    reseed the fault environment (resets call/fire counts)
 //   nicmit            show each NIC's RX interrupt-mitigation registers
 //   nicmit <idx> <threshold> <holdoff_us>   program a NIC's mitigation
+//   netstat           dump the attached stack's PCB tables, listen queues,
+//                     timer wheel, and selector registrations
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -29,6 +31,7 @@
 #ifndef OSKIT_SRC_KERN_KMON_H_
 #define OSKIT_SRC_KERN_KMON_H_
 
+#include <functional>
 #include <string>
 
 #include "src/kern/console.h"
@@ -52,6 +55,14 @@ class KernelMonitor {
   // Optional: lets 't' translate virtual addresses.
   void SetPageDirectory(PageDirectory* pd) { page_dir_ = pd; }
 
+  // Optional: backs the 'netstat' command.  The kernel monitor cannot link
+  // the network stack (layering), so the owner plugs in a dumper — typically
+  // a lambda forwarding to NetStack::Netstat — that emits one formatted line
+  // per call of the provided sink.
+  using NetstatSource =
+      std::function<void(const std::function<void(const char*)>&)>;
+  void SetNetstatSource(NetstatSource source) { netstat_ = std::move(source); }
+
   bool halted() const { return halted_; }
   bool step_requested() const { return step_requested_; }
   uint64_t commands_handled() const { return commands_handled_; }
@@ -67,11 +78,13 @@ class KernelMonitor {
   void CmdTrace(const std::string& args);
   void CmdFault(const std::string& args);
   void CmdNicMit(const std::string& args);
+  void CmdNetstat();
   void CmdHelp();
 
   KernelEnv* kernel_;
   BaseConsole* console_;
   PageDirectory* page_dir_ = nullptr;
+  NetstatSource netstat_;
   bool halted_ = false;
   bool step_requested_ = false;
   uint64_t commands_handled_ = 0;

@@ -54,10 +54,10 @@ class Machine {
   Uart& console_uart() { return console_uart_; }
   Uart& debug_uart() { return debug_uart_; }
 
-  NicHw* AddNic(EthernetWire* wire, const EtherAddr& mac,
+  NicHw* AddNic(EtherLink* link, const EtherAddr& mac,
                 int irq = NicHw::kDefaultIrq) {
     nics_.push_back(
-        std::make_unique<NicHw>(wire, &pic_, &sim_->clock(), mac, irq));
+        std::make_unique<NicHw>(link, &pic_, &sim_->clock(), mac, irq));
     return nics_.back().get();
   }
 

@@ -50,7 +50,7 @@ void NicHw::TxStart(const uint8_t* frame, size_t len) {
   if (!TxGate()) {
     return;
   }
-  wire_->Transmit(this, frame, len);
+  link_->Transmit(this, frame, len);
 }
 
 void NicHw::TxStartVec(const uint8_t* const* chunks, const size_t* lens,
@@ -68,7 +68,7 @@ void NicHw::TxStartVec(const uint8_t* const* chunks, const size_t* lens,
   if (!TxGate()) {
     return;
   }
-  wire_->Transmit(this, chunks, lens, count);
+  link_->Transmit(this, chunks, lens, count);
 }
 
 void NicHw::FrameArrived(const uint8_t* frame, size_t len) {

@@ -57,10 +57,10 @@ class NicHw final : public WireEndpoint {
     size_t ring_fallback = kRxRingCapacity * 3 / 4;  // occupancy safety net
   };
 
-  NicHw(EthernetWire* wire, Pic* pic, SimClock* clock, const EtherAddr& mac,
+  NicHw(EtherLink* link, Pic* pic, SimClock* clock, const EtherAddr& mac,
         int irq = kDefaultIrq)
-      : wire_(wire), pic_(pic), clock_(clock), mac_(mac), irq_(irq) {
-    wire->Attach(this);
+      : link_(link), pic_(pic), clock_(clock), mac_(mac), irq_(irq) {
+    link->Attach(this);
   }
   ~NicHw() override;
 
@@ -123,7 +123,7 @@ class NicHw final : public WireEndpoint {
   void HoldoffFired();
   void CancelHoldoff();
 
-  EthernetWire* wire_;
+  EtherLink* link_;
   Pic* pic_;
   SimClock* clock_;
   EtherAddr mac_;

@@ -25,7 +25,27 @@ class WireEndpoint {
   virtual void FrameArrived(const uint8_t* frame, size_t len) = 0;
 };
 
-class EthernetWire {
+// What a NIC plugs into: either the shared-medium EthernetWire below (the
+// paper's two-PC segment) or the learning VirtualSwitch (src/machine/switch.h)
+// that scales one simulation to N hosts.  The NIC model only ever sees this
+// face, so the same machine works on either fabric.
+class EtherLink {
+ public:
+  virtual ~EtherLink() = default;
+
+  virtual void Attach(WireEndpoint* endpoint) = 0;
+
+  // Transmits a complete frame from `source`.
+  virtual void Transmit(WireEndpoint* source, const uint8_t* frame,
+                        size_t len) = 0;
+
+  // Gather-DMA transmit: the frame is described as an iovec-style chunk list
+  // and the link-side engine assembles it straight into the delivery buffer.
+  virtual void Transmit(WireEndpoint* source, const uint8_t* const* chunks,
+                        const size_t* lens, size_t count) = 0;
+};
+
+class EthernetWire : public EtherLink {
  public:
   struct Config {
     // 0 means infinite bandwidth (no serialization delay).
@@ -43,20 +63,20 @@ class EthernetWire {
   EthernetWire(SimClock* clock, const Config& config)
       : clock_(clock), config_(config), rng_(config.fault_seed) {}
 
-  void Attach(WireEndpoint* endpoint) { endpoints_.push_back(endpoint); }
+  void Attach(WireEndpoint* endpoint) override { endpoints_.push_back(endpoint); }
 
   // Runtime fault-model control: lets a test partition the segment
   // (100% loss) and later heal it.
   void set_loss_percent(uint32_t percent) { config_.loss_percent = percent; }
 
   // Transmits a frame from `source`; delivered to all other endpoints.
-  void Transmit(WireEndpoint* source, const uint8_t* frame, size_t len);
+  void Transmit(WireEndpoint* source, const uint8_t* frame, size_t len) override;
 
   // Gather-DMA transmit: the frame is described as an iovec-style chunk
   // list and the wire-side engine assembles it straight into the delivery
   // buffer — the NIC model never stages it through a bounce buffer.
   void Transmit(WireEndpoint* source, const uint8_t* const* chunks,
-                const size_t* lens, size_t count);
+                const size_t* lens, size_t count) override;
 
   // Statistics (exposed implementation, §4.6).
   uint64_t frames_sent() const { return frames_sent_; }

@@ -13,30 +13,44 @@ namespace oskit::net {
 // ---------------------------------------------------------------------------
 
 Error NetStack::SoBind(BsdSocket* so, const SockAddr& addr) {
+  // Conflict detection probes the local-port bucket instead of scanning the
+  // whole PCB list (both modes: the index is always maintained).
   if (so->type() == SockType::kStream) {
     TcpPcb* pcb = so->tcp();
     if (pcb->state != TcpState::kClosed) {
       return Error::kInval;
     }
-    for (auto& other : tcp_pcbs_) {
-      if (other.get() != pcb && other->lport == addr.port &&
-          (other->laddr == addr.addr || other->laddr.IsAny() || addr.addr.IsAny())) {
-        return Error::kAddrInUse;
+    auto bucket = tcp_by_lport_.find(addr.port);
+    if (bucket != tcp_by_lport_.end()) {
+      for (TcpPcb* other : bucket->second) {
+        if (other != pcb &&
+            (other->laddr == addr.addr || other->laddr.IsAny() ||
+             addr.addr.IsAny())) {
+          return Error::kAddrInUse;
+        }
       }
     }
+    TcpIndexRemove(pcb);  // re-bind: drop any stale index entry
     pcb->laddr = addr.addr;
     pcb->lport = addr.port;
+    TcpIndexInsert(pcb);
     return Error::kOk;
   }
   UdpPcb* pcb = so->udp();
-  for (auto& other : udp_pcbs_) {
-    if (other.get() != pcb && other->lport == addr.port &&
-        (other->laddr == addr.addr || other->laddr.IsAny() || addr.addr.IsAny())) {
-      return Error::kAddrInUse;
+  auto bucket = udp_by_lport_.find(addr.port);
+  if (bucket != udp_by_lport_.end()) {
+    for (UdpPcb* other : bucket->second) {
+      if (other != pcb &&
+          (other->laddr == addr.addr || other->laddr.IsAny() ||
+           addr.addr.IsAny())) {
+        return Error::kAddrInUse;
+      }
     }
   }
+  UdpIndexRemove(pcb);
   pcb->laddr = addr.addr;
   pcb->lport = addr.port;
+  UdpIndexInsert(pcb);
   return Error::kOk;
 }
 
@@ -52,6 +66,7 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
         pcb->connected = false;
         return Error::kNoBufs;
       }
+      UdpIndexInsert(pcb);
     }
     return Error::kOk;
   }
@@ -60,6 +75,7 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
   if (pcb->state != TcpState::kClosed) {
     return Error::kIsConn;
   }
+  TcpIndexRemove(pcb);  // the 4-tuple is about to change
   if (pcb->lport == 0) {
     pcb->lport = AllocEphemeralPort(/*tcp=*/true);
     if (pcb->lport == 0) {
@@ -76,6 +92,7 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
   }
   pcb->faddr = addr.addr;
   pcb->fport = addr.port;
+  TcpIndexInsert(pcb);
   pcb->iss = NextIss();
   pcb->snd_una = pcb->iss;
   pcb->snd_nxt = pcb->iss + 1;
@@ -85,10 +102,14 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
   pcb->snd.hiwat = default_sock_buf_;
   pcb->rcv.hiwat = default_sock_buf_;
   pcb->state = TcpState::kSynSent;
-  pcb->conn_timer = 60;  // 30 s
+  TcpArmConn(pcb, 60);  // 30 s
   TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn, nullptr, 0, 0, /*with_mss=*/true);
-  pcb->rexmt_timer = pcb->RtoTicks();
+  TcpArmRexmt(pcb, pcb->RtoTicks());
 
+  if (so->nonblocking()) {
+    // The caller polls completion through the selector / GetPeerName.
+    return Error::kWouldBlock;
+  }
   // Block until the handshake resolves (§4.7.6 sleep/wakeup).
   while (pcb->state == TcpState::kSynSent || pcb->state == TcpState::kSynReceived) {
     sleep_wakeup_.Sleep(&pcb->rcv);
@@ -114,6 +135,16 @@ Error NetStack::SoListen(BsdSocket* so, int backlog) {
   }
   pcb->backlog = backlog;
   pcb->state = TcpState::kListen;
+  // Enter the listeners-only demux index (idempotent for a re-listen);
+  // TcpIndexRemove drops the entry when the pcb leaves the tables.
+  auto& listeners = tcp_listeners_[pcb->lport];
+  bool present = false;
+  for (TcpPcb* other : listeners) {
+    present = present || other == pcb;
+  }
+  if (!present) {
+    listeners.push_back(pcb);
+  }
   return Error::kOk;
 }
 
@@ -126,6 +157,9 @@ Error NetStack::SoAccept(BsdSocket* so, SockAddr* out_peer, TcpPcb** out_pcb) {
     if (listener->state != TcpState::kListen) {
       return Error::kAborted;  // listener closed while we waited
     }
+    if (so->nonblocking()) {
+      return Error::kWouldBlock;
+    }
     sleep_wakeup_.Sleep(&listener->accept_queue);
   }
   TcpPcb* child = listener->accept_queue.front();
@@ -134,6 +168,28 @@ Error NetStack::SoAccept(BsdSocket* so, SockAddr* out_peer, TcpPcb** out_pcb) {
   out_peer->addr = child->faddr;
   out_peer->port = child->fport;
   *out_pcb = child;
+  return Error::kOk;
+}
+
+Error NetStack::SoAcceptBatch(BsdSocket* so, SockAddr* out_peers,
+                              Socket** out_sockets, size_t capacity,
+                              size_t* out_count) {
+  *out_count = 0;
+  TcpPcb* listener = so->tcp();
+  if (listener == nullptr || listener->state != TcpState::kListen) {
+    return Error::kInval;
+  }
+  size_t n = 0;
+  while (n < capacity && !listener->accept_queue.empty()) {
+    TcpPcb* child = listener->accept_queue.front();
+    listener->accept_queue.pop_front();
+    child->listener = nullptr;
+    out_peers[n].addr = child->faddr;
+    out_peers[n].port = child->fport;
+    out_sockets[n] = new BsdSocket(this, child);
+    ++n;
+  }
+  *out_count = n;
   return Error::kOk;
 }
 
@@ -165,6 +221,12 @@ Error NetStack::SoSend(BsdSocket* so, const void* buf, size_t len,
     }
     size_t space = pcb->snd.Space();
     if (space == 0) {
+      if (so->nonblocking()) {
+        if (sent > 0) {
+          break;  // short write
+        }
+        return Error::kWouldBlock;
+      }
       sleep_wakeup_.Sleep(&pcb->snd);
       continue;
     }
@@ -200,6 +262,9 @@ Error NetStack::SoRecv(BsdSocket* so, void* buf, size_t len, size_t* out_actual)
         return pcb->so_error;
       }
       return Error::kOk;  // EOF: *out_actual stays 0
+    }
+    if (so->nonblocking()) {
+      return Error::kWouldBlock;
     }
     sleep_wakeup_.Sleep(&pcb->rcv);
   }
@@ -239,6 +304,9 @@ Error NetStack::SoRecvFrom(BsdSocket* so, void* buf, size_t len, SockAddr* out_f
   }
   UdpPcb* pcb = so->udp();
   while (pcb->rcv_queue.empty()) {
+    if (so->nonblocking()) {
+      return Error::kWouldBlock;
+    }
     sleep_wakeup_.Sleep(&pcb->rcv_queue);
   }
   UdpPcb::Datagram dg = pcb->rcv_queue.front();
@@ -296,6 +364,7 @@ void NetStack::SoDetach(BsdSocket* so) {
         for (auto& dg : pcb->rcv_queue) {
           pool_.FreeChain(dg.data);
         }
+        UdpIndexRemove(pcb);
         udp_pcbs_.erase(it);
         break;
       }
@@ -310,12 +379,24 @@ void NetStack::SoDetach(BsdSocket* so) {
   pcb->socket = nullptr;
   pcb->detached = true;
 
-  // A dying listener orphans its not-yet-accepted children.
-  if (pcb->state == TcpState::kListen) {
+  // A dying listener orphans its not-yet-accepted children: half-open ones
+  // are torn down immediately, established ones get an orderly FIN close.
+  if (pcb->state == TcpState::kListen || !pcb->accept_queue.empty() ||
+      !pcb->syn_queue.empty()) {
+    for (TcpPcb* child : pcb->syn_queue) {
+      child->detached = true;
+      child->listener = nullptr;
+      SoShutdownPcb(child);  // SYN_RCVD drops straight to CLOSED
+      TcpCloseDone(child);
+    }
+    pcb->syn_queue.clear();
     for (TcpPcb* child : pcb->accept_queue) {
       child->detached = true;
       child->listener = nullptr;
       SoShutdownPcb(child);
+      if (child->state == TcpState::kClosed) {
+        TcpCloseDone(child);  // already dead: free it now
+      }
     }
     pcb->accept_queue.clear();
     pcb->state = TcpState::kClosed;
@@ -363,12 +444,18 @@ BsdSocket::BsdSocket(NetStack* stack, SockType type) : stack_(stack), type_(type
     pcb->socket = this;
     tcp_ = pcb.get();
     stack->tcp_pcbs_.push_back(std::move(pcb));
+    stack->TcpBindWheelTimers(tcp_);
   } else {
     auto pcb = std::make_unique<UdpPcb>();
     pcb->socket = this;
     udp_ = pcb.get();
     stack->udp_pcbs_.push_back(std::move(pcb));
   }
+}
+
+BsdSocket::BsdSocket(NetStack* stack, TcpPcb* adopt)
+    : stack_(stack), type_(SockType::kStream), tcp_(adopt) {
+  adopt->socket = this;
 }
 
 uint32_t BsdSocket::Release() {
@@ -387,8 +474,26 @@ Error BsdSocket::Query(const Guid& iid, void** out) {
     *out = static_cast<Socket*>(this);
     return Error::kOk;
   }
+  if (iid == SocketExt::kIid) {
+    // The optional capability interface (§4.4.2): only clients that ask for
+    // non-blocking / batched operation ever see it.
+    AddRef();
+    *out = static_cast<SocketExt*>(this);
+    return Error::kOk;
+  }
   *out = nullptr;
   return Error::kNoInterface;
+}
+
+Error BsdSocket::SetNonBlocking(bool on) {
+  nonblocking_ = on;
+  return Error::kOk;
+}
+
+Error BsdSocket::AcceptBatch(SockAddr* out_peers, Socket** out_sockets,
+                             size_t capacity, size_t* out_count) {
+  return stack_->SoAcceptBatch(this, out_peers, out_sockets, capacity,
+                               out_count);
 }
 
 Error BsdSocket::Bind(const SockAddr& addr) { return stack_->SoBind(this, addr); }
@@ -402,17 +507,9 @@ Error BsdSocket::Accept(SockAddr* out_peer, Socket** out_socket) {
   if (!Ok(err)) {
     return err;
   }
-  // Wrap the accepted connection in a fresh socket object.
-  auto* so = new BsdSocket(stack_, SockType::kStream);
-  // The constructor made a fresh pcb; swap it for the accepted one.
-  TcpPcb* fresh = so->tcp_;
-  so->tcp_ = child;
-  child->socket = so;
-  fresh->socket = nullptr;
-  fresh->detached = true;
-  fresh->state = TcpState::kClosed;
-  stack_->TcpCloseDone(fresh);
-  *out_socket = so;
+  // Wrap the accepted connection in a socket object that adopts the pcb
+  // directly (no throwaway pcb to build and tear down per accept).
+  *out_socket = new BsdSocket(stack_, child);
   return Error::kOk;
 }
 

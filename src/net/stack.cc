@@ -76,7 +76,8 @@ NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
     : sleep_env_(sleep_env),
       clock_(clock),
       trace_(trace::ResolveTraceEnv(trace)),
-      sleep_wakeup_(sleep_env, &trace_->recorder) {
+      sleep_wakeup_(sleep_env, &trace_->recorder),
+      epoch_(clock->Now()) {
   trace_binding_.Bind(
       &trace_->registry,
       {{"net.ip.in", &counters_.ip_in},
@@ -105,6 +106,23 @@ NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
        {"net.rx.glue_copied_bytes", &counters_.rx_glue_copied_bytes},
        {"net.rx.alloc_drops", &counters_.rx_alloc_drops},
        {"net.tx.errors", &counters_.tx_errors},
+       {"net.tcp.listen_overflows", &counters_.tcp_listen_overflows},
+       {"net.port.exhausted", &counters_.port_exhausted},
+       {"net.pcb.hash.hits", &counters_.pcb_hash_hits},
+       {"net.pcb.hash.misses", &counters_.pcb_hash_misses},
+       {"net.pcb.scan_full", &counters_.pcb_scan_full},
+       {"net.tcp.established", &counters_.tcp_established, /*gauge=*/true},
+       {"net.tcp.established_peak", &counters_.tcp_established_peak,
+        /*gauge=*/true},
+       {"net.timer.wheel.armed", &wheel_.armed_counter(), /*gauge=*/true},
+       {"net.timer.wheel.fired", &wheel_.fired_counter()},
+       {"net.timer.wheel.cascades", &wheel_.cascades_counter()},
+       {"net.select.adds", &counters_.select_adds},
+       {"net.select.removes", &counters_.select_removes},
+       {"net.select.notifies", &counters_.select_notifies},
+       {"net.select.wakeups", &counters_.select_wakeups},
+       {"net.select.harvested", &counters_.select_harvested},
+       {"net.select.registered", &counters_.select_registered, /*gauge=*/true},
        {"net.sleep.sleeps", &sleep_wakeup_.sleeps_counter()},
        {"net.sleep.wakeups", &sleep_wakeup_.wakeups_counter()}});
   StartTimers();
@@ -114,6 +132,7 @@ NetStack::~NetStack() {
   shutting_down_ = true;
   clock_->Cancel(fast_timer_);
   clock_->Cancel(slow_timer_);
+  clock_->Cancel(wheel_timer_);
   for (Iface& iface : ifaces_) {
     if (iface.dev) {
       iface.dev->Close();
@@ -140,10 +159,14 @@ NetStack::~NetStack() {
 }
 
 void NetStack::StartTimers() {
-  // BSD's 200 ms fast timer (delayed ACKs) and 500 ms slow timer
-  // (retransmit, persist, TIME_WAIT), self-rescheduling.
+  // All three periodic events run in both modes (so the ablation flag can
+  // flip without rescheduling); the mode check happens at fire time.  In
+  // linear mode the BSD 200 ms fast and 500 ms slow sweeps do the TCP work;
+  // in wheel mode the 100 ms wheel tick does, and the sweeps degenerate to
+  // the IP-level housekeeping that rides the slow event.
   ScheduleFastTimer();
   ScheduleSlowTimer();
+  ScheduleWheelTick();
 }
 
 void NetStack::ScheduleFastTimer() {
@@ -151,7 +174,9 @@ void NetStack::ScheduleFastTimer() {
     if (shutting_down_) {
       return;
     }
-    TcpFastTimo();
+    if (linear_internals_) {
+      TcpFastTimo();
+    }
     ScheduleFastTimer();
   });
 }
@@ -161,9 +186,24 @@ void NetStack::ScheduleSlowTimer() {
     if (shutting_down_) {
       return;
     }
-    TcpSlowTimo();
+    if (linear_internals_) {
+      TcpSlowTimo();
+    }
     FragTimeoutSweep();
     ScheduleSlowTimer();
+  });
+}
+
+void NetStack::ScheduleWheelTick() {
+  wheel_timer_ = clock_->ScheduleAfter(100 * kNsPerMs, [this] {
+    if (shutting_down_) {
+      return;
+    }
+    // Ticks in linear mode too (nothing is armed then, so it only advances
+    // now_): the wheel clock must stay in lockstep with SimClock or an
+    // ablation flip would skew every later arm.
+    wheel_.Tick();
+    ScheduleWheelTick();
   });
 }
 

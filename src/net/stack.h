@@ -21,17 +21,21 @@
 #define OSKIT_SRC_NET_STACK_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/com/etherdev.h"
 #include "src/com/netio.h"
+#include "src/com/netselector.h"
 #include "src/com/socket.h"
 #include "src/fault/fault.h"
 #include "src/machine/clock.h"
 #include "src/net/mbuf.h"
+#include "src/net/timer_wheel.h"
 #include "src/net/wire_formats.h"
 #include "src/sleep/sleep.h"
 #include "src/trace/trace.h"
@@ -106,6 +110,7 @@ struct SockBuf {
 
 class NetStack;
 class BsdSocket;
+class BsdSelector;
 
 enum class TcpState {
   kClosed,
@@ -158,17 +163,28 @@ struct TcpPcb {
   };
   std::list<OooSegment> reass;
 
-  // Timers, in slow-timer ticks (500 ms).
+  // Timers, in slow-timer ticks (500 ms).  In linear mode the sweeps
+  // decrement these fields; in wheel mode the fields are set by the arm
+  // helpers and `field != 0` mirrors `handle armed`.
   int rexmt_timer = 0;
   int persist_timer = 0;
   int time_wait_timer = 0;
   int conn_timer = 0;   // SYN / FIN give-up
   int rexmt_shift = 0;  // backoff exponent
 
+  // Wheel-mode timer handles (src/net/timer_wheel.h): intrusive, so a pcb
+  // deleted with live timers self-cancels.
+  WheelTimer rexmt_wheel;
+  WheelTimer persist_wheel;
+  WheelTimer conn_wheel;
+  WheelTimer time_wait_wheel;
+  WheelTimer delack_wheel;
+
   // RTT estimation (BSD units: srtt scaled by 8, rttvar by 4).
   int srtt = 0;
   int rttvar = 12;  // => initial RTO of 12 ticks (6 s), the BSD default
-  int rtt_ticks = -1;      // -1: not timing
+  int rtt_ticks = -1;      // -1: not timing (linear mode counts up in sweeps)
+  uint64_t rtt_start_slow = 0;  // slow tick the timing started (wheel mode)
   uint32_t rtt_seq = 0;    // sequence being timed
 
   bool delayed_ack = false;
@@ -177,8 +193,12 @@ struct TcpPcb {
   bool peer_fin_seen = false;
   Error so_error = Error::kOk;
 
-  // Listen state.
+  // Listen state.  The SYN queue holds half-open children (SYN_RCVD); on
+  // the third handshake step they migrate to the accept queue.  A SYN
+  // arriving when syn_queue + accept_queue is at capacity is dropped and
+  // counted (net.tcp.listen_overflows).
   std::list<TcpPcb*> accept_queue;
+  std::list<TcpPcb*> syn_queue;
   TcpPcb* listener = nullptr;
   int backlog = 0;
 
@@ -264,6 +284,19 @@ class NetStack {
     trace::Counter rx_glue_copied_bytes;  // forced-copy ablation counter
     trace::Counter rx_alloc_drops;        // RX import failed: no mbuf memory
     trace::Counter tx_errors;             // egress refused a frame
+    trace::Counter tcp_listen_overflows;  // SYNs dropped at a full queue
+    trace::Counter port_exhausted;        // ephemeral allocation failures
+    trace::Counter pcb_hash_hits;         // demux resolved by the 4-tuple map
+    trace::Counter pcb_hash_misses;       // ... fell through to the bucket walk
+    trace::Counter pcb_scan_full;         // linear-mode full PCB list scans
+    trace::Counter tcp_established;       // gauge: live ESTABLISHED pcbs
+    trace::Counter tcp_established_peak;
+    trace::Counter select_adds;           // NetSelector registrations
+    trace::Counter select_removes;
+    trace::Counter select_notifies;       // readiness notifications delivered
+    trace::Counter select_wakeups;        // blocked Wait calls woken
+    trace::Counter select_harvested;      // events returned by Wait
+    trace::Counter select_registered;     // gauge: live registrations
   };
 
   // `trace` is the observability environment to report into; null binds the
@@ -287,6 +320,9 @@ class NetStack {
 
   // ---- Socket factory (registered with posix_set_socketcreator) ----
   ComPtr<SocketFactory> CreateSocketFactory();
+
+  // ---- Readiness interface (src/com/netselector.h) ----
+  ComPtr<NetSelector> CreateSelector();
 
   // ---- ICMP echo (ping) ----
   // Blocks until a reply arrives or `timeout_ns` elapses.
@@ -337,8 +373,22 @@ class NetStack {
   // Probed at the RX mbuf-import boundary ("mbuf.rx_alloc").
   void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
 
+  // Ablation hook: revert TCP demux to the original full-list PCB scans and
+  // connection timers to the BSD fast/slow field sweeps.  Default is the
+  // O(1) internals (4-tuple hash + hierarchical timer wheel).  Flip only
+  // while the stack has no TCP connections.
+  void SetLinearTcpInternals(bool linear) { linear_internals_ = linear; }
+  bool linear_tcp_internals() const { return linear_internals_; }
+
+  const TimerWheel& timer_wheel() const { return wheel_; }
+
+  // kmon `netstat`: dumps PCB tables, listen queues, and selector
+  // registrations, one formatted line per emit() call.
+  void Netstat(const std::function<void(const char*)>& emit);
+
  private:
   friend class BsdSocket;
+  friend class BsdSelector;
   friend class StackRecvNetIo;
 
   struct Iface {
@@ -438,6 +488,64 @@ class NetStack {
   uint16_t AllocEphemeralPort(bool tcp);
   uint32_t NextIss();
 
+  // ---- PCB lookup indices ----
+  // Maintained in BOTH modes (so the ablation flag can flip between runs);
+  // only the demux path consults them in hash mode.  A pcb is indexed iff
+  // its lport is nonzero; the 4-tuple map additionally requires a foreign
+  // endpoint.
+  struct TcpKey {
+    uint32_t laddr;
+    uint32_t faddr;
+    uint32_t ports;  // lport << 16 | fport
+    friend bool operator==(const TcpKey&, const TcpKey&) = default;
+  };
+  struct TcpKeyHash {
+    size_t operator()(const TcpKey& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.laddr) << 32) | k.faddr;
+      h ^= static_cast<uint64_t>(k.ports) * 0x9e3779b97f4a7c15ull;
+      h ^= h >> 29;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 32;
+      return static_cast<size_t>(h);
+    }
+  };
+  static TcpKey MakeTcpKey(InetAddr laddr, uint16_t lport, InetAddr faddr,
+                           uint16_t fport) {
+    return TcpKey{laddr.value, faddr.value,
+                  (static_cast<uint32_t>(lport) << 16) | fport};
+  }
+  void TcpIndexInsert(TcpPcb* pcb);
+  void TcpIndexRemove(TcpPcb* pcb);
+  void UdpIndexInsert(UdpPcb* pcb);
+  void UdpIndexRemove(UdpPcb* pcb);
+
+  // ---- connection timer plumbing ----
+  // The helpers keep the legacy int fields and the wheel handles in sync:
+  // linear mode writes only the fields (the sweeps do the rest), wheel mode
+  // additionally arms/cancels the per-pcb handle at the exact slow/fast
+  // boundary the sweep would have hit.
+  void TcpBindWheelTimers(TcpPcb* pcb);
+  void TcpArmRexmt(TcpPcb* pcb, int ticks);
+  void TcpCancelRexmt(TcpPcb* pcb);
+  void TcpArmPersist(TcpPcb* pcb, int ticks);
+  void TcpCancelPersist(TcpPcb* pcb);
+  void TcpArmConn(TcpPcb* pcb, int ticks);
+  void TcpCancelConn(TcpPcb* pcb);
+  void TcpArmTimeWait(TcpPcb* pcb, int ticks);
+  void TcpCancelAllTimers(TcpPcb* pcb);
+  void TcpSetDelayedAck(TcpPcb* pcb);
+  void TcpPersistExpired(TcpPcb* pcb);
+  void TcpRttStart(TcpPcb* pcb);
+  int TcpRttElapsed(const TcpPcb* pcb) const;
+  // Slow (500 ms) / fast (200 ms) tick counts since stack construction.
+  uint64_t CurSlowTick() const;
+  uint64_t CurFastTick() const;
+  void WheelArmSlow(WheelTimer* timer, int slow_ticks);
+
+  // ---- readiness plumbing (src/net/selector.cc) ----
+  uint32_t SoReadiness(BsdSocket* so);
+  void SoNotify(BsdSocket* so);
+
   // ---- sockbuf helpers ----
   void SbAppend(SockBuf* sb, MBuf* chain);
   // Moves up to `len` bytes out of `sb` into `dst`; returns bytes moved.
@@ -457,12 +565,15 @@ class NetStack {
   Error SoRecvFrom(BsdSocket* so, void* buf, size_t len, SockAddr* out_from,
                    size_t* out_actual);
   Error SoShutdown(BsdSocket* so, SockShutdown how);
+  Error SoAcceptBatch(BsdSocket* so, SockAddr* out_peers, Socket** out_sockets,
+                      size_t capacity, size_t* out_count);
   void SoDetach(BsdSocket* so);  // socket released: orderly close, disown pcb
   void SoShutdownPcb(TcpPcb* pcb);  // FIN-queue a pcb directly
 
   void StartTimers();
   void ScheduleFastTimer();
   void ScheduleSlowTimer();
+  void ScheduleWheelTick();
 
   SleepEnv* sleep_env_;
   SimClock* clock_;
@@ -482,8 +593,25 @@ class NetStack {
   uint16_t icmp_ident_ = 1;
   std::list<PendingEcho> pending_echoes_;
 
+  bool linear_internals_ = false;
+  SimTime epoch_ = 0;  // clock value at construction; tick counts are relative
+  // Declared before the PCB lists: members destroy in reverse order, so the
+  // pcbs' intrusive WheelTimers self-cancel against a live wheel.
+  TimerWheel wheel_;
+
   std::list<std::unique_ptr<TcpPcb>> tcp_pcbs_;
   std::list<std::unique_ptr<UdpPcb>> udp_pcbs_;
+
+  // Demux indices (see "PCB lookup indices" above).
+  std::unordered_map<TcpKey, TcpPcb*, TcpKeyHash> tcp_conn_;
+  std::unordered_map<uint16_t, std::vector<TcpPcb*>> tcp_by_lport_;
+  // Listeners only, by port: keeps the SYN path O(1) instead of walking a
+  // lport bucket that also holds every accepted child of that listener.
+  std::unordered_map<uint16_t, std::vector<TcpPcb*>> tcp_listeners_;
+  std::unordered_map<uint16_t, std::vector<UdpPcb*>> udp_by_lport_;
+
+  // Live selectors (weak; each unregisters itself in its destructor).
+  std::vector<BsdSelector*> selectors_;
 
   // Connections touched while an RX batch is open, with the strongest
   // force_ack seen; flushed (after a liveness check against tcp_pcbs_ —
@@ -502,6 +630,7 @@ class NetStack {
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
   SimClock::EventId fast_timer_ = SimClock::kInvalidEvent;
   SimClock::EventId slow_timer_ = SimClock::kInvalidEvent;
+  SimClock::EventId wheel_timer_ = SimClock::kInvalidEvent;
   bool shutting_down_ = false;
 };
 
@@ -509,9 +638,13 @@ class NetStack {
 // The COM socket object
 // ---------------------------------------------------------------------------
 
-class BsdSocket final : public Socket, public RefCounted<BsdSocket> {
+class BsdSocket final : public Socket,
+                        public SocketExt,
+                        public RefCounted<BsdSocket> {
  public:
   BsdSocket(NetStack* stack, SockType type);
+  // Adopts an already-connected pcb (batch accept): no fresh pcb is built.
+  BsdSocket(NetStack* stack, TcpPcb* adopt);
 
   // IUnknown
   Error Query(const Guid& iid, void** out) override;
@@ -533,19 +666,28 @@ class BsdSocket final : public Socket, public RefCounted<BsdSocket> {
   Error GetSockName(SockAddr* out_addr) override;
   Error GetPeerName(SockAddr* out_addr) override;
 
+  // SocketExt
+  Error SetNonBlocking(bool on) override;
+  Error AcceptBatch(SockAddr* out_peers, Socket** out_sockets, size_t capacity,
+                    size_t* out_count) override;
+
   SockType type() const { return type_; }
   TcpPcb* tcp() { return tcp_; }
   UdpPcb* udp() { return udp_; }
+  bool nonblocking() const { return nonblocking_; }
 
  private:
   friend class NetStack;
+  friend class BsdSelector;
   friend class RefCounted<BsdSocket>;
-  ~BsdSocket() = default;
+  ~BsdSocket();
 
   NetStack* stack_;
   SockType type_;
   TcpPcb* tcp_ = nullptr;
   UdpPcb* udp_ = nullptr;
+  bool nonblocking_ = false;
+  BsdSelector* selector_ = nullptr;  // the selector this socket is added to
 };
 
 }  // namespace oskit::net

@@ -48,6 +48,9 @@ const char* TcpStateName(TcpState s) {
 }
 
 uint16_t NetStack::AllocEphemeralPort(bool tcp) {
+  // O(1) per candidate: the rotating hint plus a hash-bucket probe replaces
+  // the old full-PCB-list scan per try.  The rotation order (and therefore
+  // the ports handed out) is unchanged.
   for (int tries = 0; tries < 16384; ++tries) {
     uint16_t port = next_ephemeral_++;
     if (next_ephemeral_ == 0) {
@@ -56,29 +59,71 @@ uint16_t NetStack::AllocEphemeralPort(bool tcp) {
     if (port < 49152) {
       continue;
     }
-    bool taken = false;
-    if (tcp) {
-      for (auto& pcb : tcp_pcbs_) {
-        if (pcb->lport == port) {
-          taken = true;
-          break;
-        }
-      }
-    } else {
-      for (auto& pcb : udp_pcbs_) {
-        if (pcb->lport == port) {
-          taken = true;
-          break;
-        }
-      }
-    }
+    bool taken = tcp ? tcp_by_lport_.count(port) != 0
+                     : udp_by_lport_.count(port) != 0;
     if (!taken) {
       return port;
     }
   }
   // Port space exhausted: a resource failure the socket layer surfaces as
   // kNoBufs, not a reason to bring the kernel down.
+  ++counters_.port_exhausted;
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// PCB lookup indices
+// ---------------------------------------------------------------------------
+
+void NetStack::TcpIndexInsert(TcpPcb* pcb) {
+  if (pcb->lport == 0) {
+    return;
+  }
+  tcp_by_lport_[pcb->lport].push_back(pcb);
+  if (pcb->fport != 0 || pcb->faddr.value != 0) {
+    // First insert wins on a key collision, mirroring the linear scan's
+    // first-match rule; the shadowed pcb is still reachable through the
+    // lport bucket fallback.
+    tcp_conn_.emplace(MakeTcpKey(pcb->laddr, pcb->lport, pcb->faddr, pcb->fport),
+                      pcb);
+  }
+}
+
+void NetStack::TcpIndexRemove(TcpPcb* pcb) {
+  if (pcb->lport == 0) {
+    return;
+  }
+  auto bucket = tcp_by_lport_.find(pcb->lport);
+  if (bucket != tcp_by_lport_.end()) {
+    auto& vec = bucket->second;
+    for (auto it = vec.begin(); it != vec.end(); ++it) {
+      if (*it == pcb) {
+        vec.erase(it);
+        break;
+      }
+    }
+    if (vec.empty()) {
+      tcp_by_lport_.erase(bucket);  // keep count() meaning "port in use"
+    }
+  }
+  auto conn = tcp_conn_.find(
+      MakeTcpKey(pcb->laddr, pcb->lport, pcb->faddr, pcb->fport));
+  if (conn != tcp_conn_.end() && conn->second == pcb) {
+    tcp_conn_.erase(conn);
+  }
+  auto lis = tcp_listeners_.find(pcb->lport);
+  if (lis != tcp_listeners_.end()) {
+    auto& vec = lis->second;
+    for (auto it = vec.begin(); it != vec.end(); ++it) {
+      if (*it == pcb) {
+        vec.erase(it);
+        break;
+      }
+    }
+    if (vec.empty()) {
+      tcp_listeners_.erase(lis);
+    }
+  }
 }
 
 uint32_t NetStack::NextIss() {
@@ -88,23 +133,70 @@ uint32_t NetStack::NextIss() {
 
 TcpPcb* NetStack::TcpLookup(InetAddr src, uint16_t sport, InetAddr dst,
                             uint16_t dport) {
-  TcpPcb* listener = nullptr;
-  for (auto& pcb : tcp_pcbs_) {
-    if (pcb->lport != dport) {
-      continue;
-    }
-    if (pcb->state == TcpState::kListen) {
-      if (pcb->laddr.IsAny() || pcb->laddr == dst) {
-        listener = pcb.get();
+  if (linear_internals_) {
+    // Ablation baseline: the original 4.4BSD full PCB-list scan.
+    ++counters_.pcb_scan_full;
+    TcpPcb* listener = nullptr;
+    for (auto& pcb : tcp_pcbs_) {
+      if (pcb->lport != dport) {
+        continue;
       }
-      continue;
+      if (pcb->state == TcpState::kListen) {
+        if (pcb->laddr.IsAny() || pcb->laddr == dst) {
+          listener = pcb.get();
+        }
+        continue;
+      }
+      if (pcb->faddr == src && pcb->fport == sport &&
+          (pcb->laddr == dst || pcb->laddr.IsAny())) {
+        return pcb.get();
+      }
     }
-    if (pcb->faddr == src && pcb->fport == sport &&
-        (pcb->laddr == dst || pcb->laddr.IsAny())) {
-      return pcb.get();
+    return listener;
+  }
+  // Exact 4-tuple hit first: the established-connection hot path.
+  auto conn = tcp_conn_.find(MakeTcpKey(dst, dport, src, sport));
+  if (conn != tcp_conn_.end() && conn->second->state != TcpState::kListen) {
+    ++counters_.pcb_hash_hits;
+    return conn->second;
+  }
+  ++counters_.pcb_hash_misses;
+  // A miss is almost always a SYN (or a stray segment) for a listening
+  // port: resolve it through the listeners-only index, which is O(listeners
+  // on that port), NOT O(connections sharing it) like the lport bucket —
+  // the server's port bucket holds every accepted child.  The last-matching
+  // listener tie-break matches the linear scan's.
+  TcpPcb* listener = nullptr;
+  auto lis = tcp_listeners_.find(dport);
+  if (lis != tcp_listeners_.end()) {
+    for (TcpPcb* pcb : lis->second) {
+      if (pcb->laddr.IsAny() || pcb->laddr == dst) {
+        listener = pcb;
+      }
     }
   }
-  return listener;
+  if (listener != nullptr) {
+    return listener;
+  }
+  // No listener either: defensive full bucket walk for pcbs the exact map
+  // cannot see (a wildcard-bound connection, or one shadowed by a key
+  // collision).  Neither arises by construction — connect and accept both
+  // pin laddr before indexing, and the ephemeral allocator never reissues a
+  // port with any live pcb — so this is a correctness backstop, and the
+  // bucket it scans (a client-side ephemeral port) holds one or two pcbs.
+  auto bucket = tcp_by_lport_.find(dport);
+  if (bucket != tcp_by_lport_.end()) {
+    for (TcpPcb* pcb : bucket->second) {
+      if (pcb->state == TcpState::kListen) {
+        continue;
+      }
+      if (pcb->faddr == src && pcb->fport == sport &&
+          (pcb->laddr == dst || pcb->laddr.IsAny())) {
+        return pcb;
+      }
+    }
+  }
+  return nullptr;
 }
 
 uint32_t NetStack::TcpReceiveWindow(const TcpPcb* pcb) const {
@@ -113,15 +205,29 @@ uint32_t NetStack::TcpReceiveWindow(const TcpPcb* pcb) const {
 }
 
 void NetStack::TcpSetState(TcpPcb* pcb, TcpState next) {
+  // The ESTABLISHED gauge (and its high-water mark) is what the C10k bench
+  // reads for "concurrently open connections".  Every transition into or
+  // out of kEstablished funnels through here.
+  if (next == TcpState::kEstablished && pcb->state != TcpState::kEstablished) {
+    ++counters_.tcp_established;
+    if (counters_.tcp_established.value() >
+        counters_.tcp_established_peak.value()) {
+      counters_.tcp_established_peak.Set(counters_.tcp_established.value());
+    }
+  } else if (pcb->state == TcpState::kEstablished &&
+             next != TcpState::kEstablished) {
+    counters_.tcp_established -= 1;
+  }
   pcb->state = next;
   if (next == TcpState::kTimeWait) {
-    pcb->time_wait_timer = kTimeWaitTicks;
-    pcb->rexmt_timer = 0;
-    pcb->persist_timer = 0;
+    TcpArmTimeWait(pcb, kTimeWaitTicks);
+    TcpCancelRexmt(pcb);
+    TcpCancelPersist(pcb);
   }
   // State changes are interesting to both directions of any blocked caller.
   sleep_wakeup_.Wakeup(&pcb->rcv);
   sleep_wakeup_.Wakeup(&pcb->snd);
+  SoNotify(pcb->socket);
 }
 
 // ---------------------------------------------------------------------------
@@ -252,7 +358,7 @@ void NetStack::TcpOutput(TcpPcb* pcb, bool force_ack) {
     if (len == 0 && !send_fin && available > 0 && usable == 0 && !force_ack) {
       // Zero window: let the persist timer probe.
       if (pcb->persist_timer == 0) {
-        pcb->persist_timer = pcb->RtoTicks();
+        TcpArmPersist(pcb, pcb->RtoTicks());
       }
       break;
     }
@@ -267,8 +373,7 @@ void NetStack::TcpOutput(TcpPcb* pcb, bool force_ack) {
 
     // Time this transmission for RTT estimation when nothing is timed.
     if (len > 0 && pcb->rtt_ticks < 0) {
-      pcb->rtt_ticks = 0;
-      pcb->rtt_seq = pcb->snd_nxt;
+      TcpRttStart(pcb);
     }
 
     TcpSendSegment(pcb, pcb->snd_nxt, flags, pcb->snd.head, off, len, false);
@@ -283,7 +388,7 @@ void NetStack::TcpOutput(TcpPcb* pcb, bool force_ack) {
     }
     // Anything outstanding needs the retransmit timer.
     if (pcb->rexmt_timer == 0 && pcb->snd_nxt != pcb->snd_una) {
-      pcb->rexmt_timer = pcb->RtoTicks();
+      TcpArmRexmt(pcb, pcb->RtoTicks());
     }
     force_ack = false;
     if (len == 0 && !send_fin) {
@@ -338,7 +443,7 @@ void NetStack::TcpProcessAck(TcpPcb* pcb, const TcpHeader& th) {
   // RTT sample when the timed sequence is covered (Karn: only if never
   // retransmitted, which rexmt_shift == 0 approximates).
   if (pcb->rtt_ticks >= 0 && SeqGt(ack, pcb->rtt_seq) && pcb->rexmt_shift == 0) {
-    TcpUpdateRtt(pcb, pcb->rtt_ticks);
+    TcpUpdateRtt(pcb, TcpRttElapsed(pcb));
   }
 
   // Congestion window growth.
@@ -368,9 +473,14 @@ void NetStack::TcpProcessAck(TcpPcb* pcb, const TcpHeader& th) {
   pcb->dup_acks = 0;
 
   // Retransmit timer: restart while data is outstanding.
-  pcb->rexmt_timer = pcb->snd_una == pcb->snd_max ? 0 : pcb->RtoTicks();
+  if (pcb->snd_una == pcb->snd_max) {
+    TcpCancelRexmt(pcb);
+  } else {
+    TcpArmRexmt(pcb, pcb->RtoTicks());
+  }
 
   sleep_wakeup_.Wakeup(&pcb->snd);
+  SoNotify(pcb->socket);
 }
 
 void NetStack::TcpAppendRcv(TcpPcb* pcb, MBuf* data) {
@@ -407,6 +517,7 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
       it = pcb->reass.erase(it);
     }
     sleep_wakeup_.Wakeup(&pcb->rcv);
+    SoNotify(pcb->socket);
     return;
   }
   // Out of order: insert sorted (drop exact duplicates).
@@ -482,15 +593,13 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
       return;
     }
     // so_qlen in BSD counts half-open children as well as the established
-    // ones waiting in the accept queue.
-    int qlen = 0;
-    for (auto& p : tcp_pcbs_) {
-      if (p->listener == pcb) {
-        ++qlen;
-      }
-    }
-    if (qlen >= pcb->backlog + 1) {
-      pool_.FreeChain(payload);  // overloaded: silently drop the SYN
+    // ones waiting in the accept queue.  Both live on the listener now, so
+    // this is O(1) — and dead children no longer count against the backlog
+    // (they leave the SYN queue in TcpCloseDone).
+    size_t qlen = pcb->syn_queue.size() + pcb->accept_queue.size();
+    if (qlen >= static_cast<size_t>(pcb->backlog) + 1) {
+      ++counters_.tcp_listen_overflows;
+      pool_.FreeChain(payload);  // overloaded: drop the SYN, client retries
       return;
     }
     // Passive open: manufacture the child connection.
@@ -515,12 +624,15 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
     child->snd.hiwat = default_sock_buf_;
     child->rcv.hiwat = default_sock_buf_;
     child->state = TcpState::kSynReceived;
-    child->conn_timer = kConnTimeoutTicks;
     TcpPcb* child_raw = child.get();
     tcp_pcbs_.push_back(std::move(child));
+    TcpIndexInsert(child_raw);
+    TcpBindWheelTimers(child_raw);
+    TcpArmConn(child_raw, kConnTimeoutTicks);
+    pcb->syn_queue.push_back(child_raw);
     TcpSendSegment(child_raw, child_raw->iss, kTcpFlagSyn | kTcpFlagAck, nullptr, 0, 0,
                    /*with_mss=*/true);
-    child_raw->rexmt_timer = child_raw->RtoTicks();
+    TcpArmRexmt(child_raw, child_raw->RtoTicks());
     pool_.FreeChain(payload);
     return;
   }
@@ -555,8 +667,8 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
     if ((th.flags & kTcpFlagAck) != 0) {
       // Our SYN is acknowledged: ESTABLISHED.
       pcb->snd_una = th.ack;
-      pcb->rexmt_timer = 0;
-      pcb->conn_timer = 0;
+      TcpCancelRexmt(pcb);
+      TcpCancelConn(pcb);
       TcpSetState(pcb, TcpState::kEstablished);
       TcpOutput(pcb, /*force_ack=*/true);
     } else {
@@ -631,14 +743,17 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
     switch (pcb->state) {
       case TcpState::kSynReceived:
         if (SeqGt(th.ack, pcb->snd_una) && SeqLeq(th.ack, pcb->snd_max)) {
-          pcb->rexmt_timer = 0;
-          pcb->conn_timer = 0;
+          TcpCancelRexmt(pcb);
+          TcpCancelConn(pcb);
           TcpSetState(pcb, TcpState::kEstablished);
           TcpProcessAck(pcb, th);
-          // Hand the connection to the listener's accept queue.
+          // Hand the connection over: out of the SYN queue, into the
+          // listener's accept queue.
           if (pcb->listener != nullptr) {
+            pcb->listener->syn_queue.remove(pcb);
             pcb->listener->accept_queue.push_back(pcb);
             sleep_wakeup_.Wakeup(&pcb->listener->accept_queue);
+            SoNotify(pcb->listener->socket);
           }
         } else {
           TcpSendRst(ip, th, data_len);
@@ -726,7 +841,7 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
         if (pcb->delayed_ack) {
           send_now = true;
         } else {
-          pcb->delayed_ack = true;
+          TcpSetDelayedAck(pcb);
         }
       } else {
         send_now = true;  // duplicate ACK for fast retransmit at the sender
@@ -758,12 +873,13 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
         TcpSetState(pcb, TcpState::kTimeWait);
         break;
       case TcpState::kTimeWait:
-        pcb->time_wait_timer = kTimeWaitTicks;  // restart 2MSL
+        TcpArmTimeWait(pcb, kTimeWaitTicks);  // restart 2MSL
         break;
       default:
         break;
     }
     sleep_wakeup_.Wakeup(&pcb->rcv);
+    SoNotify(pcb->socket);
   }
 
   if (rx_batch_active_) {
@@ -842,18 +958,18 @@ void NetStack::TcpRexmtExpired(TcpPcb* pcb) {
 
   if (pcb->state == TcpState::kSynSent) {
     TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn, nullptr, 0, 0, /*with_mss=*/true);
-    pcb->rexmt_timer = pcb->RtoTicks();
+    TcpArmRexmt(pcb, pcb->RtoTicks());
     return;
   }
   if (pcb->state == TcpState::kSynReceived) {
     TcpSendSegment(pcb, pcb->iss, kTcpFlagSyn | kTcpFlagAck, nullptr, 0, 0, true);
-    pcb->rexmt_timer = pcb->RtoTicks();
+    TcpArmRexmt(pcb, pcb->RtoTicks());
     return;
   }
   pcb->snd_nxt = pcb->snd_una;
   pcb->fin_sent = false;  // a lost FIN must be resent
   TcpOutput(pcb, false);
-  pcb->rexmt_timer = pcb->RtoTicks();
+  TcpArmRexmt(pcb, pcb->RtoTicks());
 }
 
 void NetStack::TcpSlowTimo() {
@@ -888,22 +1004,174 @@ void NetStack::TcpSlowTimo() {
       continue;
     }
     if (pcb->persist_timer > 0 && --pcb->persist_timer == 0) {
-      // Window probe: force out one byte past the window.
-      if (pcb->snd.cc > pcb->snd_nxt - pcb->snd_una) {
-        uint32_t off = pcb->snd_nxt - pcb->snd_una;
-        TcpSendSegment(pcb, pcb->snd_nxt, kTcpFlagAck, pcb->snd.head, off, 1, false);
-        pcb->snd_nxt += 1;
-        if (SeqGt(pcb->snd_nxt, pcb->snd_max)) {
-          pcb->snd_max = pcb->snd_nxt;
-        }
-      }
-      pcb->persist_timer = pcb->RtoTicks() * 2;
+      TcpPersistExpired(pcb);
     }
     if (pcb->state == TcpState::kTimeWait && --pcb->time_wait_timer <= 0) {
       TcpSetState(pcb, TcpState::kClosed);
       TcpCloseDone(pcb);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Wheel-mode timer plumbing
+// ---------------------------------------------------------------------------
+//
+// The wheel ticks every 100 ms — the GCD of the BSD fast (200 ms) and slow
+// (500 ms) periods — so a classic timer armed for N slow ticks maps to the
+// absolute wheel tick (CurSlowTick() + N) * 5: exactly the moment the sweep
+// would have decremented the field to zero.  Both the sweeps and the wheel
+// tick are scheduled further ahead than any packet delivery, so at equal
+// timestamps timers run before packets in both modes and the two
+// implementations stay byte-identical on the wire (the netscale property
+// test holds this over lossy seeds).
+
+uint64_t NetStack::CurSlowTick() const {
+  return static_cast<uint64_t>(clock_->Now() - epoch_) / 500'000'000ull;
+}
+
+uint64_t NetStack::CurFastTick() const {
+  return static_cast<uint64_t>(clock_->Now() - epoch_) / 200'000'000ull;
+}
+
+void NetStack::WheelArmSlow(WheelTimer* timer, int slow_ticks) {
+  uint64_t fire = (CurSlowTick() + static_cast<uint64_t>(slow_ticks)) * 5;
+  wheel_.Arm(timer, fire - wheel_.now());
+}
+
+void NetStack::TcpBindWheelTimers(TcpPcb* pcb) {
+  wheel_.Bind(&pcb->rexmt_wheel, [this, pcb] {
+    pcb->rexmt_timer = 0;
+    // The sweep `continue`s after a retransmit expiry, postponing a
+    // same-tick persist expiry by one whole slow tick; mirror that.
+    if (pcb->persist_wheel.armed() &&
+        pcb->persist_wheel.deadline() == wheel_.now()) {
+      wheel_.Arm(&pcb->persist_wheel, 5);
+    }
+    TcpRexmtExpired(pcb);
+  });
+  wheel_.Bind(&pcb->persist_wheel, [this, pcb] {
+    if (pcb->rexmt_wheel.armed() &&
+        pcb->rexmt_wheel.deadline() == wheel_.now()) {
+      // The retransmit expiry due this same tick takes sweep precedence.
+      wheel_.Arm(&pcb->persist_wheel, 5);
+      return;
+    }
+    pcb->persist_timer = 0;
+    TcpPersistExpired(pcb);
+  });
+  wheel_.Bind(&pcb->conn_wheel, [this, pcb] {
+    pcb->conn_timer = 0;
+    TcpDrop(pcb, Error::kTimedOut);
+  });
+  wheel_.Bind(&pcb->time_wait_wheel, [this, pcb] {
+    pcb->time_wait_timer = 0;
+    if (pcb->state == TcpState::kTimeWait) {
+      TcpSetState(pcb, TcpState::kClosed);
+      TcpCloseDone(pcb);
+    }
+  });
+  wheel_.Bind(&pcb->delack_wheel, [this, pcb] {
+    if (pcb->delayed_ack) {
+      ++counters_.tcp_delayed_acks;
+      TcpOutput(pcb, /*force_ack=*/true);
+    }
+  });
+}
+
+void NetStack::TcpArmRexmt(TcpPcb* pcb, int ticks) {
+  pcb->rexmt_timer = ticks;
+  if (!linear_internals_) {
+    WheelArmSlow(&pcb->rexmt_wheel, ticks);
+  }
+}
+
+void NetStack::TcpCancelRexmt(TcpPcb* pcb) {
+  pcb->rexmt_timer = 0;
+  wheel_.Cancel(&pcb->rexmt_wheel);
+}
+
+void NetStack::TcpArmPersist(TcpPcb* pcb, int ticks) {
+  pcb->persist_timer = ticks;
+  if (!linear_internals_) {
+    WheelArmSlow(&pcb->persist_wheel, ticks);
+  }
+}
+
+void NetStack::TcpCancelPersist(TcpPcb* pcb) {
+  pcb->persist_timer = 0;
+  wheel_.Cancel(&pcb->persist_wheel);
+}
+
+void NetStack::TcpArmConn(TcpPcb* pcb, int ticks) {
+  pcb->conn_timer = ticks;
+  if (!linear_internals_) {
+    WheelArmSlow(&pcb->conn_wheel, ticks);
+  }
+}
+
+void NetStack::TcpCancelConn(TcpPcb* pcb) {
+  pcb->conn_timer = 0;
+  wheel_.Cancel(&pcb->conn_wheel);
+}
+
+void NetStack::TcpArmTimeWait(TcpPcb* pcb, int ticks) {
+  pcb->time_wait_timer = ticks;
+  if (!linear_internals_) {
+    WheelArmSlow(&pcb->time_wait_wheel, ticks);
+  }
+}
+
+void NetStack::TcpCancelAllTimers(TcpPcb* pcb) {
+  pcb->rexmt_timer = 0;
+  pcb->persist_timer = 0;
+  pcb->conn_timer = 0;
+  pcb->time_wait_timer = 0;
+  pcb->delayed_ack = false;
+  wheel_.Cancel(&pcb->rexmt_wheel);
+  wheel_.Cancel(&pcb->persist_wheel);
+  wheel_.Cancel(&pcb->conn_wheel);
+  wheel_.Cancel(&pcb->time_wait_wheel);
+  wheel_.Cancel(&pcb->delack_wheel);
+}
+
+void NetStack::TcpSetDelayedAck(TcpPcb* pcb) {
+  pcb->delayed_ack = true;
+  // Whenever the flag is set, the handle is armed for the next fast (200 ms)
+  // boundary — the same instant the fast sweep would notice the flag.  An
+  // already-armed handle necessarily points at that boundary.
+  if (!linear_internals_ && !pcb->delack_wheel.armed()) {
+    uint64_t fire = (CurFastTick() + 1) * 2;
+    wheel_.Arm(&pcb->delack_wheel, fire - wheel_.now());
+  }
+}
+
+void NetStack::TcpPersistExpired(TcpPcb* pcb) {
+  // Window probe: force out one byte past the window.
+  if (pcb->snd.cc > pcb->snd_nxt - pcb->snd_una) {
+    uint32_t off = pcb->snd_nxt - pcb->snd_una;
+    TcpSendSegment(pcb, pcb->snd_nxt, kTcpFlagAck, pcb->snd.head, off, 1, false);
+    pcb->snd_nxt += 1;
+    if (SeqGt(pcb->snd_nxt, pcb->snd_max)) {
+      pcb->snd_max = pcb->snd_nxt;
+    }
+  }
+  TcpArmPersist(pcb, pcb->RtoTicks() * 2);
+}
+
+void NetStack::TcpRttStart(TcpPcb* pcb) {
+  pcb->rtt_ticks = 0;
+  pcb->rtt_seq = pcb->snd_nxt;
+  pcb->rtt_start_slow = CurSlowTick();
+}
+
+int NetStack::TcpRttElapsed(const TcpPcb* pcb) const {
+  // Linear mode counts the field up in the slow sweep; wheel mode derives
+  // the same number of elapsed slow boundaries from the clock.
+  if (linear_internals_) {
+    return pcb->rtt_ticks;
+  }
+  return static_cast<int>(CurSlowTick() - pcb->rtt_start_slow);
 }
 
 // ---------------------------------------------------------------------------
@@ -929,11 +1197,38 @@ void NetStack::TcpDrop(TcpPcb* pcb, Error err, bool announce) {
 void NetStack::TcpCloseDone(TcpPcb* pcb) {
   sleep_wakeup_.Wakeup(&pcb->rcv);
   sleep_wakeup_.Wakeup(&pcb->snd);
+  SoNotify(pcb->socket);
+  // A closed pcb must never fire a timer again: the sweeps used to keep
+  // decrementing fields on closed-but-referenced pcbs (inflating the
+  // retransmit counter with no-op output passes), and a wheel callback on a
+  // freed pcb would be worse.
+  TcpCancelAllTimers(pcb);
+  if (pcb->listener != nullptr) {
+    // A half-open child dying (RST, handshake timeout) leaves the SYN
+    // queue, freeing its backlog slot.
+    pcb->listener->syn_queue.remove(pcb);
+    if (pcb->socket == nullptr) {
+      // A child already promoted to the accept queue stays allocated so a
+      // later Accept can still return it (and deliver so_error there);
+      // anything else has no owner left and frees now.
+      bool queued_for_accept = false;
+      for (TcpPcb* q : pcb->listener->accept_queue) {
+        if (q == pcb) {
+          queued_for_accept = true;
+          break;
+        }
+      }
+      if (!queued_for_accept) {
+        pcb->detached = true;
+      }
+    }
+  }
   // Children queued on a listener that is going away are orphaned by
   // SoDetach; here we only reap detached, fully-closed pcbs.
   if (!pcb->detached) {
     return;  // the socket still references it; freed on SoDetach
   }
+  TcpIndexRemove(pcb);
   for (auto it = tcp_pcbs_.begin(); it != tcp_pcbs_.end(); ++it) {
     if (it->get() == pcb) {
       SbFlush(&pcb->snd);

@@ -1,0 +1,157 @@
+#include "src/net/timer_wheel.h"
+
+#include <utility>
+
+#include "src/base/panic.h"
+
+namespace oskit {
+
+namespace {
+
+// Span (in ticks) covered by everything up to and including each level.
+constexpr uint64_t kSpan0 = TimerWheel::kL0Slots;                  // 2^8
+constexpr uint64_t kSpan1 = kSpan0 * TimerWheel::kLevelSlots;      // 2^14
+constexpr uint64_t kSpan2 = kSpan1 * TimerWheel::kLevelSlots;      // 2^20
+constexpr uint64_t kSpan3 = kSpan2 * TimerWheel::kLevelSlots;      // 2^26
+
+}  // namespace
+
+WheelTimer::~WheelTimer() {
+  if (wheel_ != nullptr) {
+    wheel_->Cancel(this);
+  }
+}
+
+TimerWheel::TimerWheel() = default;
+
+TimerWheel::~TimerWheel() {
+  // Orphan any timers still linked so their destructors do not chase a
+  // dead wheel.  (NetStack declares the wheel before the PCB lists, so in
+  // practice PCB timers die first; this is belt and braces.)
+  for (uint64_t i = 0; i < kL0Slots; ++i) {
+    for (WheelTimer* t = l0_[i]; t != nullptr;) {
+      WheelTimer* next = t->next_;
+      t->wheel_ = nullptr;
+      t = next;
+    }
+  }
+  for (int level = 0; level < kLevels - 1; ++level) {
+    for (uint64_t i = 0; i < kLevelSlots; ++i) {
+      for (WheelTimer* t = up_[level][i]; t != nullptr;) {
+        WheelTimer* next = t->next_;
+        t->wheel_ = nullptr;
+        t = next;
+      }
+    }
+  }
+}
+
+void TimerWheel::Bind(WheelTimer* timer, std::function<void()> fn) {
+  timer->fn_ = std::move(fn);
+}
+
+void TimerWheel::Arm(WheelTimer* timer, uint64_t delay_ticks) {
+  OSKIT_ASSERT_MSG(timer->fn_ != nullptr, "arming unbound wheel timer");
+  if (timer->wheel_ != nullptr) {
+    Cancel(timer);  // restart semantics
+  }
+  if (delay_ticks == 0) {
+    delay_ticks = 1;  // "fire at the next tick", never synchronously
+  }
+  if (delay_ticks >= kSpan3) {
+    delay_ticks = kSpan3 - 1;  // clamp far-future arms to the wheel's span
+  }
+  Place(timer, now_ + delay_ticks);
+}
+
+void TimerWheel::Cancel(WheelTimer* timer) {
+  if (timer->wheel_ == nullptr) {
+    return;
+  }
+  OSKIT_ASSERT_MSG(timer->wheel_ == this, "timer canceled on wrong wheel");
+  Unlink(timer);
+}
+
+void TimerWheel::Place(WheelTimer* timer, uint64_t deadline) {
+  uint64_t delta = deadline > now_ ? deadline - now_ : 0;
+  WheelTimer** head;
+  if (delta < kSpan0) {
+    head = &l0_[deadline & (kL0Slots - 1)];
+  } else if (delta < kSpan1) {
+    head = &up_[0][(deadline >> kL0Bits) & (kLevelSlots - 1)];
+  } else if (delta < kSpan2) {
+    head = &up_[1][(deadline >> (kL0Bits + kLevelBits)) & (kLevelSlots - 1)];
+  } else {
+    head = &up_[2][(deadline >> (kL0Bits + 2 * kLevelBits)) &
+                   (kLevelSlots - 1)];
+  }
+  timer->wheel_ = this;
+  timer->deadline_ = deadline;
+  timer->next_ = *head;
+  timer->pprev_ = head;
+  if (*head != nullptr) {
+    (*head)->pprev_ = &timer->next_;
+  }
+  *head = timer;
+  ++armed_count_;
+}
+
+void TimerWheel::Unlink(WheelTimer* timer) {
+  *timer->pprev_ = timer->next_;
+  if (timer->next_ != nullptr) {
+    timer->next_->pprev_ = timer->pprev_;
+  }
+  timer->wheel_ = nullptr;
+  timer->next_ = nullptr;
+  timer->pprev_ = nullptr;
+  armed_count_ -= 1;
+}
+
+void TimerWheel::Cascade(int level, uint64_t slot) {
+  ++cascades_;
+  WheelTimer** head = &up_[level][slot];
+  WheelTimer* list = *head;
+  *head = nullptr;
+  while (list != nullptr) {
+    WheelTimer* timer = list;
+    list = timer->next_;
+    // The node is being re-homed wholesale; fix its links by hand rather
+    // than through Unlink (the old list head is already detached).
+    timer->wheel_ = nullptr;
+    timer->next_ = nullptr;
+    timer->pprev_ = nullptr;
+    armed_count_ -= 1;
+    Place(timer, timer->deadline_);
+  }
+}
+
+void TimerWheel::Tick() {
+  ++now_;
+  uint64_t idx = now_ & (kL0Slots - 1);
+  if (idx == 0) {
+    // L0 wrapped: pull the next level-1 slot down; if that level wrapped
+    // too, recurse upward first so its timers are in place to cascade.
+    uint64_t s1 = (now_ >> kL0Bits) & (kLevelSlots - 1);
+    if (s1 == 0) {
+      uint64_t s2 = (now_ >> (kL0Bits + kLevelBits)) & (kLevelSlots - 1);
+      if (s2 == 0) {
+        uint64_t s3 =
+            (now_ >> (kL0Bits + 2 * kLevelBits)) & (kLevelSlots - 1);
+        Cascade(2, s3);
+      }
+      Cascade(1, s2);
+    }
+    Cascade(0, s1);
+  }
+  // Fire everything due now.  Pop head-by-head: a callback may cancel or
+  // destroy any other timer in this slot (or re-arm itself).
+  while (l0_[idx] != nullptr) {
+    WheelTimer* timer = l0_[idx];
+    OSKIT_ASSERT_MSG(timer->deadline_ == now_, "stale timer in L0 slot");
+    Unlink(timer);
+    ++fired_;
+    timer->fn_();
+  }
+}
+
+}  // namespace oskit

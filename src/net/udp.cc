@@ -7,17 +7,47 @@
 
 namespace oskit::net {
 
-UdpPcb* NetStack::UdpLookup(InetAddr dst, uint16_t dport) {
-  UdpPcb* wildcard = nullptr;
-  for (auto& pcb : udp_pcbs_) {
-    if (pcb->lport != dport) {
-      continue;
+void NetStack::UdpIndexInsert(UdpPcb* pcb) {
+  if (pcb->lport == 0) {
+    return;
+  }
+  udp_by_lport_[pcb->lport].push_back(pcb);
+}
+
+void NetStack::UdpIndexRemove(UdpPcb* pcb) {
+  if (pcb->lport == 0) {
+    return;
+  }
+  auto bucket = udp_by_lport_.find(pcb->lport);
+  if (bucket == udp_by_lport_.end()) {
+    return;
+  }
+  auto& vec = bucket->second;
+  for (auto it = vec.begin(); it != vec.end(); ++it) {
+    if (*it == pcb) {
+      vec.erase(it);
+      break;
     }
+  }
+  if (vec.empty()) {
+    udp_by_lport_.erase(bucket);
+  }
+}
+
+UdpPcb* NetStack::UdpLookup(InetAddr dst, uint16_t dport) {
+  // The lport bucket replaces the full PCB-list scan; the match rule
+  // (exact laddr beats wildcard) is unchanged.
+  auto bucket = udp_by_lport_.find(dport);
+  if (bucket == udp_by_lport_.end()) {
+    return nullptr;
+  }
+  UdpPcb* wildcard = nullptr;
+  for (UdpPcb* pcb : bucket->second) {
     if (pcb->laddr == dst) {
-      return pcb.get();
+      return pcb;
     }
     if (pcb->laddr.IsAny()) {
-      wildcard = pcb.get();
+      wildcard = pcb;
     }
   }
   return wildcard;
@@ -81,6 +111,7 @@ void NetStack::UdpInput(const Ipv4Header& ip, MBuf* payload) {
   pcb->rcv_queue.push_back(dg);
   pcb->rcv_bytes += data_len;
   sleep_wakeup_.Wakeup(&pcb->rcv_queue);
+  SoNotify(pcb->socket);
 }
 
 Error NetStack::UdpOutput(UdpPcb* pcb, const SockAddr& to, MBuf* payload) {
@@ -90,6 +121,7 @@ Error NetStack::UdpOutput(UdpPcb* pcb, const SockAddr& to, MBuf* payload) {
       pool_.FreeChain(payload);
       return Error::kNoBufs;
     }
+    UdpIndexInsert(pcb);
   }
   size_t data_len = payload->pkt_len;
   size_t udp_len = data_len + kUdpHeaderSize;

@@ -27,6 +27,7 @@
 #include "src/dev/linux/linux_glue.h"
 #include "src/kern/kernel.h"
 #include "src/machine/machine.h"
+#include "src/machine/switch.h"
 #include "src/net/linux/linux_stack.h"
 #include "src/net/stack.h"
 
@@ -74,10 +75,21 @@ class World {
   // passes one per-seed env and arms sites on it before/while running.
   explicit World(const EthernetWire::Config& wire_config = {},
                  fault::FaultEnv* fault = nullptr);
+  // Switched fabric: every AddHost NIC attaches to a VirtualSwitch port
+  // instead of the shared segment.  This is the scale-out topology the C10k
+  // benchmark uses (the two-host shared wire stays as the ablation
+  // baseline).
+  explicit World(const VirtualSwitch::Config& switch_config,
+                 fault::FaultEnv* fault = nullptr);
   ~World();
 
   Simulation& sim() { return sim_; }
+  // Shared-segment worlds only.
   EthernetWire& wire() { return *wire_; }
+  // Switched worlds only (null otherwise).
+  VirtualSwitch* vswitch() { return switch_.get(); }
+  // The fabric hosts attach to, whichever topology was built.
+  EtherLink& link() { return *link_; }
 
   // Adds a host with one NIC attached to the segment, books it through the
   // loader/kernel-support path, and binds the requested network stack.
@@ -94,6 +106,8 @@ class World {
  private:
   Simulation sim_;
   std::unique_ptr<EthernetWire> wire_;
+  std::unique_ptr<VirtualSwitch> switch_;
+  EtherLink* link_ = nullptr;
   fault::FaultEnv* fault_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };

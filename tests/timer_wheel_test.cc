@@ -1,0 +1,226 @@
+// Hierarchical timing wheel unit tests: exact fire ticks, cascade
+// boundaries at every level, cancel/restart semantics, callback-driven
+// mutation of peers, and destruction with live timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/timer_wheel.h"
+
+namespace oskit {
+namespace {
+
+// Ticks the wheel `n` times.
+void Advance(TimerWheel& wheel, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    wheel.Tick();
+  }
+}
+
+TEST(TimerWheelTest, FiresExactlyAtDeadline) {
+  TimerWheel wheel;
+  uint64_t fired_at = 0;
+  WheelTimer t;
+  wheel.Bind(&t, [&] { fired_at = wheel.now(); });
+  wheel.Arm(&t, 37);
+  EXPECT_TRUE(t.armed());
+  Advance(wheel, 36);
+  EXPECT_EQ(0u, fired_at);
+  EXPECT_TRUE(t.armed());
+  wheel.Tick();
+  EXPECT_EQ(37u, fired_at);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(1u, wheel.fired());
+}
+
+TEST(TimerWheelTest, ZeroDelayClampsToNextTick) {
+  // BSD timer semantics: a value of N means "between N-1 and N periods",
+  // never "immediately in this tick".
+  TimerWheel wheel;
+  int fires = 0;
+  WheelTimer t;
+  wheel.Bind(&t, [&] { ++fires; });
+  wheel.Arm(&t, 0);
+  EXPECT_EQ(wheel.now() + 1, t.deadline());
+  wheel.Tick();
+  EXPECT_EQ(1, fires);
+}
+
+TEST(TimerWheelTest, EveryDelayAcrossCascadeBoundariesFiresOnTime) {
+  // Delays straddling each level boundary (256, 16384, ...) and the odd
+  // values around them must all fire at exactly now+delay, regardless of
+  // how many cascades carry them down.
+  const uint64_t delays[] = {1,   2,    255,  256,   257,   511,  512,
+                             513, 4095, 4096, 16383, 16384, 16385, 100000};
+  TimerWheel wheel;
+  std::vector<WheelTimer> timers(std::size(delays));
+  std::vector<uint64_t> fired_at(std::size(delays), 0);
+  for (size_t i = 0; i < std::size(delays); ++i) {
+    wheel.Bind(&timers[i], [&, i] { fired_at[i] = wheel.now(); });
+    wheel.Arm(&timers[i], delays[i]);
+  }
+  Advance(wheel, 100001);
+  for (size_t i = 0; i < std::size(delays); ++i) {
+    EXPECT_EQ(delays[i], fired_at[i]) << "delay " << delays[i];
+  }
+  EXPECT_GT(wheel.cascades(), 0u);
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, CascadePreservesOrderWithinOneTick) {
+  // Two timers due the same tick, armed before and after a cascade
+  // boundary: both must fire during that tick.
+  TimerWheel wheel;
+  int fires = 0;
+  WheelTimer a;
+  WheelTimer b;
+  wheel.Bind(&a, [&] { ++fires; });
+  wheel.Bind(&b, [&] { ++fires; });
+  wheel.Arm(&a, 300);  // parked in level 1, cascades at tick 256
+  Advance(wheel, 200);
+  wheel.Arm(&b, 100);  // same absolute deadline (300), lands in L0 directly
+  EXPECT_EQ(a.deadline(), b.deadline());
+  Advance(wheel, 100);
+  EXPECT_EQ(2, fires);
+}
+
+TEST(TimerWheelTest, CancelBeforeFireSuppresses) {
+  TimerWheel wheel;
+  int fires = 0;
+  WheelTimer t;
+  wheel.Bind(&t, [&] { ++fires; });
+  wheel.Arm(&t, 5);
+  wheel.Cancel(&t);
+  EXPECT_FALSE(t.armed());
+  Advance(wheel, 10);
+  EXPECT_EQ(0, fires);
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, CancelAfterFireIsHarmlessAndRearmWorks) {
+  TimerWheel wheel;
+  int fires = 0;
+  WheelTimer t;
+  wheel.Bind(&t, [&] { ++fires; });
+  wheel.Arm(&t, 3);
+  Advance(wheel, 3);
+  EXPECT_EQ(1, fires);
+  wheel.Cancel(&t);  // already fired: must be a no-op
+  Advance(wheel, 3);
+  EXPECT_EQ(1, fires);
+  wheel.Arm(&t, 2);  // the handle is reusable after firing
+  Advance(wheel, 2);
+  EXPECT_EQ(2, fires);
+}
+
+TEST(TimerWheelTest, RearmMovesTheDeadline) {
+  // Classic restart: re-arming an armed timer replaces the old deadline
+  // entirely — it must not fire at the original time.
+  TimerWheel wheel;
+  std::vector<uint64_t> fires;
+  WheelTimer t;
+  wheel.Bind(&t, [&] { fires.push_back(wheel.now()); });
+  wheel.Arm(&t, 4);
+  wheel.Arm(&t, 20);
+  Advance(wheel, 30);
+  ASSERT_EQ(1u, fires.size());
+  EXPECT_EQ(20u, fires[0]);
+}
+
+TEST(TimerWheelTest, CallbackMayRearmItself) {
+  TimerWheel wheel;
+  std::vector<uint64_t> fires;
+  WheelTimer t;
+  wheel.Bind(&t, [&] {
+    fires.push_back(wheel.now());
+    if (fires.size() < 3) {
+      wheel.Arm(&t, 10);
+    }
+  });
+  wheel.Arm(&t, 10);
+  Advance(wheel, 100);
+  ASSERT_EQ(3u, fires.size());
+  EXPECT_EQ(10u, fires[0]);
+  EXPECT_EQ(20u, fires[1]);
+  EXPECT_EQ(30u, fires[2]);
+}
+
+TEST(TimerWheelTest, CallbackMayCancelAPeerDueThisTick) {
+  // The fire loop walks head-by-head precisely so a callback can cancel a
+  // peer that was due the same tick.
+  TimerWheel wheel;
+  int peer_fires = 0;
+  WheelTimer killer;
+  WheelTimer victim;
+  wheel.Bind(&victim, [&] { ++peer_fires; });
+  wheel.Bind(&killer, [&] { wheel.Cancel(&victim); });
+  // Same slot, same tick; arm the killer second so it runs first (Place
+  // pushes at the slot head, and the fire loop pops the head).
+  wheel.Arm(&victim, 7);
+  wheel.Arm(&killer, 7);
+  Advance(wheel, 7);
+  EXPECT_EQ(0, peer_fires);
+  EXPECT_FALSE(victim.armed());
+}
+
+TEST(TimerWheelTest, FarFutureDeadlineIsClampedNotLost) {
+  // A delay beyond the 4-level span must clamp to the maximum representable
+  // deadline instead of wrapping into the near future (or being dropped).
+  TimerWheel wheel;
+  int fires = 0;
+  WheelTimer t;
+  wheel.Bind(&t, [&] { ++fires; });
+  wheel.Arm(&t, ~uint64_t{0});
+  EXPECT_TRUE(t.armed());
+  Advance(wheel, 100000);  // far longer than any real test runs
+  EXPECT_EQ(0, fires);
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(1u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, DestroyingArmedTimerUnlinksItself) {
+  TimerWheel wheel;
+  int fires = 0;
+  {
+    WheelTimer t;
+    wheel.Bind(&t, [&] { ++fires; });
+    wheel.Arm(&t, 5);
+    EXPECT_EQ(1u, wheel.armed_count());
+  }  // ~WheelTimer cancels
+  EXPECT_EQ(0u, wheel.armed_count());
+  Advance(wheel, 10);
+  EXPECT_EQ(0, fires);
+}
+
+TEST(TimerWheelTest, ManyTimersStressCountsAreExact) {
+  // 1000 timers with deterministic pseudo-random delays; every one fires
+  // exactly once at its deadline and the counters reconcile.
+  TimerWheel wheel;
+  constexpr int kTimers = 1000;
+  std::vector<WheelTimer> timers(kTimers);
+  std::vector<uint64_t> want(kTimers);
+  std::vector<uint64_t> got(kTimers, 0);
+  uint64_t x = 0x9e3779b9;
+  uint64_t max_delay = 0;
+  for (int i = 0; i < kTimers; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t delay = 1 + (x >> 33) % 50000;
+    want[i] = delay;
+    if (delay > max_delay) {
+      max_delay = delay;
+    }
+    wheel.Bind(&timers[i], [&, i] { got[i] = wheel.now(); });
+    wheel.Arm(&timers[i], delay);
+  }
+  EXPECT_EQ(static_cast<uint64_t>(kTimers), wheel.armed_count());
+  Advance(wheel, max_delay + 1);
+  for (int i = 0; i < kTimers; ++i) {
+    EXPECT_EQ(want[i], got[i]) << "timer " << i;
+  }
+  EXPECT_EQ(static_cast<uint64_t>(kTimers), wheel.fired());
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+}  // namespace
+}  // namespace oskit
