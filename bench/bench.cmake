@@ -29,3 +29,5 @@ target_link_libraries(fault_campaign PRIVATE oskit_fault oskit_amm
   oskit_memdebug)
 oskit_bench(crash_campaign)
 target_link_libraries(crash_campaign PRIVATE oskit_fault)
+oskit_bench(tenant_campaign)
+target_link_libraries(tenant_campaign PRIVATE oskit_secure)

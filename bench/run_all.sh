@@ -9,7 +9,9 @@
 # aggregate durability counters; BENCH_napi.json, produced by the NAPI
 # ablation with IRQs-per-frame and frames-per-poll at wire saturation;
 # BENCH_c10k.json, produced by the scale-out C10k bench with held-open
-# concurrency, connect-to-echo latency percentiles, and switch statistics).
+# concurrency, connect-to-echo latency percentiles, and switch statistics;
+# BENCH_tenant.json, produced by the multi-tenant hostile-tenant campaign
+# with per-seed victim p99 ratios, quota denial counts, and leak checks).
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
@@ -28,6 +30,7 @@ SG_JSON_OUT="$BENCH_DIR/BENCH_sg.json"
 CRASH_JSON_OUT="$BENCH_DIR/BENCH_crash.json"
 NAPI_JSON_OUT="$BENCH_DIR/BENCH_napi.json"
 C10K_JSON_OUT="$BENCH_DIR/BENCH_c10k.json"
+TENANT_JSON_OUT="$BENCH_DIR/BENCH_tenant.json"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -72,6 +75,7 @@ run_bench ablation_alloc
 run_bench ablation_bufio
 run_bench fault_campaign   --seeds 8 --json "$FAULT_JSON_OUT"
 run_bench crash_campaign   --seeds 2 --json "$CRASH_JSON_OUT"
+run_bench tenant_campaign  --seeds 5 --json "$TENANT_JSON_OUT"
 
 if [ -f "$JSON_OUT" ]; then
     echo "wrote $JSON_OUT"
@@ -107,6 +111,12 @@ if [ -f "$C10K_JSON_OUT" ]; then
     echo "wrote $C10K_JSON_OUT"
 else
     echo "FAIL BENCH_c10k.json was not produced"
+    status=1
+fi
+if [ -f "$TENANT_JSON_OUT" ]; then
+    echo "wrote $TENANT_JSON_OUT"
+else
+    echo "FAIL BENCH_tenant.json was not produced"
     status=1
 fi
 

@@ -65,6 +65,7 @@ enum class Error : int32_t {
   kAborted = 0x103,      // OSKIT_E_ABORT: operation aborted
   kOutOfRange = 0x104,   // read/write beyond object bounds
   kCorrupt = 0x105,      // on-media structure failed validation
+  kQuotaExceeded = 0x106,  // per-principal resource budget exhausted (§3.8)
 };
 
 // Human-readable name for diagnostics and test failure messages.

@@ -290,6 +290,14 @@ Error Offs::NoteMetaOp() {
   if (journal_ == nullptr) {
     return Error::kOk;
   }
+  if (meta_admit_) {
+    // Per-principal admission before any intent write: denial aborts the
+    // metadata op here, with nothing yet enlisted in the transaction.
+    Error err = meta_admit_();
+    if (!Ok(err)) {
+      return err;
+    }
+  }
   // Commit early at operation boundaries so the open transaction always
   // fits the journal: the batch so far is consistent, the next op starts a
   // fresh one.
@@ -357,6 +365,9 @@ Error Offs::Sync() {
     return err;
   }
   if (txn_blocks_.empty()) {
+    if (meta_committed_) {
+      meta_committed_();  // admitted ops that dirtied nothing still settle
+    }
     return Error::kOk;
   }
 
@@ -367,6 +378,9 @@ Error Offs::Sync() {
     // fallback never fires on their workloads.
     ++jcounters_.overflows;
     txn_blocks_.clear();
+    if (meta_committed_) {
+      meta_committed_();
+    }
     err = cache_->Sync();
     if (!Ok(err)) {
       return err;
@@ -392,6 +406,9 @@ Error Offs::Sync() {
   ++jcounters_.commits;
   jcounters_.blocks_logged += targets.size();
   txn_blocks_.clear();
+  if (meta_committed_) {
+    meta_committed_();
+  }
 
   // Phase 3: home-location writeback (ascending) behind the commit barrier.
   for (uint32_t block : targets) {

@@ -10,6 +10,7 @@
 #ifndef OSKIT_SRC_FS_FFS_H_
 #define OSKIT_SRC_FS_FFS_H_
 
+#include <functional>
 #include <memory>
 #include <set>
 
@@ -114,6 +115,19 @@ class Offs final : public FileSystem, public RefCounted<Offs> {
   // capacity (keeping every batch atomically commitable).
   Error NoteMetaOp();
 
+  // Per-principal journal-transaction admission (src/secure).  `admit` runs
+  // at the top of NoteMetaOp on journaled volumes, BEFORE the op's intent
+  // blocks join the open transaction; a non-kOk return aborts the metadata
+  // op with that error (the COM wrappers surface it unchanged).
+  // `committed` runs each time the open transaction reaches the disk (or
+  // drains empty) in Sync, so the accountant can credit outstanding
+  // journal-txn charges.
+  void SetMetaHooks(std::function<Error()> admit,
+                    std::function<void()> committed) {
+    meta_admit_ = std::move(admit);
+    meta_committed_ = std::move(committed);
+  }
+
   // ---- exposed for the File/Dir wrappers and white-box tests ----
   // MarkDirty for a METADATA block: also enlists it in the open journal
   // transaction (and thereby pins it against eviction until commit).
@@ -135,6 +149,8 @@ class Offs final : public FileSystem, public RefCounted<Offs> {
   std::unique_ptr<BlockCache> cache_;
   std::unique_ptr<JournalWriter> journal_;  // null on unjournaled volumes
   std::set<uint32_t> txn_blocks_;  // the open transaction's metadata blocks
+  std::function<Error()> meta_admit_;      // see SetMetaHooks
+  std::function<void()> meta_committed_;
   JournalCounters jcounters_;
   trace::CounterBlock jcounters_binding_;
   uint64_t mtime_counter_ = 0;

@@ -308,10 +308,18 @@ void KernelMonitor::CmdNetstat() {
   netstat_([this](const char* line) { Print("%s\n", line); });
 }
 
+void KernelMonitor::CmdTenants() {
+  if (!tenants_) {
+    Print("no principal registry attached\n");
+    return;
+  }
+  tenants_([this](const char* line) { Print("%s\n", line); });
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
         "counters [prefix] | trace dump|clear | fault [arm|disarm|seed] | "
-        "nicmit [idx threshold holdoff_us] | netstat | "
+        "nicmit [idx threshold holdoff_us] | netstat | tenants | "
         "s step | c continue | halt | help\n");
 }
 
@@ -348,6 +356,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdNicMit(args);
     } else if (cmd == "netstat") {
       CmdNetstat();
+    } else if (cmd == "tenants") {
+      CmdTenants();
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

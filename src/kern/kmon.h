@@ -23,6 +23,8 @@
 //   nicmit <idx> <threshold> <holdoff_us>   program a NIC's mitigation
 //   netstat           dump the attached stack's PCB tables, listen queues,
 //                     timer wheel, and selector registrations
+//   tenants           dump the attached principal registry: per-tenant
+//                     budgets, live charges, and denial counts
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -63,6 +65,12 @@ class KernelMonitor {
       std::function<void(const std::function<void(const char*)>&)>;
   void SetNetstatSource(NetstatSource source) { netstat_ = std::move(source); }
 
+  // Optional: backs the 'tenants' command the same way — the owner plugs in
+  // a dumper forwarding to PrincipalRegistry::Tenants (the monitor cannot
+  // link src/secure; layering again).
+  using TenantsSource = NetstatSource;
+  void SetTenantsSource(TenantsSource source) { tenants_ = std::move(source); }
+
   bool halted() const { return halted_; }
   bool step_requested() const { return step_requested_; }
   uint64_t commands_handled() const { return commands_handled_; }
@@ -79,12 +87,14 @@ class KernelMonitor {
   void CmdFault(const std::string& args);
   void CmdNicMit(const std::string& args);
   void CmdNetstat();
+  void CmdTenants();
   void CmdHelp();
 
   KernelEnv* kernel_;
   BaseConsole* console_;
   PageDirectory* page_dir_ = nullptr;
   NetstatSource netstat_;
+  TenantsSource tenants_;
   bool halted_ = false;
   bool step_requested_ = false;
   uint64_t commands_handled_ = 0;

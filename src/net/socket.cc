@@ -64,7 +64,8 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
       pcb->lport = AllocEphemeralPort(/*tcp=*/false);
       if (pcb->lport == 0) {
         pcb->connected = false;
-        return Error::kNoBufs;
+        // EADDRNOTAVAIL, distinguishable from mbuf exhaustion (kNoBufs).
+        return Error::kAddrNotAvail;
       }
       UdpIndexInsert(pcb);
     }
@@ -79,7 +80,10 @@ Error NetStack::SoConnect(BsdSocket* so, const SockAddr& addr) {
   if (pcb->lport == 0) {
     pcb->lport = AllocEphemeralPort(/*tcp=*/true);
     if (pcb->lport == 0) {
-      return Error::kNoBufs;
+      // EADDRNOTAVAIL: the ephemeral range is spent.  Distinguishable from
+      // kNoBufs (mbuf memory) and kQuotaExceeded (per-principal denial),
+      // each with its own counter (net.port.exhausted here).
+      return Error::kAddrNotAvail;
     }
   }
   if (pcb->laddr.IsAny()) {
@@ -271,6 +275,7 @@ Error NetStack::SoRecv(BsdSocket* so, void* buf, size_t len, size_t* out_actual)
   uint32_t window_before = TcpReceiveWindow(pcb);
   size_t n = SbCopyOut(&pcb->rcv, buf, len);
   *out_actual = n;
+  AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, n);
   // Window update: tell the peer promptly when the window opened
   // significantly (BSD: two MSS or half the buffer).
   uint32_t window_after = TcpReceiveWindow(pcb);
@@ -313,6 +318,7 @@ Error NetStack::SoRecvFrom(BsdSocket* so, void* buf, size_t len, SockAddr* out_f
   pcb->rcv_queue.pop_front();
   size_t dg_len = MbufPool::ChainLength(dg.data);
   pcb->rcv_bytes -= dg_len;
+  AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, dg_len);
   size_t n = dg_len < len ? dg_len : len;
   pool_.CopyData(dg.data, 0, n, buf);
   pool_.FreeChain(dg.data);
@@ -361,6 +367,7 @@ void NetStack::SoDetach(BsdSocket* so) {
     }
     for (auto it = udp_pcbs_.begin(); it != udp_pcbs_.end(); ++it) {
       if (it->get() == pcb) {
+        AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, pcb->rx_charged);
         for (auto& dg : pcb->rcv_queue) {
           pool_.FreeChain(dg.data);
         }

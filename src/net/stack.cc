@@ -107,6 +107,8 @@ NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
        {"net.rx.alloc_drops", &counters_.rx_alloc_drops},
        {"net.tx.errors", &counters_.tx_errors},
        {"net.tcp.listen_overflows", &counters_.tcp_listen_overflows},
+       {"net.tcp.syn_admission_shed", &counters_.tcp_syn_admission_shed},
+       {"net.rx.quota_shed", &counters_.rx_quota_shed},
        {"net.port.exhausted", &counters_.port_exhausted},
        {"net.pcb.hash.hits", &counters_.pcb_hash_hits},
        {"net.pcb.hash.misses", &counters_.pcb_hash_misses},
@@ -531,6 +533,32 @@ void NetStack::IpSendViaIface(int ifindex, InetAddr next_hop, MBuf* datagram) {
   entry.pending = datagram;
   entry.resolved = false;
   SendArpRequest(ifindex, next_hop);
+}
+
+// ---------------------------------------------------------------------------
+// Per-principal accounting plumbing (SoAccounting)
+// ---------------------------------------------------------------------------
+
+bool NetStack::AcctChargeRx(BsdSocket* owner, size_t* rx_charged, void** tag,
+                            size_t bytes) {
+  if (accounting_ == nullptr) {
+    return true;
+  }
+  if (!accounting_->ChargeRx(static_cast<Socket*>(owner), tag, bytes)) {
+    ++counters_.rx_quota_shed;
+    return false;
+  }
+  *rx_charged += bytes;
+  return true;
+}
+
+void NetStack::AcctCreditRx(size_t* rx_charged, void* tag, size_t bytes) {
+  if (accounting_ == nullptr || *rx_charged == 0) {
+    return;
+  }
+  size_t n = bytes < *rx_charged ? bytes : *rx_charged;
+  *rx_charged -= n;
+  accounting_->CreditRx(tag, n);
 }
 
 }  // namespace oskit::net

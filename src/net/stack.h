@@ -205,6 +205,13 @@ struct TcpPcb {
   BsdSocket* socket = nullptr;  // null once detached
   bool detached = false;
 
+  // Per-principal accounting (SoAccounting): bytes charged against the
+  // owner's mbuf budget that have not been credited back yet, and the
+  // accountant's attribution tag.  rx_charged is drained symmetrically by
+  // SoRecv and zeroed at TcpCloseDone reaping, so the books always balance.
+  size_t rx_charged = 0;
+  void* acct_tag = nullptr;
+
   int RtoTicks() const {
     int rto = (srtt >> 3) + rttvar;
     if (rto < 2) {
@@ -232,6 +239,44 @@ struct UdpPcb {
 
   BsdSocket* socket = nullptr;
   bool detached = false;
+
+  // Per-principal accounting, as in TcpPcb.
+  size_t rx_charged = 0;
+  void* acct_tag = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Per-principal accounting hooks (src/secure)
+// ---------------------------------------------------------------------------
+
+// Graceful-degradation enforcement points that live BELOW the socket API,
+// where a greedy tenant's traffic lands without any COM call to interpose
+// on.  The security layer (src/secure) implements this and attributes each
+// socket to a principal; the stack stays principal-agnostic.
+//
+// Attribution uses an opaque per-pcb tag: the first ChargeRx sets *tag from
+// the owning socket (the listener's socket for not-yet-accepted children),
+// and later charges/credits pass it back — so credits still reach the right
+// books after the socket detaches from the pcb.
+class SoAccounting {
+ public:
+  virtual ~SoAccounting() = default;
+
+  // LISTEN SYN admission, consulted after the backlog check.  Returning
+  // false sheds the SYN (counted net.tcp.syn_admission_shed): the peer
+  // retransmits, so an over-budget tenant's connection storm degrades into
+  // slow connects instead of starving other listeners' memory.
+  virtual bool AdmitSyn(Socket* listener) = 0;
+
+  // RX delivery: charge `bytes` against the owner before they enter the
+  // receive buffer.  Returning false sheds the segment/datagram unACKed
+  // (counted net.rx.quota_shed); TCP peers retransmit, so nothing is lost —
+  // the tenant is simply flow-controlled at its mbuf budget.
+  virtual bool ChargeRx(Socket* owner, void** tag, size_t bytes) = 0;
+
+  // Credits bytes drained by the application (SoRecv/SoRecvFrom) or flushed
+  // at connection teardown.  `tag` is whatever ChargeRx stored.
+  virtual void CreditRx(void* tag, size_t bytes) = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -285,6 +330,8 @@ class NetStack {
     trace::Counter rx_alloc_drops;        // RX import failed: no mbuf memory
     trace::Counter tx_errors;             // egress refused a frame
     trace::Counter tcp_listen_overflows;  // SYNs dropped at a full queue
+    trace::Counter tcp_syn_admission_shed;  // SYNs shed by SoAccounting
+    trace::Counter rx_quota_shed;         // RX deliveries shed by SoAccounting
     trace::Counter port_exhausted;        // ephemeral allocation failures
     trace::Counter pcb_hash_hits;         // demux resolved by the 4-tuple map
     trace::Counter pcb_hash_misses;       // ... fell through to the bucket walk
@@ -372,6 +419,12 @@ class NetStack {
   // Fault-injection environment: null rebinds the process-global default.
   // Probed at the RX mbuf-import boundary ("mbuf.rx_alloc").
   void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
+
+  // Per-principal accounting hooks (src/secure).  Null (the default) makes
+  // every admission/charge a no-op.  The accountant must outlive the stack's
+  // connections; install before serving multi-tenant traffic.
+  void SetAccounting(SoAccounting* acct) { accounting_ = acct; }
+  SoAccounting* accounting() const { return accounting_; }
 
   // Ablation hook: revert TCP demux to the original full-list PCB scans and
   // connection timers to the BSD fast/slow field sweeps.  Default is the
@@ -624,6 +677,15 @@ class NetStack {
   bool rx_batch_active_ = false;
   std::vector<RxBatchEntry> rx_batch_;
 
+  // RX-charge helper shared by TCP and UDP delivery: resolves the owner
+  // socket, consults accounting_, and books into the pcb fields.  Returns
+  // false when the delivery must be shed.
+  bool AcctChargeRx(BsdSocket* owner, size_t* rx_charged, void** tag,
+                    size_t bytes);
+  // Credits up to `bytes` of the pcb's outstanding RX charge.
+  void AcctCreditRx(size_t* rx_charged, void* tag, size_t bytes);
+
+  SoAccounting* accounting_ = nullptr;
   bool force_rx_copy_ = false;
   bool force_tx_flatten_ = false;
   size_t default_sock_buf_ = kDefaultBufSize;

@@ -498,7 +498,10 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
   }
   if (seq == pcb->rcv_nxt) {
     TcpAppendRcv(pcb, data);
-    // Pull any now-contiguous queued segments across.
+    // Pull any now-contiguous queued segments across.  Bytes discarded or
+    // trimmed here were charged to the owner's principal at admission, so
+    // every drop must credit them back — otherwise overlapping retransmits
+    // ratchet the quota books up until the tenant is wedged at its budget.
     for (auto it = pcb->reass.begin(); it != pcb->reass.end();) {
       uint32_t q_seq = it->seq;
       size_t q_len = MbufPool::ChainLength(it->data);
@@ -507,12 +510,14 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
       }
       if (SeqLeq(q_seq + static_cast<uint32_t>(q_len), pcb->rcv_nxt)) {
         pool_.FreeChain(it->data);  // wholly duplicate
+        AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, q_len);
         it = pcb->reass.erase(it);
         continue;
       }
       // Trim overlap, then append.
       uint32_t drop = pcb->rcv_nxt - q_seq;
       MBuf* rest = pool_.TrimFront(it->data, drop);
+      AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, drop);
       TcpAppendRcv(pcb, rest);
       it = pcb->reass.erase(it);
     }
@@ -520,7 +525,8 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
     SoNotify(pcb->socket);
     return;
   }
-  // Out of order: insert sorted (drop exact duplicates).
+  // Out of order: insert sorted (drop exact duplicates, crediting the
+  // admission charge the dropped copy carried).
   ++counters_.tcp_ooo_segments;
   auto it = pcb->reass.begin();
   while (it != pcb->reass.end() && SeqLt(it->seq, seq)) {
@@ -529,6 +535,7 @@ void NetStack::TcpReassemble(TcpPcb* pcb, uint32_t seq, MBuf* data) {
   if (it != pcb->reass.end() && it->seq == seq &&
       MbufPool::ChainLength(it->data) >= len) {
     pool_.FreeChain(data);
+    AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, len);
     return;
   }
   pcb->reass.insert(it, TcpPcb::OooSegment{seq, data});
@@ -600,6 +607,15 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
     if (qlen >= static_cast<size_t>(pcb->backlog) + 1) {
       ++counters_.tcp_listen_overflows;
       pool_.FreeChain(payload);  // overloaded: drop the SYN, client retries
+      return;
+    }
+    // Per-principal admission (src/secure): a listener whose tenant is out
+    // of socket budget sheds the SYN the same way an overloaded backlog
+    // does — the peer retransmits, other tenants' listeners are untouched.
+    if (accounting_ != nullptr &&
+        !accounting_->AdmitSyn(static_cast<Socket*>(pcb->socket))) {
+      ++counters_.tcp_syn_admission_shed;
+      pool_.FreeChain(payload);
       return;
     }
     // Passive open: manufacture the child connection.
@@ -833,6 +849,41 @@ void NetStack::TcpInput(const Ipv4Header& ip, MBuf* payload) {
   if (payload != nullptr && data_len > 0) {
     if (pcb->state == TcpState::kEstablished || pcb->state == TcpState::kFinWait1 ||
         pcb->state == TcpState::kFinWait2) {
+      // Per-principal mbuf charge BEFORE the sequence space advances: an
+      // over-budget segment is dropped unACKed, so the peer retransmits and
+      // the tenant is flow-controlled at its budget with no data loss.
+      // Children not yet accepted bill to their listener's principal.
+      BsdSocket* owner = pcb->socket != nullptr
+                             ? pcb->socket
+                             : (pcb->listener != nullptr ? pcb->listener->socket
+                                                         : nullptr);
+      if (!AcctChargeRx(owner, &pcb->rx_charged, &pcb->acct_tag, data_len)) {
+        // An in-order segment outranks parked out-of-order data: evict the
+        // reassembly queue farthest-first (crediting its charges) to make
+        // room.  Without this a parked tail can pin the budget so that the
+        // hole-filling segment at rcv_nxt is never admittable and the
+        // connection wedges; the sender's go-back-N retransmission
+        // re-covers whatever is evicted here.
+        bool admitted = false;
+        if (seq == pcb->rcv_nxt) {
+          while (!pcb->reass.empty()) {
+            size_t q_len = MbufPool::ChainLength(pcb->reass.back().data);
+            pool_.FreeChain(pcb->reass.back().data);
+            pcb->reass.pop_back();
+            AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, q_len);
+            if (AcctChargeRx(owner, &pcb->rx_charged, &pcb->acct_tag,
+                             data_len)) {
+              admitted = true;
+              break;
+            }
+          }
+        }
+        if (!admitted) {
+          pool_.FreeChain(payload);
+          payload = nullptr;
+          return;
+        }
+      }
       bool in_order = seq == pcb->rcv_nxt;
       TcpReassemble(pcb, seq, payload);
       payload = nullptr;
@@ -1231,6 +1282,9 @@ void NetStack::TcpCloseDone(TcpPcb* pcb) {
   TcpIndexRemove(pcb);
   for (auto it = tcp_pcbs_.begin(); it != tcp_pcbs_.end(); ++it) {
     if (it->get() == pcb) {
+      // Credit whatever RX charge the application never drained, so a
+      // tenant's books drain to zero at teardown.
+      AcctCreditRx(&pcb->rx_charged, pcb->acct_tag, pcb->rx_charged);
       SbFlush(&pcb->snd);
       SbFlush(&pcb->rcv);
       for (auto& seg : pcb->reass) {

@@ -102,6 +102,12 @@ void NetStack::UdpInput(const Ipv4Header& ip, MBuf* payload) {
     pool_.FreeChain(payload);  // receive buffer full: drop, UDP style
     return;
   }
+  // Per-principal mbuf charge at delivery: over budget drops the datagram
+  // (counted net.rx.quota_shed), exactly like the hiwat drop above.
+  if (!AcctChargeRx(pcb->socket, &pcb->rx_charged, &pcb->acct_tag, data_len)) {
+    pool_.FreeChain(payload);
+    return;
+  }
   payload = pool_.TrimFront(payload, kUdpHeaderSize);
   pool_.TrimTo(payload, data_len);
   UdpPcb::Datagram dg;
@@ -119,7 +125,7 @@ Error NetStack::UdpOutput(UdpPcb* pcb, const SockAddr& to, MBuf* payload) {
     pcb->lport = AllocEphemeralPort(/*tcp=*/false);
     if (pcb->lport == 0) {
       pool_.FreeChain(payload);
-      return Error::kNoBufs;
+      return Error::kAddrNotAvail;  // ephemeral range spent, not mbufs
     }
     UdpIndexInsert(pcb);
   }

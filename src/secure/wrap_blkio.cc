@@ -1,0 +1,125 @@
+// Raw-device security wrapper: BlkIo always, BufIo iff the inner object
+// grants it (the §4.4.2 discovery idiom survives wrapping — the wrapper
+// probes once and mirrors the answer, it never forwards unknown GUIDs).
+//
+// Writes are ACL-gated (allow_blkio_write); BufIo mappings charge
+// Resource::kMemBytes per pinned byte, credited at Unmap — and any
+// mapping the client leaks is credited at the wrapper's last Release so
+// the books still balance.
+
+#include <utility>
+
+#include "src/secure/wrap.h"
+
+namespace oskit::secure {
+
+namespace {
+
+class SecureBufIo final : public BufIo, public RefCounted<SecureBufIo> {
+ public:
+  SecureBufIo(ComPtr<BlkIo> inner, Principal* p)
+      : inner_(std::move(inner)), principal_(p) {
+    inner_buf_ = ComPtr<BufIo>::FromQuery(inner_.get());
+  }
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == BlkIo::kIid) {
+      AddRef();
+      *out = static_cast<BlkIo*>(this);
+      return Error::kOk;
+    }
+    if (iid == BufIo::kIid && inner_buf_) {
+      AddRef();
+      *out = static_cast<BufIo*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+
+  uint32_t AddRef() override { return AddRefImpl(); }
+  uint32_t Release() override {
+    if (ref_count() == 1 && map_charged_ > 0) {
+      principal_->Credit(Resource::kMemBytes, map_charged_);
+      map_charged_ = 0;
+    }
+    return ReleaseImpl();
+  }
+
+  // BlkIo
+  uint32_t GetBlockSize() override { return inner_->GetBlockSize(); }
+  Error Read(void* buf, off_t64 offset, size_t amount,
+             size_t* out_actual) override {
+    return inner_->Read(buf, offset, amount, out_actual);
+  }
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override {
+    if (!principal_->acl().allow_blkio_write) {
+      principal_->CountDenial(Resource::kMemBytes);
+      return Error::kAccess;
+    }
+    return inner_->Write(buf, offset, amount, out_actual);
+  }
+  Error GetSize(off_t64* out_size) override { return inner_->GetSize(out_size); }
+  Error SetSize(off_t64 new_size) override {
+    if (!principal_->acl().allow_blkio_write) {
+      principal_->CountDenial(Resource::kMemBytes);
+      return Error::kAccess;
+    }
+    return inner_->SetSize(new_size);
+  }
+
+  // BufIo (reachable via Query only when the inner object has it)
+  Error Map(void** out_addr, off_t64 offset, size_t amount) override {
+    *out_addr = nullptr;
+    if (!inner_buf_) {
+      return Error::kNotImpl;
+    }
+    Error err = principal_->Charge(Resource::kMemBytes, amount);
+    if (!Ok(err)) {
+      return err;
+    }
+    err = inner_buf_->Map(out_addr, offset, amount);
+    if (!Ok(err)) {
+      principal_->Credit(Resource::kMemBytes, amount);
+      return err;
+    }
+    map_charged_ += amount;
+    return Error::kOk;
+  }
+
+  Error Unmap(void* addr, off_t64 offset, size_t amount) override {
+    if (!inner_buf_) {
+      return Error::kNotImpl;
+    }
+    Error err = inner_buf_->Unmap(addr, offset, amount);
+    if (Ok(err)) {
+      size_t n = amount < map_charged_ ? amount : map_charged_;
+      principal_->Credit(Resource::kMemBytes, n);
+      map_charged_ -= n;
+    }
+    return err;
+  }
+
+  Error Wire() override { return inner_buf_ ? inner_buf_->Wire() : Error::kNotImpl; }
+  Error Unwire() override {
+    return inner_buf_ ? inner_buf_->Unwire() : Error::kNotImpl;
+  }
+
+ private:
+  friend class RefCounted<SecureBufIo>;
+  ~SecureBufIo() = default;
+
+  ComPtr<BlkIo> inner_;
+  ComPtr<BufIo> inner_buf_;  // null when the inner object lacks BufIo
+  Principal* principal_;
+  size_t map_charged_ = 0;  // bytes currently pinned through this wrapper
+};
+
+}  // namespace
+
+ComPtr<BlkIo> MakeSecureBufIo(ComPtr<BlkIo> inner, Principal* p) {
+  return ComPtr<BlkIo>(new SecureBufIo(std::move(inner), p));
+}
+
+}  // namespace oskit::secure

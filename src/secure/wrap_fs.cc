@@ -1,0 +1,494 @@
+// Filesystem security wrappers and the FFS journal-admission hook.
+//
+// Charge points and their symmetric credits:
+//
+//   kOpenFiles    GetRoot / Lookup / Create (one per    wrapper's last Release
+//                 live wrapped File/Dir)
+//   kFsBlocks     data growth (Write/SetSize, charged   shrink, Unlink/Rmdir
+//                 as 512-byte st_blocks units) plus a
+//                 flat name unit per Create/Mkdir
+//   kJournalTxns  each metadata op admitted into the    every transaction
+//                 open journal transaction              settle in Sync
+//
+// Block accounting is estimate-then-reconcile: the wrapper charges a
+// conservative growth estimate BEFORE delegating (that is the denial point —
+// a tenant at its disk budget gets kQuotaExceeded before the filesystem
+// mutates anything), then corrects the books against the real st_blocks
+// delta afterwards (indirect blocks make growth slightly unpredictable).
+// Per-inode charges live in a books map shared by the whole wrapped graph,
+// so Unlink can credit exactly what this tenant's writes charged.
+//
+// Every delegated call that can reach NoteMetaOp runs under ScopedPrincipal,
+// which is how the journal-admission hook below knows whom to bill.
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/secure/wrap.h"
+
+namespace oskit::secure {
+
+namespace {
+
+// Books shared by every wrapper in one MakeSecureFs graph.
+struct FsBooks {
+  PrincipalRegistry* registry;
+  Principal* principal;
+  // ino -> kFsBlocks units this tenant has charged for that inode
+  // (st_blocks growth plus the flat Create/Mkdir name unit).
+  std::unordered_map<uint64_t, uint64_t> blocks;
+};
+
+using FsBooksPtr = std::shared_ptr<FsBooks>;
+
+File* WrapFileOrDir(ComPtr<File> child, const FsBooksPtr& books);
+
+// Reconciles a pre-charged growth `estimate` against the real st_blocks
+// delta once the inner operation has run.
+void ReconcileBlocks(const FsBooksPtr& books, uint64_t ino,
+                     uint64_t before_blocks, File* inner, uint64_t estimate) {
+  FileStat after{};
+  uint64_t after_blocks = before_blocks;
+  if (Ok(inner->GetStat(&after))) {
+    after_blocks = after.blocks;
+  }
+  Principal* p = books->principal;
+  if (after_blocks >= before_blocks) {
+    uint64_t delta = after_blocks - before_blocks;
+    if (delta > estimate) {
+      p->ForceCharge(Resource::kFsBlocks, delta - estimate);
+    } else {
+      p->Credit(Resource::kFsBlocks, estimate - delta);
+    }
+    if (delta > 0) {
+      books->blocks[ino] += delta;
+    }
+    return;
+  }
+  // Shrink: the estimate was never used, and freed blocks are credited —
+  // but only up to what this tenant actually charged for the inode.
+  uint64_t freed = before_blocks - after_blocks;
+  p->Credit(Resource::kFsBlocks, estimate);
+  auto it = books->blocks.find(ino);
+  if (it != books->blocks.end()) {
+    uint64_t credit = freed < it->second ? freed : it->second;
+    p->Credit(Resource::kFsBlocks, credit);
+    it->second -= credit;
+  }
+}
+
+// Shared File-surface implementation for TenantFile and TenantDir.
+Error GuardedWrite(const FsBooksPtr& books, File* inner, uint64_t ino,
+                   const void* buf, uint64_t offset, size_t amount,
+                   size_t* out_actual) {
+  *out_actual = 0;
+  Principal* p = books->principal;
+  if (!p->acl().allow_fs_write) {
+    p->CountDenial(Resource::kFsBlocks);
+    return Error::kAccess;
+  }
+  FileStat before{};
+  Error err = inner->GetStat(&before);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t end = offset + amount;
+  uint64_t have = before.blocks * 512;
+  uint64_t estimate = end > have ? (end - have + 511) / 512 : 0;
+  if (estimate > 0) {
+    err = p->Charge(Resource::kFsBlocks, estimate);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  {
+    ScopedPrincipal scope(books->registry, p);
+    err = inner->Write(buf, offset, amount, out_actual);
+  }
+  ReconcileBlocks(books, ino, before.blocks, inner, estimate);
+  return err;
+}
+
+Error GuardedSetSize(const FsBooksPtr& books, File* inner, uint64_t ino,
+                     uint64_t new_size) {
+  Principal* p = books->principal;
+  if (!p->acl().allow_fs_write) {
+    p->CountDenial(Resource::kFsBlocks);
+    return Error::kAccess;
+  }
+  FileStat before{};
+  Error err = inner->GetStat(&before);
+  if (!Ok(err)) {
+    return err;
+  }
+  uint64_t new_units = (new_size + 511) / 512;
+  uint64_t estimate = new_units > before.blocks ? new_units - before.blocks : 0;
+  if (estimate > 0) {
+    err = p->Charge(Resource::kFsBlocks, estimate);
+    if (!Ok(err)) {
+      return err;
+    }
+  }
+  {
+    ScopedPrincipal scope(books->registry, p);
+    err = inner->SetSize(new_size);
+  }
+  ReconcileBlocks(books, ino, before.blocks, inner, estimate);
+  return err;
+}
+
+class TenantFile final : public File, public RefCounted<TenantFile> {
+ public:
+  TenantFile(ComPtr<File> inner, FsBooksPtr books, uint64_t ino)
+      : inner_(std::move(inner)), books_(std::move(books)), ino_(ino) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == File::kIid) {
+      AddRef();
+      *out = static_cast<File*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+
+  uint32_t AddRef() override { return AddRefImpl(); }
+  uint32_t Release() override {
+    if (ref_count() == 1) {
+      books_->principal->Credit(Resource::kOpenFiles, 1);
+    }
+    return ReleaseImpl();
+  }
+
+  Error Read(void* buf, uint64_t offset, size_t amount,
+             size_t* out_actual) override {
+    return inner_->Read(buf, offset, amount, out_actual);
+  }
+  Error Write(const void* buf, uint64_t offset, size_t amount,
+              size_t* out_actual) override {
+    return GuardedWrite(books_, inner_.get(), ino_, buf, offset, amount,
+                        out_actual);
+  }
+  Error GetStat(FileStat* out_stat) override { return inner_->GetStat(out_stat); }
+  Error SetSize(uint64_t new_size) override {
+    return GuardedSetSize(books_, inner_.get(), ino_, new_size);
+  }
+  Error Sync() override {
+    ScopedPrincipal scope(books_->registry, books_->principal);
+    return inner_->Sync();
+  }
+
+ private:
+  friend class RefCounted<TenantFile>;
+  ~TenantFile() = default;
+
+  ComPtr<File> inner_;
+  FsBooksPtr books_;
+  uint64_t ino_;
+};
+
+class TenantDir final : public Dir, public RefCounted<TenantDir> {
+ public:
+  TenantDir(ComPtr<Dir> inner, FsBooksPtr books, uint64_t ino)
+      : inner_(std::move(inner)), books_(std::move(books)), ino_(ino) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == File::kIid || iid == Dir::kIid) {
+      AddRef();
+      *out = static_cast<Dir*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+
+  uint32_t AddRef() override { return AddRefImpl(); }
+  uint32_t Release() override {
+    if (ref_count() == 1) {
+      books_->principal->Credit(Resource::kOpenFiles, 1);
+    }
+    return ReleaseImpl();
+  }
+
+  // File surface (directories answer stat/read; writes are the inner
+  // filesystem's error to report, but the ACL still gates them).
+  Error Read(void* buf, uint64_t offset, size_t amount,
+             size_t* out_actual) override {
+    return inner_->Read(buf, offset, amount, out_actual);
+  }
+  Error Write(const void* buf, uint64_t offset, size_t amount,
+              size_t* out_actual) override {
+    return GuardedWrite(books_, inner_.get(), ino_, buf, offset, amount,
+                        out_actual);
+  }
+  Error GetStat(FileStat* out_stat) override { return inner_->GetStat(out_stat); }
+  Error SetSize(uint64_t new_size) override {
+    return GuardedSetSize(books_, inner_.get(), ino_, new_size);
+  }
+  Error Sync() override {
+    ScopedPrincipal scope(books_->registry, books_->principal);
+    return inner_->Sync();
+  }
+
+  // Dir surface
+  Error Lookup(const char* name, File** out_file) override {
+    *out_file = nullptr;
+    Principal* p = books_->principal;
+    Error err = p->Charge(Resource::kOpenFiles, 1);
+    if (!Ok(err)) {
+      return err;
+    }
+    ComPtr<File> child;
+    err = inner_->Lookup(name, child.Receive());
+    if (!Ok(err)) {
+      p->Credit(Resource::kOpenFiles, 1);
+      return err;
+    }
+    *out_file = WrapFileOrDir(std::move(child), books_);
+    return Error::kOk;
+  }
+
+  Error Create(const char* name, uint32_t mode, File** out_file) override {
+    *out_file = nullptr;
+    Principal* p = books_->principal;
+    if (!p->acl().allow_fs_write) {
+      p->CountDenial(Resource::kFsBlocks);
+      return Error::kAccess;
+    }
+    Error err = p->Charge(Resource::kOpenFiles, 1);
+    if (!Ok(err)) {
+      return err;
+    }
+    // Flat one-unit name charge: the entry the file occupies in its parent.
+    err = p->Charge(Resource::kFsBlocks, 1);
+    if (!Ok(err)) {
+      p->Credit(Resource::kOpenFiles, 1);
+      return err;
+    }
+    ComPtr<File> child;
+    {
+      ScopedPrincipal scope(books_->registry, p);
+      err = inner_->Create(name, mode, child.Receive());
+    }
+    if (!Ok(err)) {
+      p->Credit(Resource::kOpenFiles, 1);
+      p->Credit(Resource::kFsBlocks, 1);
+      return err;
+    }
+    FileStat st{};
+    child->GetStat(&st);
+    if (st.blocks > 0) {
+      p->ForceCharge(Resource::kFsBlocks, st.blocks);
+    }
+    books_->blocks[st.ino] = 1 + st.blocks;
+    *out_file = new TenantFile(std::move(child), books_, st.ino);
+    return Error::kOk;
+  }
+
+  Error Mkdir(const char* name, uint32_t mode) override {
+    Principal* p = books_->principal;
+    if (!p->acl().allow_fs_write) {
+      p->CountDenial(Resource::kFsBlocks);
+      return Error::kAccess;
+    }
+    Error err = p->Charge(Resource::kFsBlocks, 1);  // the name unit
+    if (!Ok(err)) {
+      return err;
+    }
+    {
+      ScopedPrincipal scope(books_->registry, p);
+      err = inner_->Mkdir(name, mode);
+    }
+    if (!Ok(err)) {
+      p->Credit(Resource::kFsBlocks, 1);
+      return err;
+    }
+    // No handle comes back from Mkdir: stat the child to book its blocks.
+    ComPtr<File> child;
+    if (Ok(inner_->Lookup(name, child.Receive()))) {
+      FileStat st{};
+      if (Ok(child->GetStat(&st))) {
+        if (st.blocks > 0) {
+          p->ForceCharge(Resource::kFsBlocks, st.blocks);
+        }
+        books_->blocks[st.ino] = 1 + st.blocks;
+      }
+    }
+    return Error::kOk;
+  }
+
+  Error Unlink(const char* name) override { return RemoveEntry(name, false); }
+  Error Rmdir(const char* name) override { return RemoveEntry(name, true); }
+
+  Error Rename(const char* old_name, Dir* new_dir,
+               const char* new_name) override {
+    Principal* p = books_->principal;
+    if (!p->acl().allow_fs_write) {
+      p->CountDenial(Resource::kFsBlocks);
+      return Error::kAccess;
+    }
+    // The destination may be a wrapper from this graph; the inner
+    // filesystem needs its own Dir object.
+    TenantDir* wrapped = dynamic_cast<TenantDir*>(new_dir);
+    Dir* target = wrapped != nullptr ? wrapped->inner_.get() : new_dir;
+    ScopedPrincipal scope(books_->registry, p);
+    return inner_->Rename(old_name, target, new_name);
+  }
+
+  Error ReadDir(uint64_t* inout_offset, DirEntry* entries, size_t capacity,
+                size_t* out_count) override {
+    return inner_->ReadDir(inout_offset, entries, capacity, out_count);
+  }
+
+ private:
+  friend class RefCounted<TenantDir>;
+  ~TenantDir() = default;
+
+  Error RemoveEntry(const char* name, bool is_dir) {
+    Principal* p = books_->principal;
+    if (!p->acl().allow_fs_write) {
+      p->CountDenial(Resource::kFsBlocks);
+      return Error::kAccess;
+    }
+    // The inode number must be captured before the entry disappears.
+    uint64_t ino = 0;
+    {
+      ComPtr<File> child;
+      if (Ok(inner_->Lookup(name, child.Receive()))) {
+        FileStat st{};
+        if (Ok(child->GetStat(&st))) {
+          ino = st.ino;
+        }
+      }
+    }
+    Error err;
+    {
+      ScopedPrincipal scope(books_->registry, p);
+      err = is_dir ? inner_->Rmdir(name) : inner_->Unlink(name);
+    }
+    if (Ok(err) && ino != 0) {
+      auto it = books_->blocks.find(ino);
+      if (it != books_->blocks.end()) {
+        p->Credit(Resource::kFsBlocks, it->second);
+        books_->blocks.erase(it);
+      }
+    }
+    return err;
+  }
+
+  ComPtr<Dir> inner_;
+  FsBooksPtr books_;
+  uint64_t ino_;
+};
+
+File* WrapFileOrDir(ComPtr<File> child, const FsBooksPtr& books) {
+  FileStat st{};
+  child->GetStat(&st);  // best effort; an ino of 0 never books blocks
+  ComPtr<Dir> as_dir = ComPtr<Dir>::FromQuery(child.get());
+  if (as_dir) {
+    return new TenantDir(std::move(as_dir), books, st.ino);
+  }
+  return new TenantFile(std::move(child), books, st.ino);
+}
+
+class TenantFs final : public FileSystem, public RefCounted<TenantFs> {
+ public:
+  TenantFs(ComPtr<FileSystem> inner, FsBooksPtr books)
+      : inner_(std::move(inner)), books_(std::move(books)) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == FileSystem::kIid) {
+      AddRef();
+      *out = static_cast<FileSystem*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  Error GetRoot(Dir** out_root) override {
+    *out_root = nullptr;
+    Principal* p = books_->principal;
+    if (!p->acl().allow_fs) {
+      p->CountDenial(Resource::kOpenFiles);
+      return Error::kAccess;
+    }
+    Error err = p->Charge(Resource::kOpenFiles, 1);
+    if (!Ok(err)) {
+      return err;
+    }
+    ComPtr<Dir> root;
+    err = inner_->GetRoot(root.Receive());
+    if (!Ok(err)) {
+      p->Credit(Resource::kOpenFiles, 1);
+      return err;
+    }
+    FileStat st{};
+    root->GetStat(&st);
+    *out_root = new TenantDir(std::move(root), books_, st.ino);
+    return Error::kOk;
+  }
+
+  Error StatFs(FsStat* out_stat) override { return inner_->StatFs(out_stat); }
+
+  Error Sync() override {
+    ScopedPrincipal scope(books_->registry, books_->principal);
+    return inner_->Sync();
+  }
+
+  Error Unmount() override {
+    // Unmounting invalidates every other tenant's handles: administrative,
+    // not a tenant operation.
+    if (!books_->principal->acl().allow_fs_write) {
+      books_->principal->CountDenial(Resource::kOpenFiles);
+      return Error::kAccess;
+    }
+    return inner_->Unmount();
+  }
+
+ private:
+  friend class RefCounted<TenantFs>;
+  ~TenantFs() = default;
+
+  ComPtr<FileSystem> inner_;
+  FsBooksPtr books_;
+};
+
+}  // namespace
+
+ComPtr<FileSystem> MakeSecureFs(ComPtr<FileSystem> inner, Principal* p,
+                                PrincipalRegistry* registry) {
+  auto books = std::make_shared<FsBooks>();
+  books->registry = registry;
+  books->principal = p;
+  return ComPtr<FileSystem>(new TenantFs(std::move(inner), std::move(books)));
+}
+
+void InstallJournalAdmission(fs::Offs* fs, PrincipalRegistry* registry) {
+  // Outstanding per-op charges, credited wholesale at each txn settle.
+  auto outstanding = std::make_shared<std::vector<Principal*>>();
+  fs->SetMetaHooks(
+      [registry, outstanding]() -> Error {
+        Principal* p = registry->current();
+        if (p == nullptr) {
+          return Error::kOk;  // unattributed callers are never billed
+        }
+        Error err = p->Charge(Resource::kJournalTxns, 1);
+        if (!Ok(err)) {
+          return err;  // aborts the metadata op before it joins the txn
+        }
+        outstanding->push_back(p);
+        return Error::kOk;
+      },
+      [outstanding]() {
+        for (Principal* p : *outstanding) {
+          p->Credit(Resource::kJournalTxns, 1);
+        }
+        outstanding->clear();
+      });
+}
+
+}  // namespace oskit::secure

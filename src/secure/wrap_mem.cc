@@ -1,0 +1,60 @@
+// Allocator security wrappers.  The LMM and AMM are plain components (no
+// COM surface), so their wrappers are plain classes too — same contract:
+// charge Resource::kMemBytes before delegating, surface denial exactly the
+// way the inner component surfaces exhaustion (nullptr for the LMM,
+// kQuotaExceeded beside the AMM's kNoSpace), credit on free.
+
+#include "src/secure/wrap.h"
+
+namespace oskit::secure {
+
+void* SecureLmm::Alloc(size_t size, uint32_t flags) {
+  if (!Ok(principal_->Charge(Resource::kMemBytes, size))) {
+    return nullptr;  // the denial is counted; exhaustion would not be
+  }
+  void* block = inner_->Alloc(size, flags);
+  if (block == nullptr) {
+    principal_->Credit(Resource::kMemBytes, size);
+  }
+  return block;
+}
+
+void* SecureLmm::AllocAligned(size_t size, uint32_t flags, unsigned align_bits,
+                              uintptr_t align_ofs) {
+  if (!Ok(principal_->Charge(Resource::kMemBytes, size))) {
+    return nullptr;
+  }
+  void* block = inner_->AllocAligned(size, flags, align_bits, align_ofs);
+  if (block == nullptr) {
+    principal_->Credit(Resource::kMemBytes, size);
+  }
+  return block;
+}
+
+void SecureLmm::Free(void* block, size_t size) {
+  inner_->Free(block, size);
+  principal_->Credit(Resource::kMemBytes, size);
+}
+
+Error SecureAmm::Allocate(uint64_t* inout_addr, uint64_t size, uint32_t flags,
+                          unsigned align_bits, uint64_t upper_bound) {
+  Error err = principal_->Charge(Resource::kMemBytes, size);
+  if (!Ok(err)) {
+    return err;  // kQuotaExceeded, distinguishable from kNoSpace
+  }
+  err = inner_->Allocate(inout_addr, size, flags, align_bits, upper_bound);
+  if (!Ok(err)) {
+    principal_->Credit(Resource::kMemBytes, size);
+  }
+  return err;
+}
+
+Error SecureAmm::Deallocate(uint64_t addr, uint64_t size) {
+  Error err = inner_->Deallocate(addr, size);
+  if (Ok(err)) {
+    principal_->Credit(Resource::kMemBytes, size);
+  }
+  return err;
+}
+
+}  // namespace oskit::secure

@@ -441,10 +441,11 @@ TEST(TcpPortTest, EphemeralExhaustionSurfacesAndRecovers) {
     squatters.push_back(std::move(s));
   }
 
-  // With no port left, connect fails as a resource error before any packet
-  // is built, and the exhaustion is counted.
+  // With no port left, connect fails with EADDRNOTAVAIL (distinguishable
+  // from mbuf kNoBufs and quota kQuotaExceeded) before any packet is built,
+  // and the exhaustion is counted.
   ComPtr<Socket> conn = a.MakeSocket(SockType::kStream);
-  EXPECT_EQ(Error::kNoBufs, conn->Connect(SockAddr{HostAddr(1), kPort}));
+  EXPECT_EQ(Error::kAddrNotAvail, conn->Connect(SockAddr{HostAddr(1), kPort}));
   EXPECT_EQ(1u, a.stack->counters().port_exhausted.value());
   EXPECT_EQ(1u, a.trace.registry.Value("net.port.exhausted"));
 
