@@ -31,3 +31,5 @@ oskit_bench(crash_campaign)
 target_link_libraries(crash_campaign PRIVATE oskit_fault)
 oskit_bench(tenant_campaign)
 target_link_libraries(tenant_campaign PRIVATE oskit_secure)
+oskit_bench(http_campaign)
+target_link_libraries(http_campaign PRIVATE oskit_http oskit_secure)

@@ -11,26 +11,27 @@
 # BENCH_c10k.json, produced by the scale-out C10k bench with held-open
 # concurrency, connect-to-echo latency percentiles, and switch statistics;
 # BENCH_tenant.json, produced by the multi-tenant hostile-tenant campaign
-# with per-seed victim p99 ratios, quota denial counts, and leak checks).
+# with per-seed victim p99 ratios, quota denial counts, and leak checks;
+# BENCH_http.json, produced by the flagship HTTP/1.1 macro-workload with
+# throughput, tail latency, span attribution, ablation rows, and the
+# slow-loris verdict).
+#
+# After the benches, every BENCH_*.json is compared against the checked-in
+# baselines (bench/baselines/) by bench/check_regression: a metric outside
+# its tolerance band fails the run and the deltas land in REGRESSIONS.json.
 #
 # Usage: bench/run_all.sh [build_dir]
 #   build_dir defaults to ./build; binaries are expected in $build_dir/bench.
 #
-# Exit status is non-zero if any benchmark exits non-zero or any shape
-# check prints FAIL.
+# Exit status is non-zero if any benchmark exits non-zero, any shape check
+# prints FAIL, or any baselined metric regresses.
 
 set -u
 
 BUILD_DIR="${1:-build}"
 BENCH_DIR="$BUILD_DIR/bench"
 LOG_DIR="$BENCH_DIR/logs"
-JSON_OUT="$BENCH_DIR/BENCH_trace.json"
-FAULT_JSON_OUT="$BENCH_DIR/BENCH_fault.json"
-SG_JSON_OUT="$BENCH_DIR/BENCH_sg.json"
-CRASH_JSON_OUT="$BENCH_DIR/BENCH_crash.json"
-NAPI_JSON_OUT="$BENCH_DIR/BENCH_napi.json"
-C10K_JSON_OUT="$BENCH_DIR/BENCH_c10k.json"
-TENANT_JSON_OUT="$BENCH_DIR/BENCH_tenant.json"
+BASELINE_DIR="$(dirname "$0")/baselines"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR not found — build the project first" >&2
@@ -63,61 +64,44 @@ run_bench() {
 }
 
 # Smoke sizes: enough traffic for every shape check, seconds per bench.
-run_bench table1_bandwidth 2048 --json "$SG_JSON_OUT"
+# These invocations must match .github/workflows/ci.yml and the baselines
+# in bench/baselines/ — the emitted numbers are compared against them.
+run_bench table1_bandwidth 2048 --json "$BENCH_DIR/BENCH_sg.json"
 run_bench table2_latency   4000
-run_bench napi_rx          2048 --json "$NAPI_JSON_OUT"
-run_bench c10k             --hosts 4 --per-host 150 --json "$C10K_JSON_OUT"
+run_bench napi_rx          2048 --json "$BENCH_DIR/BENCH_napi.json"
+run_bench c10k             --hosts 4 --per-host 150 --json "$BENCH_DIR/BENCH_c10k.json"
 run_bench table3_sizes
 run_bench fig_footprint
 run_bench fig_javapc
-run_bench ablation_glue    4000 --json "$JSON_OUT"
+run_bench ablation_glue    4000 --json "$BENCH_DIR/BENCH_trace.json"
 run_bench ablation_alloc
 run_bench ablation_bufio
-run_bench fault_campaign   --seeds 8 --json "$FAULT_JSON_OUT"
-run_bench crash_campaign   --seeds 2 --json "$CRASH_JSON_OUT"
-run_bench tenant_campaign  --seeds 5 --json "$TENANT_JSON_OUT"
+run_bench fault_campaign   --seeds 8 --json "$BENCH_DIR/BENCH_fault.json"
+run_bench crash_campaign   --seeds 2 --json "$BENCH_DIR/BENCH_crash.json"
+run_bench tenant_campaign  --seeds 5 --json "$BENCH_DIR/BENCH_tenant.json"
+run_bench http_campaign    --json "$BENCH_DIR/BENCH_http.json"
 
-if [ -f "$JSON_OUT" ]; then
-    echo "wrote $JSON_OUT"
+for json in trace fault sg crash napi c10k tenant http; do
+    out="$BENCH_DIR/BENCH_$json.json"
+    if [ -f "$out" ]; then
+        echo "wrote $out"
+    else
+        echo "FAIL BENCH_$json.json was not produced"
+        status=1
+    fi
+done
+
+# The perf-regression gate: every baselined metric must stay inside its
+# tolerance band.
+if command -v python3 > /dev/null 2>&1; then
+    if ! python3 "$(dirname "$0")/check_regression" \
+            --baselines "$BASELINE_DIR" --bench-dir "$BENCH_DIR" \
+            --out "$BENCH_DIR/REGRESSIONS.json"; then
+        echo "FAIL perf regression gate (see $BENCH_DIR/REGRESSIONS.json)"
+        status=1
+    fi
 else
-    echo "FAIL BENCH_trace.json was not produced"
-    status=1
-fi
-if [ -f "$FAULT_JSON_OUT" ]; then
-    echo "wrote $FAULT_JSON_OUT"
-else
-    echo "FAIL BENCH_fault.json was not produced"
-    status=1
-fi
-if [ -f "$SG_JSON_OUT" ]; then
-    echo "wrote $SG_JSON_OUT"
-else
-    echo "FAIL BENCH_sg.json was not produced"
-    status=1
-fi
-if [ -f "$CRASH_JSON_OUT" ]; then
-    echo "wrote $CRASH_JSON_OUT"
-else
-    echo "FAIL BENCH_crash.json was not produced"
-    status=1
-fi
-if [ -f "$NAPI_JSON_OUT" ]; then
-    echo "wrote $NAPI_JSON_OUT"
-else
-    echo "FAIL BENCH_napi.json was not produced"
-    status=1
-fi
-if [ -f "$C10K_JSON_OUT" ]; then
-    echo "wrote $C10K_JSON_OUT"
-else
-    echo "FAIL BENCH_c10k.json was not produced"
-    status=1
-fi
-if [ -f "$TENANT_JSON_OUT" ]; then
-    echo "wrote $TENANT_JSON_OUT"
-else
-    echo "FAIL BENCH_tenant.json was not produced"
-    status=1
+    echo "SKIP perf regression gate (python3 not found)"
 fi
 
 exit $status

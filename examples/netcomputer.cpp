@@ -1,22 +1,31 @@
-// netcomputer — the Java/PC case study (§6.1.4), with the KVM bytecode
-// machine standing in for the Kaffe JVM.
+// netcomputer v2 — the §7 network computer grown into the flagship HTTP/1.1
+// service.
 //
-// A simulated PC boots with a KVM program as a MultiBoot boot module, reads
-// it back through the boot-module filesystem and the POSIX layer (exactly
-// how Java/PC loaded its .class files, §6.2.2), verifies it, and runs it.
-// The VM's syscall layer is bound to the OSKit substrate: console output
-// goes to the minimal C library, and sockets go to the FreeBSD-derived
-// stack through the same factory interface the C library uses (§5).
+// Version 1 was a blocking accept loop answering a banner per connection.
+// v2 is the real composition the paper promises: one simulated PC serves
+// journaled-FFS static content AND KVM-scripted dynamic pages over the
+// FreeBSD-derived TCP stack, through the epoll-style NetSelector with
+// batched accept, on the NAPI + scatter-gather RX/TX path — sockets, FS,
+// journal, VM, selector, and zero-copy send exercised by one binary.
 //
-// The program is a tiny line-oriented server: for each connection it reads
-// a request line and answers with a banner — a miniature of the paper's
-// Java-based web server.  A second simulated PC plays the browser.
+// The KVM program still arrives the Java/PC way (§6.2.2): assembled into a
+// MultiBoot boot module, read back through the boot-module filesystem and
+// the POSIX layer, verified, then executed — once per /dyn request, with
+// the query arguments in VM globals (the miniature of a JVM servlet).
+//
+// A second simulated PC plays the browser: keep-alive requests, a
+// pipelined burst, dynamic pages, a 404, Connection: close semantics, and
+// finally the quit route that drains the server cleanly.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/boot/memfs.h"
+#include "src/com/memblkio.h"
+#include "src/fs/ffs.h"
+#include "src/http/http.h"
+#include "src/http/server.h"
 #include "src/libc/posix.h"
 #include "src/testbed/testbed.h"
 #include "src/vm/kvm.h"
@@ -26,88 +35,22 @@ using namespace oskit::testbed;
 
 namespace {
 
-// Embedding-specific syscalls (>= 16): the netcomputer's "native methods".
-constexpr uint16_t kSysNetListen = 16;  // pop port -> push handle
-constexpr uint16_t kSysNetAccept = 17;  // pop handle -> push conn handle
-constexpr uint16_t kSysNetRecv = 18;    // pop conn -> push byte (or -1 on EOF)
-constexpr uint16_t kSysNetSend = 19;    // pop byte, pop conn
-constexpr uint16_t kSysNetClose = 20;   // pop handle
-
-class NetComputerSys : public vm::SysHandler {
+// Captures kSysPutChar/kSysPutInt output; the dyn handler turns it into the
+// response body.
+class ConsoleSys : public vm::SysHandler {
  public:
-  NetComputerSys(Host* host, std::string* console) : host_(host), console_(console) {}
+  explicit ConsoleSys(std::string* out) : out_(out) {}
 
   Error Syscall(uint16_t number, vm::Vm& vm, int thread) override {
     switch (number) {
       case vm::kSysPutChar:
-        console_->push_back(static_cast<char>(vm.Pop(thread)));
+        out_->push_back(static_cast<char>(vm.Pop(thread)));
         return Error::kOk;
       case vm::kSysPutInt: {
         char buf[32];
         snprintf(buf, sizeof(buf), "%lld",
                  static_cast<long long>(vm.Pop(thread)));
-        console_->append(buf);
-        return Error::kOk;
-      }
-      case vm::kSysTimeNs:
-        vm.Push(thread, static_cast<int64_t>(host_->machine->clock().Now()));
-        return Error::kOk;
-      case kSysNetListen: {
-        auto port = static_cast<uint16_t>(vm.Pop(thread));
-        ComPtr<Socket> sock = host_->MakeSocket(SockType::kStream);
-        Error err = sock->Bind(SockAddr{kInetAny, port});
-        if (Ok(err)) {
-          err = sock->Listen(4);
-        }
-        if (!Ok(err)) {
-          return err;
-        }
-        vm.Push(thread, StoreHandle(std::move(sock)));
-        return Error::kOk;
-      }
-      case kSysNetAccept: {
-        Socket* listener = HandleToSocket(vm.Pop(thread));
-        if (listener == nullptr) {
-          return Error::kBadF;
-        }
-        SockAddr peer;
-        ComPtr<Socket> conn;
-        Error err = listener->Accept(&peer, conn.Receive());
-        if (!Ok(err)) {
-          return err;
-        }
-        vm.Push(thread, StoreHandle(std::move(conn)));
-        return Error::kOk;
-      }
-      case kSysNetRecv: {
-        Socket* conn = HandleToSocket(vm.Pop(thread));
-        if (conn == nullptr) {
-          return Error::kBadF;
-        }
-        char byte = 0;
-        size_t n = 0;
-        Error err = conn->Recv(&byte, 1, &n);
-        if (!Ok(err)) {
-          return err;
-        }
-        vm.Push(thread, n == 0 ? -1 : static_cast<uint8_t>(byte));
-        return Error::kOk;
-      }
-      case kSysNetSend: {
-        char byte = static_cast<char>(vm.Pop(thread));
-        Socket* conn = HandleToSocket(vm.Pop(thread));
-        if (conn == nullptr) {
-          return Error::kBadF;
-        }
-        size_t n = 0;
-        return conn->Send(&byte, 1, &n);
-      }
-      case kSysNetClose: {
-        int64_t handle = vm.Pop(thread);
-        if (handle < 0 || static_cast<size_t>(handle) >= handles_.size()) {
-          return Error::kBadF;
-        }
-        handles_[handle].Reset();
+        out_->append(buf);
         return Error::kOk;
       }
       default:
@@ -116,84 +59,147 @@ class NetComputerSys : public vm::SysHandler {
   }
 
  private:
-  int64_t StoreHandle(ComPtr<Socket> sock) {
-    handles_.push_back(std::move(sock));
-    return static_cast<int64_t>(handles_.size()) - 1;
-  }
-
-  Socket* HandleToSocket(int64_t handle) {
-    if (handle < 0 || static_cast<size_t>(handle) >= handles_.size()) {
-      return nullptr;
-    }
-    return handles_[handle].get();
-  }
-
-  Host* host_;
-  std::string* console_;
-  std::vector<ComPtr<Socket>> handles_;
+  std::string* out_;
 };
 
-// Emits KVM assembly for the server program.
-std::string ServerProgram(int connections, const std::string& banner) {
-  std::string source;
-  source += "push 80\nsys 16\ngstore 0\n";                 // g0 = listen(80)
-  source += "push " + std::to_string(connections) + "\ngstore 2\n";
-  source += "serve:\n";
-  source += "gload 0\nsys 17\ngstore 1\n";                 // g1 = accept(g0)
-  source += "readloop:\n";
-  source += "gload 1\nsys 18\n";                           // byte = recv(g1)
-  source += "dup\npush 0\nlt\njnz eof\n";                  // byte < 0: EOF
-  source += "push 10\neq\njnz respond\n";                  // newline: answer
-  source += "jmp readloop\n";
-  source += "eof:\npop\njmp closecon\n";
-  source += "respond:\n";
-  for (char c : banner) {
-    source += "gload 1\npush " + std::to_string(static_cast<int>(c)) + "\nsys 19\n";
+// The dynamic page program: answers g0 + g1 (the servlet).
+constexpr char kDynProgram[] =
+    "gload 0\n"
+    "gload 1\n"
+    "add\n"
+    "sys 2\n"
+    "halt\n";
+
+// Pulls "<key>=<decimal>" out of a query string; 0 when absent.
+int64_t QueryArg(const std::string& target, const std::string& key) {
+  size_t q = target.find('?');
+  if (q == std::string::npos) {
+    return 0;
   }
-  source += "closecon:\n";
-  source += "gload 1\nsys 20\n";                           // close(g1)
-  source += "gload 2\npush 1\nsub\ngstore 2\n";            // --g2
-  source += "gload 2\njnz serve\n";
-  source += "halt\n";
-  return source;
+  std::string query = target.substr(q + 1);
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    size_t end = amp == std::string::npos ? query.size() : amp;
+    size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return std::strtoll(query.c_str() + eq + 1, nullptr, 10);
+    }
+    pos = end + 1;
+  }
+  return 0;
+}
+
+// Builds the journaled-FFS content volume: an index page plus binary blobs.
+ComPtr<FileSystem> BuildContent(trace::TraceEnv* trace,
+                                const std::string& index_body,
+                                size_t blob_size, int blobs) {
+  auto disk = MemBlkIo::Create(2 * 1024 * 1024, 512);
+  OSKIT_ASSERT(Ok(fs::Mkfs(disk.get())));
+  fs::MountOptions mo;
+  mo.trace = trace;
+  ComPtr<FileSystem> ffs;
+  OSKIT_ASSERT(Ok(fs::Offs::Mount(disk.get(), mo, ffs.Receive())));
+  ComPtr<Dir> root;
+  OSKIT_ASSERT(Ok(ffs->GetRoot(root.Receive())));
+
+  ComPtr<File> index;
+  OSKIT_ASSERT(Ok(root->Create("index.html", 0644, index.Receive())));
+  size_t n = 0;
+  OSKIT_ASSERT(Ok(index->Write(index_body.data(), 0, index_body.size(), &n)));
+
+  OSKIT_ASSERT(Ok(root->Mkdir("files", 0755)));
+  ComPtr<File> files_file;
+  OSKIT_ASSERT(Ok(root->Lookup("files", files_file.Receive())));
+  auto files = ComPtr<Dir>::FromQuery(files_file.get());
+  OSKIT_ASSERT(files);
+  for (int i = 0; i < blobs; ++i) {
+    char name[32];
+    snprintf(name, sizeof(name), "f%d.bin", i);
+    ComPtr<File> f;
+    OSKIT_ASSERT(Ok(files->Create(name, 0644, f.Receive())));
+    std::string data(blob_size, static_cast<char>('a' + i));
+    OSKIT_ASSERT(Ok(f->Write(data.data(), 0, data.size(), &n)));
+  }
+  return ffs;
+}
+
+// Blocking-socket request helper for the browser: sends `wire` verbatim and
+// parses `expected` responses off the connection.
+std::vector<http::Response> Exchange(Socket* sock, const std::string& wire,
+                                     size_t expected) {
+  size_t n = 0;
+  OSKIT_ASSERT(Ok(sock->Send(wire.data(), wire.size(), &n)));
+  http::ResponseParser parser;
+  std::vector<http::Response> responses;
+  char buf[4096];
+  while (responses.size() < expected) {
+    Error err = sock->Recv(buf, sizeof(buf), &n);
+    OSKIT_ASSERT(Ok(err));
+    OSKIT_ASSERT_MSG(n > 0, "connection closed mid-response");
+    parser.Feed(buf, n);
+    OSKIT_ASSERT_MSG(parser.status() != http::ParseStatus::kError,
+                     parser.error());
+    while (parser.HasResponse()) {
+      responses.push_back(parser.TakeResponse());
+    }
+  }
+  return responses;
 }
 
 }  // namespace
 
 int main() {
-  EthernetWire::Config wire;
-  wire.bits_per_second = 100 * 1000 * 1000;
-  World world(wire);
-  Host& server = world.AddHost("netpc", NetConfig::kOskit);
-  Host& client = world.AddHost("browser", NetConfig::kOskit);
+  VirtualSwitch::Config sw;
+  sw.port.bits_per_second = 1000 * 1000 * 1000;
+  sw.port.propagation_ns = 5 * 1000;
+  World world(sw);
+  // The server rides the modern path: COM glue + scatter-gather send +
+  // NAPI polled RX.  The browser is a native-BSD host — cross-stack
+  // interop is the paper's whole point.
+  Host& server = world.AddHost("netpc", NetConfig::kOskitNapi);
+  Host& browser = world.AddHost("browser", NetConfig::kNativeBsd);
 
-  const std::string kBanner = "KVM/OSKit network computer ready\n";
-  constexpr int kConnections = 3;
+  const std::string kIndex = "<html>KVM/OSKit network computer v2</html>\n";
+  constexpr size_t kBlobSize = 8192;
+  constexpr int kBlobs = 4;
 
-  // "Compile" the program and hand it to the boot loader as a module, the
-  // Java/PC .class-files-in-a-bmod flow.
+  // "Compile" the dynamic-page program and hand it to the boot loader as a
+  // module — the Java/PC .class-files-in-a-bmod flow, unchanged from v1.
   std::vector<uint8_t> bytecode;
   std::string asm_error;
-  if (!Ok(vm::Assemble(ServerProgram(kConnections, kBanner), &bytecode, &asm_error))) {
+  if (!Ok(vm::Assemble(kDynProgram, &bytecode, &asm_error))) {
     std::fprintf(stderr, "assembly failed: %s\n", asm_error.c_str());
     return 1;
   }
   BootLoader loader(&server.machine->phys());
-  loader.AddModule("server.kvm entry=0", bytecode.data(), bytecode.size());
+  loader.AddModule("servlet.kvm entry=0", bytecode.data(), bytecode.size());
   MultiBootInfo info = loader.Load("netcomputer");
 
-  std::string vm_console;
-  int served_ok = 0;
+  ComPtr<FileSystem> content =
+      BuildContent(&server.trace, kIndex, kBlobSize, kBlobs);
+  ComPtr<Dir> content_root;
+  OSKIT_ASSERT(Ok(content->GetRoot(content_root.Receive())));
 
-  // The network computer's kernel: load the module through bmodfs + POSIX,
-  // verify, run.
-  world.sim().Spawn("netpc/kvm", [&] {
+  http::Server::Config cfg;
+  cfg.bind = SockAddr{kInetAny, 80};
+  cfg.trace = &server.trace;
+  cfg.now = [&world] { return world.sim().clock().Now(); };
+  http::Server httpd(server.socket_factory, server.stack->CreateSelector(),
+                     content_root, cfg);
+
+  uint64_t dyn_hits = 0;
+
+  world.sim().Spawn("netpc/httpd", [&] {
+    // Load the servlet through bmodfs + POSIX, verify it once; each /dyn
+    // request then runs a fresh VM over the same bytecode.
     auto bmodfs = MemFs::BuildBmodFs(&server.machine->phys(), info);
-    ComPtr<Dir> root;
-    bmodfs->GetRoot(root.Receive());
+    ComPtr<Dir> bmod_root;
+    bmodfs->GetRoot(bmod_root.Receive());
     libc::PosixIo posix;
-    posix.SetRoot(std::move(root));
-    int fd = posix.Open("/server.kvm", libc::kORdOnly);
+    posix.SetRoot(std::move(bmod_root));
+    int fd = posix.Open("/servlet.kvm", libc::kORdOnly);
     OSKIT_ASSERT(fd >= 0);
     FileStat st;
     posix.Fstat(fd, &st);
@@ -201,52 +207,98 @@ int main() {
     OSKIT_ASSERT(posix.Read(fd, program.data(), program.size()) ==
                  static_cast<long>(program.size()));
     posix.Close(fd);
+    {
+      vm::Vm probe(program, nullptr);
+      std::string problem;
+      OSKIT_ASSERT_MSG(Ok(probe.Verify(&problem)), problem.c_str());
+    }
 
-    NetComputerSys sys(&server, &vm_console);
-    vm::Vm machine(std::move(program), &sys);
-    std::string problem;
-    OSKIT_ASSERT_MSG(Ok(machine.Verify(&problem)), problem.c_str());
-    machine.SpawnThread(0);
-    Error err = machine.Run();
-    OSKIT_ASSERT_MSG(Ok(err), "VM faulted");
-    std::printf("netpc: VM ran %llu instructions\n",
-                static_cast<unsigned long long>(machine.instructions_executed()));
+    httpd.AddDynRoute("/dyn/add", [&, program](const http::Request& req,
+                                               std::string* body,
+                                               std::string* type) -> int {
+      std::string out;
+      ConsoleSys sys(&out);
+      vm::Vm machine(program, &sys);
+      if (!Ok(machine.Verify())) {
+        return 500;
+      }
+      machine.set_global(0, QueryArg(req.target, "a"));
+      machine.set_global(1, QueryArg(req.target, "b"));
+      machine.SpawnThread(0);
+      if (!Ok(machine.Run())) {
+        return 500;
+      }
+      ++dyn_hits;
+      *body = out + "\n";
+      *type = "text/plain";
+      return 200;
+    });
+
+    OSKIT_ASSERT(Ok(httpd.Start()));
+    httpd.Run();
+    std::printf("netpc: served %llu requests, %llu responses\n",
+                static_cast<unsigned long long>(httpd.requests()),
+                static_cast<unsigned long long>(httpd.responses()));
   });
 
-  // The "browser": three request/response exchanges.
+  int checks_passed = 0;
   world.sim().Spawn("browser", [&] {
-    for (int i = 0; i < kConnections; ++i) {
-      ComPtr<Socket> conn = client.MakeSocket(SockType::kStream);
-      Error err = conn->Connect(SockAddr{server.addr, 80});
-      OSKIT_ASSERT(Ok(err));
-      const char request[] = "GET /\n";
-      size_t n = 0;
-      OSKIT_ASSERT(Ok(conn->Send(request, sizeof(request) - 1, &n)));
-      std::string reply;
-      char buf[128];
-      for (;;) {
-        err = conn->Recv(buf, sizeof(buf), &n);
-        OSKIT_ASSERT(Ok(err));
-        if (n == 0) {
-          break;
-        }
-        reply.append(buf, n);
-      }
-      std::printf("browser: connection %d got %zu bytes: %s", i + 1, reply.size(),
-                  reply.c_str());
-      if (reply == kBanner) {
-        ++served_ok;
-      }
-    }
+    SockAddr target{server.addr, 80};
+
+    // Keep-alive connection: index page, a blob, then a dynamic page.
+    ComPtr<Socket> conn = browser.MakeSocket(SockType::kStream);
+    OSKIT_ASSERT(Ok(conn->Connect(target)));
+    auto r = Exchange(conn.get(), "GET /index.html HTTP/1.1\r\n\r\n", 1);
+    OSKIT_ASSERT(r[0].status == 200 && r[0].body == kIndex);
+    ++checks_passed;
+    r = Exchange(conn.get(), "GET /files/f2.bin HTTP/1.1\r\n\r\n", 1);
+    OSKIT_ASSERT(r[0].status == 200 && r[0].body.size() == kBlobSize &&
+                 r[0].body[0] == 'c');
+    ++checks_passed;
+    r = Exchange(conn.get(), "GET /dyn/add?a=7&b=35 HTTP/1.1\r\n\r\n", 1);
+    OSKIT_ASSERT(r[0].status == 200 && r[0].body == "42\n");
+    ++checks_passed;
+
+    // Pipelined burst on the same connection: three requests in one
+    // segment, three responses in order.
+    r = Exchange(conn.get(),
+                 "GET /files/f0.bin HTTP/1.1\r\n\r\n"
+                 "GET /nope HTTP/1.1\r\n\r\n"
+                 "GET /dyn/add?a=1&b=2 HTTP/1.1\r\n\r\n",
+                 3);
+    OSKIT_ASSERT(r[0].status == 200 && r[0].body.size() == kBlobSize);
+    OSKIT_ASSERT(r[1].status == 404);
+    OSKIT_ASSERT(r[2].status == 200 && r[2].body == "3\n");
+    ++checks_passed;
+
+    // Connection: close — the server must answer then shut the stream.
+    r = Exchange(conn.get(),
+                 "GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n", 1);
+    OSKIT_ASSERT(r[0].status == 200 && !r[0].keep_alive);
+    char buf[16];
+    size_t n = 0;
+    OSKIT_ASSERT(Ok(conn->Recv(buf, sizeof(buf), &n)) && n == 0);  // EOF
+    ++checks_passed;
+
+    // Fresh connection: quit route drains the server.
+    ComPtr<Socket> quit = browser.MakeSocket(SockType::kStream);
+    OSKIT_ASSERT(Ok(quit->Connect(target)));
+    r = Exchange(quit.get(), "GET /__quit HTTP/1.1\r\n\r\n", 1);
+    OSKIT_ASSERT(r[0].status == 200);
+    ++checks_passed;
   });
 
   world.RunToCompletion();
-  if (served_ok != kConnections) {
-    std::fprintf(stderr, "netcomputer: expected %d good replies, got %d\n",
-                 kConnections, served_ok);
-    return 1;
-  }
-  std::printf("netcomputer: %d connections served by bytecode on the bare "
-              "(simulated) metal\n", served_ok);
+
+  OSKIT_ASSERT(checks_passed == 6);
+  OSKIT_ASSERT(dyn_hits == 2);
+  uint64_t sg_frames = server.trace.registry.Value("glue.send.sg_frames");
+  std::printf(
+      "netcomputer v2: %d browser checks passed, %llu dyn pages, "
+      "%llu SG frames, fs_read self %llu ns\n",
+      checks_passed, static_cast<unsigned long long>(dyn_hits),
+      static_cast<unsigned long long>(sg_frames),
+      static_cast<unsigned long long>(
+          server.trace.registry.Value("http.span.fs_read.self_ns")));
   return 0;
 }

@@ -1,0 +1,449 @@
+#include "src/http/http.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace oskit::http {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  // RFC 7230 tchar.
+  if (std::isalnum(static_cast<unsigned char>(c))) {
+    return true;
+  }
+  return std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+// Parses a non-negative decimal; false on overflow/empty/non-digits.
+bool ParseDecimal(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    if (v > (~uint64_t{0} - 9) / 10) {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+std::string TrimOws(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Parses "HTTP/<d>.<d>"; false on anything else.
+bool ParseVersion(const std::string& s, int* major, int* minor) {
+  if (s.size() != 8 || s.compare(0, 5, "HTTP/") != 0 || s[6] != '.') {
+    return false;
+  }
+  if (s[5] < '0' || s[5] > '9' || s[7] < '0' || s[7] > '9') {
+    return false;
+  }
+  *major = s[5] - '0';
+  *minor = s[7] - '0';
+  return true;
+}
+
+// Splits the flat "line\r\nline\r\n...\r\n" header region into headers and
+// resolves framing (Content-Length, keep-alive).  Shared by the request and
+// response parsers; returns nullptr on success or a static error reason.
+const char* ParseHeaderBlock(
+    const std::string& region, size_t start, size_t max_headers,
+    std::vector<std::pair<std::string, std::string>>* headers,
+    uint64_t* content_length, bool* keep_alive_default, bool* reject_te) {
+  size_t pos = start;
+  bool have_connection = false;
+  while (pos < region.size()) {
+    size_t eol = region.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      return "header line missing CRLF";
+    }
+    if (eol == pos) {
+      break;  // blank line — handled by caller's terminator search
+    }
+    size_t colon = region.find(':', pos);
+    if (colon == std::string::npos || colon > eol || colon == pos) {
+      return "header line missing name";
+    }
+    std::string name = region.substr(pos, colon - pos);
+    for (char c : name) {
+      if (!IsTokenChar(c)) {
+        return "header name has illegal character";
+      }
+    }
+    std::string value = TrimOws(region.substr(colon + 1, eol - colon - 1));
+    for (char c : value) {
+      if (static_cast<unsigned char>(c) < 0x20 && c != '\t') {
+        return "header value has control character";
+      }
+    }
+    if (headers->size() >= max_headers) {
+      return "too many headers";
+    }
+    if (EqualsIgnoreCase(name, "content-length")) {
+      uint64_t v = 0;
+      if (!ParseDecimal(value, &v)) {
+        return "bad Content-Length";
+      }
+      if (*content_length != ~uint64_t{0} && *content_length != v) {
+        return "conflicting Content-Length";
+      }
+      *content_length = v;
+    } else if (EqualsIgnoreCase(name, "transfer-encoding")) {
+      *reject_te = true;
+    } else if (EqualsIgnoreCase(name, "connection")) {
+      have_connection = true;
+      if (EqualsIgnoreCase(value, "close")) {
+        *keep_alive_default = false;
+      } else if (EqualsIgnoreCase(value, "keep-alive")) {
+        *keep_alive_default = true;
+      }
+    }
+    headers->emplace_back(std::move(name), std::move(value));
+    pos = eol + 2;
+  }
+  (void)have_connection;
+  return nullptr;
+}
+
+const std::string* FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const char* name) {
+  for (const auto& [n, v] : headers) {
+    if (EqualsIgnoreCase(n, name)) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size(); ++i) {
+    if (b[i] == '\0' ||
+        std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return b[i] == '\0';
+}
+
+const std::string* Request::Header(const char* name) const {
+  return FindHeader(headers, name);
+}
+
+const std::string* Response::Header(const char* name) const {
+  return FindHeader(headers, name);
+}
+
+// ---------------------------------------------------------------------------
+// RequestParser
+// ---------------------------------------------------------------------------
+
+ParseStatus RequestParser::status() const {
+  if (failed_) {
+    return ParseStatus::kError;
+  }
+  return ready_.empty() ? ParseStatus::kNeedMore : ParseStatus::kRequest;
+}
+
+void RequestParser::Reset() {
+  buf_.clear();
+  ready_.clear();
+  error_ = "";
+  failed_ = false;
+}
+
+Request RequestParser::TakeRequest() {
+  Request r = std::move(ready_.front());
+  ready_.pop_front();
+  return r;
+}
+
+ParseStatus RequestParser::Feed(const void* data, size_t len) {
+  if (failed_) {
+    return ParseStatus::kError;
+  }
+  buf_.append(static_cast<const char*>(data), len);
+  return ParseBuffered();
+}
+
+ParseStatus RequestParser::ParseBuffered() {
+  for (;;) {
+    // Frame the head: request line + headers end at the blank line.
+    size_t head_end = buf_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buf_.size() > limits_.max_header_bytes) {
+        failed_ = true;
+        error_ = "header block too large";
+        return ParseStatus::kError;
+      }
+      // An early syntax error is reportable before the blank line arrives:
+      // a request line that already exceeds its limit.
+      size_t line_end = buf_.find("\r\n");
+      if (line_end == std::string::npos && buf_.size() > limits_.max_request_line) {
+        failed_ = true;
+        error_ = "request line too long";
+        return ParseStatus::kError;
+      }
+      return status();
+    }
+    if (head_end + 4 > limits_.max_header_bytes) {
+      failed_ = true;
+      error_ = "header block too large";
+      return ParseStatus::kError;
+    }
+
+    // Request line.
+    size_t line_end = buf_.find("\r\n");
+    if (line_end > limits_.max_request_line) {
+      failed_ = true;
+      error_ = "request line too long";
+      return ParseStatus::kError;
+    }
+    std::string line = buf_.substr(0, line_end);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                          : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos) {
+      failed_ = true;
+      error_ = "malformed request line";
+      return ParseStatus::kError;
+    }
+    Request req;
+    req.method = line.substr(0, sp1);
+    req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (req.method.empty() || req.target.empty()) {
+      failed_ = true;
+      error_ = "malformed request line";
+      return ParseStatus::kError;
+    }
+    for (char c : req.method) {
+      if (!IsTokenChar(c)) {
+        failed_ = true;
+        error_ = "malformed method";
+        return ParseStatus::kError;
+      }
+    }
+    for (char c : req.target) {
+      if (static_cast<unsigned char>(c) <= 0x20 || c == 0x7f) {
+        failed_ = true;
+        error_ = "malformed request target";
+        return ParseStatus::kError;
+      }
+    }
+    if (!ParseVersion(line.substr(sp2 + 1), &req.version_major,
+                      &req.version_minor)) {
+      failed_ = true;
+      error_ = "malformed HTTP version";
+      return ParseStatus::kError;
+    }
+    if (req.version_major != 1) {
+      failed_ = true;
+      error_ = "unsupported HTTP major version";
+      return ParseStatus::kError;
+    }
+
+    // Headers (between the request line and the blank line).
+    uint64_t content_length = ~uint64_t{0};
+    bool keep_alive = req.version_minor >= 1;  // 1.1 default on, 1.0 off
+    bool reject_te = false;
+    const char* reason =
+        ParseHeaderBlock(buf_.substr(0, head_end + 2), line_end + 2,
+                         limits_.max_headers, &req.headers, &content_length,
+                         &keep_alive, &reject_te);
+    if (reason != nullptr) {
+      failed_ = true;
+      error_ = reason;
+      return ParseStatus::kError;
+    }
+    if (reject_te) {
+      // No chunked support: mis-framing the body would desynchronize the
+      // whole connection, so refuse loudly (server answers 501).
+      failed_ = true;
+      error_ = "Transfer-Encoding not supported";
+      return ParseStatus::kError;
+    }
+    req.keep_alive = keep_alive;
+
+    uint64_t body_len = content_length == ~uint64_t{0} ? 0 : content_length;
+    if (body_len > limits_.max_body) {
+      failed_ = true;
+      error_ = "body too large";
+      return ParseStatus::kError;
+    }
+    size_t body_start = head_end + 4;
+    if (buf_.size() - body_start < body_len) {
+      return status();  // body still in flight
+    }
+    req.body = buf_.substr(body_start, body_len);
+    buf_.erase(0, body_start + body_len);
+    ready_.push_back(std::move(req));
+    // Loop: pipelined requests parse back-to-back from the same buffer.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResponseParser
+// ---------------------------------------------------------------------------
+
+ParseStatus ResponseParser::status() const {
+  if (failed_) {
+    return ParseStatus::kError;
+  }
+  return ready_.empty() ? ParseStatus::kNeedMore : ParseStatus::kRequest;
+}
+
+void ResponseParser::Reset() {
+  buf_.clear();
+  ready_.clear();
+  error_ = "";
+  failed_ = false;
+}
+
+Response ResponseParser::TakeResponse() {
+  Response r = std::move(ready_.front());
+  ready_.pop_front();
+  return r;
+}
+
+ParseStatus ResponseParser::Feed(const void* data, size_t len) {
+  if (failed_) {
+    return ParseStatus::kError;
+  }
+  buf_.append(static_cast<const char*>(data), len);
+  return ParseBuffered();
+}
+
+ParseStatus ResponseParser::ParseBuffered() {
+  for (;;) {
+    size_t head_end = buf_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      return status();
+    }
+    size_t line_end = buf_.find("\r\n");
+    std::string line = buf_.substr(0, line_end);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                          : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos) {
+      failed_ = true;
+      error_ = "malformed status line";
+      return ParseStatus::kError;
+    }
+    Response resp;
+    if (!ParseVersion(line.substr(0, sp1), &resp.version_major,
+                      &resp.version_minor)) {
+      failed_ = true;
+      error_ = "malformed HTTP version";
+      return ParseStatus::kError;
+    }
+    std::string code = sp2 == std::string::npos
+                           ? line.substr(sp1 + 1)
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    uint64_t status_code = 0;
+    if (!ParseDecimal(code, &status_code) || status_code < 100 ||
+        status_code > 999) {
+      failed_ = true;
+      error_ = "malformed status code";
+      return ParseStatus::kError;
+    }
+    resp.status = static_cast<int>(status_code);
+    if (sp2 != std::string::npos) {
+      resp.reason = line.substr(sp2 + 1);
+    }
+
+    uint64_t content_length = ~uint64_t{0};
+    bool keep_alive = resp.version_minor >= 1;
+    bool reject_te = false;
+    const char* reason =
+        ParseHeaderBlock(buf_.substr(0, head_end + 2), line_end + 2,
+                         /*max_headers=*/64, &resp.headers, &content_length,
+                         &keep_alive, &reject_te);
+    if (reason != nullptr) {
+      failed_ = true;
+      error_ = reason;
+      return ParseStatus::kError;
+    }
+    if (reject_te || content_length == ~uint64_t{0}) {
+      // The loadgen protocol requires explicitly framed responses; a
+      // missing Content-Length would mean read-until-close.
+      failed_ = true;
+      error_ = "response without Content-Length";
+      return ParseStatus::kError;
+    }
+    resp.keep_alive = keep_alive;
+    size_t body_start = head_end + 4;
+    if (buf_.size() - body_start < content_length) {
+      return status();
+    }
+    resp.body = buf_.substr(body_start, content_length);
+    buf_.erase(0, body_start + content_length);
+    ready_.push_back(std::move(resp));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string FormatResponseHead(int status, const char* reason,
+                               size_t content_length, const char* content_type,
+                               bool keep_alive) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: %s\r\n"
+                "\r\n",
+                status, reason != nullptr ? reason : StatusReason(status),
+                content_type, content_length,
+                keep_alive ? "keep-alive" : "close");
+  return std::string(head);
+}
+
+}  // namespace oskit::http

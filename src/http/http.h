@@ -1,0 +1,140 @@
+// HTTP/1.1 message parsing for the flagship netcomputer service.
+//
+// The paper's §7 case studies compose OSKit components into whole systems
+// (the network computer, the standalone Java environment); this component is
+// the protocol layer of that story grown to production shape: an
+// incremental, segmentation-independent HTTP/1.1 parser feeding the
+// selector-driven server in src/http/server.h.
+//
+// The parser is a pure byte-stream machine: Feed() appends whatever the
+// transport delivered — one byte, a full pipeline of requests, a request
+// torn mid-header — and completed requests become available in arrival
+// order.  Parsing depends only on the accumulated byte sequence, never on
+// segmentation, which the seeded property test in tests/http_test.cc pins
+// by comparing every torn feed against a flat-buffer reference.
+//
+// Scope (what the flagship workload needs, nothing more): GET/HEAD/POST,
+// CRLF line discipline, Content-Length bodies, HTTP/1.0-vs-1.1 keep-alive
+// rules.  Transfer-Encoding is recognized and rejected (kError — the server
+// answers 501) rather than silently mis-framed.
+
+#ifndef OSKIT_SRC_HTTP_HTTP_H_
+#define OSKIT_SRC_HTTP_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oskit::http {
+
+struct Request {
+  std::string method;   // "GET", "HEAD", "POST", ...
+  std::string target;   // raw request-target, query string included
+  int version_major = 1;
+  int version_minor = 1;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;      // Content-Length bytes, possibly empty
+  bool keep_alive = true;
+
+  // Case-insensitive header lookup; nullptr when absent.
+  const std::string* Header(const char* name) const;
+};
+
+enum class ParseStatus {
+  kNeedMore,  // no complete request buffered yet
+  kRequest,   // at least one complete request ready (TakeRequest pops)
+  kError,     // stream is malformed; sticky until Reset
+};
+
+class RequestParser {
+ public:
+  struct Limits {
+    size_t max_request_line = 4096;
+    size_t max_header_bytes = 16 * 1024;  // request line + all headers
+    size_t max_headers = 64;
+    size_t max_body = 1 << 20;
+  };
+
+  RequestParser() = default;
+  explicit RequestParser(const Limits& limits) : limits_(limits) {}
+
+  // Appends transport bytes and parses as far as possible.  Once the stream
+  // has errored every further Feed returns kError (a malformed stream has
+  // no recoverable framing).
+  ParseStatus Feed(const void* data, size_t len);
+
+  ParseStatus status() const;
+  bool HasRequest() const { return !ready_.empty(); }
+
+  // Pops the oldest completed request.  Only valid when HasRequest().
+  Request TakeRequest();
+
+  // Reason for kError ("" while healthy).
+  const char* error() const { return error_; }
+
+  // Bytes buffered but not yet part of a completed request.
+  size_t pending_bytes() const { return buf_.size(); }
+
+  void Reset();
+
+ private:
+  ParseStatus ParseBuffered();
+
+  Limits limits_;
+  std::string buf_;
+  std::deque<Request> ready_;
+  const char* error_ = "";
+  bool failed_ = false;
+};
+
+// Client-side counterpart for loadgen: parses status-line + headers +
+// Content-Length body responses (exactly what the server emits).
+struct Response {
+  int status = 0;
+  std::string reason;
+  int version_major = 1;
+  int version_minor = 1;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* Header(const char* name) const;
+};
+
+class ResponseParser {
+ public:
+  ParseStatus Feed(const void* data, size_t len);
+  ParseStatus status() const;
+  bool HasResponse() const { return !ready_.empty(); }
+  Response TakeResponse();
+  const char* error() const { return error_; }
+  void Reset();
+
+ private:
+  ParseStatus ParseBuffered();
+
+  std::string buf_;
+  std::deque<Response> ready_;
+  const char* error_ = "";
+  bool failed_ = false;
+};
+
+// Serializes a response head (status line + the standard header block +
+// blank line).  The caller appends the body itself — the server streams
+// file bodies in after the head.
+std::string FormatResponseHead(int status, const char* reason,
+                               size_t content_length, const char* content_type,
+                               bool keep_alive);
+
+// Canonical reason phrase for the status codes the server emits.
+const char* StatusReason(int status);
+
+// ASCII case-insensitive string equality (header names).
+bool EqualsIgnoreCase(const std::string& a, const char* b);
+
+}  // namespace oskit::http
+
+#endif  // OSKIT_SRC_HTTP_HTTP_H_

@@ -1,0 +1,495 @@
+#include "src/http/server.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace oskit::http {
+
+namespace {
+
+constexpr size_t kMaxEvents = 64;
+
+const char* ContentTypeFor(const std::string& path) {
+  size_t dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    return "application/octet-stream";
+  }
+  std::string ext = path.substr(dot);
+  if (ext == ".html" || ext == ".htm") {
+    return "text/html";
+  }
+  if (ext == ".txt") {
+    return "text/plain";
+  }
+  return "application/octet-stream";
+}
+
+}  // namespace
+
+Server::Server(ComPtr<SocketFactory> factory, ComPtr<NetSelector> selector,
+               ComPtr<Dir> root, const Config& config)
+    : factory_(std::move(factory)),
+      selector_(std::move(selector)),
+      root_(std::move(root)),
+      config_(config),
+      trace_(trace::ResolveTraceEnv(config.trace)),
+      span_wait_(trace_, "http.span.wait"),
+      span_accept_(trace_, "http.span.accept"),
+      span_fs_read_(trace_, "http.span.fs_read"),
+      span_dyn_(trace_, "http.span.dyn"),
+      span_request_(trace_, "http.span.request") {
+  counters_.Bind(&trace_->registry,
+                 {{"http.conns.accepted", &accepted_},
+                  {"http.conns.open", &open_, /*gauge=*/true},
+                  {"http.conns.closed", &closed_},
+                  {"http.requests", &requests_},
+                  {"http.requests.pipelined", &pipelined_},
+                  {"http.responses", &responses_},
+                  {"http.bytes_in", &bytes_in_},
+                  {"http.bytes_out", &bytes_out_},
+                  {"http.errors.bad_request", &bad_requests_},
+                  {"http.errors.not_found", &not_found_},
+                  {"http.read_paused", &read_paused_}});
+}
+
+Server::~Server() {
+  for (Conn* conn : conns_) {
+    if (!conn->dead) {
+      selector_->Remove(conn->sock.get());
+    }
+    delete conn;
+  }
+  conns_.clear();
+  if (listener_registered_) {
+    selector_->Remove(listener_.get());
+  }
+}
+
+void Server::AddDynRoute(const std::string& prefix, DynHandler handler) {
+  dyn_routes_.emplace_back(prefix, std::move(handler));
+}
+
+Error Server::Start() {
+  Error err = factory_->Create(SockDomain::kInet, SockType::kStream,
+                               listener_.Receive());
+  if (!Ok(err)) {
+    return err;
+  }
+  listener_ext_ = ComPtr<SocketExt>::FromQuery(listener_.get());
+  if (!listener_ext_) {
+    return Error::kNotImpl;  // the server requires nonblocking sockets
+  }
+  listener_ext_->SetNonBlocking(true);
+  err = listener_->Bind(config_.bind);
+  if (!Ok(err)) {
+    return err;
+  }
+  err = listener_->Listen(config_.backlog);
+  if (!Ok(err)) {
+    return err;
+  }
+  err = selector_->Add(listener_.get(), kNetReadable, /*edge=*/false,
+                       /*token=*/nullptr);
+  if (!Ok(err)) {
+    return err;
+  }
+  listener_registered_ = true;
+  return Error::kOk;
+}
+
+void Server::Run() {
+  NetReadyEvent events[kMaxEvents];
+  std::vector<Conn*> graveyard;
+  while (!stopping_ || !conns_.empty()) {
+    size_t count = 0;
+    {
+      trace::ScopedSpan wait(&span_wait_);
+      Error err = selector_->Wait(events, kMaxEvents, /*block=*/true, &count);
+      if (!Ok(err)) {
+        break;
+      }
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (events[i].token == nullptr) {
+        HandleListener();
+        continue;
+      }
+      Conn* conn = static_cast<Conn*>(events[i].token);
+      // A connection closed earlier in this batch may still appear in a
+      // later event slot; its Conn outlives the batch in `conns_` as a
+      // tombstone (dead flag) and is reaped below.
+      if (conn->dead) {
+        continue;
+      }
+      HandleConn(conn, events[i].events);
+    }
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->dead) {
+        graveyard.push_back(*it);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (Conn* conn : graveyard) {
+      delete conn;
+    }
+    graveyard.clear();
+  }
+}
+
+void Server::HandleListener() {
+  trace::ScopedSpan accept(&span_accept_);
+  std::vector<SockAddr> peers(config_.accept_batch);
+  std::vector<Socket*> socks(config_.accept_batch, nullptr);
+  for (;;) {
+    size_t count = 0;
+    Error err = listener_ext_->AcceptBatch(peers.data(), socks.data(),
+                                           socks.size(), &count);
+    if (!Ok(err) || count == 0) {
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      ComPtr<Socket> sock(socks[i]);  // adopt the batch's reference
+      if (stopping_) {
+        continue;  // drops the connection
+      }
+      auto ext = ComPtr<SocketExt>::FromQuery(sock.get());
+      if (!ext) {
+        continue;
+      }
+      ext->SetNonBlocking(true);
+      auto* conn = new Conn;
+      conn->sock = std::move(sock);
+      conn->ext = std::move(ext);
+      conn->interest = kNetReadable;
+      err = selector_->Add(conn->sock.get(), conn->interest, /*edge=*/false,
+                           conn);
+      if (!Ok(err)) {
+        delete conn;
+        continue;
+      }
+      conns_.insert(conn);
+      accepted_ += 1;
+      open_ += 1;
+    }
+    if (count < socks.size()) {
+      return;  // queue drained
+    }
+  }
+}
+
+void Server::HandleConn(Conn* conn, uint32_t events) {
+  if ((events & kNetError) != 0) {
+    CloseConn(conn);
+    return;
+  }
+  if ((events & kNetReadable) != 0) {
+    ReadInto(conn);
+    if (conn->dead) {
+      return;
+    }
+  }
+  // Drain the parse -> respond -> flush cycle; a flush that empties the
+  // staging buffer un-parks any requests held back by the high-water check.
+  do {
+    ProcessRequests(conn);
+    Flush(conn);
+  } while (!conn->dead && conn->out_off == conn->out.size() &&
+           conn->parser.HasRequest() && !conn->close_after);
+  if (conn->dead) {
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void Server::ReadInto(Conn* conn) {
+  std::vector<char> chunk(config_.read_chunk);
+  while (!conn->saw_eof &&
+         conn->parser.status() != ParseStatus::kError &&
+         conn->out.size() - conn->out_off < config_.out_high_water) {
+    size_t actual = 0;
+    Error err = conn->sock->Recv(chunk.data(), chunk.size(), &actual);
+    if (err == Error::kWouldBlock) {
+      return;
+    }
+    if (!Ok(err)) {
+      CloseConn(conn);
+      return;
+    }
+    if (actual == 0) {
+      conn->saw_eof = true;
+      return;
+    }
+    bytes_in_ += actual;
+    conn->parser.Feed(chunk.data(), actual);
+  }
+}
+
+void Server::ProcessRequests(Conn* conn) {
+  while (!conn->close_after && conn->parser.HasRequest() &&
+         conn->out.size() - conn->out_off < config_.out_high_water) {
+    if (!conn->inflight.empty()) {
+      pipelined_ += 1;
+    }
+    Request req = conn->parser.TakeRequest();
+    requests_ += 1;
+    HandleRequest(conn, req);
+    if (conn->dead) {
+      return;
+    }
+  }
+  if (conn->parser.status() == ParseStatus::kError && !conn->close_after) {
+    bad_requests_ += 1;
+    int status =
+        std::strstr(conn->parser.error(), "Transfer-Encoding") != nullptr
+            ? 501
+            : 400;
+    std::string body = std::string(StatusReason(status)) + "\n";
+    StageResponse(conn, status, body, "text/plain", /*keep_alive=*/false,
+                  /*head_only=*/false, NowNs());
+    conn->close_after = true;
+  }
+  if (conn->saw_eof && !conn->parser.HasRequest()) {
+    conn->close_after = true;
+  }
+}
+
+void Server::HandleRequest(Conn* conn, const Request& req) {
+  uint64_t start_ns = NowNs();
+  bool head_only = req.method == "HEAD";
+
+  if (!config_.quit_path.empty() && req.target == config_.quit_path) {
+    StageResponse(conn, 200, "bye\n", "text/plain", /*keep_alive=*/false,
+                  head_only, start_ns);
+    conn->close_after = true;
+    BeginStopping();
+    return;
+  }
+
+  for (const auto& [prefix, handler] : dyn_routes_) {
+    if (req.target.compare(0, prefix.size(), prefix) == 0) {
+      std::string body;
+      std::string type = "text/plain";
+      int status;
+      {
+        trace::ScopedSpan dyn(&span_dyn_);
+        status = handler(req, &body, &type);
+      }
+      StageResponse(conn, status, body, type.c_str(), req.keep_alive,
+                    head_only, start_ns);
+      if (!req.keep_alive) {
+        conn->close_after = true;
+      }
+      return;
+    }
+  }
+
+  if (req.method != "GET" && req.method != "HEAD") {
+    StageResponse(conn, 405, "Method Not Allowed\n", "text/plain",
+                  req.keep_alive, head_only, start_ns);
+    if (!req.keep_alive) {
+      conn->close_after = true;
+    }
+    return;
+  }
+
+  // Static lookup: walk the path one component at a time (the COM Dir
+  // contract — and the reason security wrappers can interpose per step).
+  std::string path = req.target;
+  size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+  ComPtr<File> file;
+  bool found = root_ && !path.empty() && path[0] == '/';
+  if (found) {
+    trace::ScopedSpan fs(&span_fs_read_);
+    ComPtr<Dir> cur = root_;
+    size_t pos = 1;
+    while (found && pos <= path.size()) {
+      size_t slash = path.find('/', pos);
+      size_t end = slash == std::string::npos ? path.size() : slash;
+      std::string comp = path.substr(pos, end - pos);
+      pos = end + 1;
+      if (comp.empty() || comp == "." || comp == "..") {
+        found = false;
+        break;
+      }
+      ComPtr<File> next;
+      if (!Ok(cur->Lookup(comp.c_str(), next.Receive()))) {
+        found = false;
+        break;
+      }
+      if (slash == std::string::npos) {
+        file = std::move(next);
+        break;
+      }
+      cur = ComPtr<Dir>::FromQuery(next.get());
+      if (!cur) {
+        found = false;
+      }
+    }
+    found = found && file;
+  }
+  if (!found) {
+    not_found_ += 1;
+    StageResponse(conn, 404, "Not Found\n", "text/plain", req.keep_alive,
+                  head_only, start_ns);
+    if (!req.keep_alive) {
+      conn->close_after = true;
+    }
+    return;
+  }
+
+  FileStat st;
+  std::string body;
+  Error err;
+  {
+    trace::ScopedSpan fs(&span_fs_read_);
+    err = file->GetStat(&st);
+    if (Ok(err) && st.type == FileType::kDirectory) {
+      err = Error::kIsDir;
+    }
+    if (Ok(err) && !head_only) {
+      body.resize(st.size);
+      uint64_t off = 0;
+      while (Ok(err) && off < st.size) {
+        size_t actual = 0;
+        err = file->Read(body.data() + off, off,
+                         static_cast<size_t>(st.size - off), &actual);
+        if (Ok(err) && actual == 0) {
+          err = Error::kIo;  // shorter than its stat said
+        }
+        off += actual;
+      }
+    }
+  }
+  if (!Ok(err)) {
+    StageResponse(conn, err == Error::kIsDir ? 403 : 500,
+                  "Unavailable\n", "text/plain", req.keep_alive, head_only,
+                  start_ns);
+  } else if (head_only) {
+    // HEAD: full Content-Length, no body bytes.
+    conn->out += FormatResponseHead(200, nullptr, st.size,
+                                    ContentTypeFor(path), req.keep_alive);
+    conn->staged_total = conn->sent_total + (conn->out.size() - conn->out_off);
+    conn->inflight.push_back({conn->staged_total, start_ns});
+    responses_ += 1;
+  } else {
+    StageResponse(conn, 200, body, ContentTypeFor(path), req.keep_alive,
+                  /*head_only=*/false, start_ns);
+  }
+  if (!req.keep_alive) {
+    conn->close_after = true;
+  }
+}
+
+void Server::StageResponse(Conn* conn, int status, const std::string& body,
+                           const char* content_type, bool keep_alive,
+                           bool head_only, uint64_t start_ns) {
+  conn->out += FormatResponseHead(status, nullptr, body.size(), content_type,
+                                  keep_alive);
+  if (!head_only) {
+    conn->out += body;
+  }
+  conn->staged_total = conn->sent_total + (conn->out.size() - conn->out_off);
+  conn->inflight.push_back({conn->staged_total, start_ns});
+  responses_ += 1;
+}
+
+void Server::Flush(Conn* conn) {
+  while (conn->out_off < conn->out.size()) {
+    size_t actual = 0;
+    Error err = conn->sock->Send(conn->out.data() + conn->out_off,
+                                 conn->out.size() - conn->out_off, &actual);
+    if (Ok(err)) {
+      conn->out_off += actual;
+      conn->sent_total += actual;
+      bytes_out_ += actual;
+      if (actual == 0) {
+        break;
+      }
+    } else if (err == Error::kWouldBlock) {
+      break;
+    } else {
+      CloseConn(conn);
+      return;
+    }
+  }
+  uint64_t now = NowNs();
+  while (!conn->inflight.empty() &&
+         conn->inflight.front().end <= conn->sent_total) {
+    uint64_t start = conn->inflight.front().start_ns;
+    span_request_.AddSample(now >= start ? now - start : 0);
+    conn->inflight.pop_front();
+  }
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > 64 * 1024) {
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+}
+
+void Server::UpdateInterest(Conn* conn) {
+  if (stopping_) {
+    conn->close_after = true;
+  }
+  bool out_pending = conn->out_off < conn->out.size();
+  if (conn->close_after && !out_pending) {
+    CloseConn(conn);
+    return;
+  }
+  uint32_t desired = 0;
+  if (!conn->close_after && !conn->saw_eof &&
+      conn->out.size() - conn->out_off < config_.out_high_water) {
+    desired |= kNetReadable;
+  } else if ((conn->interest & kNetReadable) != 0 && !conn->close_after &&
+             !conn->saw_eof) {
+    // Transition into backpressure: stop reading until the slow peer
+    // drains what is already staged.
+    read_paused_ += 1;
+  }
+  if (out_pending) {
+    desired |= kNetWritable;
+  }
+  if (desired != conn->interest) {
+    if (Ok(selector_->Modify(conn->sock.get(), desired, /*edge=*/false))) {
+      conn->interest = desired;
+    }
+  }
+}
+
+void Server::CloseConn(Conn* conn) {
+  if (conn->dead) {
+    return;
+  }
+  selector_->Remove(conn->sock.get());
+  conn->sock->Shutdown(SockShutdown::kBoth);
+  conn->dead = true;
+  closed_ += 1;
+  open_ -= 1;
+}
+
+void Server::BeginStopping() {
+  if (stopping_) {
+    return;
+  }
+  stopping_ = true;
+  if (listener_registered_) {
+    selector_->Remove(listener_.get());
+    listener_registered_ = false;
+  }
+  // Idle connections never produce another event; close them now.  Draining
+  // ones (the quit response itself, slow readers mid-flush) finish first.
+  for (Conn* conn : conns_) {
+    if (!conn->dead && conn->out_off == conn->out.size()) {
+      CloseConn(conn);
+    }
+  }
+}
+
+}  // namespace oskit::http

@@ -1,0 +1,158 @@
+// The flagship HTTP/1.1 server: netcomputer v2's engine.
+//
+// One fiber drives every connection through the epoll-style NetSelector —
+// batched accept off the listener, nonblocking reads into the incremental
+// RequestParser, responses staged per connection and flushed as the send
+// window opens.  Static content comes from a COM Dir tree (FFS over the
+// journal in the flagship composition); dynamic routes dispatch to
+// registered handlers (the KVM interpreter in netcomputer v2).  Because
+// everything arrives via COM interfaces, the same server runs unwrapped or
+// behind the src/secure interposers unchanged — the secure HTTP campaign
+// phase depends on exactly that.
+//
+// Attribution: the server owns the first real span instrumentation —
+// scoped spans around the selector wait / accept burst / FS read / dyn
+// dispatch, and an interval span per request from parse-complete to
+// response fully flushed (pipelining and slow readers make request
+// lifetimes overlap, which is what SpanSite::AddSample exists for).
+
+#ifndef OSKIT_SRC_HTTP_SERVER_H_
+#define OSKIT_SRC_HTTP_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/com/filesystem.h"
+#include "src/com/netselector.h"
+#include "src/com/socket.h"
+#include "src/http/http.h"
+#include "src/trace/trace.h"
+
+namespace oskit::http {
+
+class Server {
+ public:
+  struct Config {
+    SockAddr bind;  // port required; addr may be kInetAny
+    int backlog = 128;
+    size_t accept_batch = 64;
+    size_t read_chunk = 4096;
+    // Stop reading a connection while this much output is pending (slow
+    // readers must not balloon the staging buffer).
+    size_t out_high_water = 256 * 1024;
+    // Requests to this target shut the server down cleanly (responds 200,
+    // stops accepting, drains in-flight responses).  Empty disables.
+    std::string quit_path = "/__quit";
+    trace::TraceEnv* trace = nullptr;  // null = process default
+    // Simulated-time source for per-request latency spans; spans record 0 ns
+    // when unset.
+    std::function<uint64_t()> now;
+  };
+
+  // Dynamic route handler: fills body/content_type, returns the status code.
+  using DynHandler =
+      std::function<int(const Request&, std::string* body,
+                        std::string* content_type)>;
+
+  // `root` may be null (static requests answer 404).  The factory must hand
+  // out sockets implementing SocketExt, and the selector must accept them —
+  // both the native stack surface and the secure wrappers qualify.
+  Server(ComPtr<SocketFactory> factory, ComPtr<NetSelector> selector,
+         ComPtr<Dir> root, const Config& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Routes every target with this prefix to `handler` (checked in
+  // registration order, before static lookup).
+  void AddDynRoute(const std::string& prefix, DynHandler handler);
+
+  // Creates/binds/registers the listener.  Must precede Run.
+  Error Start();
+
+  // The server fiber body: harvests selector events until a quit-path
+  // request has been served and every connection has drained.
+  void Run();
+
+  // Counters (also in the registry under http.*).
+  uint64_t requests() const { return requests_.value(); }
+  uint64_t responses() const { return responses_.value(); }
+  size_t open_conns() const { return conns_.size(); }
+  bool stopping() const { return stopping_; }
+
+ private:
+  struct Conn {
+    ComPtr<Socket> sock;
+    ComPtr<SocketExt> ext;
+    RequestParser parser;
+    std::string out;          // staged response bytes not yet accepted by Send
+    size_t out_off = 0;       // bytes of `out` already sent
+    uint64_t sent_total = 0;  // lifetime bytes accepted by Send
+    uint64_t staged_total = 0;  // lifetime bytes appended to `out`
+    // In-flight responses: span closes when sent_total reaches `end`.
+    struct PendingReq {
+      uint64_t end;
+      uint64_t start_ns;
+    };
+    std::deque<PendingReq> inflight;
+    uint32_t interest = 0;  // mask currently registered with the selector
+    bool close_after = false;  // close once output drains
+    bool saw_eof = false;
+    bool dead = false;  // unregistered, awaiting delete
+  };
+
+  void HandleListener();
+  void HandleConn(Conn* conn, uint32_t events);
+  void ReadInto(Conn* conn);
+  void ProcessRequests(Conn* conn);
+  void HandleRequest(Conn* conn, const Request& req);
+  void StageResponse(Conn* conn, int status, const std::string& body,
+                     const char* content_type, bool keep_alive, bool head_only,
+                     uint64_t start_ns);
+  void Flush(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void CloseConn(Conn* conn);
+  void BeginStopping();
+  uint64_t NowNs() const { return config_.now ? config_.now() : 0; }
+
+  ComPtr<SocketFactory> factory_;
+  ComPtr<NetSelector> selector_;
+  ComPtr<Dir> root_;
+  Config config_;
+  trace::TraceEnv* trace_;
+
+  ComPtr<Socket> listener_;
+  ComPtr<SocketExt> listener_ext_;
+  bool listener_registered_ = false;
+  std::unordered_set<Conn*> conns_;
+  std::vector<std::pair<std::string, DynHandler>> dyn_routes_;
+  bool stopping_ = false;
+
+  trace::Counter accepted_;
+  trace::Counter open_;  // gauge
+  trace::Counter closed_;
+  trace::Counter requests_;
+  trace::Counter pipelined_;
+  trace::Counter responses_;
+  trace::Counter bytes_in_;
+  trace::Counter bytes_out_;
+  trace::Counter bad_requests_;
+  trace::Counter not_found_;
+  trace::Counter read_paused_;
+  trace::CounterBlock counters_;
+
+  trace::SpanSite span_wait_;
+  trace::SpanSite span_accept_;
+  trace::SpanSite span_fs_read_;
+  trace::SpanSite span_dyn_;
+  trace::SpanSite span_request_;
+};
+
+}  // namespace oskit::http
+
+#endif  // OSKIT_SRC_HTTP_SERVER_H_

@@ -22,6 +22,8 @@ KernelEnv::KernelEnv(Machine* machine, const MultiBootInfo& info, SleepMode slee
   // events, and the LMM's allocation instrumentation.
   trace_->recorder.SetTimeSource(
       [clock = &machine->sim().clock()] { return clock->Now(); });
+  trace_->spans.SetTimeSource(
+      [clock = &machine->sim().clock()] { return clock->Now(); });
   Cpu& cpu = machine_->cpu();
   Pit& pit = machine_->pit();
   cpu_counters_.Bind(&trace_->registry,
@@ -74,6 +76,7 @@ KernelEnv::~KernelEnv() {
   // The time source captured this machine's clock; don't leave it dangling
   // in a shared (default) environment.
   trace_->recorder.SetTimeSource(nullptr);
+  trace_->spans.SetTimeSource(nullptr);
   // The fault environment may outlive this kernel's trace registry (a
   // campaign sweeps many worlds with one env); move its reporting back to
   // the process-global default while the registry is still alive.

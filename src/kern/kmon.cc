@@ -186,6 +186,20 @@ void KernelMonitor::CmdTrace(const std::string& args) {
   }
 }
 
+void KernelMonitor::CmdHot() {
+  trace::SpanTracker& spans = kernel_->trace().spans;
+  spans.DumpHot([this](const char* line) { Print("%s\n", line); });
+  if (spans.depth() > 0) {
+    Print("open spans (innermost last):\n");
+    spans.ForEachOpen([this](const trace::SpanSite* site, uint64_t start_ns,
+                             uint64_t child_ns) {
+      Print("  OPEN %-26s started=%llu child=%llu\n", site->name(),
+            static_cast<unsigned long long>(start_ns),
+            static_cast<unsigned long long>(child_ns));
+    });
+  }
+}
+
 void KernelMonitor::CmdFault(const std::string& args) {
   fault::FaultEnv& env = kernel_->fault();
   if (args.empty()) {
@@ -318,7 +332,8 @@ void KernelMonitor::CmdTenants() {
 
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
-        "counters [prefix] | trace dump|clear | fault [arm|disarm|seed] | "
+        "counters [prefix] | trace dump|clear | hot | "
+        "fault [arm|disarm|seed] | "
         "nicmit [idx threshold holdoff_us] | netstat | tenants | "
         "s step | c continue | halt | help\n");
 }
@@ -350,6 +365,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdCounters(args);
     } else if (cmd == "trace") {
       CmdTrace(args);
+    } else if (cmd == "hot") {
+      CmdHot();
     } else if (cmd == "fault") {
       CmdFault(args);
     } else if (cmd == "nicmit") {

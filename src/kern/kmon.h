@@ -19,6 +19,8 @@
 //   fault arm <site> <pct> [nth]   arm a site (percent probability / nth call)
 //   fault disarm <site>|all        disarm one site or every site
 //   fault seed <n>    reseed the fault environment (resets call/fire counts)
+//   hot               dump span attribution (self-time-sorted hot paths)
+//                     plus any spans still open at the stop
 //   nicmit            show each NIC's RX interrupt-mitigation registers
 //   nicmit <idx> <threshold> <holdoff_us>   program a NIC's mitigation
 //   netstat           dump the attached stack's PCB tables, listen queues,
@@ -84,6 +86,7 @@ class KernelMonitor {
   void CmdTranslate(const std::string& args);
   void CmdCounters(const std::string& args);
   void CmdTrace(const std::string& args);
+  void CmdHot();
   void CmdFault(const std::string& args);
   void CmdNicMit(const std::string& args);
   void CmdNetstat();

@@ -1,6 +1,8 @@
 #include "src/trace/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "src/base/panic.h"
 
@@ -148,6 +150,10 @@ const char* EventTypeName(EventType type) {
       return "alloc";
     case EventType::kFree:
       return "free";
+    case EventType::kSpanBegin:
+      return "span-begin";
+    case EventType::kSpanEnd:
+      return "span-end";
     case EventType::kMark:
       return "mark";
   }
@@ -267,6 +273,169 @@ void FlightRecorder::PanicObserverThunk(void* ctx, const char* message) {
                 recorder->panic_banner_, message);
   sink(recorder->dump_ctx_, line);
   recorder->DumpTo(recorder->dump_sink_, recorder->dump_ctx_);
+}
+
+// ---------------------------------------------------------------------------
+// Span attribution
+// ---------------------------------------------------------------------------
+
+SpanSite::SpanSite(TraceEnv* env, const char* name) : name_(name) {
+  TraceEnv* resolved = ResolveTraceEnv(env);
+  tracker_ = &resolved->spans;
+  // Site names are short static strings; build the three dotted names once.
+  std::string base(name_);
+  binding_.Bind(&resolved->registry,
+                {{(base + ".count").c_str(), &count_},
+                 {(base + ".ns").c_str(), &total_ns_},
+                 {(base + ".self_ns").c_str(), &self_ns_}});
+  tracker_->Register(this);
+}
+
+SpanSite::~SpanSite() { tracker_->Unregister(this); }
+
+void SpanSite::AddSample(uint64_t duration_ns) {
+  count_ += 1;
+  total_ns_ += duration_ns;
+  self_ns_ += duration_ns;
+  if (tracker_->recorder_ != nullptr) {
+    tracker_->recorder_->Record(EventType::kSpanEnd, name_, duration_ns);
+  }
+}
+
+SpanTracker::~SpanTracker() { DisableDumpOnPanic(); }
+
+void SpanTracker::Register(SpanSite* site) { sites_.push_back(site); }
+
+void SpanTracker::Unregister(SpanSite* site) {
+  OSKIT_ASSERT_MSG(depth_ == 0 || stack_[depth_ - 1].site != site,
+                   "span site destroyed while open");
+  for (auto it = sites_.begin(); it != sites_.end(); ++it) {
+    if (*it == site) {
+      sites_.erase(it);
+      return;
+    }
+  }
+}
+
+void SpanTracker::Begin(SpanSite* site) {
+  OSKIT_ASSERT_MSG(depth_ < kMaxDepth, "span stack overflow");
+  stack_[depth_++] = Open{site, NowNs(), 0};
+  if (recorder_ != nullptr) {
+    recorder_->Record(EventType::kSpanBegin, site->name_, depth_);
+  }
+}
+
+void SpanTracker::End(SpanSite* site) {
+  OSKIT_ASSERT_MSG(depth_ > 0, "span end with no open span");
+  Open& top = stack_[depth_ - 1];
+  OSKIT_ASSERT_MSG(top.site == site, "span end does not match innermost open");
+  uint64_t now = NowNs();
+  OSKIT_ASSERT_MSG(now >= top.start_ns, "span clock ran backwards");
+  uint64_t inclusive = now - top.start_ns;
+  OSKIT_ASSERT_MSG(inclusive >= top.child_ns,
+                   "span children outlasted their parent");
+  site->count_ += 1;
+  site->total_ns_ += inclusive;
+  site->self_ns_ += inclusive - top.child_ns;
+  --depth_;
+  if (depth_ > 0) {
+    stack_[depth_ - 1].child_ns += inclusive;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(EventType::kSpanEnd, site->name_, inclusive);
+  }
+}
+
+void SpanTracker::ForEachOpen(
+    const std::function<void(const SpanSite*, uint64_t, uint64_t)>& fn) const {
+  for (size_t i = 0; i < depth_; ++i) {
+    fn(stack_[i].site, stack_[i].start_ns, stack_[i].child_ns);
+  }
+}
+
+void SpanTracker::DumpHot(const std::function<void(const char*)>& emit) const {
+  std::vector<const SpanSite*> live;
+  uint64_t total_self = 0;
+  for (const SpanSite* site : sites_) {
+    if (site->count() == 0) {
+      continue;
+    }
+    live.push_back(site);
+    total_self += site->self_ns();
+  }
+  std::sort(live.begin(), live.end(),
+            [](const SpanSite* a, const SpanSite* b) {
+              if (a->self_ns() != b->self_ns()) {
+                return a->self_ns() > b->self_ns();
+              }
+              return std::strcmp(a->name(), b->name()) < 0;
+            });
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-32s %10s %14s %14s %6s", "site",
+                "count", "total_ns", "self_ns", "self%");
+  emit(line);
+  for (const SpanSite* site : live) {
+    double pct = total_self > 0
+                     ? 100.0 * static_cast<double>(site->self_ns()) /
+                           static_cast<double>(total_self)
+                     : 0.0;
+    std::snprintf(line, sizeof(line), "%-32s %10llu %14llu %14llu %5.1f%%",
+                  site->name(),
+                  static_cast<unsigned long long>(site->count()),
+                  static_cast<unsigned long long>(site->total_ns()),
+                  static_cast<unsigned long long>(site->self_ns()), pct);
+    emit(line);
+  }
+  if (live.empty()) {
+    emit("(no completed spans)");
+  }
+}
+
+void SpanTracker::SetDumpSink(FlightRecorder::DumpSink sink, void* ctx) {
+  dump_sink_ = sink;
+  dump_ctx_ = ctx;
+}
+
+void SpanTracker::EnableDumpOnPanic(const char* banner) {
+  panic_banner_ = banner != nullptr ? banner : "span attribution";
+  if (!panic_hooked_) {
+    AddPanicObserver(&SpanTracker::PanicObserverThunk, this);
+    panic_hooked_ = true;
+  }
+}
+
+void SpanTracker::DisableDumpOnPanic() {
+  if (panic_hooked_) {
+    RemovePanicObserver(&SpanTracker::PanicObserverThunk, this);
+    panic_hooked_ = false;
+  }
+}
+
+void SpanTracker::PanicObserverThunk(void* ctx, const char* message) {
+  auto* tracker = static_cast<SpanTracker*>(ctx);
+  FlightRecorder::DumpSink sink =
+      tracker->dump_sink_ != nullptr ? tracker->dump_sink_ : &StderrSink;
+  void* sink_ctx = tracker->dump_ctx_;
+  char line[192];
+  std::snprintf(line, sizeof(line), "=== %s (panic: %s) ===",
+                tracker->panic_banner_, message);
+  sink(sink_ctx, line);
+  tracker->DumpHot([&](const char* l) { sink(sink_ctx, l); });
+  if (tracker->depth_ > 0) {
+    uint64_t now = tracker->NowNs();
+    std::snprintf(line, sizeof(line), "open spans (innermost last):");
+    sink(sink_ctx, line);
+    tracker->ForEachOpen([&](const SpanSite* site, uint64_t start_ns,
+                             uint64_t child_ns) {
+      std::snprintf(line, sizeof(line),
+                    "  OPEN %-26s started=%llu elapsed=%llu child=%llu",
+                    site->name(), static_cast<unsigned long long>(start_ns),
+                    static_cast<unsigned long long>(
+                        now >= start_ns ? now - start_ns : 0),
+                    static_cast<unsigned long long>(child_ns));
+      sink(sink_ctx, line);
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

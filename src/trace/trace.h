@@ -123,7 +123,9 @@ enum class EventType : uint8_t {
   kWakeup,
   kAlloc,
   kFree,
-  kMark,  // free-form client event
+  kSpanBegin,  // attribution span opened (tag = site name)
+  kSpanEnd,    // attribution span closed (arg0 = duration ns)
+  kMark,       // free-form client event
 };
 
 const char* EventTypeName(EventType type);
@@ -207,12 +209,164 @@ class FlightRecorder {
 };
 
 // ---------------------------------------------------------------------------
+// Cycle-level span attribution
+// ---------------------------------------------------------------------------
+//
+// Counters say how often a hot path ran; spans say where the TIME went.  A
+// SpanSite is a named section of a hot path ("http.span.flush",
+// "http.span.fs_read"); the per-environment SpanTracker keeps a stack of
+// open spans and charges each closed span's duration — from the same
+// simulated-time source the flight recorder uses, so attribution stays
+// deterministic — to its site:
+//
+//   <name>.count    completed spans
+//   <name>.ns       inclusive time (span open -> close)
+//   <name>.self_ns  exclusive time (inclusive minus nested child spans)
+//
+// Self time is what makes the numbers an attribution rather than a pile of
+// overlapping totals: summed across sites, self_ns partitions the
+// instrumented time exactly once, so "61% of request time is in flush" is a
+// statement that adds up.  The counters register under the site name in the
+// environment's registry, so kmon `counters`, the COM CounterSet and the
+// bench JSON reports all read them like any other instrumentation; kmon
+// `hot` renders the sorted table.
+//
+// Two usage styles:
+//   * ScopedSpan brackets a synchronous section of one thread of control
+//     (nests, pairing enforced);
+//   * SpanSite::AddSample charges an explicitly measured interval — for
+//     phases that span event-loop iterations (a response flush that waits
+//     for writability across many selector harvests) where a stack
+//     discipline cannot hold.
+
+struct TraceEnv;
+class SpanTracker;
+
+// One named hot-path section.  Construction registers the three counters
+// with the environment's registry and the site with the environment's
+// tracker; destruction unregisters both.
+class SpanSite {
+ public:
+  // `name` must be a static string (it is reported by pointer, like
+  // TraceEvent::tag).  Null `env` binds the process-global default.
+  SpanSite(TraceEnv* env, const char* name);
+  ~SpanSite();
+  SpanSite(const SpanSite&) = delete;
+  SpanSite& operator=(const SpanSite&) = delete;
+
+  const char* name() const { return name_; }
+  uint64_t count() const { return count_.value(); }
+  uint64_t total_ns() const { return total_ns_.value(); }
+  uint64_t self_ns() const { return self_ns_.value(); }
+
+  // Interval-style attribution: charges an explicitly measured duration
+  // (self == inclusive; no nesting semantics).
+  void AddSample(uint64_t duration_ns);
+
+  SpanTracker* tracker() const { return tracker_; }
+
+ private:
+  friend class SpanTracker;
+  const char* name_;
+  SpanTracker* tracker_;
+  Counter count_;
+  Counter total_ns_;
+  Counter self_ns_;
+  CounterBlock binding_;
+};
+
+// Per-environment open-span stack + site index.  Lives inside TraceEnv like
+// the registry and recorder; components never construct one.
+class SpanTracker {
+ public:
+  static constexpr size_t kMaxDepth = 64;
+
+  SpanTracker() = default;
+  ~SpanTracker();
+  SpanTracker(const SpanTracker&) = delete;
+  SpanTracker& operator=(const SpanTracker&) = delete;
+
+  // Durations come from this clock (the testbed wires the simulated clock,
+  // exactly like FlightRecorder).  Without a source every span is 0 ns —
+  // counts still accumulate.
+  void SetTimeSource(std::function<uint64_t()> now) { now_ = std::move(now); }
+
+  // Span begin/end events are mirrored into this recorder when set (the
+  // TraceEnv constructor wires its own).
+  void SetRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
+  // Opens/closes a span.  End must match the innermost open span — a
+  // mismatched or underflowed End panics (pairing is a component invariant,
+  // like mbuf chain lengths).
+  void Begin(SpanSite* site);
+  void End(SpanSite* site);
+
+  size_t depth() const { return depth_; }
+  size_t site_count() const { return sites_.size(); }
+
+  // Open spans, outermost first: (site, start_ns, child_ns accrued so far).
+  void ForEachOpen(const std::function<void(const SpanSite*, uint64_t,
+                                            uint64_t)>& fn) const;
+
+  // The attribution table: one line per site, self-time descending, with
+  // self-percent of the instrumented total.  Sites with zero count are
+  // skipped.  Backs kmon `hot`.
+  void DumpHot(const std::function<void(const char*)>& emit) const;
+
+  // Registers with the src/base panic observer list: on Panic() the table
+  // AND the still-open span stack are written to the dump sink (stderr by
+  // default), so a crash mid-request shows which phase it died in.
+  void EnableDumpOnPanic(const char* banner);
+  void DisableDumpOnPanic();
+  void SetDumpSink(FlightRecorder::DumpSink sink, void* ctx);
+
+ private:
+  friend class SpanSite;
+  static void PanicObserverThunk(void* ctx, const char* message);
+  void Register(SpanSite* site);
+  void Unregister(SpanSite* site);
+  uint64_t NowNs() const { return now_ ? now_() : 0; }
+
+  struct Open {
+    SpanSite* site;
+    uint64_t start_ns;
+    uint64_t child_ns;  // closed children's inclusive time
+  };
+
+  std::vector<SpanSite*> sites_;
+  Open stack_[kMaxDepth] = {};
+  size_t depth_ = 0;
+  std::function<uint64_t()> now_;
+  FlightRecorder* recorder_ = nullptr;
+  FlightRecorder::DumpSink dump_sink_ = nullptr;  // null = stderr
+  void* dump_ctx_ = nullptr;
+  const char* panic_banner_ = nullptr;
+  bool panic_hooked_ = false;
+};
+
+// RAII span bracket.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite* site) : site_(site) {
+    site_->tracker()->Begin(site_);
+  }
+  ~ScopedSpan() { site_->tracker()->End(site_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanSite* site_;
+};
+
+// ---------------------------------------------------------------------------
 // The environment components bind to
 // ---------------------------------------------------------------------------
 
 struct TraceEnv {
+  TraceEnv() { spans.SetRecorder(&recorder); }
   CounterRegistry registry;
   FlightRecorder recorder;
+  SpanTracker spans;
 };
 
 // The process-global fallback used when a component is handed no

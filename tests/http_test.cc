@@ -1,0 +1,555 @@
+// HTTP component tests: the incremental RequestParser/ResponseParser unit
+// behavior (framing, keep-alive rules, Transfer-Encoding rejection, limits),
+// a seeded property harness proving parsing is segmentation-independent —
+// every random request stream parses byte-identically whether it arrives in
+// one segment, one byte at a time, or torn at random TCP boundaries — and an
+// in-world integration run of the selector-driven http::Server (static FFS
+// content, a dynamic route, pipelining, 404s, clean quit-path drain).
+//
+// Seeds: the property suite runs over five fixed seeds.  Setting
+// PROPERTY_SEED=<n> narrows the run to that seed, so a CI failure line
+// ("rerun: PROPERTY_SEED=...") reproduces directly.
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/com/memblkio.h"
+#include "src/fs/ffs.h"
+#include "src/http/http.h"
+#include "src/http/server.h"
+#include "src/testbed/testbed.h"
+
+namespace oskit::http {
+namespace {
+
+using oskit::Rng;
+using oskit::VirtualSwitch;
+using oskit::testbed::Host;
+using oskit::testbed::NetConfig;
+using oskit::testbed::World;
+
+// ---------------------------------------------------------------------------
+// RequestParser units
+// ---------------------------------------------------------------------------
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  RequestParser parser;
+  const char wire[] =
+      "GET /index.html?q=1 HTTP/1.1\r\n"
+      "Host: www\r\n"
+      "X-Trace: abc\r\n"
+      "\r\n";
+  EXPECT_EQ(ParseStatus::kRequest, parser.Feed(wire, sizeof(wire) - 1));
+  ASSERT_TRUE(parser.HasRequest());
+  Request req = parser.TakeRequest();
+  EXPECT_EQ("GET", req.method);
+  EXPECT_EQ("/index.html?q=1", req.target);
+  EXPECT_EQ(1, req.version_major);
+  EXPECT_EQ(1, req.version_minor);
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(req.body.empty());
+  ASSERT_EQ(2u, req.headers.size());
+  // Header lookup is case-insensitive.
+  ASSERT_NE(nullptr, req.Header("host"));
+  EXPECT_EQ("www", *req.Header("HOST"));
+  EXPECT_EQ(nullptr, req.Header("cookie"));
+  EXPECT_EQ(0u, parser.pending_bytes());
+  EXPECT_EQ(ParseStatus::kNeedMore, parser.status());
+}
+
+TEST(RequestParserTest, ContentLengthFramesTheBody) {
+  RequestParser parser;
+  // The body is opaque octets: embedded CRLFs must not confuse framing.
+  std::string body = "a=1\r\n\r\nb=2\0c";
+  body.push_back('\0');
+  std::string wire = "POST /submit HTTP/1.1\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  // Body still in flight: no request yet.
+  EXPECT_EQ(ParseStatus::kNeedMore,
+            parser.Feed(wire.data(), wire.size() - 3));
+  EXPECT_EQ(ParseStatus::kRequest,
+            parser.Feed(wire.data() + wire.size() - 3, 3));
+  Request req = parser.TakeRequest();
+  EXPECT_EQ("POST", req.method);
+  EXPECT_EQ(body, req.body);
+}
+
+TEST(RequestParserTest, PipelinedRequestsPopInArrivalOrder) {
+  RequestParser parser;
+  const char wire[] =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\n\r\n"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(ParseStatus::kRequest, parser.Feed(wire, sizeof(wire) - 1));
+  EXPECT_EQ("/a", parser.TakeRequest().target);
+  EXPECT_EQ("/b", parser.TakeRequest().target);
+  Request last = parser.TakeRequest();
+  EXPECT_EQ("/c", last.target);
+  EXPECT_FALSE(last.keep_alive);
+  EXPECT_FALSE(parser.HasRequest());
+}
+
+TEST(RequestParserTest, KeepAliveRulesPerVersion) {
+  struct Case {
+    const char* wire;
+    bool keep_alive;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.wire);
+    RequestParser parser;
+    ASSERT_EQ(ParseStatus::kRequest, parser.Feed(c.wire, std::strlen(c.wire)));
+    EXPECT_EQ(c.keep_alive, parser.TakeRequest().keep_alive);
+  }
+}
+
+TEST(RequestParserTest, MalformedStreamsErrorAndStick) {
+  struct Case {
+    const char* wire;
+    const char* error;
+  } cases[] = {
+      {"no-spaces-here\r\n\r\n", "malformed request line"},
+      {"GET /a b HTTP/1.1\r\n\r\n", "malformed request line"},
+      {"G<>T / HTTP/1.1\r\n\r\n", "malformed method"},
+      {"GET / HTTPX/1.1\r\n\r\n", "malformed HTTP version"},
+      {"GET / HTTP/2.0\r\n\r\n", "unsupported HTTP major version"},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       "Transfer-Encoding not supported"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.wire);
+    RequestParser parser;
+    EXPECT_EQ(ParseStatus::kError, parser.Feed(c.wire, std::strlen(c.wire)));
+    EXPECT_STREQ(c.error, parser.error());
+    // The error is sticky: a malformed stream has no recoverable framing.
+    EXPECT_EQ(ParseStatus::kError, parser.Feed("GET / HTTP/1.1\r\n\r\n", 18));
+    EXPECT_FALSE(parser.HasRequest());
+    // Reset recovers the parser for a fresh connection.
+    parser.Reset();
+    EXPECT_EQ(ParseStatus::kRequest, parser.Feed("GET / HTTP/1.1\r\n\r\n", 18));
+  }
+}
+
+TEST(RequestParserTest, LimitsAreEnforced) {
+  RequestParser::Limits limits;
+  limits.max_request_line = 64;
+  limits.max_header_bytes = 256;
+  limits.max_headers = 4;
+  limits.max_body = 128;
+
+  {
+    // Request-line overflow is reportable before the CRLF even arrives.
+    RequestParser parser(limits);
+    std::string line = "GET /" + std::string(100, 'a');
+    EXPECT_EQ(ParseStatus::kError, parser.Feed(line.data(), line.size()));
+    EXPECT_STREQ("request line too long", parser.error());
+  }
+  {
+    RequestParser parser(limits);
+    std::string wire = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 6; ++i) {
+      wire += "X-H" + std::to_string(i) + ": v\r\n";
+    }
+    wire += "\r\n";
+    EXPECT_EQ(ParseStatus::kError, parser.Feed(wire.data(), wire.size()));
+    EXPECT_STREQ("too many headers", parser.error());
+  }
+  {
+    RequestParser parser(limits);
+    std::string wire = "GET / HTTP/1.1\r\nX-Pad: " + std::string(300, 'p') +
+                       "\r\n\r\n";
+    EXPECT_EQ(ParseStatus::kError, parser.Feed(wire.data(), wire.size()));
+    EXPECT_STREQ("header block too large", parser.error());
+  }
+  {
+    // An oversized Content-Length claim is refused without buffering the
+    // body.
+    RequestParser parser(limits);
+    const char wire[] = "POST / HTTP/1.1\r\nContent-Length: 129\r\n\r\n";
+    EXPECT_EQ(ParseStatus::kError, parser.Feed(wire, sizeof(wire) - 1));
+    EXPECT_STREQ("body too large", parser.error());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResponseParser + head formatting
+// ---------------------------------------------------------------------------
+
+TEST(ResponseParserTest, ParsesPipelinedResponses) {
+  std::string wire = FormatResponseHead(200, "OK", 5, "text/plain", true) +
+                     "hello" +
+                     FormatResponseHead(404, StatusReason(404), 3,
+                                        "text/plain", false) +
+                     "gon";
+  ResponseParser parser;
+  EXPECT_EQ(ParseStatus::kRequest, parser.Feed(wire.data(), wire.size()));
+  Response first = parser.TakeResponse();
+  EXPECT_EQ(200, first.status);
+  EXPECT_EQ("hello", first.body);
+  EXPECT_TRUE(first.keep_alive);
+  ASSERT_NE(nullptr, first.Header("content-length"));
+  EXPECT_EQ("5", *first.Header("Content-Length"));
+  Response second = parser.TakeResponse();
+  EXPECT_EQ(404, second.status);
+  EXPECT_EQ("Not Found", second.reason);
+  EXPECT_EQ("gon", second.body);
+  EXPECT_FALSE(second.keep_alive);
+}
+
+TEST(ResponseParserTest, MalformedStatusLineErrors) {
+  ResponseParser parser;
+  const char wire[] = "HTTP/1.1 2xx Weird\r\n\r\n";
+  EXPECT_EQ(ParseStatus::kError, parser.Feed(wire, sizeof(wire) - 1));
+  EXPECT_STREQ("malformed status code", parser.error());
+}
+
+// ---------------------------------------------------------------------------
+// Property: parsing is segmentation-independent
+// ---------------------------------------------------------------------------
+
+// What a parser extracted from one complete stream: every completed request
+// plus the terminal state.
+struct ParseOutcome {
+  std::vector<Request> requests;
+  ParseStatus final_status = ParseStatus::kNeedMore;
+  std::string error;
+  size_t pending = 0;
+};
+
+bool SameRequest(const Request& a, const Request& b) {
+  return a.method == b.method && a.target == b.target &&
+         a.version_major == b.version_major &&
+         a.version_minor == b.version_minor && a.headers == b.headers &&
+         a.body == b.body && a.keep_alive == b.keep_alive;
+}
+
+// Feeds `wire` in segments whose sizes come from `next_len`, draining
+// completed requests as they appear (as the server does).
+ParseOutcome ParseSegmented(const std::string& wire,
+                            const std::function<size_t(size_t remaining)>&
+                                next_len) {
+  RequestParser parser;
+  ParseOutcome out;
+  size_t off = 0;
+  while (off < wire.size()) {
+    size_t n = next_len(wire.size() - off);
+    parser.Feed(wire.data() + off, n);
+    off += n;
+    while (parser.HasRequest()) {
+      out.requests.push_back(parser.TakeRequest());
+    }
+  }
+  out.final_status = parser.status();
+  out.error = parser.error();
+  out.pending = parser.pending_bytes();
+  return out;
+}
+
+// A random well-formed request appended to `wire`; bodies are arbitrary
+// octets (embedded CRLFs included) framed by Content-Length.
+void AppendRandomRequest(Rng& rng, std::string* wire) {
+  static const char* const kMethods[] = {"GET", "HEAD", "POST", "PUT"};
+  const char* method = kMethods[rng.Below(4)];
+  std::string target = "/r";
+  size_t target_len = rng.Range(1, 40);
+  for (size_t i = 0; i < target_len; ++i) {
+    target += static_cast<char>('a' + rng.Below(26));
+  }
+  if (rng.Percent(30)) {
+    target += "?k=" + std::to_string(rng.Below(1000));
+  }
+  *wire += std::string(method) + " " + target + " HTTP/1." +
+           (rng.Percent(20) ? "0" : "1") + "\r\n";
+  size_t header_count = rng.Below(5);
+  for (size_t i = 0; i < header_count; ++i) {
+    std::string value;
+    size_t value_len = rng.Below(30);
+    for (size_t j = 0; j < value_len; ++j) {
+      value += static_cast<char>(' ' + rng.Below(94));  // printable
+    }
+    *wire += "X-R" + std::to_string(i) + ": " + value + "\r\n";
+  }
+  if (rng.Percent(15)) {
+    *wire += "Connection: close\r\n";
+  }
+  if (std::strcmp(method, "POST") == 0 || std::strcmp(method, "PUT") == 0) {
+    std::string body;
+    size_t body_len = rng.Below(2000);
+    for (size_t i = 0; i < body_len; ++i) {
+      body += static_cast<char>(rng.Next());  // any octet, CR/LF included
+    }
+    *wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    *wire += body;
+  } else {
+    *wire += "\r\n";
+  }
+}
+
+// A stream-terminating flaw: the parser must end in the same state no
+// matter how the bytes were segmented.
+void AppendMalformedTail(Rng& rng, std::string* wire) {
+  switch (rng.Below(4)) {
+    case 0:
+      *wire += "no-spaces-here\r\n\r\n";
+      break;
+    case 1:
+      *wire += "GET /x HTTP/3.0\r\n\r\n";
+      break;
+    case 2:
+      *wire += "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+      break;
+    default: {
+      // Truncated request: ends mid-header, final state stays kNeedMore.
+      std::string full;
+      AppendRandomRequest(rng, &full);
+      *wire += full.substr(0, full.size() - rng.Range(1, full.size()));
+      break;
+    }
+  }
+}
+
+class HttpPropTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HttpPropTest, TornFeedsMatchFlatReference) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr size_t kCases = 300;
+
+  for (size_t case_i = 0; case_i < kCases; ++case_i) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << case_i << " (rerun: PROPERTY_SEED=" << seed
+                 << " ./http_test)");
+
+    std::string wire;
+    size_t request_count = rng.Range(1, 6);
+    for (size_t i = 0; i < request_count; ++i) {
+      AppendRandomRequest(rng, &wire);
+    }
+    bool malformed = rng.Percent(30);
+    if (malformed) {
+      AppendMalformedTail(rng, &wire);
+    }
+
+    // Reference: the whole stream in one segment.
+    ParseOutcome flat =
+        ParseSegmented(wire, [](size_t remaining) { return remaining; });
+    if (!malformed) {
+      ASSERT_EQ(request_count, flat.requests.size());
+      ASSERT_EQ(ParseStatus::kNeedMore, flat.final_status);
+    }
+
+    // Torn at every byte, and torn at random TCP-segment boundaries: both
+    // must extract byte-identical requests and land in the same final state.
+    ParseOutcome torn = ParseSegmented(wire, [](size_t) { return size_t{1}; });
+    ParseOutcome random_seg = ParseSegmented(wire, [&rng](size_t remaining) {
+      return std::min(remaining, size_t{1} + rng.Below(1460));
+    });
+
+    for (const ParseOutcome* out : {&torn, &random_seg}) {
+      ASSERT_EQ(flat.requests.size(), out->requests.size());
+      for (size_t i = 0; i < flat.requests.size(); ++i) {
+        ASSERT_TRUE(SameRequest(flat.requests[i], out->requests[i]))
+            << "request " << i << " differs";
+      }
+      ASSERT_EQ(flat.final_status, out->final_status);
+      ASSERT_EQ(flat.error, out->error);
+      ASSERT_EQ(flat.pending, out->pending);
+    }
+    if (::testing::Test::HasFailure()) {
+      break;
+    }
+  }
+}
+
+// PROPERTY_SEED=<n> narrows the sweep to one reproducing seed.
+std::vector<uint64_t> PropertySeeds() {
+  if (const char* env = std::getenv("PROPERTY_SEED")) {
+    return {std::strtoull(env, nullptr, 0)};
+  }
+  return {0x477b0001, 0x477b0002, 0x477b0003, 0x477b0004, 0x477b0005};
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpPropTest,
+                         ::testing::ValuesIn(PropertySeeds()));
+
+// ---------------------------------------------------------------------------
+// In-world server integration
+// ---------------------------------------------------------------------------
+
+constexpr uint16_t kPort = 8080;
+
+// Blocking request/response helper: sends `wire`, reads until `expected`
+// further responses have parsed and appended to `out`.
+bool Exchange(const ComPtr<Socket>& sock, const std::string& wire,
+              size_t expected, std::vector<Response>* out) {
+  size_t sent = 0;
+  if (!Ok(sock->Send(wire.data(), wire.size(), &sent)) ||
+      sent != wire.size()) {
+    return false;
+  }
+  const size_t target = out->size() + expected;
+  ResponseParser parser;
+  char buf[4096];
+  while (out->size() < target) {
+    size_t got = 0;
+    Error err = sock->Recv(buf, sizeof(buf), &got);
+    if (!Ok(err) || got == 0) {
+      return false;
+    }
+    if (parser.Feed(buf, got) == ParseStatus::kError) {
+      return false;
+    }
+    while (parser.HasResponse()) {
+      out->push_back(parser.TakeResponse());
+    }
+  }
+  return true;
+}
+
+TEST(HttpServerWorldTest, ServesStaticDynamicAndDrainsOnQuit) {
+  VirtualSwitch::Config sw;
+  sw.port.bits_per_second = 100ull * 1000 * 1000;
+  sw.port.propagation_ns = 5000;
+  World world(sw);
+  Host& server = world.AddHost("www", NetConfig::kOskit);
+  Host& client = world.AddHost("client", NetConfig::kNativeBsd);
+
+  const std::string hello(1000, 'h');
+  bool listening = false;
+  bool client_done = false;
+  std::unique_ptr<Server> httpd;
+
+  world.sim().Spawn("www/httpd", [&] {
+    auto disk = MemBlkIo::Create(2 * 1024 * 1024, 512);
+    ASSERT_TRUE(Ok(fs::Mkfs(disk.get())));
+    fs::MountOptions mo;
+    mo.trace = &server.trace;
+    ComPtr<FileSystem> ffs;
+    ASSERT_TRUE(Ok(fs::Offs::Mount(disk.get(), mo, ffs.Receive())));
+    ComPtr<Dir> root;
+    ASSERT_TRUE(Ok(ffs->GetRoot(root.Receive())));
+    ComPtr<File> f;
+    ASSERT_TRUE(Ok(root->Create("hello.txt", 0644, f.Receive())));
+    size_t n = 0;
+    ASSERT_TRUE(Ok(f->Write(hello.data(), 0, hello.size(), &n)));
+
+    Server::Config cfg;
+    cfg.bind = SockAddr{kInetAny, kPort};
+    cfg.trace = &server.trace;
+    cfg.now = [&world] { return world.sim().clock().Now(); };
+    httpd = std::make_unique<Server>(server.socket_factory,
+                                     server.stack->CreateSelector(), root, cfg);
+    httpd->AddDynRoute("/echo", [](const Request& req, std::string* body,
+                                   std::string* content_type) {
+      *body = req.method + " " + req.target;
+      *content_type = "text/plain";
+      return 200;
+    });
+    ASSERT_TRUE(Ok(httpd->Start()));
+    listening = true;
+    httpd->Run();
+  });
+
+  world.sim().Spawn("client", [&] {
+    world.sim().PollWait([&] { return listening; });
+    SimTime rtt = 0;
+    client.stack->Ping(server.addr, kNsPerSec, &rtt);
+
+    ComPtr<Socket> sock = client.MakeSocket(SockType::kStream);
+    ASSERT_TRUE(Ok(sock->Connect(SockAddr{server.addr, kPort})));
+
+    // Keep-alive static GETs on one connection.
+    std::vector<Response> responses;
+    ASSERT_TRUE(Exchange(sock, "GET /hello.txt HTTP/1.1\r\n\r\n", 1,
+                         &responses));
+    // A pipelined burst in one segment: static miss + dyn route.
+    ASSERT_TRUE(Exchange(sock,
+                         "GET /missing HTTP/1.1\r\n\r\n"
+                         "GET /echo?x=7 HTTP/1.1\r\n\r\n",
+                         2, &responses));
+    ASSERT_EQ(3u, responses.size());
+    EXPECT_EQ(200, responses[0].status);
+    EXPECT_EQ(hello, responses[0].body);
+    EXPECT_EQ(404, responses[1].status);
+    EXPECT_EQ(200, responses[2].status);
+    EXPECT_EQ("GET /echo?x=7", responses[2].body);
+
+    // HEAD on its own close-delimited connection: the head must announce
+    // the full Content-Length with zero body bytes after the blank line.
+    ComPtr<Socket> head = client.MakeSocket(SockType::kStream);
+    ASSERT_TRUE(Ok(head->Connect(SockAddr{server.addr, kPort})));
+    size_t sent = 0;
+    const char head_wire[] =
+        "HEAD /hello.txt HTTP/1.1\r\nConnection: close\r\n\r\n";
+    ASSERT_TRUE(Ok(head->Send(head_wire, sizeof(head_wire) - 1, &sent)));
+    std::string head_raw;
+    char raw[1024];
+    for (;;) {
+      size_t got = 0;
+      if (!Ok(head->Recv(raw, sizeof(raw), &got)) || got == 0) {
+        break;  // EOF: close-delimited
+      }
+      head_raw.append(raw, got);
+    }
+    head.Reset();
+    EXPECT_EQ(0u, head_raw.find("HTTP/1.1 200"));
+    EXPECT_NE(std::string::npos,
+              head_raw.find("Content-Length: " +
+                            std::to_string(hello.size())));
+    // Nothing after the header block.
+    size_t blank = head_raw.find("\r\n\r\n");
+    ASSERT_NE(std::string::npos, blank);
+    EXPECT_EQ(head_raw.size(), blank + 4);
+
+    // A malformed request gets answered and the connection closed.
+    ComPtr<Socket> bad = client.MakeSocket(SockType::kStream);
+    ASSERT_TRUE(Ok(bad->Connect(SockAddr{server.addr, kPort})));
+    std::vector<Response> bad_responses;
+    ASSERT_TRUE(Exchange(bad, "no-spaces-here\r\n\r\n", 1, &bad_responses));
+    EXPECT_EQ(400, bad_responses[0].status);
+    bad.Reset();
+
+    // Quit path: the server answers, stops accepting, drains, and Run
+    // returns — RunToCompletion below is the no-hang proof.
+    std::vector<Response> quit_responses;
+    ASSERT_TRUE(Exchange(sock,
+                         "GET /__quit HTTP/1.1\r\nConnection: close\r\n\r\n",
+                         1, &quit_responses));
+    EXPECT_EQ(200, quit_responses[0].status);
+    sock.Reset();
+    client_done = true;
+  });
+
+  world.RunToCompletion(60 * kNsPerSec);
+  ASSERT_TRUE(client_done);
+
+  // The malformed stream never parses into a request, but its 400 is a
+  // response: 5 parsed requests, 6 responses.
+  EXPECT_EQ(5u, httpd->requests());
+  EXPECT_EQ(6u, httpd->responses());
+  EXPECT_EQ(0u, httpd->open_conns());
+  EXPECT_TRUE(httpd->stopping());
+
+  // The attribution spans registered in the host's environment and closed
+  // one request span per response; the pipelined burst was counted.
+  EXPECT_EQ(6u, server.trace.registry.Value("http.span.request.count"));
+  EXPECT_GE(server.trace.registry.Value("http.span.fs_read.count"), 2u);
+  EXPECT_EQ(1u, server.trace.registry.Value("http.span.dyn.count"));
+  EXPECT_GE(server.trace.registry.Value("http.requests.pipelined"), 1u);
+  EXPECT_EQ(1u, server.trace.registry.Value("http.errors.bad_request"));
+  EXPECT_EQ(1u, server.trace.registry.Value("http.errors.not_found"));
+  httpd.reset();
+}
+
+}  // namespace
+}  // namespace oskit::http

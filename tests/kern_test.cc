@@ -10,6 +10,7 @@
 #include "src/kern/gdb_stub.h"
 #include "src/kern/kernel.h"
 #include "src/kern/kmon.h"
+#include "src/trace/trace.h"
 
 namespace oskit {
 namespace {
@@ -338,6 +339,32 @@ TEST_F(KmonTraceTest, HelpListsTraceCommands) {
   std::string out = RunSession();
   EXPECT_NE(std::string::npos, out.find("counters [prefix]"));
   EXPECT_NE(std::string::npos, out.find("trace dump|clear"));
+  EXPECT_NE(std::string::npos, out.find("hot"));
+}
+
+TEST_F(KmonTraceTest, HotCommandDumpsSpanAttribution) {
+  // Closed spans show in the self-time-sorted table; a span still open at
+  // the prompt (the operator broke in mid-request) is listed separately.
+  trace::SpanSite serve(&trace_, "kmon.test.serve");
+  trace::SpanSite stuck(&trace_, "kmon.test.stuck");
+  serve.AddSample(640);
+  trace_.spans.Begin(&stuck);
+
+  Type("hot");
+  Type("c");
+  std::string out = RunSession();
+  trace_.spans.End(&stuck);
+
+  size_t header = out.find("self%");
+  ASSERT_NE(std::string::npos, header);
+  EXPECT_NE(std::string::npos, out.find("kmon.test.serve", header));
+  EXPECT_NE(std::string::npos, out.find("100.0%", header));
+  size_t open = out.find("open spans");
+  ASSERT_NE(std::string::npos, open);
+  EXPECT_NE(std::string::npos, out.find("OPEN kmon.test.stuck", open));
+
+  // The span counters are visible through the counters command path too.
+  EXPECT_EQ(640u, trace_.registry.Value("kmon.test.serve.self_ns"));
 }
 
 }  // namespace

@@ -308,5 +308,186 @@ TEST(TraceComTest, TraceLogReadsTheRing) {
   EXPECT_EQ(0u, count);
 }
 
+// ---------------------------------------------------------------------------
+// Span attribution
+// ---------------------------------------------------------------------------
+
+TEST(SpanTest, NestedPairingPartitionsSelfTime) {
+  TraceEnv env;
+  uint64_t now = 0;
+  env.spans.SetTimeSource([&now] { return now; });
+
+  SpanSite outer(&env, "t.outer");
+  SpanSite inner(&env, "t.inner");
+  EXPECT_EQ(2u, env.spans.site_count());
+
+  env.spans.Begin(&outer);  // t=0
+  now = 10;
+  env.spans.Begin(&inner);  // t=10
+  EXPECT_EQ(2u, env.spans.depth());
+  now = 40;
+  env.spans.End(&inner);    // inner inclusive = 30
+  now = 45;
+  env.spans.End(&outer);    // outer inclusive = 45, self = 45 - 30
+  EXPECT_EQ(0u, env.spans.depth());
+
+  EXPECT_EQ(1u, outer.count());
+  EXPECT_EQ(45u, outer.total_ns());
+  EXPECT_EQ(15u, outer.self_ns());
+  EXPECT_EQ(1u, inner.count());
+  EXPECT_EQ(30u, inner.total_ns());
+  EXPECT_EQ(30u, inner.self_ns());
+
+  // Self time partitions the instrumented window exactly once.
+  EXPECT_EQ(outer.total_ns(), outer.self_ns() + inner.self_ns());
+
+  // The three counters registered under the site name like any other
+  // instrumentation.
+  EXPECT_EQ(1u, env.registry.Value("t.outer.count"));
+  EXPECT_EQ(45u, env.registry.Value("t.outer.ns"));
+  EXPECT_EQ(15u, env.registry.Value("t.outer.self_ns"));
+  EXPECT_EQ(30u, env.registry.Value("t.inner.self_ns"));
+
+  // Begin/end events were mirrored into the environment's flight recorder.
+  std::string tags;
+  env.recorder.ForEach([&](const TraceEvent& event) {
+    if (event.type == EventType::kSpanBegin ||
+        event.type == EventType::kSpanEnd) {
+      tags += event.tag;
+      tags += ';';
+    }
+  });
+  EXPECT_EQ("t.outer;t.inner;t.inner;t.outer;", tags);
+}
+
+TEST(SpanTest, AddSampleChargesMeasuredIntervals) {
+  // Interval-style attribution for phases that cannot hold a stack
+  // discipline (a flush spanning many selector harvests).
+  TraceEnv env;
+  SpanSite flush(&env, "t.flush");
+  flush.AddSample(100);
+  flush.AddSample(250);
+  EXPECT_EQ(2u, flush.count());
+  EXPECT_EQ(350u, flush.total_ns());
+  EXPECT_EQ(350u, flush.self_ns());
+  EXPECT_EQ(0u, env.spans.depth());  // no stack involvement
+}
+
+TEST(SpanTest, ScopedSpansUnderSimClockAreMonotone) {
+  // A fiber that sleeps inside nested ScopedSpans: durations come out of
+  // the simulated clock, so attribution is exact and deterministic.
+  Simulation sim;
+  TraceEnv env;
+  env.spans.SetTimeSource([&sim] { return sim.clock().Now(); });
+
+  SpanSite request(&env, "t.request");
+  SpanSite disk(&env, "t.disk");
+  sim.Spawn("worker", [&] {
+    for (int i = 0; i < 3; ++i) {
+      ScopedSpan outer(&request);
+      sim.SleepFor(100);
+      {
+        ScopedSpan io(&disk);
+        sim.SleepFor(400);
+      }
+      sim.SleepFor(50);
+    }
+  });
+  ASSERT_EQ(Simulation::RunResult::kAllDone, sim.Run());
+
+  EXPECT_EQ(3u, request.count());
+  EXPECT_EQ(3u * 550u, request.total_ns());
+  EXPECT_EQ(3u * 150u, request.self_ns());
+  EXPECT_EQ(3u * 400u, disk.total_ns());
+  EXPECT_EQ(3u * 400u, disk.self_ns());
+  EXPECT_EQ(request.total_ns(), request.self_ns() + disk.self_ns());
+}
+
+TEST(SpanTest, MismatchedEndPanics) {
+  TraceEnv env;
+  SpanSite a(&env, "t.a");
+  SpanSite b(&env, "t.b");
+  env.spans.Begin(&a);
+  env.spans.Begin(&b);
+
+  PanicHandler old = SetPanicHandler(+[](const char*) { throw 42; });
+  EXPECT_THROW(env.spans.End(&a), int);  // b is innermost
+  SetPanicHandler(old);
+
+  env.spans.End(&b);
+  env.spans.End(&a);
+}
+
+TEST(SpanTest, DumpHotSortsBySelfTime) {
+  TraceEnv env;
+  SpanSite hot(&env, "t.hot");
+  SpanSite warm(&env, "t.warm");
+  SpanSite idle(&env, "t.idle");  // zero count: skipped
+  hot.AddSample(900);
+  warm.AddSample(100);
+
+  std::vector<std::string> lines;
+  env.spans.DumpHot([&](const char* line) { lines.emplace_back(line); });
+
+  // Header + two live sites, self-time descending with percentages.
+  ASSERT_EQ(3u, lines.size());
+  EXPECT_NE(std::string::npos, lines[0].find("self%"));
+  EXPECT_NE(std::string::npos, lines[1].find("t.hot"));
+  EXPECT_NE(std::string::npos, lines[1].find("90.0%"));
+  EXPECT_NE(std::string::npos, lines[2].find("t.warm"));
+  EXPECT_NE(std::string::npos, lines[2].find("10.0%"));
+  for (const std::string& line : lines) {
+    EXPECT_EQ(std::string::npos, line.find("t.idle"));
+  }
+}
+
+TEST(SpanTest, DumpOnPanicShowsTableAndOpenSpans) {
+  // A crash mid-request must show which phase it died in: the attribution
+  // table plus the still-open span stack, outermost first.
+  TraceEnv env;
+  uint64_t now = 0;
+  env.spans.SetTimeSource([&now] { return now; });
+  SpanSite accept(&env, "t.accept");
+  SpanSite parse(&env, "t.parse");
+  accept.AddSample(70);  // some history for the table
+
+  env.spans.Begin(&accept);
+  now = 20;
+  env.spans.Begin(&parse);
+  now = 35;
+
+  static std::vector<std::string> lines;
+  lines.clear();
+  env.spans.SetDumpSink(
+      +[](void*, const char* line) { lines.emplace_back(line); }, nullptr);
+  env.spans.EnableDumpOnPanic("www span attribution");
+
+  PanicHandler old = SetPanicHandler(+[](const char*) { throw 42; });
+  EXPECT_THROW(Panic("trap 14 in request handler"), int);
+  SetPanicHandler(old);
+  env.spans.DisableDumpOnPanic();
+
+  std::string all;
+  for (const std::string& line : lines) {
+    all += line;
+    all += '\n';
+  }
+  // Banner carries the panic message; the table shows the closed history.
+  EXPECT_NE(std::string::npos, all.find("www span attribution"));
+  EXPECT_NE(std::string::npos, all.find("trap 14 in request handler"));
+  EXPECT_NE(std::string::npos, all.find("t.accept"));
+  // Both open spans dumped, outermost first, with live elapsed times.
+  size_t open_accept = all.find("OPEN t.accept");
+  size_t open_parse = all.find("OPEN t.parse");
+  ASSERT_NE(std::string::npos, open_accept);
+  ASSERT_NE(std::string::npos, open_parse);
+  EXPECT_LT(open_accept, open_parse);
+  EXPECT_NE(std::string::npos, all.find("elapsed=35", open_accept));
+  EXPECT_NE(std::string::npos, all.find("elapsed=15", open_parse));
+
+  env.spans.End(&parse);
+  env.spans.End(&accept);
+}
+
 }  // namespace
 }  // namespace oskit::trace
