@@ -33,3 +33,5 @@ oskit_bench(tenant_campaign)
 target_link_libraries(tenant_campaign PRIVATE oskit_secure)
 oskit_bench(http_campaign)
 target_link_libraries(http_campaign PRIVATE oskit_http oskit_secure)
+oskit_bench(monitor_campaign)
+target_link_libraries(monitor_campaign PRIVATE oskit_secure oskit_scribble)

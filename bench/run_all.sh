@@ -14,7 +14,9 @@
 # with per-seed victim p99 ratios, quota denial counts, and leak checks;
 # BENCH_http.json, produced by the flagship HTTP/1.1 macro-workload with
 # throughput, tail latency, span attribution, ablation rows, and the
-# slow-loris verdict).
+# slow-loris verdict; BENCH_monitor.json, produced by the memory-monitor
+# scribble campaign with catch rates, integrity checks, and the
+# corruption-proving ablation).
 #
 # After the benches, every BENCH_*.json is compared against the checked-in
 # baselines (bench/baselines/) by bench/check_regression: a metric outside
@@ -80,8 +82,9 @@ run_bench fault_campaign   --seeds 8 --json "$BENCH_DIR/BENCH_fault.json"
 run_bench crash_campaign   --seeds 2 --json "$BENCH_DIR/BENCH_crash.json"
 run_bench tenant_campaign  --seeds 5 --json "$BENCH_DIR/BENCH_tenant.json"
 run_bench http_campaign    --json "$BENCH_DIR/BENCH_http.json"
+run_bench monitor_campaign --seeds 5 --seed-base 1 --json "$BENCH_DIR/BENCH_monitor.json"
 
-for json in trace fault sg crash napi c10k tenant http; do
+for json in trace fault sg crash napi c10k tenant http monitor; do
     out="$BENCH_DIR/BENCH_$json.json"
     if [ -f "$out" ]; then
         echo "wrote $out"

@@ -81,6 +81,60 @@ KernelEnv::~KernelEnv() {
   // campaign sweeps many worlds with one env); move its reporting back to
   // the process-global default while the registry is still alive.
   fault_->BindTrace(nullptr);
+  memmon_.reset();  // detaches itself from PhysMem
+  if (memmon_map_ != nullptr) {
+    MemFree(memmon_map_, memmon_map_bytes_);
+  }
+}
+
+Error KernelEnv::EnableMemoryMonitor() {
+  if (memmon_ != nullptr) {
+    return Error::kExist;
+  }
+  memmon_ =
+      std::make_unique<MemMonitor>(&machine_->phys(), &machine_->cpu(), trace_);
+  size_t bytes = memmon_->map_bytes_needed();
+  size_t rounded = (bytes + kLmmPageSize - 1) & ~size_t{kLmmPageSize - 1};
+  void* storage = MemAllocAligned(rounded, 0, /*align_bits=*/12);
+  if (storage == nullptr) {
+    memmon_.reset();
+    return Error::kNoMem;
+  }
+  Error err = memmon_->Enable(storage, rounded);
+  if (err != Error::kOk) {
+    MemFree(storage, rounded);
+    memmon_.reset();
+    return err;
+  }
+  memmon_map_ = storage;
+  memmon_map_bytes_ = rounded;
+  machine_->phys().AttachMonitor(memmon_.get());
+  for (const auto& disk : machine_->disks()) {
+    disk->AttachDmaMonitor(&machine_->phys());
+  }
+  mon_counters_.Bind(&trace_->registry,
+                     {{"mon.violation.caught", &mon_caught_}});
+  // Violations arrive as magic-tagged GP/page faults.  They are counted,
+  // attributed, and RECOVERED — the offending domain dies, the world keeps
+  // running.  Anything else chains to the previously installed handler
+  // (§6.2.4's fall-back discipline), so organic traps still panic/dump.
+  for (uint32_t vec :
+       {uint32_t{kTrapGeneralProtection}, uint32_t{kTrapPageFault}}) {
+    auto prev = std::make_shared<Cpu::Handler>();
+    *prev = machine_->cpu().SetVector(
+        vec, [this, prev](TrapFrame& frame) -> bool {
+          if ((frame.error_code & 0xffff0000u) == MemMonitor::kFaultMagic) {
+            ++mon_caught_;
+            const MemMonitor::Violation* v = memmon_->last_violation();
+            if (v != nullptr && v->domain != MemMonitor::kKernelDomain) {
+              memmon_->KillDomain(v->domain);
+            }
+            return true;  // recovered: the store never landed
+          }
+          return *prev ? (*prev)(frame) : false;
+        });
+  }
+  return Error::kOk;
 }
 
 void KernelEnv::InstallDefaultHandlers() {

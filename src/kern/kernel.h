@@ -30,6 +30,7 @@
 #include "src/kern/console.h"
 #include "src/lmm/lmm.h"
 #include "src/machine/machine.h"
+#include "src/machine/memmon.h"
 #include "src/sleep/sleep_envs.h"
 #include "src/trace/trace.h"
 
@@ -85,6 +86,20 @@ class KernelEnv {
   void* MemAllocAligned(size_t size, uint32_t flags, unsigned align_bits);
   void MemFree(void* ptr, size_t size);
 
+  // ---- Memory monitor (src/machine/memmon.h) ----
+  // Brings the nested-kernel monitor up over this machine's physical
+  // memory: allocates the protection map from the LMM (those pages become
+  // monitor-private — the map protects itself), attaches the monitor to
+  // PhysMem and to every disk's DMA path, and installs recovery handlers
+  // on kTrapGeneralProtection/kTrapPageFault that count
+  // mon.violation.caught, kill the offending domain, and resume — never
+  // panic.  Non-monitor traps chain to whatever handler was installed
+  // before.  kExist when already enabled, kNoMem when the map can't be
+  // allocated.
+  Error EnableMemoryMonitor();
+  // Null until EnableMemoryMonitor() succeeds.
+  MemMonitor* memmon() { return memmon_.get(); }
+
   // ---- Bootstrap ----
   // Spawns the kernel main fiber: enables interrupts, parses the MultiBoot
   // command line into argv, runs `main`, records its exit code.
@@ -115,6 +130,11 @@ class KernelEnv {
   LmmRegion region_high_;   // > 16 MB
   IrqHandler irq_handlers_[Pic::kIrqLines];
   IrqHandler timer_handler_;
+  std::unique_ptr<MemMonitor> memmon_;
+  void* memmon_map_ = nullptr;  // LMM pages holding the protection map
+  size_t memmon_map_bytes_ = 0;
+  trace::Counter mon_caught_;
+  trace::CounterBlock mon_counters_;
   bool exited_ = false;
   int exit_code_ = 0;
 };

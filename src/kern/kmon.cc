@@ -95,7 +95,8 @@ void KernelMonitor::CmdMem(const std::string& args) {
     return;
   }
   PhysMem& phys = kernel_->machine().phys();
-  if (addr + len > phys.size()) {
+  // Wrap-safe: `addr + len` can overflow and sneak past a naive bound.
+  if (addr >= phys.size() || len > phys.size() - addr) {
     Print("out of range\n");
     return;
   }
@@ -330,11 +331,53 @@ void KernelMonitor::CmdTenants() {
   tenants_([this](const char* line) { Print("%s\n", line); });
 }
 
+void KernelMonitor::CmdMon() {
+  MemMonitor* mon = kernel_->memmon();
+  if (mon == nullptr) {
+    Print("memory monitor not enabled\n");
+    return;
+  }
+  Print("mon: enabled enforce=%s pages: monitor=%llu kernel=%llu "
+        "component=%llu\n",
+        mon->enforcing() ? "on" : "OFF (ablation)",
+        static_cast<unsigned long long>(
+            mon->PageCount(PageProt::kMonitorPrivate)),
+        static_cast<unsigned long long>(
+            mon->PageCount(PageProt::kKernelWritable)),
+        static_cast<unsigned long long>(
+            mon->PageCount(PageProt::kComponentWritable)));
+  const MemMonitor::Counters& c = mon->counters();
+  Print("violations: raised=%llu caught=%llu store=%llu load=%llu "
+        "dma=%llu pte=%llu\n",
+        static_cast<unsigned long long>(c.raised.value()),
+        static_cast<unsigned long long>(
+            kernel_->trace().registry.Value("mon.violation.caught")),
+        static_cast<unsigned long long>(c.store_violations.value()),
+        static_cast<unsigned long long>(c.load_violations.value()),
+        static_cast<unsigned long long>(c.dma_violations.value()),
+        static_cast<unsigned long long>(c.pte_violations.value()));
+  Print("gate: protect=%llu store=%llu domains_killed=%llu\n",
+        static_cast<unsigned long long>(c.calls_protect.value()),
+        static_cast<unsigned long long>(c.calls_store.value()),
+        static_cast<unsigned long long>(c.domains_killed.value()));
+  size_t shown = 0;
+  mon->ForEachViolation([this, &shown](const MemMonitor::Violation& v) {
+    Print("  #%llu domain=%u addr=%#llx access=%s prot=%s\n",
+          static_cast<unsigned long long>(v.seq), v.domain,
+          static_cast<unsigned long long>(v.addr), MemAccessName(v.access),
+          PageProtName(v.prot));
+    ++shown;
+  });
+  if (shown == 0) {
+    Print("no violations recorded\n");
+  }
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
         "counters [prefix] | trace dump|clear | hot | "
         "fault [arm|disarm|seed] | "
-        "nicmit [idx threshold holdoff_us] | netstat | tenants | "
+        "nicmit [idx threshold holdoff_us] | netstat | tenants | mon | "
         "s step | c continue | halt | help\n");
 }
 
@@ -375,6 +418,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdNetstat();
     } else if (cmd == "tenants") {
       CmdTenants();
+    } else if (cmd == "mon") {
+      CmdMon();
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

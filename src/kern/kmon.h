@@ -27,6 +27,9 @@
 //                     timer wheel, and selector registrations
 //   tenants           dump the attached principal registry: per-tenant
 //                     budgets, live charges, and denial counts
+//   mon               dump the memory monitor: protection-map summary,
+//                     mon.* violation counters, and the last-N violation
+//                     sites (domain/principal, address, access type)
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -91,6 +94,7 @@ class KernelMonitor {
   void CmdNicMit(const std::string& args);
   void CmdNetstat();
   void CmdTenants();
+  void CmdMon();
   void CmdHelp();
 
   KernelEnv* kernel_;

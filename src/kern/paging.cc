@@ -19,17 +19,39 @@ PageDirectory::PageDirectory(KernelEnv* kernel) : kernel_(kernel) {
   OSKIT_ASSERT_MSG(dir != nullptr, "out of memory for page directory");
   std::memset(dir, 0, kPageSize);
   dir_phys_ = static_cast<uint32_t>(kernel_->machine().phys().AddrOf(dir));
+  // Nested-kernel discipline: the directory page is monitor-private from
+  // birth — only the MonitorStore gate below may mutate it.
+  Protect(dir, PageProt::kMonitorPrivate);
 }
 
 PageDirectory::~PageDirectory() {
   uint32_t* dir = raw_dir();
   for (uint32_t i = 0; i < kEntries; ++i) {
     if ((dir[i] & kPtePresent) != 0 && (dir[i] & kPdeLargePage) == 0) {
-      kernel_->MemFree(kernel_->machine().phys().PtrAt(dir[i] & kAddrMask),
-                       kPageSize);
+      void* table = kernel_->machine().phys().PtrAt(dir[i] & kAddrMask);
+      Protect(table, PageProt::kKernelWritable);
+      kernel_->MemFree(table, kPageSize);
     }
   }
+  Protect(dir, PageProt::kKernelWritable);
   kernel_->MemFree(dir, kPageSize);
+}
+
+void PageDirectory::Protect(void* page, PageProt prot) {
+  MemMonitor* mon = kernel_->memmon();
+  if (mon != nullptr && mon->enabled()) {
+    mon->MonitorCall(kernel_->machine().phys().AddrOf(page), kPageSize, prot);
+  }
+}
+
+void PageDirectory::MonSet(uint32_t* slot, uint32_t value) {
+  MemMonitor* mon = kernel_->memmon();
+  if (mon != nullptr && mon->enabled()) {
+    mon->MonitorStore(kernel_->machine().phys().AddrOf(slot), &value,
+                      sizeof(value));
+  } else {
+    *slot = value;
+  }
 }
 
 uint32_t* PageDirectory::raw_dir() {
@@ -38,7 +60,7 @@ uint32_t* PageDirectory::raw_dir() {
 
 uint32_t* PageDirectory::TableFor(uint32_t va, bool alloc) {
   uint32_t* dir = raw_dir();
-  uint32_t& pde = dir[DirIndex(va)];
+  uint32_t pde = dir[DirIndex(va)];
   if ((pde & kPtePresent) == 0) {
     if (!alloc) {
       return nullptr;
@@ -48,11 +70,13 @@ uint32_t* PageDirectory::TableFor(uint32_t va, bool alloc) {
       return nullptr;
     }
     std::memset(table, 0, kPageSize);
+    Protect(table, PageProt::kMonitorPrivate);
     ++table_pages_;
     uint32_t table_phys =
         static_cast<uint32_t>(kernel_->machine().phys().AddrOf(table));
     // Directory entries carry the union of permissions; leaf PTEs restrict.
     pde = table_phys | kPtePresent | kPteWritable | kPteUser;
+    MonSet(&dir[DirIndex(va)], pde);
   }
   if ((pde & kPdeLargePage) != 0) {
     return nullptr;  // a 4 MB mapping occupies this slot
@@ -65,15 +89,21 @@ Error PageDirectory::MapPage(uint32_t va, uint32_t pa, uint32_t flags) {
   if ((va & (kPageSize - 1)) != 0 || (pa & (kPageSize - 1)) != 0) {
     return Error::kInval;
   }
+  // A 4 MB mapping occupying the slot is "already mapped", not an
+  // allocation failure.
+  uint32_t pde = raw_dir()[DirIndex(va)];
+  if ((pde & kPtePresent) != 0 && (pde & kPdeLargePage) != 0) {
+    return Error::kExist;
+  }
   uint32_t* table = TableFor(va, /*alloc=*/true);
   if (table == nullptr) {
     return Error::kNoMem;
   }
-  uint32_t& pte = table[TableIndex(va)];
-  if ((pte & kPtePresent) != 0) {
+  if ((table[TableIndex(va)] & kPtePresent) != 0) {
     return Error::kExist;
   }
-  pte = (pa & kAddrMask) | kPtePresent | (flags & (kPteWritable | kPteUser));
+  MonSet(&table[TableIndex(va)],
+         (pa & kAddrMask) | kPtePresent | (flags & (kPteWritable | kPteUser)));
   return Error::kOk;
 }
 
@@ -82,12 +112,11 @@ Error PageDirectory::MapLargePage(uint32_t va, uint32_t pa, uint32_t flags) {
     return Error::kInval;
   }
   uint32_t* dir = raw_dir();
-  uint32_t& pde = dir[DirIndex(va)];
-  if ((pde & kPtePresent) != 0) {
+  if ((dir[DirIndex(va)] & kPtePresent) != 0) {
     return Error::kExist;
   }
-  pde = (pa & 0xffc00000) | kPtePresent | kPdeLargePage |
-        (flags & (kPteWritable | kPteUser));
+  MonSet(&dir[DirIndex(va)], (pa & 0xffc00000) | kPtePresent | kPdeLargePage |
+                                 (flags & (kPteWritable | kPteUser)));
   return Error::kOk;
 }
 
@@ -96,11 +125,10 @@ Error PageDirectory::UnmapPage(uint32_t va) {
   if (table == nullptr) {
     return Error::kFault;
   }
-  uint32_t& pte = table[TableIndex(va)];
-  if ((pte & kPtePresent) == 0) {
+  if ((table[TableIndex(va)] & kPtePresent) == 0) {
     return Error::kFault;
   }
-  pte = 0;
+  MonSet(&table[TableIndex(va)], 0);
   // Free the table when it holds no present entries.
   for (uint32_t i = 0; i < kEntries; ++i) {
     if ((table[i] & kPtePresent) != 0) {
@@ -108,9 +136,12 @@ Error PageDirectory::UnmapPage(uint32_t va) {
     }
   }
   uint32_t* dir = raw_dir();
+  // The page returns to the general pool; revert it before freeing so the
+  // next owner isn't handed a monitor-private page.
+  Protect(table, PageProt::kKernelWritable);
   kernel_->MemFree(table, kPageSize);
   --table_pages_;
-  dir[DirIndex(va)] = 0;
+  MonSet(&dir[DirIndex(va)], 0);
   return Error::kOk;
 }
 
@@ -140,8 +171,16 @@ Error PageDirectory::Translate(uint32_t va, uint32_t* out_pa,
 
 Error PageDirectory::MapRange(uint32_t va, uint32_t pa, uint32_t size,
                               uint32_t flags) {
-  for (uint32_t offset = 0; offset < size; offset += kPageSize) {
-    Error err = MapPage(va + offset, pa + offset, flags);
+  // `va + size` (or `pa + size`) overflowing 32 bits must be rejected, not
+  // silently wrap and map low memory; a range ending exactly at 4 GB is
+  // still valid.
+  if (uint64_t{va} + size > (uint64_t{1} << 32) ||
+      uint64_t{pa} + size > (uint64_t{1} << 32)) {
+    return Error::kInval;
+  }
+  for (uint64_t offset = 0; offset < size; offset += kPageSize) {
+    Error err = MapPage(static_cast<uint32_t>(va + offset),
+                        static_cast<uint32_t>(pa + offset), flags);
     if (!Ok(err)) {
       return err;
     }

@@ -7,6 +7,14 @@
 // Translate() walks them exactly as the MMU would.  Higher layers can build
 // architecture-neutral VM on top, but per §4.6 the raw structures stay
 // exposed: dir_phys() hands the client the literal CR3 value.
+//
+// Nested-kernel integration (src/machine/memmon.h): when the kernel's
+// memory monitor is enabled, directory and page-table pages are registered
+// monitor-private at allocation and every PDE/PTE mutation goes through the
+// MonitorStore gate — a component scribbling at a page table through its
+// checked view takes a counted page fault instead of flipping a PTE.  The
+// §4.6 raw_dir() hatch still hands out the host pointer; writes through it
+// bypass the monitor, the documented honesty limit of the simulation.
 
 #ifndef OSKIT_SRC_KERN_PAGING_H_
 #define OSKIT_SRC_KERN_PAGING_H_
@@ -38,8 +46,8 @@ class PageDirectory {
 
   // Maps the 4 KB page at virtual `va` to physical `pa` with `flags`
   // (kPteWritable/kPteUser; kPtePresent is implied).  Allocates the page
-  // table if absent.  kExist if already mapped; both addresses must be
-  // page aligned.
+  // table if absent.  kExist if already mapped — including when a 4 MB
+  // large page occupies the slot; both addresses must be page aligned.
   Error MapPage(uint32_t va, uint32_t pa, uint32_t flags);
 
   // Maps a 4 MB large page (PSE) at `va` (4 MB aligned).
@@ -52,7 +60,8 @@ class PageDirectory {
   // to, honouring large pages.  kFault when not present.
   Error Translate(uint32_t va, uint32_t* out_pa, uint32_t* out_flags) const;
 
-  // Maps [va, va+size) to [pa, pa+size) page by page.
+  // Maps [va, va+size) to [pa, pa+size) page by page.  kInval when either
+  // end overflows the 32-bit address space — the range must not wrap.
   Error MapRange(uint32_t va, uint32_t pa, uint32_t size, uint32_t flags);
 
   // The physical address of the directory: what the client loads into CR3.
@@ -66,6 +75,12 @@ class PageDirectory {
 
  private:
   uint32_t* TableFor(uint32_t va, bool alloc);
+  // Registers/reverts a paging page's protection with the kernel's memory
+  // monitor (no-ops without one).
+  void Protect(void* page, PageProt prot);
+  // PDE/PTE slot write through the MonitorStore gate (plain store without
+  // an enabled monitor).
+  void MonSet(uint32_t* slot, uint32_t value);
 
   KernelEnv* kernel_;
   uint32_t dir_phys_ = 0;

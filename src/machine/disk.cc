@@ -42,7 +42,19 @@ void DiskHw::SubmitRead(uint64_t lba, uint32_t sectors, uint8_t* buf) {
   size_t bytes = static_cast<size_t>(sectors) * kSectorSize;
   pending_ = clock_->ScheduleAfter(
       EffectiveDelay(TransferDelay(sectors)), [this, offset, bytes, buf] {
-        std::memcpy(buf, store_.data() + offset, bytes);
+        if (dma_phys_ != nullptr && dma_phys_->Contains(buf, bytes)) {
+          // The monitor's IOMMU view: the transfer must land in
+          // component-writable pages or the device faults the request.
+          Error err = dma_phys_->Dma(dma_phys_->AddrOf(buf),
+                                     store_.data() + offset, bytes);
+          if (err != Error::kOk) {
+            ++dma_rejected_;
+            Complete(Error::kIo);
+            return;
+          }
+        } else {
+          std::memcpy(buf, store_.data() + offset, bytes);
+        }
         ++reads_completed_;
         Complete(Error::kOk);
       });

@@ -35,6 +35,7 @@
 #include "src/base/error.h"
 #include "src/fault/fault.h"
 #include "src/machine/clock.h"
+#include "src/machine/physmem.h"
 #include "src/machine/pic.h"
 #include "src/trace/trace.h"
 
@@ -73,6 +74,15 @@ class DiskHw {
   int irq() const { return irq_; }
   void SetTiming(const Timing& timing) { timing_ = timing; }
   void SetFaultEnv(fault::FaultEnv* env) { fault_ = fault::ResolveFaultEnv(env); }
+
+  // IOMMU hookup for the memory monitor (src/machine/memmon.h): when set,
+  // read completions whose target buffer lies inside the physical arena
+  // land through PhysMem::Dma, so a read programmed at kernel state is a
+  // counted mon.violation.dma and the request completes with kIo instead
+  // of scribbling.  Buffers outside the arena (host-side test buffers)
+  // keep the direct path.
+  void AttachDmaMonitor(PhysMem* phys) { dma_phys_ = phys; }
+  uint64_t dma_rejected() const { return dma_rejected_; }
 
   // ---- Driver-facing request interface ----
   // Exactly one request may be outstanding.  Completion raises the IRQ;
@@ -168,6 +178,8 @@ class DiskHw {
   uint64_t resets_ = 0;
   SimClock::EventId pending_ = SimClock::kInvalidEvent;
   fault::FaultEnv* fault_ = fault::DefaultFaultEnv();
+  PhysMem* dma_phys_ = nullptr;  // monitor-checked DMA when set
+  uint64_t dma_rejected_ = 0;
 
   // Durability model state.
   bool wcache_enabled_ = false;

@@ -13,11 +13,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/error.h"
 #include "src/base/panic.h"
 
 namespace oskit {
 
 using PhysAddr = uint64_t;
+
+class MemMonitor;  // src/machine/memmon.h
 
 class PhysMem {
  public:
@@ -63,10 +66,24 @@ class PhysMem {
     return AddrOf(ptr) + len <= kDmaLimit;
   }
 
+  // ---- Checked entry points (src/machine/memmon.h) ----
+  // With no attached (or not yet enabled) memory monitor these are
+  // bounds-checked memcpys — the open 1997 world.  With a monitor they are
+  // the kernel-level store and the device DMA write, subject to the
+  // per-page protection map: kFault on out-of-range/wrapping spans,
+  // kAccess on a protection violation (nothing written; the violation is
+  // counted and raised through the trap vectors).  Defined in memmon.cc.
+  Error Store(PhysAddr addr, const void* src, size_t len);
+  Error Dma(PhysAddr addr, const void* src, size_t len);
+
+  void AttachMonitor(MemMonitor* monitor) { monitor_ = monitor; }
+  MemMonitor* monitor() const { return monitor_; }
+
  private:
   std::vector<uint8_t> storage_;
   uint8_t* base_ = nullptr;
   size_t size_;
+  MemMonitor* monitor_ = nullptr;
 };
 
 }  // namespace oskit

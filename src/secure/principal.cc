@@ -81,6 +81,10 @@ Principal::~Principal() = default;
 
 Error Principal::Charge(Resource r, uint64_t n) {
   size_t i = static_cast<size_t>(r);
+  if (killed_) {
+    ++denied_[i];
+    return Error::kAccess;
+  }
   if (charged_[i].value() + n > budget_.limit[i]) {
     ++denied_[i];
     return Error::kQuotaExceeded;
@@ -128,6 +132,22 @@ Principal* PrincipalRegistry::Find(const std::string& name) {
   return nullptr;
 }
 
+Principal* PrincipalRegistry::FindById(uint32_t id) {
+  for (auto& p : principals_) {
+    if (p->id() == id) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+void PrincipalRegistry::KillByDomain(uint32_t domain) {
+  Principal* p = FindById(domain);
+  if (p != nullptr) {
+    p->killed_ = true;
+  }
+}
+
 uint64_t PrincipalRegistry::TotalCharged(Resource r) const {
   uint64_t total = 0;
   for (const auto& p : principals_) {
@@ -151,9 +171,11 @@ void PrincipalRegistry::Tenants(
                 principals_.size());
   emit(line);
   for (const auto& p : principals_) {
-    std::snprintf(line, sizeof(line), "  principal %u \"%s\" denied_total=%llu",
-                  p->id(), p->name().c_str(),
-                  static_cast<unsigned long long>(p->denied_total()));
+    std::snprintf(line, sizeof(line),
+                  "  principal %u \"%s\" denied_total=%llu%s", p->id(),
+                  p->name().c_str(),
+                  static_cast<unsigned long long>(p->denied_total()),
+                  p->killed() ? " KILLED" : "");
     emit(line);
     for (size_t i = 0; i < kResourceCount; ++i) {
       Resource r = static_cast<Resource>(i);

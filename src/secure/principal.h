@@ -87,7 +87,14 @@ class Principal {
 
   // Debits `n` units of `r`.  Over budget: nothing is charged, the denial
   // counter bumps, and kQuotaExceeded comes back for the wrapper to return.
+  // A killed principal (its domain was contained by the memory monitor) is
+  // denied everything: kAccess, with the denial counted — one choke point
+  // that deprivileges the whole wrapper surface.
   Error Charge(Resource r, uint64_t n);
+
+  // True once the memory monitor killed this principal's domain (see
+  // PrincipalRegistry::KillByDomain).  Kill is one-way.
+  bool killed() const { return killed_; }
 
   // Charge that may run past the limit (post-hoc reconciliation, e.g. FFS
   // metadata blocks discovered only after the operation).  Never fails.
@@ -123,6 +130,7 @@ class Principal {
   std::string name_;
   Budget budget_;
   Acl acl_;
+  bool killed_ = false;
   trace::Counter charged_[kResourceCount];  // gauges
   trace::Counter denied_[kResourceCount];
   trace::CounterBlock binding_;
@@ -148,8 +156,15 @@ class PrincipalRegistry {
                     const Acl& acl = {});
 
   Principal* Find(const std::string& name);
+  Principal* FindById(uint32_t id);
   size_t size() const { return principals_.size(); }
   Principal* at(size_t i) { return principals_[i].get(); }
+
+  // Marks the principal whose id matches the monitor domain as killed —
+  // every wrapper Charge from then on is a counted kAccess denial.  The
+  // memory-monitor kill hook (secure::AttachMonitor) calls this; unknown
+  // ids are ignored, killing twice is idempotent.
+  void KillByDomain(uint32_t domain);
 
   // Sum of outstanding charges across principals for one resource.
   uint64_t TotalCharged(Resource r) const;

@@ -33,6 +33,7 @@
 #include "src/com/socket.h"
 #include "src/fs/ffs.h"
 #include "src/lmm/lmm.h"
+#include "src/machine/memmon.h"
 #include "src/net/stack.h"
 #include "src/secure/principal.h"
 
@@ -104,15 +105,38 @@ ComPtr<BlkIo> MakeSecureBufIo(ComPtr<BlkIo> inner, Principal* p);
 void InstallJournalAdmission(fs::Offs* fs, PrincipalRegistry* registry);
 
 // ---------------------------------------------------------------------------
+// Nested-kernel deprivilege glue (src/machine/memmon.h)
+// ---------------------------------------------------------------------------
+
+// Wires the monitor's domain-kill hook to the registry: when the monitor
+// contains a domain, the matching principal (domain id == principal id) is
+// marked killed and every wrapper Charge from then on is a counted kAccess
+// denial — the COM surface and the memory system revoke together.
+void AttachMonitor(PrincipalRegistry* registry, MemMonitor* mon);
+
+// The deprivileged view a wrapped component stores physical memory
+// through: component-writable pages only, attributed to `p`'s domain.
+MemDomain DomainView(MemMonitor* mon, const Principal* p);
+
+// ---------------------------------------------------------------------------
 // Allocator wrappers (not COM: the LMM/AMM are plain components)
 // ---------------------------------------------------------------------------
 
 // Charges Resource::kMemBytes per allocated byte; a quota denial returns
 // nullptr exactly as pool exhaustion would (and is counted on the
 // principal, unlike exhaustion).
+//
+// With a memory monitor attached (the second constructor), allocations
+// come back deprivileged: every page fully covered by the block is flipped
+// to component-writable through the MonitorCall gate so the tenant's
+// MemDomain view can store there, and Free flips it back to
+// kernel-writable before the memory returns to the pool — a freed page is
+// never left writable by a dead tenant.
 class SecureLmm {
  public:
   SecureLmm(Lmm* inner, Principal* p) : inner_(inner), principal_(p) {}
+  SecureLmm(Lmm* inner, Principal* p, MemMonitor* mon, PhysMem* phys)
+      : inner_(inner), principal_(p), mon_(mon), phys_(phys) {}
 
   void* Alloc(size_t size, uint32_t flags);
   void* AllocAligned(size_t size, uint32_t flags, unsigned align_bits,
@@ -122,8 +146,12 @@ class SecureLmm {
   Lmm* inner() { return inner_; }
 
  private:
+  void FlipPages(void* block, size_t size, PageProt prot);
+
   Lmm* inner_;
   Principal* principal_;
+  MemMonitor* mon_ = nullptr;
+  PhysMem* phys_ = nullptr;
 };
 
 // Charges Resource::kMemBytes per mapped byte; denial surfaces as

@@ -8,6 +8,30 @@
 
 namespace oskit::secure {
 
+void AttachMonitor(PrincipalRegistry* registry, MemMonitor* mon) {
+  mon->SetKillHook(
+      [registry](uint32_t domain) { registry->KillByDomain(domain); });
+}
+
+MemDomain DomainView(MemMonitor* mon, const Principal* p) {
+  return MemDomain(mon, p->id());
+}
+
+// Only pages FULLY covered by the block change protection: a partial page
+// may be shared with another owner's allocation.
+void SecureLmm::FlipPages(void* block, size_t size, PageProt prot) {
+  if (mon_ == nullptr || !mon_->enabled()) {
+    return;
+  }
+  PhysAddr addr = phys_->AddrOf(block);
+  PhysAddr first =
+      (addr + PhysMem::kPageAlign - 1) & ~PhysAddr{PhysMem::kPageAlign - 1};
+  PhysAddr last = (addr + size) & ~PhysAddr{PhysMem::kPageAlign - 1};
+  if (last > first) {
+    mon_->MonitorCall(first, static_cast<size_t>(last - first), prot);
+  }
+}
+
 void* SecureLmm::Alloc(size_t size, uint32_t flags) {
   if (!Ok(principal_->Charge(Resource::kMemBytes, size))) {
     return nullptr;  // the denial is counted; exhaustion would not be
@@ -15,7 +39,9 @@ void* SecureLmm::Alloc(size_t size, uint32_t flags) {
   void* block = inner_->Alloc(size, flags);
   if (block == nullptr) {
     principal_->Credit(Resource::kMemBytes, size);
+    return nullptr;
   }
+  FlipPages(block, size, PageProt::kComponentWritable);
   return block;
 }
 
@@ -27,11 +53,14 @@ void* SecureLmm::AllocAligned(size_t size, uint32_t flags, unsigned align_bits,
   void* block = inner_->AllocAligned(size, flags, align_bits, align_ofs);
   if (block == nullptr) {
     principal_->Credit(Resource::kMemBytes, size);
+    return nullptr;
   }
+  FlipPages(block, size, PageProt::kComponentWritable);
   return block;
 }
 
 void SecureLmm::Free(void* block, size_t size) {
+  FlipPages(block, size, PageProt::kKernelWritable);
   inner_->Free(block, size);
   principal_->Credit(Resource::kMemBytes, size);
 }

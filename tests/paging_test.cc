@@ -77,10 +77,80 @@ TEST_F(PagingTest, LargePagesTranslate) {
   uint32_t flags = 0;
   ASSERT_EQ(Error::kOk, pd.Translate(0x00C12345, &pa, &flags));
   EXPECT_EQ(0x01012345u, pa);
-  // A 4 KB map into the same 4 MB slot must fail cleanly.
-  EXPECT_EQ(Error::kNoMem, pd.MapPage(0x00C01000, 0x5000, 0));
+  // A 4 KB map into the same 4 MB slot is "already mapped", not OOM.
+  EXPECT_EQ(Error::kExist, pd.MapPage(0x00C01000, 0x5000, 0));
   // Misaligned large page refused.
   EXPECT_EQ(Error::kInval, pd.MapLargePage(0x00C01000, 0, 0));
+}
+
+TEST_F(PagingTest, LargePageFlagCombinations) {
+  PageDirectory pd(kernel_.get());
+  // Writable + user, writable-only, and read-only large pages: Translate
+  // must report exactly the flags that were set.
+  ASSERT_EQ(Error::kOk,
+            pd.MapLargePage(0x00C00000, 0x01000000, kPteWritable | kPteUser));
+  ASSERT_EQ(Error::kOk, pd.MapLargePage(0x01000000, 0x01400000, kPteWritable));
+  ASSERT_EQ(Error::kOk, pd.MapLargePage(0x01400000, 0x01800000, 0));
+  uint32_t pa = 0;
+  uint32_t flags = 0;
+  ASSERT_EQ(Error::kOk, pd.Translate(0x00C55aa5, &pa, &flags));
+  EXPECT_EQ(0x01055aa5u, pa);
+  EXPECT_EQ(kPteWritable | kPteUser, flags);
+  ASSERT_EQ(Error::kOk, pd.Translate(0x01000000, &pa, &flags));
+  EXPECT_EQ(0x01400000u, pa);
+  EXPECT_EQ(kPteWritable, flags);
+  ASSERT_EQ(Error::kOk, pd.Translate(0x017fffff, &pa, &flags));
+  EXPECT_EQ(0x01bfffffu, pa);
+  EXPECT_EQ(0u, flags);
+  // Large pages live in the directory: no page tables were allocated.
+  EXPECT_EQ(0u, pd.table_pages());
+}
+
+TEST_F(PagingTest, UnmapLastPteFreesTable) {
+  PageDirectory pd(kernel_.get());
+  // Two PTEs in the same table: unmapping one keeps the table, unmapping
+  // the last frees it and clears the directory slot.
+  ASSERT_EQ(Error::kOk, pd.MapPage(0x00400000, 0x00123000, kPteWritable));
+  ASSERT_EQ(Error::kOk, pd.MapPage(0x00401000, 0x00124000, kPteWritable));
+  EXPECT_EQ(1u, pd.table_pages());
+  ASSERT_EQ(Error::kOk, pd.UnmapPage(0x00400000));
+  EXPECT_EQ(1u, pd.table_pages());
+  EXPECT_TRUE(pd.raw_dir()[0x00400000 >> 22] & kPtePresent);
+  ASSERT_EQ(Error::kOk, pd.UnmapPage(0x00401000));
+  EXPECT_EQ(0u, pd.table_pages());
+  EXPECT_EQ(0u, pd.raw_dir()[0x00400000 >> 22]);
+  // Unmapping again faults: the table is gone.
+  EXPECT_EQ(Error::kFault, pd.UnmapPage(0x00401000));
+}
+
+TEST_F(PagingTest, DoubleMapAcrossPageSizes) {
+  PageDirectory pd(kernel_.get());
+  // 4 KB map first, then a 4 MB map over the same slot: kExist.
+  ASSERT_EQ(Error::kOk, pd.MapPage(0x00C00000, 0x5000, 0));
+  EXPECT_EQ(Error::kExist, pd.MapLargePage(0x00C00000, 0x01000000, 0));
+  // Large page first, then 4 KB maps anywhere inside the 4 MB slot: kExist.
+  ASSERT_EQ(Error::kOk, pd.MapLargePage(0x01000000, 0x01400000, 0));
+  EXPECT_EQ(Error::kExist, pd.MapPage(0x01000000, 0x6000, 0));
+  EXPECT_EQ(Error::kExist, pd.MapPage(0x013ff000, 0x7000, 0));
+  // And doubly-mapped large pages are refused too.
+  EXPECT_EQ(Error::kExist, pd.MapLargePage(0x01000000, 0x01800000, 0));
+}
+
+TEST_F(PagingTest, MapRangeRejectsAddressWrap) {
+  PageDirectory pd(kernel_.get());
+  // `va + size` wrapping past 2^32 must be kInval, not a silent wrap that
+  // maps low memory.
+  EXPECT_EQ(Error::kInval, pd.MapRange(0xfffff000, 0, 0x2000, 0));
+  EXPECT_EQ(Error::kInval, pd.MapRange(0x80000000, 0, 0x80001000, 0));
+  // Same for the physical side.
+  EXPECT_EQ(Error::kInval, pd.MapRange(0x10000000, 0xfffff000, 0x2000, 0));
+  uint32_t pa = 0;
+  uint32_t flags = 0;
+  EXPECT_EQ(Error::kFault, pd.Translate(0x0, &pa, &flags));  // nothing mapped
+  // A range ending exactly at 4 GB is still valid.
+  EXPECT_EQ(Error::kOk, pd.MapRange(0xfffff000, 0x00200000, 0x1000, 0));
+  ASSERT_EQ(Error::kOk, pd.Translate(0xfffff123, &pa, &flags));
+  EXPECT_EQ(0x00200123u, pa);
 }
 
 TEST_F(PagingTest, MapRangeCoversEveryPage) {
