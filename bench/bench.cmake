@@ -28,7 +28,9 @@ oskit_bench(fault_campaign)
 target_link_libraries(fault_campaign PRIVATE oskit_fault oskit_amm
   oskit_memdebug)
 oskit_bench(crash_campaign)
-target_link_libraries(crash_campaign PRIVATE oskit_fault)
+target_link_libraries(crash_campaign PRIVATE oskit_fault oskit_aio)
+oskit_bench(aio_campaign)
+target_link_libraries(aio_campaign PRIVATE oskit_fault oskit_aio oskit_http)
 oskit_bench(tenant_campaign)
 target_link_libraries(tenant_campaign PRIVATE oskit_secure)
 oskit_bench(http_campaign)

@@ -33,8 +33,11 @@
 #include <string_view>
 #include <vector>
 
+#include "src/aio/stack.h"
 #include "src/com/memblkio.h"
 #include "src/dev/linux/linux_ide.h"
+#include "src/diskpart/diskpart.h"
+#include "src/fs/cache.h"
 #include "src/fs/ffs.h"
 #include "src/fs/fsck.h"
 #include "src/testbed/testbed.h"
@@ -51,10 +54,60 @@ const char* const kDirMarker = "\x01:dir";
 
 int g_failures = 0;
 
+// --stack: the blkio layer composition mounted between the filesystem and
+// the IDE device, listed bottom-up ("stripe,checksum,cache" = cache on
+// top).  Empty = the classic direct mount.  The identical composition is
+// rebuilt over the post-crash image for recovery, so fsck sees the stack's
+// logical geometry with fresh (volatile) layer state — exactly what a
+// reboot gives.
+std::string g_stack;
+
 void Fail(const char* phase, uint64_t run, const char* what) {
-  std::printf("FAIL: %s run %llu: %s\n", phase,
-              static_cast<unsigned long long>(run), what);
+  std::printf("FAIL: %s run %llu [stack=%s]: %s\n", phase,
+              static_cast<unsigned long long>(run),
+              g_stack.empty() ? "plain" : g_stack.c_str(), what);
   ++g_failures;
+}
+
+// Builds the --stack composition over `base`.  The striping layer splits
+// the SAME underlying device into two partition-view members (the power cut
+// stays atomic across all stripes, as it would be for two platters behind
+// one controller).
+ComPtr<BlkIo> ApplyStack(ComPtr<BlkIo> base, trace::TraceEnv* tenv) {
+  ComPtr<BlkIo> top = std::move(base);
+  size_t pos = 0;
+  while (pos < g_stack.size()) {
+    size_t comma = g_stack.find(',', pos);
+    size_t end = comma == std::string::npos ? g_stack.size() : comma;
+    std::string layer = g_stack.substr(pos, end - pos);
+    pos = end + 1;
+    if (layer == "stripe") {
+      off_t64 size = 0;
+      top->GetSize(&size);
+      uint64_t half = (size / 512) / 2;
+      Partition lo{.start_sector = 0, .sector_count = half};
+      Partition hi{.start_sector = half, .sector_count = half};
+      std::vector<ComPtr<BlkIo>> members;
+      members.push_back(MakePartitionView(top.get(), lo));
+      members.push_back(MakePartitionView(top.get(), hi));
+      // Unit = 2048 rounded up to the member block size (a cache layer
+      // below the stripe presents 4 KiB blocks).
+      uint32_t bs = members[0]->GetBlockSize();
+      uint32_t unit = (2048 + bs - 1) / bs * bs;
+      top = ComPtr<BlkIo>::FromQuery(
+          aio::StripeBlkIo::Create(std::move(members), unit, tenv).get());
+    } else if (layer == "checksum") {
+      top = ComPtr<BlkIo>::FromQuery(
+          aio::ChecksumBlkIo::Create(top.get(), tenv).get());
+    } else if (layer == "cache") {
+      top = ComPtr<BlkIo>::FromQuery(
+          fs::CacheBlkIo::Create(top.get(), 4096, 64, tenv).get());
+    } else {
+      std::fprintf(stderr, "unknown stack layer: %s\n", layer.c_str());
+      std::exit(2);
+    }
+  }
+  return top;
 }
 
 using Aggregate = std::map<std::string, uint64_t>;
@@ -234,7 +287,8 @@ CaseResult RunLocalCase(const char* phase, uint64_t run_id, bool journaled,
   DeviceRegistry registry;
   linuxdev::InitLinuxIde(fdev, &machine, &registry);
   auto device = registry.LookupByName("hda");
-  ComPtr<BlkIo> blkio = ComPtr<BlkIo>::FromQuery(device.get());
+  ComPtr<BlkIo> blkio =
+      ApplyStack(ComPtr<BlkIo>::FromQuery(device.get()), &tenv);
 
   CaseResult result;
   WorkloadTrace t;
@@ -287,8 +341,10 @@ CaseResult RunLocalCase(const char* phase, uint64_t run_id, bool journaled,
     return result;
   }
 
-  // Host-side recovery of the post-crash image.
-  auto post = MemBlkIo::CreateFrom(disk->raw(), disk->raw_size(), 512);
+  // Host-side recovery of the post-crash image, through the same stack.
+  auto post_mem = MemBlkIo::CreateFrom(disk->raw(), disk->raw_size(), 512);
+  ComPtr<BlkIo> post =
+      ApplyStack(ComPtr<BlkIo>::FromQuery(post_mem.get()), &tenv);
   fs::FsckOptions fsck_options;
   fsck_options.replay_journal = true;
   fs::FsckReport report = fs::Fsck(post.get(), fsck_options);
@@ -554,53 +610,34 @@ int CheckAggregate(const Aggregate& agg) {
   return missing;
 }
 
-}  // namespace
+// The local phases (probe, exhaustive, lossy, ablation) for ONE stack
+// composition.  Results accumulate into *totals for the final report.
+struct SweepTotals {
+  uint64_t runs_a = 0;
+  uint64_t runs_b = 0;
+  uint64_t ablation_runs = 0;
+  uint64_t detected = 0;
+  uint64_t durable_writes = 0;  // the FIRST sweep's probe measurement
+};
 
-int main(int argc, char** argv) {
-  // Usage: crash_campaign [--seeds N] [--seed-base B] [--stride K]
-  //                        [--json <path>]
-  // --seed-base shifts the whole seeded portion of the sweep (lossy, tcp,
-  // ablation) onto disjoint RNG streams, so a second CI job adds coverage
-  // instead of repeating the first.
-  uint64_t seeds = 2;
-  uint64_t seed_base = 0;
-  uint64_t stride = 1;
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg(argv[i]);
-    if (arg == "--seeds" && i + 1 < argc) {
-      seeds = std::strtoull(argv[++i], nullptr, 0);
-    } else if (arg == "--seed-base" && i + 1 < argc) {
-      seed_base = std::strtoull(argv[++i], nullptr, 0);
-    } else if (arg == "--stride" && i + 1 < argc) {
-      stride = std::strtoull(argv[++i], nullptr, 0);
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: crash_campaign [--seeds N] [--seed-base B] "
-                   "[--stride K] [--json <path>]\n");
-      return 2;
-    }
-  }
-  if (stride == 0) {
-    stride = 1;
-  }
-
-  Aggregate agg;
-
+void RunLocalPhases(uint64_t seeds, uint64_t seed_base, uint64_t stride,
+                    Aggregate* agg, SweepTotals* totals) {
   // Probe: learn how many durable writes the journaled workload issues.
   CaseResult probe =
       RunLocalCase("probe", 0, /*journaled=*/true, /*arm_at=*/0,
-                   DiskHw::CutPolicy::kDropAll, 0, true, &agg);
+                   DiskHw::CutPolicy::kDropAll, 0, true, agg);
   uint64_t total = probe.total_writes;
-  std::printf("crash campaign: %llu durable writes per run, stride %llu, "
-              "%llu seeds\n",
+  std::printf("crash campaign [stack=%s]: %llu durable writes per run, "
+              "stride %llu, %llu seeds\n",
+              g_stack.empty() ? "plain" : g_stack.c_str(),
               static_cast<unsigned long long>(total),
               static_cast<unsigned long long>(stride),
               static_cast<unsigned long long>(seeds));
   if (total == 0) {
     Fail("probe", 0, "workload issued no writes");
+  }
+  if (totals->durable_writes == 0) {
+    totals->durable_writes = total;
   }
 
   // Phase A: exhaustive drop-all cut at every durable write index.
@@ -609,14 +646,15 @@ int main(int argc, char** argv) {
   for (uint64_t k = 1; k <= total; k += stride) {
     CaseResult r = RunLocalCase("exhaustive", k, true, k,
                                 DiskHw::CutPolicy::kDropAll, 1000 + k, true,
-                                &agg);
+                                agg);
     ++runs_a;
     fired_a += r.cut_fired ? 1 : 0;
   }
   if (runs_a != 0 && fired_a == 0) {
     Fail("exhaustive", 0, "no cut ever fired");
   }
-  agg["campaign.crash.exhaustive_runs"] += runs_a;
+  (*agg)["campaign.crash.exhaustive_runs"] += runs_a;
+  totals->runs_a += runs_a;
 
   // Phase B: lossy policies (subset / reorder / tear) across the same sweep,
   // once per seed.
@@ -627,13 +665,104 @@ int main(int argc, char** argv) {
   for (uint64_t seed = seed_base + 1; seed <= seed_base + seeds; ++seed) {
     for (uint64_t k = 1; k <= total; k += stride) {
       RunLocalCase("lossy", seed * 100000 + k, true, k, lossy[k % 3],
-                   seed * 7919 + k, true, &agg);
+                   seed * 7919 + k, true, agg);
       ++runs_b;
     }
   }
-  agg["campaign.crash.lossy_runs"] += runs_b;
+  (*agg)["campaign.crash.lossy_runs"] += runs_b;
+  totals->runs_b += runs_b;
 
-  // Phase C: TCP-fed stream, cut at seeded indices under each lossy policy.
+  // Phase D: the ablation.  A journal-free volume under the lossy cuts must
+  // corrupt at least once, or the consistency assertions above are vacuous.
+  CaseResult ablation_probe =
+      RunLocalCase("ablation-probe", 0, /*journaled=*/false, 0,
+                   DiskHw::CutPolicy::kDropAll, 0, true, agg);
+  uint64_t detected = 0;
+  uint64_t ablation_runs = 0;
+  for (uint64_t k = 1; k <= ablation_probe.total_writes; k += stride) {
+    CaseResult r =
+        RunLocalCase("ablation", k, false, k, lossy[k % 2],  // subset / tear
+                     2000 + seed_base * 4099 + k, /*expect_consistent=*/false,
+                     agg);
+    ++ablation_runs;
+    if (r.cut_fired && (!r.consistent || !r.state_valid)) {
+      ++detected;
+    }
+  }
+  (*agg)["campaign.ablation.runs"] += ablation_runs;
+  (*agg)["campaign.ablation.detected"] += detected;
+  totals->ablation_runs += ablation_runs;
+  totals->detected += detected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Usage: crash_campaign [--seeds N] [--seed-base B] [--stride K]
+  //                        [--json <path>] [--stack <spec>|matrix]
+  // --seed-base shifts the whole seeded portion of the sweep (lossy, tcp,
+  // ablation) onto disjoint RNG streams, so a second CI job adds coverage
+  // instead of repeating the first.  --stack mounts the filesystem on a
+  // blkio layer composition (bottom-up spec, e.g. "stripe,checksum,cache");
+  // "matrix" sweeps the local phases over every permutation of the three
+  // layers, proving the campaign passes unchanged over any composition.
+  uint64_t seeds = 2;
+  uint64_t seed_base = 0;
+  uint64_t stride = 1;
+  const char* json_path = nullptr;
+  std::string stack_arg;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--seed-base" && i + 1 < argc) {
+      seed_base = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--stride" && i + 1 < argc) {
+      stride = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--stack" && i + 1 < argc) {
+      stack_arg = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_campaign [--seeds N] [--seed-base B] "
+                   "[--stride K] [--json <path>] [--stack <spec>|matrix]\n");
+      return 2;
+    }
+  }
+  if (stride == 0) {
+    stride = 1;
+  }
+  std::vector<std::string> stacks;
+  if (stack_arg == "matrix") {
+    stacks = {"",
+              "stripe,checksum,cache",  // cache over checksum over stripe
+              "stripe,cache,checksum",
+              "checksum,stripe,cache",
+              "checksum,cache,stripe",
+              "cache,stripe,checksum",
+              "cache,checksum,stripe"};
+  } else {
+    stacks = {stack_arg};
+  }
+
+  Aggregate agg;
+  SweepTotals totals;
+  for (const std::string& stack : stacks) {
+    g_stack = stack;
+    RunLocalPhases(seeds, seed_base, stride, &agg, &totals);
+  }
+  g_stack.clear();
+  uint64_t runs_a = totals.runs_a;
+  uint64_t runs_b = totals.runs_b;
+  uint64_t ablation_runs = totals.ablation_runs;
+  uint64_t detected = totals.detected;
+
+  // Phase C: TCP-fed stream, cut at seeded indices under each lossy policy
+  // (plain mount: the stack is orthogonal to how the bytes arrive).
+  const DiskHw::CutPolicy lossy[] = {DiskHw::CutPolicy::kDropSubset,
+                                     DiskHw::CutPolicy::kReorder,
+                                     DiskHw::CutPolicy::kTear};
   uint64_t tcp_runs = 0;
   for (uint64_t seed = seed_base + 1; seed <= seed_base + seeds; ++seed) {
     for (int p = 0; p < 3; ++p) {
@@ -645,26 +774,6 @@ int main(int argc, char** argv) {
     }
   }
   agg["campaign.tcp.runs"] += tcp_runs;
-
-  // Phase D: the ablation.  A journal-free volume under the lossy cuts must
-  // corrupt at least once, or the consistency assertions above are vacuous.
-  CaseResult ablation_probe =
-      RunLocalCase("ablation-probe", 0, /*journaled=*/false, 0,
-                   DiskHw::CutPolicy::kDropAll, 0, true, &agg);
-  uint64_t detected = 0;
-  uint64_t ablation_runs = 0;
-  for (uint64_t k = 1; k <= ablation_probe.total_writes; k += stride) {
-    CaseResult r =
-        RunLocalCase("ablation", k, false, k, lossy[k % 2],  // subset / tear
-                     2000 + seed_base * 4099 + k, /*expect_consistent=*/false,
-                     &agg);
-    ++ablation_runs;
-    if (r.cut_fired && (!r.consistent || !r.state_valid)) {
-      ++detected;
-    }
-  }
-  agg["campaign.ablation.runs"] += ablation_runs;
-  agg["campaign.ablation.detected"] += detected;
 
   g_failures += CheckAggregate(agg);
 
@@ -689,7 +798,8 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"stride\": %llu,\n",
                  static_cast<unsigned long long>(stride));
     std::fprintf(f, "  \"durable_writes_per_run\": %llu,\n",
-                 static_cast<unsigned long long>(total));
+                 static_cast<unsigned long long>(totals.durable_writes));
+    std::fprintf(f, "  \"stack_sweeps\": %zu,\n", stacks.size());
     std::fprintf(f, "  \"failures\": %d,\n", g_failures);
     std::fprintf(f, "  \"counters\": {\n");
     size_t remaining = agg.size();

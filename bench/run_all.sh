@@ -16,7 +16,10 @@
 # throughput, tail latency, span attribution, ablation rows, and the
 # slow-loris verdict; BENCH_monitor.json, produced by the memory-monitor
 # scribble campaign with catch rates, integrity checks, and the
-# corruption-proving ablation).
+# corruption-proving ablation; BENCH_aio.json, produced by the async
+# completion-ring campaign with the queue-depth sweep, the journal-over-ring
+# counters, the stack-composition matrix, and the sendfile vs read+send
+# copied-bytes ablation).
 #
 # After the benches, every BENCH_*.json is compared against the checked-in
 # baselines (bench/baselines/) by bench/check_regression: a metric outside
@@ -83,8 +86,9 @@ run_bench crash_campaign   --seeds 2 --json "$BENCH_DIR/BENCH_crash.json"
 run_bench tenant_campaign  --seeds 5 --json "$BENCH_DIR/BENCH_tenant.json"
 run_bench http_campaign    --json "$BENCH_DIR/BENCH_http.json"
 run_bench monitor_campaign --seeds 5 --seed-base 1 --json "$BENCH_DIR/BENCH_monitor.json"
+run_bench aio_campaign     --json "$BENCH_DIR/BENCH_aio.json"
 
-for json in trace fault sg crash napi c10k tenant http monitor; do
+for json in trace fault sg crash napi c10k tenant http monitor aio; do
     out="$BENCH_DIR/BENCH_$json.json"
     if [ -f "$out" ]; then
         echo "wrote $out"

@@ -37,7 +37,9 @@ Error MemBlkIo::Query(const Guid& iid, void** out) {
 
 // Bounds discipline (shared with SkBuffIo and MbufBufIo): off_t64 is
 // unsigned, so a "negative" offset arrives huge and `offset + amount` can
-// wrap.  Check the offset first, then clamp/compare against the remainder.
+// wrap.  Check the offset first, then compare against the remainder; a range
+// whose sum genuinely wraps is a caller bug (kInval), an ordinary past-end
+// range keeps the short-read clamp.
 
 Error MemBlkIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) {
   *out_actual = 0;
@@ -45,6 +47,9 @@ Error MemBlkIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actua
     return Error::kOutOfRange;
   }
   size_t avail = data_.size() - static_cast<size_t>(offset);
+  if (amount > avail && offset + amount < offset) {
+    return Error::kInval;
+  }
   size_t n = amount < avail ? amount : avail;
   std::memcpy(buf, data_.data() + offset, n);
   *out_actual = n;
@@ -58,6 +63,9 @@ Error MemBlkIo::Write(const void* buf, off_t64 offset, size_t amount,
     return Error::kOutOfRange;
   }
   size_t avail = data_.size() - static_cast<size_t>(offset);
+  if (amount > avail && offset + amount < offset) {
+    return Error::kInval;
+  }
   size_t n = amount < avail ? amount : avail;
   std::memcpy(data_.data() + offset, buf, n);
   *out_actual = n;
@@ -79,9 +87,11 @@ Error MemBlkIo::SetSize(off_t64 new_size) {
 }
 
 Error MemBlkIo::Map(void** out_addr, off_t64 offset, size_t amount) {
-  if (offset > data_.size() ||
-      amount > data_.size() - static_cast<size_t>(offset)) {
+  if (offset > data_.size()) {
     return Error::kOutOfRange;
+  }
+  if (amount > data_.size() - static_cast<size_t>(offset)) {
+    return offset + amount < offset ? Error::kInval : Error::kOutOfRange;
   }
   ++maps_outstanding_;
   *out_addr = data_.data() + offset;

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/com/bufio.h"
 #include "src/com/iunknown.h"
 
 namespace oskit {
@@ -95,6 +96,31 @@ class Socket : public IUnknown {
 
  protected:
   ~Socket() = default;
+};
+
+// Zero-copy transmit extension (new GUID, discovered via Query — the §4.4.2
+// evolution idiom again).  SendBufIo is sendfile: the socket pulls the bytes
+// out of a BufIoVec object (a file exporting its cached blocks, an mbuf
+// chain, ...) via Vectors() and queues them for transmission WITHOUT copying
+// them through the socket-layer send buffer; the pin taken by Vectors is
+// held until TCP has no further use for the bytes (acknowledged, so no
+// retransmission can need them).  Implementations fall back internally to a
+// counted copy when the source refuses a vector, so the call always makes
+// progress; only stream sockets export the interface.
+class SocketZeroCopy : public IUnknown {
+ public:
+  static constexpr Guid kIid = MakeGuid(0x8f2d3b64, 0x0df2, 0x11d0, 0xa6, 0xbe, 0x00,
+                                        0xa0, 0xc9, 0x0a, 0x5f, 0x33);
+
+  // Queues bytes [offset, offset+amount) of `src` for transmission.  Same
+  // blocking/short-write contract as Socket::Send: blocking sockets return
+  // only when everything is queued, nonblocking ones may accept a prefix
+  // (*out_actual < amount) or return kWouldBlock having accepted nothing.
+  virtual Error SendBufIo(BufIoVec* src, off_t64 offset, size_t amount,
+                          size_t* out_actual) = 0;
+
+ protected:
+  ~SocketZeroCopy() = default;
 };
 
 class SocketFactory : public IUnknown {

@@ -1,5 +1,6 @@
 #include "src/dev/linux/linux_ide.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/panic.h"
@@ -133,7 +134,10 @@ LinuxIdeDev::LinuxIdeDev(const FdevEnv& env, DiskHw* hw, std::string name)
   trace_binding_.Bind(&tenv->registry,
                       {{"glue.ide.retries", &drive_.retries},
                        {"glue.ide.watchdog_resets", &drive_.watchdog_resets},
-                       {"glue.ide.errors_surfaced", &drive_.errors_surfaced}});
+                       {"glue.ide.errors_surfaced", &drive_.errors_surfaced},
+                       {"glue.ide.ring.sqes", &ring_sqes_},
+                       {"glue.ide.ring.merges", &ring_merges_},
+                       {"glue.ide.ring.merged_sqes", &ring_merged_}});
   env_.irq_attach(env_.ctx, hw->irq(), [this] { ide_interrupt(&drive_); });
 }
 
@@ -167,6 +171,11 @@ Error LinuxIdeDev::Query(const Guid& iid, void** out) {
     *out = static_cast<BlkIoBarrier*>(this);
     return Error::kOk;
   }
+  if (iid == BlkIoRing::kIid) {
+    AddRef();
+    *out = static_cast<BlkIoRing*>(this);
+    return Error::kOk;
+  }
   *out = nullptr;
   return Error::kNoInterface;
 }
@@ -185,7 +194,13 @@ Error LinuxIdeDev::Read(void* buf, off_t64 offset, size_t amount, size_t* out_ac
   if (offset > disk_bytes) {
     return Error::kOutOfRange;
   }
-  if (offset + amount > disk_bytes) {
+  // Bounds discipline (shared with MemBlkIo and MbufBufIo): compare by
+  // subtraction so a huge `amount` cannot wrap `offset + amount` past the
+  // device end; a genuinely wrapping range is a caller bug, not a short read.
+  if (amount > disk_bytes - offset) {
+    if (offset + amount < offset) {
+      return Error::kInval;
+    }
     amount = disk_bytes - offset;
   }
   auto* out = static_cast<uint8_t*>(buf);
@@ -232,7 +247,10 @@ Error LinuxIdeDev::Write(const void* buf, off_t64 offset, size_t amount,
   if (offset > disk_bytes) {
     return Error::kOutOfRange;
   }
-  if (offset + amount > disk_bytes) {
+  if (amount > disk_bytes - offset) {
+    if (offset + amount < offset) {
+      return Error::kInval;  // wrapped range (see Read)
+    }
     amount = disk_bytes - offset;
   }
   const auto* in = static_cast<const uint8_t*>(buf);
@@ -276,6 +294,145 @@ Error LinuxIdeDev::Write(const void* buf, off_t64 offset, size_t amount,
 
 Error LinuxIdeDev::GetSize(off_t64* out_size) {
   *out_size = drive_.hw->sector_count() * DiskHw::kSectorSize;
+  return Error::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// BlkIoRing: queue-depth-aware scheduling.
+//
+// The controller charges a fixed seek per request (DiskHw::Timing.seek_ns)
+// plus one completion IRQ, so the win from a deep queue is issuing FEWER,
+// LARGER requests: the batch is sorted by LBA and adjacent whole-sector
+// SQEs are merged into single multi-count commands (<= 64 sectors, the old
+// IDE limit), gathered/scattered through a bounce buffer.  Writes run
+// before reads (an in-batch read of a block written by the same batch must
+// see the new bytes), flushes run last (the ring's barrier contract).
+// ---------------------------------------------------------------------------
+
+void LinuxIdeDev::CompleteSqe(const AioSqe& sqe) {
+  AioCqe cqe;
+  cqe.tag = sqe.tag;
+  switch (sqe.op) {
+    case AioOp::kRead:
+      cqe.status = Read(sqe.buf, sqe.offset, sqe.len, &cqe.actual);
+      break;
+    case AioOp::kWrite:
+      cqe.status = Write(sqe.buf, sqe.offset, sqe.len, &cqe.actual);
+      break;
+    case AioOp::kFlush:
+      cqe.status = Flush();
+      break;
+  }
+  cq_.push_back(cqe);
+}
+
+void LinuxIdeDev::RunMerged(const std::vector<const AioSqe*>& run, bool write) {
+  constexpr uint32_t kSector = DiskHw::kSectorSize;
+  size_t total = 0;
+  for (const AioSqe* s : run) {
+    total += s->len;
+  }
+  std::vector<uint8_t> bounce(total);
+  if (write) {
+    size_t off = 0;
+    for (const AioSqe* s : run) {
+      std::memcpy(bounce.data() + off, s->buf, s->len);
+      off += s->len;
+    }
+  }
+  uint64_t lba = run.front()->offset / kSector;
+  Error err = ide_do_request(&drive_, lba, static_cast<uint32_t>(total / kSector),
+                             bounce.data(), write);
+  ++ring_merges_;
+  ring_merged_ += run.size();
+  size_t off = 0;
+  for (const AioSqe* s : run) {
+    if (!write && Ok(err)) {
+      std::memcpy(s->buf, bounce.data() + off, s->len);
+    }
+    off += s->len;
+    cq_.push_back(AioCqe{s->tag, err, Ok(err) ? s->len : 0});
+  }
+}
+
+Error LinuxIdeDev::Submit(const AioSqe* sqes, size_t count, size_t* out_accepted) {
+  *out_accepted = 0;
+  if (sqes == nullptr && count != 0) {
+    return Error::kInval;
+  }
+  // Backpressure: never let unreaped completions exceed the ring depth.
+  size_t space = kRingDepth > cq_.size() ? kRingDepth - cq_.size() : 0;
+  size_t accepted = count < space ? count : space;
+  ring_sqes_ += accepted;
+
+  constexpr uint32_t kSector = DiskHw::kSectorSize;
+  uint64_t disk_bytes = drive_.hw->sector_count() * kSector;
+  std::vector<const AioSqe*> reads;
+  std::vector<const AioSqe*> writes;
+  std::vector<const AioSqe*> odd;      // unaligned/oversized: slow byte path
+  std::vector<const AioSqe*> flushes;  // barriers: after every data op
+  for (size_t i = 0; i < accepted; ++i) {
+    const AioSqe& s = sqes[i];
+    if (s.op == AioOp::kFlush) {
+      flushes.push_back(&s);
+      continue;
+    }
+    bool mergeable = s.offset % kSector == 0 && s.len % kSector == 0 &&
+                     s.len != 0 && s.len / kSector <= 64 &&
+                     s.offset <= disk_bytes && s.len <= disk_bytes - s.offset;
+    if (!mergeable) {
+      odd.push_back(&s);  // CompleteSqe applies the usual bounds discipline
+    } else if (s.op == AioOp::kWrite) {
+      writes.push_back(&s);
+    } else {
+      reads.push_back(&s);
+    }
+  }
+
+  // Stable: two SQEs on the same LBA keep submission order.
+  auto by_lba = [](const AioSqe* a, const AioSqe* b) {
+    return a->offset < b->offset;
+  };
+  auto schedule = [&](std::vector<const AioSqe*>& v, bool write) {
+    std::stable_sort(v.begin(), v.end(), by_lba);
+    size_t i = 0;
+    while (i < v.size()) {
+      size_t j = i + 1;
+      size_t sectors = v[i]->len / kSector;
+      while (j < v.size() &&
+             v[j]->offset == v[j - 1]->offset + v[j - 1]->len &&
+             sectors + v[j]->len / kSector <= 64) {
+        sectors += v[j]->len / kSector;
+        ++j;
+      }
+      if (j - i == 1) {
+        CompleteSqe(*v[i]);
+      } else {
+        RunMerged(std::vector<const AioSqe*>(v.begin() + i, v.begin() + j),
+                  write);
+      }
+      i = j;
+    }
+  };
+  schedule(writes, /*write=*/true);
+  schedule(reads, /*write=*/false);
+  for (const AioSqe* s : odd) {
+    CompleteSqe(*s);
+  }
+  for (const AioSqe* s : flushes) {
+    CompleteSqe(*s);
+  }
+  *out_accepted = accepted;
+  return Error::kOk;
+}
+
+Error LinuxIdeDev::Reap(AioCqe* out_cqes, size_t cap, size_t* out_count) {
+  size_t n = 0;
+  while (n < cap && !cq_.empty()) {
+    out_cqes[n++] = cq_.front();
+    cq_.pop_front();
+  }
+  *out_count = n;
   return Error::kOk;
 }
 

@@ -171,16 +171,28 @@ Error ReadPartitions(BlkIo* disk, std::vector<Partition>* out) {
 
 namespace {
 
-// BlkIo view of a sector extent of an underlying disk.
-class PartitionView final : public BlkIo, public RefCounted<PartitionView> {
+// BlkIo view of a sector extent of an underlying disk.  Exposes the
+// underlying disk's BlkIoBarrier when it has one, so flush semantics
+// propagate through partition-backed stacks (striping over partition views
+// must be able to reach every DiskHw's write cache).
+class PartitionView final : public BlkIo,
+                            public BlkIoBarrier,
+                            public RefCounted<PartitionView> {
  public:
   PartitionView(ComPtr<BlkIo> disk, uint64_t start_byte, uint64_t byte_count)
-      : disk_(std::move(disk)), start_(start_byte), count_(byte_count) {}
+      : disk_(std::move(disk)), start_(start_byte), count_(byte_count) {
+    barrier_ = ComPtr<BlkIoBarrier>::FromQuery(disk_.get());
+  }
 
   Error Query(const Guid& iid, void** out) override {
     if (iid == IUnknown::kIid || iid == BlkIo::kIid) {
       AddRef();
       *out = static_cast<BlkIo*>(this);
+      return Error::kOk;
+    }
+    if (iid == BlkIoBarrier::kIid && barrier_) {
+      AddRef();
+      *out = static_cast<BlkIoBarrier*>(this);
       return Error::kOk;
     }
     *out = nullptr;
@@ -196,7 +208,12 @@ class PartitionView final : public BlkIo, public RefCounted<PartitionView> {
       return Error::kOutOfRange;
     }
     size_t n = amount;
-    if (offset + n > count_) {
+    // Subtraction form: `offset + n` can wrap for a hostile `amount`, which
+    // would pass a huge range straight through to the underlying disk.
+    if (n > count_ - offset) {
+      if (offset + n < offset) {
+        return Error::kInval;
+      }
       n = count_ - offset;
     }
     return disk_->Read(buf, start_ + offset, n, out_actual);
@@ -209,7 +226,10 @@ class PartitionView final : public BlkIo, public RefCounted<PartitionView> {
       return Error::kOutOfRange;
     }
     size_t n = amount;
-    if (offset + n > count_) {
+    if (n > count_ - offset) {
+      if (offset + n < offset) {
+        return Error::kInval;  // wrapped range (see Read)
+      }
       n = count_ - offset;
     }
     return disk_->Write(buf, start_ + offset, n, out_actual);
@@ -222,11 +242,14 @@ class PartitionView final : public BlkIo, public RefCounted<PartitionView> {
 
   Error SetSize(off_t64) override { return Error::kNotImpl; }
 
+  Error Flush() override { return barrier_ ? barrier_->Flush() : Error::kOk; }
+
  private:
   friend class RefCounted<PartitionView>;
   ~PartitionView() = default;
 
   ComPtr<BlkIo> disk_;
+  ComPtr<BlkIoBarrier> barrier_;
   uint64_t start_;
   uint64_t count_;
 };

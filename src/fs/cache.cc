@@ -68,6 +68,11 @@ Error BlockCache::EvictOne() {
     uint32_t victim = *it;
     auto pos = entries_.find(victim);
     OSKIT_ASSERT(pos != entries_.end());
+    if (pos->second.refs > 0) {
+      // A GetRef pointer is outstanding; even a clean entry must keep its
+      // storage alive until PutRef.
+      continue;
+    }
     if (pos->second.dirty && pin_ && pin_(victim)) {
       continue;
     }
@@ -81,8 +86,9 @@ Error BlockCache::EvictOne() {
     entries_.erase(pos);
     return Error::kOk;
   }
-  // Every cached block is pinned dirty: the transaction outgrew the cache.
-  // Surface it; the filesystem falls back to a non-journaled writeback.
+  // Every cached block is unevictable (pinned dirty by an open transaction,
+  // or exported via GetRef): the working set outgrew the cache.  Surface it;
+  // the filesystem falls back to a non-journaled writeback.
   return Error::kBusy;
 }
 
@@ -217,14 +223,171 @@ Error BlockCache::Invalidate(uint32_t block) {
     // DropDirty.
     return Error::kBusy;
   }
+  if (it->second.refs > 0) {
+    return Error::kBusy;  // a GetRef pointer still aliases the storage
+  }
   Remove(block);
   return Error::kOk;
 }
 
-void BlockCache::DropDirty(uint32_t block) { Remove(block); }
+void BlockCache::DropDirty(uint32_t block) {
+  auto it = entries_.find(block);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.refs > 0) {
+    // A zero-copy reader still holds the bytes.  Keep the entry (clean) so
+    // the exported pointer stays valid; the block is dead to the filesystem
+    // either way, and readers observing stale bytes is the documented
+    // sendfile race, not a safety problem.
+    it->second.dirty = false;
+    return;
+  }
+  Remove(block);
+}
+
+Error BlockCache::GetRef(uint32_t block, const uint8_t** out_data) {
+  uint8_t* data = nullptr;
+  Error err = Get(block, &data);
+  if (!Ok(err)) {
+    return err;
+  }
+  auto it = entries_.find(block);
+  OSKIT_ASSERT(it != entries_.end());
+  ++it->second.refs;
+  // The pointer is pin-stable: Entry.data's heap buffer never moves on map
+  // rehash, and EvictOne/DropDirty skip entries with refs > 0.
+  *out_data = data;
+  return Error::kOk;
+}
+
+void BlockCache::PutRef(uint32_t block) {
+  auto it = entries_.find(block);
+  OSKIT_ASSERT_MSG(it != entries_.end() && it->second.refs > 0,
+                   "PutRef without a matching GetRef");
+  --it->second.refs;
+}
 
 void BlockCache::SetEvictionPin(std::function<bool(uint32_t)> pin) {
   pin_ = std::move(pin);
+}
+
+// ---------------------------------------------------------------------------
+// CacheBlkIo
+// ---------------------------------------------------------------------------
+
+CacheBlkIo::CacheBlkIo(ComPtr<BlkIo> below, uint32_t block_size,
+                       size_t capacity, trace::TraceEnv* trace)
+    : cache_(std::move(below), block_size, capacity, trace) {}
+
+ComPtr<CacheBlkIo> CacheBlkIo::Create(BlkIo* below, uint32_t block_size,
+                                      size_t capacity,
+                                      trace::TraceEnv* trace) {
+  OSKIT_ASSERT(below != nullptr);
+  off_t64 size = 0;
+  OSKIT_ASSERT(Ok(below->GetSize(&size)));
+  auto layer = ComPtr<CacheBlkIo>(new CacheBlkIo(
+      ComPtr<BlkIo>::Retain(below), block_size, capacity, trace));
+  // Whole cache blocks only: a ragged tail would need read-modify-write of
+  // a partial device block, which the cache does not do.
+  layer->size_ = (size / block_size) * block_size;
+  return layer;
+}
+
+Error CacheBlkIo::Query(const Guid& iid, void** out) {
+  if (iid == IUnknown::kIid || iid == BlkIo::kIid) {
+    AddRef();
+    *out = static_cast<BlkIo*>(this);
+    return Error::kOk;
+  }
+  if (iid == BlkIoBarrier::kIid) {
+    AddRef();
+    *out = static_cast<BlkIoBarrier*>(this);
+    return Error::kOk;
+  }
+  *out = nullptr;
+  return Error::kNoInterface;
+}
+
+Error CacheBlkIo::Read(void* buf, off_t64 offset, size_t amount,
+                       size_t* out_actual) {
+  *out_actual = 0;
+  if (offset > size_) {
+    return Error::kOutOfRange;
+  }
+  if (amount > size_ - offset) {
+    if (offset + amount < offset) {
+      return Error::kInval;  // shared wrap discipline (tests/bounds_abuse.h)
+    }
+    amount = size_ - offset;
+  }
+  auto* out = static_cast<uint8_t*>(buf);
+  const uint32_t bs = cache_.block_size();
+  size_t done = 0;
+  while (done < amount) {
+    off_t64 at = offset + done;
+    auto block = static_cast<uint32_t>(at / bs);
+    uint32_t in_block = static_cast<uint32_t>(at % bs);
+    size_t span = bs - in_block;
+    if (span > amount - done) {
+      span = amount - done;
+    }
+    uint8_t* data = nullptr;
+    Error err = cache_.Get(block, &data);
+    if (!Ok(err)) {
+      *out_actual = done;
+      return err;
+    }
+    std::memcpy(out + done, data + in_block, span);
+    done += span;
+  }
+  *out_actual = done;
+  return Error::kOk;
+}
+
+Error CacheBlkIo::Write(const void* buf, off_t64 offset, size_t amount,
+                        size_t* out_actual) {
+  *out_actual = 0;
+  if (offset > size_) {
+    return Error::kOutOfRange;
+  }
+  if (amount > size_ - offset) {
+    if (offset + amount < offset) {
+      return Error::kInval;  // wrapped range (see Read)
+    }
+    amount = size_ - offset;
+  }
+  const auto* in = static_cast<const uint8_t*>(buf);
+  const uint32_t bs = cache_.block_size();
+  size_t done = 0;
+  while (done < amount) {
+    off_t64 at = offset + done;
+    auto block = static_cast<uint32_t>(at / bs);
+    uint32_t in_block = static_cast<uint32_t>(at % bs);
+    size_t span = bs - in_block;
+    if (span > amount - done) {
+      span = amount - done;
+    }
+    uint8_t* data = nullptr;
+    Error err = cache_.Get(block, &data);
+    if (!Ok(err)) {
+      *out_actual = done;
+      return err;
+    }
+    std::memcpy(data + in_block, in + done, span);
+    cache_.MarkDirty(block);
+    done += span;
+  }
+  *out_actual = done;
+  return Error::kOk;
+}
+
+Error CacheBlkIo::Flush() {
+  Error err = cache_.Sync();
+  if (!Ok(err)) {
+    return err;
+  }
+  return cache_.Barrier();
 }
 
 }  // namespace oskit::fs

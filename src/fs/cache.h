@@ -84,6 +84,13 @@ class BlockCache {
   // write precedes the commit record.  Clean blocks always evict.
   void SetEvictionPin(std::function<bool(uint32_t)> pin);
 
+  // Zero-copy export (the FFS sendfile path): pins the block's cached
+  // contents and returns a pointer that stays valid — the entry is never
+  // evicted and its heap storage never moves — until the matching PutRef.
+  // Unlike Get's pointer, this one survives later cache calls.
+  Error GetRef(uint32_t block, const uint8_t** out_data);
+  void PutRef(uint32_t block);
+
   const Counters& counters() const { return counters_; }
   uint64_t hits() const { return counters_.hits; }
   uint64_t misses() const { return counters_.misses; }
@@ -93,6 +100,7 @@ class BlockCache {
   struct Entry {
     std::vector<uint8_t> data;
     bool dirty = false;
+    uint32_t refs = 0;  // GetRef pins outstanding; never evicted while > 0
     std::list<uint32_t>::iterator lru_pos;
   };
 
@@ -111,6 +119,47 @@ class BlockCache {
   trace::TraceEnv* trace_;
   Counters counters_;
   trace::CounterBlock trace_binding_;
+};
+
+// The block cache as just another stackable layer: a BlkIo + BlkIoBarrier
+// facade over an embedded BlockCache, so `cache(checksum(stripe(...)))` and
+// every other composition order work with the same object the filesystem
+// has always used.  Flush() is the layer spelling of the cache's durability
+// pair: Sync() (write back all dirty blocks, ascending) then Barrier().
+class CacheBlkIo final : public BlkIo,
+                         public BlkIoBarrier,
+                         public RefCounted<CacheBlkIo> {
+ public:
+  static ComPtr<CacheBlkIo> Create(BlkIo* below, uint32_t block_size,
+                                   size_t capacity = 256,
+                                   trace::TraceEnv* trace = nullptr);
+
+  Error Query(const Guid& iid, void** out) override;
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  uint32_t GetBlockSize() override { return cache_.block_size(); }
+  Error Read(void* buf, off_t64 offset, size_t amount,
+             size_t* out_actual) override;
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override;
+  Error GetSize(off_t64* out_size) override {
+    *out_size = size_;
+    return Error::kOk;
+  }
+  Error SetSize(off_t64) override { return Error::kNotImpl; }
+
+  Error Flush() override;
+
+  BlockCache& cache() { return cache_; }
+
+ private:
+  friend class RefCounted<CacheBlkIo>;
+  CacheBlkIo(ComPtr<BlkIo> below, uint32_t block_size, size_t capacity,
+             trace::TraceEnv* trace);
+  ~CacheBlkIo() = default;
+
+  BlockCache cache_;
+  off_t64 size_ = 0;
 };
 
 }  // namespace oskit::fs

@@ -759,7 +759,10 @@ Error Offs::FileReadAt(uint64_t ino, void* buf, uint64_t offset, size_t amount,
   if (offset >= inode.size) {
     return Error::kOk;  // EOF
   }
-  if (offset + amount > inode.size) {
+  if (amount > inode.size - offset) {
+    if (offset + amount < offset) {
+      return Error::kInval;  // wrapped range, not a short read
+    }
     amount = inode.size - offset;
   }
   auto* out = static_cast<uint8_t*>(buf);
@@ -799,6 +802,9 @@ Error Offs::FileWriteAt(uint64_t ino, const void* buf, uint64_t offset, size_t a
   Error err = ReadInode(ino, &inode);
   if (!Ok(err)) {
     return err;
+  }
+  if (offset + amount < offset) {
+    return Error::kInval;  // wrapped range: would loop allocating forever
   }
   // Directory contents are metadata: a half-applied dirent write is exactly
   // the orphan/corruption class the journal exists to prevent.  Regular

@@ -2,8 +2,10 @@
 // (single pathname components) of §3.8.
 
 #include <cstring>
+#include <vector>
 
 #include "src/base/panic.h"
+#include "src/com/bufio.h"
 #include "src/fs/ffs.h"
 #include "src/libc/string.h"
 
@@ -38,6 +40,167 @@ class OffsDir;
 
 File* WrapInode(const ComPtr<Offs>& fs, uint64_t ino, uint16_t mode);
 
+// Shared all-zero block backing file holes in a Vectors() view: a hole has
+// no disk block to pin, so every hole segment points here.
+const uint8_t* ZeroBlock() {
+  static const uint8_t kZeros[kBlockSize] = {};
+  return kZeros;
+}
+
+// BufIoVec tear-off over a regular file — the sendfile source.  Vectors()
+// maps the byte range through BMap and pins each covered block in the block
+// cache (BlockCache::GetRef), handing out pointers directly into the cache's
+// own storage; the network stack grafts those pointers into external-storage
+// mbufs and the bytes reach the wire without ever being copied.  The pin is
+// dropped by UnmapVectors once TCP has acknowledged delivery.
+class FileVec final : public BufIoVec, public RefCounted<FileVec> {
+ public:
+  FileVec(ComPtr<Offs> fs, uint64_t ino) : fs_(std::move(fs)), ino_(ino) {}
+
+  Error Query(const Guid& iid, void** out) override {
+    if (iid == IUnknown::kIid || iid == BlkIo::kIid || iid == BufIo::kIid ||
+        iid == BufIoVec::kIid) {
+      AddRef();
+      *out = static_cast<BufIoVec*>(this);
+      return Error::kOk;
+    }
+    *out = nullptr;
+    return Error::kNoInterface;
+  }
+  OSKIT_REFCOUNTED_BOILERPLATE()
+
+  // BlkIo surface (byte-granular: a file has no device alignment demands).
+  uint32_t GetBlockSize() override { return 1; }
+  Error Read(void* buf, off_t64 offset, size_t amount, size_t* out_actual) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    return fs_->FileReadAt(ino_, buf, offset, amount, out_actual);
+  }
+  Error Write(const void* buf, off_t64 offset, size_t amount,
+              size_t* out_actual) override {
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    return fs_->FileWriteAt(ino_, buf, offset, amount, out_actual);
+  }
+  Error GetSize(off_t64* out_size) override {
+    DiskInode inode;
+    Error err = fs_->ReadInode(ino_, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    *out_size = inode.size;
+    return Error::kOk;
+  }
+  Error SetSize(off_t64) override { return Error::kNotImpl; }
+
+  // BufIo surface.  A file's bytes are scattered across cache blocks, so a
+  // single contiguous Map is only honest within one block — callers wanting
+  // more use Vectors; kNotImpl keeps them on that path.
+  Error Map(void**, off_t64, size_t) override { return Error::kNotImpl; }
+  Error Unmap(void*, off_t64, size_t) override { return Error::kInval; }
+  Error Wire() override { return Error::kOk; }
+  Error Unwire() override { return Error::kOk; }
+
+  // BufIoVec surface.
+  Error Vectors(BufIoSegment* out_segs, size_t cap, off_t64 offset,
+                size_t amount, size_t* out_count) override {
+    *out_count = 0;
+    if (fs_->unmounted()) {
+      return Error::kBadF;
+    }
+    DiskInode inode;
+    Error err = fs_->ReadInode(ino_, &inode);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (offset > inode.size || amount > inode.size - offset) {
+      return Error::kOutOfRange;
+    }
+    if (amount == 0) {
+      return Error::kOk;
+    }
+    uint32_t first_fb = static_cast<uint32_t>(offset / kBlockSize);
+    uint32_t last_fb = static_cast<uint32_t>((offset + amount - 1) / kBlockSize);
+    if (static_cast<size_t>(last_fb - first_fb) + 1 > cap) {
+      return Error::kNotImpl;  // range needs more pieces than the caller holds
+    }
+    Pin pin{offset, amount, {}};
+    size_t produced = 0;
+    uint64_t cur = offset;
+    size_t remaining = amount;
+    for (uint32_t fb = first_fb; fb <= last_fb; ++fb) {
+      uint32_t disk_block = 0;
+      err = fs_->BMap(ino_, &inode, fb, /*alloc=*/false, &disk_block);
+      if (Ok(err)) {
+        size_t in_block = static_cast<size_t>(cur % kBlockSize);
+        size_t take = kBlockSize - in_block;
+        if (take > remaining) {
+          take = remaining;
+        }
+        const uint8_t* data = nullptr;
+        if (disk_block == 0) {
+          data = ZeroBlock();  // hole: nothing on disk to pin
+        } else {
+          err = fs_->cache().GetRef(disk_block, &data);
+          if (Ok(err)) {
+            pin.blocks.push_back(disk_block);
+          }
+        }
+        if (Ok(err)) {
+          out_segs[produced++] = {data + in_block, take};
+          cur += take;
+          remaining -= take;
+        }
+      }
+      if (!Ok(err)) {
+        for (uint32_t pinned : pin.blocks) {
+          fs_->cache().PutRef(pinned);
+        }
+        return err;
+      }
+    }
+    pins_.push_back(std::move(pin));
+    *out_count = produced;
+    return Error::kOk;
+  }
+
+  Error UnmapVectors(off_t64 offset, size_t amount) override {
+    for (auto it = pins_.begin(); it != pins_.end(); ++it) {
+      if (it->offset == offset && it->amount == amount) {
+        for (uint32_t block : it->blocks) {
+          fs_->cache().PutRef(block);
+        }
+        pins_.erase(it);
+        return Error::kOk;
+      }
+    }
+    return Error::kInval;
+  }
+
+ private:
+  friend class RefCounted<FileVec>;
+  ~FileVec() {
+    // A dropped object releases whatever its clients forgot to.
+    for (const Pin& pin : pins_) {
+      for (uint32_t block : pin.blocks) {
+        fs_->cache().PutRef(block);
+      }
+    }
+  }
+
+  struct Pin {
+    off_t64 offset;
+    size_t amount;
+    std::vector<uint32_t> blocks;
+  };
+
+  ComPtr<Offs> fs_;
+  uint64_t ino_;
+  std::vector<Pin> pins_;
+};
+
 class OffsFile final : public File, public RefCounted<OffsFile> {
  public:
   OffsFile(ComPtr<Offs> fs, uint64_t ino) : fs_(std::move(fs)), ino_(ino) {}
@@ -46,6 +209,12 @@ class OffsFile final : public File, public RefCounted<OffsFile> {
     if (iid == IUnknown::kIid || iid == File::kIid) {
       AddRef();
       *out = static_cast<File*>(this);
+      return Error::kOk;
+    }
+    if (iid == BufIo::kIid || iid == BufIoVec::kIid) {
+      // Zero-copy capability, granted as a tear-off (§4.4.2 evolution: File
+      // consumers never see it; sendfile consumers Query for it).
+      *out = static_cast<BufIoVec*>(new FileVec(fs_, ino_));
       return Error::kOk;
     }
     *out = nullptr;

@@ -80,7 +80,10 @@ struct TxnView {
 Error ReadTxnAt(BlkIo* device, const SuperBlock& sb, uint32_t pos, uint64_t seq,
                 TxnView* out) {
   uint32_t region = sb.journal_blocks;
-  if (pos < 1 || pos + 2 > region) {
+  // 64-bit arithmetic: `pos + 2` (and the n_blocks check below) must not
+  // wrap in uint32 when a scribbled superblock or header supplies huge
+  // values — the same unsigned-wrap class as the byte-range IO surfaces.
+  if (pos < 1 || static_cast<uint64_t>(pos) + 2 > region) {
     return Error::kNoEnt;
   }
   uint8_t header_block[kBlockSize];
@@ -94,7 +97,8 @@ Error ReadTxnAt(BlkIo* device, const SuperBlock& sb, uint32_t pos, uint64_t seq,
     return Error::kNoEnt;  // free space or an old lap's payload: end of chain
   }
   if (header.seq != seq || header.n_blocks == 0 ||
-      header.n_blocks > kMaxTxnTargets || pos + 2 + header.n_blocks > region) {
+      header.n_blocks > kMaxTxnTargets ||
+      static_cast<uint64_t>(pos) + 2 + header.n_blocks > region) {
     return Error::kCorrupt;
   }
   uint8_t commit_block[kBlockSize];
@@ -225,6 +229,7 @@ JournalWriter::JournalWriter(ComPtr<BlkIo> device, uint32_t journal_start,
     : device_(std::move(device)), start_(journal_start), region_(journal_blocks) {
   OSKIT_ASSERT(region_ >= kMinJournalBlocks);
   barrier_ = ComPtr<BlkIoBarrier>::FromQuery(device_.get());
+  ring_ = ComPtr<BlkIoRing>::FromQuery(device_.get());
 }
 
 Error JournalWriter::Load() {
@@ -245,6 +250,85 @@ uint32_t JournalWriter::capacity() const {
 
 Error JournalWriter::WriteRaw(uint32_t region_block, const void* data) {
   return WriteBlockRaw(device_.get(), start_ + region_block, data);
+}
+
+Error JournalWriter::WriteImages(
+    const std::vector<uint32_t>& targets,
+    const std::function<Error(uint32_t, uint8_t*)>& read_block,
+    uint64_t* out_payload_checksum) {
+  uint32_t n = static_cast<uint32_t>(targets.size());
+  uint64_t payload = 0xcbf29ce484222325ull;
+
+  if (!ring_) {
+    // Sequential fallback: one synchronous write per image.
+    uint8_t image[kBlockSize];
+    for (uint32_t i = 0; i < n; ++i) {
+      Error err = read_block(targets[i], image);
+      if (!Ok(err)) {
+        return err;
+      }
+      payload = Fnv64(image, kBlockSize, payload);
+      err = WriteRaw(next_pos_ + 1 + i, image);
+      if (!Ok(err)) {
+        return err;
+      }
+    }
+    *out_payload_checksum = payload;
+    return Error::kOk;
+  }
+
+  // Async ring: stage every image, then hand the device the whole run as
+  // one tagged submission batch.  The images land between barriers — the
+  // commit record's checksums tolerate any ordering the ring picks — and a
+  // contiguous run lets the device merge them into few controller round
+  // trips.  SQE buffers must stay valid until reaped, hence one flat arena.
+  std::vector<uint8_t> images(static_cast<size_t>(n) * kBlockSize);
+  std::vector<AioSqe> sqes(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint8_t* image = images.data() + static_cast<size_t>(i) * kBlockSize;
+    Error err = read_block(targets[i], image);
+    if (!Ok(err)) {
+      return err;
+    }
+    payload = Fnv64(image, kBlockSize, payload);
+    sqes[i].op = AioOp::kWrite;
+    sqes[i].buf = image;
+    sqes[i].offset =
+        static_cast<off_t64>(start_ + next_pos_ + 1 + i) * kBlockSize;
+    sqes[i].len = kBlockSize;
+    sqes[i].tag = i;
+  }
+
+  size_t submitted = 0;
+  size_t reaped = 0;
+  while (reaped < n) {
+    size_t accepted = 0;
+    if (submitted < n) {
+      Error err = ring_->Submit(sqes.data() + submitted, n - submitted,
+                                &accepted);
+      if (!Ok(err)) {
+        return err;
+      }
+      submitted += accepted;
+    }
+    AioCqe cqes[16];
+    size_t got = 0;
+    Error err = ring_->Reap(cqes, sizeof(cqes) / sizeof(cqes[0]), &got);
+    if (!Ok(err)) {
+      return err;
+    }
+    if (got == 0 && accepted == 0) {
+      return Error::kIo;  // ring wedged: accepting nothing, completing nothing
+    }
+    for (size_t i = 0; i < got; ++i) {
+      if (!Ok(cqes[i].status) || cqes[i].actual != kBlockSize) {
+        return Ok(cqes[i].status) ? Error::kIo : cqes[i].status;
+      }
+    }
+    reaped += got;
+  }
+  *out_payload_checksum = payload;
+  return Error::kOk;
 }
 
 Error JournalWriter::Barrier() {
@@ -284,15 +368,9 @@ Error JournalWriter::Commit(
     }
   }
 
-  uint8_t image[kBlockSize];
-  uint64_t payload = 0xcbf29ce484222325ull;
-  for (uint32_t i = 0; i < n; ++i) {
-    Error err = read_block(targets[i], image);
-    if (!Ok(err)) {
-      return err;
-    }
-    payload = Fnv64(image, kBlockSize, payload);
-    err = WriteRaw(next_pos_ + 1 + i, image);
+  uint64_t payload = 0;
+  {
+    Error err = WriteImages(targets, read_block, &payload);
     if (!Ok(err)) {
       return err;
     }

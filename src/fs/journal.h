@@ -30,6 +30,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/com/aio.h"
 #include "src/com/blkio.h"
 #include "src/fs/format.h"
 
@@ -120,13 +121,24 @@ class JournalWriter {
   uint64_t next_seq() const { return next_seq_; }
   uint32_t next_pos() const { return next_pos_; }
 
+  // True when the device granted BlkIoRing and commits batch their image
+  // writes through it (diagnostics / tests).
+  bool async() const { return static_cast<bool>(ring_); }
+
  private:
   Error WriteRaw(uint32_t region_block, const void* data);
+  // The transaction's n images as one submission batch: a ring-capable
+  // device schedules the whole contiguous run per controller round-trip.
+  // Falls back to sequential writes when the device has no ring.
+  Error WriteImages(const std::vector<uint32_t>& targets,
+                    const std::function<Error(uint32_t, uint8_t*)>& read_block,
+                    uint64_t* out_payload_checksum);
   Error WriteJsb(bool flush);
   Error Barrier();
 
   ComPtr<BlkIo> device_;
   ComPtr<BlkIoBarrier> barrier_;
+  ComPtr<BlkIoRing> ring_;
   uint32_t start_;
   uint32_t region_;
   uint32_t next_pos_ = 1;

@@ -125,6 +125,11 @@ Error BMap(BlkIo* device, const Inode& inode, uint32_t fb, uint32_t* out_block) 
 
 Error ReadRange(BlkIo* device, const Inode& inode, uint64_t offset, void* buf,
                 size_t len) {
+  // A wrapping [offset, offset+len) range would walk the file-block loop
+  // with a corrupt running offset; reject it like every other IO surface.
+  if (offset + len < offset) {
+    return Error::kInval;
+  }
   auto* dst = static_cast<uint8_t*>(buf);
   uint8_t block_data[kBlockSize];
   while (len > 0) {

@@ -50,7 +50,8 @@ Server::Server(ComPtr<SocketFactory> factory, ComPtr<NetSelector> selector,
                   {"http.bytes_out", &bytes_out_},
                   {"http.errors.bad_request", &bad_requests_},
                   {"http.errors.not_found", &not_found_},
-                  {"http.read_paused", &read_paused_}});
+                  {"http.read_paused", &read_paused_},
+                  {"http.sendfile_responses", &sendfile_responses_}});
 }
 
 Server::~Server() {
@@ -163,6 +164,9 @@ void Server::HandleListener() {
       auto* conn = new Conn;
       conn->sock = std::move(sock);
       conn->ext = std::move(ext);
+      // Optional zero-copy capability; interposed (secure-wrapped) sockets
+      // typically refuse it and those connections just copy.
+      conn->zc = ComPtr<SocketZeroCopy>::FromQuery(conn->sock.get());
       conn->interest = kNetReadable;
       err = selector_->Add(conn->sock.get(), conn->interest, /*edge=*/false,
                            conn);
@@ -196,7 +200,7 @@ void Server::HandleConn(Conn* conn, uint32_t events) {
   do {
     ProcessRequests(conn);
     Flush(conn);
-  } while (!conn->dead && conn->out_off == conn->out.size() &&
+  } while (!conn->dead && conn->out_pending == 0 &&
            conn->parser.HasRequest() && !conn->close_after);
   if (conn->dead) {
     return;
@@ -208,7 +212,7 @@ void Server::ReadInto(Conn* conn) {
   std::vector<char> chunk(config_.read_chunk);
   while (!conn->saw_eof &&
          conn->parser.status() != ParseStatus::kError &&
-         conn->out.size() - conn->out_off < config_.out_high_water) {
+         conn->out_pending < config_.out_high_water) {
     size_t actual = 0;
     Error err = conn->sock->Recv(chunk.data(), chunk.size(), &actual);
     if (err == Error::kWouldBlock) {
@@ -229,7 +233,7 @@ void Server::ReadInto(Conn* conn) {
 
 void Server::ProcessRequests(Conn* conn) {
   while (!conn->close_after && conn->parser.HasRequest() &&
-         conn->out.size() - conn->out_off < config_.out_high_water) {
+         conn->out_pending < config_.out_high_water) {
     if (!conn->inflight.empty()) {
       pipelined_ += 1;
     }
@@ -345,6 +349,7 @@ void Server::HandleRequest(Conn* conn, const Request& req) {
 
   FileStat st;
   std::string body;
+  ComPtr<BufIoVec> vec;
   Error err;
   {
     trace::ScopedSpan fs(&span_fs_read_);
@@ -353,16 +358,26 @@ void Server::HandleRequest(Conn* conn, const Request& req) {
       err = Error::kIsDir;
     }
     if (Ok(err) && !head_only) {
-      body.resize(st.size);
-      uint64_t off = 0;
-      while (Ok(err) && off < st.size) {
-        size_t actual = 0;
-        err = file->Read(body.data() + off, off,
-                         static_cast<size_t>(st.size - off), &actual);
-        if (Ok(err) && actual == 0) {
-          err = Error::kIo;  // shorter than its stat said
+      // Sendfile: when the socket can pull bytes (SocketZeroCopy) and the
+      // file can publish them (BufIoVec), stage a window into the file and
+      // skip the body read entirely — Flush streams it cache-to-wire.
+      if (config_.sendfile && conn->zc && st.size > 0) {
+        vec = ComPtr<BufIoVec>::FromQuery(file.get());
+      }
+      if (!vec && st.size > 0) {
+        // Copied path (and the read+send ablation): read the whole body
+        // through the staging buffer.
+        body.resize(st.size);
+        uint64_t off = 0;
+        while (Ok(err) && off < st.size) {
+          size_t actual = 0;
+          err = file->Read(body.data() + off, off,
+                           static_cast<size_t>(st.size - off), &actual);
+          if (Ok(err) && actual == 0) {
+            err = Error::kIo;  // shorter than its stat said
+          }
+          off += actual;
         }
-        off += actual;
       }
     }
   }
@@ -372,11 +387,20 @@ void Server::HandleRequest(Conn* conn, const Request& req) {
                   start_ns);
   } else if (head_only) {
     // HEAD: full Content-Length, no body bytes.
-    conn->out += FormatResponseHead(200, nullptr, st.size,
-                                    ContentTypeFor(path), req.keep_alive);
-    conn->staged_total = conn->sent_total + (conn->out.size() - conn->out_off);
-    conn->inflight.push_back({conn->staged_total, start_ns});
-    responses_ += 1;
+    StageBytes(conn, FormatResponseHead(200, nullptr, st.size,
+                                        ContentTypeFor(path), req.keep_alive));
+    FinishResponse(conn, start_ns);
+  } else if (vec) {
+    StageBytes(conn, FormatResponseHead(200, nullptr, st.size,
+                                        ContentTypeFor(path), req.keep_alive));
+    OutChunk chunk;
+    chunk.file = std::move(vec);
+    chunk.file_off = 0;
+    chunk.len = static_cast<size_t>(st.size);
+    conn->out_pending += chunk.len;
+    conn->outq.push_back(std::move(chunk));
+    sendfile_responses_ += 1;
+    FinishResponse(conn, start_ns);
   } else {
     StageResponse(conn, 200, body, ContentTypeFor(path), req.keep_alive,
                   /*head_only=*/false, start_ns);
@@ -386,26 +410,61 @@ void Server::HandleRequest(Conn* conn, const Request& req) {
   }
 }
 
-void Server::StageResponse(Conn* conn, int status, const std::string& body,
-                           const char* content_type, bool keep_alive,
-                           bool head_only, uint64_t start_ns) {
-  conn->out += FormatResponseHead(status, nullptr, body.size(), content_type,
-                                  keep_alive);
-  if (!head_only) {
-    conn->out += body;
+void Server::StageBytes(Conn* conn, std::string bytes) {
+  if (bytes.empty()) {
+    return;
   }
-  conn->staged_total = conn->sent_total + (conn->out.size() - conn->out_off);
+  conn->out_pending += bytes.size();
+  // Extend the tail chunk when it is also literal bytes: keeps pipelined
+  // small responses in one Send call instead of one per header/body piece.
+  if (!conn->outq.empty() && !conn->outq.back().file) {
+    conn->outq.back().bytes += bytes;
+    conn->outq.back().len = conn->outq.back().bytes.size();
+    return;
+  }
+  OutChunk chunk;
+  chunk.len = bytes.size();
+  chunk.bytes = std::move(bytes);
+  conn->outq.push_back(std::move(chunk));
+}
+
+void Server::FinishResponse(Conn* conn, uint64_t start_ns) {
+  conn->staged_total = conn->sent_total + conn->out_pending;
   conn->inflight.push_back({conn->staged_total, start_ns});
   responses_ += 1;
 }
 
+void Server::StageResponse(Conn* conn, int status, const std::string& body,
+                           const char* content_type, bool keep_alive,
+                           bool head_only, uint64_t start_ns) {
+  std::string staged = FormatResponseHead(status, nullptr, body.size(),
+                                          content_type, keep_alive);
+  if (!head_only) {
+    staged += body;
+  }
+  StageBytes(conn, std::move(staged));
+  FinishResponse(conn, start_ns);
+}
+
 void Server::Flush(Conn* conn) {
-  while (conn->out_off < conn->out.size()) {
+  while (!conn->outq.empty()) {
+    OutChunk& chunk = conn->outq.front();
+    if (chunk.sent == chunk.len) {
+      conn->outq.pop_front();
+      continue;
+    }
     size_t actual = 0;
-    Error err = conn->sock->Send(conn->out.data() + conn->out_off,
-                                 conn->out.size() - conn->out_off, &actual);
+    Error err;
+    if (chunk.file) {
+      err = conn->zc->SendBufIo(chunk.file.get(), chunk.file_off + chunk.sent,
+                                chunk.len - chunk.sent, &actual);
+    } else {
+      err = conn->sock->Send(chunk.bytes.data() + chunk.sent,
+                             chunk.len - chunk.sent, &actual);
+    }
     if (Ok(err)) {
-      conn->out_off += actual;
+      chunk.sent += actual;
+      conn->out_pending -= actual;
       conn->sent_total += actual;
       bytes_out_ += actual;
       if (actual == 0) {
@@ -425,27 +484,20 @@ void Server::Flush(Conn* conn) {
     span_request_.AddSample(now >= start ? now - start : 0);
     conn->inflight.pop_front();
   }
-  if (conn->out_off == conn->out.size()) {
-    conn->out.clear();
-    conn->out_off = 0;
-  } else if (conn->out_off > 64 * 1024) {
-    conn->out.erase(0, conn->out_off);
-    conn->out_off = 0;
-  }
 }
 
 void Server::UpdateInterest(Conn* conn) {
   if (stopping_) {
     conn->close_after = true;
   }
-  bool out_pending = conn->out_off < conn->out.size();
+  bool out_pending = conn->out_pending > 0;
   if (conn->close_after && !out_pending) {
     CloseConn(conn);
     return;
   }
   uint32_t desired = 0;
   if (!conn->close_after && !conn->saw_eof &&
-      conn->out.size() - conn->out_off < config_.out_high_water) {
+      conn->out_pending < config_.out_high_water) {
     desired |= kNetReadable;
   } else if ((conn->interest & kNetReadable) != 0 && !conn->close_after &&
              !conn->saw_eof) {
@@ -486,7 +538,7 @@ void Server::BeginStopping() {
   // Idle connections never produce another event; close them now.  Draining
   // ones (the quit response itself, slow readers mid-flush) finish first.
   for (Conn* conn : conns_) {
-    if (!conn->dead && conn->out_off == conn->out.size()) {
+    if (!conn->dead && conn->out_pending == 0) {
       CloseConn(conn);
     }
   }

@@ -48,6 +48,10 @@ class Server {
     // Requests to this target shut the server down cleanly (responds 200,
     // stops accepting, drains in-flight responses).  Empty disables.
     std::string quit_path = "/__quit";
+    // Serve static bodies zero-copy when the file grants BufIoVec and the
+    // socket grants SocketZeroCopy (sendfile).  Off = the counted read+send
+    // ablation: every body byte is copied through the staging buffer.
+    bool sendfile = true;
     trace::TraceEnv* trace = nullptr;  // null = process default
     // Simulated-time source for per-request latency spans; spans record 0 ns
     // when unset.
@@ -86,14 +90,26 @@ class Server {
   bool stopping() const { return stopping_; }
 
  private:
+  // One staged piece of a connection's output: either literal bytes
+  // (headers, dynamic/copied bodies) or a window into a BufIoVec file that
+  // Flush pushes through SocketZeroCopy::SendBufIo without staging a copy.
+  struct OutChunk {
+    std::string bytes;        // literal form (when `file` is null)
+    ComPtr<BufIoVec> file;    // sendfile form
+    uint64_t file_off = 0;    // file byte the chunk starts at
+    size_t len = 0;           // total chunk length
+    size_t sent = 0;          // bytes already accepted by the socket
+  };
+
   struct Conn {
     ComPtr<Socket> sock;
     ComPtr<SocketExt> ext;
+    ComPtr<SocketZeroCopy> zc;  // null: socket can't sendfile
     RequestParser parser;
-    std::string out;          // staged response bytes not yet accepted by Send
-    size_t out_off = 0;       // bytes of `out` already sent
+    std::deque<OutChunk> outq;  // staged output not yet accepted by the socket
+    size_t out_pending = 0;     // unsent bytes across outq
     uint64_t sent_total = 0;  // lifetime bytes accepted by Send
-    uint64_t staged_total = 0;  // lifetime bytes appended to `out`
+    uint64_t staged_total = 0;  // lifetime bytes staged
     // In-flight responses: span closes when sent_total reaches `end`.
     struct PendingReq {
       uint64_t end;
@@ -114,6 +130,8 @@ class Server {
   void StageResponse(Conn* conn, int status, const std::string& body,
                      const char* content_type, bool keep_alive, bool head_only,
                      uint64_t start_ns);
+  void StageBytes(Conn* conn, std::string bytes);
+  void FinishResponse(Conn* conn, uint64_t start_ns);
   void Flush(Conn* conn);
   void UpdateInterest(Conn* conn);
   void CloseConn(Conn* conn);
@@ -144,6 +162,7 @@ class Server {
   trace::Counter bad_requests_;
   trace::Counter not_found_;
   trace::Counter read_paused_;
+  trace::Counter sendfile_responses_;  // static bodies staged zero-copy
   trace::CounterBlock counters_;
 
   trace::SpanSite span_wait_;

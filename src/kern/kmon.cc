@@ -373,12 +373,34 @@ void KernelMonitor::CmdMon() {
   }
 }
 
+void KernelMonitor::CmdAio() {
+  // The async-storage slice of the counter registry: the stackable layers
+  // (aio.*), the IDE glue's native ring, and the journal's commit path.
+  trace::CounterRegistry& registry = kernel_->trace().registry;
+  size_t shown = 0;
+  for (const char* prefix : {"aio.", "glue.ide.ring", "fs.journal"}) {
+    registry.ForEach(
+        [this, &shown](const char* name, uint64_t value, bool gauge) {
+          Print("%-32s %12llu%s\n", name,
+                static_cast<unsigned long long>(value), gauge ? " (gauge)" : "");
+          ++shown;
+        },
+        prefix);
+  }
+  if (shown == 0) {
+    Print("no async-storage counters registered\n");
+  }
+  if (aio_) {
+    aio_([this](const char* line) { Print("%s\n", line); });
+  }
+}
+
 void KernelMonitor::CmdHelp() {
   Print("kmon commands: r regs | m addr [len] | w addr byte | t vaddr | "
         "counters [prefix] | trace dump|clear | hot | "
         "fault [arm|disarm|seed] | "
         "nicmit [idx threshold holdoff_us] | netstat | tenants | mon | "
-        "s step | c continue | halt | help\n");
+        "aio | s step | c continue | halt | help\n");
 }
 
 void KernelMonitor::Enter(TrapFrame& frame) {
@@ -420,6 +442,8 @@ void KernelMonitor::Enter(TrapFrame& frame) {
       CmdTenants();
     } else if (cmd == "mon") {
       CmdMon();
+    } else if (cmd == "aio") {
+      CmdAio();
     } else if (cmd == "s") {
       step_requested_ = true;
       return;

@@ -30,6 +30,9 @@
 //   mon               dump the memory monitor: protection-map summary,
 //                     mon.* violation counters, and the last-N violation
 //                     sites (domain/principal, address, access type)
+//   aio               dump the async-storage counters (aio.*, the IDE
+//                     glue's ring, fs.journal.*) plus any attached
+//                     per-device ring occupancy lines
 //   help              list commands
 //
 // Input/output go through the base console, so it works on whatever the
@@ -76,6 +79,13 @@ class KernelMonitor {
   using TenantsSource = NetstatSource;
   void SetTenantsSource(TenantsSource source) { tenants_ = std::move(source); }
 
+  // Optional: extends the 'aio' command with live per-device ring lines
+  // (occupancy, depth) — the counter summary works without it.  The owner
+  // plugs in a dumper over its BlkIoRing devices; the monitor cannot link
+  // the device layer (layering once more).
+  using AioSource = NetstatSource;
+  void SetAioSource(AioSource source) { aio_ = std::move(source); }
+
   bool halted() const { return halted_; }
   bool step_requested() const { return step_requested_; }
   uint64_t commands_handled() const { return commands_handled_; }
@@ -95,6 +105,7 @@ class KernelMonitor {
   void CmdNetstat();
   void CmdTenants();
   void CmdMon();
+  void CmdAio();
   void CmdHelp();
 
   KernelEnv* kernel_;
@@ -102,6 +113,7 @@ class KernelMonitor {
   PageDirectory* page_dir_ = nullptr;
   NetstatSource netstat_;
   TenantsSource tenants_;
+  AioSource aio_;
   bool halted_ = false;
   bool step_requested_ = false;
   uint64_t commands_handled_ = 0;

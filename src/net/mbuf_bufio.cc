@@ -36,6 +36,9 @@ Error MbufBufIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actu
     return Error::kOutOfRange;
   }
   size_t avail = total - static_cast<size_t>(offset);
+  if (amount > avail && offset + amount < offset) {
+    return Error::kInval;  // wrapped range, not a short read
+  }
   size_t n = amount < avail ? amount : avail;
   pool_->CopyData(chain_, offset, n, buf);
   *out_actual = n;
@@ -44,9 +47,57 @@ Error MbufBufIo::Read(void* buf, off_t64 offset, size_t amount, size_t* out_actu
 
 Error MbufBufIo::Write(const void* buf, off_t64 offset, size_t amount,
                        size_t* out_actual) {
-  // Packets in flight are immutable from outside the component.
   *out_actual = 0;
-  return Error::kNotImpl;
+  size_t total = chain_->pkt_len;
+  if (offset > total) {
+    return Error::kOutOfRange;
+  }
+  size_t avail = total - static_cast<size_t>(offset);
+  if (amount > avail && offset + amount < offset) {
+    return Error::kInval;
+  }
+  size_t n = amount < avail ? amount : avail;
+  // The chain invariant forbids writing through shared storage (Split /
+  // CopyChain create refs>1 aliases); a write that would scribble another
+  // packet's bytes is refused whole rather than applied partially.
+  off_t64 off = offset;
+  const MBuf* m = chain_;
+  while (m != nullptr && off >= m->len) {
+    off -= m->len;
+    m = m->next;
+  }
+  size_t remaining = n;
+  for (const MBuf* probe = m; remaining > 0; probe = probe->next) {
+    OSKIT_ASSERT(probe != nullptr);
+    size_t covered = probe->len - static_cast<size_t>(off);
+    if (probe->ext != nullptr && probe->ext->refs > 1 && probe->len > 0) {
+      return Error::kBusy;
+    }
+    remaining -= covered < remaining ? covered : remaining;
+    off = 0;
+  }
+  // Spanning write: fill each covered mbuf's window in turn.
+  off = offset;
+  MBuf* w = chain_;
+  while (w != nullptr && off >= w->len) {
+    off -= w->len;
+    w = w->next;
+  }
+  const auto* src = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    OSKIT_ASSERT(w != nullptr);
+    size_t piece = w->len - static_cast<size_t>(off);
+    if (piece > n - done) {
+      piece = n - done;
+    }
+    std::memcpy(w->data + off, src + done, piece);
+    done += piece;
+    off = 0;
+    w = w->next;
+  }
+  *out_actual = n;
+  return Error::kOk;
 }
 
 Error MbufBufIo::GetSize(off_t64* out_size) {
@@ -55,19 +106,31 @@ Error MbufBufIo::GetSize(off_t64* out_size) {
 }
 
 Error MbufBufIo::Map(void** out_addr, off_t64 offset, size_t amount) {
-  // Succeeds only when the range is contiguous within one mbuf (§4.7.3:
-  // "This call will only succeed if the implementor of the bufio object
-  // happens to store the requested range of data in contiguous local
-  // memory").
+  // Succeeds when the range is contiguous in local memory (§4.7.3: "This
+  // call will only succeed if the implementor of the bufio object happens to
+  // store the requested range of data in contiguous local memory").  That
+  // includes ranges spanning ADJACENT mbufs whose windows abut in storage —
+  // e.g. the two sides of a Split inside one shared cluster — not just a
+  // single mbuf.
   MBuf* m = chain_;
   off_t64 off = offset;
   while (m != nullptr && off >= m->len) {
     off -= m->len;
     m = m->next;
   }
+  if (m == nullptr) {
+    return Error::kNotImpl;
+  }
   // Subtraction form: `off + amount` can wrap with a huge amount, yielding
   // an in-"range" pointer past the mbuf.
-  if (m == nullptr || amount > m->len - static_cast<size_t>(off)) {
+  size_t contiguous = m->len - static_cast<size_t>(off);
+  const MBuf* cur = m;
+  while (contiguous < amount && cur->next != nullptr &&
+         cur->next->data == cur->data + cur->len) {
+    cur = cur->next;
+    contiguous += cur->len;
+  }
+  if (amount > contiguous) {
     return Error::kNotImpl;
   }
   *out_addr = m->data + off;

@@ -238,10 +238,120 @@ Error NetStack::SoSend(BsdSocket* so, const void* buf, size_t len,
     if (n > space) {
       n = space;
     }
-    // Copy user bytes into the send buffer (the unavoidable socket-layer
-    // copy every configuration performs).
+    // Copy user bytes into the send buffer (the socket-layer copy the
+    // classic API cannot avoid — SendBufIo below is the path without it).
     MBuf* chain = pool_.FromData(data + sent, n);
     SbAppend(&pcb->snd, chain);
+    counters_.tx_copied_bytes += n;
+    sent += n;
+    TcpOutput(pcb, /*force_ack=*/false);
+  }
+  *out_actual = sent;
+  return Error::kOk;
+}
+
+namespace {
+
+// One Vectors() pin shared by every external mbuf built from that slice.
+// The last mbuf free (delivery acked, or connection teardown) releases the
+// pin and the source object.
+struct SendfileRef {
+  ComPtr<BufIoVec> src;
+  off_t64 offset;
+  size_t amount;
+  size_t outstanding;
+};
+
+void SendfileSegFree(void* ctx, uint8_t* /*buf*/, size_t /*size*/) {
+  auto* ref = static_cast<SendfileRef*>(ctx);
+  if (--ref->outstanding == 0) {
+    ref->src->UnmapVectors(ref->offset, ref->amount);
+    delete ref;
+  }
+}
+
+}  // namespace
+
+Error NetStack::SoSendBufIo(BsdSocket* so, BufIoVec* src, off_t64 offset,
+                            size_t amount, size_t* out_actual) {
+  *out_actual = 0;
+  if (so->type() != SockType::kStream) {
+    return Error::kNotImpl;
+  }
+  TcpPcb* pcb = so->tcp();
+  size_t sent = 0;
+  while (sent < amount) {
+    if (pcb->state != TcpState::kEstablished && pcb->state != TcpState::kCloseWait) {
+      if (sent > 0) {
+        break;
+      }
+      return Ok(pcb->so_error) ? Error::kPipe : pcb->so_error;
+    }
+    if (pcb->fin_queued) {
+      return Error::kPipe;
+    }
+    size_t space = pcb->snd.Space();
+    if (space == 0) {
+      if (so->nonblocking()) {
+        if (sent > 0) {
+          break;
+        }
+        return Error::kWouldBlock;
+      }
+      sleep_wakeup_.Sleep(&pcb->snd);
+      continue;
+    }
+    size_t n = amount - sent;
+    if (n > space) {
+      n = space;
+    }
+    // Ask the source for a scatter-gather view of this slice.  The send
+    // buffer is window-limited (< 64 KB), so a block-granular source needs
+    // well under kSendfileSegCap pieces.
+    constexpr size_t kSendfileSegCap = 64;
+    BufIoSegment segs[kSendfileSegCap];
+    size_t count = 0;
+    Error err = src->Vectors(segs, kSendfileSegCap, offset + sent, n, &count);
+    if (Ok(err) && count > 0) {
+      // Graft each piece into the send buffer as external-storage mbufs:
+      // TCP transmits (and retransmits) straight out of the source's own
+      // memory; the shared SendfileRef unpins once the last byte is acked.
+      auto* ref = new SendfileRef{ComPtr<BufIoVec>::Retain(src), offset + sent,
+                                  n, count};
+      MBuf* head = nullptr;
+      MBuf* tail = nullptr;
+      for (size_t i = 0; i < count; ++i) {
+        MBuf* m = pool_.GetExternal(const_cast<uint8_t*>(segs[i].data),
+                                    segs[i].len, SendfileSegFree, ref);
+        m->len = static_cast<uint32_t>(segs[i].len);
+        if (head == nullptr) {
+          head = m;
+        } else {
+          tail->next = m;
+        }
+        tail = m;
+      }
+      head->pkt_len = static_cast<uint32_t>(n);
+      SbAppend(&pcb->snd, head);
+      counters_.tx_sendfile_bytes += n;
+    } else {
+      // The source refused a vector (too fragmented, not resident): fall
+      // back to the counted copy so the call still makes progress.
+      std::vector<uint8_t> tmp(n);
+      size_t actual = 0;
+      err = src->Read(tmp.data(), offset + sent, n, &actual);
+      if (!Ok(err) || actual == 0) {
+        if (sent > 0) {
+          break;
+        }
+        return Ok(err) ? Error::kIo : err;
+      }
+      n = actual;
+      MBuf* chain = pool_.FromData(tmp.data(), n);
+      SbAppend(&pcb->snd, chain);
+      counters_.tx_sendfile_fallback_bytes += n;
+      counters_.tx_copied_bytes += n;
+    }
     sent += n;
     TcpOutput(pcb, /*force_ack=*/false);
   }
@@ -488,6 +598,13 @@ Error BsdSocket::Query(const Guid& iid, void** out) {
     *out = static_cast<SocketExt*>(this);
     return Error::kOk;
   }
+  if (iid == SocketZeroCopy::kIid && type_ == SockType::kStream) {
+    // Zero-copy transmit is a stream capability; datagram sockets simply
+    // don't grant the interface.
+    AddRef();
+    *out = static_cast<SocketZeroCopy*>(this);
+    return Error::kOk;
+  }
   *out = nullptr;
   return Error::kNoInterface;
 }
@@ -536,6 +653,11 @@ Error BsdSocket::SendTo(const void* buf, size_t amount, const SockAddr& to,
 Error BsdSocket::RecvFrom(void* buf, size_t amount, SockAddr* out_from,
                           size_t* out_actual) {
   return stack_->SoRecvFrom(this, buf, amount, out_from, out_actual);
+}
+
+Error BsdSocket::SendBufIo(BufIoVec* src, off_t64 offset, size_t amount,
+                           size_t* out_actual) {
+  return stack_->SoSendBufIo(this, src, offset, amount, out_actual);
 }
 
 Error BsdSocket::Shutdown(SockShutdown how) { return stack_->SoShutdown(this, how); }

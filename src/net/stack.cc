@@ -104,6 +104,10 @@ NetStack::NetStack(SleepEnv* sleep_env, SimClock* clock, trace::TraceEnv* trace)
        {"net.tcp.ooo_segments", &counters_.tcp_ooo_segments},
        {"net.tcp.rst_out", &counters_.tcp_rst_out},
        {"net.rx.glue_copied_bytes", &counters_.rx_glue_copied_bytes},
+       {"net.tx.copied_bytes", &counters_.tx_copied_bytes},
+       {"net.tx.sendfile_bytes", &counters_.tx_sendfile_bytes},
+       {"net.tx.sendfile_fallback_bytes",
+        &counters_.tx_sendfile_fallback_bytes},
        {"net.rx.alloc_drops", &counters_.rx_alloc_drops},
        {"net.tx.errors", &counters_.tx_errors},
        {"net.tcp.listen_overflows", &counters_.tcp_listen_overflows},

@@ -327,6 +327,9 @@ class NetStack {
     trace::Counter tcp_ooo_segments;
     trace::Counter tcp_rst_out;
     trace::Counter rx_glue_copied_bytes;  // forced-copy ablation counter
+    trace::Counter tx_copied_bytes;       // bytes memcpy'd into the send buffer
+    trace::Counter tx_sendfile_bytes;     // bytes queued zero-copy by SendBufIo
+    trace::Counter tx_sendfile_fallback_bytes;  // SendBufIo bytes that copied
     trace::Counter rx_alloc_drops;        // RX import failed: no mbuf memory
     trace::Counter tx_errors;             // egress refused a frame
     trace::Counter tcp_listen_overflows;  // SYNs dropped at a full queue
@@ -612,6 +615,8 @@ class NetStack {
   Error SoListen(BsdSocket* so, int backlog);
   Error SoAccept(BsdSocket* so, SockAddr* out_peer, TcpPcb** out_pcb);
   Error SoSend(BsdSocket* so, const void* buf, size_t len, size_t* out_actual);
+  Error SoSendBufIo(BsdSocket* so, BufIoVec* src, off_t64 offset, size_t amount,
+                    size_t* out_actual);
   Error SoRecv(BsdSocket* so, void* buf, size_t len, size_t* out_actual);
   Error SoSendTo(BsdSocket* so, const void* buf, size_t len, const SockAddr& to,
                  size_t* out_actual);
@@ -702,6 +707,7 @@ class NetStack {
 
 class BsdSocket final : public Socket,
                         public SocketExt,
+                        public SocketZeroCopy,
                         public RefCounted<BsdSocket> {
  public:
   BsdSocket(NetStack* stack, SockType type);
@@ -732,6 +738,10 @@ class BsdSocket final : public Socket,
   Error SetNonBlocking(bool on) override;
   Error AcceptBatch(SockAddr* out_peers, Socket** out_sockets, size_t capacity,
                     size_t* out_count) override;
+
+  // SocketZeroCopy
+  Error SendBufIo(BufIoVec* src, off_t64 offset, size_t amount,
+                  size_t* out_actual) override;
 
   SockType type() const { return type_; }
   TcpPcb* tcp() { return tcp_; }

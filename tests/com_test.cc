@@ -8,6 +8,7 @@
 
 #include "src/com/bufio.h"
 #include "src/com/memblkio.h"
+#include "tests/bounds_abuse.h"
 
 namespace oskit {
 namespace {
@@ -136,6 +137,15 @@ TEST(MemBlkIoTest, MapOutOfRangeFails) {
   auto io = MemBlkIo::Create(64);
   void* addr = nullptr;
   EXPECT_EQ(Error::kOutOfRange, io->Map(&addr, 32, 64));
+}
+
+TEST(MemBlkIoTest, BoundsAbuse) {
+  auto io = MemBlkIo::Create(4096, 512);
+  testing::AbuseReadBounds(io.get(), 4096);
+  testing::AbuseWriteBounds(io.get(), 4096);
+  // A wrapping range must also never reach Map's pointer math.
+  void* addr = nullptr;
+  EXPECT_EQ(Error::kInval, io->Map(&addr, 1, ~size_t{0}));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "src/base/byteorder.h"
 #include "src/com/memblkio.h"
 #include "src/diskpart/diskpart.h"
+#include "tests/bounds_abuse.h"
 
 namespace oskit {
 namespace {
@@ -147,6 +148,14 @@ TEST(DiskPartTest, PartitionViewBoundsIo) {
             view->Read(big, 9 * kDiskSectorSize, sizeof(big), &actual));
   EXPECT_EQ(kDiskSectorSize, actual);
   EXPECT_EQ(Error::kOutOfRange, view->Read(big, 11 * kDiskSectorSize, 16, &actual));
+}
+
+TEST(DiskPartTest, PartitionViewBoundsAbuse) {
+  auto disk = MakeDisk(1000);
+  Partition part{.start_sector = 100, .sector_count = 10, .type = kPartTypeLinux};
+  auto view = MakePartitionView(disk.get(), part);
+  testing::AbuseReadBounds(view.get(), 10 * kDiskSectorSize);
+  testing::AbuseWriteBounds(view.get(), 10 * kDiskSectorSize);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "src/fs/ffs.h"
 #include "src/fs/fsck.h"
 #include "src/fs/secure.h"
+#include "tests/bounds_abuse.h"
 
 namespace oskit::fs {
 namespace {
@@ -120,6 +121,19 @@ TEST(BlockCacheTest, EvictionPinKeepsDirtyBlocksCached) {
 }
 
 TEST_F(FsTest, FreshFilesystemPassesFsck) { ExpectFsckClean(); }
+
+TEST_F(FsTest, FileBoundsAbuse) {
+  ComPtr<File> f;
+  ASSERT_EQ(Error::kOk, root_->Create("abused", 0644, f.Receive()));
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk, f->Write("xx", 0, 2, &actual));
+  // File-style surface: reads past EOF are kOk with 0 bytes, but a wrapped
+  // range is kInval — never an attempt to allocate to "offset + amount".
+  oskit::testing::AbuseReadBounds(f.get(), 2, oskit::testing::PastEnd::kEofOk);
+  oskit::testing::AbuseWriteBounds(f.get(), 2, oskit::testing::PastEnd::kEofOk);
+  f.Reset();
+  ExpectFsckClean();
+}
 
 TEST_F(FsTest, CreateWriteReadPersistsAcrossRemount) {
   ComPtr<File> f;

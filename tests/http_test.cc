@@ -548,6 +548,15 @@ TEST(HttpServerWorldTest, ServesStaticDynamicAndDrainsOnQuit) {
   EXPECT_GE(server.trace.registry.Value("http.requests.pipelined"), 1u);
   EXPECT_EQ(1u, server.trace.registry.Value("http.errors.bad_request"));
   EXPECT_EQ(1u, server.trace.registry.Value("http.errors.not_found"));
+
+  // The static body went out zero-copy: the one full GET of /hello.txt was
+  // staged as a sendfile chunk, every body byte was queued straight from the
+  // file's cached blocks (net.tx.sendfile_bytes), and none of them fell back
+  // to the copy path.
+  EXPECT_EQ(1u, server.trace.registry.Value("http.sendfile_responses"));
+  EXPECT_EQ(hello.size(),
+            server.trace.registry.Value("net.tx.sendfile_bytes"));
+  EXPECT_EQ(0u, server.trace.registry.Value("net.tx.sendfile_fallback_bytes"));
   httpd.reset();
 }
 

@@ -130,7 +130,7 @@ TEST(MbufTest, CopyChainSharesExternalStorage) {
   EXPECT_EQ(0u, pool.clusters_out());
 }
 
-TEST(MbufBufIoTest, MapOnlyWorksWithinOneMbuf) {
+TEST(MbufBufIoTest, MapRequiresPhysicallyContiguousStorage) {
   MbufPool pool;
   auto data = Pattern(3000);
   MBuf* chain = pool.FromData(data.data(), data.size());
@@ -143,13 +143,77 @@ TEST(MbufBufIoTest, MapOnlyWorksWithinOneMbuf) {
   ASSERT_EQ(Error::kOk, io->Map(&addr, 0, first_len));
   EXPECT_EQ(0, memcmp(addr, data.data(), first_len));
   ASSERT_EQ(Error::kOk, io->Unmap(addr, 0, first_len));
-  // Spanning the mbuf boundary: map fails, Read still works (§4.7.3).
+  // Spanning into a separately allocated cluster: the windows are not
+  // adjacent in memory, so map fails and Read still works (§4.7.3).
   EXPECT_EQ(Error::kNotImpl, io->Map(&addr, 0, first_len + 10));
   std::vector<uint8_t> buf(first_len + 10);
   size_t actual = 0;
   ASSERT_EQ(Error::kOk, io->Read(buf.data(), 0, buf.size(), &actual));
   EXPECT_EQ(buf.size(), actual);
   EXPECT_EQ(0, memcmp(buf.data(), data.data(), buf.size()));
+}
+
+TEST(MbufBufIoTest, MapSpansAdjacentSplitWindows) {
+  MbufPool pool;
+  // Regression for the documented multi-mbuf Map limitation: a mid-cluster
+  // Split leaves two mbufs whose windows abut inside one shared cluster, and
+  // a range crossing that boundary IS contiguous local memory.
+  auto data = Pattern(1000);
+  MBuf* head = pool.FromData(data.data(), data.size());
+  ASSERT_EQ(1u, MbufPool::ChainCount(head));
+  ASSERT_NE(nullptr, head->ext);
+  MBuf* tail = pool.Split(head, 400);
+  ASSERT_NE(nullptr, tail);
+  ASSERT_EQ(tail->data, head->data + head->len);  // abutting windows
+  head->next = tail;  // re-link into one packet
+  head->pkt_len = static_cast<uint32_t>(data.size());
+  auto io = MbufBufIo::Wrap(&pool, head);
+
+  void* addr = nullptr;
+  ASSERT_EQ(Error::kOk, io->Map(&addr, 300, 500));  // crosses the boundary
+  EXPECT_EQ(0, memcmp(addr, data.data() + 300, 500));
+  ASSERT_EQ(Error::kOk, io->Unmap(addr, 300, 500));
+}
+
+TEST(MbufBufIoTest, WriteSpansChainSegments) {
+  MbufPool pool;
+  // Regression: Write used to be kNotImpl outright; it now lands anywhere
+  // in the chain, including ranges spanning segment boundaries.
+  auto data = Pattern(3000);
+  MBuf* chain = pool.FromData(data.data(), data.size());
+  ASSERT_GE(MbufPool::ChainCount(chain), 2u);
+  size_t first_len = chain->len;
+  auto io = MbufBufIo::Wrap(&pool, chain);
+
+  std::vector<uint8_t> patch(100, 0xEE);
+  size_t actual = 0;
+  ASSERT_EQ(Error::kOk,
+            io->Write(patch.data(), first_len - 50, patch.size(), &actual));
+  EXPECT_EQ(patch.size(), actual);
+
+  std::vector<uint8_t> back(data.size());
+  ASSERT_EQ(Error::kOk, io->Read(back.data(), 0, back.size(), &actual));
+  auto expect = data;
+  memcpy(expect.data() + first_len - 50, patch.data(), patch.size());
+  EXPECT_EQ(expect, back);
+}
+
+TEST(MbufBufIoTest, WriteRefusesSharedStorage) {
+  MbufPool pool;
+  auto data = Pattern(3000);
+  MBuf* chain = pool.FromData(data.data(), data.size());
+  MBuf* alias = pool.CopyChain(chain, 0, data.size());  // shares the clusters
+  auto io = MbufBufIo::Wrap(&pool, chain);
+
+  // The chain invariant forbids scribbling on aliased storage: refused
+  // whole, nothing written.
+  uint8_t b = 0xAB;
+  size_t actual = 99;
+  EXPECT_EQ(Error::kBusy, io->Write(&b, 10, 1, &actual));
+  EXPECT_EQ(0u, actual);
+  pool.FreeChain(alias);
+  ASSERT_EQ(Error::kOk, io->Write(&b, 10, 1, &actual));  // sole owner again
+  EXPECT_EQ(1u, actual);
 }
 
 TEST(MbufBufIoTest, ImportMapsContiguousForeignBuffers) {
